@@ -1,0 +1,93 @@
+//! Plan-outcome assessment arithmetic.
+//!
+//! Fig. 3's final step: "Assess the Knowledge about the success of the
+//! Plan and refine the Knowledge", with §III.iv's validation criterion —
+//! "validation of the run-time extension will be clear through comparison
+//! of the time extension with the actual application run time". This
+//! module is that comparison, shared by the Scheduler-case assessor and
+//! the experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Assessment of one walltime-extension decision after the job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionAssessment {
+    /// Seconds of extension the loop obtained.
+    pub granted_s: f64,
+    /// Seconds the job actually still needed beyond its original limit
+    /// (0 if it would have finished anyway).
+    pub needed_s: f64,
+    /// Signed error: granted − needed. Positive = overestimation
+    /// (blocks backfill, §III.iv); negative = underestimation (job may
+    /// still die).
+    pub error_s: f64,
+    /// Did the decision achieve its intent (job completed within the
+    /// extended limit)?
+    pub success: bool,
+}
+
+impl ExtensionAssessment {
+    /// Score a decision.
+    ///
+    /// * `granted_s` — extension obtained from the scheduler,
+    /// * `needed_s` — ground-truth overrun the job had beyond its
+    ///   original limit (from the simulator / post-run log),
+    /// * `completed` — whether the job finished within the extended limit.
+    pub fn score(granted_s: f64, needed_s: f64, completed: bool) -> Self {
+        ExtensionAssessment {
+            granted_s,
+            needed_s,
+            error_s: granted_s - needed_s,
+            success: completed,
+        }
+    }
+
+    /// Relative overestimation in `[0, ∞)`: how much granted time beyond
+    /// need, normalized by need (0 when under-granted or exactly right;
+    /// `granted/needed - 1` otherwise). Needed = 0 with a grant counts as
+    /// fully wasted (returns `granted_s` normalized to 1s to stay finite
+    /// and comparable).
+    pub fn overestimation_ratio(&self) -> f64 {
+        if self.error_s <= 0.0 {
+            return 0.0;
+        }
+        if self.needed_s <= 0.0 {
+            return self.granted_s.max(0.0);
+        }
+        self.error_s / self.needed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_grant_is_success_with_zero_error() {
+        let a = ExtensionAssessment::score(300.0, 300.0, true);
+        assert!(a.success);
+        assert_eq!(a.error_s, 0.0);
+        assert_eq!(a.overestimation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn overestimation_positive_error() {
+        let a = ExtensionAssessment::score(600.0, 300.0, true);
+        assert_eq!(a.error_s, 300.0);
+        assert!((a.overestimation_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underestimation_negative_error() {
+        let a = ExtensionAssessment::score(100.0, 300.0, false);
+        assert_eq!(a.error_s, -200.0);
+        assert!(!a.success);
+        assert_eq!(a.overestimation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unneeded_grant_counts_as_waste() {
+        let a = ExtensionAssessment::score(120.0, 0.0, true);
+        assert_eq!(a.overestimation_ratio(), 120.0);
+    }
+}

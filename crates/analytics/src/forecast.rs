@@ -1,0 +1,326 @@
+//! Progress forecasting.
+//!
+//! The Scheduler case (§III) monitors progress markers ("simulation
+//! time-step" values dropped by rank 0) and must forecast time to
+//! completion robustly against step-time noise and phase changes. Two
+//! estimators are provided:
+//!
+//! * ordinary least squares ([`LinearFit`]) — cheap, optimal under
+//!   homoscedastic noise,
+//! * Theil–Sen ([`theil_sen`]) — robust to outlier markers (I/O stalls,
+//!   checkpoint pauses), at O(n²) in the window size.
+//!
+//! [`ProgressForecaster`] wraps either into the loop-facing API: feed
+//! `(time, steps_done)` samples, get a [`Forecast`] with an ETA, a
+//! prediction interval, and a [`Confidence`] derived from interval
+//! tightness and sample support — the §IV requirement that decisions
+//! carry confidence.
+
+use moda_core::Confidence;
+use serde::{Deserialize, Serialize};
+
+/// Ordinary-least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Residual standard deviation.
+    pub residual_std: f64,
+    /// Points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fit `(x, y)` points; `None` for fewer than 2 points or a
+    /// degenerate (zero-variance) x.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        let n = points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mx = points.iter().map(|p| p.0).sum::<f64>() / nf;
+        let my = points.iter().map(|p| p.1).sum::<f64>() / nf;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+        if sxx <= 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| {
+                let e = p.1 - (slope * p.0 + intercept);
+                e * e
+            })
+            .sum();
+        let residual_std = if n > 2 {
+            (ss_res / (nf - 2.0)).sqrt()
+        } else {
+            0.0
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            residual_std,
+            n,
+        })
+    }
+
+    /// Predicted y at x.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Theil–Sen robust slope/intercept: median of pairwise slopes, median
+/// intercept. `None` under the same degeneracies as OLS.
+pub fn theil_sen(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[j].0 - points[i].0;
+            if dx.abs() > f64::EPSILON {
+                slopes.push((points[j].1 - points[i].1) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return None;
+    }
+    let slope = median_in_place(&mut slopes);
+    let mut intercepts: Vec<f64> = points.iter().map(|p| p.1 - slope * p.0).collect();
+    let intercept = median_in_place(&mut intercepts);
+    let mut abs_res: Vec<f64> = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).abs())
+        .collect();
+    // 1.4826 × MAD ≈ σ under normality.
+    let residual_std = 1.4826 * median_in_place(&mut abs_res);
+    Some(LinearFit {
+        slope,
+        intercept,
+        residual_std,
+        n,
+    })
+}
+
+fn median_in_place(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// A time-to-completion forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Forecast {
+    /// Estimated seconds until the job reaches its step target.
+    pub eta_s: f64,
+    /// Prediction-interval half-width, seconds (±).
+    pub half_width_s: f64,
+    /// Estimated progress rate, steps/second.
+    pub rate: f64,
+    /// Confidence derived from interval tightness and sample support.
+    pub confidence: Confidence,
+}
+
+/// Which estimator the forecaster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Estimator {
+    /// Ordinary least squares.
+    Ols,
+    /// Theil–Sen robust regression.
+    TheilSen,
+}
+
+/// Loop-facing forecaster over `(t_seconds, steps_done)` marker samples.
+#[derive(Debug, Clone)]
+pub struct ProgressForecaster {
+    estimator: Estimator,
+    /// z-multiplier for the prediction interval (1.96 ≈ 95%).
+    z: f64,
+    /// Confidence decay constant for interval width (see
+    /// [`Confidence::from_interval`]).
+    conf_k: f64,
+}
+
+impl Default for ProgressForecaster {
+    fn default() -> Self {
+        ProgressForecaster {
+            estimator: Estimator::TheilSen,
+            z: 1.96,
+            conf_k: 2.0,
+        }
+    }
+}
+
+impl ProgressForecaster {
+    /// Forecaster using the given estimator.
+    pub fn new(estimator: Estimator) -> Self {
+        ProgressForecaster {
+            estimator,
+            ..ProgressForecaster::default()
+        }
+    }
+
+    /// Forecast the time from `now_s` until `total_steps` is reached.
+    ///
+    /// `samples` are `(t_seconds, steps_done)` markers, oldest-first.
+    /// Returns `None` when no usable fit exists (too few markers) or the
+    /// estimated rate is non-positive (stalled job — which callers treat
+    /// as its own symptom, not a forecast).
+    pub fn forecast(
+        &self,
+        samples: &[(f64, f64)],
+        total_steps: f64,
+        now_s: f64,
+    ) -> Option<Forecast> {
+        let fit = match self.estimator {
+            Estimator::Ols => LinearFit::fit(samples)?,
+            Estimator::TheilSen => theil_sen(samples)?,
+        };
+        if fit.slope <= 0.0 {
+            return None;
+        }
+        let current = fit.predict(now_s).min(total_steps);
+        let remaining_steps = (total_steps - current).max(0.0);
+        let eta_s = remaining_steps / fit.slope;
+        // Propagate marker noise into time units: ±z·σ_y / rate.
+        let half_width_s = self.z * fit.residual_std / fit.slope;
+        let conf_interval = Confidence::from_interval(eta_s.max(1e-9), half_width_s, self.conf_k);
+        let conf_support = Confidence::from_support(fit.n as u64, 5.0);
+        Some(Forecast {
+            eta_s,
+            half_width_s,
+            rate: fit.slope,
+            confidence: conf_interval.and(conf_support),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, slope: f64, noise: &[f64]) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, slope * x + noise.get(i % noise.len().max(1)).copied().unwrap_or(0.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let pts = line(10, 2.0, &[0.0]);
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!(f.intercept.abs() < 1e-9);
+        assert!(f.residual_std < 1e-9);
+        assert_eq!(f.predict(100.0), 200.0);
+    }
+
+    #[test]
+    fn ols_degenerate_inputs() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0)]).is_none());
+        // Zero x-variance.
+        assert!(LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn theil_sen_matches_ols_on_clean_data() {
+        let pts = line(20, 1.5, &[0.0]);
+        let ts = theil_sen(&pts).unwrap();
+        let ols = LinearFit::fit(&pts).unwrap();
+        assert!((ts.slope - ols.slope).abs() < 1e-9);
+        assert!((ts.intercept - ols.intercept).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theil_sen_shrugs_off_outliers() {
+        let mut pts = line(20, 1.0, &[0.0]);
+        // Corrupt two markers catastrophically (checkpoint stall).
+        pts[5].1 += 1000.0;
+        pts[12].1 -= 1000.0;
+        let ts = theil_sen(&pts).unwrap();
+        assert!((ts.slope - 1.0).abs() < 0.05, "TS slope {}", ts.slope);
+        let ols = LinearFit::fit(&pts).unwrap();
+        // OLS is meaningfully dragged; Theil–Sen is strictly closer.
+        assert!((ts.slope - 1.0).abs() < (ols.slope - 1.0).abs());
+    }
+
+    #[test]
+    fn forecaster_eta_on_clean_progress() {
+        // 1 step/s, at t=100 we are at step 100 of 1000 → ETA 900 s.
+        let pts: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 * 10.0, i as f64 * 10.0)).collect();
+        let fc = ProgressForecaster::new(Estimator::Ols)
+            .forecast(&pts, 1000.0, 100.0)
+            .unwrap();
+        assert!((fc.eta_s - 900.0).abs() < 1e-6);
+        assert!((fc.rate - 1.0).abs() < 1e-9);
+        assert!(fc.confidence.value() > 0.5, "clean fit confident");
+        assert!(fc.half_width_s < 1.0);
+    }
+
+    #[test]
+    fn forecaster_none_when_stalled() {
+        // Flat progress — slope 0.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 50.0)).collect();
+        assert!(ProgressForecaster::default()
+            .forecast(&pts, 100.0, 10.0)
+            .is_none());
+    }
+
+    #[test]
+    fn forecaster_none_with_too_few_markers() {
+        assert!(ProgressForecaster::default()
+            .forecast(&[(0.0, 0.0)], 100.0, 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn noisier_markers_mean_lower_confidence() {
+        let clean: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 * 10.0, i as f64 * 10.0)).collect();
+        let noisy: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, x + if i % 2 == 0 { 30.0 } else { -30.0 })
+            })
+            .collect();
+        let f = ProgressForecaster::new(Estimator::Ols);
+        let c1 = f.forecast(&clean, 1000.0, 200.0).unwrap();
+        let c2 = f.forecast(&noisy, 1000.0, 200.0).unwrap();
+        assert!(c1.confidence.value() > c2.confidence.value());
+        assert!(c2.half_width_s > c1.half_width_s);
+    }
+
+    #[test]
+    fn eta_clamps_past_total() {
+        // Job already past its step target → ETA 0.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let fc = ProgressForecaster::new(Estimator::Ols)
+            .forecast(&pts, 10.0, 9.0)
+            .unwrap();
+        assert_eq!(fc.eta_s, 0.0);
+    }
+
+    #[test]
+    fn median_helpers() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! # moda-analytics
+//!
+//! Operational data analytics — the **Analyze** vocabulary the paper's
+//! loops are built from (Fig. 1's "Visualize / Diagnose / Forecast" and
+//! the §IV analysis goals):
+//!
+//! * [`forecast`] — progress-rate estimation and time-to-completion
+//!   forecasting with prediction intervals (the Scheduler case's core
+//!   analysis: "a few simple measurable quantities can be used to
+//!   forecast time to completion", §III),
+//! * [`anomaly`] — rolling z-score, robust MAD, and CUSUM change
+//!   detection ("failure prediction and anomaly detection have long been
+//!   MODA analysis goals", §IV) — the OST case's detector,
+//! * [`similarity`] — behavioral run signatures and k-NN matching
+//!   against Knowledge history ("inferred from similar jobs with
+//!   different input decks", §III),
+//! * [`online`] — recursive least squares with a forgetting factor:
+//!   lightweight continual learning ("continual/lifelong AI that can
+//!   evolve rapidly with small overhead", §IV),
+//! * [`misconfig`] — rule-based and statistical detection of user-job
+//!   misconfigurations (§III, case 4),
+//! * [`assess`] — scoring of executed plans against realized outcomes
+//!   (the Knowledge-refinement arithmetic of Fig. 3's assessment step).
+//!
+//! Everything is deterministic, allocation-light, and free of external
+//! ML dependencies — per §IV, "focus should be on careful selection of
+//! efficient models and modeling parameters that fit HPC data", not
+//! million-parameter models.
+
+pub mod anomaly;
+pub mod assess;
+pub mod forecast;
+pub mod misconfig;
+pub mod online;
+pub mod similarity;
+
+pub use anomaly::{Cusum, CusumVerdict, MadDetector, ZScoreDetector};
+pub use assess::ExtensionAssessment;
+pub use forecast::{Forecast, LinearFit, ProgressForecaster};
+pub use misconfig::{ConfigPolicy, Finding, JobConfigSnapshot, MisconfigKind};
+pub use online::RlsModel;
+pub use similarity::{knn, RunSignature};

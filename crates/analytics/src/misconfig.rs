@@ -1,0 +1,277 @@
+//! Misconfiguration detection (§III, case 4).
+//!
+//! "Detection of misconfiguration of user jobs such as unintended
+//! mismatch of threads to cores, underutilization of CPUs or GPUs, or
+//! wrong library search paths. Depending on the type of misconfiguration,
+//! users could either be informed about their mistake along with
+//! suggestions for better configurations, or the misconfiguration could
+//! be corrected on the fly."
+//!
+//! Detection is rule-based over a [`JobConfigSnapshot`] — the same
+//! quantities a site collects per job slot — with thresholds collected in
+//! a [`ConfigPolicy`]. Each [`Finding`] carries a severity, a suggestion
+//! string (the "inform the user" surface), and whether the condition is
+//! auto-correctable (the "corrected on the fly" branch of the loop).
+
+use moda_core::Confidence;
+use serde::{Deserialize, Serialize};
+
+/// Per-job configuration/utilization snapshot the detector consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobConfigSnapshot {
+    /// Threads each rank spawns.
+    pub threads_per_rank: u32,
+    /// Cores allocated per rank.
+    pub cores_per_rank: u32,
+    /// GPUs allocated per node.
+    pub gpus_allocated: u32,
+    /// Mean GPU utilization over the observation window, `[0, 1]`.
+    pub gpu_util: f64,
+    /// Mean CPU utilization over the observation window, `[0, 1]`.
+    pub cpu_util: f64,
+    /// Whether the launcher resolved libraries from the expected paths.
+    pub lib_path_ok: bool,
+}
+
+/// Kinds of detectable misconfiguration (the paper's three examples,
+/// with under/oversubscription split for actionability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MisconfigKind {
+    /// More threads than cores: oversubscription thrash.
+    ThreadOversubscription,
+    /// Fewer threads than cores: paid-for cores sit idle.
+    ThreadUndersubscription,
+    /// GPUs allocated but (near-)idle.
+    IdleGpu,
+    /// CPU utilization far below what the allocation implies.
+    LowCpuUtilization,
+    /// Wrong library search path.
+    BadLibraryPath,
+}
+
+/// One detected misconfiguration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What is wrong.
+    pub kind: MisconfigKind,
+    /// Detection confidence.
+    pub confidence: Confidence,
+    /// Severity in `[0, 1]` (drives inform-vs-correct planning).
+    pub severity: f64,
+    /// Human-readable suggestion (the "inform the user" surface).
+    pub suggestion: String,
+    /// Whether the loop can fix this without the user (on-the-fly
+    /// correction, e.g. clamping thread count; not possible for a wrong
+    /// library path mid-run).
+    pub auto_correctable: bool,
+}
+
+/// Detection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPolicy {
+    /// GPU utilization below this (with GPUs allocated) is "idle".
+    pub gpu_idle_threshold: f64,
+    /// CPU utilization below this is "underutilized".
+    pub cpu_low_threshold: f64,
+}
+
+impl Default for ConfigPolicy {
+    fn default() -> Self {
+        ConfigPolicy {
+            gpu_idle_threshold: 0.05,
+            cpu_low_threshold: 0.25,
+        }
+    }
+}
+
+/// Run every detector against a snapshot.
+pub fn detect(snap: &JobConfigSnapshot, policy: &ConfigPolicy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    if snap.threads_per_rank > snap.cores_per_rank && snap.cores_per_rank > 0 {
+        let ratio = snap.threads_per_rank as f64 / snap.cores_per_rank as f64;
+        findings.push(Finding {
+            kind: MisconfigKind::ThreadOversubscription,
+            confidence: Confidence::CERTAIN, // structural: read from config
+            severity: (1.0 - 1.0 / ratio).clamp(0.0, 1.0),
+            suggestion: format!(
+                "{} threads per rank on {} cores; set OMP_NUM_THREADS={}",
+                snap.threads_per_rank, snap.cores_per_rank, snap.cores_per_rank
+            ),
+            auto_correctable: true,
+        });
+    }
+    if snap.threads_per_rank < snap.cores_per_rank && snap.threads_per_rank > 0 {
+        let idle = 1.0 - snap.threads_per_rank as f64 / snap.cores_per_rank as f64;
+        findings.push(Finding {
+            kind: MisconfigKind::ThreadUndersubscription,
+            confidence: Confidence::CERTAIN,
+            severity: idle,
+            suggestion: format!(
+                "only {} of {} allocated cores threaded; raise OMP_NUM_THREADS or shrink the allocation",
+                snap.threads_per_rank, snap.cores_per_rank
+            ),
+            auto_correctable: true,
+        });
+    }
+    if snap.gpus_allocated > 0 && snap.gpu_util < policy.gpu_idle_threshold {
+        // Utilization is a noisy measurement: confidence scales with how
+        // far below the threshold we are.
+        let margin = (policy.gpu_idle_threshold - snap.gpu_util) / policy.gpu_idle_threshold;
+        findings.push(Finding {
+            kind: MisconfigKind::IdleGpu,
+            confidence: Confidence::new(0.5 + 0.5 * margin),
+            severity: 1.0 - snap.gpu_util,
+            suggestion: format!(
+                "{} GPU(s) allocated at {:.0}% utilization; resubmit to a CPU partition",
+                snap.gpus_allocated,
+                snap.gpu_util * 100.0
+            ),
+            auto_correctable: false,
+        });
+    }
+    if snap.cpu_util < policy.cpu_low_threshold {
+        let margin = (policy.cpu_low_threshold - snap.cpu_util) / policy.cpu_low_threshold;
+        findings.push(Finding {
+            kind: MisconfigKind::LowCpuUtilization,
+            confidence: Confidence::new(0.4 + 0.5 * margin),
+            severity: 1.0 - snap.cpu_util,
+            suggestion: format!(
+                "CPU utilization {:.0}%; check rank/thread mapping or input staging",
+                snap.cpu_util * 100.0
+            ),
+            auto_correctable: false,
+        });
+    }
+    if !snap.lib_path_ok {
+        findings.push(Finding {
+            kind: MisconfigKind::BadLibraryPath,
+            confidence: Confidence::CERTAIN,
+            severity: 0.9,
+            suggestion: "library search path resolves to an unexpected location; check LD_LIBRARY_PATH / module loads".to_string(),
+            auto_correctable: false,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> JobConfigSnapshot {
+        JobConfigSnapshot {
+            threads_per_rank: 8,
+            cores_per_rank: 8,
+            gpus_allocated: 0,
+            gpu_util: 0.0,
+            cpu_util: 0.9,
+            lib_path_ok: true,
+        }
+    }
+
+    fn kinds(f: &[Finding]) -> Vec<MisconfigKind> {
+        f.iter().map(|x| x.kind).collect()
+    }
+
+    #[test]
+    fn healthy_job_is_clean() {
+        assert!(detect(&healthy(), &ConfigPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn oversubscription_detected_with_certainty() {
+        let snap = JobConfigSnapshot {
+            threads_per_rank: 16,
+            cores_per_rank: 8,
+            ..healthy()
+        };
+        let f = detect(&snap, &ConfigPolicy::default());
+        assert_eq!(kinds(&f), vec![MisconfigKind::ThreadOversubscription]);
+        assert_eq!(f[0].confidence, Confidence::CERTAIN);
+        assert!(f[0].auto_correctable);
+        assert!(f[0].suggestion.contains("OMP_NUM_THREADS=8"));
+        assert!((f[0].severity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersubscription_detected() {
+        let snap = JobConfigSnapshot {
+            threads_per_rank: 2,
+            cores_per_rank: 8,
+            ..healthy()
+        };
+        let f = detect(&snap, &ConfigPolicy::default());
+        assert_eq!(kinds(&f), vec![MisconfigKind::ThreadUndersubscription]);
+        assert!((f[0].severity - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gpu_flagged_only_when_allocated() {
+        let with_gpu = JobConfigSnapshot {
+            gpus_allocated: 4,
+            gpu_util: 0.01,
+            ..healthy()
+        };
+        let f = detect(&with_gpu, &ConfigPolicy::default());
+        assert!(kinds(&f).contains(&MisconfigKind::IdleGpu));
+        assert!(!f[0].auto_correctable);
+        // No GPUs allocated → a 0% GPU utilization is not a finding.
+        let without = JobConfigSnapshot {
+            gpus_allocated: 0,
+            gpu_util: 0.0,
+            ..healthy()
+        };
+        assert!(detect(&without, &ConfigPolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn low_cpu_and_bad_libpath_compose() {
+        let snap = JobConfigSnapshot {
+            cpu_util: 0.05,
+            lib_path_ok: false,
+            ..healthy()
+        };
+        let f = detect(&snap, &ConfigPolicy::default());
+        let ks = kinds(&f);
+        assert!(ks.contains(&MisconfigKind::LowCpuUtilization));
+        assert!(ks.contains(&MisconfigKind::BadLibraryPath));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn gpu_confidence_scales_with_margin() {
+        let barely = JobConfigSnapshot {
+            gpus_allocated: 1,
+            gpu_util: 0.049,
+            ..healthy()
+        };
+        let dead = JobConfigSnapshot {
+            gpus_allocated: 1,
+            gpu_util: 0.0,
+            ..healthy()
+        };
+        let p = ConfigPolicy::default();
+        let c_barely = detect(&barely, &p)[0].confidence.value();
+        let c_dead = detect(&dead, &p)[0].confidence.value();
+        assert!(c_dead > c_barely);
+        assert!((c_dead - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_thresholds_are_respected() {
+        let snap = JobConfigSnapshot {
+            cpu_util: 0.3,
+            ..healthy()
+        };
+        assert!(detect(&snap, &ConfigPolicy::default()).is_empty());
+        let strict = ConfigPolicy {
+            cpu_low_threshold: 0.5,
+            ..ConfigPolicy::default()
+        };
+        assert_eq!(
+            kinds(&detect(&snap, &strict)),
+            vec![MisconfigKind::LowCpuUtilization]
+        );
+    }
+}

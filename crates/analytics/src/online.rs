@@ -1,0 +1,180 @@
+//! Continual learning: recursive least squares with forgetting.
+//!
+//! §IV argues against "large models with millions of parameters" for
+//! real-time loop decisions and for "continual/lifelong AI that can
+//! evolve rapidly with small overhead". [`RlsModel`] is exactly that: an
+//! online linear model `y = wᵀx` updated per observation in O(d²), whose
+//! forgetting factor `λ < 1` exponentially discounts old data — so when
+//! the workload drifts (experiment E9), the model tracks the new regime
+//! instead of averaging across both.
+
+use serde::{Deserialize, Serialize};
+
+/// Recursive least squares with exponential forgetting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RlsModel {
+    dim: usize,
+    /// Weight vector.
+    w: Vec<f64>,
+    /// Inverse covariance estimate (row-major d×d).
+    p: Vec<f64>,
+    /// Forgetting factor in `(0, 1]`; 1 = ordinary RLS (infinite memory).
+    lambda: f64,
+    updates: u64,
+}
+
+impl RlsModel {
+    /// Model of input dimension `dim` with forgetting factor `lambda`.
+    /// `delta` scales the initial covariance (large = weak prior).
+    pub fn new(dim: usize, lambda: f64, delta: f64) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "forgetting factor must be in (0, 1]"
+        );
+        assert!(delta > 0.0, "prior scale must be positive");
+        let mut p = vec![0.0; dim * dim];
+        for i in 0..dim {
+            p[i * dim + i] = delta;
+        }
+        RlsModel {
+            dim,
+            w: vec![0.0; dim],
+            p,
+            lambda,
+            updates: 0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Observations folded in so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Predict `y` for input `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum()
+    }
+
+    /// Fold in one observation `(x, y)`; returns the pre-update
+    /// prediction error (the innovation).
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        let d = self.dim;
+        // px = P·x
+        let px: Vec<f64> = self
+            .p
+            .chunks_exact(d)
+            .map(|row| row.iter().zip(x).map(|(p, x)| p * x).sum())
+            .collect();
+        // denom = λ + xᵀ·P·x
+        let xpx: f64 = x.iter().zip(&px).map(|(x, px)| x * px).sum();
+        let denom = self.lambda + xpx;
+        // Gain k = P·x / denom
+        let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        let err = y - self.predict(x);
+        for (w, k) in self.w.iter_mut().zip(&k) {
+            *w += k * err;
+        }
+        // P ← (P − k·(xᵀP)) / λ ; xᵀP = pxᵀ because P is symmetric.
+        for (row, k) in self.p.chunks_exact_mut(d).zip(&k) {
+            for (p, px) in row.iter_mut().zip(&px) {
+                *p = (*p - k * px) / self.lambda;
+            }
+        }
+        self.updates += 1;
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn converges_to_true_weights() {
+        let mut m = RlsModel::new(2, 1.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        // y = 2·x0 − 3·x1 + noise.
+        for _ in 0..500 {
+            let x = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let y = 2.0 * x[0] - 3.0 * x[1] + rng.gen_range(-0.01..0.01);
+            m.update(&x, y);
+        }
+        assert!((m.weights()[0] - 2.0).abs() < 0.05, "w0 = {}", m.weights()[0]);
+        assert!((m.weights()[1] + 3.0).abs() < 0.05, "w1 = {}", m.weights()[1]);
+        assert_eq!(m.updates(), 500);
+    }
+
+    #[test]
+    fn prediction_error_shrinks() {
+        let mut m = RlsModel::new(1, 1.0, 100.0);
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for i in 0..200 {
+            let x = [(i % 10) as f64 + 1.0];
+            let e = m.update(&x, 5.0 * x[0]).abs();
+            if i < 10 {
+                early += e;
+            }
+            if i >= 190 {
+                late += e;
+            }
+        }
+        assert!(late < early * 0.01, "early {early} late {late}");
+    }
+
+    #[test]
+    fn forgetting_tracks_drift_where_infinite_memory_lags() {
+        let mut forgetful = RlsModel::new(1, 0.95, 100.0);
+        let mut eternal = RlsModel::new(1, 1.0, 100.0);
+        // Regime 1: y = 1·x for 300 steps; then regime 2: y = 4·x.
+        for i in 0..600 {
+            let x = [((i % 7) + 1) as f64];
+            let w = if i < 300 { 1.0 } else { 4.0 };
+            forgetful.update(&x, w * x[0]);
+            eternal.update(&x, w * x[0]);
+        }
+        let f_err = (forgetful.predict(&[1.0]) - 4.0).abs();
+        let e_err = (eternal.predict(&[1.0]) - 4.0).abs();
+        assert!(f_err < 0.1, "forgetful failed to track drift: {f_err}");
+        assert!(f_err < e_err, "forgetting must beat infinite memory under drift");
+    }
+
+    #[test]
+    fn bias_term_via_constant_feature() {
+        let mut m = RlsModel::new(2, 1.0, 1000.0);
+        // y = 3·x + 7, encoded as x_vec = [x, 1].
+        for i in 0..200 {
+            let x = (i % 13) as f64;
+            m.update(&[x, 1.0], 3.0 * x + 7.0);
+        }
+        assert!((m.predict(&[10.0, 1.0]) - 37.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let m = RlsModel::new(2, 1.0, 1.0);
+        m.predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn bad_lambda_rejected() {
+        RlsModel::new(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Behavioral run signatures and similarity matching.
+//!
+//! §III: "Given an application, a strategy is also required to map the
+//! application to a set of measurements of behavioral characteristics to
+//! enable comparison against past and future runs" — and the Plan phase
+//! "might have to be inferred from similar jobs with different input
+//! decks". A [`RunSignature`] is that measurement set; [`knn`] finds the
+//! most similar historical runs, and [`estimate_runtime`] turns them into
+//! a cold-start runtime estimate with a support/spread-derived
+//! confidence.
+
+use moda_core::{Confidence, RunRecord};
+use serde::{Deserialize, Serialize};
+
+/// Behavioral feature vector of one run.
+///
+/// Feature scales differ wildly (seconds vs fractions), so distances are
+/// computed on per-dimension normalized values; [`knn`] normalizes by the
+/// reference set's ranges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSignature {
+    /// Mean progress-step duration, seconds.
+    pub mean_step_s: f64,
+    /// Coefficient of variation of step duration.
+    pub step_cv: f64,
+    /// Fraction of runtime spent in I/O.
+    pub io_fraction: f64,
+    /// Nodes used.
+    pub nodes: f64,
+    /// Problem scale knob (input-deck size proxy).
+    pub scale: f64,
+}
+
+impl RunSignature {
+    /// Flatten to the vector stored in [`RunRecord::signature`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.mean_step_s,
+            self.step_cv,
+            self.io_fraction,
+            self.nodes,
+            self.scale,
+        ]
+    }
+
+    /// Rebuild from a stored vector (`None` when the dimension is wrong —
+    /// records written by other loop versions are skipped, not trusted).
+    pub fn from_slice(v: &[f64]) -> Option<RunSignature> {
+        if v.len() != 5 {
+            return None;
+        }
+        Some(RunSignature {
+            mean_step_s: v[0],
+            step_cv: v[1],
+            io_fraction: v[2],
+            nodes: v[3],
+            scale: v[4],
+        })
+    }
+}
+
+/// The `k` nearest records to `query` (by range-normalized Euclidean
+/// distance over signatures), as `(index into records, distance)`
+/// sorted nearest-first. Records with malformed signatures are skipped.
+pub fn knn(query: &RunSignature, records: &[RunRecord], k: usize) -> Vec<(usize, f64)> {
+    let q = query.to_vec();
+    let dim = q.len();
+    let usable: Vec<(usize, &[f64])> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.signature.len() == dim)
+        .map(|(i, r)| (i, r.signature.as_slice()))
+        .collect();
+    if usable.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    // Per-dimension ranges over reference set ∪ query.
+    let mut lo = q.clone();
+    let mut hi = q.clone();
+    for (_, s) in &usable {
+        for d in 0..dim {
+            lo[d] = lo[d].min(s[d]);
+            hi[d] = hi[d].max(s[d]);
+        }
+    }
+    let range: Vec<f64> = lo
+        .iter()
+        .zip(&hi)
+        .map(|(l, h)| {
+            let r = h - l;
+            if r > f64::EPSILON {
+                r
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut scored: Vec<(usize, f64)> = usable
+        .into_iter()
+        .map(|(i, s)| {
+            let d2: f64 = (0..dim)
+                .map(|d| {
+                    let diff = (s[d] - q[d]) / range[d];
+                    diff * diff
+                })
+                .sum();
+            (i, d2.sqrt())
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+/// Distance-weighted runtime estimate from the `k` nearest historical
+/// runs, with confidence from neighbor support and agreement.
+///
+/// Returns `None` when no usable history exists.
+pub fn estimate_runtime(
+    query: &RunSignature,
+    records: &[RunRecord],
+    k: usize,
+) -> Option<(f64, Confidence)> {
+    let neighbors = knn(query, records, k);
+    if neighbors.is_empty() {
+        return None;
+    }
+    // Inverse-distance weights with an epsilon so exact matches dominate
+    // but never divide by zero.
+    let mut wsum = 0.0;
+    let mut est = 0.0;
+    for &(i, d) in &neighbors {
+        let w = 1.0 / (d + 1e-6);
+        wsum += w;
+        est += w * records[i].runtime_s;
+    }
+    let est = est / wsum;
+    // Spread of neighbor runtimes relative to the estimate → agreement.
+    let spread = neighbors
+        .iter()
+        .map(|&(i, _)| (records[i].runtime_s - est).abs())
+        .fold(0.0, f64::max);
+    let conf_agreement = Confidence::from_interval(est.max(1e-9), spread, 1.0);
+    let conf_support = Confidence::from_support(neighbors.len() as u64, 3.0);
+    Some((est, conf_agreement.and(conf_support)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sig(step: f64, scale: f64) -> RunSignature {
+        RunSignature {
+            mean_step_s: step,
+            step_cv: 0.1,
+            io_fraction: 0.2,
+            nodes: 4.0,
+            scale,
+        }
+    }
+
+    fn rec(step: f64, scale: f64, runtime: f64) -> RunRecord {
+        RunRecord {
+            app_class: "cfd".into(),
+            signature: sig(step, scale).to_vec(),
+            runtime_s: runtime,
+            total_steps: 1000,
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn signature_round_trip() {
+        let s = sig(1.5, 10.0);
+        let v = s.to_vec();
+        assert_eq!(RunSignature::from_slice(&v), Some(s));
+        assert_eq!(RunSignature::from_slice(&[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let records = vec![rec(1.0, 10.0, 100.0), rec(5.0, 50.0, 500.0), rec(1.1, 11.0, 110.0)];
+        let hits = knn(&sig(1.0, 10.0), &records, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0); // exact match first
+        assert_eq!(hits[1].0, 2); // near match second
+        assert!(hits[0].1 < hits[1].1);
+    }
+
+    #[test]
+    fn knn_skips_malformed_signatures() {
+        let mut bad = rec(1.0, 10.0, 100.0);
+        bad.signature = vec![1.0];
+        let records = vec![bad, rec(2.0, 20.0, 200.0)];
+        let hits = knn(&sig(2.0, 20.0), &records, 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn knn_empty_and_zero_k() {
+        assert!(knn(&sig(1.0, 1.0), &[], 3).is_empty());
+        let records = vec![rec(1.0, 1.0, 1.0)];
+        assert!(knn(&sig(1.0, 1.0), &records, 0).is_empty());
+    }
+
+    #[test]
+    fn estimate_prefers_close_neighbors() {
+        let records = vec![
+            rec(1.0, 10.0, 100.0),
+            rec(1.05, 10.5, 105.0),
+            rec(9.0, 90.0, 900.0),
+        ];
+        let (est, conf) = estimate_runtime(&sig(1.0, 10.0), &records, 3).unwrap();
+        // Exact neighbor dominates through inverse-distance weighting.
+        assert!((est - 100.0).abs() < 5.0, "estimate {est}");
+        assert!(conf.value() > 0.0);
+    }
+
+    #[test]
+    fn estimate_confidence_scales_with_agreement() {
+        let tight = vec![rec(1.0, 10.0, 100.0), rec(1.01, 10.1, 101.0), rec(0.99, 9.9, 99.0)];
+        let loose = vec![rec(1.0, 10.0, 50.0), rec(1.01, 10.1, 400.0), rec(0.99, 9.9, 100.0)];
+        let (_, c_tight) = estimate_runtime(&sig(1.0, 10.0), &tight, 3).unwrap();
+        let (_, c_loose) = estimate_runtime(&sig(1.0, 10.0), &loose, 3).unwrap();
+        assert!(c_tight.value() > c_loose.value());
+    }
+
+    #[test]
+    fn estimate_none_without_history() {
+        assert!(estimate_runtime(&sig(1.0, 1.0), &[], 3).is_none());
+    }
+
+    #[test]
+    fn normalization_keeps_large_scale_features_from_dominating() {
+        // scale differs by 1000x; step by 2x. Without normalization the
+        // scale dimension would drown out step similarity.
+        let records = vec![
+            rec(1.0, 1000.0, 100.0), // same step, far scale
+            rec(2.0, 1010.0, 999.0), // different step, near scale
+        ];
+        let hits = knn(&sig(1.0, 1005.0), &records, 1);
+        // Normalized: scale range is tiny relative to its magnitude, so
+        // the step match (record 0) wins.
+        assert_eq!(hits[0].0, 0);
+    }
+}

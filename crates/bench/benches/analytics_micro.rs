@@ -1,0 +1,144 @@
+//! **Analytics micro-costs (§IV "efficient models … that fit HPC data").**
+//!
+//! The paper argues that autonomy loops need models with *small overhead*
+//! because analysis runs continuously and may steal cycles from
+//! applications. These benches put numbers on every Analyze-phase
+//! primitive the use cases call per tick: forecasters, anomaly
+//! detectors, the online RLS model, and k-NN over run history.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moda_analytics::forecast::{theil_sen, Estimator, LinearFit, ProgressForecaster};
+use moda_analytics::{knn, Cusum, MadDetector, RlsModel, RunSignature, ZScoreDetector};
+use moda_core::knowledge::RunRecord;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// Deterministic pseudo-noise without pulling `rand` into the hot loop.
+fn wobble(i: usize) -> f64 {
+    ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5
+}
+
+fn markers(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| (i as f64 * 30.0, 2.0 * i as f64 + wobble(i)))
+        .collect()
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forecast_fit");
+    for n in [16usize, 64, 256] {
+        let pts = markers(n);
+        g.bench_with_input(BenchmarkId::new("ols", n), &pts, |b, pts| {
+            b.iter(|| LinearFit::fit(black_box(pts)))
+        });
+        // Theil–Sen is O(n²) pairs; the loops cap marker windows at ~64
+        // samples for exactly this reason.
+        g.bench_with_input(BenchmarkId::new("theil_sen", n), &pts, |b, pts| {
+            b.iter(|| theil_sen(black_box(pts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_forecaster(c: &mut Criterion) {
+    let pts = markers(64);
+    let ols = ProgressForecaster::new(Estimator::Ols);
+    let ts = ProgressForecaster::new(Estimator::TheilSen);
+    c.bench_function("forecaster_ols_64", |b| {
+        b.iter(|| ols.forecast(black_box(&pts), 10_000.0, 2_000.0))
+    });
+    c.bench_function("forecaster_theil_sen_64", |b| {
+        b.iter(|| ts.forecast(black_box(&pts), 10_000.0, 2_000.0))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    c.bench_function("zscore_update", |b| {
+        let mut d = ZScoreDetector::new(128, 3.0);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            d.score_and_push(black_box(10.0 + wobble(i)))
+        })
+    });
+    c.bench_function("mad_update", |b| {
+        // MAD sorts its window per score: costlier, robust to outliers.
+        let mut d = MadDetector::new(128, 3.5);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            d.score_and_push(black_box(10.0 + wobble(i)))
+        })
+    });
+    c.bench_function("cusum_update", |b| {
+        let mut d = Cusum::new(0.5, 5.0, 50);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            d.update(black_box(10.0 + wobble(i)))
+        })
+    });
+}
+
+fn bench_online_rls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rls_update");
+    for dim in [2usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut m = RlsModel::new(dim, 0.98, 100.0);
+            let x: Vec<f64> = (0..dim).map(|j| 1.0 + j as f64).collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                m.update(black_box(&x), black_box(3.0 + wobble(i)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn history(n: usize) -> Vec<RunRecord> {
+    (0..n)
+        .map(|i| RunRecord {
+            app_class: "cfd".into(),
+            signature: RunSignature {
+                mean_step_s: 1.0 + wobble(i),
+                step_cv: 0.1 + wobble(i + 1).abs() * 0.2,
+                io_fraction: 0.2,
+                nodes: ((i % 16) + 1) as f64,
+                scale: 1.0 + (i % 8) as f64,
+            }
+            .to_vec(),
+            runtime_s: 3600.0 + 100.0 * wobble(i),
+            total_steps: 1000,
+            metadata: BTreeMap::new(),
+        })
+        .collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_history");
+    let query = RunSignature {
+        mean_step_s: 1.0,
+        step_cv: 0.15,
+        io_fraction: 0.2,
+        nodes: 8.0,
+        scale: 4.0,
+    };
+    for n in [100usize, 1_000, 10_000] {
+        let recs = history(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &recs, |b, recs| {
+            b.iter(|| knn(black_box(&query), recs, 5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fits,
+    bench_forecaster,
+    bench_detectors,
+    bench_online_rls,
+    bench_knn
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! **Scheduler-substrate micro-costs.**
+//!
+//! The Scheduler loop's Execute phase calls into the batch scheduler; the
+//! world event loop calls `schedule` on every state change. These benches
+//! price those substrate operations so the per-tick loop costs measured
+//! in `loop_tick.rs` can be decomposed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use moda_scheduler::{
+    ExtensionPolicy, JobId, JobRequest, Scheduler, SchedulerConfig,
+};
+use moda_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn request(i: u64, nodes: u32, walltime_s: u64) -> JobRequest {
+    JobRequest {
+        id: JobId(i),
+        user: format!("user{}", i % 7),
+        app_class: "bench".into(),
+        submit: SimTime::ZERO,
+        nodes,
+        walltime: SimDuration::from_secs(walltime_s),
+    }
+}
+
+/// Scheduler with `queued` pending jobs of mixed widths on 64 nodes.
+fn loaded_scheduler(queued: u64) -> Scheduler {
+    let mut s = Scheduler::new(SchedulerConfig {
+        total_nodes: 64,
+        policy: ExtensionPolicy::default(),
+    });
+    for i in 0..queued {
+        // Width mix 1..=32 exercises both FCFS head blocking and backfill.
+        let nodes = 1 + (i * 7 % 32) as u32;
+        s.submit(SimTime::ZERO, request(i, nodes, 600 + i * 13 % 3600), false);
+    }
+    s
+}
+
+/// One FCFS+EASY scheduling pass over queues of increasing depth — the
+/// backfill scan is the scheduler's most expensive periodic operation.
+fn bench_schedule_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_pass");
+    for queued in [16u64, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(queued), &queued, |b, &q| {
+            b.iter_batched(
+                || loaded_scheduler(q),
+                |mut s| black_box(s.schedule(SimTime::from_secs(1))),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The extension hook itself (Fig. 3's Execute edge): shadow-time
+/// recomputation against the head reservation dominates.
+fn bench_request_extension(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_extension");
+    for queued in [0u64, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("vs_queue_depth", queued),
+            &queued,
+            |b, &q| {
+                b.iter_batched(
+                    || {
+                        // One running wide job plus q pending behind it.
+                        let mut s = Scheduler::new(SchedulerConfig {
+                            total_nodes: 64,
+                            policy: ExtensionPolicy::permissive(),
+                        });
+                        s.submit(SimTime::ZERO, request(0, 32, 3600), false);
+                        let started = s.schedule(SimTime::ZERO);
+                        assert_eq!(started.len(), 1);
+                        for i in 1..=q {
+                            s.submit(SimTime::ZERO, request(i, 64, 3600), false);
+                        }
+                        s
+                    },
+                    |mut s| {
+                        black_box(s.request_extension(
+                            SimTime::from_secs(60),
+                            JobId(0),
+                            SimDuration::from_secs(300),
+                        ))
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Walltime enforcement sweep (runs on every world event-loop step).
+fn bench_kill_expired(c: &mut Criterion) {
+    c.bench_function("kill_expired_64_running", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Scheduler::new(SchedulerConfig {
+                    total_nodes: 64,
+                    policy: ExtensionPolicy::default(),
+                });
+                for i in 0..64u64 {
+                    s.submit(SimTime::ZERO, request(i, 1, 60), false);
+                }
+                s.schedule(SimTime::ZERO);
+                s
+            },
+            // At t=120 every limit has passed: worst-case sweep.
+            |mut s| black_box(s.kill_expired(SimTime::from_secs(120))),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_pass,
+    bench_request_extension,
+    bench_kill_expired
+);
+criterion_main!(benches);

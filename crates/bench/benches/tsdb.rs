@@ -1,0 +1,130 @@
+//! **E11 (micro) — monitoring-substrate costs (§IV design considerations).**
+//!
+//! §IV names *insert rates for raw time-series data*, *sampling rates*,
+//! and *cardinality* as the storage design considerations for MODA.
+//! These benches measure the telemetry store on exactly those axes:
+//!
+//! * insert throughput as metric cardinality grows,
+//! * window-query cost as the analysis window widens,
+//! * resampling (the Knowledge-layer downsampling shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::{MetricMeta, SourceDomain, Tsdb, WindowAgg};
+use std::hint::black_box;
+
+fn registered(cardinality: usize, capacity: usize) -> (Tsdb, Vec<moda_telemetry::MetricId>) {
+    let mut db = Tsdb::with_retention(capacity);
+    let ids = (0..cardinality)
+        .map(|i| {
+            db.register(MetricMeta::gauge(
+                format!("node{:04}.metric", i),
+                "unit",
+                SourceDomain::Hardware,
+            ))
+        })
+        .collect();
+    (db, ids)
+}
+
+/// Insert throughput at cardinalities spanning a rack to a small system.
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_insert");
+    for cardinality in [16usize, 256, 4096] {
+        g.throughput(Throughput::Elements(cardinality as u64));
+        g.bench_with_input(
+            BenchmarkId::new("round_robin", cardinality),
+            &cardinality,
+            |b, &n| {
+                let (mut db, ids) = registered(n, 512);
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1_000;
+                    for (i, id) in ids.iter().enumerate() {
+                        db.insert(*id, SimTime(t), black_box(i as f64));
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Batch insert (the collector's hot path: one timestamp, many metrics).
+fn bench_insert_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_insert_batch");
+    for cardinality in [256usize, 4096] {
+        g.throughput(Throughput::Elements(cardinality as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cardinality),
+            &cardinality,
+            |b, &n| {
+                let (mut db, ids) = registered(n, 512);
+                let batch: Vec<_> = ids.iter().map(|id| (*id, 1.0f64)).collect();
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1_000;
+                    db.insert_batch(SimTime(t), black_box(&batch));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Window-query cost as the Analyze window widens (Analyze reads
+/// dominate the loop's steady-state telemetry traffic).
+fn bench_window_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_window");
+    let (mut db, ids) = registered(8, 8192);
+    // One sample/second for two simulated hours.
+    let mut now = SimTime::ZERO;
+    for s in 0..7200u64 {
+        now = SimTime::from_secs(s);
+        for id in &ids {
+            db.insert(*id, now, s as f64);
+        }
+    }
+    for window_s in [60u64, 600, 3600] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(window_s),
+            &window_s,
+            |b, &w| {
+                b.iter(|| db.window(ids[0], black_box(now), SimDuration::from_secs(w)));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Downsampling to Knowledge-layer resolution (§IV: "storage
+/// architecture decisions will then increasingly consider metadata
+/// representations for models" — resampling is the raw→model boundary).
+fn bench_resample(c: &mut Criterion) {
+    let (mut db, ids) = registered(1, 8192);
+    let mut now = SimTime::ZERO;
+    for s in 0..7200u64 {
+        now = SimTime::from_secs(s);
+        db.insert(ids[0], now, (s % 97) as f64);
+    }
+    c.bench_function("tsdb_resample_2h_to_1m_mean", |b| {
+        b.iter(|| {
+            db.resample(
+                ids[0],
+                SimTime::ZERO,
+                black_box(now),
+                SimDuration::from_secs(60),
+                WindowAgg::Mean,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_insert_batch,
+    bench_window_query,
+    bench_resample
+);
+criterion_main!(benches);

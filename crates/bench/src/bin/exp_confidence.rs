@@ -1,0 +1,133 @@
+//! **E10 — confidence-gated actuation (§IV).**
+//!
+//! > *"Confidence measures are required as we move beyond
+//! > human-in-the-loop decision-making."*
+//!
+//! The Scheduler loop attaches a confidence to every plan (forecast
+//! prediction-interval width × marker support). A noisy workload —
+//! high step-time variance plus mid-run phase changes — makes many
+//! early forecasts wrong. Sweeping the Execute-phase confidence gate
+//! trades action volume against action quality:
+//!
+//! * gate 0.0 — act on everything, including junk forecasts,
+//! * higher gates — act only when the interval is tight, at the risk
+//!   of waiting too long for a job that needed help *now*.
+//!
+//! Reports actions executed/blocked, wasted grants (extended jobs that
+//! died anyway), extension overshoot, kills, and the Brier score of the
+//! loop's own confidence calibration.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_confidence`
+
+use moda_bench::table::{f, Table};
+use moda_bench::{extension_errors, STD_HORIZON, STD_TICK};
+use moda_hpc::workload::{self, AppClassSpec, WalltimeErrorModel, WorkloadConfig};
+use moda_hpc::{World, WorldConfig};
+use moda_sim::RngStreams;
+use moda_usecases::harness::{drive, shared, CampaignStats};
+use moda_usecases::scheduler_case::{build_loop, SchedulerLoopConfig};
+
+/// A deliberately noisy workload: wide step-time CV and frequent phase
+/// changes defeat naive extrapolation, so forecast confidence varies.
+fn noisy_campaign(seed: u64) -> Vec<(moda_scheduler::JobRequest, moda_hpc::AppProfile)> {
+    let mut cfd = AppClassSpec::cfd();
+    cfd.step_cv = 0.45;
+    cfd.phase_change_prob = 0.5;
+    cfd.phase_factor = 1.8;
+    workload::generate(
+        &WorkloadConfig {
+            n_jobs: 120,
+            mean_interarrival_s: 60.0,
+            classes: vec![cfd],
+            walltime_error: WalltimeErrorModel {
+                underestimate_frac: 0.3,
+                ..WalltimeErrorModel::default()
+            },
+            ..WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    )
+}
+
+struct Outcome {
+    stats: CampaignStats,
+    executed: usize,
+    blocked: usize,
+    extended_killed: u64,
+    over_ratio: f64,
+    brier: Option<f64>,
+}
+
+fn run(seed: u64, gate: f64) -> Outcome {
+    let world = shared(World::new(WorldConfig {
+        nodes: 32,
+        seed,
+        power_period: None,
+        ..WorldConfig::default()
+    }));
+    world.borrow_mut().submit_campaign(noisy_campaign(seed));
+    let mut l = build_loop(
+        world.clone(),
+        SchedulerLoopConfig {
+            gate_threshold: gate,
+            ..SchedulerLoopConfig::default()
+        },
+    );
+    let mut executed = 0;
+    let mut blocked = 0;
+    drive(&world, STD_TICK, STD_HORIZON, |t| {
+        let r = l.tick(t);
+        executed += r.executed;
+        blocked += r.blocked;
+    });
+    let stats = CampaignStats::collect(&world.borrow());
+    let errs = extension_errors(&world.borrow());
+    Outcome {
+        stats,
+        executed,
+        blocked,
+        extended_killed: errs.extended_killed,
+        over_ratio: errs.mean_over_ratio,
+        brier: l.knowledge().calibration().brier_score(),
+    }
+}
+
+fn main() {
+    let seed = 8;
+    let mut t = Table::new(
+        "E10 — confidence-gate threshold sweep (noisy workload, 30% under-estimation)",
+        &[
+            "gate",
+            "executed",
+            "blocked",
+            "kills",
+            "wasted grants",
+            "over-ratio",
+            "roots done",
+            "Brier",
+        ],
+    );
+    for gate in [0.0, 0.4, 0.6, 0.8, 0.85, 0.9] {
+        let o = run(seed, gate);
+        t.row(vec![
+            f(gate, 2),
+            o.executed.to_string(),
+            o.blocked.to_string(),
+            o.stats.timed_out.to_string(),
+            o.extended_killed.to_string(),
+            f(o.over_ratio, 2),
+            format!("{}/{}", o.stats.roots_completed, o.stats.roots_total),
+            o.brier.map(|b| f(b, 3)).unwrap_or("-".into()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nexpected shape: forecast confidences concentrate above ~0.5 on this\n\
+         workload, so low gates are inert; from ~0.6 the gate starts filtering\n\
+         the widest-interval plans — wasted grants fall — and an aggressive\n\
+         gate (≥0.9) starves the Execute phase until kills climb back toward\n\
+         the no-loop level. The Brier score tracks how honest the loop's\n\
+         confidence labels are (§IV's calibration requirement)."
+    );
+}

@@ -1,0 +1,201 @@
+//! **E9 — continual learning under workload drift (§IV).**
+//!
+//! > *"The constantly evolving nature of the environment requires
+//! > continual/lifelong AI that can evolve rapidly with small overhead."*
+//!
+//! A stream of application runs arrives whose runtime model drifts
+//! mid-campaign (a library upgrade changes per-step cost — a classic
+//! operational shift). Three predictors forecast each run's runtime
+//! from its signature *before* seeing it, then train on the truth:
+//!
+//! * **frozen** — least squares fitted on the pre-drift prefix only
+//!   (the "deploy a model and leave it" strategy),
+//! * **static RLS** — recursive least squares with λ = 1 (remembers
+//!   everything forever; drowns the drift in stale history),
+//! * **forgetting RLS** — λ = 0.97 (the paper's "evolve rapidly with
+//!   small overhead" — same arithmetic cost as static RLS).
+//!
+//! Reports mean absolute percentage error before/after the drift, plus
+//! decision quality: would the predictor have correctly flagged the run
+//! as needing a walltime extension?
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_continual`
+
+use moda_analytics::RlsModel;
+use moda_bench::table::{f, Table};
+use moda_hpc::workload::{self, WorkloadConfig};
+use moda_sim::RngStreams;
+
+struct Sample {
+    /// Features: [1, scale, nodes].
+    x: Vec<f64>,
+    /// True runtime, seconds.
+    runtime_s: f64,
+    /// User-requested walltime, seconds.
+    requested_s: f64,
+}
+
+/// Generate the run stream: the post-drift regime multiplies true step
+/// cost by `drift_factor` (users keep requesting walltime as before).
+fn stream(seed: u64, n: usize, drift_at: usize, drift_factor: f64) -> Vec<Sample> {
+    let jobs = workload::generate(
+        &WorkloadConfig {
+            n_jobs: n,
+            mean_interarrival_s: 1.0,
+            ..WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    );
+    jobs.into_iter()
+        .enumerate()
+        .map(|(i, (req, prof))| {
+            let regime = if i >= drift_at { drift_factor } else { 1.0 };
+            Sample {
+                x: vec![1.0, prof.total_steps as f64 * prof.mean_step_s, req.nodes as f64],
+                runtime_s: prof.total_steps as f64 * prof.mean_step_s * regime,
+                requested_s: req.walltime.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Score {
+    ape_pre: Vec<f64>,
+    ape_post: Vec<f64>,
+    /// Extension-decision agreement with ground truth, post-drift.
+    decisions_ok: usize,
+    decisions: usize,
+}
+
+impl Score {
+    fn record(&mut self, i: usize, drift_at: usize, pred: f64, s: &Sample) {
+        let ape = (pred - s.runtime_s).abs() / s.runtime_s.max(1.0);
+        if i < drift_at {
+            self.ape_pre.push(ape);
+        } else {
+            self.ape_post.push(ape);
+            // Decision proxy: "this run will exceed its request" —
+            // exactly what the Scheduler loop's Plan phase needs to know.
+            let truth = s.runtime_s > s.requested_s;
+            let call = pred > s.requested_s;
+            self.decisions += 1;
+            if truth == call {
+                self.decisions_ok += 1;
+            }
+        }
+    }
+    fn mape(v: &[f64]) -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        100.0 * v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn ols_fit(data: &[(&Vec<f64>, f64)]) -> Vec<f64> {
+    // 3-feature normal equations via RLS with no forgetting — same
+    // solution as batch least squares for λ=1 and large delta.
+    let mut m = RlsModel::new(3, 1.0, 1e6);
+    for (x, y) in data {
+        m.update(x, *y);
+    }
+    m.weights().to_vec()
+}
+
+fn main() {
+    let n = 600;
+    let drift_at = 300;
+    let drift_factor = 1.6;
+    let runs = stream(4242, n, drift_at, drift_factor);
+
+    // Frozen model: fit on the first half of the pre-drift prefix.
+    let train: Vec<(&Vec<f64>, f64)> = runs[..drift_at / 2]
+        .iter()
+        .map(|s| (&s.x, s.runtime_s))
+        .collect();
+    let frozen_w = ols_fit(&train);
+    let predict_frozen =
+        |x: &[f64]| -> f64 { x.iter().zip(&frozen_w).map(|(a, b)| a * b).sum() };
+
+    let mut static_rls = RlsModel::new(3, 1.0, 100.0);
+    let mut forget_rls = RlsModel::new(3, 0.97, 100.0);
+
+    let mut s_frozen = Score::default();
+    let mut s_static = Score::default();
+    let mut s_forget = Score::default();
+
+    for (i, s) in runs.iter().enumerate() {
+        s_frozen.record(i, drift_at, predict_frozen(&s.x), s);
+        s_static.record(i, drift_at, static_rls.predict(&s.x), s);
+        s_forget.record(i, drift_at, forget_rls.predict(&s.x), s);
+        static_rls.update(&s.x, s.runtime_s);
+        forget_rls.update(&s.x, s.runtime_s);
+    }
+
+    let mut t = Table::new(
+        format!(
+            "E9 — forecast error under drift (step cost ×{drift_factor} at run {drift_at}/{n})"
+        ),
+        &[
+            "model",
+            "MAPE pre-drift %",
+            "MAPE post-drift %",
+            "extension-call accuracy post-drift",
+        ],
+    );
+    for (label, sc) in [
+        ("frozen (fit once)", &s_frozen),
+        ("RLS λ=1.00 (never forgets)", &s_static),
+        ("RLS λ=0.97 (continual)", &s_forget),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            f(Score::mape(&sc.ape_pre), 1),
+            f(Score::mape(&sc.ape_post), 1),
+            format!(
+                "{:.0}% ({}/{})",
+                100.0 * sc.decisions_ok as f64 / sc.decisions.max(1) as f64,
+                sc.decisions_ok,
+                sc.decisions
+            ),
+        ]);
+    }
+    t.print();
+
+    // Recovery speed: rolling post-drift error in windows of 50 runs.
+    let mut t2 = Table::new(
+        "E9b — post-drift recovery (MAPE % by 50-run window after the drift)",
+        &["model", "runs 0-49", "50-99", "100-149", "150-199"],
+    );
+    let window_mape = |sc: &Score, w: usize| -> String {
+        let lo = w * 50;
+        let hi = ((w + 1) * 50).min(sc.ape_post.len());
+        if lo >= hi {
+            return "-".into();
+        }
+        f(Score::mape(&sc.ape_post[lo..hi]), 1)
+    };
+    for (label, sc) in [
+        ("frozen", &s_frozen),
+        ("RLS λ=1.00", &s_static),
+        ("RLS λ=0.97", &s_forget),
+    ] {
+        t2.row(vec![
+            label.to_string(),
+            window_mape(sc, 0),
+            window_mape(sc, 1),
+            window_mape(sc, 2),
+            window_mape(sc, 3),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nexpected shape: all three match before the drift; after it the frozen\n\
+         model stays ~(drift−1)·100% wrong forever, λ=1 RLS recovers only as\n\
+         fast as stale history dilutes, and forgetting RLS re-converges within\n\
+         a few dozen runs — at identical per-update cost (§IV: 'evolve rapidly\n\
+         with small overhead')."
+    );
+}

@@ -1,0 +1,131 @@
+//! **E8 — response latency: human-in-the-loop vs autonomy (§I, §IV).**
+//!
+//! > *"Having a human in the loop limits the speed of response and
+//! > consequently, the opportunities for feedback-driven improvements."*
+//!
+//! The same Scheduler-case campaign is run with the Execute phase gated
+//! by increasing approval latencies — from fully autonomous (no human)
+//! through a human-ON-the-loop mode (act immediately, notify with an
+//! explanation) to human-IN-the-loop approval delays from one minute to
+//! eight hours. The §III.v incentive metrics quantify what response
+//! latency costs.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_human`
+
+use moda_bench::table::Table;
+use moda_bench::{std_campaign, std_world, STD_HORIZON, STD_JOBS, STD_TICK};
+use moda_core::AutonomyMode;
+use moda_scheduler::ExtensionPolicy;
+use moda_sim::SimDuration;
+use moda_usecases::harness::{drive, CampaignStats};
+use moda_usecases::scheduler_case::{build_loop, SchedulerLoopConfig};
+
+fn run(seed: u64, mode: Option<AutonomyMode>) -> (CampaignStats, usize) {
+    let world = std_world(seed, ExtensionPolicy::default());
+    world
+        .borrow_mut()
+        .submit_campaign(std_campaign(seed, STD_JOBS, 0.3, 0.0));
+    let mut l = mode.map(|m| {
+        build_loop(
+            world.clone(),
+            SchedulerLoopConfig {
+                mode: m,
+                ..SchedulerLoopConfig::default()
+            },
+        )
+    });
+    drive(&world, STD_TICK, STD_HORIZON, |t| {
+        if let Some(l) = l.as_mut() {
+            l.tick(t);
+        }
+    });
+    let stats = CampaignStats::collect(&world.borrow());
+    let notes = l.map(|l| l.audit().notifications().len()).unwrap_or(0);
+    (stats, notes)
+}
+
+fn main() {
+    let seed = 31;
+    let mut t = Table::new(
+        "E8 — outcome vs response latency (Scheduler case, 30% underestimation)",
+        &[
+            "response mode",
+            "latency",
+            "kills",
+            "resubmits",
+            "extensions",
+            "notifications",
+            "roots done",
+        ],
+    );
+    let modes: Vec<(&str, &str, Option<AutonomyMode>)> = vec![
+        ("no loop", "-", None),
+        ("autonomous", "~0", Some(AutonomyMode::Autonomous)),
+        (
+            "human-on-the-loop",
+            "~0 (notified)",
+            Some(AutonomyMode::HumanOnTheLoop),
+        ),
+        (
+            "human approval",
+            "1 min",
+            Some(AutonomyMode::HumanInTheLoop {
+                latency: SimDuration::from_mins(1),
+            }),
+        ),
+        (
+            "human approval",
+            "5 min",
+            Some(AutonomyMode::HumanInTheLoop {
+                latency: SimDuration::from_mins(5),
+            }),
+        ),
+        (
+            "human approval",
+            "30 min",
+            Some(AutonomyMode::HumanInTheLoop {
+                latency: SimDuration::from_mins(30),
+            }),
+        ),
+        (
+            "human approval",
+            "2 h",
+            Some(AutonomyMode::HumanInTheLoop {
+                latency: SimDuration::from_hours(2),
+            }),
+        ),
+        (
+            "human approval",
+            "8 h",
+            Some(AutonomyMode::HumanInTheLoop {
+                latency: SimDuration::from_hours(8),
+            }),
+        ),
+    ];
+    for (mode_label, latency_label, mode) in modes {
+        let (s, notes) = run(seed, mode);
+        t.row(vec![
+            mode_label.to_string(),
+            latency_label.to_string(),
+            s.timed_out.to_string(),
+            s.resubmits.to_string(),
+            format!("{}+{}p/-{}d", s.ext_granted, s.ext_partial, s.ext_denied),
+            notes.to_string(),
+            format!(
+                "{}/{} ({:.0}%)",
+                s.roots_completed,
+                s.roots_total,
+                100.0 * s.completion_rate()
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nexpected shape: autonomous and human-on-the-loop match (the latter\n\
+         additionally produces an explanation per action); short approval\n\
+         latencies lose a little, and beyond the loop's planning horizon\n\
+         (tens of minutes) approvals land after jobs are already dead —\n\
+         converging back to the no-loop kill rate. Human-on-the-loop is the\n\
+         paper's §IV middle ground: full speed, full explanations."
+    );
+}

@@ -1,0 +1,183 @@
+//! **E5 — the I/O-QoS case (§III, case 2).**
+//!
+//! > *Adapt QoS parameters based on the current application performance
+//! > and system I/O load to decrease interference, reduce tail latency,
+//! > and provide more consistent results for deadline dependent
+//! > workflows.*
+//!
+//! Three tenants share a QoS-managed filesystem: a latency-sensitive
+//! tenant that was under-provisioned, a bulk tenant holding a fat
+//! allocation it barely uses, and a steady medium tenant. The static
+//! configuration leaves the under-provisioned tenant throttled for the
+//! whole campaign; the adaptive loop re-divides the rates.
+//!
+//! Reports per-tenant tail latency (overall and steady-state), I/O
+//! volume, and consistency (latency CV), static vs adaptive.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_io_qos`
+
+use moda_bench::table::{f, Table};
+use moda_hpc::{AppProfile, World, WorldConfig};
+use moda_scheduler::{JobId, JobRequest};
+use moda_sim::{SimDuration, SimTime};
+use moda_usecases::harness::{drive, shared, SharedWorld};
+use moda_usecases::io_qos::{build_loop, QosLoopConfig};
+
+fn io_job(id: u64, user: &str, steps: u64, io_mb: f64, io_every: u64) -> (JobRequest, AppProfile) {
+    (
+        JobRequest {
+            id: JobId(id),
+            user: user.into(),
+            app_class: "io".into(),
+            submit: SimTime::ZERO,
+            nodes: 1,
+            walltime: SimDuration::from_hours(16),
+        },
+        AppProfile {
+            app_class: "io".into(),
+            total_steps: steps,
+            mean_step_s: 2.0,
+            step_cv: 0.05,
+            io_every,
+            io_mb,
+            stripe: 1,
+            phase_change: None,
+            checkpoint_cost_s: 5.0,
+            misconfig: None,
+            scale: 1.0,
+            cores_per_rank: 8,
+        },
+    )
+}
+
+fn qos_world(seed: u64) -> SharedWorld {
+    let mut w = World::new(WorldConfig {
+        nodes: 8,
+        seed,
+        power_period: None,
+        ..WorldConfig::default()
+    });
+    // Mis-divided initial allocations: "lat" writes 100 MB every ~4 s
+    // (25 MB/s demand) against a 10 MB/s allocation; "bulk" holds
+    // 400 MB/s and uses a fraction; "med" is roughly right-sized.
+    w.register_qos("lat", 10.0, 100.0);
+    w.register_qos("bulk", 400.0, 800.0);
+    w.register_qos("med", 60.0, 200.0);
+    w.submit_campaign(vec![
+        io_job(0, "lat", 500, 100.0, 2),
+        io_job(1, "bulk", 300, 60.0, 4),
+        io_job(2, "med", 400, 80.0, 2),
+    ]);
+    shared(w)
+}
+
+struct TenantReport {
+    p99_all_ms: f64,
+    p99_steady_ms: f64,
+    cv: f64,
+    ops: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() as f64 - 1.0) * q) as usize]
+}
+
+fn tenant_report(w: &SharedWorld, user: &str) -> TenantReport {
+    let wb = w.borrow();
+    let Some(s) = wb.io_latency(user) else {
+        return TenantReport {
+            p99_all_ms: 0.0,
+            p99_steady_ms: 0.0,
+            cv: 0.0,
+            ops: 0,
+        };
+    };
+    let samples = s.samples();
+    let mut all: Vec<f64> = samples.to_vec();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut steady: Vec<f64> = samples[samples.len() / 2..].to_vec();
+    steady.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        / samples.len() as f64;
+    TenantReport {
+        p99_all_ms: percentile(&all, 0.99),
+        p99_steady_ms: percentile(&steady, 0.99),
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        ops: samples.len(),
+    }
+}
+
+fn run(seed: u64, adaptive: bool, tick_s: u64) -> (SharedWorld, usize) {
+    let w = qos_world(seed);
+    let mut l = build_loop(w.clone(), QosLoopConfig::default());
+    let mut retunes = 0;
+    drive(
+        &w,
+        SimDuration::from_secs(tick_s),
+        SimTime::from_hours(16),
+        |t| {
+            if adaptive {
+                retunes += l.tick(t).executed;
+            }
+        },
+    );
+    (w, retunes)
+}
+
+fn main() {
+    let seed = 21;
+    let mut t = Table::new(
+        "E5 — I/O QoS adaptation (p99 latency ms; steady-state = later half)",
+        &[
+            "variant", "tenant", "p99 all", "p99 steady", "lat CV", "writes", "final MB/s",
+        ],
+    );
+    for (label, adaptive) in [("static QoS", false), ("adaptive loop", true)] {
+        let (w, retunes) = run(seed, adaptive, 30);
+        for user in ["lat", "med", "bulk"] {
+            let r = tenant_report(&w, user);
+            let rate = w.borrow().qos.rate(user).unwrap_or(0.0);
+            t.row(vec![
+                label.to_string(),
+                user.to_string(),
+                f(r.p99_all_ms, 0),
+                f(r.p99_steady_ms, 0),
+                f(r.cv, 2),
+                r.ops.to_string(),
+                f(rate, 0),
+            ]);
+        }
+        if adaptive {
+            println!("(adaptive loop executed {retunes} rate retunes)");
+        }
+    }
+    t.print();
+
+    // Part 2: the paper's "MAPE-K loops of decreasing size and increasing
+    // automation" — a faster loop reacts within fewer slow writes.
+    let mut t2 = Table::new(
+        "E5b — loop cadence vs starved tenant's steady-state p99 (ms)",
+        &["loop period", "p99 steady", "p99 all"],
+    );
+    for tick_s in [10u64, 30, 120, 600] {
+        let (w, _) = run(seed, true, tick_s);
+        let r = tenant_report(&w, "lat");
+        t2.row(vec![
+            format!("{tick_s} s"),
+            f(r.p99_steady_ms, 0),
+            f(r.p99_all_ms, 0),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nexpected shape: static QoS pins the under-provisioned tenant at\n\
+         multi-second tail latency for the whole run; the adaptive loop drives\n\
+         its steady-state p99 down by an order of magnitude, funding the boost\n\
+         from the idle bulk allocation, while the right-sized tenant is left\n\
+         alone. Faster loop cadences shorten the transient (E5b)."
+    );
+}

@@ -1,0 +1,187 @@
+//! **E12 — Knowledge reuse across runs (§III).**
+//!
+//! > *"Prior Knowledge of running time and progress rate (which might
+//! > have to be inferred from similar jobs with different input
+//! > decks)."*
+//!
+//! Two questions about the K in MAPE-K:
+//!
+//! * **E12a** — how much history does a useful cold-start estimate
+//!   need? k-NN runtime estimation over behavioral signatures, swept by
+//!   history depth; error and the estimator's own confidence.
+//! * **E12b** — does history help a *campaign*? The Scheduler loop is
+//!   forced onto its cold-start path (per-job markers disabled) and run
+//!   with empty vs seeded Knowledge.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_knowledge`
+
+use moda_analytics::similarity::{estimate_runtime, RunSignature};
+use moda_bench::table::{f, Table};
+use moda_bench::{std_campaign, std_world, STD_HORIZON, STD_TICK};
+use moda_core::knowledge::RunRecord;
+use moda_core::Knowledge;
+use moda_hpc::workload::{self, WorkloadConfig};
+use moda_scheduler::ExtensionPolicy;
+use moda_sim::RngStreams;
+use moda_usecases::harness::{drive, CampaignStats};
+use moda_usecases::scheduler_case::{build_loop, SchedulerLoopConfig};
+use std::collections::BTreeMap;
+
+/// History records drawn from the same generator as the campaign: runs
+/// of the paper's "similar jobs with different input decks".
+fn history(seed: u64, n: usize) -> Vec<RunRecord> {
+    if n == 0 {
+        return Vec::new();
+    }
+    workload::generate(
+        &WorkloadConfig {
+            n_jobs: n,
+            mean_interarrival_s: 1.0,
+            ..WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    )
+    .into_iter()
+    .map(|(req, prof)| RunRecord {
+        app_class: prof.app_class.clone(),
+        signature: RunSignature {
+            mean_step_s: 0.0,
+            step_cv: 0.0,
+            io_fraction: 0.0,
+            nodes: 0.0,
+            scale: prof.scale,
+        }
+        .to_vec(),
+        runtime_s: prof.total_steps as f64 * prof.mean_step_s,
+        total_steps: prof.total_steps,
+        metadata: {
+            let mut m = BTreeMap::new();
+            m.insert("nodes".into(), req.nodes.to_string());
+            m
+        },
+    })
+    .collect()
+}
+
+fn part_a(seed: u64) {
+    // Fresh queries from a different generator seed: different input
+    // decks, same families.
+    let queries = history(seed + 1000, 60);
+    let mut t = Table::new(
+        "E12a — cold-start runtime estimation vs history depth (k-NN, k=5)",
+        &["history runs", "MAPE %", "median APE %", "mean confidence"],
+    );
+    for depth in [0usize, 1, 5, 25, 100, 400] {
+        let records = history(seed, depth);
+        let mut apes: Vec<f64> = Vec::new();
+        let mut confs: Vec<f64> = Vec::new();
+        for q in &queries {
+            let sig = RunSignature::from_slice(&q.signature).expect("query signature");
+            match estimate_runtime(&sig, &records, 5) {
+                Some((est, c)) => {
+                    apes.push(100.0 * (est - q.runtime_s).abs() / q.runtime_s.max(1.0));
+                    confs.push(c.value());
+                }
+                None => {
+                    // No estimate: score as total miss with zero confidence.
+                    apes.push(100.0);
+                    confs.push(0.0);
+                }
+            }
+        }
+        apes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mape = apes.iter().sum::<f64>() / apes.len() as f64;
+        let median = apes[apes.len() / 2];
+        let conf = confs.iter().sum::<f64>() / confs.len() as f64;
+        t.row(vec![
+            depth.to_string(),
+            f(mape, 1),
+            f(median, 1),
+            f(conf, 2),
+        ]);
+    }
+    t.print();
+}
+
+fn part_b(seed: u64) {
+    // The loop harvests completed runs into Knowledge as the campaign
+    // proceeds (Fig. 3's assess/refine arc), so even an unseeded
+    // cold-start loop bootstraps itself after the first completions.
+    // Seeded history can only matter in the campaign's opening phase —
+    // measured here as kills among the 30 earliest-submitted roots.
+    let mut t = Table::new(
+        "E12b — campaign outcome with the loop forced onto its cold-start path",
+        &["knowledge", "kills", "early kills (first 30 roots)", "extensions", "roots done"],
+    );
+    let variants: Vec<(String, Option<usize>)> = vec![
+        ("no loop".into(), None),
+        ("seeded: none".into(), Some(0)),
+        ("seeded: 25 runs".into(), Some(25)),
+        ("seeded: 400 runs".into(), Some(400)),
+    ];
+    for (label, depth) in variants {
+        let world = std_world(seed, ExtensionPolicy::default());
+        world
+            .borrow_mut()
+            .submit_campaign(std_campaign(seed, 120, 0.3, 0.0));
+        let mut l = depth.map(|d| {
+            let mut k = Knowledge::new();
+            for r in history(seed + 7, d) {
+                k.record_run(r);
+            }
+            build_loop(
+                world.clone(),
+                SchedulerLoopConfig {
+                    // Never trust per-job markers: every estimate must
+                    // come from Knowledge history (pure cold start).
+                    min_markers: usize::MAX,
+                    gate_threshold: 0.0,
+                    ..SchedulerLoopConfig::default()
+                },
+            )
+            .with_knowledge(k)
+        });
+        drive(&world, STD_TICK, STD_HORIZON, |t| {
+            if let Some(l) = l.as_mut() {
+                l.tick(t);
+            }
+        });
+        let s = CampaignStats::collect(&world.borrow());
+        let early_kills = {
+            let wb = world.borrow();
+            wb.sched
+                .jobs()
+                .filter(|j| {
+                    j.state == moda_scheduler::JobState::TimedOut
+                        && wb.root_of(j.req.id).map(|r| r.0 < 30).unwrap_or(false)
+                })
+                .count()
+        };
+        t.row(vec![
+            label,
+            s.timed_out.to_string(),
+            early_kills.to_string(),
+            format!("{}+{}p/-{}d", s.ext_granted, s.ext_partial, s.ext_denied),
+            format!("{}/{}", s.roots_completed, s.roots_total),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let seed = 2024;
+    part_a(seed);
+    part_b(seed);
+    println!(
+        "\nexpected shape: estimation error and confidence improve steeply over\n\
+         the first tens of historical runs and saturate (nearest-neighbor\n\
+         coverage of the input-deck space). A single record is worse than\n\
+         none: one neighbor answers every query. In the campaign, even an\n\
+         unseeded loop beats the no-loop baseline — it harvests its own run\n\
+         history as completions arrive (the Fig. 3 refine arc) — and seeded\n\
+         history pays off mostly in the cold opening phase (early kills).\n\
+         Class-level history cannot see per-run drift, so per-job markers\n\
+         (the full loop, E3) remain necessary for the rest."
+    );
+}

@@ -1,0 +1,121 @@
+//! **E4 — the Maintenance case (§III, case 1).**
+//!
+//! > *Responses to system maintenance events to ensure continuity of
+//! > running jobs.*
+//!
+//! A full-system maintenance window is announced mid-campaign. Without
+//! the loop, jobs still running at the window start are killed and their
+//! resubmissions restart from step zero. With the loop, at-risk jobs are
+//! checkpointed just before the window so resubmissions resume.
+//!
+//! Sweeps the outage duration and reports continuity (jobs surviving
+//! via checkpoint), redone work, and campaign makespan.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_maintenance`
+
+use moda_bench::table::{f, Table};
+use moda_hpc::workload::{self, AppClassSpec, WorkloadConfig};
+use moda_hpc::{World, WorldConfig};
+use moda_sim::{Dist, RngStreams, SimDuration, SimTime};
+use moda_usecases::harness::{drive, shared, CampaignStats};
+use moda_usecases::maintenance::{build_loop, MaintenanceLoopConfig};
+
+/// Long-running simulation jobs: 1–4 h of work each, so the machine is
+/// full of vulnerable state when the window is announced.
+fn long_class() -> AppClassSpec {
+    let mut c = AppClassSpec::cfd();
+    c.steps = Dist::Uniform {
+        lo: 2_000.0,
+        hi: 4_000.0,
+    };
+    c.mean_step_s = Dist::Uniform { lo: 2.0, hi: 4.0 };
+    c.checkpoint_cost_s = 30.0;
+    c
+}
+
+fn run(seed: u64, outage_h: u64, with_loop: bool) -> CampaignStats {
+    let world = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: 24,
+            seed,
+            power_period: None,
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(workload::generate(
+            &WorkloadConfig {
+                n_jobs: 40,
+                mean_interarrival_s: 120.0,
+                classes: vec![long_class()],
+                ..WorkloadConfig::default()
+            },
+            &RngStreams::new(seed),
+            0,
+        ));
+        w
+    });
+    let mut l = build_loop(world.clone(), MaintenanceLoopConfig::default());
+    // Short-notice maintenance (a failing PDU, an urgent security
+    // patch): announced 10 minutes ahead, while the machine is full.
+    // The scheduler's drain protects the *queue*; only the loop can
+    // protect *running* work, by checkpointing it before the window.
+    let announce = SimTime::from_secs(3 * 3600 - 10 * 60);
+    drive(
+        &world,
+        SimDuration::from_secs(20),
+        SimTime::from_hours(24 * 10),
+        |t| {
+            if t == announce {
+                world.borrow_mut().add_outage(
+                    SimTime::from_hours(3),
+                    SimTime::from_hours(3 + outage_h),
+                );
+            }
+            if with_loop {
+                l.tick(t);
+            }
+        },
+    );
+    let stats = CampaignStats::collect(&world.borrow());
+    stats
+}
+
+fn main() {
+    let seed = 77;
+    let mut t = Table::new(
+        "E4 — continuity through maintenance windows (outage at t=3 h)",
+        &[
+            "outage",
+            "variant",
+            "roots done",
+            "outage-killed",
+            "ckpts",
+            "resubmits",
+            "steps (redone work)",
+            "makespan-h",
+        ],
+    );
+    for outage_h in [1u64, 2, 4] {
+        for (label, with_loop) in [("baseline", false), ("maintenance loop", true)] {
+            let s = run(seed, outage_h, with_loop);
+            t.row(vec![
+                format!("{outage_h} h"),
+                label.to_string(),
+                format!("{}/{}", s.roots_completed, s.roots_total),
+                s.maintenance_killed.to_string(),
+                s.checkpoints.to_string(),
+                s.resubmits.to_string(),
+                s.steps_completed.to_string(),
+                f(s.makespan_s / 3600.0, 1),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nexpected shape: the same jobs are interrupted either way (the window\n\
+         kills what is still running), but with the loop every interrupted job\n\
+         was checkpointed first — resubmissions resume instead of restarting, so\n\
+         total executed steps (work volume) drop and the campaign finishes\n\
+         earlier. The saving scales with the work in flight at the window (not\n\
+         with the outage length, which shifts both variants equally)."
+    );
+}

@@ -1,0 +1,189 @@
+//! **E7 — the Misconfiguration case (§III, case 4).**
+//!
+//! > *Detection of misconfiguration of user jobs such as unintended
+//! > mismatch of threads to cores, underutilization of CPUs or GPUs, or
+//! > wrong library search paths. … users could either be informed about
+//! > their mistake …, or the misconfiguration could be corrected on the
+//! > fly.*
+//!
+//! Campaigns carry a configurable fraction of misconfigured jobs
+//! (known ground truth). The loop watches configuration/utilization
+//! snapshots of running jobs and routes each finding: auto-correct or
+//! inform. Reports detection precision/recall, median time-to-detect,
+//! and the work saved by on-the-fly correction vs inform-only.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_misconfig`
+
+use moda_bench::table::{f, Table};
+use moda_hpc::{workload, World, WorldConfig};
+use moda_scheduler::JobId;
+use moda_sim::{RngStreams, SimDuration, SimTime};
+use moda_usecases::harness::{drive, shared, CampaignStats};
+use moda_usecases::misconfig::{build_loop, MisconfigLoopConfig};
+use std::collections::{HashMap, HashSet};
+
+struct Outcome {
+    stats: CampaignStats,
+    corrections: u64,
+    precision: f64,
+    recall: f64,
+    median_detect_s: f64,
+    informs: usize,
+}
+
+fn run(seed: u64, rate: f64, auto_correct: bool, with_loop: bool) -> Outcome {
+    let jobs = workload::generate(
+        &workload::WorkloadConfig {
+            n_jobs: 100,
+            mean_interarrival_s: 90.0,
+            misconfig_rate: rate,
+            ..workload::WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    );
+    let truth: HashSet<u64> = jobs
+        .iter()
+        .filter(|(_, p)| p.misconfig.is_some())
+        .map(|(r, _)| r.id.0)
+        .collect();
+    let n_roots = jobs.len() as u64;
+
+    let world = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: 24,
+            seed,
+            power_period: None,
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(jobs);
+        w
+    });
+    let mut l = build_loop(
+        world.clone(),
+        MisconfigLoopConfig {
+            auto_correct,
+            ..MisconfigLoopConfig::default()
+        },
+    );
+
+    // Track when each job's finding was handled, by polling the loop's
+    // Knowledge facts (the assessor sets `job.N.misconfig_handled`).
+    let mut handled_at: HashMap<u64, SimTime> = HashMap::new();
+    drive(
+        &world,
+        SimDuration::from_secs(30),
+        SimTime::from_hours(24 * 7),
+        |t| {
+            if !with_loop {
+                return;
+            }
+            l.tick(t);
+            // Resubmits get fresh ids; the campaign may grow past n_roots.
+            let max_id = 4 * n_roots;
+            for id in 0..max_id {
+                if handled_at.contains_key(&id) {
+                    continue;
+                }
+                if l
+                    .knowledge()
+                    .fact(&format!("job.{id}.misconfig_handled"))
+                    .unwrap_or(0.0)
+                    > 0.0
+                {
+                    handled_at.insert(id, t);
+                }
+            }
+        },
+    );
+
+    // Score root jobs only (resubmission attempts inherit the root's
+    // ground truth but would double-count).
+    let detected_roots: HashSet<u64> = handled_at.keys().copied().filter(|id| *id < n_roots).collect();
+    let tp = detected_roots.intersection(&truth).count() as f64;
+    let fp = (detected_roots.len() as f64) - tp;
+    let fnr = truth.len() as f64 - tp;
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 1.0 };
+    let recall = if tp + fnr > 0.0 { tp / (tp + fnr) } else { 1.0 };
+
+    // Time-to-detect relative to the job's start.
+    let mut delays: Vec<f64> = Vec::new();
+    {
+        let wb = world.borrow();
+        for (&id, &t) in &handled_at {
+            if id >= n_roots || !truth.contains(&id) {
+                continue;
+            }
+            if let Some(start) = wb.sched.job(JobId(id)).and_then(|j| j.start) {
+                delays.push(t.saturating_since(start).as_secs_f64());
+            }
+        }
+    }
+    delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_detect_s = delays.get(delays.len() / 2).copied().unwrap_or(0.0);
+
+    let stats = CampaignStats::collect(&world.borrow());
+    let corrections = world.borrow().metrics.corrections;
+    // "Inform" responses are recorded as plan outcomes; audit
+    // notifications would additionally require human-on-the-loop mode.
+    let informs = l
+        .knowledge()
+        .outcomes()
+        .iter()
+        .filter(|o| o.kind == "inform")
+        .count();
+    Outcome {
+        stats,
+        corrections,
+        precision,
+        recall,
+        median_detect_s,
+        informs,
+    }
+}
+
+fn main() {
+    let seed = 99;
+    let mut t = Table::new(
+        "E7 — misconfiguration detection and response (100-job campaigns)",
+        &[
+            "misconfig rate",
+            "variant",
+            "precision",
+            "recall",
+            "median detect-s",
+            "corrections",
+            "informs",
+            "steps",
+            "makespan-h",
+        ],
+    );
+    for rate in [0.1, 0.3] {
+        for (label, auto, with_loop) in [
+            ("no loop", false, false),
+            ("inform-only", false, true),
+            ("auto-correct", true, true),
+        ] {
+            let o = run(seed, rate, auto, with_loop);
+            t.row(vec![
+                format!("{:.0}%", rate * 100.0),
+                label.to_string(),
+                if with_loop { f(o.precision, 2) } else { "-".into() },
+                if with_loop { f(o.recall, 2) } else { "-".into() },
+                if with_loop { f(o.median_detect_s, 0) } else { "-".into() },
+                o.corrections.to_string(),
+                o.informs.to_string(),
+                o.stats.steps_completed.to_string(),
+                f(o.stats.makespan_s / 3600.0, 1),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nexpected shape: high precision (rule detectors see the configured\n\
+         thread/core and GPU facts, so false positives need noisy utilization)\n\
+         and full recall within one or two loop ticks of job start; auto-correct\n\
+         removes the misconfiguration slowdown on the fly, cutting executed\n\
+         steps-equivalent time and campaign makespan vs inform-only."
+    );
+}

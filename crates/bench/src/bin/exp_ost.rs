@@ -1,0 +1,145 @@
+//! **E6 — the OST case (§III, case 3).**
+//!
+//! > *Response by an application, from continuous evaluation of storage
+//! > back-end write performance, to close files using a poorly
+//! > performing OST … then reopen them using different OSTs.*
+//!
+//! One OST of four silently degrades mid-campaign. Without the loop,
+//! jobs striped over it crawl until completion. With the loop, per-OST
+//! CUSUM charts detect the bandwidth shift and the application hook
+//! reopens affected files on healthy targets.
+//!
+//! Sweeps degradation severity; reports detection delay, campaign
+//! completion time, and slowdown relative to a healthy run.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_ost`
+
+use moda_bench::table::{f, Table};
+use moda_hpc::{AppProfile, World, WorldConfig};
+use moda_pfs::{OstId, PfsConfig};
+use moda_scheduler::{JobId, JobRequest};
+use moda_sim::{SimDuration, SimTime};
+use moda_usecases::harness::{drive, shared, SharedWorld};
+use moda_usecases::ost::{build_loop, OstLoopConfig};
+
+fn io_job(id: u64, steps: u64) -> (JobRequest, AppProfile) {
+    (
+        JobRequest {
+            id: JobId(id),
+            user: "io-user".into(),
+            app_class: "io".into(),
+            submit: SimTime::ZERO,
+            nodes: 1,
+            walltime: SimDuration::from_hours(12),
+        },
+        AppProfile {
+            app_class: "io".into(),
+            total_steps: steps,
+            mean_step_s: 2.0,
+            step_cv: 0.05,
+            io_every: 2,
+            io_mb: 100.0,
+            stripe: 1,
+            phase_change: None,
+            checkpoint_cost_s: 5.0,
+            misconfig: None,
+            scale: 1.0,
+            cores_per_rank: 8,
+        },
+    )
+}
+
+fn io_world(seed: u64) -> SharedWorld {
+    let mut w = World::new(WorldConfig {
+        nodes: 4,
+        seed,
+        power_period: None,
+        pfs: PfsConfig {
+            num_osts: 4,
+            ost_bandwidth: 500.0,
+            default_stripe: 1,
+            base_latency_ms: 1,
+        },
+        ..WorldConfig::default()
+    });
+    // Three I/O-heavy jobs: at stripe 1 and round-robin allocation, at
+    // least one lands on the to-be-degraded OST 0.
+    w.submit_campaign(vec![io_job(0, 1500), io_job(1, 1500), io_job(2, 1500)]);
+    shared(w)
+}
+
+struct RunOutcome {
+    makespan_s: f64,
+    detect_delay_s: Option<f64>,
+    reopens: usize,
+}
+
+/// Run a campaign; degrade OST 0 to `health` (1.0 = no injection) at
+/// t = 600 s; with or without the loop.
+fn run(seed: u64, health: f64, with_loop: bool) -> RunOutcome {
+    let inject_at = SimTime::from_secs(600);
+    let w = io_world(seed);
+    let mut l = build_loop(w.clone(), OstLoopConfig::default());
+    let mut detect_at: Option<SimTime> = None;
+    let mut reopens = 0usize;
+    drive(&w, SimDuration::from_secs(10), SimTime::from_hours(12), |t| {
+        if t == inject_at && health < 1.0 {
+            w.borrow_mut().pfs.set_ost_health(OstId(0), health);
+        }
+        if with_loop {
+            let r = l.tick(t);
+            if r.executed > 0 {
+                reopens += r.executed;
+                detect_at.get_or_insert(t);
+            }
+        }
+    });
+    let makespan_s = w.borrow().last_progress().as_secs_f64();
+    RunOutcome {
+        makespan_s,
+        detect_delay_s: detect_at.map(|t| t.saturating_since(inject_at).as_secs_f64()),
+        reopens,
+    }
+}
+
+fn main() {
+    let seed = 5;
+    let healthy = run(seed, 1.0, false);
+    println!(
+        "healthy reference (no degradation): campaign finishes in {:.0} s",
+        healthy.makespan_s
+    );
+
+    let mut t = Table::new(
+        "E6 — OST degradation response (OST0 degraded at t=600 s)",
+        &[
+            "residual bw",
+            "variant",
+            "makespan-s",
+            "slowdown vs healthy",
+            "detect-delay-s",
+            "reopens",
+        ],
+    );
+    for health in [0.5, 0.1, 0.02] {
+        for (label, with_loop) in [("no loop", false), ("OST loop", true)] {
+            let r = run(seed, health, with_loop);
+            t.row(vec![
+                format!("{:.0}%", health * 100.0),
+                label.to_string(),
+                f(r.makespan_s, 0),
+                format!("{:.2}x", r.makespan_s / healthy.makespan_s),
+                r.detect_delay_s.map(|d| f(d, 0)).unwrap_or("-".into()),
+                r.reopens.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nexpected shape: without the loop, slowdown scales with severity (a 2%\n\
+         residual-bandwidth OST makes striped writes ~50x slower); the loop\n\
+         detects the shift within a few samples and restores near-healthy\n\
+         completion times at every severity. Detection is fastest for severe\n\
+         degradation (larger CUSUM drift per sample)."
+    );
+}

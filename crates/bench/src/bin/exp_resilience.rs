@@ -1,0 +1,153 @@
+//! **E13 — resilience through proactive checkpointing (§IV extension).**
+//!
+//! > *"Distributed autonomy … will be useful for robust and resilient
+//! > operations. Resilience is essential in HPC systems where operations
+//! > must persist through component and subsystem failures."*
+//!
+//! Fail-stop node faults are injected at a per-node MTBF; a campaign of
+//! long jobs runs with (a) no protection, (b) fixed checkpoint cadences
+//! bracketing the optimum, and (c) Young's √(2·C·MTBF) cadence computed
+//! from the failure rate — Knowledge turned into policy. Reported: work
+//! redone after failures, checkpoint overhead paid, and makespan.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_resilience`
+
+use moda_bench::table::{f, Table};
+use moda_hpc::workload::{self, AppClassSpec, WorkloadConfig};
+use moda_hpc::{FailureConfig, World, WorldConfig};
+use moda_sim::{Dist, RngStreams, SimDuration, SimTime};
+use moda_usecases::harness::{drive, shared, CampaignStats};
+use moda_usecases::resilience::{build_loop, CheckpointCadence, ResilienceLoopConfig};
+
+const NODES: u32 = 16;
+const CKPT_COST_S: f64 = 30.0;
+
+fn long_class() -> AppClassSpec {
+    let mut c = AppClassSpec::cfd();
+    c.steps = Dist::Uniform {
+        lo: 2_000.0,
+        hi: 5_000.0,
+    };
+    c.mean_step_s = Dist::Uniform { lo: 2.0, hi: 4.0 };
+    c.checkpoint_cost_s = CKPT_COST_S;
+    c.phase_change_prob = 0.0;
+    c
+}
+
+fn campaign(seed: u64) -> Vec<(moda_scheduler::JobRequest, moda_hpc::AppProfile)> {
+    workload::generate(
+        &WorkloadConfig {
+            n_jobs: 30,
+            mean_interarrival_s: 120.0,
+            classes: vec![long_class()],
+            // No walltime-request error: this experiment isolates
+            // failure-induced rework (E3 covers walltime kills).
+            walltime_error: workload::WalltimeErrorModel {
+                underestimate_frac: 0.0,
+                ..workload::WalltimeErrorModel::default()
+            },
+            ..WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    )
+}
+
+fn run(seed: u64, node_mtbf_s: f64, cadence: Option<CheckpointCadence>) -> CampaignStats {
+    let w = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: NODES,
+            seed,
+            power_period: None,
+            failure: Some(FailureConfig { node_mtbf_s }),
+            resubmit_delay: SimDuration::from_mins(2),
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(campaign(seed));
+        w
+    });
+    let mut l = cadence.map(|c| build_loop(w.clone(), ResilienceLoopConfig { cadence: c }));
+    drive(
+        &w,
+        SimDuration::from_secs(30),
+        SimTime::from_hours(24 * 30),
+        |t| {
+            if let Some(l) = l.as_mut() {
+                l.tick(t);
+            }
+        },
+    );
+    let stats = CampaignStats::collect(&w.borrow());
+    stats
+}
+
+fn main() {
+    let seed = 17;
+    // Nominal work volume: the campaign's step count with zero rework.
+    let nominal: u64 = campaign(seed).iter().map(|(_, p)| p.total_steps).sum();
+    let clean = run(seed, f64::INFINITY, None);
+    println!(
+        "failure-free reference: {} steps nominal, makespan {:.1} h",
+        nominal,
+        clean.makespan_s / 3600.0
+    );
+
+    let mut t = Table::new(
+        format!(
+            "E13 — checkpoint cadence vs node failures ({NODES} nodes, C = {CKPT_COST_S:.0} s)"
+        ),
+        &[
+            "node MTBF",
+            "system MTBF",
+            "cadence",
+            "failures",
+            "ckpts",
+            "redone steps",
+            "makespan-h",
+            "roots done",
+        ],
+    );
+    for node_mtbf_h in [48.0f64, 12.0] {
+        let node_mtbf_s = node_mtbf_h * 3600.0;
+        let system_mtbf_s = node_mtbf_s / NODES as f64;
+        let young_s = moda_hpc::young_interval_s(CKPT_COST_S, system_mtbf_s);
+        let cadences: Vec<(String, Option<CheckpointCadence>)> = vec![
+            ("none".into(), None),
+            (
+                format!("fixed {:.0} s (Young/4)", young_s / 4.0),
+                Some(CheckpointCadence::Fixed(young_s / 4.0)),
+            ),
+            (
+                format!("Young {young_s:.0} s"),
+                Some(CheckpointCadence::Young { system_mtbf_s }),
+            ),
+            (
+                format!("fixed {:.0} s (Young×4)", young_s * 4.0),
+                Some(CheckpointCadence::Fixed(young_s * 4.0)),
+            ),
+        ];
+        for (label, cadence) in cadences {
+            let s = run(seed, node_mtbf_s, cadence);
+            let redone = s.steps_completed.saturating_sub(nominal);
+            t.row(vec![
+                format!("{node_mtbf_h:.0} h"),
+                format!("{:.1} h", system_mtbf_s / 3600.0),
+                label,
+                s.failures.to_string(),
+                s.checkpoints.to_string(),
+                redone.to_string(),
+                f(s.makespan_s / 3600.0, 1),
+                format!("{}/{}", s.roots_completed, s.roots_total),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nexpected shape: without checkpoints, redone work scales with the\n\
+         failure rate; any cadence cuts it sharply. Too-frequent checkpointing\n\
+         (Young/4) trades rework for checkpoint overhead, too-rare (Young×4)\n\
+         leaves rework on the table; Young's interval sits at or near the\n\
+         makespan minimum — the loop's Knowledge (observed MTBF) turned\n\
+         directly into policy (§IV)."
+    );
+}

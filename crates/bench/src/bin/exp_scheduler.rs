@@ -1,0 +1,102 @@
+//! **E3 — the Scheduler case (Fig. 3, §III.iv–v).**
+//!
+//! Sweeps the user walltime-underestimation fraction and compares the
+//! baseline (kill + resubmit) against the autonomy loop, in three
+//! variants: extension-only, extension+checkpoint fallback, and a
+//! guardrail ablation (permissive scheduler policy). Reports the §III.v
+//! incentive metrics (completions up, resubmissions down), the §III.iv
+//! trust metrics (extension over/under-estimation, reservation delay,
+//! idle-while-queued node time), and work redone.
+//!
+//! Run with: `cargo run --release -p moda-bench --bin exp_scheduler`
+
+use moda_bench::table::{f, Table};
+use moda_bench::{run_sched_campaign, ExtensionErrors};
+use moda_scheduler::ExtensionPolicy;
+use moda_usecases::harness::CampaignStats;
+use moda_usecases::scheduler_case::SchedulerLoopConfig;
+
+fn row(
+    t: &mut Table,
+    label: &str,
+    under: f64,
+    s: &CampaignStats,
+    e: &ExtensionErrors,
+) {
+    t.row(vec![
+        format!("{:.0}%", under * 100.0),
+        label.to_string(),
+        format!("{}/{}", s.roots_completed, s.roots_total),
+        s.timed_out.to_string(),
+        s.resubmits.to_string(),
+        s.steps_completed.to_string(),
+        format!("{}+{}p/-{}d", s.ext_granted, s.ext_partial, s.ext_denied),
+        f(s.ext_time_granted_s, 0),
+        f(e.mean_error_s, 0),
+        f(e.mean_over_ratio, 2),
+        e.extended_killed.to_string(),
+        f(s.reservation_delay_s, 0),
+        f(s.idle_queued_node_s / 1000.0, 1),
+        f(s.utilization, 3),
+    ]);
+}
+
+fn main() {
+    let seed = 1234;
+    let mut t = Table::new(
+        "E3 — Scheduler autonomy loop vs baseline (per §III.iv–v metrics)",
+        &[
+            "under-est",
+            "variant",
+            "roots done",
+            "kills",
+            "resubmits",
+            "steps",
+            "extensions",
+            "ext-s",
+            "err-s",
+            "over-ratio",
+            "ext-killed",
+            "resv-delay-s",
+            "idleq-kns",
+            "util",
+        ],
+    );
+    for under in [0.1, 0.2, 0.4] {
+        let (base, be) = run_sched_campaign(seed, under, ExtensionPolicy::default(), None);
+        row(&mut t, "baseline", under, &base, &be);
+
+        let ext_only = SchedulerLoopConfig {
+            enable_checkpoint: false,
+            ..SchedulerLoopConfig::default()
+        };
+        let (s1, e1) =
+            run_sched_campaign(seed, under, ExtensionPolicy::default(), Some(ext_only));
+        row(&mut t, "loop: extend", under, &s1, &e1);
+
+        let (s2, e2) = run_sched_campaign(
+            seed,
+            under,
+            ExtensionPolicy::default(),
+            Some(SchedulerLoopConfig::default()),
+        );
+        row(&mut t, "loop: extend+ckpt", under, &s2, &e2);
+
+        // Guardrail ablation: the scheduler grants everything (§III.iv
+        // trust controls OFF) — completions rise marginally but the
+        // reservation-delay trust metric blows up.
+        let (s3, e3) = run_sched_campaign(
+            seed,
+            under,
+            ExtensionPolicy::permissive(),
+            Some(SchedulerLoopConfig::default()),
+        );
+        row(&mut t, "loop: no guardrails", under, &s3, &e3);
+    }
+    t.print();
+    println!(
+        "\nexpected shape: the loop cuts kills/resubmits and redone steps at every\n\
+         underestimation level; guardrails trade a little completion for bounded\n\
+         reservation delay (the §III.iv trust argument)."
+    );
+}

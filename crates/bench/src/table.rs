@@ -1,0 +1,103 @@
+//! Aligned-table rendering for experiment output.
+//!
+//! Experiments print GitHub-flavoured markdown tables so EXPERIMENTS.md
+//! can quote them verbatim.
+
+/// A simple right-aligned markdown table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as markdown with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("\n### {}\n\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}:|", "-".repeat(w + 1)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with the given precision (helper for row building).
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.row(vec!["1".into(), "10.5".into()]);
+        t.row(vec!["200".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("|   x | value |"));
+        assert!(s.contains("| 200 |     3 |"));
+        assert!(s.contains("----:|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_helper() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,246 @@
+//! Audit trail, explanations, and human-on-the-loop notifications.
+//!
+//! §IV: "A human-on-the-loop approach would have the loop continue
+//! without waiting for user and administrator input, but sending them
+//! notifications and explanation about decisions that allow for observing
+//! its effects when necessary." The paper also ties production adoption
+//! to "appropriate auditing and trust levels" (§V).
+//!
+//! Every phase transition of a loop iteration lands in the [`AuditLog`];
+//! actions additionally emit [`Notification`]s when the loop runs in
+//! human-on-the-loop mode. Logs are bounded rings so long campaigns
+//! cannot exhaust memory.
+
+use moda_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Category of an audit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditKind {
+    /// Monitor produced an observation.
+    Observed,
+    /// Monitor had no data; iteration skipped.
+    NoData,
+    /// Analyzer produced an assessment.
+    Assessed,
+    /// Planner emitted a (non-empty) plan.
+    Planned,
+    /// An action was executed.
+    Executed,
+    /// An action was blocked (guardrail or confidence gate).
+    Blocked,
+    /// An action was queued for human approval.
+    Queued,
+    /// A queued action was released and executed after approval latency.
+    Approved,
+    /// A notification was sent to humans.
+    Notified,
+    /// Knowledge was refined from an executed action's outcome.
+    Refined,
+}
+
+/// One audit event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditEvent {
+    /// When it happened.
+    pub t: SimTime,
+    /// Which loop emitted it.
+    pub loop_name: String,
+    /// Category.
+    pub kind: AuditKind,
+    /// Free-text detail (the explanation surface).
+    pub detail: String,
+    /// Confidence attached to the decision, when applicable.
+    pub confidence: Option<f64>,
+}
+
+/// A message to human operators with an explanation of a decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Notification {
+    /// When it was sent.
+    pub t: SimTime,
+    /// Which loop sent it.
+    pub loop_name: String,
+    /// What the loop did or wants to do.
+    pub subject: String,
+    /// Why — the planner's rationale.
+    pub explanation: String,
+    /// Whether the loop proceeded without waiting (human-ON-the-loop) or
+    /// is waiting for approval (human-IN-the-loop).
+    pub proceeded: bool,
+}
+
+/// Bounded ring of audit events plus the notification outbox.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditLog {
+    events: VecDeque<AuditEvent>,
+    notifications: Vec<Notification>,
+    capacity: usize,
+    total_events: u64,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::new(4096)
+    }
+}
+
+impl AuditLog {
+    /// Log retaining at most `capacity` events (notifications are not
+    /// bounded; they are the product the humans consume).
+    pub fn new(capacity: usize) -> Self {
+        AuditLog {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            notifications: Vec::new(),
+            capacity: capacity.max(1),
+            total_events: 0,
+        }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, ev: AuditEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total_events += 1;
+    }
+
+    /// Convenience: append an event with the given fields.
+    pub fn record(
+        &mut self,
+        t: SimTime,
+        loop_name: &str,
+        kind: AuditKind,
+        detail: impl Into<String>,
+        confidence: Option<f64>,
+    ) {
+        self.push(AuditEvent {
+            t,
+            loop_name: loop_name.to_string(),
+            kind,
+            detail: detail.into(),
+            confidence,
+        });
+    }
+
+    /// Send a notification (also mirrored as a `Notified` audit event).
+    pub fn notify(&mut self, n: Notification) {
+        self.record(
+            n.t,
+            &n.loop_name.clone(),
+            AuditKind::Notified,
+            n.subject.clone(),
+            None,
+        );
+        self.notifications.push(n);
+    }
+
+    /// Retained events, oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &AuditEvent> {
+        self.events.iter()
+    }
+
+    /// All notifications sent.
+    pub fn notifications(&self) -> &[Notification] {
+        &self.notifications
+    }
+
+    /// Lifetime event count (including evicted).
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Count of retained events of a kind.
+    pub fn count(&self, kind: AuditKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Render the retained trail as human-readable lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let conf = e
+                .confidence
+                .map(|c| format!(" (conf {:.2})", c))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "[{}] {} {:?}: {}{}",
+                e.t, e.loop_name, e.kind, e.detail, conf
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u64, kind: AuditKind) -> AuditEvent {
+        AuditEvent {
+            t: SimTime::from_secs(s),
+            loop_name: "L".into(),
+            kind,
+            detail: "d".into(),
+            confidence: None,
+        }
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut log = AuditLog::new(16);
+        log.push(ev(1, AuditKind::Observed));
+        log.push(ev(2, AuditKind::Planned));
+        log.push(ev(3, AuditKind::Planned));
+        assert_eq!(log.count(AuditKind::Planned), 2);
+        assert_eq!(log.count(AuditKind::Observed), 1);
+        assert_eq!(log.count(AuditKind::Blocked), 0);
+        assert_eq!(log.total_events(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = AuditLog::new(2);
+        log.push(ev(1, AuditKind::Observed));
+        log.push(ev(2, AuditKind::Assessed));
+        log.push(ev(3, AuditKind::Planned));
+        let kinds: Vec<AuditKind> = log.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![AuditKind::Assessed, AuditKind::Planned]);
+        assert_eq!(log.total_events(), 3);
+    }
+
+    #[test]
+    fn notify_mirrors_into_events() {
+        let mut log = AuditLog::new(16);
+        log.notify(Notification {
+            t: SimTime::from_secs(5),
+            loop_name: "sched".into(),
+            subject: "requested 300s extension".into(),
+            explanation: "forecast exceeds allocation by 280s".into(),
+            proceeded: true,
+        });
+        assert_eq!(log.notifications().len(), 1);
+        assert_eq!(log.count(AuditKind::Notified), 1);
+        assert!(log.notifications()[0].proceeded);
+    }
+
+    #[test]
+    fn record_with_confidence_renders() {
+        let mut log = AuditLog::new(16);
+        log.record(
+            SimTime::from_secs(1),
+            "L",
+            AuditKind::Executed,
+            "extended by 300s",
+            Some(0.87),
+        );
+        let text = log.render();
+        assert!(text.contains("Executed"));
+        assert!(text.contains("0.87"));
+        assert!(text.contains("extended by 300s"));
+    }
+}

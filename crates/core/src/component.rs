@@ -1,0 +1,214 @@
+//! The four MAPE phase traits.
+//!
+//! The split of responsibilities follows §II of the paper:
+//!
+//! * **Monitor** collects data about an element of interest through
+//!   *sensors*. Implementations own their hook into the managed system
+//!   (a TSDB handle, a job id, a channel) — the loop engine stays agnostic.
+//! * **Analyze** interprets observations against Knowledge. It has *no*
+//!   system access: analysis must be a pure function of data, which is
+//!   what makes analyzers interchangeable between sites.
+//! * **Plan** chooses a response, attaching a [`Confidence`] and a
+//!   human-readable rationale to every action (the §IV explainability
+//!   requirement).
+//! * **Execute** carries out actions through *actuator hooks* and reports
+//!   the managed system's response — which may be a refusal: "the
+//!   scheduler may deny the request or provide a shorter extension than
+//!   requested" (§III).
+//! * **Assess** closes the K-loop: after execution, it refines Knowledge
+//!   with the outcome ("Assess the Knowledge about the success of the
+//!   Plan", §III).
+
+use crate::confidence::Confidence;
+use crate::domain::Domain;
+use crate::knowledge::Knowledge;
+use moda_sim::SimTime;
+
+/// Phase M: collect observations from the managed system.
+pub trait Monitor<D: Domain> {
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "monitor"
+    }
+    /// Produce the current observation, or `None` if no (new) data is
+    /// available — a loop iteration without data is skipped, not an error.
+    fn observe(&mut self, now: SimTime) -> Option<D::Obs>;
+
+    /// Harvest durable history into Knowledge, called once per iteration
+    /// before [`Monitor::observe`]. Fig. 3's prior knowledge ("running
+    /// time, progress rate … collected and stored along with appropriate
+    /// metadata") enters the loop here: monitors that watch entities with
+    /// a lifecycle record each one's behavioral summary when it ends.
+    /// The default is a no-op for monitors of memoryless signals.
+    fn ingest(&mut self, _now: SimTime, _k: &mut Knowledge) {}
+}
+
+/// Phase A: interpret an observation in the light of Knowledge.
+pub trait Analyzer<D: Domain> {
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "analyzer"
+    }
+    /// Produce an assessment of the situation.
+    fn analyze(&mut self, now: SimTime, obs: &D::Obs, k: &Knowledge) -> D::Assessment;
+}
+
+/// One action chosen by Plan, with the metadata the trust machinery needs.
+#[derive(Debug, Clone)]
+pub struct PlannedAction<A> {
+    /// The domain action to execute.
+    pub action: A,
+    /// Budget category for guardrails (e.g. `"extension"`, `"checkpoint"`).
+    pub kind: String,
+    /// Magnitude charged against the kind's budget (e.g. extension
+    /// seconds); 0 for unweighted actions.
+    pub magnitude: f64,
+    /// Confidence that this action is the right response.
+    pub confidence: Confidence,
+    /// Human-readable explanation — what a human-on-the-loop notification
+    /// carries (§IV).
+    pub rationale: String,
+}
+
+impl<A> PlannedAction<A> {
+    /// Convenience constructor with kind, unit magnitude, and rationale.
+    pub fn new(action: A, kind: impl Into<String>, confidence: Confidence) -> Self {
+        PlannedAction {
+            action,
+            kind: kind.into(),
+            magnitude: 0.0,
+            confidence,
+            rationale: String::new(),
+        }
+    }
+
+    /// Attach a budget magnitude.
+    pub fn with_magnitude(mut self, m: f64) -> Self {
+        self.magnitude = m;
+        self
+    }
+
+    /// Attach a rationale.
+    pub fn with_rationale(mut self, r: impl Into<String>) -> Self {
+        self.rationale = r.into();
+        self
+    }
+}
+
+/// The output of Plan: zero or more actions for this iteration.
+#[derive(Debug, Clone)]
+pub struct Plan<A> {
+    /// Actions in execution order.
+    pub actions: Vec<PlannedAction<A>>,
+}
+
+impl<A> Plan<A> {
+    /// A plan that does nothing — the common, healthy case.
+    pub fn none() -> Self {
+        Plan {
+            actions: Vec::new(),
+        }
+    }
+
+    /// A plan with a single action.
+    pub fn single(action: PlannedAction<A>) -> Self {
+        Plan {
+            actions: vec![action],
+        }
+    }
+
+    /// Whether the plan contains no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// Phase P: decide what to do about an assessment.
+pub trait Planner<D: Domain> {
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "planner"
+    }
+    /// Produce the response plan (possibly empty).
+    fn plan(&mut self, now: SimTime, assessment: &D::Assessment, k: &Knowledge) -> Plan<D::Action>;
+}
+
+/// Phase E: carry out an action through actuator hooks.
+pub trait Executor<D: Domain> {
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "executor"
+    }
+    /// Execute one action; the returned outcome is the managed system's
+    /// actual response (grant, partial grant, denial, failure...).
+    fn execute(&mut self, now: SimTime, action: &D::Action) -> D::Outcome;
+}
+
+/// Knowledge refinement after execution (the K-assessment of §III).
+pub trait Assessor<D: Domain> {
+    /// Refine Knowledge given what was attempted and what happened.
+    fn assess(
+        &mut self,
+        now: SimTime,
+        action: &PlannedAction<D::Action>,
+        outcome: &D::Outcome,
+        k: &mut Knowledge,
+    );
+}
+
+/// Assessor that records nothing — for loops whose Knowledge is updated
+/// by the Monitor/Analyzer path alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopAssessor;
+
+impl<D: Domain> Assessor<D> for NoopAssessor {
+    fn assess(
+        &mut self,
+        _now: SimTime,
+        _action: &PlannedAction<D::Action>,
+        _outcome: &D::Outcome,
+        _k: &mut Knowledge,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ScalarDomain;
+
+    #[test]
+    fn planned_action_builder() {
+        let a = PlannedAction::new(5.0, "extension", Confidence::new(0.8))
+            .with_magnitude(300.0)
+            .with_rationale("ETA exceeds remaining allocation");
+        assert_eq!(a.kind, "extension");
+        assert_eq!(a.magnitude, 300.0);
+        assert_eq!(a.confidence.value(), 0.8);
+        assert!(a.rationale.contains("ETA"));
+    }
+
+    #[test]
+    fn plan_constructors() {
+        let none: Plan<f64> = Plan::none();
+        assert!(none.is_empty());
+        let one = Plan::single(PlannedAction::new(1.0, "x", Confidence::CERTAIN));
+        assert_eq!(one.actions.len(), 1);
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn noop_assessor_leaves_knowledge_untouched() {
+        let mut k = Knowledge::new();
+        let before = k.outcome_count();
+        let mut a = NoopAssessor;
+        Assessor::<ScalarDomain>::assess(
+            &mut a,
+            SimTime::ZERO,
+            &PlannedAction::new(1.0, "x", Confidence::CERTAIN),
+            &true,
+            &mut k,
+        );
+        assert_eq!(k.outcome_count(), before);
+    }
+}

@@ -1,0 +1,251 @@
+//! Confidence measures for autonomous decisions.
+//!
+//! §IV: "our analyses will also be expanded to include determination of
+//! confidence in the models for decision-making ... Confidence measures
+//! are required as we move beyond human-in-the-loop decision-making."
+//!
+//! A [`Confidence`] is a clamped `[0, 1]` score attached to every planned
+//! action. The [`ConfidenceGate`] decides whether a score clears the
+//! actuation threshold, and the [`CalibrationTracker`] scores the model's
+//! confidences against realized outcomes (Brier score + per-bucket
+//! calibration), which is how a site earns trust in a loop over time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A probability-like confidence score, clamped to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Certain.
+    pub const CERTAIN: Confidence = Confidence(1.0);
+    /// No information.
+    pub const NONE: Confidence = Confidence(0.0);
+
+    /// Construct, clamping into `[0, 1]` (NaN maps to 0).
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            Confidence(0.0)
+        } else {
+            Confidence(v.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Combine two independent supporting confidences (product rule —
+    /// both must hold).
+    pub fn and(self, other: Confidence) -> Confidence {
+        Confidence(self.0 * other.0)
+    }
+
+    /// Confidence from a relative prediction-interval half-width: a
+    /// forecast of `x ± w` maps to `1 / (1 + w/|x| * k)`. Tight intervals
+    /// → high confidence; `k` sets how quickly it decays (default 1).
+    pub fn from_interval(estimate: f64, half_width: f64, k: f64) -> Confidence {
+        if !estimate.is_finite() || !half_width.is_finite() || estimate.abs() < f64::EPSILON {
+            return Confidence::NONE;
+        }
+        let rel = (half_width / estimate.abs()).max(0.0);
+        Confidence::new(1.0 / (1.0 + rel * k.max(0.0)))
+    }
+
+    /// Confidence from sample support: more observations of the same
+    /// behaviour → higher confidence, saturating at 1 (`n / (n + n0)`).
+    pub fn from_support(n: u64, n0: f64) -> Confidence {
+        Confidence::new(n as f64 / (n as f64 + n0.max(f64::MIN_POSITIVE)))
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+/// Threshold gate deciding whether a confidence clears autonomous
+/// actuation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConfidenceGate {
+    /// Minimum confidence for autonomous execution.
+    pub threshold: f64,
+}
+
+impl Default for ConfidenceGate {
+    /// A permissive default (0.5): every experiment sweeps this.
+    fn default() -> Self {
+        ConfidenceGate { threshold: 0.5 }
+    }
+}
+
+impl ConfidenceGate {
+    /// Gate with the given threshold.
+    pub fn new(threshold: f64) -> Self {
+        ConfidenceGate {
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Does `c` clear the gate?
+    pub fn passes(&self, c: Confidence) -> bool {
+        c.value() >= self.threshold
+    }
+}
+
+/// Tracks how well confidence scores match realized outcomes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CalibrationTracker {
+    records: Vec<(f64, bool)>,
+}
+
+impl CalibrationTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a decision's predicted confidence and whether it turned out
+    /// well.
+    pub fn record(&mut self, predicted: Confidence, success: bool) {
+        self.records.push((predicted.value(), success));
+    }
+
+    /// Number of scored decisions.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Brier score: mean squared error between confidence and outcome
+    /// (0 = perfect, 0.25 = uninformative coin flip at p=0.5).
+    pub fn brier_score(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .records
+            .iter()
+            .map(|&(p, s)| {
+                let o = if s { 1.0 } else { 0.0 };
+                (p - o) * (p - o)
+            })
+            .sum();
+        Some(sum / self.records.len() as f64)
+    }
+
+    /// Per-decile calibration: for each confidence bucket `[i/10, (i+1)/10)`,
+    /// `(mean predicted, empirical success rate, count)`.
+    pub fn calibration_curve(&self) -> Vec<(f64, f64, usize)> {
+        let mut buckets: Vec<(f64, f64, usize)> = vec![(0.0, 0.0, 0); 10];
+        for &(p, s) in &self.records {
+            let idx = ((p * 10.0) as usize).min(9);
+            let b = &mut buckets[idx];
+            b.0 += p;
+            b.1 += if s { 1.0 } else { 0.0 };
+            b.2 += 1;
+        }
+        buckets
+            .into_iter()
+            .filter(|b| b.2 > 0)
+            .map(|(sp, ss, n)| (sp / n as f64, ss / n as f64, n))
+            .collect()
+    }
+
+    /// Overall success rate of scored decisions.
+    pub fn success_rate(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let ok = self.records.iter().filter(|&&(_, s)| s).count();
+        Some(ok as f64 / self.records.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_and_nan() {
+        assert_eq!(Confidence::new(1.5).value(), 1.0);
+        assert_eq!(Confidence::new(-0.5).value(), 0.0);
+        assert_eq!(Confidence::new(f64::NAN).value(), 0.0);
+        assert_eq!(Confidence::new(0.7).value(), 0.7);
+    }
+
+    #[test]
+    fn and_is_product() {
+        let c = Confidence::new(0.8).and(Confidence::new(0.5));
+        assert!((c.value() - 0.4).abs() < 1e-12);
+        assert_eq!(Confidence::CERTAIN.and(Confidence::new(0.3)).value(), 0.3);
+    }
+
+    #[test]
+    fn from_interval_tighter_is_higher() {
+        let tight = Confidence::from_interval(100.0, 5.0, 1.0);
+        let loose = Confidence::from_interval(100.0, 50.0, 1.0);
+        assert!(tight.value() > loose.value());
+        assert!((tight.value() - 1.0 / 1.05).abs() < 1e-12);
+        assert_eq!(Confidence::from_interval(0.0, 1.0, 1.0), Confidence::NONE);
+        assert_eq!(
+            Confidence::from_interval(f64::NAN, 1.0, 1.0),
+            Confidence::NONE
+        );
+    }
+
+    #[test]
+    fn from_support_saturates() {
+        assert_eq!(Confidence::from_support(0, 5.0).value(), 0.0);
+        let half = Confidence::from_support(5, 5.0);
+        assert!((half.value() - 0.5).abs() < 1e-12);
+        assert!(Confidence::from_support(1000, 5.0).value() > 0.99);
+    }
+
+    #[test]
+    fn gate_threshold_inclusive() {
+        let g = ConfidenceGate::new(0.6);
+        assert!(g.passes(Confidence::new(0.6)));
+        assert!(g.passes(Confidence::new(0.9)));
+        assert!(!g.passes(Confidence::new(0.59)));
+    }
+
+    #[test]
+    fn brier_score_perfect_and_coinflip() {
+        let mut t = CalibrationTracker::new();
+        assert_eq!(t.brier_score(), None);
+        t.record(Confidence::new(1.0), true);
+        t.record(Confidence::new(0.0), false);
+        assert_eq!(t.brier_score(), Some(0.0));
+
+        let mut coin = CalibrationTracker::new();
+        coin.record(Confidence::new(0.5), true);
+        coin.record(Confidence::new(0.5), false);
+        assert_eq!(coin.brier_score(), Some(0.25));
+    }
+
+    #[test]
+    fn calibration_curve_buckets() {
+        let mut t = CalibrationTracker::new();
+        // 10 decisions at 0.85 confidence, 8 succeed → bucket 8.
+        for i in 0..10 {
+            t.record(Confidence::new(0.85), i < 8);
+        }
+        let curve = t.calibration_curve();
+        assert_eq!(curve.len(), 1);
+        let (mean_p, emp, n) = curve[0];
+        assert!((mean_p - 0.85).abs() < 1e-12);
+        assert!((emp - 0.8).abs() < 1e-12);
+        assert_eq!(n, 10);
+        assert_eq!(t.success_rate(), Some(0.8));
+        assert_eq!(t.count(), 10);
+    }
+
+    #[test]
+    fn confidence_display() {
+        assert_eq!(Confidence::new(0.72).to_string(), "72%");
+        assert_eq!(Confidence::new(1.0).to_string(), "100%");
+    }
+}

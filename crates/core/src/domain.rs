@@ -1,0 +1,50 @@
+//! Typed vocabulary of a loop.
+//!
+//! A `Domain` names the four data types that flow around one MAPE-K loop.
+//! Keeping them in one trait (rather than four free type parameters)
+//! means a loop over domain `D` can swap any single component for another
+//! implementation of the same phase — the interchangeability the paper
+//! asks for in §II.ii — while the compiler still rejects wiring a
+//! scheduler-case planner into an I/O-QoS loop.
+
+use std::fmt::Debug;
+
+/// The typed vocabulary of one autonomy-loop family.
+pub trait Domain: 'static {
+    /// What Monitor produces: a snapshot of sensor readings relevant to
+    /// this loop (e.g. progress markers + remaining allocation).
+    type Obs: Clone + Debug;
+    /// What Analyze produces: the interpreted situation (e.g. projected
+    /// completion time with a prediction interval).
+    type Assessment: Clone + Debug;
+    /// What Plan produces and Execute consumes: a concrete response
+    /// (e.g. request a 20-minute extension; signal checkpoint).
+    type Action: Clone + Debug;
+    /// What Execute reports back: the managed system's response (e.g.
+    /// extension granted in part) — feeds Knowledge assessment.
+    type Outcome: Clone + Debug;
+}
+
+/// A minimal domain for tests and micro-benchmarks: everything is `f64`
+/// except the outcome, which reports whether actuation succeeded.
+#[derive(Debug)]
+pub struct ScalarDomain;
+
+impl Domain for ScalarDomain {
+    type Obs = f64;
+    type Assessment = f64;
+    type Action = f64;
+    type Outcome = bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_domain<D: Domain>() {}
+
+    #[test]
+    fn scalar_domain_satisfies_bounds() {
+        assert_domain::<ScalarDomain>();
+    }
+}

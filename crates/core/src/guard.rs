@@ -1,0 +1,367 @@
+//! Guardrails on autonomous actions.
+//!
+//! §III.iv: trust "could be done by additional controls, such as limits
+//! on the number and overall time of extensions for a single application".
+//! A [`Guard`] enforces exactly such budgets *between* Plan and Execute:
+//! per-kind action counts, per-kind cumulative magnitude (e.g. total
+//! extension seconds), a minimum gap between actions, and a sliding-window
+//! rate limit. Blocked actions are reported with a machine-readable
+//! [`BlockReason`] so experiments can account for them.
+
+use moda_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Why the guard refused an action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockReason {
+    /// Per-kind count budget exhausted.
+    CountBudget {
+        /// Budget kind.
+        kind: String,
+        /// Configured limit.
+        limit: u32,
+    },
+    /// Per-kind cumulative-magnitude budget exhausted.
+    MagnitudeBudget {
+        /// Budget kind.
+        kind: String,
+        /// Configured limit.
+        limit: f64,
+        /// Magnitude already spent.
+        spent: f64,
+    },
+    /// Too soon after the previous action of this kind.
+    MinGap {
+        /// Budget kind.
+        kind: String,
+        /// Required gap.
+        gap: SimDuration,
+    },
+    /// Sliding-window rate limit hit (any kind).
+    RateLimit {
+        /// Window length.
+        window: SimDuration,
+        /// Max actions per window.
+        limit: u32,
+    },
+    /// Confidence below the actuation gate (reported by the loop engine,
+    /// carried here so all block accounting shares one type).
+    LowConfidence {
+        /// The action's confidence.
+        confidence: f64,
+        /// The gate threshold.
+        threshold: f64,
+    },
+}
+
+impl std::fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockReason::CountBudget { kind, limit } => {
+                write!(f, "count budget for '{kind}' exhausted (limit {limit})")
+            }
+            BlockReason::MagnitudeBudget { kind, limit, spent } => write!(
+                f,
+                "magnitude budget for '{kind}' exhausted ({spent:.1}/{limit:.1})"
+            ),
+            BlockReason::MinGap { kind, gap } => {
+                write!(f, "min gap {gap} for '{kind}' not elapsed")
+            }
+            BlockReason::RateLimit { window, limit } => {
+                write!(f, "rate limit {limit} per {window} hit")
+            }
+            BlockReason::LowConfidence {
+                confidence,
+                threshold,
+            } => write!(f, "confidence {confidence:.2} below threshold {threshold:.2}"),
+        }
+    }
+}
+
+/// Static guard configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Per-kind maximum number of actions (e.g. `extension → 3`).
+    pub max_count: HashMap<String, u32>,
+    /// Per-kind maximum cumulative magnitude (e.g. `extension → 3600 s`).
+    pub max_magnitude: HashMap<String, f64>,
+    /// Per-kind minimum time between actions.
+    pub min_gap: HashMap<String, SimDuration>,
+    /// Global sliding-window rate limit across all kinds.
+    pub rate_limit: Option<(SimDuration, u32)>,
+}
+
+impl GuardConfig {
+    /// No limits at all (every action passes).
+    pub fn unlimited() -> Self {
+        GuardConfig::default()
+    }
+
+    /// Builder: cap the number of actions of `kind`.
+    pub fn with_max_count(mut self, kind: impl Into<String>, n: u32) -> Self {
+        self.max_count.insert(kind.into(), n);
+        self
+    }
+
+    /// Builder: cap cumulative magnitude of `kind`.
+    pub fn with_max_magnitude(mut self, kind: impl Into<String>, m: f64) -> Self {
+        self.max_magnitude.insert(kind.into(), m);
+        self
+    }
+
+    /// Builder: require a minimum gap between actions of `kind`.
+    pub fn with_min_gap(mut self, kind: impl Into<String>, gap: SimDuration) -> Self {
+        self.min_gap.insert(kind.into(), gap);
+        self
+    }
+
+    /// Builder: global sliding-window rate limit.
+    pub fn with_rate_limit(mut self, window: SimDuration, n: u32) -> Self {
+        self.rate_limit = Some((window, n));
+        self
+    }
+}
+
+/// Runtime guard state.
+#[derive(Debug, Clone, Default)]
+pub struct Guard {
+    config: GuardConfig,
+    counts: HashMap<String, u32>,
+    magnitudes: HashMap<String, f64>,
+    last_action: HashMap<String, SimTime>,
+    recent: VecDeque<SimTime>,
+    blocked: u64,
+    allowed: u64,
+}
+
+impl Guard {
+    /// Guard with the given configuration.
+    pub fn new(config: GuardConfig) -> Self {
+        Guard {
+            config,
+            ..Guard::default()
+        }
+    }
+
+    /// Would an action of `kind`/`magnitude` at `now` be allowed?
+    /// Does not mutate state.
+    pub fn check(&self, now: SimTime, kind: &str, magnitude: f64) -> Result<(), BlockReason> {
+        if let Some(&limit) = self.config.max_count.get(kind) {
+            if self.counts.get(kind).copied().unwrap_or(0) >= limit {
+                return Err(BlockReason::CountBudget {
+                    kind: kind.to_string(),
+                    limit,
+                });
+            }
+        }
+        if let Some(&limit) = self.config.max_magnitude.get(kind) {
+            let spent = self.magnitudes.get(kind).copied().unwrap_or(0.0);
+            if spent + magnitude > limit {
+                return Err(BlockReason::MagnitudeBudget {
+                    kind: kind.to_string(),
+                    limit,
+                    spent,
+                });
+            }
+        }
+        if let Some(&gap) = self.config.min_gap.get(kind) {
+            if let Some(&last) = self.last_action.get(kind) {
+                if now.saturating_since(last) < gap {
+                    return Err(BlockReason::MinGap {
+                        kind: kind.to_string(),
+                        gap,
+                    });
+                }
+            }
+        }
+        if let Some((window, limit)) = self.config.rate_limit {
+            // Membership by age, not by absolute cutoff: a saturating
+            // `now - window` near t=0 must not exclude young actions.
+            let in_window = self
+                .recent
+                .iter()
+                .filter(|&&t| now.saturating_since(t) < window)
+                .count();
+            if in_window as u32 >= limit {
+                return Err(BlockReason::RateLimit { window, limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record an allowed action (call after a successful `check`).
+    pub fn commit(&mut self, now: SimTime, kind: &str, magnitude: f64) {
+        *self.counts.entry(kind.to_string()).or_insert(0) += 1;
+        *self.magnitudes.entry(kind.to_string()).or_insert(0.0) += magnitude;
+        self.last_action.insert(kind.to_string(), now);
+        if let Some((window, _)) = self.config.rate_limit {
+            while self
+                .recent
+                .front()
+                .is_some_and(|&t| now.saturating_since(t) >= window)
+            {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(now);
+        }
+        self.allowed += 1;
+    }
+
+    /// Check and commit in one call.
+    pub fn admit(&mut self, now: SimTime, kind: &str, magnitude: f64) -> Result<(), BlockReason> {
+        match self.check(now, kind, magnitude) {
+            Ok(()) => {
+                self.commit(now, kind, magnitude);
+                Ok(())
+            }
+            Err(e) => {
+                self.blocked += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Actions admitted so far.
+    pub fn allowed_count(&self) -> u64 {
+        self.allowed
+    }
+
+    /// Actions blocked so far.
+    pub fn blocked_count(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Actions of `kind` admitted so far.
+    pub fn count_of(&self, kind: &str) -> u32 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Cumulative magnitude of `kind` admitted so far.
+    pub fn magnitude_of(&self, kind: &str) -> f64 {
+        self.magnitudes.get(kind).copied().unwrap_or(0.0)
+    }
+
+    /// Immutable view of the configuration.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let mut g = Guard::new(GuardConfig::unlimited());
+        for i in 0..100 {
+            assert!(g.admit(t(i), "x", 1e9).is_ok());
+        }
+        assert_eq!(g.allowed_count(), 100);
+        assert_eq!(g.blocked_count(), 0);
+    }
+
+    #[test]
+    fn count_budget_blocks_after_limit() {
+        let mut g = Guard::new(GuardConfig::unlimited().with_max_count("ext", 2));
+        assert!(g.admit(t(1), "ext", 0.0).is_ok());
+        assert!(g.admit(t(2), "ext", 0.0).is_ok());
+        let err = g.admit(t(3), "ext", 0.0).unwrap_err();
+        assert!(matches!(err, BlockReason::CountBudget { limit: 2, .. }));
+        // Other kinds unaffected.
+        assert!(g.admit(t(3), "ckpt", 0.0).is_ok());
+        assert_eq!(g.count_of("ext"), 2);
+        assert_eq!(g.blocked_count(), 1);
+    }
+
+    #[test]
+    fn magnitude_budget_accumulates() {
+        let mut g = Guard::new(GuardConfig::unlimited().with_max_magnitude("ext", 100.0));
+        assert!(g.admit(t(1), "ext", 60.0).is_ok());
+        // 60 + 50 > 100 → blocked.
+        let err = g.admit(t(2), "ext", 50.0).unwrap_err();
+        assert!(matches!(err, BlockReason::MagnitudeBudget { .. }));
+        // But a smaller action still fits.
+        assert!(g.admit(t(3), "ext", 40.0).is_ok());
+        assert_eq!(g.magnitude_of("ext"), 100.0);
+    }
+
+    #[test]
+    fn min_gap_enforced_per_kind() {
+        let mut g =
+            Guard::new(GuardConfig::unlimited().with_min_gap("ext", SimDuration::from_secs(10)));
+        assert!(g.admit(t(0), "ext", 0.0).is_ok());
+        assert!(matches!(
+            g.admit(t(5), "ext", 0.0).unwrap_err(),
+            BlockReason::MinGap { .. }
+        ));
+        assert!(g.admit(t(10), "ext", 0.0).is_ok());
+        // Different kind has no gap configured.
+        assert!(g.admit(t(10), "other", 0.0).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_sliding_window() {
+        let mut g = Guard::new(
+            GuardConfig::unlimited().with_rate_limit(SimDuration::from_secs(60), 2),
+        );
+        assert!(g.admit(t(0), "a", 0.0).is_ok());
+        assert!(g.admit(t(10), "b", 0.0).is_ok());
+        assert!(matches!(
+            g.admit(t(20), "c", 0.0).unwrap_err(),
+            BlockReason::RateLimit { .. }
+        ));
+        // Window slides by age: at t=61 the t=0 action is 61s old and has
+        // left the 60s window, so one slot frees.
+        assert!(g.admit(t(61), "d", 0.0).is_ok());
+        // Both t=10 (51s old) and t=61 are still in window → blocked.
+        assert!(matches!(
+            g.admit(t(62), "e", 0.0).unwrap_err(),
+            BlockReason::RateLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn check_does_not_mutate() {
+        let g = Guard::new(GuardConfig::unlimited().with_max_count("x", 1));
+        assert!(g.check(t(0), "x", 0.0).is_ok());
+        assert!(g.check(t(0), "x", 0.0).is_ok());
+        assert_eq!(g.allowed_count(), 0);
+    }
+
+    #[test]
+    fn block_reason_display() {
+        let r = BlockReason::CountBudget {
+            kind: "ext".into(),
+            limit: 3,
+        };
+        assert!(r.to_string().contains("ext"));
+        let r2 = BlockReason::LowConfidence {
+            confidence: 0.2,
+            threshold: 0.5,
+        };
+        assert!(r2.to_string().contains("0.20"));
+    }
+
+    #[test]
+    fn combined_limits_all_apply() {
+        let mut g = Guard::new(
+            GuardConfig::unlimited()
+                .with_max_count("ext", 10)
+                .with_max_magnitude("ext", 100.0)
+                .with_min_gap("ext", SimDuration::from_secs(1)),
+        );
+        assert!(g.admit(t(0), "ext", 99.0).is_ok());
+        // Magnitude budget trips before count budget.
+        assert!(matches!(
+            g.admit(t(5), "ext", 50.0).unwrap_err(),
+            BlockReason::MagnitudeBudget { .. }
+        ));
+    }
+}

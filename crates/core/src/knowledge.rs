@@ -1,0 +1,342 @@
+//! The K in MAPE-K.
+//!
+//! §II: Knowledge "can include, for example, progress rate of an
+//! application compared with that of a previous run, as well as knowledge
+//! gained from assessing the effectiveness of the Plan and Execute phases
+//! of previous loop iterations."
+//!
+//! Accordingly this store has three compartments, all serializable (the
+//! open-dataset commitment of §III.iii applies to Knowledge too):
+//!
+//! 1. **Run history** — behavioral records of completed application runs
+//!    (signature vector + runtime + metadata), the substrate for
+//!    "representative historical application run times" and for
+//!    similarity matching against "similar jobs with different input
+//!    decks" (§III).
+//! 2. **Plan outcomes** — what each loop attempted, with what confidence,
+//!    and how it turned out; drives effectiveness assessment and
+//!    calibration.
+//! 3. **Named facts and model parameters** — scalar facts and small
+//!    parameter vectors shared between components and across loop
+//!    iterations (e.g. a fitted progress-rate model).
+
+use crate::confidence::CalibrationTracker;
+use crate::confidence::Confidence;
+use moda_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Behavioral record of one completed application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Application family ("lammps", "synthetic-cfd", ...).
+    pub app_class: String,
+    /// Behavioral signature: a small feature vector (mean step time,
+    /// step-time CV, I/O fraction, ... — the "set of measurements of
+    /// behavioral characteristics" of §III).
+    pub signature: Vec<f64>,
+    /// Wall-clock runtime of the run, seconds.
+    pub runtime_s: f64,
+    /// Total progress steps completed.
+    pub total_steps: u64,
+    /// Free-form metadata (input deck, node count, ...). Ordered so
+    /// serialized exports are byte-stable (§III.iii open datasets).
+    pub metadata: BTreeMap<String, String>,
+}
+
+/// Record of one executed (or blocked) plan action and its result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeRecord {
+    /// Which loop produced it.
+    pub loop_name: String,
+    /// When the action was executed.
+    pub t: SimTime,
+    /// Budget kind of the action.
+    pub kind: String,
+    /// Planner confidence at decision time.
+    pub confidence: f64,
+    /// Whether the action achieved its intent (set by the Assessor;
+    /// `None` until assessed).
+    pub success: Option<bool>,
+    /// Signed estimation error the assessor attributes to the decision
+    /// (e.g. requested-minus-needed extension seconds); 0 when n/a.
+    pub error: f64,
+}
+
+/// Shared knowledge store for one loop (or a fleet of coordinated loops).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Knowledge {
+    runs: Vec<RunRecord>,
+    outcomes: Vec<OutcomeRecord>,
+    // BTreeMaps: iteration (and hence serialized export) order must be
+    // deterministic — the open-dataset commitment (§III.iii) includes
+    // byte-stable Knowledge snapshots for a given seed.
+    facts: BTreeMap<String, f64>,
+    models: BTreeMap<String, Vec<f64>>,
+    #[serde(default)]
+    calibration: CalibrationTracker,
+}
+
+impl Knowledge {
+    /// Empty store.
+    pub fn new() -> Self {
+        Knowledge::default()
+    }
+
+    // ----- run history ------------------------------------------------
+
+    /// Record a completed run.
+    pub fn record_run(&mut self, run: RunRecord) {
+        self.runs.push(run);
+    }
+
+    /// All runs of an application class.
+    pub fn runs_of(&self, app_class: &str) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|r| r.app_class == app_class)
+            .collect()
+    }
+
+    /// All recorded runs.
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// Number of recorded runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Mean historical runtime of an application class, if any runs exist.
+    pub fn mean_runtime(&self, app_class: &str) -> Option<f64> {
+        let runs = self.runs_of(app_class);
+        if runs.is_empty() {
+            return None;
+        }
+        Some(runs.iter().map(|r| r.runtime_s).sum::<f64>() / runs.len() as f64)
+    }
+
+    // ----- plan outcomes ------------------------------------------------
+
+    /// Record an executed action (initially unassessed).
+    pub fn record_outcome(&mut self, rec: OutcomeRecord) {
+        if let Some(success) = rec.success {
+            self.calibration
+                .record(Confidence::new(rec.confidence), success);
+        }
+        self.outcomes.push(rec);
+    }
+
+    /// Mark the most recent unassessed outcome of `loop_name`/`kind` as
+    /// succeeded/failed with the given error. Returns whether a record
+    /// was found.
+    pub fn assess_latest(
+        &mut self,
+        loop_name: &str,
+        kind: &str,
+        success: bool,
+        error: f64,
+    ) -> bool {
+        if let Some(rec) = self
+            .outcomes
+            .iter_mut()
+            .rev()
+            .find(|r| r.loop_name == loop_name && r.kind == kind && r.success.is_none())
+        {
+            rec.success = Some(success);
+            rec.error = error;
+            let confidence = rec.confidence;
+            self.calibration
+                .record(Confidence::new(confidence), success);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All outcome records.
+    pub fn outcomes(&self) -> &[OutcomeRecord] {
+        &self.outcomes
+    }
+
+    /// Number of outcome records.
+    pub fn outcome_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Success rate of assessed actions of a kind (None if none assessed).
+    pub fn effectiveness(&self, kind: &str) -> Option<f64> {
+        let assessed: Vec<bool> = self
+            .outcomes
+            .iter()
+            .filter(|r| r.kind == kind)
+            .filter_map(|r| r.success)
+            .collect();
+        if assessed.is_empty() {
+            return None;
+        }
+        Some(assessed.iter().filter(|&&s| s).count() as f64 / assessed.len() as f64)
+    }
+
+    /// Mean signed error of assessed actions of a kind.
+    pub fn mean_error(&self, kind: &str) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|r| r.kind == kind && r.success.is_some())
+            .map(|r| r.error)
+            .collect();
+        if errs.is_empty() {
+            return None;
+        }
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+
+    /// Confidence-calibration tracker over assessed outcomes.
+    pub fn calibration(&self) -> &CalibrationTracker {
+        &self.calibration
+    }
+
+    // ----- facts and models ----------------------------------------------
+
+    /// Store a scalar fact.
+    pub fn set_fact(&mut self, key: impl Into<String>, value: f64) {
+        self.facts.insert(key.into(), value);
+    }
+
+    /// Read a scalar fact.
+    pub fn fact(&self, key: &str) -> Option<f64> {
+        self.facts.get(key).copied()
+    }
+
+    /// Store a named model parameter vector.
+    pub fn set_model(&mut self, key: impl Into<String>, params: Vec<f64>) {
+        self.models.insert(key.into(), params);
+    }
+
+    /// Read a named model parameter vector.
+    pub fn model(&self, key: &str) -> Option<&[f64]> {
+        self.models.get(key).map(|v| v.as_slice())
+    }
+
+    // ----- persistence ---------------------------------------------------
+
+    /// Serialize the entire store to JSON (the open-dataset hook).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("knowledge serialization cannot fail")
+    }
+
+    /// Restore from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(class: &str, rt: f64) -> RunRecord {
+        RunRecord {
+            app_class: class.to_string(),
+            signature: vec![rt / 100.0, 0.1],
+            runtime_s: rt,
+            total_steps: 1000,
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn run_history_and_mean() {
+        let mut k = Knowledge::new();
+        assert_eq!(k.mean_runtime("cfd"), None);
+        k.record_run(run("cfd", 100.0));
+        k.record_run(run("cfd", 200.0));
+        k.record_run(run("md", 50.0));
+        assert_eq!(k.run_count(), 3);
+        assert_eq!(k.runs_of("cfd").len(), 2);
+        assert_eq!(k.mean_runtime("cfd"), Some(150.0));
+        assert_eq!(k.mean_runtime("md"), Some(50.0));
+    }
+
+    fn outcome(loop_name: &str, kind: &str, conf: f64) -> OutcomeRecord {
+        OutcomeRecord {
+            loop_name: loop_name.to_string(),
+            t: SimTime::ZERO,
+            kind: kind.to_string(),
+            confidence: conf,
+            success: None,
+            error: 0.0,
+        }
+    }
+
+    #[test]
+    fn assess_latest_finds_most_recent_unassessed() {
+        let mut k = Knowledge::new();
+        k.record_outcome(outcome("sched", "extension", 0.9));
+        k.record_outcome(outcome("sched", "extension", 0.7));
+        assert!(k.assess_latest("sched", "extension", true, 120.0));
+        // The *second* (most recent) record was assessed.
+        assert_eq!(k.outcomes()[1].success, Some(true));
+        assert_eq!(k.outcomes()[0].success, None);
+        assert!(k.assess_latest("sched", "extension", false, -60.0));
+        assert_eq!(k.outcomes()[0].success, Some(false));
+        // Nothing left to assess.
+        assert!(!k.assess_latest("sched", "extension", true, 0.0));
+    }
+
+    #[test]
+    fn effectiveness_and_error() {
+        let mut k = Knowledge::new();
+        for i in 0..4 {
+            k.record_outcome(outcome("l", "ext", 0.8));
+            k.assess_latest("l", "ext", i % 2 == 0, if i % 2 == 0 { 10.0 } else { -30.0 });
+        }
+        assert_eq!(k.effectiveness("ext"), Some(0.5));
+        assert_eq!(k.mean_error("ext"), Some(-10.0));
+        assert_eq!(k.effectiveness("other"), None);
+        // Calibration saw 4 assessed decisions.
+        assert_eq!(k.calibration().count(), 4);
+    }
+
+    #[test]
+    fn unassessed_outcomes_not_counted() {
+        let mut k = Knowledge::new();
+        k.record_outcome(outcome("l", "ext", 0.8));
+        assert_eq!(k.effectiveness("ext"), None);
+        assert_eq!(k.mean_error("ext"), None);
+        assert_eq!(k.calibration().count(), 0);
+        assert_eq!(k.outcome_count(), 1);
+    }
+
+    #[test]
+    fn facts_and_models() {
+        let mut k = Knowledge::new();
+        assert_eq!(k.fact("x"), None);
+        k.set_fact("x", 3.5);
+        assert_eq!(k.fact("x"), Some(3.5));
+        k.set_fact("x", 4.0); // overwrite
+        assert_eq!(k.fact("x"), Some(4.0));
+        k.set_model("eta", vec![1.0, 2.0]);
+        assert_eq!(k.model("eta"), Some(&[1.0, 2.0][..]));
+        assert_eq!(k.model("none"), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut k = Knowledge::new();
+        k.record_run(run("cfd", 123.0));
+        k.record_outcome(outcome("l", "ext", 0.9));
+        k.assess_latest("l", "ext", true, 5.0);
+        k.set_fact("f", 1.0);
+        k.set_model("m", vec![0.5]);
+        let json = k.to_json();
+        let back = Knowledge::from_json(&json).unwrap();
+        assert_eq!(back.run_count(), 1);
+        assert_eq!(back.outcome_count(), 1);
+        assert_eq!(back.fact("f"), Some(1.0));
+        assert_eq!(back.model("m"), Some(&[0.5][..]));
+        assert_eq!(back.effectiveness("ext"), Some(1.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 2(a): the classical centralized MAPE-K loop.
+//!
+//! One managing system, one managed system, all four phases in one
+//! place. This wrapper adds only cadence handling around a
+//! [`MapeLoop`]; it exists so experiments can swap *patterns* (not just
+//! components) behind a common `poll` interface.
+
+use super::Cadence;
+use crate::domain::Domain;
+use crate::loop_engine::{LoopReport, MapeLoop};
+use moda_sim::{SimDuration, SimTime};
+
+/// A cadence-driven classical loop.
+pub struct Classical<D: Domain> {
+    inner: MapeLoop<D>,
+    cadence: Cadence,
+}
+
+impl<D: Domain> Classical<D> {
+    /// Drive `inner` every `period`, first tick at `first_due`.
+    pub fn new(inner: MapeLoop<D>, period: SimDuration, first_due: SimTime) -> Self {
+        Classical {
+            inner,
+            cadence: Cadence::new(period, first_due),
+        }
+    }
+
+    /// Run every tick due at or before `now`; returns the merged report.
+    pub fn poll(&mut self, now: SimTime) -> LoopReport {
+        let mut merged = LoopReport::default();
+        while let Some(t) = self.cadence.advance(now) {
+            merged.absorb(&self.inner.tick(t));
+        }
+        merged
+    }
+
+    /// Next scheduled tick.
+    pub fn next_due(&self) -> SimTime {
+        self.cadence.next_due()
+    }
+
+    /// The wrapped loop.
+    pub fn inner(&self) -> &MapeLoop<D> {
+        &self.inner
+    }
+
+    /// The wrapped loop, mutably.
+    pub fn inner_mut(&mut self) -> &mut MapeLoop<D> {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Analyzer, Executor, Monitor, Plan, PlannedAction, Planner};
+    use crate::confidence::Confidence;
+    use crate::domain::ScalarDomain;
+    use crate::knowledge::Knowledge;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct ConstMonitor(f64);
+    impl Monitor<ScalarDomain> for ConstMonitor {
+        fn observe(&mut self, _now: SimTime) -> Option<f64> {
+            Some(self.0)
+        }
+    }
+    struct Id;
+    impl Analyzer<ScalarDomain> for Id {
+        fn analyze(&mut self, _n: SimTime, o: &f64, _k: &Knowledge) -> f64 {
+            *o
+        }
+    }
+    struct Always;
+    impl Planner<ScalarDomain> for Always {
+        fn plan(&mut self, _n: SimTime, a: &f64, _k: &Knowledge) -> Plan<f64> {
+            Plan::single(PlannedAction::new(*a, "act", Confidence::CERTAIN))
+        }
+    }
+    struct Count(Rc<RefCell<u32>>);
+    impl Executor<ScalarDomain> for Count {
+        fn execute(&mut self, _n: SimTime, _a: &f64) -> bool {
+            *self.0.borrow_mut() += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn poll_fires_per_cadence() {
+        let count = Rc::new(RefCell::new(0));
+        let l = MapeLoop::new(
+            "c",
+            Box::new(ConstMonitor(1.0)),
+            Box::new(Id),
+            Box::new(Always),
+            Box::new(Count(count.clone())),
+        );
+        let mut c = Classical::new(l, SimDuration::from_secs(10), SimTime::ZERO);
+        c.poll(SimTime::ZERO);
+        assert_eq!(*count.borrow(), 1);
+        // Late poll catches up three ticks (10, 20, 30).
+        c.poll(SimTime::from_secs(30));
+        assert_eq!(*count.borrow(), 4);
+        assert_eq!(c.next_due(), SimTime::from_secs(40));
+        assert_eq!(c.inner().iterations(), 4);
+    }
+}

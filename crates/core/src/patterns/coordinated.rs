@@ -1,0 +1,444 @@
+//! Fig. 2(c): fully decentralized, coordinated MAPE-K loops.
+//!
+//! "The coordinated control pattern relies on fully decentralized MAPE
+//! loops that control different parts of the managed system and have the
+//! potential of good scalability and robustness, but decentralized Plan
+//! policies may suffer from instability and side-effects due to indirect
+//! interactions" (§II).
+//!
+//! Every [`Peer`] owns all four phases *and its own Knowledge*. The only
+//! shared element is a [`Coordinator`] that sees all peers' intents for
+//! the round and may veto some of them — modelling coordination
+//! protocols from "none" (the instability baseline of experiment E2)
+//! through token-limited concurrency to per-peer cooldowns.
+
+use crate::audit::{AuditKind, AuditLog};
+use crate::component::{Analyzer, Executor, Monitor, Plan, Planner};
+use crate::confidence::ConfidenceGate;
+use crate::domain::Domain;
+use crate::guard::{Guard, GuardConfig};
+use crate::knowledge::{Knowledge, OutcomeRecord};
+use crate::loop_engine::LoopReport;
+use moda_sim::SimTime;
+
+/// A fully decentralized loop instance: one managed-subsystem's M, A, P,
+/// E and private Knowledge.
+pub struct Peer<D: Domain> {
+    /// Peer name (diagnostics).
+    pub name: String,
+    monitor: Box<dyn Monitor<D>>,
+    analyzer: Box<dyn Analyzer<D>>,
+    planner: Box<dyn Planner<D>>,
+    executor: Box<dyn Executor<D>>,
+    knowledge: Knowledge,
+    guard: Guard,
+    gate: ConfidenceGate,
+    /// Failure-injection flag (experiment E2).
+    pub alive: bool,
+}
+
+impl<D: Domain> Peer<D> {
+    /// Assemble a peer.
+    pub fn new(
+        name: impl Into<String>,
+        monitor: Box<dyn Monitor<D>>,
+        analyzer: Box<dyn Analyzer<D>>,
+        planner: Box<dyn Planner<D>>,
+        executor: Box<dyn Executor<D>>,
+    ) -> Self {
+        Peer {
+            name: name.into(),
+            monitor,
+            analyzer,
+            planner,
+            executor,
+            knowledge: Knowledge::new(),
+            guard: Guard::new(GuardConfig::unlimited()),
+            gate: ConfidenceGate::new(0.0),
+            alive: true,
+        }
+    }
+
+    /// Install guardrails on this peer.
+    pub fn with_guard(mut self, config: GuardConfig) -> Self {
+        self.guard = Guard::new(config);
+        self
+    }
+
+    /// Install a confidence gate on this peer.
+    pub fn with_gate(mut self, gate: ConfidenceGate) -> Self {
+        self.gate = gate;
+        self
+    }
+
+    /// This peer's private Knowledge.
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+}
+
+/// Round-level coordination: sees every peer's intended plan, returns
+/// for each peer whether it may proceed this round.
+pub trait Coordinator<D: Domain> {
+    /// `intents[i]` is `(peer index, plan)` for peers that want to act.
+    /// Returns the indices (into `intents`) that are *allowed*.
+    fn coordinate(&mut self, now: SimTime, intents: &[(usize, &Plan<D::Action>)]) -> Vec<usize>;
+}
+
+/// No coordination: everyone acts — the §II instability baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCoordination;
+
+impl<D: Domain> Coordinator<D> for NoCoordination {
+    fn coordinate(&mut self, _now: SimTime, intents: &[(usize, &Plan<D::Action>)]) -> Vec<usize> {
+        (0..intents.len()).collect()
+    }
+}
+
+/// Token coordination: at most `k` peers may act per round; ties are
+/// broken by the highest single-action confidence in the peer's plan.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxConcurrent(pub usize);
+
+impl<D: Domain> Coordinator<D> for MaxConcurrent {
+    fn coordinate(&mut self, _now: SimTime, intents: &[(usize, &Plan<D::Action>)]) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = intents
+            .iter()
+            .enumerate()
+            .map(|(slot, (_, plan))| {
+                let best = plan
+                    .actions
+                    .iter()
+                    .map(|a| a.confidence.value())
+                    .fold(0.0, f64::max);
+                (slot, best)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(self.0).map(|(slot, _)| slot).collect()
+    }
+}
+
+/// Cooldown coordination: a peer that acted within the last `rounds`
+/// rounds must stay quiet — a generic anti-oscillation damper.
+#[derive(Debug, Clone)]
+pub struct CooldownCoordinator {
+    /// Quiet rounds required after acting.
+    pub rounds: u64,
+    last_acted: Vec<Option<u64>>,
+    round: u64,
+}
+
+impl CooldownCoordinator {
+    /// Damper for `peers` peers with the given cooldown in rounds.
+    pub fn new(peers: usize, rounds: u64) -> Self {
+        CooldownCoordinator {
+            rounds,
+            last_acted: vec![None; peers],
+            round: 0,
+        }
+    }
+}
+
+impl<D: Domain> Coordinator<D> for CooldownCoordinator {
+    fn coordinate(&mut self, _now: SimTime, intents: &[(usize, &Plan<D::Action>)]) -> Vec<usize> {
+        self.round += 1;
+        let round = self.round;
+        let mut allowed = Vec::new();
+        for (slot, &(peer_idx, _)) in intents.iter().enumerate() {
+            let ok = match self.last_acted.get(peer_idx).copied().flatten() {
+                Some(last) => round.saturating_sub(last) > self.rounds,
+                None => true,
+            };
+            if ok {
+                if let Some(e) = self.last_acted.get_mut(peer_idx) {
+                    *e = Some(round);
+                }
+                allowed.push(slot);
+            }
+        }
+        allowed
+    }
+}
+
+/// The decentralized-coordinated orchestrator.
+pub struct Coordinated<D: Domain> {
+    name: String,
+    peers: Vec<Peer<D>>,
+    coordinator: Box<dyn Coordinator<D>>,
+    audit: AuditLog,
+    rounds: u64,
+    vetoed: u64,
+}
+
+impl<D: Domain> Coordinated<D> {
+    /// Assemble the pattern from peers and a coordinator.
+    pub fn new(
+        name: impl Into<String>,
+        peers: Vec<Peer<D>>,
+        coordinator: Box<dyn Coordinator<D>>,
+    ) -> Self {
+        Coordinated {
+            name: name.into(),
+            peers,
+            coordinator,
+            audit: AuditLog::default(),
+            rounds: 0,
+            vetoed: 0,
+        }
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Access a peer (e.g. its private knowledge).
+    pub fn peer(&self, idx: usize) -> &Peer<D> {
+        &self.peers[idx]
+    }
+
+    /// Failure injection.
+    pub fn set_peer_alive(&mut self, idx: usize, alive: bool) {
+        self.peers[idx].alive = alive;
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Intents vetoed by coordination so far.
+    pub fn vetoed(&self) -> u64 {
+        self.vetoed
+    }
+
+    /// Audit trail (pattern-level events only; peers keep their own
+    /// knowledge but share this audit surface).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// One round: every live peer monitors/analyzes/plans independently;
+    /// the coordinator arbitrates; allowed peers execute.
+    pub fn tick(&mut self, now: SimTime) -> LoopReport {
+        let mut report = LoopReport::default();
+        self.rounds += 1;
+
+        // Decentralized M, A, P.
+        let mut intents: Vec<(usize, Plan<D::Action>)> = Vec::new();
+        for (i, peer) in self.peers.iter_mut().enumerate() {
+            if !peer.alive {
+                continue;
+            }
+            let Some(obs) = peer.monitor.observe(now) else {
+                continue;
+            };
+            report.observed = true;
+            let assessment = peer.analyzer.analyze(now, &obs, &peer.knowledge);
+            let plan = peer.planner.plan(now, &assessment, &peer.knowledge);
+            if !plan.is_empty() {
+                report.planned += plan.actions.len();
+                intents.push((i, plan));
+            }
+        }
+        if intents.is_empty() {
+            return report;
+        }
+
+        // Coordination.
+        let intent_refs: Vec<(usize, &Plan<D::Action>)> =
+            intents.iter().map(|(i, p)| (*i, p)).collect();
+        let allowed_slots = self.coordinator.coordinate(now, &intent_refs);
+        let vetoed_count = intents.len() - allowed_slots.len();
+        self.vetoed += vetoed_count as u64;
+        report.blocked += intents
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| !allowed_slots.contains(slot))
+            .map(|(_, (_, p))| p.actions.len())
+            .sum::<usize>();
+        if vetoed_count > 0 {
+            self.audit.record(
+                now,
+                &self.name,
+                AuditKind::Blocked,
+                format!("coordination vetoed {vetoed_count} peer intent(s)"),
+                None,
+            );
+        }
+
+        // Decentralized E on allowed peers.
+        for slot in allowed_slots {
+            let (peer_idx, plan) = {
+                let (i, p) = &intents[slot];
+                (*i, p.clone())
+            };
+            let peer = &mut self.peers[peer_idx];
+            for pa in plan.actions {
+                if !peer.gate.passes(pa.confidence) {
+                    report.blocked += 1;
+                    continue;
+                }
+                match peer.guard.admit(now, &pa.kind, pa.magnitude) {
+                    Err(_) => report.blocked += 1,
+                    Ok(()) => {
+                        let outcome = peer.executor.execute(now, &pa.action);
+                        report.executed += 1;
+                        self.audit.record(
+                            now,
+                            &peer.name,
+                            AuditKind::Executed,
+                            format!("{:?} -> {:?}", pa.action, outcome),
+                            Some(pa.confidence.value()),
+                        );
+                        peer.knowledge.record_outcome(OutcomeRecord {
+                            loop_name: peer.name.clone(),
+                            t: now,
+                            kind: pa.kind.clone(),
+                            confidence: pa.confidence.value(),
+                            success: None,
+                            error: 0.0,
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::PlannedAction;
+    use crate::confidence::Confidence;
+    use crate::domain::ScalarDomain;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct ConstMonitor(f64);
+    impl Monitor<ScalarDomain> for ConstMonitor {
+        fn observe(&mut self, _now: SimTime) -> Option<f64> {
+            Some(self.0)
+        }
+    }
+    struct Id;
+    impl Analyzer<ScalarDomain> for Id {
+        fn analyze(&mut self, _n: SimTime, o: &f64, _k: &Knowledge) -> f64 {
+            *o
+        }
+    }
+    struct ActWithConf(f64);
+    impl Planner<ScalarDomain> for ActWithConf {
+        fn plan(&mut self, _n: SimTime, a: &f64, _k: &Knowledge) -> Plan<f64> {
+            Plan::single(PlannedAction::new(*a, "act", Confidence::new(self.0)))
+        }
+    }
+    struct Recorder(Rc<RefCell<Vec<usize>>>, usize);
+    impl Executor<ScalarDomain> for Recorder {
+        fn execute(&mut self, _n: SimTime, _a: &f64) -> bool {
+            self.0.borrow_mut().push(self.1);
+            true
+        }
+    }
+
+    fn peers(confs: &[f64]) -> (Vec<Peer<ScalarDomain>>, Rc<RefCell<Vec<usize>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let peers = confs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                Peer::new(
+                    format!("peer{i}"),
+                    Box::new(ConstMonitor(1.0)),
+                    Box::new(Id),
+                    Box::new(ActWithConf(c)),
+                    Box::new(Recorder(log.clone(), i)),
+                )
+            })
+            .collect();
+        (peers, log)
+    }
+
+    #[test]
+    fn no_coordination_everyone_acts() {
+        let (p, log) = peers(&[0.5, 0.6, 0.7]);
+        let mut c = Coordinated::new("c", p, Box::new(NoCoordination));
+        let r = c.tick(SimTime::from_secs(1));
+        assert_eq!(r.executed, 3);
+        assert_eq!(r.blocked, 0);
+        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(c.vetoed(), 0);
+    }
+
+    #[test]
+    fn max_concurrent_picks_highest_confidence() {
+        let (p, log) = peers(&[0.5, 0.9, 0.7]);
+        let mut c = Coordinated::new("c", p, Box::new(MaxConcurrent(1)));
+        let r = c.tick(SimTime::from_secs(1));
+        assert_eq!(r.executed, 1);
+        assert_eq!(r.blocked, 2);
+        assert_eq!(log.borrow()[0], 1); // peer with conf 0.9
+        assert_eq!(c.vetoed(), 2);
+    }
+
+    #[test]
+    fn cooldown_forces_alternation() {
+        let (p, log) = peers(&[0.5, 0.5]);
+        let mut c = Coordinated::new("c", p, Box::new(CooldownCoordinator::new(2, 1)));
+        // Round 1: both allowed (no history).
+        c.tick(SimTime::from_secs(1));
+        assert_eq!(log.borrow().len(), 2);
+        // Round 2: both cooled down → silent.
+        let r2 = c.tick(SimTime::from_secs(2));
+        assert_eq!(r2.executed, 0);
+        // Round 3: cooldown over.
+        let r3 = c.tick(SimTime::from_secs(3));
+        assert_eq!(r3.executed, 2);
+    }
+
+    #[test]
+    fn dead_peer_is_skipped_entirely() {
+        let (p, log) = peers(&[0.5, 0.5]);
+        let mut c = Coordinated::new("c", p, Box::new(NoCoordination));
+        c.set_peer_alive(0, false);
+        let r = c.tick(SimTime::from_secs(1));
+        assert_eq!(r.executed, 1);
+        assert_eq!(log.borrow()[0], 1);
+        // The fleet keeps operating — the robustness property of (c).
+        assert!(r.observed);
+    }
+
+    #[test]
+    fn peer_guard_still_applies_after_coordination() {
+        let (mut p, log) = peers(&[0.5]);
+        p[0] = std::mem::replace(
+            &mut p[0],
+            Peer::new(
+                "x",
+                Box::new(ConstMonitor(1.0)),
+                Box::new(Id),
+                Box::new(ActWithConf(0.5)),
+                Box::new(Recorder(log.clone(), 0)),
+            ),
+        )
+        .with_guard(GuardConfig::unlimited().with_max_count("act", 1));
+        let mut c = Coordinated::new("c", p, Box::new(NoCoordination));
+        c.tick(SimTime::from_secs(1));
+        let r = c.tick(SimTime::from_secs(2));
+        assert_eq!(r.blocked, 1);
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn outcomes_stay_in_private_knowledge() {
+        let (p, _log) = peers(&[0.5, 0.5]);
+        let mut c = Coordinated::new("c", p, Box::new(NoCoordination));
+        c.tick(SimTime::from_secs(1));
+        assert_eq!(c.peer(0).knowledge().outcome_count(), 1);
+        assert_eq!(c.peer(1).knowledge().outcome_count(), 1);
+        assert_eq!(c.peer_count(), 2);
+        assert_eq!(c.rounds(), 1);
+    }
+}

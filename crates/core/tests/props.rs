@@ -1,0 +1,327 @@
+//! Property tests for the MAPE-K core: guardrail arithmetic, confidence
+//! algebra, Knowledge round-trips, and loop-engine behavioural
+//! invariants that hold for *any* domain (tested over a scalar domain
+//! with scripted components).
+
+use moda_core::component::{Analyzer, Executor, Monitor, Plan, PlannedAction, Planner};
+use moda_core::domain::Domain;
+use moda_core::knowledge::{Knowledge, OutcomeRecord, RunRecord};
+use moda_core::{AutonomyMode, Confidence, ConfidenceGate, Guard, GuardConfig, MapeLoop};
+use moda_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+// ------------------------------------------------------------- confidence
+
+proptest! {
+    /// Confidence is clamped to [0,1]; `and` is commutative, monotone,
+    /// and never exceeds either operand (a conjunction).
+    #[test]
+    fn confidence_algebra(a in -1.0f64..2.0, b in -1.0f64..2.0) {
+        let ca = Confidence::new(a);
+        let cb = Confidence::new(b);
+        prop_assert!((0.0..=1.0).contains(&ca.value()));
+        let ab = ca.and(cb);
+        let ba = cb.and(ca);
+        prop_assert_eq!(ab.value(), ba.value());
+        prop_assert!(ab.value() <= ca.value() + 1e-12);
+        prop_assert!(ab.value() <= cb.value() + 1e-12);
+    }
+
+    /// Interval-derived confidence decreases with relative width; support
+    /// confidence increases with n. Both stay in [0,1].
+    #[test]
+    fn confidence_sources_monotone(est in 1.0f64..1e5, w1 in 0.0f64..1e5, dw in 0.1f64..1e4, n in 0u64..1000) {
+        let tight = Confidence::from_interval(est, w1, 2.0);
+        let loose = Confidence::from_interval(est, w1 + dw, 2.0);
+        prop_assert!(loose.value() <= tight.value() + 1e-12);
+        let less = Confidence::from_support(n, 5.0);
+        let more = Confidence::from_support(n + 10, 5.0);
+        prop_assert!(less.value() <= more.value() + 1e-12);
+        for c in [tight, loose, less, more] {
+            prop_assert!((0.0..=1.0).contains(&c.value()));
+        }
+    }
+
+    /// The gate admits exactly confidences ≥ threshold.
+    #[test]
+    fn gate_threshold_semantics(t in 0.0f64..1.0, c in 0.0f64..1.0) {
+        let gate = ConfidenceGate::new(t);
+        prop_assert_eq!(gate.passes(Confidence::new(c)), c >= t);
+    }
+}
+
+// ------------------------------------------------------------- guard
+
+proptest! {
+    /// Count caps: exactly `cap` commits are admitted, ever.
+    #[test]
+    fn guard_count_cap_exact(cap in 0u32..20, attempts in 1u32..60) {
+        let mut g = Guard::new(GuardConfig::unlimited().with_max_count("x", cap));
+        let mut ok = 0;
+        for i in 0..attempts {
+            if g.admit(SimTime::from_secs(i as u64), "x", 1.0).is_ok() {
+                ok += 1;
+            }
+        }
+        prop_assert_eq!(ok, attempts.min(cap));
+        prop_assert_eq!(g.allowed_count() + g.blocked_count(), attempts as u64);
+    }
+
+    /// Magnitude budgets: the admitted total never exceeds the budget,
+    /// and a request is refused only if it would overflow it.
+    #[test]
+    fn guard_magnitude_budget(budget in 1.0f64..1000.0, sizes in prop::collection::vec(0.1f64..100.0, 1..50)) {
+        let mut g = Guard::new(GuardConfig::unlimited().with_max_magnitude("ext", budget));
+        let mut total = 0.0;
+        for (i, &m) in sizes.iter().enumerate() {
+            match g.admit(SimTime::from_secs(i as u64), "ext", m) {
+                Ok(()) => {
+                    total += m;
+                    prop_assert!(total <= budget + 1e-9);
+                }
+                Err(_) => {
+                    prop_assert!(total + m > budget - 1e-9);
+                }
+            }
+        }
+        prop_assert!((g.magnitude_of("ext") - total).abs() < 1e-9);
+    }
+
+    /// Min-gap: two admitted actions of the same kind are never closer
+    /// than the configured spacing.
+    #[test]
+    fn guard_min_gap_enforced(gap_s in 1u64..100, times in prop::collection::vec(0u64..1000, 1..60)) {
+        let gap = SimDuration::from_secs(gap_s);
+        let mut g = Guard::new(GuardConfig::unlimited().with_min_gap("k", gap));
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut admitted: Vec<u64> = Vec::new();
+        for &t in &sorted {
+            if g.admit(SimTime::from_secs(t), "k", 0.0).is_ok() {
+                admitted.push(t);
+            }
+        }
+        for w in admitted.windows(2) {
+            prop_assert!(w[1] - w[0] >= gap_s, "gap violated: {:?}", w);
+        }
+    }
+
+    /// Rate limit: inside any window, at most `n` actions are admitted.
+    #[test]
+    fn guard_rate_limit_holds(n in 1u32..10, times in prop::collection::vec(0u64..500, 1..80)) {
+        let window = SimDuration::from_secs(60);
+        let mut g = Guard::new(GuardConfig::unlimited().with_rate_limit(window, n));
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut admitted: Vec<u64> = Vec::new();
+        for &t in &sorted {
+            if g.admit(SimTime::from_secs(t), "any", 0.0).is_ok() {
+                admitted.push(t);
+            }
+        }
+        // Sliding-window check over admitted timestamps.
+        for (i, &t) in admitted.iter().enumerate() {
+            let in_window = admitted[..=i]
+                .iter()
+                .filter(|&&u| t - u < 60)
+                .count();
+            prop_assert!(in_window <= n as usize, "rate limit violated at {t}");
+        }
+    }
+}
+
+// ------------------------------------------------------------- knowledge
+
+proptest! {
+    /// Knowledge round-trips losslessly through JSON for arbitrary
+    /// contents (the §III.iii open-dataset promise).
+    #[test]
+    fn knowledge_json_roundtrip(
+        runs in prop::collection::vec((0.0f64..1e6, 1u64..1_000_000), 0..20),
+        facts in prop::collection::btree_map("[a-z]{1,12}", -1e9f64..1e9, 0..20),
+    ) {
+        let mut k = Knowledge::new();
+        for (i, &(runtime, steps)) in runs.iter().enumerate() {
+            k.record_run(RunRecord {
+                app_class: format!("c{}", i % 3),
+                signature: vec![runtime, steps as f64],
+                runtime_s: runtime,
+                total_steps: steps,
+                metadata: BTreeMap::new(),
+            });
+        }
+        for (key, &v) in &facts {
+            k.set_fact(key.clone(), v);
+        }
+        k.record_outcome(OutcomeRecord {
+            loop_name: "l".into(),
+            t: SimTime::from_secs(1),
+            kind: "k".into(),
+            confidence: 0.5,
+            success: None,
+            error: 0.0,
+        });
+        let json = serde_json::to_string(&k).unwrap();
+        let back: Knowledge = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        prop_assert_eq!(back.run_count(), runs.len());
+        for (key, &v) in &facts {
+            prop_assert_eq!(back.fact(key), Some(v));
+        }
+    }
+
+    /// `mean_runtime` is the arithmetic mean of the class's runs only.
+    #[test]
+    fn knowledge_mean_runtime_per_class(
+        a_runs in prop::collection::vec(1.0f64..1e5, 1..20),
+        b_runs in prop::collection::vec(1.0f64..1e5, 0..20),
+    ) {
+        let mut k = Knowledge::new();
+        let rec = |class: &str, rt: f64| RunRecord {
+            app_class: class.into(),
+            signature: vec![],
+            runtime_s: rt,
+            total_steps: 1,
+            metadata: BTreeMap::new(),
+        };
+        for &r in &a_runs { k.record_run(rec("a", r)); }
+        for &r in &b_runs { k.record_run(rec("b", r)); }
+        let want = a_runs.iter().sum::<f64>() / a_runs.len() as f64;
+        prop_assert!((k.mean_runtime("a").unwrap() - want).abs() < 1e-9 * want);
+        prop_assert_eq!(k.mean_runtime("b").is_some(), !b_runs.is_empty());
+        prop_assert_eq!(k.mean_runtime("zzz"), None);
+    }
+}
+
+// ------------------------------------------------------------- loop engine
+
+/// Scripted scalar domain for engine-level properties.
+#[derive(Debug)]
+struct Scripted;
+impl Domain for Scripted {
+    type Obs = f64;
+    type Assessment = f64;
+    type Action = f64;
+    type Outcome = bool;
+}
+
+struct ConstMonitor(f64);
+impl Monitor<Scripted> for ConstMonitor {
+    fn observe(&mut self, _n: SimTime) -> Option<f64> {
+        Some(self.0)
+    }
+}
+struct Id;
+impl Analyzer<Scripted> for Id {
+    fn analyze(&mut self, _n: SimTime, o: &f64, _k: &Knowledge) -> f64 {
+        *o
+    }
+}
+/// Emits one action per tick with the configured confidence.
+struct AlwaysAct {
+    confidence: f64,
+}
+impl Planner<Scripted> for AlwaysAct {
+    fn plan(&mut self, _n: SimTime, v: &f64, _k: &Knowledge) -> Plan<f64> {
+        Plan::single(PlannedAction::new(
+            *v,
+            "act",
+            Confidence::new(self.confidence),
+        ))
+    }
+}
+struct CountExec(Rc<Cell<usize>>);
+impl Executor<Scripted> for CountExec {
+    fn execute(&mut self, _n: SimTime, _a: &f64) -> bool {
+        self.0.set(self.0.get() + 1);
+        true
+    }
+}
+
+fn scripted_loop(confidence: f64, gate: f64, mode: AutonomyMode) -> (MapeLoop<Scripted>, Rc<Cell<usize>>) {
+    let hits = Rc::new(Cell::new(0));
+    let l = MapeLoop::new(
+        "prop-loop",
+        Box::new(ConstMonitor(1.0)),
+        Box::new(Id),
+        Box::new(AlwaysAct { confidence }),
+        Box::new(CountExec(hits.clone())),
+    )
+    .with_gate(ConfidenceGate::new(gate))
+    .with_mode(mode);
+    (l, hits)
+}
+
+proptest! {
+    /// Executed + blocked + queued always equals planned, whatever the
+    /// gate, mode, and confidence (no action is silently dropped).
+    #[test]
+    fn loop_report_conserves_actions(
+        confidence in 0.0f64..1.0,
+        gate in 0.0f64..1.0,
+        ticks in 1u64..30,
+        mode_pick in 0usize..3,
+    ) {
+        let mode = match mode_pick {
+            0 => AutonomyMode::Autonomous,
+            1 => AutonomyMode::HumanOnTheLoop,
+            _ => AutonomyMode::HumanInTheLoop { latency: SimDuration::from_secs(30) },
+        };
+        let (mut l, hits) = scripted_loop(confidence, gate, mode);
+        let mut planned = 0;
+        let mut executed = 0;
+        let mut blocked = 0;
+        let mut queued = 0;
+        for i in 0..ticks {
+            let r = l.tick(SimTime::from_secs(i * 10));
+            planned += r.planned;
+            executed += r.executed;
+            blocked += r.blocked;
+            queued += r.queued;
+        }
+        // Conservation: every planned action is blocked, executed, or
+        // still awaiting approval. (Released queued actions count once:
+        // they appear in `queued` at plan time and move to `executed` on
+        // release, so cumulative executed = queued − pending in HITL.)
+        prop_assert_eq!(planned, blocked + executed + l.pending_count());
+        if matches!(mode, AutonomyMode::HumanInTheLoop { .. }) {
+            prop_assert_eq!(executed + l.pending_count(), queued);
+        } else {
+            prop_assert_eq!(queued, 0);
+        }
+        prop_assert_eq!(hits.get(), executed);
+        // Gate semantics: below-threshold plans never execute.
+        if confidence < gate {
+            prop_assert_eq!(executed, 0);
+            prop_assert_eq!(blocked, planned);
+        }
+    }
+
+    /// Human-in-the-loop latency: nothing executes before the approval
+    /// delay has elapsed, everything executes after it (given ticks).
+    #[test]
+    fn human_latency_delays_execution(latency_s in 10u64..200, period_s in 1u64..40) {
+        let (mut l, hits) = scripted_loop(
+            0.9,
+            0.0,
+            AutonomyMode::HumanInTheLoop { latency: SimDuration::from_secs(latency_s) },
+        );
+        let mut t = SimTime::ZERO;
+        // First tick plans + queues.
+        l.tick(t);
+        prop_assert_eq!(hits.get(), 0);
+        prop_assert_eq!(l.pending_count(), 1);
+        // Tick until just before the release time: still nothing.
+        while t + SimDuration::from_secs(period_s) < SimTime::from_secs(latency_s) {
+            t += SimDuration::from_secs(period_s);
+            l.tick(t);
+        }
+        prop_assert_eq!(hits.get(), 0, "executed before approval latency");
+        // One tick at/after the deadline releases it.
+        l.tick(SimTime::from_secs(latency_s));
+        prop_assert!(hits.get() >= 1, "approved action never released");
+    }
+}

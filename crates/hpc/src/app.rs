@@ -1,0 +1,420 @@
+//! Application behaviour models.
+//!
+//! §III grounds the Scheduler case in applications that expose progress
+//! "via markers that could be output by an application (e.g., simulation
+//! time-step)". The model here is an iterative solver:
+//!
+//! * `total_steps` steps, each lognormally noisy around a true mean,
+//! * an optional mid-run **phase change** (step time multiplies by a
+//!   factor at a given progress fraction — AMR refinement, turbulence
+//!   onset, ...) which is what defeats naive whole-history regression,
+//! * periodic **I/O bursts** through the parallel filesystem,
+//! * **checkpoint** support: persist progress at a time cost, so a
+//!   killed job's resubmission resumes instead of restarting,
+//! * injectable **misconfiguration** that both shows up in the config
+//!   snapshot (detector input) and actually slows the run (so detection
+//!   has measurable value, and on-the-fly correction measurably helps).
+
+use moda_analytics::misconfig::JobConfigSnapshot;
+use moda_scheduler::JobId;
+use moda_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A mid-run behaviour change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseChange {
+    /// Progress fraction at which the change occurs, `(0, 1)`.
+    pub at_frac: f64,
+    /// Step-time multiplier after the change.
+    pub factor: f64,
+}
+
+/// An injected misconfiguration and its performance impact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MisconfigSpec {
+    /// Step-time multiplier while the misconfiguration is active.
+    pub slowdown: f64,
+    /// Threads per rank actually configured.
+    pub threads_per_rank: u32,
+    /// GPUs allocated (with near-zero utilization if misconfigured).
+    pub gpus_allocated: u32,
+    /// GPU utilization observed.
+    pub gpu_util: f64,
+    /// Library path sanity.
+    pub lib_path_ok: bool,
+}
+
+/// Ground-truth behaviour of one application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application family (links Knowledge history).
+    pub app_class: String,
+    /// Steps to completion.
+    pub total_steps: u64,
+    /// True mean step duration, seconds.
+    pub mean_step_s: f64,
+    /// Lognormal coefficient of variation of step time.
+    pub step_cv: f64,
+    /// Every `io_every` steps the app writes `io_mb` (0 = no I/O).
+    pub io_every: u64,
+    /// I/O burst size, MB.
+    pub io_mb: f64,
+    /// Stripe width for the app's output file.
+    pub stripe: usize,
+    /// Optional mid-run phase change.
+    pub phase_change: Option<PhaseChange>,
+    /// Time to write a checkpoint, seconds.
+    pub checkpoint_cost_s: f64,
+    /// Optional injected misconfiguration.
+    pub misconfig: Option<MisconfigSpec>,
+    /// Input-deck scale proxy (feature for similarity matching).
+    pub scale: f64,
+    /// Cores per rank in the allocation.
+    pub cores_per_rank: u32,
+}
+
+impl AppProfile {
+    /// Expected compute time (without I/O or misconfiguration), seconds.
+    pub fn base_compute_s(&self) -> f64 {
+        let phase_factor = match self.phase_change {
+            Some(pc) => (1.0 - pc.at_frac) * pc.factor + pc.at_frac,
+            None => 1.0,
+        };
+        self.total_steps as f64 * self.mean_step_s * phase_factor
+    }
+
+    /// The config snapshot a monitoring agent would collect for this job.
+    pub fn config_snapshot(&self, corrected: bool, cpu_util: f64) -> JobConfigSnapshot {
+        match (&self.misconfig, corrected) {
+            (Some(m), false) => JobConfigSnapshot {
+                threads_per_rank: m.threads_per_rank,
+                cores_per_rank: self.cores_per_rank,
+                gpus_allocated: m.gpus_allocated,
+                gpu_util: m.gpu_util,
+                cpu_util,
+                lib_path_ok: m.lib_path_ok,
+            },
+            _ => JobConfigSnapshot {
+                threads_per_rank: self.cores_per_rank,
+                cores_per_rank: self.cores_per_rank,
+                gpus_allocated: 0,
+                gpu_util: 0.0,
+                cpu_util,
+                lib_path_ok: true,
+            },
+        }
+    }
+}
+
+/// Live state of one running application.
+#[derive(Debug)]
+pub struct AppInstance {
+    /// The scheduler job this run belongs to.
+    pub job: JobId,
+    /// Ground-truth behaviour.
+    pub profile: AppProfile,
+    /// Steps completed so far.
+    pub step: u64,
+    /// When the run started.
+    pub started_at: SimTime,
+    /// Last persisted checkpoint step (resume point).
+    pub checkpoint_step: u64,
+    /// Whether an injected misconfiguration has been corrected on the fly.
+    pub corrected: bool,
+    /// Cumulative seconds spent waiting on I/O.
+    pub io_wait_s: f64,
+    rng: StdRng,
+}
+
+impl AppInstance {
+    /// Start (or resume) a run. `resume_from` is the checkpoint step a
+    /// resubmission continues from (0 for a fresh start).
+    pub fn start(
+        job: JobId,
+        profile: AppProfile,
+        started_at: SimTime,
+        resume_from: u64,
+        rng: StdRng,
+    ) -> Self {
+        AppInstance {
+            job,
+            step: resume_from.min(profile.total_steps),
+            checkpoint_step: resume_from,
+            profile,
+            started_at,
+            corrected: false,
+            io_wait_s: 0.0,
+            rng,
+        }
+    }
+
+    /// Has the app reached its final step?
+    pub fn done(&self) -> bool {
+        self.step >= self.profile.total_steps
+    }
+
+    /// Progress fraction `[0, 1]`.
+    pub fn progress_frac(&self) -> f64 {
+        self.step as f64 / self.profile.total_steps.max(1) as f64
+    }
+
+    /// Sample the duration of the *next* step (compute only; the caller
+    /// adds I/O wait separately).
+    pub fn next_step_duration(&mut self) -> SimDuration {
+        let mut mean = self.profile.mean_step_s;
+        if let Some(pc) = self.profile.phase_change {
+            if self.progress_frac() >= pc.at_frac {
+                mean *= pc.factor;
+            }
+        }
+        if let Some(m) = &self.profile.misconfig {
+            if !self.corrected {
+                mean *= m.slowdown;
+            }
+        }
+        let cv = self.profile.step_cv.max(0.0);
+        if cv < 1e-9 {
+            return SimDuration::from_secs_f64(mean);
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        let d = LogNormal::new(mu, sigma2.sqrt()).expect("valid lognormal");
+        SimDuration::from_secs_f64(d.sample(&mut self.rng))
+    }
+
+    /// Whether the step just about to complete performs an I/O burst.
+    pub fn step_does_io(&self) -> bool {
+        self.profile.io_every > 0 && (self.step + 1).is_multiple_of(self.profile.io_every)
+    }
+
+    /// Complete one step.
+    pub fn advance(&mut self) {
+        debug_assert!(!self.done(), "advance past completion");
+        self.step += 1;
+    }
+
+    /// Persist progress; returns the checkpoint duration.
+    pub fn checkpoint(&mut self) -> SimDuration {
+        self.checkpoint_step = self.step;
+        SimDuration::from_secs_f64(self.profile.checkpoint_cost_s)
+    }
+
+    /// Correct an injected misconfiguration on the fly (§III case 4's
+    /// "corrected on the fly" branch). Returns whether anything changed.
+    pub fn correct_misconfig(&mut self) -> bool {
+        if self.profile.misconfig.is_some() && !self.corrected {
+            self.corrected = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Observed CPU utilization proxy: misconfigured runs look
+    /// underutilized; healthy runs hover near full.
+    pub fn cpu_util(&mut self) -> f64 {
+        let base = match (&self.profile.misconfig, self.corrected) {
+            (Some(m), false) => (1.0 / m.slowdown).clamp(0.05, 1.0),
+            _ => 0.92,
+        };
+        (base + self.rng.gen_range(-0.03..0.03)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn profile() -> AppProfile {
+        AppProfile {
+            app_class: "cfd".into(),
+            total_steps: 100,
+            mean_step_s: 2.0,
+            step_cv: 0.2,
+            io_every: 10,
+            io_mb: 50.0,
+            stripe: 2,
+            phase_change: None,
+            checkpoint_cost_s: 5.0,
+            misconfig: None,
+            scale: 1.0,
+            cores_per_rank: 8,
+        }
+    }
+
+    fn inst(p: AppProfile) -> AppInstance {
+        AppInstance::start(JobId(1), p, SimTime::ZERO, 0, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn steps_accumulate_to_done() {
+        let mut a = inst(AppProfile {
+            total_steps: 3,
+            ..profile()
+        });
+        assert!(!a.done());
+        a.advance();
+        a.advance();
+        assert!(!a.done());
+        assert!((a.progress_frac() - 2.0 / 3.0).abs() < 1e-12);
+        a.advance();
+        assert!(a.done());
+    }
+
+    #[test]
+    fn step_durations_average_to_mean() {
+        let mut a = inst(AppProfile {
+            step_cv: 0.3,
+            ..profile()
+        });
+        let n = 5000;
+        let total: f64 = (0..n)
+            .map(|_| a.next_step_duration().as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean step {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = inst(profile());
+        let mut b = inst(profile());
+        for _ in 0..10 {
+            assert_eq!(a.next_step_duration(), b.next_step_duration());
+        }
+    }
+
+    #[test]
+    fn phase_change_slows_late_steps() {
+        let p = AppProfile {
+            step_cv: 0.0,
+            phase_change: Some(PhaseChange {
+                at_frac: 0.5,
+                factor: 3.0,
+            }),
+            ..profile()
+        };
+        let mut a = inst(p);
+        let early = a.next_step_duration();
+        a.step = 50; // at the phase boundary
+        let late = a.next_step_duration();
+        assert_eq!(early, SimDuration::from_secs(2));
+        assert_eq!(late, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn misconfig_slowdown_and_correction() {
+        let p = AppProfile {
+            step_cv: 0.0,
+            misconfig: Some(MisconfigSpec {
+                slowdown: 2.0,
+                threads_per_rank: 16,
+                gpus_allocated: 0,
+                gpu_util: 0.0,
+                lib_path_ok: true,
+            }),
+            ..profile()
+        };
+        let mut a = inst(p);
+        assert_eq!(a.next_step_duration(), SimDuration::from_secs(4));
+        assert!(a.correct_misconfig());
+        assert_eq!(a.next_step_duration(), SimDuration::from_secs(2));
+        // Idempotent.
+        assert!(!a.correct_misconfig());
+    }
+
+    #[test]
+    fn io_cadence() {
+        let a = inst(profile()); // io_every = 10
+        let mut does_io = Vec::new();
+        let mut a = a;
+        for _ in 0..20 {
+            does_io.push(a.step_does_io());
+            a.advance();
+        }
+        let io_steps: Vec<usize> = does_io
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        // Steps 10 and 20 (1-indexed) → indices 9 and 19.
+        assert_eq!(io_steps, vec![9, 19]);
+    }
+
+    #[test]
+    fn checkpoint_persists_resume_point() {
+        let mut a = inst(profile());
+        a.advance();
+        a.advance();
+        let cost = a.checkpoint();
+        assert_eq!(cost, SimDuration::from_secs(5));
+        assert_eq!(a.checkpoint_step, 2);
+        // A resumed instance starts at the checkpoint.
+        let resumed = AppInstance::start(
+            JobId(2),
+            profile(),
+            SimTime::from_secs(100),
+            2,
+            StdRng::seed_from_u64(1),
+        );
+        assert_eq!(resumed.step, 2);
+    }
+
+    #[test]
+    fn config_snapshot_reflects_misconfig_and_correction() {
+        let p = AppProfile {
+            misconfig: Some(MisconfigSpec {
+                slowdown: 2.0,
+                threads_per_rank: 16,
+                gpus_allocated: 2,
+                gpu_util: 0.01,
+                lib_path_ok: false,
+            }),
+            ..profile()
+        };
+        let snap_bad = p.config_snapshot(false, 0.5);
+        assert_eq!(snap_bad.threads_per_rank, 16);
+        assert_eq!(snap_bad.gpus_allocated, 2);
+        assert!(!snap_bad.lib_path_ok);
+        let snap_fixed = p.config_snapshot(true, 0.9);
+        assert_eq!(snap_fixed.threads_per_rank, snap_fixed.cores_per_rank);
+        assert!(snap_fixed.lib_path_ok);
+    }
+
+    #[test]
+    fn cpu_util_signals_misconfiguration() {
+        let p = AppProfile {
+            misconfig: Some(MisconfigSpec {
+                slowdown: 4.0,
+                threads_per_rank: 32,
+                gpus_allocated: 0,
+                gpu_util: 0.0,
+                lib_path_ok: true,
+            }),
+            ..profile()
+        };
+        let mut bad = inst(p);
+        let mut good = inst(profile());
+        assert!(bad.cpu_util() < 0.4);
+        assert!(good.cpu_util() > 0.8);
+    }
+
+    #[test]
+    fn base_compute_accounts_for_phase() {
+        let p = AppProfile {
+            phase_change: Some(PhaseChange {
+                at_frac: 0.5,
+                factor: 2.0,
+            }),
+            ..profile()
+        };
+        // 100 steps × 2 s: first half ×1, second half ×2 → 100 + 200 = 300 s.
+        assert!((p.base_compute_s() - 300.0).abs() < 1e-9);
+        assert!((profile().base_compute_s() - 200.0).abs() < 1e-9);
+    }
+}

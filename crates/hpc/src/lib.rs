@@ -1,0 +1,34 @@
+//! # moda-hpc
+//!
+//! The **managed system**: a simulated HPC center combining the batch
+//! scheduler, the parallel filesystem, holistic telemetry, power, and
+//! applications that emit progress markers — everything the paper's
+//! autonomy loops monitor and actuate.
+//!
+//! * [`app`] — application behaviour models: iterative solvers with
+//!   noisy step times, periodic I/O bursts, optional mid-run phase
+//!   changes, checkpoint support, and injectable misconfigurations.
+//!   Rank 0 "drops time-steps" into telemetry exactly as §III describes.
+//! * [`power`] — node and facility power (Fig. 1's building-infrastructure
+//!   and system-hardware sensor domains).
+//! * [`workload`] — synthetic campaign generator: Poisson arrivals,
+//!   lognormal work sizes, user walltime-request error (the over/under-
+//!   estimation the Scheduler case corrects), app-class mix, and a
+//!   misconfiguration rate. Stands in for the open datasets the paper
+//!   plans to release (§III.iii).
+//! * [`world`] — the composed discrete-event world: one event loop
+//!   multiplexing scheduler, filesystem, applications, telemetry
+//!   collection, outages, and resubmission behaviour, with *sensor* and
+//!   *actuator* surfaces for the use-case loops.
+
+pub mod app;
+pub mod failure;
+pub mod power;
+pub mod workload;
+pub mod world;
+
+pub use app::{AppInstance, AppProfile, MisconfigSpec, PhaseChange};
+pub use failure::{young_interval_s, FailureConfig};
+pub use power::PowerModel;
+pub use workload::{AppClassSpec, WalltimeErrorModel, WorkloadConfig};
+pub use world::{World, WorldConfig, WorldMetrics};

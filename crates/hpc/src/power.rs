@@ -1,0 +1,96 @@
+//! Node and facility power model.
+//!
+//! Fig. 1's holistic-monitoring vision spans *building infrastructure*
+//! and *system hardware*; this model provides both sensor domains: busy
+//! and idle node draw with measurement noise, and a facility figure
+//! (node sum × PUE). The §IV warning that "safe operations of power and
+//! energy controls" demand confidence measures is exercised by
+//! experiments that gate power-affecting actions.
+
+use rand::Rng;
+
+/// Static power parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// Idle node draw, watts.
+    pub idle_w: f64,
+    /// Busy node draw, watts.
+    pub busy_w: f64,
+    /// Sensor noise amplitude, watts (uniform ±).
+    pub noise_w: f64,
+    /// Facility power-usage-effectiveness multiplier.
+    pub pue: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            idle_w: 120.0,
+            busy_w: 420.0,
+            noise_w: 8.0,
+            pue: 1.35,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Sampled draw of one node, watts.
+    pub fn node_sample<R: Rng + ?Sized>(&self, busy: bool, rng: &mut R) -> f64 {
+        let base = if busy { self.busy_w } else { self.idle_w };
+        if self.noise_w > 0.0 {
+            base + rng.gen_range(-self.noise_w..self.noise_w)
+        } else {
+            base
+        }
+    }
+
+    /// Facility-level power for the given node occupancy, kilowatts
+    /// (noise-free expectation; facility meters are slow and smooth).
+    pub fn facility_kw(&self, busy_nodes: u32, total_nodes: u32) -> f64 {
+        let idle_nodes = total_nodes.saturating_sub(busy_nodes);
+        let node_w = busy_nodes as f64 * self.busy_w + idle_nodes as f64 * self.idle_w;
+        node_w * self.pue / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn busy_draws_more_than_idle() {
+        let m = PowerModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let busy = m.node_sample(true, &mut rng);
+        let idle = m.node_sample(false, &mut rng);
+        assert!(busy > idle);
+        assert!((busy - m.busy_w).abs() <= m.noise_w);
+        assert!((idle - m.idle_w).abs() <= m.noise_w);
+    }
+
+    #[test]
+    fn noise_free_model_is_exact() {
+        let m = PowerModel {
+            noise_w: 0.0,
+            ..PowerModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.node_sample(true, &mut rng), m.busy_w);
+    }
+
+    #[test]
+    fn facility_applies_pue() {
+        let m = PowerModel {
+            idle_w: 100.0,
+            busy_w: 400.0,
+            noise_w: 0.0,
+            pue: 1.5,
+        };
+        // 2 busy + 2 idle = 1000 W × 1.5 = 1.5 kW.
+        assert!((m.facility_kw(2, 4) - 1.5).abs() < 1e-12);
+        // Saturating occupancy.
+        assert!((m.facility_kw(10, 4) - 400.0 * 10.0 * 1.5 / 1000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! Synthetic workload generation.
+//!
+//! The paper plans to release "exploratory datasets used to gain insight
+//! into the variation of progress markers and run-time variation"
+//! (§III.iii); until such open datasets exist, reproductions synthesize
+//! campaigns with the structure production job logs exhibit: Poisson
+//! arrivals, lognormal work sizes, a small mix of recurring application
+//! families whose instances differ by input deck, and — crucially for
+//! the Scheduler case — *user walltime-request error*: most users
+//! overestimate (hurting backfill), a tail underestimates (their jobs
+//! die at the limit).
+
+use crate::app::{AppProfile, MisconfigSpec, PhaseChange};
+use moda_scheduler::{JobId, JobRequest};
+use moda_sim::dist::Dist;
+use moda_sim::{RngStreams, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One recurring application family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppClassSpec {
+    /// Family name.
+    pub name: String,
+    /// Sampling weight in the mix.
+    pub weight: f64,
+    /// Distribution of total steps.
+    pub steps: Dist,
+    /// Distribution of true mean step time, seconds.
+    pub mean_step_s: Dist,
+    /// Step-time coefficient of variation.
+    pub step_cv: f64,
+    /// I/O burst cadence (steps; 0 = no I/O).
+    pub io_every: u64,
+    /// I/O burst size, MB.
+    pub io_mb: f64,
+    /// Stripe width.
+    pub stripe: usize,
+    /// Probability of a mid-run phase change.
+    pub phase_change_prob: f64,
+    /// Phase-change step-time factor when it occurs.
+    pub phase_factor: f64,
+    /// Checkpoint cost, seconds.
+    pub checkpoint_cost_s: f64,
+    /// Node-count choices (uniform pick).
+    pub node_choices: Vec<u32>,
+    /// Cores per rank.
+    pub cores_per_rank: u32,
+}
+
+impl AppClassSpec {
+    /// A compute-bound "CFD-like" family.
+    pub fn cfd() -> Self {
+        AppClassSpec {
+            name: "cfd".into(),
+            weight: 1.0,
+            steps: Dist::Uniform {
+                lo: 400.0,
+                hi: 1200.0,
+            },
+            mean_step_s: Dist::Uniform { lo: 1.0, hi: 3.0 },
+            step_cv: 0.15,
+            io_every: 50,
+            io_mb: 200.0,
+            stripe: 2,
+            phase_change_prob: 0.25,
+            phase_factor: 1.8,
+            checkpoint_cost_s: 20.0,
+            node_choices: vec![2, 4, 8],
+            cores_per_rank: 8,
+        }
+    }
+
+    /// An I/O-heavy "analysis" family.
+    pub fn analysis() -> Self {
+        AppClassSpec {
+            name: "analysis".into(),
+            weight: 0.5,
+            steps: Dist::Uniform {
+                lo: 100.0,
+                hi: 400.0,
+            },
+            mean_step_s: Dist::Uniform { lo: 0.5, hi: 1.5 },
+            step_cv: 0.3,
+            io_every: 5,
+            io_mb: 500.0,
+            stripe: 4,
+            phase_change_prob: 0.1,
+            phase_factor: 1.5,
+            checkpoint_cost_s: 10.0,
+            node_choices: vec![1, 2],
+            cores_per_rank: 8,
+        }
+    }
+}
+
+/// User walltime-request error model.
+///
+/// With probability `underestimate_frac` the request *under*-covers the
+/// true work (factor sampled from `under_factor`, < 1); otherwise it
+/// overestimates (factor from `over_factor`, > 1) — the classic
+/// bimodal behaviour of production logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalltimeErrorModel {
+    /// Fraction of jobs whose request under-covers the true runtime.
+    pub underestimate_frac: f64,
+    /// Request/true-runtime factor for underestimating jobs (< 1).
+    pub under_factor: Dist,
+    /// Request/true-runtime factor for overestimating jobs (> 1).
+    pub over_factor: Dist,
+}
+
+impl Default for WalltimeErrorModel {
+    fn default() -> Self {
+        WalltimeErrorModel {
+            underestimate_frac: 0.2,
+            under_factor: Dist::Uniform { lo: 0.75, hi: 0.97 },
+            over_factor: Dist::Uniform { lo: 1.3, hi: 3.0 },
+        }
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of jobs to generate.
+    pub n_jobs: usize,
+    /// Mean inter-arrival time, seconds (exponential).
+    pub mean_interarrival_s: f64,
+    /// Application mix.
+    pub classes: Vec<AppClassSpec>,
+    /// Walltime-request error model.
+    pub walltime_error: WalltimeErrorModel,
+    /// Fraction of jobs carrying an injected misconfiguration.
+    pub misconfig_rate: f64,
+    /// Step-time slowdown of misconfigured jobs.
+    pub misconfig_slowdown: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_jobs: 200,
+            mean_interarrival_s: 120.0,
+            classes: vec![AppClassSpec::cfd(), AppClassSpec::analysis()],
+            walltime_error: WalltimeErrorModel::default(),
+            misconfig_rate: 0.0,
+            misconfig_slowdown: 2.0,
+        }
+    }
+}
+
+/// Generate a campaign: `(request, profile)` pairs sorted by submit time,
+/// with job ids starting at `first_id`.
+pub fn generate(
+    cfg: &WorkloadConfig,
+    streams: &RngStreams,
+    first_id: u64,
+) -> Vec<(JobRequest, AppProfile)> {
+    assert!(!cfg.classes.is_empty(), "workload needs app classes");
+    let mut arrivals = streams.stream("workload-arrivals");
+    let mut picks = streams.stream("workload-classes");
+    let mut jobs = Vec::with_capacity(cfg.n_jobs);
+    let total_weight: f64 = cfg.classes.iter().map(|c| c.weight).sum();
+    let mut t = 0.0_f64;
+
+    for i in 0..cfg.n_jobs {
+        let id = JobId(first_id + i as u64);
+        t += Dist::Exponential {
+            mean: cfg.mean_interarrival_s,
+        }
+        .sample(&mut arrivals);
+
+        // Pick a class by weight.
+        let mut pick = picks.gen_range(0.0..total_weight);
+        let mut class = &cfg.classes[0];
+        for c in &cfg.classes {
+            if pick < c.weight {
+                class = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+
+        let mut rng = streams.stream_n("workload-job", id.0);
+        let total_steps = class.steps.sample(&mut rng).round().max(1.0) as u64;
+        let mean_step_s = class.mean_step_s.sample(&mut rng).max(0.01);
+        let phase_change = if rng.gen_bool(class.phase_change_prob.clamp(0.0, 1.0)) {
+            Some(PhaseChange {
+                at_frac: rng.gen_range(0.3..0.7),
+                factor: class.phase_factor,
+            })
+        } else {
+            None
+        };
+        let misconfig = if cfg.misconfig_rate > 0.0 && rng.gen_bool(cfg.misconfig_rate.clamp(0.0, 1.0))
+        {
+            // Rotate through the misconfiguration kinds.
+            let kind = rng.gen_range(0..3);
+            Some(MisconfigSpec {
+                slowdown: cfg.misconfig_slowdown,
+                threads_per_rank: if kind == 0 {
+                    class.cores_per_rank * 4
+                } else {
+                    class.cores_per_rank
+                },
+                gpus_allocated: if kind == 1 { 2 } else { 0 },
+                gpu_util: if kind == 1 { 0.01 } else { 0.0 },
+                lib_path_ok: kind != 2,
+            })
+        } else {
+            None
+        };
+        let nodes = class.node_choices[rng.gen_range(0..class.node_choices.len())];
+        let scale = total_steps as f64 * mean_step_s;
+
+        let profile = AppProfile {
+            app_class: class.name.clone(),
+            total_steps,
+            mean_step_s,
+            step_cv: class.step_cv,
+            io_every: class.io_every,
+            io_mb: class.io_mb,
+            stripe: class.stripe,
+            phase_change,
+            checkpoint_cost_s: class.checkpoint_cost_s,
+            misconfig,
+            scale,
+            cores_per_rank: class.cores_per_rank,
+        };
+
+        // True expected runtime (compute + rough I/O), from which the
+        // user's request deviates.
+        let est_io_s = total_steps
+            .checked_div(class.io_every)
+            .map_or(0.0, |bursts| bursts as f64 * (class.io_mb / 500.0));
+        let slowdown = misconfig.map(|m| m.slowdown).unwrap_or(1.0);
+        let true_s = profile.base_compute_s() * slowdown + est_io_s;
+        let under = rng.gen_bool(cfg.walltime_error.underestimate_frac.clamp(0.0, 1.0));
+        let factor = if under {
+            cfg.walltime_error.under_factor.sample(&mut rng)
+        } else {
+            cfg.walltime_error.over_factor.sample(&mut rng)
+        };
+        let req_s = (true_s * factor).max(60.0);
+
+        jobs.push((
+            JobRequest {
+                id,
+                user: format!("user{}", rng.gen_range(0..8)),
+                app_class: class.name.clone(),
+                submit: SimTime::from_secs(t as u64),
+                nodes,
+                walltime: SimDuration::from_secs_f64(req_s),
+            },
+            profile,
+        ));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(cfg: &WorkloadConfig, seed: u64) -> Vec<(JobRequest, AppProfile)> {
+        generate(cfg, &RngStreams::new(seed), 0)
+    }
+
+    #[test]
+    fn generates_requested_count_sorted_by_submit() {
+        let jobs = gen(&WorkloadConfig::default(), 1);
+        assert_eq!(jobs.len(), 200);
+        for w in jobs.windows(2) {
+            assert!(w[0].0.submit <= w[1].0.submit);
+        }
+        // Ids are dense from first_id.
+        assert_eq!(jobs[0].0.id, JobId(0));
+        assert_eq!(jobs[199].0.id, JobId(199));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(&WorkloadConfig::default(), 7);
+        let b = gen(&WorkloadConfig::default(), 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+        }
+        let c = gen(&WorkloadConfig::default(), 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.0 != y.0));
+    }
+
+    #[test]
+    fn underestimate_fraction_roughly_respected() {
+        let cfg = WorkloadConfig {
+            n_jobs: 2000,
+            ..WorkloadConfig::default()
+        };
+        let jobs = gen(&cfg, 3);
+        let under = jobs
+            .iter()
+            .filter(|(req, prof)| {
+                let slowdown = prof.misconfig.map(|m| m.slowdown).unwrap_or(1.0);
+                let true_s = prof.base_compute_s() * slowdown;
+                (req.walltime.as_secs_f64()) < true_s
+            })
+            .count();
+        let frac = under as f64 / jobs.len() as f64;
+        // Configured 0.2; the I/O margin shifts it slightly.
+        assert!(
+            (0.1..0.32).contains(&frac),
+            "underestimate fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn misconfig_rate_respected() {
+        let cfg = WorkloadConfig {
+            n_jobs: 1000,
+            misconfig_rate: 0.3,
+            ..WorkloadConfig::default()
+        };
+        let jobs = gen(&cfg, 5);
+        let bad = jobs.iter().filter(|(_, p)| p.misconfig.is_some()).count();
+        let frac = bad as f64 / jobs.len() as f64;
+        assert!((0.24..0.36).contains(&frac), "misconfig fraction {frac}");
+        // Misconfigured jobs come in multiple kinds.
+        let with_gpu = jobs
+            .iter()
+            .filter(|(_, p)| p.misconfig.is_some_and(|m| m.gpus_allocated > 0))
+            .count();
+        let with_threads = jobs
+            .iter()
+            .filter(|(_, p)| {
+                p.misconfig
+                    .is_some_and(|m| m.threads_per_rank > p.cores_per_rank)
+            })
+            .count();
+        let with_lib = jobs
+            .iter()
+            .filter(|(_, p)| p.misconfig.is_some_and(|m| !m.lib_path_ok))
+            .count();
+        assert!(with_gpu > 0 && with_threads > 0 && with_lib > 0);
+    }
+
+    #[test]
+    fn class_mix_follows_weights() {
+        let jobs = gen(
+            &WorkloadConfig {
+                n_jobs: 3000,
+                ..WorkloadConfig::default()
+            },
+            11,
+        );
+        let cfd = jobs.iter().filter(|(r, _)| r.app_class == "cfd").count() as f64;
+        let frac = cfd / jobs.len() as f64;
+        // weights 1.0 vs 0.5 → 2/3 cfd.
+        assert!((0.6..0.73).contains(&frac), "cfd fraction {frac}");
+    }
+
+    #[test]
+    fn walltimes_have_a_floor() {
+        let cfg = WorkloadConfig {
+            n_jobs: 100,
+            classes: vec![AppClassSpec {
+                steps: Dist::Constant(1.0),
+                mean_step_s: Dist::Constant(0.01),
+                ..AppClassSpec::cfd()
+            }],
+            ..WorkloadConfig::default()
+        };
+        for (req, _) in gen(&cfg, 2) {
+            assert!(req.walltime >= SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "app classes")]
+    fn empty_mix_rejected() {
+        let cfg = WorkloadConfig {
+            classes: vec![],
+            ..WorkloadConfig::default()
+        };
+        gen(&cfg, 1);
+    }
+}

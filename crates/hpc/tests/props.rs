@@ -1,0 +1,128 @@
+//! Property tests for the composed world: whatever the workload and
+//! fault configuration, campaign accounting must balance and the same
+//! seed must reproduce the same history.
+
+use moda_hpc::{workload, FailureConfig, World, WorldConfig};
+use moda_scheduler::JobState;
+use moda_sim::{RngStreams, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn world_with(seed: u64, n_jobs: usize, nodes: u32, mtbf_s: Option<f64>) -> World {
+    let mut w = World::new(WorldConfig {
+        nodes,
+        seed,
+        power_period: None,
+        failure: mtbf_s.map(|node_mtbf_s| FailureConfig { node_mtbf_s }),
+        resubmit_delay: SimDuration::from_secs(60),
+        ..WorldConfig::default()
+    });
+    w.submit_campaign(workload::generate(
+        &workload::WorkloadConfig {
+            n_jobs,
+            mean_interarrival_s: 60.0,
+            ..workload::WorkloadConfig::default()
+        },
+        &RngStreams::new(seed),
+        0,
+    ));
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attempt accounting balances: every submitted attempt (root or
+    /// resubmission) ends in exactly one terminal state, and the world's
+    /// counters agree with the scheduler's job table.
+    #[test]
+    fn attempt_accounting_balances(seed in 0u64..1000, n_jobs in 1usize..40) {
+        let mut w = world_with(seed, n_jobs, 16, None);
+        w.run_to_completion(SimTime::from_hours(24 * 30));
+        prop_assert!(w.drained());
+
+        let mut by_state = [0u64; 6];
+        let mut attempts = 0u64;
+        for j in w.sched.jobs() {
+            attempts += 1;
+            prop_assert!(j.state.is_terminal(), "{} not terminal", j.req.id);
+            by_state[match j.state {
+                JobState::Completed => 0,
+                JobState::TimedOut => 1,
+                JobState::MaintenanceKilled => 2,
+                JobState::Failed => 3,
+                JobState::Cancelled => 4,
+                JobState::Pending | JobState::Running => 5,
+            }] += 1;
+        }
+        let m = &w.metrics;
+        prop_assert_eq!(by_state[0], m.completed);
+        prop_assert_eq!(by_state[1], m.timed_out);
+        prop_assert_eq!(by_state[2], m.maintenance_killed);
+        prop_assert_eq!(by_state[3], m.failures);
+        prop_assert_eq!(attempts, m.roots_total + m.resubmits);
+        // Every root eventually completes (auto-resubmit retries walltime
+        // kills with padded requests until they fit).
+        prop_assert_eq!(m.roots_completed, n_jobs as u64);
+    }
+
+    /// Bit-identical reproducibility: same seed ⇒ same campaign history,
+    /// including under failure injection.
+    #[test]
+    fn same_seed_reproduces_history(seed in 0u64..1000, with_failures in any::<bool>()) {
+        let mtbf = with_failures.then_some(40.0 * 3600.0);
+        let run = || {
+            let mut w = world_with(seed, 15, 8, mtbf);
+            w.run_to_completion(SimTime::from_hours(24 * 30));
+            let m = &w.metrics;
+            (
+                m.completed,
+                m.timed_out,
+                m.failures,
+                m.resubmits,
+                m.steps_completed,
+                w.last_progress(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Progress markers are per-job monotone non-decreasing in both time
+    /// and value — the Analyze-phase precondition.
+    #[test]
+    fn progress_markers_are_monotone(seed in 0u64..1000) {
+        let mut w = world_with(seed, 10, 8, None);
+        w.run_to_completion(SimTime::from_hours(24 * 30));
+        let ids: Vec<_> = w
+            .tsdb
+            .names()
+            .filter(|(name, _)| name.ends_with(".steps"))
+            .map(|(_, id)| id)
+            .collect();
+        prop_assert!(!ids.is_empty());
+        for id in ids {
+            let samples: Vec<_> = w.tsdb.series(id).iter().collect();
+            for pair in samples.windows(2) {
+                prop_assert!(pair[0].t <= pair[1].t);
+                prop_assert!(pair[0].value <= pair[1].value);
+            }
+        }
+    }
+
+    /// Failure injection respects the configured process: more failures
+    /// at lower MTBF, none when disabled, and the kill count matches the
+    /// terminal states.
+    #[test]
+    fn failure_rate_ordering(seed in 0u64..200) {
+        let count = |mtbf: Option<f64>| {
+            let mut w = world_with(seed, 20, 16, mtbf);
+            w.run_to_completion(SimTime::from_hours(24 * 60));
+            w.metrics.failures
+        };
+        let none = count(None);
+        let rare = count(Some(400.0 * 3600.0));
+        let frequent = count(Some(20.0 * 3600.0));
+        prop_assert_eq!(none, 0);
+        prop_assert!(rare <= frequent + 2,
+            "rare {} should not far exceed frequent {}", rare, frequent);
+    }
+}

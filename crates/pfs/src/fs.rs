@@ -1,0 +1,342 @@
+//! Files, striping, and the write path.
+//!
+//! Files are striped round-robin over a subset of OSTs chosen at open
+//! time (least-loaded placement, honoring an *avoid list* — the OST
+//! case's response hook). A write's duration is governed by the slowest
+//! stripe target's fair-share bandwidth, which is what makes one
+//! degraded OST poison every file striped onto it — the §III "poorly
+//! performing OST" failure the loop detects and routes around.
+
+use crate::ost::{Ost, OstId};
+use moda_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Open-file handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Filesystem configuration.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Number of object storage targets.
+    pub num_osts: usize,
+    /// Nominal per-OST bandwidth, MB/s.
+    pub ost_bandwidth: f64,
+    /// Default stripe width for new files.
+    pub default_stripe: usize,
+    /// Fixed per-write latency floor (metadata + RPC), milliseconds.
+    pub base_latency_ms: u64,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        PfsConfig {
+            num_osts: 8,
+            ost_bandwidth: 500.0,
+            default_stripe: 2,
+            base_latency_ms: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct File {
+    stripe: Vec<OstId>,
+}
+
+/// Result of one write call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOutcome {
+    /// Wall time the write takes (caller schedules completion after it).
+    pub duration: SimDuration,
+    /// Achieved bandwidth, MB/s.
+    pub bandwidth: f64,
+}
+
+/// The parallel filesystem.
+#[derive(Debug)]
+pub struct Pfs {
+    cfg: PfsConfig,
+    osts: Vec<Ost>,
+    files: HashMap<FileId, File>,
+    next_file: u64,
+    /// Recent per-OST observed per-stream bandwidth (EWMA over writes
+    /// touching the target) — the sensor the OST loop reads.
+    observed_bw: Vec<moda_sim::stats::Ewma>,
+    total_writes: u64,
+}
+
+impl Pfs {
+    /// Filesystem with `cfg.num_osts` healthy targets.
+    pub fn new(cfg: PfsConfig) -> Self {
+        assert!(cfg.num_osts > 0, "need at least one OST");
+        assert!(
+            cfg.default_stripe >= 1 && cfg.default_stripe <= cfg.num_osts,
+            "stripe width must be in [1, num_osts]"
+        );
+        let osts = (0..cfg.num_osts)
+            .map(|_| Ost::new(cfg.ost_bandwidth))
+            .collect();
+        let observed_bw = (0..cfg.num_osts)
+            .map(|_| moda_sim::stats::Ewma::with_span(8))
+            .collect();
+        Pfs {
+            cfg,
+            osts,
+            files: HashMap::new(),
+            next_file: 0,
+            observed_bw,
+            total_writes: 0,
+        }
+    }
+
+    /// Open a file striped over `stripe_count` targets, avoiding the
+    /// given OSTs if possible. Placement is least-loaded-first among the
+    /// allowed targets; if too few targets remain outside the avoid
+    /// list, avoided targets fill the remainder (the filesystem never
+    /// refuses an open for this reason — matching the paper's "in a case
+    /// where the filesystem would allow it" caveat).
+    pub fn open(&mut self, stripe_count: usize, avoid: &[OstId]) -> FileId {
+        let stripe_count = stripe_count.clamp(1, self.osts.len());
+        let mut preferred: Vec<OstId> = (0..self.osts.len() as u32)
+            .map(OstId)
+            .filter(|id| !avoid.contains(id))
+            .collect();
+        preferred.sort_by_key(|id| (self.osts[id.0 as usize].open_streams, id.0));
+        let mut stripe: Vec<OstId> = preferred.into_iter().take(stripe_count).collect();
+        if stripe.len() < stripe_count {
+            let mut fallback: Vec<OstId> = avoid
+                .iter()
+                .copied()
+                .filter(|id| (id.0 as usize) < self.osts.len() && !stripe.contains(id))
+                .collect();
+            fallback.sort_by_key(|id| (self.osts[id.0 as usize].open_streams, id.0));
+            stripe.extend(fallback.into_iter().take(stripe_count - stripe.len()));
+        }
+        for id in &stripe {
+            self.osts[id.0 as usize].open_streams += 1;
+        }
+        let fid = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(fid, File { stripe });
+        fid
+    }
+
+    /// Close a file, releasing its stripe streams.
+    pub fn close(&mut self, fid: FileId) {
+        if let Some(f) = self.files.remove(&fid) {
+            for id in f.stripe {
+                let s = &mut self.osts[id.0 as usize].open_streams;
+                *s = s.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Write `mb` megabytes to `fid` at `now`.
+    ///
+    /// The write is divided evenly over the stripe; each target serves
+    /// its share at its fair-share bandwidth, and the write completes
+    /// when the slowest target finishes (collective-write semantics).
+    pub fn write(&mut self, _now: SimTime, fid: FileId, mb: f64) -> WriteOutcome {
+        assert!(mb > 0.0, "write size must be positive");
+        let stripe = self
+            .files
+            .get(&fid)
+            .expect("write to unknown file")
+            .stripe
+            .clone();
+        let share = mb / stripe.len() as f64;
+        let mut slowest_s = 0.0_f64;
+        for id in &stripe {
+            let ost = &mut self.osts[id.0 as usize];
+            let bw = ost.per_stream_bw();
+            let t = share / bw;
+            slowest_s = slowest_s.max(t);
+            ost.written_mb += share;
+            self.observed_bw[id.0 as usize].push(bw);
+        }
+        self.total_writes += 1;
+        let duration =
+            SimDuration::from_secs_f64(slowest_s) + SimDuration(self.cfg.base_latency_ms);
+        let bandwidth = mb / duration.as_secs_f64().max(1e-9);
+        WriteOutcome {
+            duration,
+            bandwidth,
+        }
+    }
+
+    /// Inject or clear degradation on one target.
+    pub fn set_ost_health(&mut self, id: OstId, factor: f64) {
+        self.osts[id.0 as usize].set_health(factor);
+    }
+
+    /// Target state (inspection).
+    pub fn ost(&self, id: OstId) -> &Ost {
+        &self.osts[id.0 as usize]
+    }
+
+    /// Number of targets.
+    pub fn num_osts(&self) -> usize {
+        self.osts.len()
+    }
+
+    /// Recently observed per-stream bandwidth of a target (EWMA over the
+    /// last writes touching it) — what the OST-case Monitor reads. `None`
+    /// until the target has served a write.
+    pub fn observed_bw(&self, id: OstId) -> Option<f64> {
+        self.observed_bw[id.0 as usize].value()
+    }
+
+    /// The stripe of an open file.
+    pub fn stripe_of(&self, fid: FileId) -> Option<&[OstId]> {
+        self.files.get(&fid).map(|f| f.stripe.as_slice())
+    }
+
+    /// Lifetime writes served.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Open-file count.
+    pub fn open_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs(n: usize, stripe: usize) -> Pfs {
+        Pfs::new(PfsConfig {
+            num_osts: n,
+            ost_bandwidth: 100.0,
+            default_stripe: stripe,
+            base_latency_ms: 0,
+        })
+    }
+
+    #[test]
+    fn open_prefers_least_loaded() {
+        let mut p = pfs(4, 2);
+        let a = p.open(2, &[]);
+        // First file lands on ost0, ost1 (all tied, lowest index wins).
+        assert_eq!(p.stripe_of(a).unwrap(), &[OstId(0), OstId(1)]);
+        let b = p.open(2, &[]);
+        // Second file balances onto ost2, ost3.
+        assert_eq!(p.stripe_of(b).unwrap(), &[OstId(2), OstId(3)]);
+    }
+
+    #[test]
+    fn open_honours_avoid_list() {
+        let mut p = pfs(4, 2);
+        let f = p.open(2, &[OstId(0), OstId(1)]);
+        assert_eq!(p.stripe_of(f).unwrap(), &[OstId(2), OstId(3)]);
+    }
+
+    #[test]
+    fn avoid_list_falls_back_when_too_restrictive() {
+        let mut p = pfs(2, 2);
+        // Avoiding everything still opens (the FS "would allow it").
+        let f = p.open(2, &[OstId(0), OstId(1)]);
+        assert_eq!(p.stripe_of(f).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn close_releases_streams() {
+        let mut p = pfs(2, 2);
+        let f = p.open(2, &[]);
+        assert_eq!(p.ost(OstId(0)).open_streams, 1);
+        p.close(f);
+        assert_eq!(p.ost(OstId(0)).open_streams, 0);
+        assert_eq!(p.open_files(), 0);
+        // Double close is a no-op.
+        p.close(f);
+        assert_eq!(p.ost(OstId(0)).open_streams, 0);
+    }
+
+    #[test]
+    fn write_time_scales_with_size_and_stripe() {
+        let mut p = pfs(4, 2);
+        let f1 = p.open(1, &[]);
+        let w1 = p.write(SimTime::ZERO, f1, 100.0);
+        // 100 MB over one 100 MB/s target = 1 s.
+        assert_eq!(w1.duration, SimDuration::from_secs(1));
+        let f2 = p.open(2, &[OstId(0)]);
+        let w2 = p.write(SimTime::ZERO, f2, 100.0);
+        // Striped over two free targets: 50 MB each at 100 MB/s = 0.5 s.
+        assert_eq!(w2.duration, SimDuration::from_secs_f64(0.5));
+        assert!(w2.bandwidth > w1.bandwidth);
+    }
+
+    #[test]
+    fn degraded_ost_slows_whole_stripe() {
+        let mut p = pfs(2, 2);
+        let f = p.open(2, &[]);
+        let healthy = p.write(SimTime::ZERO, f, 100.0);
+        p.set_ost_health(OstId(1), 0.1);
+        let degraded = p.write(SimTime::ZERO, f, 100.0);
+        // Slowest target dominates: 50 MB at 10 MB/s = 5 s vs 0.5 s.
+        assert_eq!(degraded.duration, SimDuration::from_secs(5));
+        assert!(degraded.bandwidth < healthy.bandwidth / 5.0);
+    }
+
+    #[test]
+    fn contention_halves_per_stream_bandwidth() {
+        let mut p = pfs(1, 1);
+        let a = p.open(1, &[]);
+        let solo = p.write(SimTime::ZERO, a, 100.0);
+        let _b = p.open(1, &[]);
+        let contended = p.write(SimTime::ZERO, a, 100.0);
+        assert_eq!(solo.duration, SimDuration::from_secs(1));
+        assert_eq!(contended.duration, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn observed_bw_tracks_degradation() {
+        let mut p = pfs(2, 1);
+        let f = p.open(1, &[]); // lands on ost0
+        assert_eq!(p.observed_bw(OstId(0)), None);
+        p.write(SimTime::ZERO, f, 10.0);
+        assert!((p.observed_bw(OstId(0)).unwrap() - 100.0).abs() < 1e-9);
+        p.set_ost_health(OstId(0), 0.2);
+        for _ in 0..20 {
+            p.write(SimTime::ZERO, f, 10.0);
+        }
+        // EWMA converged near the degraded 20 MB/s.
+        assert!(p.observed_bw(OstId(0)).unwrap() < 25.0);
+        // Untouched target still has no observation.
+        assert_eq!(p.observed_bw(OstId(1)), None);
+    }
+
+    #[test]
+    fn base_latency_floor_applies() {
+        let mut p = Pfs::new(PfsConfig {
+            num_osts: 1,
+            ost_bandwidth: 1000.0,
+            default_stripe: 1,
+            base_latency_ms: 5,
+        });
+        let f = p.open(1, &[]);
+        let w = p.write(SimTime::ZERO, f, 0.001);
+        assert!(w.duration >= SimDuration(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn write_to_closed_file_panics() {
+        let mut p = pfs(1, 1);
+        let f = p.open(1, &[]);
+        p.close(f);
+        p.write(SimTime::ZERO, f, 1.0);
+    }
+
+    #[test]
+    fn stripe_width_clamps() {
+        let mut p = pfs(2, 1);
+        let f = p.open(99, &[]);
+        assert_eq!(p.stripe_of(f).unwrap().len(), 2);
+        let g = p.open(0, &[]);
+        assert_eq!(p.stripe_of(g).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # moda-pfs
+//!
+//! A Lustre-like parallel filesystem — the managed system of the paper's
+//! **OST** and **I/O QoS** use cases (§III, cases 2 and 3).
+//!
+//! The loops need exactly three properties from a parallel filesystem,
+//! all modeled here:
+//!
+//! * **per-OST performance that can silently degrade** — files are
+//!   striped over object storage targets ([`ost`]); each OST has nominal
+//!   bandwidth, a degradation factor experiments can inject, and
+//!   fair-share contention between concurrent streams ([`fs`]). The OST
+//!   case's response hook is [`fs::Pfs::open`] with an *avoid list*:
+//!   "close files using a poorly performing OST ... then reopen them
+//!   using different OSTs, or explicitly request to avoid that OST"
+//!   (§III),
+//! * **QoS allocations that a loop can retune** — token-bucket rate
+//!   limits per tenant ([`qos`]), the actuator of the I/O-QoS case
+//!   ("adapt QoS parameters based on the current application performance
+//!   and system I/O load", §III),
+//! * **observable write performance** — per-OST and per-tenant observed
+//!   bandwidth and latency summaries, the sensor side of both loops.
+
+pub mod fs;
+pub mod ost;
+pub mod qos;
+
+pub use fs::{FileId, Pfs, PfsConfig, WriteOutcome};
+pub use ost::{Ost, OstId};
+pub use qos::{QosManager, TokenBucket};

@@ -1,0 +1,98 @@
+//! Object storage targets.
+//!
+//! An OST is a storage volume with nominal bandwidth. Production OSTs
+//! degrade for many reasons (RAID rebuilds, failing disks, hot spots);
+//! experiments inject that as a multiplicative factor, which is the
+//! ground truth the OST-case loop must *detect from observed write
+//! performance alone*.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// OST identifier (index into the filesystem's target list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OstId(pub u32);
+
+impl fmt::Display for OstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ost{}", self.0)
+    }
+}
+
+/// One object storage target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ost {
+    /// Healthy bandwidth, MB/s.
+    pub nominal_bw: f64,
+    /// Current degradation factor in `(0, 1]` (1 = healthy).
+    pub health: f64,
+    /// Open streams currently striped onto this target (contention).
+    pub open_streams: u32,
+    /// Lifetime bytes written, MB.
+    pub written_mb: f64,
+}
+
+impl Ost {
+    /// Healthy OST with the given nominal bandwidth.
+    pub fn new(nominal_bw: f64) -> Self {
+        assert!(nominal_bw > 0.0, "OST bandwidth must be positive");
+        Ost {
+            nominal_bw,
+            health: 1.0,
+            open_streams: 0,
+            written_mb: 0.0,
+        }
+    }
+
+    /// Effective total bandwidth right now (nominal × health), MB/s.
+    pub fn effective_bw(&self) -> f64 {
+        self.nominal_bw * self.health
+    }
+
+    /// Fair share of bandwidth for one of `open_streams` streams, MB/s.
+    /// A lone stream gets the full effective bandwidth.
+    pub fn per_stream_bw(&self) -> f64 {
+        self.effective_bw() / self.open_streams.max(1) as f64
+    }
+
+    /// Inject or clear degradation. `factor` clamps to `(0, 1]`.
+    pub fn set_health(&mut self, factor: f64) {
+        self.health = factor.clamp(1e-6, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_ost_full_bandwidth() {
+        let o = Ost::new(500.0);
+        assert_eq!(o.effective_bw(), 500.0);
+        assert_eq!(o.per_stream_bw(), 500.0);
+    }
+
+    #[test]
+    fn degradation_scales_bandwidth() {
+        let mut o = Ost::new(500.0);
+        o.set_health(0.1);
+        assert!((o.effective_bw() - 50.0).abs() < 1e-9);
+        o.set_health(1.5); // clamps
+        assert_eq!(o.health, 1.0);
+        o.set_health(-1.0); // clamps to epsilon, never zero
+        assert!(o.health > 0.0);
+    }
+
+    #[test]
+    fn fair_share_splits_between_streams() {
+        let mut o = Ost::new(600.0);
+        o.open_streams = 3;
+        assert!((o.per_stream_bw() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        Ost::new(0.0);
+    }
+}

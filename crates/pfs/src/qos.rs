@@ -1,0 +1,245 @@
+//! Token-bucket QoS allocations.
+//!
+//! The I/O-QoS case (§III, case 2) refines "a storage system whose users
+//! receive QoS allocations through the use of MAPE-K loops of decreasing
+//! size and increasing automation". The allocation mechanism here is a
+//! per-tenant token bucket: tokens are megabytes of I/O, refilled at the
+//! allocated rate. The autonomy loop's actuator is
+//! [`QosManager::set_rate`] — retuning allocations as observed
+//! interference and tail latency change.
+
+use moda_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A single tenant's token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Sustained allocation, MB/s.
+    rate: f64,
+    /// Burst capacity, MB.
+    burst: f64,
+    /// Current tokens, MB.
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Bucket with the given sustained rate and burst capacity, starting
+    /// full.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0 && burst > 0.0, "rate and burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        if dt > 0.0 {
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.last_refill = now;
+        }
+    }
+
+    /// Try to consume `mb` tokens at `now`. On success the I/O may
+    /// proceed immediately; on failure the caller should wait
+    /// [`TokenBucket::delay_until_available`].
+    pub fn try_consume(&mut self, now: SimTime, mb: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= mb {
+            self.tokens -= mb;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long until `mb` tokens will be available (zero if already).
+    /// The bucket supports *debt* (negative tokens), so oversized
+    /// requests are throttled for their full size, not clamped to one
+    /// burst — a 100 MB write against a 10 MB/s allocation genuinely
+    /// waits.
+    pub fn delay_until_available(&mut self, now: SimTime, mb: f64) -> SimDuration {
+        self.refill(now);
+        if self.tokens >= mb {
+            return SimDuration::ZERO;
+        }
+        let missing = mb - self.tokens;
+        SimDuration::from_secs_f64(missing / self.rate)
+    }
+
+    /// Current sustained rate, MB/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Change the sustained rate (the QoS actuator).
+    pub fn set_rate(&mut self, now: SimTime, rate: f64) {
+        assert!(rate > 0.0, "rate must be positive");
+        self.refill(now);
+        self.rate = rate;
+    }
+
+    /// Current tokens, MB (after an implicit refill at `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Per-tenant QoS state.
+#[derive(Debug, Default)]
+pub struct QosManager {
+    buckets: HashMap<String, TokenBucket>,
+}
+
+impl QosManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        QosManager::default()
+    }
+
+    /// Register a tenant with an initial allocation.
+    pub fn register(&mut self, tenant: impl Into<String>, rate: f64, burst: f64) {
+        self.buckets
+            .insert(tenant.into(), TokenBucket::new(rate, burst));
+    }
+
+    /// Admission check: how long must `tenant` wait before issuing `mb`
+    /// of I/O? The charge is always the full size (debt allowed), so
+    /// sustained demand above the allocation accumulates delay — the
+    /// throttling behaviour a QoS loop tunes against. Unknown tenants
+    /// are unthrottled.
+    pub fn admit(&mut self, now: SimTime, tenant: &str, mb: f64) -> SimDuration {
+        match self.buckets.get_mut(tenant) {
+            None => SimDuration::ZERO,
+            Some(b) => {
+                let d = b.delay_until_available(now, mb);
+                b.tokens -= mb;
+                d
+            }
+        }
+    }
+
+    /// The QoS actuator: change a tenant's sustained rate.
+    pub fn set_rate(&mut self, now: SimTime, tenant: &str, rate: f64) -> bool {
+        match self.buckets.get_mut(tenant) {
+            Some(b) => {
+                b.set_rate(now, rate);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A tenant's current rate.
+    pub fn rate(&self, tenant: &str) -> Option<f64> {
+        self.buckets.get(tenant).map(|b| b.rate())
+    }
+
+    /// Registered tenants.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.buckets.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn bucket_starts_full_and_consumes() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        assert!(b.try_consume(t(0), 100.0));
+        assert!(!b.try_consume(t(0), 1.0));
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        b.try_consume(t(0), 100.0);
+        // After 5 s at 10 MB/s → 50 MB available.
+        assert!((b.available(t(5)) - 50.0).abs() < 1e-9);
+        assert!(b.try_consume(t(5), 50.0));
+        assert!(!b.try_consume(t(5), 0.1));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        b.try_consume(t(0), 10.0);
+        assert!((b.available(t(1000)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_until_available_is_exact() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        b.try_consume(t(0), 100.0);
+        // Need 20 MB; refill rate 10 MB/s → 2 s.
+        let d = b.delay_until_available(t(0), 20.0);
+        assert_eq!(d, SimDuration::from_secs(2));
+        // Oversized requests wait for their full size.
+        let d2 = b.delay_until_available(t(0), 250.0);
+        assert_eq!(d2, SimDuration::from_secs(25));
+    }
+
+    #[test]
+    fn debt_accumulates_across_admits() {
+        let mut q = QosManager::new();
+        q.register("a", 10.0, 50.0);
+        // First 100 MB: 50 tokens available → 5 s wait, debt −50.
+        let d1 = q.admit(t(0), "a", 100.0);
+        assert_eq!(d1, SimDuration::from_secs(5));
+        // Second 100 MB at t=5: refill +50 → tokens 0 → 10 s wait.
+        let d2 = q.admit(t(5), "a", 100.0);
+        assert_eq!(d2, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn set_rate_affects_future_refills_only() {
+        let mut b = TokenBucket::new(10.0, 100.0);
+        b.try_consume(t(0), 100.0);
+        // 2 s at old rate 10 → 20 tokens accrued, then rate drops to 1.
+        b.set_rate(t(2), 1.0);
+        assert!((b.available(t(2)) - 20.0).abs() < 1e-9);
+        // 3 more seconds at 1 MB/s → 23.
+        assert!((b.available(t(5)) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manager_admits_and_throttles() {
+        let mut q = QosManager::new();
+        q.register("tenantA", 10.0, 50.0);
+        // Burst admits immediately.
+        assert_eq!(q.admit(t(0), "tenantA", 50.0), SimDuration::ZERO);
+        // Next request must wait for refill.
+        let d = q.admit(t(0), "tenantA", 10.0);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // Unknown tenants are unthrottled.
+        assert_eq!(q.admit(t(0), "ghost", 1e6), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn manager_set_rate_roundtrip() {
+        let mut q = QosManager::new();
+        q.register("a", 10.0, 50.0);
+        assert_eq!(q.rate("a"), Some(10.0));
+        assert!(q.set_rate(t(1), "a", 25.0));
+        assert_eq!(q.rate("a"), Some(25.0));
+        assert!(!q.set_rate(t(1), "nope", 5.0));
+        assert_eq!(q.tenants().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 10.0);
+    }
+}

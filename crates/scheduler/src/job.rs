@@ -1,0 +1,177 @@
+//! Jobs as the scheduler sees them.
+//!
+//! The scheduler knows only what a user request tells it — node count and
+//! *requested* walltime. Actual durations are a property of the running
+//! application (modeled in `moda-hpc`); the gap between the two is
+//! exactly what the Scheduler autonomy loop estimates and corrects.
+
+use moda_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scheduler-wide job identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A submission: what the user asked for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Unique id (assigned by the submitter).
+    pub id: JobId,
+    /// Owner (accounting/trust metrics are per-user in §III.v).
+    pub user: String,
+    /// Application family, linking the job to Knowledge history.
+    pub app_class: String,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Requested walltime limit.
+    pub walltime: SimDuration,
+}
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Running since the contained time.
+    Running,
+    /// Finished before its limit.
+    Completed,
+    /// Killed at its walltime limit while still working — the outcome
+    /// the Scheduler loop exists to prevent.
+    TimedOut,
+    /// Killed by a maintenance outage.
+    MaintenanceKilled,
+    /// Killed by a node failure (fail-stop hardware fault, §IV
+    /// resilience scenarios).
+    Failed,
+    /// Removed by request (e.g. after checkpointing for resubmission).
+    Cancelled,
+}
+
+impl JobState {
+    /// Terminal states never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed
+                | JobState::TimedOut
+                | JobState::MaintenanceKilled
+                | JobState::Failed
+                | JobState::Cancelled
+        )
+    }
+}
+
+/// Scheduler-internal job record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    /// The original request.
+    pub req: JobRequest,
+    /// Current state.
+    pub state: JobState,
+    /// Start time (set when Running).
+    pub start: Option<SimTime>,
+    /// Current kill deadline (start + walltime + granted extensions).
+    pub limit_end: Option<SimTime>,
+    /// End time (set on terminal transition).
+    pub end: Option<SimTime>,
+    /// Number of extensions granted so far.
+    pub extensions: u32,
+    /// Total extension time granted so far.
+    pub extended_total: SimDuration,
+}
+
+impl Job {
+    /// Fresh pending job.
+    pub fn new(req: JobRequest) -> Self {
+        Job {
+            req,
+            state: JobState::Pending,
+            start: None,
+            limit_end: None,
+            end: None,
+            extensions: 0,
+            extended_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Remaining allocation at `now` (None unless running).
+    pub fn remaining(&self, now: SimTime) -> Option<SimDuration> {
+        match (self.state, self.limit_end) {
+            (JobState::Running, Some(limit)) => Some(limit.saturating_since(now)),
+            _ => None,
+        }
+    }
+
+    /// Wait time in queue (None until started).
+    pub fn wait_time(&self) -> Option<SimDuration> {
+        self.start.map(|s| s.saturating_since(self.req.submit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> JobRequest {
+        JobRequest {
+            id: JobId(1),
+            user: "alice".into(),
+            app_class: "cfd".into(),
+            submit: SimTime::from_secs(100),
+            nodes: 4,
+            walltime: SimDuration::from_mins(30),
+        }
+    }
+
+    #[test]
+    fn new_job_is_pending() {
+        let j = Job::new(req());
+        assert_eq!(j.state, JobState::Pending);
+        assert_eq!(j.remaining(SimTime::from_secs(200)), None);
+        assert_eq!(j.wait_time(), None);
+    }
+
+    #[test]
+    fn remaining_counts_down_when_running() {
+        let mut j = Job::new(req());
+        j.state = JobState::Running;
+        j.start = Some(SimTime::from_secs(200));
+        j.limit_end = Some(SimTime::from_secs(200) + SimDuration::from_mins(30));
+        let rem = j.remaining(SimTime::from_secs(200 + 600)).unwrap();
+        assert_eq!(rem, SimDuration::from_mins(20));
+        // Past the limit saturates to zero.
+        assert_eq!(
+            j.remaining(SimTime::from_secs(200 + 3600)).unwrap(),
+            SimDuration::ZERO
+        );
+        assert_eq!(j.wait_time(), Some(SimDuration::from_secs(100)));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Pending.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::TimedOut.is_terminal());
+        assert!(JobState::MaintenanceKilled.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert!(JobId(1) < JobId(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # moda-scheduler
+//!
+//! A SLURM-like batch scheduler — the managed system of the paper's
+//! **Scheduler** use case (§III, Fig. 3) and the substrate for the
+//! Maintenance case.
+//!
+//! What the loops need from a scheduler, and what this crate provides:
+//!
+//! * **FCFS + EASY backfill** over a homogeneous node pool
+//!   ([`scheduler::Scheduler`]), with walltime enforcement (jobs are
+//!   killed at their limit — the failure mode the Scheduler loop exists
+//!   to prevent),
+//! * **the extension hook** — "for typical HPC schedulers, such as
+//!   SLURM, this is an existing command-line functionality" (§III):
+//!   [`scheduler::Scheduler::request_extension`] may grant, partially
+//!   grant, or deny (§III: "the scheduler may deny the request or provide
+//!   a shorter extension than requested"), governed by a configurable
+//!   [`policy::ExtensionPolicy`] with the §III.iv trust controls,
+//! * **maintenance outages** — full-system windows the scheduler drains
+//!   toward (no job may start if it would overlap), for the Maintenance
+//!   case,
+//! * **accounting** — utilization, queue-blocked idle node-time,
+//!   completions/kills/requeues, extension grants and reservation delays:
+//!   the quantities §III.iv–v name as validation and incentive metrics.
+
+pub mod accounting;
+pub mod job;
+pub mod policy;
+pub mod scheduler;
+
+pub use accounting::Accounting;
+pub use job::{Job, JobId, JobRequest, JobState};
+pub use policy::{DenyReason, ExtensionDecision, ExtensionPolicy};
+pub use scheduler::{Scheduler, SchedulerConfig};

@@ -1,0 +1,140 @@
+//! Walltime-extension policy.
+//!
+//! The Execute phase of the Scheduler loop calls
+//! [`crate::scheduler::Scheduler::request_extension`]; this module is the
+//! scheduler-side policy that answers. §III is explicit that the answer
+//! is not always yes: "the scheduler may deny the request or provide a
+//! shorter extension than requested", and §III.iv names the trust
+//! controls — "limits on the number and overall time of extensions for a
+//! single application" — which appear here as policy knobs.
+
+use moda_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Why an extension was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// The job is not running.
+    NotRunning,
+    /// Per-job extension-count limit reached.
+    TooManyExtensions,
+    /// Per-job total-extension-time budget exhausted.
+    BudgetExhausted,
+    /// Granting would delay the backfill reservation of the queue head
+    /// and the policy forbids that.
+    WouldDelayReservation,
+    /// Granting would push the job into a maintenance outage.
+    OverlapsOutage,
+}
+
+/// The scheduler's answer to an extension request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExtensionDecision {
+    /// Full grant of the requested time.
+    Granted(SimDuration),
+    /// Partial grant: less than requested (clipped by a budget, the
+    /// reservation, or an outage).
+    Partial {
+        /// Time actually granted.
+        granted: SimDuration,
+        /// Time that was requested.
+        requested: SimDuration,
+    },
+    /// Refused outright.
+    Denied(DenyReason),
+}
+
+impl ExtensionDecision {
+    /// Time actually granted (zero when denied).
+    pub fn granted(&self) -> SimDuration {
+        match *self {
+            ExtensionDecision::Granted(d) => d,
+            ExtensionDecision::Partial { granted, .. } => granted,
+            ExtensionDecision::Denied(_) => SimDuration::ZERO,
+        }
+    }
+
+    /// Whether any time was granted.
+    pub fn is_granted(&self) -> bool {
+        self.granted() > SimDuration::ZERO
+    }
+}
+
+/// Scheduler-side extension policy (§III.iv trust controls).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionPolicy {
+    /// Maximum number of extensions per job.
+    pub max_extensions_per_job: u32,
+    /// Maximum cumulative extension time per job.
+    pub max_total_extension: SimDuration,
+    /// If true, an extension may not delay the EASY reservation of the
+    /// queue head; the grant is clipped to the reservation slack (and
+    /// denied if there is none).
+    pub respect_reservation: bool,
+}
+
+impl Default for ExtensionPolicy {
+    /// SLURM-site-flavoured defaults: up to 3 extensions, at most 2 h
+    /// total, never delaying the head reservation.
+    fn default() -> Self {
+        ExtensionPolicy {
+            max_extensions_per_job: 3,
+            max_total_extension: SimDuration::from_hours(2),
+            respect_reservation: true,
+        }
+    }
+}
+
+impl ExtensionPolicy {
+    /// A policy that always grants (baseline/ablation configuration).
+    pub fn permissive() -> Self {
+        ExtensionPolicy {
+            max_extensions_per_job: u32::MAX,
+            max_total_extension: SimDuration(u64::MAX),
+            respect_reservation: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_granted_amounts() {
+        assert_eq!(
+            ExtensionDecision::Granted(SimDuration::from_secs(60)).granted(),
+            SimDuration::from_secs(60)
+        );
+        assert_eq!(
+            ExtensionDecision::Partial {
+                granted: SimDuration::from_secs(30),
+                requested: SimDuration::from_secs(60)
+            }
+            .granted(),
+            SimDuration::from_secs(30)
+        );
+        assert_eq!(
+            ExtensionDecision::Denied(DenyReason::TooManyExtensions).granted(),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn is_granted_semantics() {
+        assert!(ExtensionDecision::Granted(SimDuration::from_secs(1)).is_granted());
+        assert!(!ExtensionDecision::Denied(DenyReason::NotRunning).is_granted());
+        // A zero-length "grant" counts as not granted.
+        assert!(!ExtensionDecision::Granted(SimDuration::ZERO).is_granted());
+    }
+
+    #[test]
+    fn default_policy_has_trust_controls() {
+        let p = ExtensionPolicy::default();
+        assert_eq!(p.max_extensions_per_job, 3);
+        assert!(p.respect_reservation);
+        let perm = ExtensionPolicy::permissive();
+        assert!(!perm.respect_reservation);
+        assert!(perm.max_total_extension > SimDuration::from_hours(1_000_000));
+    }
+}

@@ -1,0 +1,856 @@
+//! FCFS + EASY-backfill scheduler with feedback hooks.
+//!
+//! Node pool is homogeneous and fungible (counts, not topology) — the
+//! paper's loops react to *time* (walltime limits, queue reservations,
+//! outage windows), not placement, so counts capture the relevant
+//! dynamics while keeping the shadow-time computation exact.
+//!
+//! EASY backfill: the queue head gets a *reservation* at the shadow time
+//! (earliest instant enough nodes will be free, by current walltime
+//! limits); later jobs may start out of order only if they terminate
+//! before the shadow time or fit into the nodes spare even after the
+//! head's reservation. Walltime extensions interact with exactly this
+//! reservation — which is why §III.iv worries about extensions delaying
+//! backfill — and [`Scheduler::request_extension`] implements that
+//! negotiation.
+
+use crate::accounting::Accounting;
+use crate::job::{Job, JobId, JobRequest, JobState};
+use crate::policy::{DenyReason, ExtensionDecision, ExtensionPolicy};
+use moda_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Static scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Homogeneous node count.
+    pub total_nodes: u32,
+    /// Extension-hook policy.
+    pub policy: ExtensionPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            total_nodes: 64,
+            policy: ExtensionPolicy::default(),
+        }
+    }
+}
+
+/// The batch scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    free: u32,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, Job>,
+    running: Vec<JobId>,
+    outages: Vec<(SimTime, SimTime)>,
+    acct: Accounting,
+}
+
+impl Scheduler {
+    /// Empty scheduler over `cfg.total_nodes` free nodes.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        let free = cfg.total_nodes;
+        Scheduler {
+            cfg,
+            free,
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            running: Vec::new(),
+            outages: Vec::new(),
+            acct: Accounting::new(),
+        }
+    }
+
+    // ----- submission & lifecycle ---------------------------------------
+
+    /// Enqueue a job. `resubmit` marks checkpoint-restart resubmissions
+    /// for the §III.v statistics.
+    pub fn submit(&mut self, now: SimTime, req: JobRequest, resubmit: bool) {
+        self.advance_acct(now);
+        assert!(
+            req.nodes > 0 && req.nodes <= self.cfg.total_nodes,
+            "job {} requests {} nodes of {}",
+            req.id,
+            req.nodes,
+            self.cfg.total_nodes
+        );
+        assert!(
+            !self.jobs.contains_key(&req.id),
+            "duplicate job id {}",
+            req.id
+        );
+        if resubmit {
+            self.acct.note_resubmit();
+        }
+        let id = req.id;
+        self.jobs.insert(id, Job::new(req));
+        self.queue.push_back(id);
+    }
+
+    /// Run one scheduling pass (FCFS + EASY backfill). Returns the jobs
+    /// started at `now`.
+    pub fn schedule(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance_acct(now);
+        let mut started = Vec::new();
+
+        // FCFS: start from the head while it fits.
+        while let Some(&head) = self.queue.front() {
+            let (nodes, wall) = {
+                let j = &self.jobs[&head];
+                (j.req.nodes, j.req.walltime)
+            };
+            if nodes <= self.free && self.start_allowed(now, wall) {
+                self.start_job(now, head);
+                self.queue.pop_front();
+                started.push(head);
+            } else {
+                break;
+            }
+        }
+
+        // EASY backfill behind a blocked head.
+        if let Some(&head) = self.queue.front() {
+            let (head_nodes, head_wall) = {
+                let j = &self.jobs[&head];
+                (j.req.nodes, j.req.walltime)
+            };
+            let (shadow, mut spare) = self.shadow_for(now, head_nodes, head_wall, None);
+            let candidates: Vec<JobId> = self.queue.iter().skip(1).copied().collect();
+            for id in candidates {
+                let (nodes, wall) = {
+                    let j = &self.jobs[&id];
+                    (j.req.nodes, j.req.walltime)
+                };
+                if nodes > self.free || !self.start_allowed(now, wall) {
+                    continue;
+                }
+                let before_shadow = now + wall <= shadow;
+                let in_spare = nodes <= spare;
+                if before_shadow || in_spare {
+                    self.start_job(now, id);
+                    self.queue.retain(|&q| q != id);
+                    started.push(id);
+                    if !before_shadow {
+                        spare -= nodes;
+                    }
+                }
+            }
+        }
+        started
+    }
+
+    /// Application completed before its limit: release nodes.
+    pub fn finish(&mut self, now: SimTime, id: JobId) {
+        self.advance_acct(now);
+        let job = self.jobs.get_mut(&id).expect("finish of unknown job");
+        assert_eq!(job.state, JobState::Running, "finish of non-running {id}");
+        job.state = JobState::Completed;
+        job.end = Some(now);
+        let nodes = job.req.nodes;
+        self.release(id, nodes);
+        self.acct.completed += 1;
+    }
+
+    /// Kill every running job whose walltime limit has passed. Returns
+    /// the killed ids.
+    pub fn kill_expired(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance_acct(now);
+        let expired: Vec<JobId> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.jobs[id]
+                    .limit_end
+                    .is_some_and(|limit| limit <= now)
+            })
+            .collect();
+        for id in &expired {
+            let job = self.jobs.get_mut(id).expect("running job exists");
+            job.state = JobState::TimedOut;
+            job.end = Some(now);
+            let nodes = job.req.nodes;
+            self.release(*id, nodes);
+            self.acct.timed_out += 1;
+        }
+        expired
+    }
+
+    /// Cancel a job (pending or running), e.g. after it checkpointed for
+    /// resubmission.
+    pub fn cancel(&mut self, now: SimTime, id: JobId) {
+        self.advance_acct(now);
+        let job = self.jobs.get_mut(&id).expect("cancel of unknown job");
+        match job.state {
+            JobState::Pending => {
+                job.state = JobState::Cancelled;
+                job.end = Some(now);
+                self.queue.retain(|&q| q != id);
+                self.acct.cancelled += 1;
+            }
+            JobState::Running => {
+                job.state = JobState::Cancelled;
+                job.end = Some(now);
+                let nodes = job.req.nodes;
+                self.release(id, nodes);
+                self.acct.cancelled += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Kill one running job because the node under it failed (fail-stop
+    /// fault injection for §IV resilience experiments). Returns whether
+    /// the job was running.
+    pub fn fail(&mut self, now: SimTime, id: JobId) -> bool {
+        self.advance_acct(now);
+        match self.jobs.get_mut(&id) {
+            Some(job) if job.state == JobState::Running => {
+                job.state = JobState::Failed;
+                job.end = Some(now);
+                let nodes = job.req.nodes;
+                self.release(id, nodes);
+                self.acct.failed += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // ----- maintenance outages -------------------------------------------
+
+    /// Announce a full-system maintenance window `[start, end)`. The
+    /// scheduler drains toward it: no job may start whose walltime
+    /// overlaps the window.
+    pub fn add_outage(&mut self, start: SimTime, end: SimTime) {
+        assert!(end > start, "outage must have positive length");
+        self.outages.push((start, end));
+        self.outages.sort();
+    }
+
+    /// Announced outages.
+    pub fn outages(&self) -> &[(SimTime, SimTime)] {
+        &self.outages
+    }
+
+    /// Kill every running job (an outage began). Returns the killed ids —
+    /// the jobs the Maintenance loop should have checkpointed beforehand.
+    pub fn outage_kill(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance_acct(now);
+        let victims: Vec<JobId> = self.running.clone();
+        for id in &victims {
+            let job = self.jobs.get_mut(id).expect("running job exists");
+            job.state = JobState::MaintenanceKilled;
+            job.end = Some(now);
+            let nodes = job.req.nodes;
+            self.release(*id, nodes);
+            self.acct.maintenance_killed += 1;
+        }
+        victims
+    }
+
+    // ----- the extension hook (Fig. 3 Execute phase) ---------------------
+
+    /// The feedback hook of the Scheduler use case: ask for `extra` more
+    /// walltime for `id`. The answer follows the configured
+    /// [`ExtensionPolicy`] and may be a full grant, a clipped partial
+    /// grant, or a denial with reason.
+    pub fn request_extension(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        extra: SimDuration,
+    ) -> ExtensionDecision {
+        self.advance_acct(now);
+        let (limit_end, extensions, extended_total) = match self.jobs.get(&id) {
+            Some(j) if j.state == JobState::Running => (
+                j.limit_end.expect("running job has limit"),
+                j.extensions,
+                j.extended_total,
+            ),
+            _ => {
+                self.acct.note_denial(DenyReason::NotRunning);
+                return ExtensionDecision::Denied(DenyReason::NotRunning);
+            }
+        };
+
+        if extensions >= self.cfg.policy.max_extensions_per_job {
+            self.acct.note_denial(DenyReason::TooManyExtensions);
+            return ExtensionDecision::Denied(DenyReason::TooManyExtensions);
+        }
+        let budget_left = self
+            .cfg
+            .policy
+            .max_total_extension
+            .saturating_sub(extended_total);
+        if budget_left == SimDuration::ZERO {
+            self.acct.note_denial(DenyReason::BudgetExhausted);
+            return ExtensionDecision::Denied(DenyReason::BudgetExhausted);
+        }
+        let mut grant = SimDuration(extra.0.min(budget_left.0));
+
+        // Outage clipping: the extended limit may not cross into a window.
+        for &(s, e) in &self.outages {
+            if limit_end <= s && limit_end + grant > s {
+                grant = s.saturating_since(limit_end);
+            } else if limit_end > s && limit_end < e {
+                // Already doomed to die at the outage; extending is moot.
+                self.acct.note_denial(DenyReason::OverlapsOutage);
+                return ExtensionDecision::Denied(DenyReason::OverlapsOutage);
+            }
+        }
+        if grant == SimDuration::ZERO {
+            self.acct.note_denial(DenyReason::OverlapsOutage);
+            return ExtensionDecision::Denied(DenyReason::OverlapsOutage);
+        }
+
+        // Reservation protection (§III.iv).
+        let mut reservation_delay = SimDuration::ZERO;
+        if let Some(&head) = self.queue.front() {
+            let (head_nodes, head_wall) = {
+                let j = &self.jobs[&head];
+                (j.req.nodes, j.req.walltime)
+            };
+            let (shadow, _) = self.shadow_for(now, head_nodes, head_wall, None);
+            let (shadow2, _) =
+                self.shadow_for(now, head_nodes, head_wall, Some((id, limit_end + grant)));
+            if shadow2 > shadow {
+                if self.cfg.policy.respect_reservation {
+                    let slack = shadow.saturating_since(limit_end);
+                    if slack == SimDuration::ZERO {
+                        self.acct.note_denial(DenyReason::WouldDelayReservation);
+                        return ExtensionDecision::Denied(DenyReason::WouldDelayReservation);
+                    }
+                    grant = SimDuration(grant.0.min(slack.0));
+                } else {
+                    reservation_delay = shadow2.saturating_since(shadow);
+                }
+            }
+        }
+
+        // Commit.
+        let job = self.jobs.get_mut(&id).expect("checked running above");
+        job.extensions += 1;
+        job.extended_total += grant;
+        job.limit_end = Some(limit_end + grant);
+        let partial = grant < extra;
+        self.acct.note_grant(grant, partial, reservation_delay);
+        if partial {
+            ExtensionDecision::Partial {
+                granted: grant,
+                requested: extra,
+            }
+        } else {
+            ExtensionDecision::Granted(grant)
+        }
+    }
+
+    // ----- queries ---------------------------------------------------------
+
+    /// Job record.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All job records (unspecified order) — post-campaign analysis.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Free node count.
+    pub fn free_nodes(&self) -> u32 {
+        self.free
+    }
+
+    /// Pending queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Ids of running jobs (unspecified order).
+    pub fn running_ids(&self) -> &[JobId] {
+        &self.running
+    }
+
+    /// Earliest walltime deadline among running jobs — when the world
+    /// should next check [`Scheduler::kill_expired`].
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.running
+            .iter()
+            .filter_map(|id| self.jobs[id].limit_end)
+            .min()
+    }
+
+    /// The queue head's EASY reservation time, if the queue is non-empty.
+    pub fn head_reservation(&self, now: SimTime) -> Option<SimTime> {
+        let &head = self.queue.front()?;
+        let (n, w) = {
+            let j = &self.jobs[&head];
+            (j.req.nodes, j.req.walltime)
+        };
+        Some(self.shadow_for(now, n, w, None).0)
+    }
+
+    /// Accounting totals.
+    pub fn accounting(&self) -> &Accounting {
+        &self.acct
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> u32 {
+        self.cfg.total_nodes
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn advance_acct(&mut self, now: SimTime) {
+        let busy = self.cfg.total_nodes - self.free;
+        self.acct.advance(now, busy, self.free, self.queue.len());
+    }
+
+    fn start_job(&mut self, now: SimTime, id: JobId) {
+        let job = self.jobs.get_mut(&id).expect("start of unknown job");
+        debug_assert_eq!(job.state, JobState::Pending);
+        job.state = JobState::Running;
+        job.start = Some(now);
+        job.limit_end = Some(now + job.req.walltime);
+        self.free -= job.req.nodes;
+        self.running.push(id);
+    }
+
+    fn release(&mut self, id: JobId, nodes: u32) {
+        self.free += nodes;
+        debug_assert!(self.free <= self.cfg.total_nodes);
+        self.running.retain(|&r| r != id);
+    }
+
+    /// May a job of length `wall` start at `at` without overlapping an
+    /// outage?
+    fn start_allowed(&self, at: SimTime, wall: SimDuration) -> bool {
+        let end = at + wall;
+        self.outages.iter().all(|&(s, e)| !(at < e && end > s))
+    }
+
+    /// Earliest time `needed` nodes are simultaneously free (the EASY
+    /// shadow), and the nodes spare beyond the head's need at that time.
+    ///
+    /// `override_limit` substitutes one running job's limit (used to
+    /// evaluate a hypothetical extension without committing it). Outages
+    /// push the shadow to the window end, where the machine is empty
+    /// (outage kills all running jobs).
+    fn shadow_for(
+        &self,
+        now: SimTime,
+        needed: u32,
+        head_wall: SimDuration,
+        override_limit: Option<(JobId, SimTime)>,
+    ) -> (SimTime, u32) {
+        let mut releases: Vec<(SimTime, u32)> = self
+            .running
+            .iter()
+            .map(|id| {
+                let j = &self.jobs[id];
+                let mut limit = j.limit_end.expect("running job has limit");
+                if let Some((oid, olimit)) = override_limit {
+                    if oid == *id {
+                        limit = olimit;
+                    }
+                }
+                (limit, j.req.nodes)
+            })
+            .collect();
+        releases.sort();
+
+        let mut free = self.free;
+        let mut shadow = now;
+        if free < needed {
+            let mut found = false;
+            for (t, n) in releases {
+                free += n;
+                if free >= needed {
+                    shadow = t.max(now);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return (SimTime::MAX, 0);
+            }
+        }
+        // Push past any outage the head job would overlap; after an
+        // outage the machine is empty.
+        loop {
+            let end = shadow + head_wall;
+            match self
+                .outages
+                .iter()
+                .find(|&&(s, e)| shadow < e && end > s)
+            {
+                Some(&(_, e)) => {
+                    shadow = e;
+                    free = self.cfg.total_nodes;
+                }
+                None => break,
+            }
+        }
+        (shadow, free - needed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, nodes: u32, wall_mins: u64) -> JobRequest {
+        JobRequest {
+            id: JobId(id),
+            user: "u".into(),
+            app_class: "a".into(),
+            submit: SimTime::ZERO,
+            nodes,
+            walltime: SimDuration::from_mins(wall_mins),
+        }
+    }
+
+    fn sched(nodes: u32) -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            total_nodes: nodes,
+            policy: ExtensionPolicy::default(),
+        })
+    }
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::from_mins(mins)
+    }
+
+    #[test]
+    fn fcfs_starts_in_order() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.submit(t(0), req(2, 2, 60), false);
+        s.submit(t(0), req(3, 2, 60), false);
+        let started = s.schedule(t(0));
+        assert_eq!(started, vec![JobId(1), JobId(2)]);
+        assert_eq!(s.free_nodes(), 0);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.job(JobId(1)).unwrap().state, JobState::Running);
+        assert_eq!(s.job(JobId(3)).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn easy_backfill_fills_short_jobs() {
+        // 4 nodes. J1 uses 3 for 100 min. Head J2 needs 4 (blocked until
+        // J1 ends at t=100). J3 needs 1 node for 30 min → fits before the
+        // shadow → backfills.
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 3, 100), false);
+        s.schedule(t(0));
+        s.submit(t(1), req(2, 4, 60), false);
+        s.submit(t(1), req(3, 1, 30), false);
+        let started = s.schedule(t(1));
+        assert_eq!(started, vec![JobId(3)]);
+        assert_eq!(s.job(JobId(2)).unwrap().state, JobState::Pending);
+        // The head's reservation is at J1's limit end.
+        assert_eq!(s.head_reservation(t(1)), Some(t(100)));
+    }
+
+    #[test]
+    fn backfill_never_delays_head_reservation() {
+        // Same setup, but J3 is 1 node for 200 min: it would end after the
+        // shadow (t=100) and does not fit in spare (4-4=0) → must wait.
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 3, 100), false);
+        s.schedule(t(0));
+        s.submit(t(1), req(2, 4, 60), false);
+        s.submit(t(1), req(3, 1, 200), false);
+        let started = s.schedule(t(1));
+        assert!(started.is_empty());
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn backfill_into_spare_nodes() {
+        // 8 nodes. J1 uses 4 for 100 min. Head J2 needs 6 → blocked until
+        // t=100, spare at shadow = 8-6 = 2. J3 needs 2 nodes for 500 min:
+        // longer than the shadow but fits in spare → backfills.
+        let mut s = sched(8);
+        s.submit(t(0), req(1, 4, 100), false);
+        s.schedule(t(0));
+        s.submit(t(1), req(2, 6, 60), false);
+        s.submit(t(1), req(3, 2, 500), false);
+        let started = s.schedule(t(1));
+        assert_eq!(started, vec![JobId(3)]);
+        // A second 2-node long job would exceed spare → waits.
+        s.submit(t(2), req(4, 2, 500), false);
+        assert!(s.schedule(t(2)).is_empty());
+    }
+
+    #[test]
+    fn finish_releases_and_unblocks() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 4, 60), false);
+        s.schedule(t(0));
+        s.submit(t(5), req(2, 4, 60), false);
+        assert!(s.schedule(t(5)).is_empty());
+        s.finish(t(30), JobId(1));
+        assert_eq!(s.free_nodes(), 4);
+        let started = s.schedule(t(30));
+        assert_eq!(started, vec![JobId(2)]);
+        assert_eq!(s.accounting().completed, 1);
+    }
+
+    #[test]
+    fn kill_expired_enforces_walltime() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.schedule(t(0));
+        assert!(s.kill_expired(t(59)).is_empty());
+        let killed = s.kill_expired(t(60));
+        assert_eq!(killed, vec![JobId(1)]);
+        assert_eq!(s.job(JobId(1)).unwrap().state, JobState::TimedOut);
+        assert_eq!(s.free_nodes(), 4);
+        assert_eq!(s.accounting().timed_out, 1);
+        assert_eq!(s.next_deadline(), None);
+    }
+
+    #[test]
+    fn extension_moves_deadline() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.schedule(t(0));
+        let d = s.request_extension(t(30), JobId(1), SimDuration::from_mins(30));
+        assert_eq!(d, ExtensionDecision::Granted(SimDuration::from_mins(30)));
+        assert_eq!(s.next_deadline(), Some(t(90)));
+        assert!(s.kill_expired(t(60)).is_empty());
+        assert_eq!(s.kill_expired(t(90)), vec![JobId(1)]);
+        assert_eq!(s.accounting().ext_granted, 1);
+    }
+
+    #[test]
+    fn extension_denied_for_non_running() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 60), false);
+        // Still pending.
+        let d = s.request_extension(t(0), JobId(1), SimDuration::from_mins(5));
+        assert_eq!(d, ExtensionDecision::Denied(DenyReason::NotRunning));
+        let d2 = s.request_extension(t(0), JobId(99), SimDuration::from_mins(5));
+        assert_eq!(d2, ExtensionDecision::Denied(DenyReason::NotRunning));
+    }
+
+    #[test]
+    fn extension_count_limit() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            total_nodes: 4,
+            policy: ExtensionPolicy {
+                max_extensions_per_job: 2,
+                max_total_extension: SimDuration::from_hours(10),
+                respect_reservation: false,
+            },
+        });
+        s.submit(t(0), req(1, 2, 600), false);
+        s.schedule(t(0));
+        assert!(s
+            .request_extension(t(1), JobId(1), SimDuration::from_mins(1))
+            .is_granted());
+        assert!(s
+            .request_extension(t(2), JobId(1), SimDuration::from_mins(1))
+            .is_granted());
+        let d = s.request_extension(t(3), JobId(1), SimDuration::from_mins(1));
+        assert_eq!(d, ExtensionDecision::Denied(DenyReason::TooManyExtensions));
+        assert_eq!(s.accounting().ext_denied_too_many, 1);
+    }
+
+    #[test]
+    fn extension_budget_clips_to_partial() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            total_nodes: 4,
+            policy: ExtensionPolicy {
+                max_extensions_per_job: 10,
+                max_total_extension: SimDuration::from_mins(40),
+                respect_reservation: false,
+            },
+        });
+        s.submit(t(0), req(1, 2, 600), false);
+        s.schedule(t(0));
+        let d = s.request_extension(t(1), JobId(1), SimDuration::from_mins(60));
+        assert_eq!(
+            d,
+            ExtensionDecision::Partial {
+                granted: SimDuration::from_mins(40),
+                requested: SimDuration::from_mins(60)
+            }
+        );
+        let d2 = s.request_extension(t(2), JobId(1), SimDuration::from_mins(1));
+        assert_eq!(d2, ExtensionDecision::Denied(DenyReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn extension_respects_head_reservation() {
+        // 4 nodes. J1 (2 nodes) ends at t=60; J2 (2 nodes) ends at t=100.
+        // Head J3 needs 4 nodes → shadow = 100. J2 extension by 30 would
+        // move the shadow to 130 → denied... but J2 has slack 0? J2's
+        // limit IS the shadow, so slack = 0 → denied outright.
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.submit(t(0), req(2, 2, 100), false);
+        s.schedule(t(0));
+        s.submit(t(1), req(3, 4, 60), false);
+        s.schedule(t(1));
+        let d = s.request_extension(t(10), JobId(2), SimDuration::from_mins(30));
+        assert_eq!(
+            d,
+            ExtensionDecision::Denied(DenyReason::WouldDelayReservation)
+        );
+        // J1 has slack 40 (its limit 60 vs shadow 100): clipped grant.
+        let d1 = s.request_extension(t(10), JobId(1), SimDuration::from_mins(60));
+        assert_eq!(
+            d1,
+            ExtensionDecision::Partial {
+                granted: SimDuration::from_mins(40),
+                requested: SimDuration::from_mins(60)
+            }
+        );
+        assert_eq!(s.accounting().ext_denied_reservation, 1);
+    }
+
+    #[test]
+    fn permissive_policy_records_reservation_delay() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            total_nodes: 4,
+            policy: ExtensionPolicy::permissive(),
+        });
+        s.submit(t(0), req(1, 2, 60), false);
+        s.submit(t(0), req(2, 2, 100), false);
+        s.schedule(t(0));
+        s.submit(t(1), req(3, 4, 60), false);
+        s.schedule(t(1));
+        // Extending J2 by 30 min delays the head reservation 100 → 130.
+        let d = s.request_extension(t(10), JobId(2), SimDuration::from_mins(30));
+        assert!(d.is_granted());
+        assert_eq!(s.accounting().reservation_delay_ms, 30 * 60_000);
+    }
+
+    #[test]
+    fn outage_drain_blocks_overlapping_starts() {
+        let mut s = sched(4);
+        s.add_outage(t(60), t(120));
+        // 90-minute job at t=0 would overlap the outage → may not start.
+        s.submit(t(0), req(1, 2, 90), false);
+        assert!(s.schedule(t(0)).is_empty());
+        // 30-minute job finishes before the outage → starts.
+        s.submit(t(0), req(2, 2, 30), false);
+        let started = s.schedule(t(0));
+        assert_eq!(started, vec![JobId(2)]);
+        // After the outage the long job can start.
+        s.finish(t(30), JobId(2));
+        assert!(s.schedule(t(119)).is_empty());
+        assert_eq!(s.schedule(t(120)), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn outage_kill_slays_running_jobs() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 2, 50), false);
+        s.schedule(t(0));
+        s.add_outage(t(30), t(60));
+        let killed = s.outage_kill(t(30));
+        assert_eq!(killed, vec![JobId(1)]);
+        assert_eq!(
+            s.job(JobId(1)).unwrap().state,
+            JobState::MaintenanceKilled
+        );
+        assert_eq!(s.accounting().maintenance_killed, 1);
+        assert_eq!(s.free_nodes(), 4);
+    }
+
+    #[test]
+    fn extension_clipped_at_outage_boundary() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            total_nodes: 4,
+            policy: ExtensionPolicy::permissive(),
+        });
+        s.submit(t(0), req(1, 2, 50), false);
+        s.schedule(t(0));
+        s.add_outage(t(60), t(120));
+        // Limit is t=50; requesting 30 min would cross t=60 → clipped to 10.
+        let d = s.request_extension(t(10), JobId(1), SimDuration::from_mins(30));
+        assert_eq!(
+            d,
+            ExtensionDecision::Partial {
+                granted: SimDuration::from_mins(10),
+                requested: SimDuration::from_mins(30)
+            }
+        );
+        // A second request has zero room → denied.
+        let d2 = s.request_extension(t(11), JobId(1), SimDuration::from_mins(5));
+        assert_eq!(d2, ExtensionDecision::Denied(DenyReason::OverlapsOutage));
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 4, 60), false);
+        s.submit(t(0), req(2, 2, 60), false);
+        s.schedule(t(0));
+        s.cancel(t(5), JobId(2)); // pending
+        assert_eq!(s.job(JobId(2)).unwrap().state, JobState::Cancelled);
+        assert_eq!(s.queue_len(), 0);
+        s.cancel(t(6), JobId(1)); // running
+        assert_eq!(s.free_nodes(), 4);
+        assert_eq!(s.accounting().cancelled, 2);
+    }
+
+    #[test]
+    fn resubmit_counter() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 1, 10), false);
+        s.submit(t(0), req(2, 1, 10), true);
+        assert_eq!(s.accounting().resubmitted, 1);
+    }
+
+    #[test]
+    fn utilization_integrates_over_run() {
+        let mut s = sched(2);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.schedule(t(0));
+        s.finish(t(60), JobId(1));
+        // Close the books at t=120 (idle, empty queue).
+        s.schedule(t(120));
+        let a = s.accounting();
+        assert_eq!(a.busy_node_ms, 2 * 60 * 60_000);
+        assert_eq!(a.idle_empty_node_ms, 2 * 60 * 60_000);
+        assert!((a.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_deadline_is_min_limit() {
+        let mut s = sched(8);
+        s.submit(t(0), req(1, 2, 60), false);
+        s.submit(t(0), req(2, 2, 30), false);
+        s.schedule(t(0));
+        assert_eq!(s.next_deadline(), Some(t(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn duplicate_submit_panics() {
+        let mut s = sched(4);
+        s.submit(t(0), req(1, 1, 10), false);
+        s.submit(t(0), req(1, 1, 10), false);
+    }
+
+    #[test]
+    fn head_blocked_by_outage_gets_post_outage_reservation() {
+        let mut s = sched(4);
+        s.add_outage(t(30), t(60));
+        // Head needs 4 nodes for 90 min; machine is free but the start
+        // would overlap the outage → waits with reservation at t=60.
+        s.submit(t(0), req(1, 4, 90), false);
+        assert!(s.schedule(t(0)).is_empty());
+        assert_eq!(s.head_reservation(t(0)), Some(t(60)));
+    }
+}

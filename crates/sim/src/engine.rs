@@ -1,0 +1,244 @@
+//! Generic discrete-event queue.
+//!
+//! The queue is deliberately *payload-generic*: each substrate crate
+//! (scheduler, parallel filesystem, cluster world) defines its own event
+//! enum and drives its own queue, or the composed world in `moda-hpc`
+//! multiplexes one enum. Events at the same timestamp pop in insertion
+//! order (stable FIFO tie-break via a monotonically increasing sequence
+//! number), which keeps composed simulations deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event with its scheduled activation time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number; breaks timestamp ties FIFO.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events ordered by time, FIFO within a timestamp.
+///
+/// ```
+/// use moda_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(5), "c");
+/// assert_eq!(q.pop().map(|e| e.event), Some("a"));
+/// assert_eq!(q.pop().map(|e| e.event), Some("b")); // FIFO at t=5
+/// assert_eq!(q.pop().map(|e| e.event), Some("c"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the activation time of the most recently
+    /// popped event (never runs backwards).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event
+    /// simulation; the event is clamped to `now` and fires next, and debug
+    /// builds panic to surface the bug early.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedule `event` after a delay relative to the current clock.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its activation time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Activation time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event for which `pred` returns true.
+    ///
+    /// O(n log n); used sparingly (e.g. cancelling a killed job's future
+    /// step events). Cancellation by predicate keeps the queue free of
+    /// tombstone bookkeeping.
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<ScheduledEvent<E>> =
+            self.heap.drain().filter(|se| !pred(&se.event)).collect();
+        self.heap = kept.into_iter().collect();
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), 3);
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.schedule(SimTime::from_secs(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), "second");
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(42)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        let removed = q.cancel_where(|e| e % 2 == 0);
+        assert_eq!(removed, 5);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_among_survivors() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        q.schedule(SimTime::from_secs(1), "c");
+        q.cancel_where(|e| *e == "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.event), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # moda-sim
+//!
+//! Deterministic discrete-event simulation (DES) substrate used by every
+//! other crate in the `moda` workspace.
+//!
+//! The paper's autonomy loops must be evaluated against a *managed system*
+//! (an HPC center). Since a reproduction cannot assume a production
+//! machine, every experiment runs on a simulated one, and this crate
+//! provides the shared machinery:
+//!
+//! * [`time`] — simulation clock types ([`SimTime`], [`SimDuration`]),
+//! * [`engine`] — a generic event queue with stable FIFO tie-breaking,
+//! * [`rng`] — reproducible, labeled random-number streams,
+//! * [`dist`] — the distributions used by synthetic workload generators,
+//! * [`stats`] — streaming statistics (Welford, EWMA, histograms,
+//!   percentile summaries) used both by the simulator and by the
+//!   operational-data-analytics layer.
+//!
+//! Everything is deterministic given a root seed: two runs with the same
+//! seed produce bit-identical traces, which is what makes the experiment
+//! suite in `moda-bench` reproducible.
+
+pub mod dist;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::Dist;
+pub use engine::{EventQueue, ScheduledEvent};
+pub use rng::RngStreams;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,124 @@
+//! Reproducible, labeled random-number streams.
+//!
+//! Every stochastic element of an experiment (arrival process, step-time
+//! noise, failure injection, ...) draws from its **own** named stream
+//! derived from a single root seed. Adding a new consumer of randomness
+//! therefore never perturbs existing streams — experiment A's trace is
+//! unchanged when experiment B gains a new noise source — which is the
+//! property that makes ablations comparable run-to-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Factory for named, independent RNG streams derived from one root seed.
+#[derive(Debug, Clone)]
+pub struct RngStreams {
+    root_seed: u64,
+}
+
+impl RngStreams {
+    /// Create a factory rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        RngStreams { root_seed: seed }
+    }
+
+    /// The root seed this factory was built with.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// Derive the deterministic stream named `label`.
+    ///
+    /// The same `(seed, label)` pair always yields an identical generator;
+    /// distinct labels yield statistically independent streams.
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.root_seed, label))
+    }
+
+    /// Derive a stream named `label` with a numeric discriminator, for
+    /// per-entity streams such as per-job noise (`("job-steps", job_id)`).
+    pub fn stream_n(&self, label: &str, n: u64) -> StdRng {
+        let combined = derive_seed(self.root_seed, label) ^ splitmix64(n.wrapping_add(0x9E37));
+        StdRng::seed_from_u64(splitmix64(combined))
+    }
+}
+
+/// FNV-1a over the label folded into the root seed, then finalized with
+/// splitmix64 to spread low-entropy labels across the seed space.
+fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ root;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    splitmix64(h)
+}
+
+/// splitmix64 finalizer (public domain; Vigna 2015).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn draw(rng: &mut StdRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_label_identical_stream() {
+        let a = RngStreams::new(42);
+        let b = RngStreams::new(42);
+        assert_eq!(draw(&mut a.stream("x"), 32), draw(&mut b.stream("x"), 32));
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let f = RngStreams::new(42);
+        assert_ne!(draw(&mut f.stream("x"), 8), draw(&mut f.stream("y"), 8));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = RngStreams::new(1);
+        let b = RngStreams::new(2);
+        assert_ne!(draw(&mut a.stream("x"), 8), draw(&mut b.stream("x"), 8));
+    }
+
+    #[test]
+    fn numbered_streams_are_distinct_and_reproducible() {
+        let f = RngStreams::new(7);
+        let s0 = draw(&mut f.stream_n("job", 0), 8);
+        let s1 = draw(&mut f.stream_n("job", 1), 8);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, draw(&mut f.stream_n("job", 0), 8));
+    }
+
+    #[test]
+    fn label_and_discriminator_do_not_collide_trivially() {
+        // "job"+1 must differ from "job1"+0 — labels are hashed before the
+        // discriminator is mixed in.
+        let f = RngStreams::new(7);
+        assert_ne!(
+            draw(&mut f.stream_n("job", 1), 8),
+            draw(&mut f.stream_n("job1", 0), 8)
+        );
+    }
+
+    #[test]
+    fn streams_pass_a_crude_uniformity_check() {
+        // Not a statistical test suite — just a guard against a broken
+        // derive_seed that would collapse streams onto constants.
+        let f = RngStreams::new(123);
+        let mut rng = f.stream("uniformity");
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

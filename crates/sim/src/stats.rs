@@ -1,0 +1,485 @@
+//! Streaming statistics.
+//!
+//! Shared between the simulator (latency/throughput accounting) and the
+//! analytics layer (the paper's Analyze phase runs over exactly these
+//! primitives). Everything here is single-pass and allocation-free except
+//! [`Summary`], which retains samples for exact percentiles and is used
+//! only for end-of-run reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable single-pass estimator; supports `merge` so per-shard
+/// accumulators (e.g. per-worker loops) combine into a global view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Combine two accumulators (Chan et al. parallel variance).
+    pub fn merge(&self, other: &OnlineStats) -> OnlineStats {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// Exponentially weighted moving average with configurable smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` in `(0, 1]`: weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// EWMA whose step response reaches ~63% after `n` observations.
+    pub fn with_span(n: usize) -> Self {
+        Ewma::new(2.0 / (n as f64 + 1.0))
+    }
+
+    /// Fold in one observation and return the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (`None` before the first observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Sample-retaining summary for exact percentiles in end-of-run reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Exact percentile via linear interpolation between order statistics.
+    /// `q` in `[0, 1]`; `None` if empty.
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.max(x),
+            })
+        })
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.min(x),
+            })
+        })
+    }
+
+    /// Immutable view of the raw samples (unspecified order).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Fixed-boundary histogram with saturating outer bins, for cheap
+/// shape reporting (e.g. step-time distributions in telemetry).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram with the given ascending bin upper bounds. Values above
+    /// the last bound land in a final overflow bin.
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Log-spaced bounds from `lo` to `hi` with `n` bins (handy for
+    /// latency-style heavy-tailed data).
+    pub fn logarithmic(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && n >= 1);
+        let ratio = (hi / lo).powf(1.0 / n as f64);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = lo;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= ratio;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        let idx = self.bounds.partition_point(|&b| b <= x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i` (last index is the overflow bin).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of bins including the overflow bin.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Approximate quantile from bin boundaries: returns the upper bound
+    /// of the bin containing the q-quantile observation.
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    f64::INFINITY
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-10);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let e = OnlineStats::new();
+        assert_eq!(a.merge(&e), a);
+        assert_eq!(e.merge(&a), a);
+    }
+
+    #[test]
+    fn ewma_first_value_passthrough_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(20.0), 15.0);
+        assert_eq!(e.push(20.0), 17.5);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    fn ewma_span_converges_toward_step() {
+        let mut e = Ewma::with_span(9); // alpha = 0.2
+        e.push(0.0);
+        for _ in 0..9 {
+            e.push(1.0);
+        }
+        let v = e.value().unwrap();
+        assert!(v > 0.8 && v < 1.0, "span-9 EWMA after 9 steps: {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_exact() {
+        let mut s = Summary::new();
+        for i in (1..=100).rev() {
+            s.push(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(1.0), Some(100.0));
+        let p50 = s.median().unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9);
+        let p99 = s.percentile(0.99).unwrap();
+        assert!((p99 - 99.01).abs() < 0.011, "p99 = {p99}");
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let mut s = Summary::new();
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_interleaves_push_and_percentile() {
+        let mut s = Summary::new();
+        s.push(5.0);
+        assert_eq!(s.median(), Some(5.0));
+        s.push(1.0); // must re-sort
+        assert_eq!(s.median(), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for x in [0.5, 0.9, 5.0, 50.0, 500.0, 5000.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(0), 2); // < 1
+        assert_eq!(h.count(1), 1); // [1, 10)
+        assert_eq!(h.count(2), 1); // [10, 100)
+        assert_eq!(h.count(3), 2); // overflow
+        assert_eq!(h.num_bins(), 4);
+    }
+
+    #[test]
+    fn histogram_boundary_goes_to_upper_bin() {
+        let mut h = Histogram::new(vec![10.0]);
+        h.record(10.0);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn histogram_quantile_bound_brackets() {
+        let mut h = Histogram::logarithmic(1.0, 1000.0, 12);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile_bound(0.5).unwrap();
+        assert!((400.0..=700.0).contains(&p50), "p50 bound {p50}");
+        assert!(h.quantile_bound(0.0).is_some());
+        let empty = Histogram::new(vec![1.0]);
+        assert_eq!(empty.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unordered_bounds() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+}

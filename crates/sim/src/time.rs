@@ -1,0 +1,235 @@
+//! Simulation clock.
+//!
+//! Time is a `u64` count of **milliseconds** since simulation start.
+//! Milliseconds are fine-grained enough for scheduler and I/O dynamics
+//! (the paper's loops react on second-to-minute scales) while keeping
+//! arithmetic exact — no floating-point clock drift, total ordering for
+//! the event queue, and bit-reproducible runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (milliseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (milliseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked distance to `later`; `None` if `later` is in the past.
+    pub fn until(self, later: SimTime) -> Option<SimDuration> {
+        later.0.checked_sub(self.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest millisecond).
+    ///
+    /// Negative and non-finite inputs clamp to zero: callers feed sampled
+    /// distribution values here and the clock must never run backwards.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1000.0).round() as u64)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Milliseconds in the span.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in the span, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a non-negative factor, saturating on overflow.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        if !k.is_finite() || k <= 0.0 {
+            return SimDuration(0);
+        }
+        let v = self.0 as f64 * k;
+        if v >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(v.round() as u64)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_s = self.0 / 1000;
+        let (h, m, s) = (total_s / 3600, (total_s / 60) % 60, total_s % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_compose() {
+        assert_eq!(SimTime::from_secs(1).as_millis(), 1000);
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimDuration::from_hours(2), SimDuration::from_mins(120));
+    }
+
+    #[test]
+    fn add_duration_advances_clock() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_mins(1);
+        assert_eq!(t2, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn subtraction_and_saturation() {
+        let a = SimTime::from_secs(30);
+        let b = SimTime::from_secs(10);
+        assert_eq!(a - b, SimDuration::from_secs(20));
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+        assert_eq!(b.until(a), Some(SimDuration::from_secs(20)));
+        assert_eq!(a.until(b), None);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1500);
+    }
+
+    #[test]
+    fn mul_f64_scales_and_saturates() {
+        assert_eq!(SimDuration::from_secs(10).mul_f64(1.5), SimDuration::from_secs(15));
+        assert_eq!(SimDuration::from_secs(10).mul_f64(-2.0), SimDuration::ZERO);
+        assert_eq!(SimDuration(u64::MAX).mul_f64(2.0), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_hours(1).to_string(), "01:00:00");
+        assert_eq!(SimTime::from_secs(3725).to_string(), "01:02:05");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "90.0s");
+    }
+
+    #[test]
+    fn max_sentinel_orders_after_everything() {
+        assert!(SimTime::MAX > SimTime::from_hours(1_000_000));
+        // Adding to MAX saturates instead of wrapping.
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+}

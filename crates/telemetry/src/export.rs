@@ -1,0 +1,147 @@
+//! Dataset export.
+//!
+//! The paper commits to releasing "exploratory datasets used to gain
+//! insight into the variation of progress markers and run-time variation"
+//! as open datasets (§III.iii). This module renders series and whole-store
+//! snapshots as CSV — the lingua franca for such releases — plus a JSON
+//! form for structured consumers.
+
+use crate::metric::MetricId;
+use crate::tsdb::Tsdb;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// CSV for one series: `time_ms,value` rows with a header.
+pub fn series_csv(db: &Tsdb, id: MetricId) -> String {
+    let mut out = String::from("time_ms,value\n");
+    for s in db.series(id).iter() {
+        let _ = writeln!(out, "{},{}", s.t.as_millis(), s.value);
+    }
+    out
+}
+
+/// Long-format CSV across all metrics:
+/// `metric,domain,unit,time_ms,value` — the shape monitoring archives use.
+pub fn store_csv(db: &Tsdb) -> String {
+    let mut out = String::from("metric,domain,unit,time_ms,value\n");
+    let ids: Vec<MetricId> = db.names().map(|(_, id)| id).collect();
+    for id in ids {
+        let meta = db.meta(id);
+        for s in db.series(id).iter() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                csv_escape(&meta.name),
+                meta.domain,
+                csv_escape(&meta.unit),
+                s.t.as_millis(),
+                s.value
+            );
+        }
+    }
+    out
+}
+
+/// One exported series in the JSON dataset form.
+#[derive(Debug, Serialize)]
+pub struct SeriesExport {
+    /// Metric name.
+    pub metric: String,
+    /// Unit string.
+    pub unit: String,
+    /// Source domain as text.
+    pub domain: String,
+    /// `(time_ms, value)` pairs oldest → newest.
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// Export every series as a JSON array of [`SeriesExport`].
+pub fn store_json(db: &Tsdb) -> String {
+    let ids: Vec<MetricId> = db.names().map(|(_, id)| id).collect();
+    let exports: Vec<SeriesExport> = ids
+        .into_iter()
+        .map(|id| {
+            let meta = db.meta(id);
+            SeriesExport {
+                metric: meta.name.clone(),
+                unit: meta.unit.clone(),
+                domain: meta.domain.to_string(),
+                samples: db
+                    .series(id)
+                    .iter()
+                    .map(|s| (s.t.as_millis(), s.value))
+                    .collect(),
+            }
+        })
+        .collect();
+    serde_json::to_string_pretty(&exports).expect("export serialization cannot fail")
+}
+
+/// Quote a CSV field if it contains a delimiter, quote, or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{MetricMeta, SourceDomain};
+    use moda_sim::SimTime;
+
+    fn db_with_data() -> (Tsdb, MetricId) {
+        let mut db = Tsdb::new();
+        let id = db.register(MetricMeta::gauge("node.0.power", "W", SourceDomain::Hardware));
+        db.insert(id, SimTime::from_secs(1), 100.0);
+        db.insert(id, SimTime::from_secs(2), 110.0);
+        (db, id)
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        let (db, id) = db_with_data();
+        let csv = series_csv(&db, id);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ms,value");
+        assert_eq!(lines[1], "1000,100");
+        assert_eq!(lines[2], "2000,110");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn store_csv_includes_metadata() {
+        let (db, _) = db_with_data();
+        let csv = store_csv(&db);
+        assert!(csv.starts_with("metric,domain,unit,time_ms,value\n"));
+        assert!(csv.contains("node.0.power,hardware,W,1000,100"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+        assert_eq!(csv_escape("n\nn"), "\"n\nn\"");
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let (db, _) = db_with_data();
+        let json = store_json(&db);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["metric"], "node.0.power");
+        assert_eq!(arr[0]["samples"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_store_exports_cleanly() {
+        let db = Tsdb::new();
+        assert_eq!(store_csv(&db), "metric,domain,unit,time_ms,value\n");
+        assert_eq!(store_json(&db), "[]");
+    }
+}

@@ -1,0 +1,32 @@
+//! # moda-telemetry
+//!
+//! Holistic monitoring substrate — the "Monitor" half of Fig. 1 in the
+//! paper: continuous collection of metrics from **building infrastructure,
+//! system hardware, system software, and applications** into one store
+//! that the operational-data-analytics layer queries.
+//!
+//! Production sites run LDMS, DCDB, Examon, or Prometheus for this role;
+//! the loops only need a narrow interface (register metric → append
+//! samples → query windows), which this crate implements natively:
+//!
+//! * [`metric`] — metric identities, kinds, units, and source domains,
+//! * [`series`] — bounded ring-buffer time series with monotonic append,
+//! * [`tsdb`] — the in-memory store: registry + series + retention +
+//!   queries + insert-rate accounting (the §IV design consideration),
+//! * [`collect`] — sensor traits and the periodic collector,
+//! * [`window`] — windowed aggregation used by Analyze components,
+//! * [`export`] — CSV export of series and campaign datasets (the paper
+//!   commits to releasing *open datasets*; this is the hook for it).
+
+pub mod collect;
+pub mod export;
+pub mod metric;
+pub mod series;
+pub mod tsdb;
+pub mod window;
+
+pub use collect::{Collector, Sensor};
+pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
+pub use series::{Sample, TimeSeries};
+pub use tsdb::{SharedTsdb, Tsdb};
+pub use window::WindowAgg;

@@ -1,0 +1,134 @@
+//! Metric identities and metadata.
+//!
+//! Metrics are interned by the [`crate::tsdb::Tsdb`] registry into dense
+//! `u32` ids so the hot insert path never hashes strings. Metadata keeps
+//! what the paper's interoperability question (§II.ii) requires of a
+//! common format: a stable name, the physical unit, the metric kind, and
+//! which of the four Fig. 1 source domains produced it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense handle for a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId(pub u32);
+
+impl MetricId {
+    /// Index into registry-ordered storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Whether samples are instantaneous values or monotonically accumulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Point-in-time value (temperature, utilization, queue depth).
+    Gauge,
+    /// Monotonic accumulator (bytes written, steps completed); consumers
+    /// usually difference it into a rate.
+    Counter,
+}
+
+/// Which layer of the holistic-monitoring vision (Fig. 1) a metric
+/// originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceDomain {
+    /// Facility / building infrastructure (cooling, power feeds).
+    Facility,
+    /// System hardware (node power, temperature, link counters).
+    Hardware,
+    /// System software (scheduler queue, filesystem servers).
+    Software,
+    /// Applications (progress markers, per-job I/O).
+    Application,
+}
+
+impl fmt::Display for SourceDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SourceDomain::Facility => "facility",
+            SourceDomain::Hardware => "hardware",
+            SourceDomain::Software => "software",
+            SourceDomain::Application => "application",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Registered metadata for one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricMeta {
+    /// Hierarchical dotted name, e.g. `job.42.progress_steps` or
+    /// `node.3.power_watts`.
+    pub name: String,
+    /// Metric kind (gauge vs counter).
+    pub kind: MetricKind,
+    /// Physical unit as free text (`"W"`, `"MB/s"`, `"steps"`).
+    pub unit: String,
+    /// Originating layer of the holistic-monitoring stack.
+    pub domain: SourceDomain,
+}
+
+impl MetricMeta {
+    /// Gauge constructor.
+    pub fn gauge(name: impl Into<String>, unit: impl Into<String>, domain: SourceDomain) -> Self {
+        MetricMeta {
+            name: name.into(),
+            kind: MetricKind::Gauge,
+            unit: unit.into(),
+            domain,
+        }
+    }
+
+    /// Counter constructor.
+    pub fn counter(name: impl Into<String>, unit: impl Into<String>, domain: SourceDomain) -> Self {
+        MetricMeta {
+            name: name.into(),
+            kind: MetricKind::Counter,
+            unit: unit.into(),
+            domain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let g = MetricMeta::gauge("node.0.temp", "C", SourceDomain::Hardware);
+        assert_eq!(g.kind, MetricKind::Gauge);
+        let c = MetricMeta::counter("job.1.steps", "steps", SourceDomain::Application);
+        assert_eq!(c.kind, MetricKind::Counter);
+        assert_eq!(c.name, "job.1.steps");
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        let id = MetricId(7);
+        assert_eq!(id.to_string(), "m7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn domain_display() {
+        assert_eq!(SourceDomain::Facility.to_string(), "facility");
+        assert_eq!(SourceDomain::Application.to_string(), "application");
+    }
+
+    #[test]
+    fn meta_serde_round_trip() {
+        let m = MetricMeta::gauge("x.y", "W", SourceDomain::Facility);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: MetricMeta = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,263 @@
+//! Bounded ring-buffer time series.
+//!
+//! Each metric stores its recent history in a fixed-capacity ring: the
+//! paper's loops consume *recent* windows (progress over the last N
+//! minutes, bandwidth over the last M samples), while long-term retention
+//! belongs to the Knowledge layer, not the monitoring hot path. A bounded
+//! ring keeps the insert path O(1) and the memory footprint of
+//! high-cardinality deployments predictable — the §IV insert-rate and
+//! cardinality considerations.
+
+use moda_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the observation was taken.
+    pub t: SimTime,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Append-only ring buffer of samples, ordered by time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    buf: VecDeque<Sample>,
+    capacity: usize,
+    /// Total appends over the series' lifetime (survives eviction).
+    total_appends: u64,
+    /// Appends dropped because their timestamp preceded the newest sample.
+    rejected: u64,
+}
+
+impl TimeSeries {
+    /// Series retaining at most `capacity` samples (capacity ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        TimeSeries {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            total_appends: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Append an observation.
+    ///
+    /// Timestamps must be non-decreasing; an out-of-order sample is
+    /// rejected (counted in [`TimeSeries::rejected`]) rather than
+    /// corrupting query invariants. Returns whether the sample was kept.
+    pub fn push(&mut self, t: SimTime, value: f64) -> bool {
+        if let Some(last) = self.buf.back() {
+            if t < last.t {
+                self.rejected += 1;
+                return false;
+            }
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Sample { t, value });
+        self.total_appends += 1;
+        true
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime appends (including samples since evicted).
+    pub fn total_appends(&self) -> u64 {
+        self.total_appends
+    }
+
+    /// Out-of-order samples rejected.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<Sample> {
+        self.buf.back().copied()
+    }
+
+    /// Oldest retained sample.
+    pub fn oldest(&self) -> Option<Sample> {
+        self.buf.front().copied()
+    }
+
+    /// Iterate samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Samples with `t0 <= t < t1`, oldest → newest.
+    pub fn range(&self, t0: SimTime, t1: SimTime) -> Vec<Sample> {
+        self.buf
+            .iter()
+            .filter(|s| s.t >= t0 && s.t < t1)
+            .copied()
+            .collect()
+    }
+
+    /// The last `n` samples, oldest → newest.
+    pub fn last_n(&self, n: usize) -> Vec<Sample> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
+
+    /// Samples within the trailing window `(now - window, now]`.
+    pub fn window(&self, now: SimTime, window: moda_sim::SimDuration) -> Vec<Sample> {
+        let t0 = SimTime(now.0.saturating_sub(window.0));
+        self.buf
+            .iter()
+            .filter(|s| s.t > t0 && s.t <= now)
+            .copied()
+            .collect()
+    }
+
+    /// Value interpolated linearly at time `t`, if `t` falls within the
+    /// retained span. Exact matches return the stored value; queries
+    /// outside the span return `None` rather than extrapolating.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let first = self.buf.front()?;
+        let last = self.buf.back()?;
+        if t < first.t || t > last.t {
+            return None;
+        }
+        // Binary search over the ring's two slices is awkward; the ring is
+        // small and bounded, so a linear scan from the back (most queries
+        // target recent times) is fine.
+        let mut prev: Option<Sample> = None;
+        for s in self.buf.iter().rev() {
+            if s.t <= t {
+                if s.t == t {
+                    return Some(s.value);
+                }
+                let next = prev.expect("t <= last.t guarantees a later sample");
+                let span = (next.t.0 - s.t.0) as f64;
+                if span == 0.0 {
+                    return Some(next.value);
+                }
+                let frac = (t.0 - s.t.0) as f64 / span;
+                return Some(s.value + frac * (next.value - s.value));
+            }
+            prev = Some(*s);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moda_sim::SimDuration;
+
+    fn ts(pairs: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(1024);
+        for &(t, v) in pairs {
+            assert!(s.push(SimTime::from_secs(t), v));
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_latest() {
+        let s = ts(&[(1, 10.0), (2, 20.0), (3, 30.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.latest().unwrap().value, 30.0);
+        assert_eq!(s.oldest().unwrap().value, 10.0);
+        assert_eq!(s.total_appends(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.oldest().unwrap().value, 7.0);
+        assert_eq!(s.latest().unwrap().value, 9.0);
+        assert_eq!(s.total_appends(), 10);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut s = ts(&[(5, 1.0)]);
+        assert!(!s.push(SimTime::from_secs(4), 2.0));
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.len(), 1);
+        // Equal timestamps are allowed (multiple sensors in one tick).
+        assert!(s.push(SimTime::from_secs(5), 3.0));
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let s = ts(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]);
+        let r = s.range(SimTime::from_secs(2), SimTime::from_secs(4));
+        let vals: Vec<f64> = r.iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn last_n_clamps() {
+        let s = ts(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(s.last_n(2).len(), 2);
+        assert_eq!(s.last_n(2)[0].value, 2.0);
+        assert_eq!(s.last_n(99).len(), 3);
+        assert_eq!(s.last_n(0).len(), 0);
+    }
+
+    #[test]
+    fn window_trailing() {
+        let s = ts(&[(10, 1.0), (20, 2.0), (30, 3.0), (40, 4.0)]);
+        let w = s.window(SimTime::from_secs(40), SimDuration::from_secs(20));
+        let vals: Vec<f64> = w.iter().map(|s| s.value).collect();
+        // (20, 40] → samples at 30 and 40.
+        assert_eq!(vals, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = ts(&[(0, 0.0), (10, 100.0)]);
+        assert_eq!(s.value_at(SimTime::from_secs(0)), Some(0.0));
+        assert_eq!(s.value_at(SimTime::from_secs(10)), Some(100.0));
+        assert_eq!(s.value_at(SimTime::from_secs(5)), Some(50.0));
+        assert_eq!(s.value_at(SimTime::from_secs(11)), None);
+        let empty = TimeSeries::new(4);
+        assert_eq!(empty.value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn value_at_duplicate_timestamps() {
+        let mut s = TimeSeries::new(8);
+        s.push(SimTime::from_secs(1), 1.0);
+        s.push(SimTime::from_secs(1), 2.0);
+        // Exact hit returns one of the stored values (the later one wins
+        // on reverse scan); interpolating across the duplicate is stable.
+        assert!(s.value_at(SimTime::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut s = TimeSeries::new(0);
+        assert_eq!(s.capacity(), 1);
+        s.push(SimTime::from_secs(1), 1.0);
+        s.push(SimTime::from_secs(2), 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest().unwrap().value, 2.0);
+    }
+}

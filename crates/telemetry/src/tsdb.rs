@@ -1,0 +1,331 @@
+//! In-memory time-series store.
+//!
+//! One `Tsdb` instance is the telemetry backbone of a simulated center:
+//! sensors append into it, Monitor components of MAPE-K loops read from
+//! it. The design follows the constraints the paper raises in §IV —
+//! high insert rates, bounded memory under high metric cardinality, and
+//! low-latency recent-window reads — rather than durable storage, which
+//! production sites delegate to their archive tier.
+
+use crate::metric::{MetricId, MetricMeta};
+use crate::series::{Sample, TimeSeries};
+use moda_sim::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default per-series retention when none is specified.
+pub const DEFAULT_RETENTION: usize = 4096;
+
+/// Registry + storage for all metrics of one managed system.
+#[derive(Debug, Default)]
+pub struct Tsdb {
+    metas: Vec<MetricMeta>,
+    series: Vec<TimeSeries>,
+    by_name: HashMap<String, MetricId>,
+    default_capacity: usize,
+    inserts: u64,
+}
+
+/// Thread-shared handle used by the threaded loop runtime.
+pub type SharedTsdb = Arc<RwLock<Tsdb>>;
+
+impl Tsdb {
+    /// Empty store with [`DEFAULT_RETENTION`] per series.
+    pub fn new() -> Self {
+        Tsdb {
+            metas: Vec::new(),
+            series: Vec::new(),
+            by_name: HashMap::new(),
+            default_capacity: DEFAULT_RETENTION,
+            inserts: 0,
+        }
+    }
+
+    /// Empty store with a custom default per-series retention.
+    pub fn with_retention(capacity: usize) -> Self {
+        Tsdb {
+            default_capacity: capacity.max(1),
+            ..Tsdb::new()
+        }
+    }
+
+    /// Wrap into a thread-shared handle.
+    pub fn into_shared(self) -> SharedTsdb {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// Register a metric, returning its dense id. Re-registering the same
+    /// name returns the existing id (idempotent), so sensors can register
+    /// defensively.
+    pub fn register(&mut self, meta: MetricMeta) -> MetricId {
+        if let Some(&id) = self.by_name.get(&meta.name) {
+            return id;
+        }
+        let id = MetricId(self.metas.len() as u32);
+        self.by_name.insert(meta.name.clone(), id);
+        self.metas.push(meta);
+        self.series.push(TimeSeries::new(self.default_capacity));
+        id
+    }
+
+    /// Register with explicit retention capacity for this series.
+    pub fn register_with_capacity(&mut self, meta: MetricMeta, capacity: usize) -> MetricId {
+        let fresh = !self.by_name.contains_key(&meta.name);
+        let id = self.register(meta);
+        if fresh {
+            self.series[id.index()] = TimeSeries::new(capacity.max(1));
+        }
+        id
+    }
+
+    /// Look up a metric id by name.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Metadata for a registered metric.
+    pub fn meta(&self, id: MetricId) -> &MetricMeta {
+        &self.metas[id.index()]
+    }
+
+    /// Number of registered metrics (cardinality).
+    pub fn cardinality(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Lifetime sample-insert count (accepted samples only).
+    pub fn total_inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Append one sample. Returns false when rejected (unknown id is a
+    /// panic — that is a programming error — but out-of-order samples are
+    /// a data property and are counted and dropped).
+    pub fn insert(&mut self, id: MetricId, t: SimTime, value: f64) -> bool {
+        let ok = self.series[id.index()].push(t, value);
+        if ok {
+            self.inserts += 1;
+        }
+        ok
+    }
+
+    /// Append a batch of `(metric, value)` observations at one timestamp —
+    /// the shape a sensor sweep produces.
+    pub fn insert_batch(&mut self, t: SimTime, batch: &[(MetricId, f64)]) {
+        for &(id, v) in batch {
+            self.insert(id, t, v);
+        }
+    }
+
+    /// Immutable access to a series.
+    pub fn series(&self, id: MetricId) -> &TimeSeries {
+        &self.series[id.index()]
+    }
+
+    /// Most recent sample of a metric.
+    pub fn latest(&self, id: MetricId) -> Option<Sample> {
+        self.series[id.index()].latest()
+    }
+
+    /// Most recent value of a metric.
+    pub fn latest_value(&self, id: MetricId) -> Option<f64> {
+        self.latest(id).map(|s| s.value)
+    }
+
+    /// Samples of `id` in the trailing `window` ending at `now`.
+    pub fn window(&self, id: MetricId, now: SimTime, window: SimDuration) -> Vec<Sample> {
+        self.series[id.index()].window(now, window)
+    }
+
+    /// Downsample a series to fixed `period` buckets over `[t0, t1)`,
+    /// aggregating each bucket with `agg`. Empty buckets yield `None`.
+    ///
+    /// This is the long-term-storage shape (the paper's Knowledge layer
+    /// stores behavioral profiles, not raw samples).
+    pub fn resample(
+        &self,
+        id: MetricId,
+        t0: SimTime,
+        t1: SimTime,
+        period: SimDuration,
+        agg: crate::window::WindowAgg,
+    ) -> Vec<Option<f64>> {
+        assert!(period.as_millis() > 0, "resample period must be positive");
+        let samples = self.series[id.index()].range(t0, t1);
+        let nb = (t1.0.saturating_sub(t0.0)).div_ceil(period.0);
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); nb as usize];
+        for s in samples {
+            let b = ((s.t.0 - t0.0) / period.0) as usize;
+            if b < buckets.len() {
+                buckets[b].push(s.value);
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|vals| {
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(agg.apply(&vals))
+                }
+            })
+            .collect()
+    }
+
+    /// All registered metric names (registry order = id order).
+    pub fn names(&self) -> impl Iterator<Item = (&str, MetricId)> + '_ {
+        self.metas
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.as_str(), MetricId(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::SourceDomain;
+    use crate::window::WindowAgg;
+
+    fn db() -> Tsdb {
+        Tsdb::new()
+    }
+
+    fn gauge(db: &mut Tsdb, name: &str) -> MetricId {
+        db.register(MetricMeta::gauge(name, "u", SourceDomain::Hardware))
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut db = db();
+        let a = gauge(&mut db, "x");
+        let b = gauge(&mut db, "x");
+        assert_eq!(a, b);
+        assert_eq!(db.cardinality(), 1);
+        let c = gauge(&mut db, "y");
+        assert_ne!(a, c);
+        assert_eq!(db.cardinality(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut db = db();
+        let id = gauge(&mut db, "node.0.power");
+        assert_eq!(db.lookup("node.0.power"), Some(id));
+        assert_eq!(db.lookup("nope"), None);
+        assert_eq!(db.meta(id).name, "node.0.power");
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = db();
+        let id = gauge(&mut db, "x");
+        assert!(db.insert(id, SimTime::from_secs(1), 10.0));
+        assert!(db.insert(id, SimTime::from_secs(2), 20.0));
+        assert_eq!(db.latest_value(id), Some(20.0));
+        assert_eq!(db.total_inserts(), 2);
+        // Out-of-order insert is dropped and not counted.
+        assert!(!db.insert(id, SimTime::from_secs(1), 5.0));
+        assert_eq!(db.total_inserts(), 2);
+    }
+
+    #[test]
+    fn insert_batch_single_timestamp() {
+        let mut db = db();
+        let a = gauge(&mut db, "a");
+        let b = gauge(&mut db, "b");
+        db.insert_batch(SimTime::from_secs(3), &[(a, 1.0), (b, 2.0)]);
+        assert_eq!(db.latest_value(a), Some(1.0));
+        assert_eq!(db.latest_value(b), Some(2.0));
+    }
+
+    #[test]
+    fn per_series_capacity_override() {
+        let mut db = db();
+        let small = db.register_with_capacity(
+            MetricMeta::gauge("small", "u", SourceDomain::Software),
+            2,
+        );
+        for i in 0..5u64 {
+            db.insert(small, SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(db.series(small).len(), 2);
+        // Override on an existing metric does not clobber data.
+        let mut db2 = Tsdb::new();
+        let id = gauge(&mut db2, "x");
+        db2.insert(id, SimTime::from_secs(1), 1.0);
+        let same = db2.register_with_capacity(
+            MetricMeta::gauge("x", "u", SourceDomain::Hardware),
+            2,
+        );
+        assert_eq!(same, id);
+        assert_eq!(db2.series(id).len(), 1);
+    }
+
+    #[test]
+    fn resample_buckets_and_gaps() {
+        let mut db = db();
+        let id = gauge(&mut db, "x");
+        // Samples at t = 0s,1s,2s ... value = t; gap in [4s, 6s).
+        for t in [0u64, 1, 2, 3, 6, 7] {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let out = db.resample(
+            id,
+            SimTime::ZERO,
+            SimTime::from_secs(8),
+            SimDuration::from_secs(2),
+            WindowAgg::Mean,
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], Some(0.5)); // 0,1
+        assert_eq!(out[1], Some(2.5)); // 2,3
+        assert_eq!(out[2], None); // gap
+        assert_eq!(out[3], Some(6.5)); // 6,7
+    }
+
+    #[test]
+    fn resample_max_agg() {
+        let mut db = db();
+        let id = gauge(&mut db, "x");
+        for t in 0..10u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let out = db.resample(
+            id,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+            WindowAgg::Max,
+        );
+        assert_eq!(out, vec![Some(4.0), Some(9.0)]);
+    }
+
+    #[test]
+    fn names_iterates_in_id_order() {
+        let mut db = db();
+        gauge(&mut db, "a");
+        gauge(&mut db, "b");
+        let names: Vec<(&str, MetricId)> = db.names().collect();
+        assert_eq!(names[0], ("a", MetricId(0)));
+        assert_eq!(names[1], ("b", MetricId(1)));
+    }
+
+    #[test]
+    fn shared_handle_concurrent_reads() {
+        let mut db = db();
+        let id = gauge(&mut db, "x");
+        db.insert(id, SimTime::from_secs(1), 42.0);
+        let shared = db.into_shared();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || s.read().latest_value(MetricId(0)))
+            })
+            .collect();
+        for th in threads {
+            assert_eq!(th.join().unwrap(), Some(42.0));
+        }
+    }
+}

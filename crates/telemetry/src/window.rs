@@ -1,0 +1,176 @@
+//! Windowed aggregation.
+//!
+//! The Analyze phase of every loop starts by collapsing a recent window
+//! of samples into a scalar; this module is that vocabulary, shared by
+//! the TSDB's `resample` and by the analytics crate.
+
+use crate::series::Sample;
+use serde::{Deserialize, Serialize};
+
+/// Aggregation applied to the values inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WindowAgg {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Last value in the window.
+    Last,
+    /// Count of samples (cardinality of the window).
+    Count,
+    /// Exact percentile `q` in `[0, 1]` (sorts a copy; windows are small).
+    Percentile(f64),
+}
+
+impl WindowAgg {
+    /// Apply to a non-empty slice of values. Empty input yields 0 for
+    /// `Sum`/`Count` and NaN otherwise; callers that care use
+    /// `Option`-returning paths upstream.
+    pub fn apply(&self, values: &[f64]) -> f64 {
+        match *self {
+            WindowAgg::Count => values.len() as f64,
+            WindowAgg::Sum => values.iter().sum(),
+            _ if values.is_empty() => f64::NAN,
+            WindowAgg::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            WindowAgg::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            WindowAgg::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            WindowAgg::Last => *values.last().expect("non-empty"),
+            WindowAgg::Percentile(q) => {
+                let mut v = values.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                v[lo] * (1.0 - frac) + v[hi] * frac
+            }
+        }
+    }
+
+    /// Apply to samples (drops timestamps).
+    pub fn apply_samples(&self, samples: &[Sample]) -> f64 {
+        // Percentile and friends only need values; avoid allocating for
+        // the common scalar aggregations.
+        match *self {
+            WindowAgg::Count => samples.len() as f64,
+            WindowAgg::Sum => samples.iter().map(|s| s.value).sum(),
+            _ if samples.is_empty() => f64::NAN,
+            WindowAgg::Mean => samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64,
+            WindowAgg::Min => samples.iter().map(|s| s.value).fold(f64::INFINITY, f64::min),
+            WindowAgg::Max => samples
+                .iter()
+                .map(|s| s.value)
+                .fold(f64::NEG_INFINITY, f64::max),
+            WindowAgg::Last => samples.last().expect("non-empty").value,
+            WindowAgg::Percentile(_) => {
+                let vals: Vec<f64> = samples.iter().map(|s| s.value).collect();
+                self.apply(&vals)
+            }
+        }
+    }
+}
+
+/// Difference a counter window into a rate (units/second).
+///
+/// Returns `None` for fewer than two samples or a zero-length span.
+/// Counter resets (value decreasing) clamp the delta to zero rather than
+/// producing a negative rate — matching how production collectors treat
+/// counter wraps.
+pub fn counter_rate(samples: &[Sample]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let first = samples.first().expect("len >= 2");
+    let last = samples.last().expect("len >= 2");
+    let dt = last.t.saturating_since(first.t).as_secs_f64();
+    if dt <= 0.0 {
+        return None;
+    }
+    let dv = (last.value - first.value).max(0.0);
+    Some(dv / dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moda_sim::SimTime;
+
+    fn samples(pairs: &[(u64, f64)]) -> Vec<Sample> {
+        pairs
+            .iter()
+            .map(|&(t, v)| Sample {
+                t: SimTime::from_secs(t),
+                value: v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_aggregations() {
+        let v = [1.0, 3.0, 2.0, 4.0];
+        assert_eq!(WindowAgg::Mean.apply(&v), 2.5);
+        assert_eq!(WindowAgg::Min.apply(&v), 1.0);
+        assert_eq!(WindowAgg::Max.apply(&v), 4.0);
+        assert_eq!(WindowAgg::Sum.apply(&v), 10.0);
+        assert_eq!(WindowAgg::Last.apply(&v), 4.0);
+        assert_eq!(WindowAgg::Count.apply(&v), 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(WindowAgg::Percentile(0.0).apply(&v), 10.0);
+        assert_eq!(WindowAgg::Percentile(1.0).apply(&v), 40.0);
+        assert_eq!(WindowAgg::Percentile(0.5).apply(&v), 25.0);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        assert_eq!(WindowAgg::Sum.apply(&[]), 0.0);
+        assert_eq!(WindowAgg::Count.apply(&[]), 0.0);
+        assert!(WindowAgg::Mean.apply(&[]).is_nan());
+        assert!(WindowAgg::Percentile(0.5).apply(&[]).is_nan());
+    }
+
+    #[test]
+    fn apply_samples_matches_apply() {
+        let s = samples(&[(1, 5.0), (2, 1.0), (3, 3.0)]);
+        let vals: Vec<f64> = s.iter().map(|x| x.value).collect();
+        for agg in [
+            WindowAgg::Mean,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Sum,
+            WindowAgg::Last,
+            WindowAgg::Count,
+            WindowAgg::Percentile(0.5),
+        ] {
+            let a = agg.apply(&vals);
+            let b = agg.apply_samples(&s);
+            assert!((a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn counter_rate_basic() {
+        let s = samples(&[(0, 0.0), (10, 50.0)]);
+        assert_eq!(counter_rate(&s), Some(5.0));
+    }
+
+    #[test]
+    fn counter_rate_reset_clamps() {
+        let s = samples(&[(0, 100.0), (10, 20.0)]);
+        assert_eq!(counter_rate(&s), Some(0.0));
+    }
+
+    #[test]
+    fn counter_rate_degenerate() {
+        assert_eq!(counter_rate(&samples(&[(0, 1.0)])), None);
+        assert_eq!(counter_rate(&samples(&[(5, 1.0), (5, 2.0)])), None);
+        assert_eq!(counter_rate(&[]), None);
+    }
+}

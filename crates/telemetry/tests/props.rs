@@ -1,0 +1,181 @@
+//! Property tests for the monitoring substrate.
+//!
+//! DESIGN.md §7 names the TSDB retention/ordering invariants explicitly:
+//! whatever a sensor feeds in, the store must hand Analyze components a
+//! time-ordered, bounded, lossless-within-retention view.
+
+use moda_telemetry::{MetricMeta, Sample, SourceDomain, TimeSeries, Tsdb, WindowAgg};
+use moda_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------- series
+
+proptest! {
+    /// Monotonic appends are all kept (up to capacity); non-monotonic
+    /// ones are rejected, never reordered.
+    #[test]
+    fn series_keeps_order_under_arbitrary_input(ts in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut s = TimeSeries::new(1024);
+        let mut kept_expect: Vec<u64> = Vec::new();
+        let mut last: Option<u64> = None;
+        for (i, &t) in ts.iter().enumerate() {
+            let ok = s.push(SimTime(t), i as f64);
+            // Acceptance rule: non-decreasing timestamps.
+            let expect_ok = last.map(|l| t >= l).unwrap_or(true);
+            prop_assert_eq!(ok, expect_ok, "push({}) after {:?}", t, last);
+            if ok {
+                kept_expect.push(t);
+                last = Some(t);
+            }
+        }
+        let kept: Vec<u64> = s.iter().map(|x| x.t.0).collect();
+        prop_assert_eq!(kept, kept_expect);
+        prop_assert_eq!(s.rejected() as usize, ts.len() - s.len());
+    }
+
+    /// Retention keeps exactly the newest `capacity` samples.
+    #[test]
+    fn series_retention_keeps_newest(capacity in 1usize..64, n in 1usize..300) {
+        let mut s = TimeSeries::new(capacity);
+        for i in 0..n {
+            s.push(SimTime(i as u64), i as f64);
+        }
+        prop_assert_eq!(s.len(), n.min(capacity));
+        prop_assert_eq!(s.total_appends(), n as u64);
+        let oldest_kept = n.saturating_sub(capacity);
+        prop_assert_eq!(s.oldest().unwrap().t.0 as usize, oldest_kept);
+        prop_assert_eq!(s.latest().unwrap().t.0 as usize, n - 1);
+    }
+
+    /// `range` returns exactly the samples in `[t0, t1)`.
+    #[test]
+    fn series_range_is_half_open(n in 1u64..200, a in 0u64..220, b in 0u64..220) {
+        let mut s = TimeSeries::new(4096);
+        for i in 0..n {
+            s.push(SimTime(i), i as f64);
+        }
+        let (t0, t1) = (a.min(b), a.max(b));
+        let got: Vec<u64> = s.range(SimTime(t0), SimTime(t1)).iter().map(|x| x.t.0).collect();
+        let want: Vec<u64> = (0..n).filter(|&i| i >= t0 && i < t1).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `last_n` and `window` agree with direct slicing.
+    #[test]
+    fn series_views_agree(n in 1u64..200, k in 1usize..64, w in 1u64..300) {
+        let mut s = TimeSeries::new(4096);
+        for i in 0..n {
+            s.push(SimTime(i), (i * 3) as f64);
+        }
+        let all: Vec<Sample> = s.iter().collect();
+        let lastn = s.last_n(k);
+        prop_assert_eq!(&all[n as usize - k.min(n as usize)..], &lastn[..]);
+        // Window semantics: half-open trailing interval (now − w, now].
+        let now = SimTime(n - 1);
+        let win = s.window(now, SimDuration(w));
+        let t0 = now.0.saturating_sub(w);
+        let expect: Vec<Sample> = all
+            .iter()
+            .filter(|x| x.t.0 > t0 && x.t <= now)
+            .copied()
+            .collect();
+        prop_assert_eq!(win, expect);
+    }
+}
+
+// ------------------------------------------------------------- tsdb
+
+fn db_with(n_metrics: usize, capacity: usize) -> (Tsdb, Vec<moda_telemetry::MetricId>) {
+    let mut db = Tsdb::with_retention(capacity);
+    let ids = (0..n_metrics)
+        .map(|i| {
+            db.register(MetricMeta::gauge(
+                format!("m{i}"),
+                "u",
+                SourceDomain::Hardware,
+            ))
+        })
+        .collect();
+    (db, ids)
+}
+
+proptest! {
+    /// Insert accounting is exact across metrics.
+    #[test]
+    fn tsdb_insert_accounting(writes in prop::collection::vec((0usize..8, 0u64..1000), 1..300)) {
+        let (mut db, ids) = db_with(8, 4096);
+        let mut accepted = 0u64;
+        let mut last: Vec<Option<u64>> = vec![None; 8];
+        for &(m, t) in &writes {
+            let ok = db.insert(ids[m], SimTime(t), 1.0);
+            let expect = last[m].map(|l| t >= l).unwrap_or(true);
+            prop_assert_eq!(ok, expect);
+            if ok {
+                accepted += 1;
+                last[m] = Some(t);
+            }
+        }
+        prop_assert_eq!(db.total_inserts(), accepted);
+        prop_assert_eq!(db.cardinality(), 8);
+    }
+
+    /// Resampling conserves the mean: the mean of bucket means weighted
+    /// by bucket counts equals the overall mean.
+    #[test]
+    fn tsdb_resample_conserves_mean(
+        values in prop::collection::vec(0.0f64..100.0, 2..200),
+        period in 1u64..50,
+    ) {
+        let (mut db, ids) = db_with(1, 4096);
+        for (i, &v) in values.iter().enumerate() {
+            db.insert(ids[0], SimTime(i as u64), v);
+        }
+        let t1 = SimTime(values.len() as u64);
+        let buckets = db.resample(ids[0], SimTime::ZERO, t1, SimDuration(period), WindowAgg::Mean);
+        let counts = db.resample(ids[0], SimTime::ZERO, t1, SimDuration(period), WindowAgg::Count);
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (m, c) in buckets.iter().zip(&counts) {
+            if let (Some(m), Some(c)) = (m, c) {
+                weighted += m * c;
+                total += c;
+            }
+        }
+        prop_assert_eq!(total as usize, values.len());
+        let overall = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((weighted / total - overall).abs() < 1e-9);
+    }
+
+    /// Min/max aggregations bound every sample in the window.
+    #[test]
+    fn tsdb_window_aggregates_bound_samples(values in prop::collection::vec(-50.0f64..50.0, 2..100)) {
+        let (mut db, ids) = db_with(1, 4096);
+        for (i, &v) in values.iter().enumerate() {
+            db.insert(ids[0], SimTime(i as u64), v);
+        }
+        let t1 = SimTime(values.len() as u64);
+        let lo = db.resample(ids[0], SimTime::ZERO, t1, SimDuration(t1.0), WindowAgg::Min);
+        let hi = db.resample(ids[0], SimTime::ZERO, t1, SimDuration(t1.0), WindowAgg::Max);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(lo[0], Some(min));
+        prop_assert_eq!(hi[0], Some(max));
+    }
+}
+
+// ------------------------------------------------------------- export
+
+proptest! {
+    /// CSV export renders one row per retained sample, in order.
+    #[test]
+    fn export_matches_store(n in 1u64..200) {
+        let (mut db, ids) = db_with(2, 4096);
+        for i in 0..n {
+            db.insert(ids[0], SimTime(i), i as f64);
+            db.insert(ids[1], SimTime(i), (i * 2) as f64);
+        }
+        let csv = moda_telemetry::export::store_csv(&db);
+        let rows = csv.lines().count() - 1; // minus header
+        prop_assert_eq!(rows as u64, 2 * n);
+    }
+}

@@ -1,0 +1,376 @@
+//! The Maintenance use case (§III, case 1).
+//!
+//! > *Responses to system maintenance events to ensure continuity of
+//! > running jobs.*
+//!
+//! The scheduler drains toward an announced outage (no new job may
+//! overlap it), but *running* jobs that cannot finish in time are killed
+//! at the window start. This loop watches the next outage and every
+//! running job's ETA; jobs that will not finish get an asynchronous
+//! checkpoint signal just before the window, so their resubmissions
+//! resume instead of restarting — §III notes the Maintenance case "would
+//! use equivalent application interaction as invoking asynchronous
+//! checkpointing" in the Scheduler case, and the implementation shares
+//! exactly that actuator.
+
+use crate::harness::SharedWorld;
+use moda_analytics::forecast::{Estimator, ProgressForecaster};
+use moda_core::{
+    Analyzer, Confidence, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop, Monitor, Plan,
+    PlannedAction, Planner,
+};
+use moda_scheduler::JobId;
+use moda_sim::SimTime;
+
+/// Loop parameters.
+#[derive(Debug, Clone)]
+pub struct MaintenanceLoopConfig {
+    /// Markers fed to the per-job forecast.
+    pub marker_window: usize,
+    /// Checkpoint when the outage is closer than
+    /// `checkpoint_cost × lead_factor + lead_slack_s`.
+    pub lead_factor: f64,
+    /// Fixed slack added to the checkpoint lead time, seconds.
+    pub lead_slack_s: f64,
+}
+
+impl Default for MaintenanceLoopConfig {
+    fn default() -> Self {
+        MaintenanceLoopConfig {
+            marker_window: 30,
+            lead_factor: 3.0,
+            lead_slack_s: 60.0,
+        }
+    }
+}
+
+/// Typed vocabulary of the Maintenance loop.
+#[derive(Debug)]
+pub struct MaintenanceDomain;
+
+/// One monitored job: `(id, markers, total_steps, checkpoint_cost_s)`.
+pub type MaintJob = (JobId, Vec<(f64, f64)>, f64, f64);
+
+/// Monitored state: the next outage and running jobs' progress.
+#[derive(Debug, Clone)]
+pub struct MaintObs {
+    /// Start of the next future outage, seconds (if any).
+    pub next_outage_start_s: Option<f64>,
+    /// Running jobs with their progress markers.
+    pub jobs: Vec<MaintJob>,
+}
+
+/// One job's outage exposure.
+#[derive(Debug, Clone)]
+pub struct OutageRisk {
+    /// The job.
+    pub id: JobId,
+    /// Seconds until the outage starts.
+    pub time_to_outage_s: f64,
+    /// Whether the job is forecast to finish before the outage.
+    pub survives: bool,
+    /// Checkpoint cost, seconds.
+    pub checkpoint_cost_s: f64,
+    /// Forecast confidence.
+    pub confidence: Confidence,
+}
+
+impl Domain for MaintenanceDomain {
+    type Obs = MaintObs;
+    type Assessment = Vec<OutageRisk>;
+    type Action = JobId; // checkpoint this job
+    type Outcome = bool;
+}
+
+struct OutageMonitor {
+    world: SharedWorld,
+    window: usize,
+}
+
+impl Monitor<MaintenanceDomain> for OutageMonitor {
+    fn name(&self) -> &str {
+        "outage-watch"
+    }
+    fn observe(&mut self, now: SimTime) -> Option<MaintObs> {
+        let w = self.world.borrow();
+        let next = w
+            .sched
+            .outages()
+            .iter()
+            .filter(|&&(s, _)| s > now)
+            .map(|&(s, _)| s.as_secs_f64())
+            .fold(None::<f64>, |acc, s| {
+                Some(match acc {
+                    None => s,
+                    Some(a) => a.min(s),
+                })
+            });
+        let jobs: Vec<MaintJob> = w
+            .running_jobs()
+            .into_iter()
+            .filter_map(|id| {
+                let markers = w.progress_markers(id, self.window);
+                let total = w.total_steps(id)? as f64;
+                let cost = w
+                    .ground_truth_profile(id)
+                    .map(|p| p.checkpoint_cost_s)
+                    .unwrap_or(10.0);
+                Some((id, markers, total, cost))
+            })
+            .collect();
+        if jobs.is_empty() && next.is_none() {
+            return None;
+        }
+        Some(MaintObs {
+            next_outage_start_s: next,
+            jobs,
+        })
+    }
+}
+
+struct SurvivalAnalyzer {
+    forecaster: ProgressForecaster,
+}
+
+impl Analyzer<MaintenanceDomain> for SurvivalAnalyzer {
+    fn name(&self) -> &str {
+        "outage-survival"
+    }
+    fn analyze(&mut self, now: SimTime, obs: &MaintObs, _k: &Knowledge) -> Vec<OutageRisk> {
+        let Some(outage_s) = obs.next_outage_start_s else {
+            return Vec::new();
+        };
+        let now_s = now.as_secs_f64();
+        obs.jobs
+            .iter()
+            .map(|(id, markers, total, cost)| {
+                let fc = self.forecaster.forecast(markers, *total, now_s);
+                let (survives, conf) = match fc {
+                    // Conservative margin: half a prediction interval.
+                    Some(f) => (
+                        now_s + f.eta_s + f.half_width_s * 0.5 < outage_s,
+                        f.confidence,
+                    ),
+                    // No forecast → assume exposed, with low confidence.
+                    None => (false, Confidence::new(0.3)),
+                };
+                OutageRisk {
+                    id: *id,
+                    time_to_outage_s: outage_s - now_s,
+                    survives,
+                    checkpoint_cost_s: *cost,
+                    confidence: conf,
+                }
+            })
+            .collect()
+    }
+}
+
+struct CheckpointPlanner {
+    cfg: MaintenanceLoopConfig,
+}
+
+impl Planner<MaintenanceDomain> for CheckpointPlanner {
+    fn name(&self) -> &str {
+        "pre-outage-checkpoint"
+    }
+    fn plan(
+        &mut self,
+        _now: SimTime,
+        assessment: &Vec<OutageRisk>,
+        k: &Knowledge,
+    ) -> Plan<JobId> {
+        let mut actions = Vec::new();
+        for risk in assessment {
+            if risk.survives {
+                continue;
+            }
+            let lead = risk.checkpoint_cost_s * self.cfg.lead_factor + self.cfg.lead_slack_s;
+            if risk.time_to_outage_s > lead {
+                continue; // too early; keep computing
+            }
+            if risk.time_to_outage_s < risk.checkpoint_cost_s {
+                continue; // too late; the checkpoint cannot finish
+            }
+            // One checkpoint per job per outage.
+            if k.fact(&format!("job.{}.maint_ckpt", risk.id.0)).unwrap_or(0.0) > 0.0 {
+                continue;
+            }
+            actions.push(
+                PlannedAction::new(risk.id, "maint-checkpoint", risk.confidence)
+                    .with_magnitude(risk.checkpoint_cost_s)
+                    .with_rationale(format!(
+                        "{}: will not finish before outage in {:.0}s; checkpointing (cost {:.0}s)",
+                        risk.id, risk.time_to_outage_s, risk.checkpoint_cost_s
+                    )),
+            );
+        }
+        Plan { actions }
+    }
+}
+
+struct CheckpointExecutor {
+    world: SharedWorld,
+}
+
+impl Executor<MaintenanceDomain> for CheckpointExecutor {
+    fn name(&self) -> &str {
+        "checkpoint-hook"
+    }
+    fn execute(&mut self, _now: SimTime, id: &JobId) -> bool {
+        self.world.borrow_mut().signal_checkpoint(*id)
+    }
+}
+
+struct MaintAssessor;
+
+impl moda_core::Assessor<MaintenanceDomain> for MaintAssessor {
+    fn assess(
+        &mut self,
+        _now: SimTime,
+        action: &PlannedAction<JobId>,
+        outcome: &bool,
+        k: &mut Knowledge,
+    ) {
+        if *outcome {
+            k.set_fact(format!("job.{}.maint_ckpt", action.action.0), 1.0);
+        }
+        k.assess_latest("maintenance-loop", "maint-checkpoint", *outcome, 0.0);
+    }
+}
+
+/// Assemble the Maintenance loop.
+pub fn build_loop(
+    world: SharedWorld,
+    cfg: MaintenanceLoopConfig,
+) -> MapeLoop<MaintenanceDomain> {
+    MapeLoop::new(
+        "maintenance-loop",
+        Box::new(OutageMonitor {
+            world: world.clone(),
+            window: cfg.marker_window,
+        }),
+        Box::new(SurvivalAnalyzer {
+            forecaster: ProgressForecaster::new(Estimator::TheilSen),
+        }),
+        Box::new(CheckpointPlanner { cfg }),
+        Box::new(CheckpointExecutor { world }),
+    )
+    .with_assessor(Box::new(MaintAssessor))
+    .with_gate(ConfidenceGate::new(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{drive, shared, CampaignStats};
+    use moda_hpc::{AppProfile, World, WorldConfig};
+    use moda_scheduler::JobRequest;
+    use moda_sim::SimDuration;
+
+    fn long_job(id: u64) -> (JobRequest, AppProfile) {
+        (
+            JobRequest {
+                id: JobId(id),
+                user: "u".into(),
+                app_class: "t".into(),
+                submit: SimTime::ZERO,
+                nodes: 1,
+                walltime: SimDuration::from_secs(4000),
+            },
+            AppProfile {
+                app_class: "t".into(),
+                total_steps: 600,
+                mean_step_s: 5.0, // 3000 s of work
+                step_cv: 0.05,
+                io_every: 0,
+                io_mb: 0.0,
+                stripe: 1,
+                phase_change: None,
+                checkpoint_cost_s: 10.0,
+                misconfig: None,
+                scale: 3000.0,
+                cores_per_rank: 8,
+            },
+        )
+    }
+
+    fn world_with_outage() -> SharedWorld {
+        let mut w = World::new(WorldConfig {
+            nodes: 4,
+            power_period: None,
+            resubmit_delay: SimDuration::from_secs(60),
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(vec![long_job(0)]);
+        // Announce the outage after the job started (the drain cannot
+        // protect already-running work): t=1000..1600, while the 3000 s
+        // job is still far from done.
+        w.run_until(SimTime::from_secs(10));
+        w.add_outage(SimTime::from_secs(1000), SimTime::from_secs(1600));
+        shared(w)
+    }
+
+    #[test]
+    fn loop_checkpoints_before_outage_and_work_survives() {
+        let w = world_with_outage();
+        let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
+        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
+            l.tick(t);
+        });
+        let stats = CampaignStats::collect(&w.borrow());
+        assert!(stats.checkpoints >= 1, "{stats:?}");
+        assert_eq!(stats.maintenance_killed, 1);
+        assert_eq!(stats.roots_completed, 1);
+        // Compare wasted work against the no-loop baseline.
+        let w2 = world_with_outage();
+        drive(&w2, SimDuration::from_secs(20), SimTime::from_hours(4), |_| {});
+        let no_loop = CampaignStats::collect(&w2.borrow());
+        assert_eq!(no_loop.checkpoints, 0);
+        assert!(
+            stats.steps_completed < no_loop.steps_completed,
+            "checkpointing should avoid redone work: {} vs {}",
+            stats.steps_completed,
+            no_loop.steps_completed
+        );
+    }
+
+    #[test]
+    fn no_outage_means_no_action() {
+        let mut world = World::new(WorldConfig {
+            nodes: 4,
+            power_period: None,
+            ..WorldConfig::default()
+        });
+        world.submit_campaign(vec![long_job(0)]);
+        let w = shared(world);
+        let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
+        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
+            l.tick(t);
+        });
+        let stats = CampaignStats::collect(&w.borrow());
+        assert_eq!(stats.checkpoints, 0);
+        assert_eq!(stats.roots_completed, 1);
+    }
+
+    #[test]
+    fn surviving_job_is_left_alone() {
+        // Outage far enough out that the job finishes first.
+        let mut world = World::new(WorldConfig {
+            nodes: 4,
+            power_period: None,
+            ..WorldConfig::default()
+        });
+        world.add_outage(SimTime::from_secs(10_000), SimTime::from_secs(12_000));
+        world.submit_campaign(vec![long_job(0)]); // ~3000 s of work
+        let w = shared(world);
+        let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
+        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
+            l.tick(t);
+        });
+        let stats = CampaignStats::collect(&w.borrow());
+        assert_eq!(stats.checkpoints, 0, "{stats:?}");
+        assert_eq!(stats.maintenance_killed, 0);
+        assert_eq!(stats.roots_completed, 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Proactive checkpointing against node failures (§IV resilience).
+//!
+//! > *"Resilience is essential in HPC systems where operations must
+//! > persist through component and subsystem failures."*
+//!
+//! The Maintenance case (§III, case 1) checkpoints against *announced*
+//! interruptions; this loop generalizes it to *unannounced* fail-stop
+//! node faults. With no warning to react to, the Plan phase becomes a
+//! cadence policy: checkpoint each job every T seconds, where T comes
+//! either from operator configuration or from Young's first-order
+//! optimum √(2·C·MTBF) given the cluster's observed failure rate —
+//! Knowledge in the MAPE-K sense, refined as failures are observed.
+//!
+//! * **Monitor** reports each running job's age and last-checkpoint time.
+//! * **Analyze** computes per-job checkpoint dueness against the policy
+//!   interval.
+//! * **Plan** emits a checkpoint action per due job (rate-limited by the
+//!   guard so a sick policy cannot checkpoint-storm the filesystem).
+//! * **Execute** signals the application checkpoint hook.
+//! * **Assess** records the checkpoint time so dueness resets.
+
+use crate::harness::SharedWorld;
+use moda_core::{
+    Analyzer, Assessor, Confidence, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop,
+    Monitor, Plan, PlannedAction, Planner,
+};
+use moda_hpc::young_interval_s;
+use moda_scheduler::JobId;
+use moda_sim::SimTime;
+
+/// How the Plan phase chooses the checkpoint cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointCadence {
+    /// Fixed interval, seconds.
+    Fixed(f64),
+    /// Young's optimum from the per-job checkpoint cost and the given
+    /// system MTBF (cluster-wide mean time between failures, seconds).
+    Young {
+        /// Cluster-wide mean time between failures, seconds.
+        system_mtbf_s: f64,
+    },
+}
+
+impl CheckpointCadence {
+    /// The interval to apply for a job with the given checkpoint cost.
+    pub fn interval_s(&self, checkpoint_cost_s: f64) -> f64 {
+        match *self {
+            CheckpointCadence::Fixed(t) => t,
+            CheckpointCadence::Young { system_mtbf_s } => {
+                young_interval_s(checkpoint_cost_s, system_mtbf_s)
+            }
+        }
+    }
+}
+
+/// Loop parameters.
+#[derive(Debug, Clone)]
+pub struct ResilienceLoopConfig {
+    /// Cadence policy.
+    pub cadence: CheckpointCadence,
+}
+
+impl Default for ResilienceLoopConfig {
+    fn default() -> Self {
+        ResilienceLoopConfig {
+            cadence: CheckpointCadence::Fixed(1800.0),
+        }
+    }
+}
+
+/// Typed vocabulary of the resilience loop.
+#[derive(Debug)]
+pub struct ResilienceDomain;
+
+/// One running job's checkpoint exposure.
+#[derive(Debug, Clone)]
+pub struct JobExposure {
+    /// The job.
+    pub id: JobId,
+    /// Seconds since the job started.
+    pub age_s: f64,
+    /// Checkpoint cost, seconds.
+    pub checkpoint_cost_s: f64,
+}
+
+/// Assessment: jobs due for a checkpoint.
+#[derive(Debug, Clone)]
+pub struct DueJob {
+    /// The job.
+    pub id: JobId,
+    /// Seconds of unprotected work the job is carrying.
+    pub exposure_s: f64,
+    /// Checkpoint cost, seconds.
+    pub checkpoint_cost_s: f64,
+}
+
+impl Domain for ResilienceDomain {
+    type Obs = Vec<JobExposure>;
+    type Assessment = Vec<DueJob>;
+    type Action = JobId;
+    type Outcome = bool;
+}
+
+struct ExposureMonitor {
+    world: SharedWorld,
+}
+
+impl Monitor<ResilienceDomain> for ExposureMonitor {
+    fn name(&self) -> &str {
+        "job-exposure"
+    }
+    fn observe(&mut self, now: SimTime) -> Option<Vec<JobExposure>> {
+        let w = self.world.borrow();
+        let jobs = w.running_jobs();
+        if jobs.is_empty() {
+            return None;
+        }
+        Some(
+            jobs.into_iter()
+                .filter_map(|id| {
+                    let start = w.sched.job(id)?.start?;
+                    let cost = w.ground_truth_profile(id)?.checkpoint_cost_s;
+                    Some(JobExposure {
+                        id,
+                        age_s: now.saturating_since(start).as_secs_f64(),
+                        checkpoint_cost_s: cost,
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
+struct DuenessAnalyzer {
+    cadence: CheckpointCadence,
+}
+
+impl Analyzer<ResilienceDomain> for DuenessAnalyzer {
+    fn name(&self) -> &str {
+        "checkpoint-dueness"
+    }
+    fn analyze(
+        &mut self,
+        now: SimTime,
+        obs: &Vec<JobExposure>,
+        k: &Knowledge,
+    ) -> Vec<DueJob> {
+        let now_s = now.as_secs_f64();
+        obs.iter()
+            .filter_map(|e| {
+                let last = k
+                    .fact(&format!("job.{}.last_ckpt_s", e.id.0))
+                    .unwrap_or(now_s - e.age_s);
+                let exposure = now_s - last;
+                let interval = self.cadence.interval_s(e.checkpoint_cost_s);
+                // A zero/negative interval means "checkpoint continuously";
+                // clamp to the checkpoint cost so the job still progresses.
+                let interval = interval.max(e.checkpoint_cost_s);
+                (exposure >= interval).then_some(DueJob {
+                    id: e.id,
+                    exposure_s: exposure,
+                    checkpoint_cost_s: e.checkpoint_cost_s,
+                })
+            })
+            .collect()
+    }
+}
+
+struct CadencePlanner;
+
+impl Planner<ResilienceDomain> for CadencePlanner {
+    fn name(&self) -> &str {
+        "cadence-planner"
+    }
+    fn plan(&mut self, _now: SimTime, due: &Vec<DueJob>, _k: &Knowledge) -> Plan<JobId> {
+        Plan {
+            actions: due
+                .iter()
+                .map(|d| {
+                    PlannedAction::new(d.id, "checkpoint", Confidence::new(0.9))
+                        .with_magnitude(d.checkpoint_cost_s)
+                        .with_rationale(format!(
+                            "{}: {:.0}s of unprotected work (checkpoint costs {:.0}s)",
+                            d.id, d.exposure_s, d.checkpoint_cost_s
+                        ))
+                })
+                .collect(),
+        }
+    }
+}
+
+struct CheckpointExecutor {
+    world: SharedWorld,
+}
+
+impl Executor<ResilienceDomain> for CheckpointExecutor {
+    fn name(&self) -> &str {
+        "checkpoint-hook"
+    }
+    fn execute(&mut self, _now: SimTime, id: &JobId) -> bool {
+        self.world.borrow_mut().signal_checkpoint(*id)
+    }
+}
+
+struct CheckpointAssessor;
+
+impl Assessor<ResilienceDomain> for CheckpointAssessor {
+    fn assess(
+        &mut self,
+        now: SimTime,
+        action: &PlannedAction<JobId>,
+        outcome: &bool,
+        k: &mut Knowledge,
+    ) {
+        if *outcome {
+            k.set_fact(
+                format!("job.{}.last_ckpt_s", action.action.0),
+                now.as_secs_f64(),
+            );
+        }
+        k.assess_latest("resilience-loop", "checkpoint", *outcome, 0.0);
+    }
+}
+
+/// Assemble the resilience loop.
+pub fn build_loop(world: SharedWorld, cfg: ResilienceLoopConfig) -> MapeLoop<ResilienceDomain> {
+    MapeLoop::new(
+        "resilience-loop",
+        Box::new(ExposureMonitor {
+            world: world.clone(),
+        }),
+        Box::new(DuenessAnalyzer {
+            cadence: cfg.cadence,
+        }),
+        Box::new(CadencePlanner),
+        Box::new(CheckpointExecutor { world }),
+    )
+    .with_assessor(Box::new(CheckpointAssessor))
+    .with_gate(ConfidenceGate::new(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{drive, shared, CampaignStats};
+    use moda_hpc::{AppProfile, FailureConfig, World, WorldConfig};
+    use moda_scheduler::JobRequest;
+    use moda_sim::SimDuration;
+
+    fn long_job(id: u64, steps: u64) -> (JobRequest, AppProfile) {
+        (
+            JobRequest {
+                id: JobId(id),
+                user: "u".into(),
+                app_class: "t".into(),
+                submit: SimTime::ZERO,
+                nodes: 1,
+                walltime: SimDuration::from_hours(12),
+            },
+            AppProfile {
+                app_class: "t".into(),
+                total_steps: steps,
+                mean_step_s: 2.0,
+                step_cv: 0.05,
+                io_every: 0,
+                io_mb: 0.0,
+                stripe: 1,
+                phase_change: None,
+                checkpoint_cost_s: 10.0,
+                misconfig: None,
+                scale: 1.0,
+                cores_per_rank: 8,
+            },
+        )
+    }
+
+    fn failing_world(seed: u64, node_mtbf_s: f64) -> SharedWorld {
+        let mut w = World::new(WorldConfig {
+            nodes: 4,
+            seed,
+            power_period: None,
+            failure: Some(FailureConfig { node_mtbf_s }),
+            resubmit_delay: SimDuration::from_secs(60),
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(vec![long_job(0, 3000), long_job(1, 3000)]);
+        shared(w)
+    }
+
+    fn run(seed: u64, node_mtbf_s: f64, cadence: Option<CheckpointCadence>) -> CampaignStats {
+        let w = failing_world(seed, node_mtbf_s);
+        let mut l = cadence.map(|c| {
+            build_loop(
+                w.clone(),
+                ResilienceLoopConfig { cadence: c },
+            )
+        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(24 * 4),
+            |t| {
+                if let Some(l) = l.as_mut() {
+                    l.tick(t);
+                }
+            },
+        );
+        let stats = CampaignStats::collect(&w.borrow());
+        stats
+    }
+
+    #[test]
+    fn failures_kill_and_resubmission_restarts_from_zero() {
+        // 4 nodes × MTBF 8000 s ⇒ a failure every ~2000 s; two 6000 s
+        // jobs will be hit.
+        let s = run(1, 8_000.0, None);
+        assert!(s.failures > 0, "failure injection must fire: {s:?}");
+        assert!(s.resubmits > 0);
+        // Without checkpoints every retry restarts: redone work exceeds
+        // the nominal 6000 steps.
+        assert!(s.steps_completed > 6000);
+        assert_eq!(s.roots_completed, 2);
+    }
+
+    #[test]
+    fn checkpointing_bounds_redone_work() {
+        let unprotected = run(1, 8_000.0, None);
+        let protected = run(1, 8_000.0, Some(CheckpointCadence::Fixed(600.0)));
+        assert!(protected.checkpoints > 0);
+        assert!(
+            protected.steps_completed < unprotected.steps_completed,
+            "checkpoints must save redone steps: {} vs {}",
+            protected.steps_completed,
+            unprotected.steps_completed
+        );
+        assert_eq!(protected.roots_completed, 2);
+    }
+
+    #[test]
+    fn young_cadence_uses_mtbf() {
+        // Young's interval for C=10 s on a 4-node cluster with per-node
+        // MTBF 8000 s (system MTBF 2000 s): √(2·10·2000) = 200 s.
+        let c = CheckpointCadence::Young {
+            system_mtbf_s: 2_000.0,
+        };
+        assert!((c.interval_s(10.0) - 200.0).abs() < 1e-9);
+        let s = run(3, 8_000.0, Some(c));
+        assert!(s.checkpoints > 0);
+        assert_eq!(s.roots_completed, 2);
+    }
+
+    #[test]
+    fn no_failures_no_checkpoint_storm() {
+        // Healthy cluster, long fixed cadence: a couple of checkpoints
+        // per job at most, and zero failures.
+        let w = failing_world(5, f64::INFINITY);
+        let mut l = build_loop(
+            w.clone(),
+            ResilienceLoopConfig {
+                cadence: CheckpointCadence::Fixed(3600.0),
+            },
+        );
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(24),
+            |t| {
+                l.tick(t);
+            },
+        );
+        let s = CampaignStats::collect(&w.borrow());
+        assert_eq!(s.failures, 0);
+        assert!(s.checkpoints <= 4, "{} checkpoints", s.checkpoints);
+        assert_eq!(s.roots_completed, 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! The OST case: detect a degraded storage target and route around it.
+//!
+//! An I/O-heavy job writes through a striped file. Mid-run, one OST
+//! silently degrades to 5% of its bandwidth. The loop's per-OST CUSUM
+//! charts detect the persistent bandwidth shift from *observed write
+//! performance alone* and reopen the job's files avoiding the sick
+//! target (§III case 3).
+//!
+//! Run with: `cargo run --release --example ost_failover`
+
+use moda::hpc::{AppProfile, World, WorldConfig};
+use moda::pfs::{OstId, PfsConfig};
+use moda::scheduler::{JobId, JobRequest};
+use moda::sim::{SimDuration, SimTime};
+use moda::usecases::harness::{drive, shared};
+use moda::usecases::ost::{build_loop, OstLoopConfig};
+
+fn run(with_loop: bool) -> (f64, u64) {
+    let world = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: 4,
+            seed: 5,
+            power_period: None,
+            pfs: PfsConfig {
+                num_osts: 4,
+                ost_bandwidth: 500.0,
+                default_stripe: 1,
+                base_latency_ms: 1,
+            },
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(vec![(
+            JobRequest {
+                id: JobId(0),
+                user: "io-heavy".into(),
+                app_class: "analysis".into(),
+                submit: SimTime::ZERO,
+                nodes: 1,
+                walltime: SimDuration::from_hours(12),
+            },
+            AppProfile {
+                app_class: "analysis".into(),
+                total_steps: 2000,
+                mean_step_s: 2.0,
+                step_cv: 0.05,
+                io_every: 2,
+                io_mb: 100.0,
+                stripe: 1,
+                phase_change: None,
+                checkpoint_cost_s: 5.0,
+                misconfig: None,
+                scale: 1.0,
+                cores_per_rank: 8,
+            },
+        )]);
+        w
+    });
+    let mut l = build_loop(world.clone(), OstLoopConfig::default());
+    let mut reopens = 0;
+    drive(
+        &world,
+        SimDuration::from_secs(10),
+        SimTime::from_hours(12),
+        |t| {
+            if t == SimTime::from_mins(10) {
+                // Silent degradation: ost0 drops to 5% bandwidth.
+                world.borrow_mut().pfs.set_ost_health(OstId(0), 0.05);
+            }
+            if with_loop {
+                reopens += l.tick(t).executed as u64;
+            }
+        },
+    );
+    let end = world.borrow().now().as_secs_f64();
+    (end, reopens)
+}
+
+fn main() {
+    println!("=== OST autonomy loop: failover away from a degraded target ===\n");
+    let (t_base, _) = run(false);
+    let (t_loop, reopens) = run(true);
+    println!("completion time without loop: {t_base:>8.0} s (stuck on the slow OST)");
+    println!("completion time with loop:    {t_loop:>8.0} s ({reopens} reopen action(s))");
+    println!(
+        "\nspeedup from routing around the degraded OST: {:.1}x",
+        t_base / t_loop
+    );
+}

@@ -1,0 +1,55 @@
+//! The four MAPE-K design patterns of Fig. 2, measured.
+//!
+//! Runs the threaded drivers for the classical, master–worker,
+//! coordinated, and hierarchical patterns across fleet sizes and prints
+//! the per-iteration latency each pays — making §II's qualitative
+//! trade-offs ("centralized Plan ... limited scalability"; decentralized
+//! loops "good scalability") quantitative on your machine.
+//!
+//! Run with: `cargo run --release --example pattern_zoo`
+
+use moda::core::runtime::{
+    run_classical, run_coordinated, run_hierarchical, run_master_worker, StageCosts,
+};
+
+fn main() {
+    println!("=== Fig. 2 pattern zoo: per-iteration loop latency (µs) ===\n");
+    let costs = StageCosts {
+        monitor_us: 20,
+        analyze_us: 50,
+        plan_us: 100,
+        execute_us: 20,
+    };
+    let rounds = 200;
+    println!(
+        "{:>10} {:>16} {:>16} {:>16} {:>16}",
+        "fleet", "classical", "master-worker", "coordinated", "hierarchical"
+    );
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let classical = if n == 1 {
+            run_classical(rounds, costs).p50_latency_us
+        } else {
+            f64::NAN // classical manages exactly one system
+        };
+        let mw = run_master_worker(n, rounds, costs).p50_latency_us;
+        let coord = run_coordinated(n, rounds, costs).p50_latency_us;
+        let hier = run_hierarchical(n, rounds, costs, 10).p50_latency_us;
+        println!(
+            "{:>10} {:>16} {:>16.0} {:>16.0} {:>16.0}",
+            n,
+            if classical.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{classical:.0}")
+            },
+            mw,
+            coord,
+            hier
+        );
+    }
+    println!(
+        "\nreading: master-worker latency inflates with fleet size (observations\n\
+         queue at the centralized Analyze+Plan), coordinated stays flat until\n\
+         cores run out, hierarchical sits between (periodic supervision stalls)."
+    );
+}

@@ -1,0 +1,29 @@
+//! # moda — Autonomy loops for MODA in HPC operations
+//!
+//! Facade crate re-exporting the full `moda` stack: a reproduction of
+//! *"Autonomy Loops for Monitoring, Operational Data Analytics, Feedback,
+//! and Response in HPC Operations"* (CLUSTER 2023).
+//!
+//! The stack layers, bottom-up:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine,
+//! * [`telemetry`] — holistic monitoring substrate (metrics, TSDB, samplers),
+//! * [`core`] — the MAPE-K autonomy-loop formalism (the paper's contribution),
+//! * [`analytics`] — operational data analytics (forecasting, anomaly
+//!   detection, similarity, continual learning),
+//! * [`scheduler`] — SLURM-like batch scheduler with feedback hooks,
+//! * [`pfs`] — Lustre-like parallel filesystem with OSTs and QoS,
+//! * [`hpc`] — the simulated HPC center (the *managed system*),
+//! * [`usecases`] — the paper's five production use cases wired as
+//!   MAPE-K loops over the simulated center.
+//!
+//! See `examples/quickstart.rs` for a ten-line tour.
+
+pub use moda_analytics as analytics;
+pub use moda_core as core;
+pub use moda_hpc as hpc;
+pub use moda_pfs as pfs;
+pub use moda_scheduler as scheduler;
+pub use moda_sim as sim;
+pub use moda_telemetry as telemetry;
+pub use moda_usecases as usecases;

@@ -1,0 +1,353 @@
+//! The paper's five §III use cases, end-to-end through the facade.
+//!
+//! Each test states the case's headline differential — the observable
+//! improvement that would justify production deployment (§III.v) — and
+//! verifies it on a seeded campaign.
+
+use moda::core::AutonomyMode;
+use moda::hpc::{workload, AppProfile, World, WorldConfig};
+use moda::pfs::{OstId, PfsConfig};
+use moda::scheduler::{JobId, JobRequest};
+use moda::sim::{Dist, RngStreams, SimDuration, SimTime};
+use moda::usecases::harness::{drive, shared, CampaignStats, SharedWorld};
+use moda::usecases::{io_qos, maintenance, misconfig, ost, scheduler_case};
+
+// ---------------------------------------------------------------- case 5
+
+/// Scheduler (the initial case, Fig. 3): the loop converts walltime
+/// kills into completions via extensions.
+#[test]
+fn scheduler_case_cuts_kills_and_resubmissions() {
+    let run = |with_loop: bool| -> CampaignStats {
+        let w = shared({
+            let mut w = World::new(WorldConfig {
+                nodes: 16,
+                seed: 42,
+                power_period: None,
+                ..WorldConfig::default()
+            });
+            w.submit_campaign(workload::generate(
+                &workload::WorkloadConfig {
+                    n_jobs: 60,
+                    mean_interarrival_s: 60.0,
+                    walltime_error: workload::WalltimeErrorModel {
+                        underestimate_frac: 0.3,
+                        ..workload::WalltimeErrorModel::default()
+                    },
+                    ..workload::WorkloadConfig::default()
+                },
+                &RngStreams::new(42),
+                0,
+            ));
+            w
+        });
+        let mut l = with_loop.then(|| {
+            scheduler_case::build_loop(w.clone(), scheduler_case::SchedulerLoopConfig::default())
+        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(24 * 7),
+            |t| {
+                if let Some(l) = l.as_mut() {
+                    l.tick(t);
+                }
+            },
+        );
+        let stats = CampaignStats::collect(&w.borrow());
+        stats
+    };
+    let base = run(false);
+    let auto = run(true);
+    assert!(base.timed_out > 0, "campaign must stress walltimes: {base:?}");
+    assert!(
+        auto.timed_out < base.timed_out / 2,
+        "loop should at least halve walltime kills: {} vs {}",
+        auto.timed_out,
+        base.timed_out
+    );
+    assert!(auto.resubmits < base.resubmits);
+    assert!(auto.ext_granted + auto.ext_partial > 0);
+    // §III.iv trust: extensions stay within the policy budget.
+    assert!(
+        auto.ext_time_granted_s <= 2.0 * 3600.0 * (auto.ext_granted + auto.ext_partial) as f64
+    );
+}
+
+// ---------------------------------------------------------------- case 1
+
+/// Maintenance: checkpoint-before-outage preserves work across a
+/// short-notice window.
+#[test]
+fn maintenance_case_preserves_work_through_outage() {
+    let long_jobs = || {
+        let mut c = workload::AppClassSpec::cfd();
+        c.steps = Dist::Uniform {
+            lo: 2_000.0,
+            hi: 4_000.0,
+        };
+        c.mean_step_s = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        workload::generate(
+            &workload::WorkloadConfig {
+                n_jobs: 20,
+                mean_interarrival_s: 120.0,
+                classes: vec![c],
+                ..workload::WorkloadConfig::default()
+            },
+            &RngStreams::new(5),
+            0,
+        )
+    };
+    let run = |with_loop: bool| -> CampaignStats {
+        let w = shared({
+            let mut w = World::new(WorldConfig {
+                nodes: 16,
+                seed: 5,
+                power_period: None,
+                ..WorldConfig::default()
+            });
+            w.submit_campaign(long_jobs());
+            w
+        });
+        let mut l =
+            maintenance::build_loop(w.clone(), maintenance::MaintenanceLoopConfig::default());
+        let announce = SimTime::from_secs(2 * 3600 + 50 * 60);
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(24 * 5),
+            |t| {
+                if t == announce {
+                    w.borrow_mut()
+                        .add_outage(SimTime::from_hours(3), SimTime::from_hours(5));
+                }
+                if with_loop {
+                    l.tick(t);
+                }
+            },
+        );
+        let stats = CampaignStats::collect(&w.borrow());
+        stats
+    };
+    let base = run(false);
+    let auto = run(true);
+    assert!(
+        base.maintenance_killed > 0,
+        "outage must interrupt running jobs: {base:?}"
+    );
+    assert_eq!(auto.maintenance_killed, base.maintenance_killed);
+    assert!(auto.checkpoints >= auto.maintenance_killed);
+    // Checkpointed resubmissions resume → less redone work.
+    assert!(
+        auto.steps_completed < base.steps_completed,
+        "checkpoints must save redone steps: {} vs {}",
+        auto.steps_completed,
+        base.steps_completed
+    );
+    assert_eq!(auto.roots_completed, auto.roots_total);
+}
+
+// ---------------------------------------------------------------- case 2
+
+/// I/O QoS: adaptive token rates relieve a starved tenant without
+/// touching a satisfied one.
+#[test]
+fn io_qos_case_relieves_starved_tenant() {
+    let io_job = |id: u64, user: &str, io_mb: f64| -> (JobRequest, AppProfile) {
+        (
+            JobRequest {
+                id: JobId(id),
+                user: user.into(),
+                app_class: "io".into(),
+                submit: SimTime::ZERO,
+                nodes: 1,
+                walltime: SimDuration::from_hours(12),
+            },
+            AppProfile {
+                app_class: "io".into(),
+                total_steps: 300,
+                mean_step_s: 2.0,
+                step_cv: 0.05,
+                io_every: 2,
+                io_mb,
+                stripe: 1,
+                phase_change: None,
+                checkpoint_cost_s: 5.0,
+                misconfig: None,
+                scale: 1.0,
+                cores_per_rank: 8,
+            },
+        )
+    };
+    let w = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: 8,
+            seed: 2,
+            power_period: None,
+            ..WorldConfig::default()
+        });
+        w.register_qos("starved", 10.0, 100.0);
+        w.register_qos("satisfied", 200.0, 400.0);
+        w.submit_campaign(vec![
+            io_job(0, "starved", 100.0),
+            io_job(1, "satisfied", 50.0),
+        ]);
+        w
+    });
+    let mut l = io_qos::build_loop(w.clone(), io_qos::QosLoopConfig::default());
+    drive(
+        &w,
+        SimDuration::from_secs(30),
+        SimTime::from_hours(8),
+        |t| {
+            l.tick(t);
+        },
+    );
+    let starved_rate = w.borrow().qos.rate("starved").unwrap();
+    let satisfied_rate = w.borrow().qos.rate("satisfied").unwrap();
+    assert!(
+        starved_rate > 20.0,
+        "starved tenant rate must be raised: {starved_rate}"
+    );
+    assert_eq!(
+        satisfied_rate, 200.0,
+        "satisfied tenant must be left alone"
+    );
+}
+
+// ---------------------------------------------------------------- case 3
+
+/// OST: CUSUM detection + reopen restores completion time under a
+/// degraded storage target.
+#[test]
+fn ost_case_recovers_from_degraded_target() {
+    let io_job = |id: u64| -> (JobRequest, AppProfile) {
+        (
+            JobRequest {
+                id: JobId(id),
+                user: "u".into(),
+                app_class: "io".into(),
+                submit: SimTime::ZERO,
+                nodes: 1,
+                walltime: SimDuration::from_hours(12),
+            },
+            AppProfile {
+                app_class: "io".into(),
+                total_steps: 1200,
+                mean_step_s: 2.0,
+                step_cv: 0.05,
+                io_every: 2,
+                io_mb: 100.0,
+                stripe: 1,
+                phase_change: None,
+                checkpoint_cost_s: 5.0,
+                misconfig: None,
+                scale: 1.0,
+                cores_per_rank: 8,
+            },
+        )
+    };
+    let run = |with_loop: bool| -> f64 {
+        let w = shared({
+            let mut w = World::new(WorldConfig {
+                nodes: 4,
+                seed: 3,
+                power_period: None,
+                pfs: PfsConfig {
+                    num_osts: 4,
+                    ost_bandwidth: 500.0,
+                    default_stripe: 1,
+                    base_latency_ms: 1,
+                },
+                ..WorldConfig::default()
+            });
+            w.submit_campaign(vec![io_job(0), io_job(1), io_job(2)]);
+            w
+        });
+        let mut l = ost::build_loop(w.clone(), ost::OstLoopConfig::default());
+        drive(
+            &w,
+            SimDuration::from_secs(10),
+            SimTime::from_hours(12),
+            |t| {
+                if t == SimTime::from_secs(600) {
+                    w.borrow_mut().pfs.set_ost_health(OstId(0), 0.02);
+                }
+                if with_loop {
+                    l.tick(t);
+                }
+            },
+        );
+        let end = w.borrow().last_progress().as_secs_f64();
+        end
+    };
+    let with_loop = run(true);
+    let without = run(false);
+    assert!(
+        with_loop < without * 0.6,
+        "reopening away from the degraded OST must restore throughput: \
+         {with_loop:.0}s (loop) vs {without:.0}s (none)"
+    );
+}
+
+// ---------------------------------------------------------------- case 4
+
+/// Misconfiguration: detect, then inform or correct — corrections remove
+/// the slowdown, inform-only leaves an audit trail for the user.
+#[test]
+fn misconfig_case_detects_and_corrects() {
+    let run = |auto_correct: bool| -> (u64, f64, usize) {
+        let jobs = workload::generate(
+            &workload::WorkloadConfig {
+                n_jobs: 40,
+                mean_interarrival_s: 60.0,
+                misconfig_rate: 0.25,
+                ..workload::WorkloadConfig::default()
+            },
+            &RngStreams::new(9),
+            0,
+        );
+        let w: SharedWorld = shared({
+            let mut w = World::new(WorldConfig {
+                nodes: 16,
+                seed: 9,
+                power_period: None,
+                ..WorldConfig::default()
+            });
+            w.submit_campaign(jobs);
+            w
+        });
+        let mut l = misconfig::build_loop(
+            w.clone(),
+            misconfig::MisconfigLoopConfig {
+                auto_correct,
+                ..misconfig::MisconfigLoopConfig::default()
+            },
+        )
+        .with_mode(AutonomyMode::HumanOnTheLoop);
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(24 * 4),
+            |t| {
+                l.tick(t);
+            },
+        );
+        let corrections = w.borrow().metrics.corrections;
+        let makespan = w.borrow().last_progress().as_secs_f64();
+        let notifications = l.audit().notifications().len();
+        (corrections, makespan, notifications)
+    };
+    let (corr_auto, makespan_auto, _) = run(true);
+    let (corr_inform, makespan_inform, notes_inform) = run(false);
+    assert!(corr_auto > 0, "auto-correct must fix something");
+    assert_eq!(corr_inform, 0, "inform-only must not touch jobs");
+    assert!(
+        notes_inform > 0,
+        "inform-only must notify users (human-on-the-loop)"
+    );
+    assert!(
+        makespan_auto <= makespan_inform,
+        "corrections must not slow the campaign: {makespan_auto:.0}s vs {makespan_inform:.0}s"
+    );
+}

@@ -1,0 +1,145 @@
+//! §III.iii open datasets: exportability of everything a site would
+//! release — telemetry series and the Knowledge base — and lossless
+//! round-trips for the structured forms.
+
+use moda::core::knowledge::{Knowledge, OutcomeRecord, RunRecord};
+use moda::core::Confidence;
+use moda::hpc::{workload, World, WorldConfig};
+use moda::sim::{RngStreams, SimDuration, SimTime};
+use moda::telemetry::export;
+use moda::usecases::harness::{drive, shared};
+use moda::usecases::scheduler_case::{build_loop, SchedulerLoopConfig};
+use std::collections::BTreeMap;
+
+fn run_small_campaign(seed: u64) -> (moda::usecases::harness::SharedWorld, Knowledge) {
+    let w = shared({
+        let mut w = World::new(WorldConfig {
+            nodes: 8,
+            seed,
+            ..WorldConfig::default()
+        });
+        w.submit_campaign(workload::generate(
+            &workload::WorkloadConfig {
+                n_jobs: 20,
+                mean_interarrival_s: 60.0,
+                ..workload::WorkloadConfig::default()
+            },
+            &RngStreams::new(seed),
+            0,
+        ));
+        w
+    });
+    let mut l = build_loop(w.clone(), SchedulerLoopConfig::default());
+    drive(
+        &w,
+        SimDuration::from_secs(30),
+        SimTime::from_hours(24 * 3),
+        |t| {
+            l.tick(t);
+        },
+    );
+    let k = l.knowledge().clone();
+    (w, k)
+}
+
+#[test]
+fn campaign_telemetry_exports_as_csv_and_json() {
+    let (w, _) = run_small_campaign(1);
+    let wb = w.borrow();
+
+    let csv = export::store_csv(&wb.tsdb);
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("metric,domain,unit,time_ms,value"),
+        "CSV header"
+    );
+    let body: Vec<&str> = lines.collect();
+    assert!(
+        body.len() > 100,
+        "a campaign should export substantial telemetry ({} rows)",
+        body.len()
+    );
+    // Every row has the five columns and a numeric tail.
+    for row in &body {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), 5, "malformed CSV row: {row}");
+        cols[3].parse::<u64>().expect("time_ms numeric");
+        cols[4].parse::<f64>().expect("value numeric");
+    }
+    // Progress markers (the §III.iii "variation of progress markers"
+    // dataset) are present.
+    assert!(csv.contains(".steps"));
+
+    let json = export::store_json(&wb.tsdb);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON export");
+    assert!(parsed.as_array().map(|a| !a.is_empty()).unwrap_or(false));
+}
+
+#[test]
+fn knowledge_round_trips_through_json() {
+    let (_, k) = run_small_campaign(2);
+    assert!(k.run_count() > 0, "campaign must have recorded run history");
+    let json = serde_json::to_string_pretty(&k).expect("knowledge serializes");
+    let back: Knowledge = serde_json::from_str(&json).expect("knowledge deserializes");
+    assert_eq!(back.run_count(), k.run_count());
+    assert_eq!(back.outcomes().len(), k.outcomes().len());
+    assert_eq!(
+        serde_json::to_string(&back).unwrap(),
+        serde_json::to_string(&k).unwrap(),
+        "round-trip must be lossless"
+    );
+}
+
+#[test]
+fn hand_built_knowledge_round_trips() {
+    let mut k = Knowledge::new();
+    k.record_run(RunRecord {
+        app_class: "cfd".into(),
+        signature: vec![1.0, 0.2, 0.1, 8.0, 640.0],
+        runtime_s: 1234.5,
+        total_steps: 640,
+        metadata: BTreeMap::from([("deck".to_string(), "re3500".to_string())]),
+    });
+    k.record_outcome(OutcomeRecord {
+        loop_name: "scheduler-loop".into(),
+        t: SimTime::from_secs(300),
+        kind: "extension".into(),
+        confidence: Confidence::new(0.8).value(),
+        success: Some(true),
+        error: 42.0,
+    });
+    k.set_fact("job.0.ext_count", 1.0);
+    k.set_model("progress-rate", vec![0.5, 1.5]);
+
+    let json = serde_json::to_string(&k).unwrap();
+    let back: Knowledge = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.fact("job.0.ext_count"), Some(1.0));
+    assert_eq!(back.model("progress-rate"), Some(&[0.5, 1.5][..]));
+    assert_eq!(back.runs()[0].metadata["deck"], "re3500");
+    assert_eq!(back.outcomes()[0].success, Some(true));
+}
+
+#[test]
+fn series_csv_is_ordered_and_complete() {
+    let (w, _) = run_small_campaign(3);
+    let wb = w.borrow();
+    // Find a progress-marker series.
+    let id = wb
+        .tsdb
+        .names()
+        .find(|(name, _)| name.ends_with(".steps"))
+        .map(|(_, id)| id)
+        .expect("at least one job emitted markers");
+    let csv = export::series_csv(&wb.tsdb, id);
+    let times: Vec<u64> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(!times.is_empty());
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "exported series must be time-ordered"
+    );
+}

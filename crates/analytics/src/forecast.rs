@@ -217,7 +217,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let x = i as f64 * 10.0;
-                (x, slope * x + noise.get(i % noise.len().max(1)).copied().unwrap_or(0.0))
+                (
+                    x,
+                    slope * x + noise.get(i % noise.len().max(1)).copied().unwrap_or(0.0),
+                )
             })
             .collect()
     }
@@ -265,7 +268,9 @@ mod tests {
     #[test]
     fn forecaster_eta_on_clean_progress() {
         // 1 step/s, at t=100 we are at step 100 of 1000 → ETA 900 s.
-        let pts: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 * 10.0, i as f64 * 10.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..=10)
+            .map(|i| (i as f64 * 10.0, i as f64 * 10.0))
+            .collect();
         let fc = ProgressForecaster::new(Estimator::Ols)
             .forecast(&pts, 1000.0, 100.0)
             .unwrap();
@@ -293,8 +298,9 @@ mod tests {
 
     #[test]
     fn noisier_markers_mean_lower_confidence() {
-        let clean: Vec<(f64, f64)> =
-            (0..20).map(|i| (i as f64 * 10.0, i as f64 * 10.0)).collect();
+        let clean: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 10.0, i as f64 * 10.0))
+            .collect();
         let noisy: Vec<(f64, f64)> = (0..20)
             .map(|i| {
                 let x = i as f64 * 10.0;

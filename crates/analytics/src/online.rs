@@ -114,8 +114,16 @@ mod tests {
             let y = 2.0 * x[0] - 3.0 * x[1] + rng.gen_range(-0.01..0.01);
             m.update(&x, y);
         }
-        assert!((m.weights()[0] - 2.0).abs() < 0.05, "w0 = {}", m.weights()[0]);
-        assert!((m.weights()[1] + 3.0).abs() < 0.05, "w1 = {}", m.weights()[1]);
+        assert!(
+            (m.weights()[0] - 2.0).abs() < 0.05,
+            "w0 = {}",
+            m.weights()[0]
+        );
+        assert!(
+            (m.weights()[1] + 3.0).abs() < 0.05,
+            "w1 = {}",
+            m.weights()[1]
+        );
         assert_eq!(m.updates(), 500);
     }
 
@@ -151,7 +159,10 @@ mod tests {
         let f_err = (forgetful.predict(&[1.0]) - 4.0).abs();
         let e_err = (eternal.predict(&[1.0]) - 4.0).abs();
         assert!(f_err < 0.1, "forgetful failed to track drift: {f_err}");
-        assert!(f_err < e_err, "forgetting must beat infinite memory under drift");
+        assert!(
+            f_err < e_err,
+            "forgetting must beat infinite memory under drift"
+        );
     }
 
     #[test]

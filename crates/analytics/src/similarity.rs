@@ -180,7 +180,11 @@ mod tests {
 
     #[test]
     fn knn_orders_by_distance() {
-        let records = vec![rec(1.0, 10.0, 100.0), rec(5.0, 50.0, 500.0), rec(1.1, 11.0, 110.0)];
+        let records = vec![
+            rec(1.0, 10.0, 100.0),
+            rec(5.0, 50.0, 500.0),
+            rec(1.1, 11.0, 110.0),
+        ];
         let hits = knn(&sig(1.0, 10.0), &records, 2);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 0); // exact match first
@@ -220,8 +224,16 @@ mod tests {
 
     #[test]
     fn estimate_confidence_scales_with_agreement() {
-        let tight = vec![rec(1.0, 10.0, 100.0), rec(1.01, 10.1, 101.0), rec(0.99, 9.9, 99.0)];
-        let loose = vec![rec(1.0, 10.0, 50.0), rec(1.01, 10.1, 400.0), rec(0.99, 9.9, 100.0)];
+        let tight = vec![
+            rec(1.0, 10.0, 100.0),
+            rec(1.01, 10.1, 101.0),
+            rec(0.99, 9.9, 99.0),
+        ];
+        let loose = vec![
+            rec(1.0, 10.0, 50.0),
+            rec(1.01, 10.1, 400.0),
+            rec(0.99, 9.9, 100.0),
+        ];
         let (_, c_tight) = estimate_runtime(&sig(1.0, 10.0), &tight, 3).unwrap();
         let (_, c_loose) = estimate_runtime(&sig(1.0, 10.0), &loose, 3).unwrap();
         assert!(c_tight.value() > c_loose.value());

@@ -6,7 +6,9 @@
 //! convergence, and k-NN ordering invariants.
 
 use moda_analytics::forecast::{theil_sen, Estimator, LinearFit, ProgressForecaster};
-use moda_analytics::{knn, Cusum, CusumVerdict, MadDetector, RlsModel, RunSignature, ZScoreDetector};
+use moda_analytics::{
+    knn, Cusum, CusumVerdict, MadDetector, RlsModel, RunSignature, ZScoreDetector,
+};
 use moda_core::knowledge::RunRecord;
 use proptest::prelude::*;
 use std::collections::BTreeMap;

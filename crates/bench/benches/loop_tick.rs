@@ -50,14 +50,7 @@ fn bench_campaign(c: &mut Criterion) {
     let mut g = c.benchmark_group("campaign_e2e");
     g.sample_size(10);
     g.bench_function("baseline_120_jobs", |b| {
-        b.iter(|| {
-            black_box(run_sched_campaign(
-                7,
-                0.3,
-                ExtensionPolicy::default(),
-                None,
-            ))
-        })
+        b.iter(|| black_box(run_sched_campaign(7, 0.3, ExtensionPolicy::default(), None)))
     });
     g.bench_function("loop_on_120_jobs", |b| {
         b.iter(|| {
@@ -86,7 +79,9 @@ fn bench_world_advance(c: &mut Criterion) {
                 world
             },
             |world| {
-                world.borrow_mut().run_until(SimTime::ZERO + SimDuration::from_hours(1));
+                world
+                    .borrow_mut()
+                    .run_until(SimTime::ZERO + SimDuration::from_hours(1));
                 black_box(world.borrow().metrics.clone());
             },
             BatchSize::LargeInput,
@@ -94,5 +89,10 @@ fn bench_world_advance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_loop_tick, bench_campaign, bench_world_advance);
+criterion_group!(
+    benches,
+    bench_loop_tick,
+    bench_campaign,
+    bench_world_advance
+);
 criterion_main!(benches);

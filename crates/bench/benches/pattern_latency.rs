@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use moda_core::component::{Analyzer, Executor, Monitor, Plan, PlannedAction, Planner};
 use moda_core::domain::Domain;
 use moda_core::patterns::{
-    Coordinated, CooldownCoordinator, FleetAnalyzer, FleetPlanner, MasterWorker, NoCoordination,
+    CooldownCoordinator, Coordinated, FleetAnalyzer, FleetPlanner, MasterWorker, NoCoordination,
     Peer, Worker,
 };
 use moda_core::{Confidence, Knowledge};
@@ -43,11 +43,7 @@ impl Analyzer<Toy> for PassThrough {
 struct Proportional;
 impl Planner<Toy> for Proportional {
     fn plan(&mut self, _n: SimTime, v: &f64, _k: &Knowledge) -> Plan<f64> {
-        Plan::single(PlannedAction::new(
-            0.8 - v,
-            "adjust",
-            Confidence::new(0.9),
-        ))
+        Plan::single(PlannedAction::new(0.8 - v, "adjust", Confidence::new(0.9)))
     }
 }
 struct WriteCell(Rc<Cell<f64>>);
@@ -108,7 +104,12 @@ fn master_worker_fleet(n: usize) -> (MasterWorker<Toy>, Rc<Cell<f64>>) {
         })
         .collect();
     (
-        MasterWorker::new("bench-mw", workers, Box::new(MeanOf), Box::new(SplitPlan { n })),
+        MasterWorker::new(
+            "bench-mw",
+            workers,
+            Box::new(MeanOf),
+            Box::new(SplitPlan { n }),
+        ),
         state,
     )
 }

@@ -6,9 +6,7 @@
 //! in `loop_tick.rs` can be decomposed.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use moda_scheduler::{
-    ExtensionPolicy, JobId, JobRequest, Scheduler, SchedulerConfig,
-};
+use moda_scheduler::{ExtensionPolicy, JobId, JobRequest, Scheduler, SchedulerConfig};
 use moda_sim::{SimDuration, SimTime};
 use std::hint::black_box;
 

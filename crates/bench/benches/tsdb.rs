@@ -9,9 +9,11 @@
 //! * resampling (the Knowledge-layer downsampling shape).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moda_core::runtime::{run_telemetry_fleet, TelemetryFleetConfig};
 use moda_sim::{SimDuration, SimTime};
-use moda_telemetry::{MetricMeta, SourceDomain, Tsdb, WindowAgg};
+use moda_telemetry::{MetricMeta, Sample, ShardedTsdb, SourceDomain, Tsdb, WindowAgg};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn registered(cardinality: usize, capacity: usize) -> (Tsdb, Vec<moda_telemetry::MetricId>) {
     let mut db = Tsdb::with_retention(capacity);
@@ -74,10 +76,18 @@ fn bench_insert_batch(c: &mut Criterion) {
 
 /// Window-query cost as the Analyze window widens (Analyze reads
 /// dominate the loop's steady-state telemetry traffic).
+///
+/// Three variants per width:
+/// * `scan_vec`  — the seed's read path: O(n) filter scan over the whole
+///   series, materializing `Vec<Sample>`, then a second aggregation pass;
+/// * `vec`       — binary-searched view materialized to `Vec<Sample>`
+///   (the compatibility wrappers), then aggregated;
+/// * `agg`       — the zero-allocation path: `window_agg` folding the
+///   binary-searched view directly.
 fn bench_window_query(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_window");
-    let (mut db, ids) = registered(8, 8192);
-    // One sample/second for two simulated hours.
+    let (mut db, ids) = registered(8, 4096);
+    // One sample/second for two simulated hours (wraps the 4096-ring).
     let mut now = SimTime::ZERO;
     for s in 0..7200u64 {
         now = SimTime::from_secs(s);
@@ -87,10 +97,103 @@ fn bench_window_query(c: &mut Criterion) {
     }
     for window_s in [60u64, 600, 3600] {
         g.bench_with_input(
-            BenchmarkId::from_parameter(window_s),
+            BenchmarkId::new("scan_vec", window_s),
             &window_s,
             |b, &w| {
-                b.iter(|| db.window(ids[0], black_box(now), SimDuration::from_secs(w)));
+                // Reference reproduction of the seed implementation: full
+                // linear scan + filter + collect + aggregate.
+                let t0 = SimTime(now.0.saturating_sub(w * 1000));
+                b.iter(|| {
+                    let samples: Vec<Sample> = db
+                        .series(ids[0])
+                        .iter()
+                        .filter(|s| s.t > t0 && s.t <= now)
+                        .collect();
+                    black_box(WindowAgg::Mean.apply_samples(&samples))
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("vec", window_s), &window_s, |b, &w| {
+            b.iter(|| {
+                let samples = db.window(ids[0], black_box(now), SimDuration::from_secs(w));
+                black_box(WindowAgg::Mean.apply_samples(&samples))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("agg", window_s), &window_s, |b, &w| {
+            b.iter(|| {
+                black_box(db.window_agg(
+                    ids[0],
+                    black_box(now),
+                    SimDuration::from_secs(w),
+                    WindowAgg::Mean,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Percentile aggregation: full-sort (seed) vs O(n) selection.
+fn bench_percentile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_percentile");
+    let (mut db, ids) = registered(1, 4096);
+    let mut now = SimTime::ZERO;
+    for s in 0..7200u64 {
+        now = SimTime::from_secs(s);
+        db.insert(ids[0], now, ((s * 2_654_435_761) % 10_000) as f64);
+    }
+    g.bench_function("sort_vec_p99", |b| {
+        b.iter(|| {
+            let samples = db.window(ids[0], now, SimDuration::from_secs(3600));
+            let mut vals: Vec<f64> = samples.iter().map(|s| s.value).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let pos = 0.99 * (vals.len() - 1) as f64;
+            let (lo, frac) = (pos.floor() as usize, pos.fract());
+            black_box(vals[lo] * (1.0 - frac) + vals[lo + 1] * frac)
+        });
+    });
+    g.bench_function("select_agg_p99", |b| {
+        b.iter(|| {
+            black_box(db.window_agg(
+                ids[0],
+                now,
+                SimDuration::from_secs(3600),
+                WindowAgg::Percentile(0.99),
+            ))
+        });
+    });
+    g.finish();
+}
+
+/// Concurrent reader/writer contention: the same telemetry-coupled
+/// fleet (collector batch-inserts + wide Monitor window reads per
+/// round) against one global lock (1 stripe — the seed's
+/// `Arc<RwLock<Tsdb>>` topology) versus the lock-striped store.
+///
+/// NOTE: the wall-clock win of striping only materializes on multi-core
+/// hosts (stripes let rounds overlap on distinct cores); on a
+/// single-core host this bench measures striping's overhead instead,
+/// which is the honest number for that machine.
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_contention");
+    g.sample_size(10);
+    let cfg = TelemetryFleetConfig {
+        n_loops: 4,
+        rounds: 100,
+        metrics_per_loop: 16,
+        window: SimDuration::from_secs(3600),
+        agg: WindowAgg::Mean,
+        history: 3600,
+    };
+    for shards in [1usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("fleet_4x100x16", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let db = Arc::new(ShardedTsdb::with_config(4096, n));
+                    black_box(run_telemetry_fleet(&cfg, &db))
+                });
             },
         );
     }
@@ -125,6 +228,8 @@ criterion_group!(
     bench_insert,
     bench_insert_batch,
     bench_window_query,
-    bench_resample
+    bench_percentile,
+    bench_resample,
+    bench_contention
 );
 criterion_main!(benches);

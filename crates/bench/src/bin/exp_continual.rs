@@ -52,7 +52,11 @@ fn stream(seed: u64, n: usize, drift_at: usize, drift_factor: f64) -> Vec<Sample
         .map(|(i, (req, prof))| {
             let regime = if i >= drift_at { drift_factor } else { 1.0 };
             Sample {
-                x: vec![1.0, prof.total_steps as f64 * prof.mean_step_s, req.nodes as f64],
+                x: vec![
+                    1.0,
+                    prof.total_steps as f64 * prof.mean_step_s,
+                    req.nodes as f64,
+                ],
                 runtime_s: prof.total_steps as f64 * prof.mean_step_s * regime,
                 requested_s: req.walltime.as_secs_f64(),
             }
@@ -116,8 +120,7 @@ fn main() {
         .map(|s| (&s.x, s.runtime_s))
         .collect();
     let frozen_w = ols_fit(&train);
-    let predict_frozen =
-        |x: &[f64]| -> f64 { x.iter().zip(&frozen_w).map(|(a, b)| a * b).sum() };
+    let predict_frozen = |x: &[f64]| -> f64 { x.iter().zip(&frozen_w).map(|(a, b)| a * b).sum() };
 
     let mut static_rls = RlsModel::new(3, 1.0, 100.0);
     let mut forget_rls = RlsModel::new(3, 0.97, 100.0);

@@ -101,8 +101,7 @@ fn tenant_report(w: &SharedWorld, user: &str) -> TenantReport {
     let mut steady: Vec<f64> = samples[samples.len() / 2..].to_vec();
     steady.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-        / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
     TenantReport {
         p99_all_ms: percentile(&all, 0.99),
         p99_steady_ms: percentile(&steady, 0.99),
@@ -133,7 +132,13 @@ fn main() {
     let mut t = Table::new(
         "E5 — I/O QoS adaptation (p99 latency ms; steady-state = later half)",
         &[
-            "variant", "tenant", "p99 all", "p99 steady", "lat CV", "writes", "final MB/s",
+            "variant",
+            "tenant",
+            "p99 all",
+            "p99 steady",
+            "lat CV",
+            "writes",
+            "final MB/s",
         ],
     );
     for (label, adaptive) in [("static QoS", false), ("adaptive loop", true)] {

@@ -112,7 +112,13 @@ fn part_b(seed: u64) {
     // measured here as kills among the 30 earliest-submitted roots.
     let mut t = Table::new(
         "E12b — campaign outcome with the loop forced onto its cold-start path",
-        &["knowledge", "kills", "early kills (first 30 roots)", "extensions", "roots done"],
+        &[
+            "knowledge",
+            "kills",
+            "early kills (first 30 roots)",
+            "extensions",
+            "roots done",
+        ],
     );
     let variants: Vec<(String, Option<usize>)> = vec![
         ("no loop".into(), None),

@@ -65,10 +65,9 @@ fn run(seed: u64, outage_h: u64, with_loop: bool) -> CampaignStats {
         SimTime::from_hours(24 * 10),
         |t| {
             if t == announce {
-                world.borrow_mut().add_outage(
-                    SimTime::from_hours(3),
-                    SimTime::from_hours(3 + outage_h),
-                );
+                world
+                    .borrow_mut()
+                    .add_outage(SimTime::from_hours(3), SimTime::from_hours(3 + outage_h));
             }
             if with_loop {
                 l.tick(t);

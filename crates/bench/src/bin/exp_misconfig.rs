@@ -85,8 +85,7 @@ fn run(seed: u64, rate: f64, auto_correct: bool, with_loop: bool) -> Outcome {
                 if handled_at.contains_key(&id) {
                     continue;
                 }
-                if l
-                    .knowledge()
+                if l.knowledge()
                     .fact(&format!("job.{id}.misconfig_handled"))
                     .unwrap_or(0.0)
                     > 0.0
@@ -99,7 +98,11 @@ fn run(seed: u64, rate: f64, auto_correct: bool, with_loop: bool) -> Outcome {
 
     // Score root jobs only (resubmission attempts inherit the root's
     // ground truth but would double-count).
-    let detected_roots: HashSet<u64> = handled_at.keys().copied().filter(|id| *id < n_roots).collect();
+    let detected_roots: HashSet<u64> = handled_at
+        .keys()
+        .copied()
+        .filter(|id| *id < n_roots)
+        .collect();
     let tp = detected_roots.intersection(&truth).count() as f64;
     let fp = (detected_roots.len() as f64) - tp;
     let fnr = truth.len() as f64 - tp;
@@ -168,9 +171,21 @@ fn main() {
             t.row(vec![
                 format!("{:.0}%", rate * 100.0),
                 label.to_string(),
-                if with_loop { f(o.precision, 2) } else { "-".into() },
-                if with_loop { f(o.recall, 2) } else { "-".into() },
-                if with_loop { f(o.median_detect_s, 0) } else { "-".into() },
+                if with_loop {
+                    f(o.precision, 2)
+                } else {
+                    "-".into()
+                },
+                if with_loop {
+                    f(o.recall, 2)
+                } else {
+                    "-".into()
+                },
+                if with_loop {
+                    f(o.median_detect_s, 0)
+                } else {
+                    "-".into()
+                },
                 o.corrections.to_string(),
                 o.informs.to_string(),
                 o.stats.steps_completed.to_string(),

@@ -82,18 +82,23 @@ fn run(seed: u64, health: f64, with_loop: bool) -> RunOutcome {
     let mut l = build_loop(w.clone(), OstLoopConfig::default());
     let mut detect_at: Option<SimTime> = None;
     let mut reopens = 0usize;
-    drive(&w, SimDuration::from_secs(10), SimTime::from_hours(12), |t| {
-        if t == inject_at && health < 1.0 {
-            w.borrow_mut().pfs.set_ost_health(OstId(0), health);
-        }
-        if with_loop {
-            let r = l.tick(t);
-            if r.executed > 0 {
-                reopens += r.executed;
-                detect_at.get_or_insert(t);
+    drive(
+        &w,
+        SimDuration::from_secs(10),
+        SimTime::from_hours(12),
+        |t| {
+            if t == inject_at && health < 1.0 {
+                w.borrow_mut().pfs.set_ost_health(OstId(0), health);
             }
-        }
-    });
+            if with_loop {
+                let r = l.tick(t);
+                if r.executed > 0 {
+                    reopens += r.executed;
+                    detect_at.get_or_insert(t);
+                }
+            }
+        },
+    );
     let makespan_s = w.borrow().last_progress().as_secs_f64();
     RunOutcome {
         makespan_s,

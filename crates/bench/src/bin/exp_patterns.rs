@@ -18,7 +18,7 @@
 use moda_bench::table::{f, Table};
 use moda_core::component::{Analyzer, Executor, Monitor, Plan, PlannedAction, Planner};
 use moda_core::domain::Domain;
-use moda_core::patterns::{Coordinated, CooldownCoordinator, MaxConcurrent, NoCoordination, Peer};
+use moda_core::patterns::{CooldownCoordinator, Coordinated, MaxConcurrent, NoCoordination, Peer};
 use moda_core::runtime::{
     run_classical, run_coordinated, run_hierarchical, run_master_worker, StageCosts,
 };
@@ -37,7 +37,13 @@ fn part1_scalability() {
     let rounds = 100;
     let mut t = Table::new(
         "E1 — per-iteration loop latency by pattern and fleet size (µs, p50/p99)",
-        &["fleet", "classical", "master-worker", "coordinated", "hierarchical"],
+        &[
+            "fleet",
+            "classical",
+            "master-worker",
+            "coordinated",
+            "hierarchical",
+        ],
     );
     for n in [1usize, 2, 4, 8, 16] {
         let cls = if n == 1 {
@@ -134,7 +140,10 @@ fn build_fleet(
 
 fn oscillation(utils: &[f64], target: f64) -> (f64, usize) {
     // RMS deviation from target + number of crossings.
-    let rms = (utils.iter().map(|u| (u - target) * (u - target)).sum::<f64>()
+    let rms = (utils
+        .iter()
+        .map(|u| (u - target) * (u - target))
+        .sum::<f64>()
         / utils.len() as f64)
         .sqrt();
     let crossings = utils
@@ -152,7 +161,10 @@ fn part3_stability() {
     type CoordFactory = Box<dyn Fn(usize) -> Box<dyn moda_core::patterns::Coordinator<LoadDomain>>>;
     let factories: Vec<(&str, CoordFactory)> = vec![
         ("none", Box::new(|_n| Box::new(NoCoordination))),
-        ("max-concurrent(1)", Box::new(|_n| Box::new(MaxConcurrent(1)))),
+        (
+            "max-concurrent(1)",
+            Box::new(|_n| Box::new(MaxConcurrent(1))),
+        ),
         (
             "cooldown(3)",
             Box::new(|n| Box::new(CooldownCoordinator::new(n, 3))),

@@ -16,13 +16,7 @@ use moda_scheduler::ExtensionPolicy;
 use moda_usecases::harness::CampaignStats;
 use moda_usecases::scheduler_case::SchedulerLoopConfig;
 
-fn row(
-    t: &mut Table,
-    label: &str,
-    under: f64,
-    s: &CampaignStats,
-    e: &ExtensionErrors,
-) {
+fn row(t: &mut Table, label: &str, under: f64, s: &CampaignStats, e: &ExtensionErrors) {
     t.row(vec![
         format!("{:.0}%", under * 100.0),
         label.to_string(),
@@ -70,8 +64,7 @@ fn main() {
             enable_checkpoint: false,
             ..SchedulerLoopConfig::default()
         };
-        let (s1, e1) =
-            run_sched_campaign(seed, under, ExtensionPolicy::default(), Some(ext_only));
+        let (s1, e1) = run_sched_campaign(seed, under, ExtensionPolicy::default(), Some(ext_only));
         row(&mut t, "loop: extend", under, &s1, &e1);
 
         let (s2, e2) = run_sched_campaign(

@@ -75,7 +75,10 @@ impl std::fmt::Display for BlockReason {
             BlockReason::LowConfidence {
                 confidence,
                 threshold,
-            } => write!(f, "confidence {confidence:.2} below threshold {threshold:.2}"),
+            } => write!(
+                f,
+                "confidence {confidence:.2} below threshold {threshold:.2}"
+            ),
         }
     }
 }
@@ -308,9 +311,8 @@ mod tests {
 
     #[test]
     fn rate_limit_sliding_window() {
-        let mut g = Guard::new(
-            GuardConfig::unlimited().with_rate_limit(SimDuration::from_secs(60), 2),
-        );
+        let mut g =
+            Guard::new(GuardConfig::unlimited().with_rate_limit(SimDuration::from_secs(60), 2));
         assert!(g.admit(t(0), "a", 0.0).is_ok());
         assert!(g.admit(t(10), "b", 0.0).is_ok());
         assert!(matches!(

@@ -291,7 +291,12 @@ mod tests {
         let mut k = Knowledge::new();
         for i in 0..4 {
             k.record_outcome(outcome("l", "ext", 0.8));
-            k.assess_latest("l", "ext", i % 2 == 0, if i % 2 == 0 { 10.0 } else { -30.0 });
+            k.assess_latest(
+                "l",
+                "ext",
+                i % 2 == 0,
+                if i % 2 == 0 { 10.0 } else { -30.0 },
+            );
         }
         assert_eq!(k.effectiveness("ext"), Some(0.5));
         assert_eq!(k.mean_error("ext"), Some(-10.0));

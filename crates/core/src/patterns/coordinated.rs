@@ -115,7 +115,11 @@ impl<D: Domain> Coordinator<D> for MaxConcurrent {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(self.0).map(|(slot, _)| slot).collect()
+        scored
+            .into_iter()
+            .take(self.0)
+            .map(|(slot, _)| slot)
+            .collect()
     }
 }
 

@@ -74,8 +74,8 @@ impl<D: Domain> Supervisor<D> for OscillationDamper {
             if window.is_empty() {
                 continue;
             }
-            let active = window.iter().filter(|r| r.executed > 0).count() as f64
-                / window.len() as f64;
+            let active =
+                window.iter().filter(|r| r.executed > 0).count() as f64 / window.len() as f64;
             let current = child.gate().threshold;
             let target = if active > self.max_activity {
                 (current + self.step).min(1.0)
@@ -167,20 +167,14 @@ impl<D: Domain> Hierarchy<D> {
                 break;
             }
             if next_child <= next_parent {
-                let t = self
-                    .child_cadence
-                    .advance(now)
-                    .expect("due checked above");
+                let t = self.child_cadence.advance(now).expect("due checked above");
                 for (i, child) in self.children.iter_mut().enumerate() {
                     let r = child.tick(t);
                     merged.absorb(&r);
                     self.windows[i].push(r);
                 }
             } else {
-                let t = self
-                    .parent_cadence
-                    .advance(now)
-                    .expect("due checked above");
+                let t = self.parent_cadence.advance(now).expect("due checked above");
                 let rep = self
                     .supervisor
                     .supervise(t, &mut self.children, &self.windows);

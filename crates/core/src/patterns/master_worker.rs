@@ -326,7 +326,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &v)| {
-                Worker::new(Box::new(ConstMonitor(v)), Box::new(Recorder(log.clone(), i)))
+                Worker::new(
+                    Box::new(ConstMonitor(v)),
+                    Box::new(Recorder(log.clone(), i)),
+                )
             })
             .collect();
         let mw = MasterWorker::new(

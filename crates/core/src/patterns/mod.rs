@@ -19,7 +19,9 @@ pub mod hierarchical;
 pub mod master_worker;
 
 pub use classical::Classical;
-pub use coordinated::{Coordinated, CooldownCoordinator, Coordinator, MaxConcurrent, NoCoordination, Peer};
+pub use coordinated::{
+    CooldownCoordinator, Coordinated, Coordinator, MaxConcurrent, NoCoordination, Peer,
+};
 pub use hierarchical::{Hierarchy, OscillationDamper, Supervisor, SupervisorReport};
 pub use master_worker::{FleetAnalyzer, FleetPlanner, MasterWorker, Worker};
 
@@ -40,7 +42,10 @@ impl Cadence {
     /// Cadence of `period`, first due at `first_due`.
     pub fn new(period: SimDuration, first_due: SimTime) -> Self {
         assert!(period.as_millis() > 0, "cadence period must be positive");
-        Cadence { period, next_due: first_due }
+        Cadence {
+            period,
+            next_due: first_due,
+        }
     }
 
     /// Is a tick due at or before `now`?
@@ -82,7 +87,10 @@ mod tests {
         assert_eq!(c.advance(SimTime::ZERO), Some(SimTime::ZERO));
         assert!(!c.due(SimTime::from_secs(5)));
         assert_eq!(c.advance(SimTime::from_secs(5)), None);
-        assert_eq!(c.advance(SimTime::from_secs(10)), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            c.advance(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(10))
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use crossbeam::channel;
 use moda_sim::stats::Summary;
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::{MetricId, MetricMeta, SharedTsdb, SourceDomain, WindowAgg};
 use std::time::{Duration, Instant};
 
 /// Synthetic CPU cost of each MAPE phase, in microseconds.
@@ -262,9 +264,142 @@ pub fn run_hierarchical(
     stats_from(lat, wall, n)
 }
 
+/// Configuration of a telemetry-coupled threaded fleet run.
+///
+/// Unlike the synthetic spin-cost patterns above, this driver exercises
+/// the **real monitoring substrate**: every loop thread owns a stripe of
+/// metrics in a shared [`moda_telemetry::ShardedTsdb`], plays collector
+/// (batch-inserting one sweep per round) and Monitor (reading trailing
+/// window aggregates, allocation-free) — the §IV insert-rate /
+/// read-latency contention measured for real instead of spun.
+#[derive(Debug, Clone)]
+pub struct TelemetryFleetConfig {
+    /// Concurrent MAPE loops (threads).
+    pub n_loops: usize,
+    /// Iterations per loop.
+    pub rounds: usize,
+    /// Metrics each loop owns and sweeps per round.
+    pub metrics_per_loop: usize,
+    /// Trailing analysis window per Monitor read.
+    pub window: SimDuration,
+    /// Aggregation each Monitor read folds.
+    pub agg: WindowAgg,
+    /// Samples pre-inserted per metric (single-threaded, untimed) before
+    /// the fleet starts, so Monitor reads fold realistically wide windows
+    /// from the first round.
+    pub history: usize,
+}
+
+impl Default for TelemetryFleetConfig {
+    fn default() -> Self {
+        TelemetryFleetConfig {
+            n_loops: 4,
+            rounds: 200,
+            metrics_per_loop: 16,
+            window: SimDuration::from_secs(60),
+            agg: WindowAgg::Mean,
+            history: 0,
+        }
+    }
+}
+
+/// Result of a telemetry-coupled fleet run.
+#[derive(Debug, Clone)]
+pub struct TelemetryFleetStats {
+    /// Per-round latency/throughput over all loops.
+    pub rounds: RoundStats,
+    /// Samples inserted across the fleet.
+    pub inserts: u64,
+    /// Window-aggregate reads across the fleet.
+    pub reads: u64,
+}
+
+/// Run `cfg.n_loops` threads against one shared sharded store: each
+/// round batch-inserts a sensor sweep into the thread's own metrics,
+/// then reads a trailing-window aggregate of every one of them
+/// (Monitor), timing the full insert+read round end-to-end.
+///
+/// With the lock-striped store, loops touching different stripes
+/// proceed concurrently; run the same config against
+/// `ShardedTsdb::with_config(cap, 1)` to reproduce the old
+/// single-global-lock behaviour for comparison.
+pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> TelemetryFleetStats {
+    assert!(cfg.n_loops > 0 && cfg.metrics_per_loop > 0);
+    let (lat_tx, lat_rx) = channel::unbounded::<f64>();
+    let reads_expected = (cfg.n_loops * cfg.rounds * cfg.metrics_per_loop) as u64;
+
+    // Register each loop's metric stripe up front (registration is the
+    // cold path; sweeps and reads are what we measure).
+    let fleet_ids: Vec<Vec<MetricId>> = (0..cfg.n_loops)
+        .map(|l| {
+            (0..cfg.metrics_per_loop)
+                .map(|m| {
+                    db.register(MetricMeta::gauge(
+                        format!("loop{l:03}.metric{m:03}"),
+                        "u",
+                        SourceDomain::Hardware,
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Untimed warm history so first-round window reads are full-width.
+    for ids in &fleet_ids {
+        for (k, id) in ids.iter().enumerate() {
+            for h in 0..cfg.history {
+                db.insert(*id, SimTime::from_secs(h as u64), (h + k) as f64);
+            }
+        }
+    }
+
+    let inserts_before = db.total_inserts();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (l, ids) in fleet_ids.iter().enumerate() {
+            let lat_tx = lat_tx.clone();
+            s.spawn(move || {
+                let mut batch: Vec<(MetricId, f64)> = ids.iter().map(|id| (*id, 0.0)).collect();
+                for round in 0..cfg.rounds {
+                    let t0 = Instant::now();
+                    let now = SimTime::from_secs((cfg.history + round) as u64);
+                    // Collector sweep: one timestamp, many metrics.
+                    for (k, slot) in batch.iter_mut().enumerate() {
+                        slot.1 = (round * 31 + k + l) as f64;
+                    }
+                    db.insert_batch(now, &batch);
+                    // Monitor: allocation-free window reads.
+                    let mut acc = 0.0;
+                    for id in ids {
+                        if let Some(v) = db.window_agg(*id, now, cfg.window, cfg.agg) {
+                            acc += v;
+                        }
+                    }
+                    std::hint::black_box(acc);
+                    let _ = lat_tx.send(t0.elapsed().as_micros() as f64);
+                }
+            });
+        }
+        drop(lat_tx);
+    });
+    let wall = start.elapsed();
+    let mut lat = Summary::new();
+    while let Ok(v) = lat_rx.try_recv() {
+        lat.push(v);
+    }
+    let n = lat.count();
+    TelemetryFleetStats {
+        rounds: stats_from(lat, wall, n),
+        inserts: db.total_inserts() - inserts_before,
+        reads: reads_expected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moda_telemetry::ShardedTsdb;
+    use std::sync::Arc;
 
     fn cheap() -> StageCosts {
         StageCosts {
@@ -314,6 +449,42 @@ mod tests {
         ] {
             assert_eq!(s.iterations, 10);
         }
+    }
+
+    #[test]
+    fn telemetry_fleet_completes_and_accounts() {
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(512, 8));
+        let cfg = TelemetryFleetConfig {
+            n_loops: 4,
+            rounds: 50,
+            metrics_per_loop: 8,
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        assert_eq!(stats.rounds.iterations, 4 * 50);
+        assert_eq!(stats.inserts, 4 * 50 * 8);
+        assert_eq!(stats.reads, 4 * 50 * 8);
+        assert!(stats.rounds.mean_latency_us > 0.0);
+        assert_eq!(db.cardinality(), 32);
+        // The store really holds the fleet's data.
+        let id = db.lookup("loop000.metric000").unwrap();
+        assert!(db.latest_value(id).is_some());
+    }
+
+    #[test]
+    fn telemetry_fleet_single_stripe_is_equivalent_functionally() {
+        // One stripe = the old global-lock topology; results must match
+        // functionally (it is only slower under contention).
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(512, 1));
+        let cfg = TelemetryFleetConfig {
+            n_loops: 2,
+            rounds: 20,
+            metrics_per_loop: 4,
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        assert_eq!(stats.rounds.iterations, 2 * 20);
+        assert_eq!(stats.inserts, 2 * 20 * 4);
     }
 
     #[test]

@@ -241,7 +241,11 @@ impl Executor<Scripted> for CountExec {
     }
 }
 
-fn scripted_loop(confidence: f64, gate: f64, mode: AutonomyMode) -> (MapeLoop<Scripted>, Rc<Cell<usize>>) {
+fn scripted_loop(
+    confidence: f64,
+    gate: f64,
+    mode: AutonomyMode,
+) -> (MapeLoop<Scripted>, Rc<Cell<usize>>) {
     let hits = Rc::new(Cell::new(0));
     let l = MapeLoop::new(
         "prop-loop",

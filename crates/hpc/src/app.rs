@@ -272,9 +272,7 @@ mod tests {
             ..profile()
         });
         let n = 5000;
-        let total: f64 = (0..n)
-            .map(|_| a.next_step_duration().as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| a.next_step_duration().as_secs_f64()).sum();
         let mean = total / n as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean step {mean}");
     }

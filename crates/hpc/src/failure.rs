@@ -73,7 +73,9 @@ mod tests {
 
     #[test]
     fn gaps_are_positive_and_mean_matches() {
-        let f = FailureConfig { node_mtbf_s: 64_000.0 };
+        let f = FailureConfig {
+            node_mtbf_s: 64_000.0,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let n = 4000;
         let mut sum = 0.0;

@@ -193,24 +193,24 @@ pub fn generate(
         } else {
             None
         };
-        let misconfig = if cfg.misconfig_rate > 0.0 && rng.gen_bool(cfg.misconfig_rate.clamp(0.0, 1.0))
-        {
-            // Rotate through the misconfiguration kinds.
-            let kind = rng.gen_range(0..3);
-            Some(MisconfigSpec {
-                slowdown: cfg.misconfig_slowdown,
-                threads_per_rank: if kind == 0 {
-                    class.cores_per_rank * 4
-                } else {
-                    class.cores_per_rank
-                },
-                gpus_allocated: if kind == 1 { 2 } else { 0 },
-                gpu_util: if kind == 1 { 0.01 } else { 0.0 },
-                lib_path_ok: kind != 2,
-            })
-        } else {
-            None
-        };
+        let misconfig =
+            if cfg.misconfig_rate > 0.0 && rng.gen_bool(cfg.misconfig_rate.clamp(0.0, 1.0)) {
+                // Rotate through the misconfiguration kinds.
+                let kind = rng.gen_range(0..3);
+                Some(MisconfigSpec {
+                    slowdown: cfg.misconfig_slowdown,
+                    threads_per_rank: if kind == 0 {
+                        class.cores_per_rank * 4
+                    } else {
+                        class.cores_per_rank
+                    },
+                    gpus_allocated: if kind == 1 { 2 } else { 0 },
+                    gpu_util: if kind == 1 { 0.01 } else { 0.0 },
+                    lib_path_ok: kind != 2,
+                })
+            } else {
+                None
+            };
         let nodes = class.node_choices[rng.gen_range(0..class.node_choices.len())];
         let scale = total_steps as f64 * mean_step_s;
 
@@ -309,10 +309,7 @@ mod tests {
             .count();
         let frac = under as f64 / jobs.len() as f64;
         // Configured 0.2; the I/O margin shifts it slightly.
-        assert!(
-            (0.1..0.32).contains(&frac),
-            "underestimate fraction {frac}"
-        );
+        assert!((0.1..0.32).contains(&frac), "underestimate fraction {frac}");
     }
 
     #[test]

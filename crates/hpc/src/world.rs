@@ -540,7 +540,10 @@ impl World {
                     .register(MetricMeta::gauge(name, "W", SourceDomain::Hardware)),
             };
             let is_busy = i < busy;
-            let v = self.cfg.power.node_sample(is_busy, &mut self.power_sensor_rng);
+            let v = self
+                .cfg
+                .power
+                .node_sample(is_busy, &mut self.power_sensor_rng);
             self.tsdb.insert(id, t, v);
         }
         // Facility meter.
@@ -577,16 +580,28 @@ impl World {
     /// Progress markers of a job as `(t_seconds, steps)` pairs, most
     /// recent `n` markers, oldest-first — exactly what rank 0 dropped.
     pub fn progress_markers(&self, id: JobId, n: usize) -> Vec<(f64, f64)> {
-        match self.progress_metric.get(&id) {
-            None => Vec::new(),
-            Some(&m) => self
-                .tsdb
-                .series(m)
-                .last_n(n)
-                .into_iter()
-                .map(|s| (s.t.as_secs_f64(), s.value))
-                .collect(),
+        let mut out = Vec::new();
+        self.progress_markers_into(id, n, &mut out);
+        out
+    }
+
+    /// [`World::progress_markers`] into a caller-owned buffer: reads the
+    /// TSDB through a borrowed [`moda_telemetry::SampleView`], so the only
+    /// allocation is the caller's reusable output vector.
+    pub fn progress_markers_into(&self, id: JobId, n: usize, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        if let Some(&m) = self.progress_metric.get(&id) {
+            let view = self.tsdb.series(m).last_n_view(n);
+            out.reserve(view.len());
+            out.extend(view.into_iter().map(|s| (s.t.as_secs_f64(), s.value)));
         }
+    }
+
+    /// Most recent progress rate of a job (steps/second over the last `n`
+    /// markers), computed allocation-free from the marker series.
+    pub fn progress_rate(&self, id: JobId, n: usize) -> Option<f64> {
+        let &m = self.progress_metric.get(&id)?;
+        moda_telemetry::window::counter_rate_view(&self.tsdb.series(m).last_n_view(n))
     }
 
     /// Total steps the application targets (the app knows its own input
@@ -601,7 +616,10 @@ impl World {
     }
 
     /// The job's configuration/utilization snapshot (misconfig sensor).
-    pub fn config_snapshot(&mut self, id: JobId) -> Option<moda_analytics::misconfig::JobConfigSnapshot> {
+    pub fn config_snapshot(
+        &mut self,
+        id: JobId,
+    ) -> Option<moda_analytics::misconfig::JobConfigSnapshot> {
         let app = self.apps.get_mut(&id)?;
         let util = app.cpu_util();
         let corrected = app.corrected;
@@ -751,7 +769,13 @@ mod tests {
         })
     }
 
-    fn quick_job(id: u64, nodes: u32, steps: u64, step_s: f64, wall_s: u64) -> (JobRequest, AppProfile) {
+    fn quick_job(
+        id: u64,
+        nodes: u32,
+        steps: u64,
+        step_s: f64,
+        wall_s: u64,
+    ) -> (JobRequest, AppProfile) {
         (
             JobRequest {
                 id: JobId(id),
@@ -838,6 +862,17 @@ mod tests {
             w.remaining_alloc(JobId(0)),
             Some(SimDuration::from_secs(75))
         );
+        // The zero-allocation buffer-reuse path returns the same markers.
+        let mut reused = vec![(0.0, 0.0); 3]; // stale content must be cleared
+        w.progress_markers_into(JobId(0), 100, &mut reused);
+        assert_eq!(reused, markers);
+        // Allocation-free progress rate over the same series: 5 steps in
+        // 25 s = 0.2 steps/s (deterministic step time, cv = 0).
+        let rate = w.progress_rate(JobId(0), 100).unwrap();
+        assert!((rate - 0.2).abs() < 1e-9, "rate {rate}");
+        // Fewer than two markers (or an unknown job) yields no rate.
+        assert_eq!(w.progress_rate(JobId(0), 1), None);
+        assert_eq!(w.progress_rate(JobId(999), 100), None);
     }
 
     #[test]
@@ -933,8 +968,8 @@ mod tests {
         w.run_until(SimTime::from_secs(120));
         // New writes avoid ost0: its observed bandwidth stops updating
         // while another target starts serving.
-        let served_elsewhere = (1..w.pfs.num_osts() as u32)
-            .any(|i| w.observed_ost_bw(OstId(i)).is_some());
+        let served_elsewhere =
+            (1..w.pfs.num_osts() as u32).any(|i| w.observed_ost_bw(OstId(i)).is_some());
         assert!(served_elsewhere);
     }
 

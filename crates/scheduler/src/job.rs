@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Scheduler-wide job identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl fmt::Display for JobId {

@@ -163,11 +163,7 @@ impl Scheduler {
             .running
             .iter()
             .copied()
-            .filter(|id| {
-                self.jobs[id]
-                    .limit_end
-                    .is_some_and(|limit| limit <= now)
-            })
+            .filter(|id| self.jobs[id].limit_end.is_some_and(|limit| limit <= now))
             .collect();
         for id in &expired {
             let job = self.jobs.get_mut(id).expect("running job exists");
@@ -485,11 +481,7 @@ impl Scheduler {
         // outage the machine is empty.
         loop {
             let end = shadow + head_wall;
-            match self
-                .outages
-                .iter()
-                .find(|&&(s, e)| shadow < e && end > s)
-            {
+            match self.outages.iter().find(|&&(s, e)| shadow < e && end > s) {
                 Some(&(_, e)) => {
                     shadow = e;
                     free = self.cfg.total_nodes;
@@ -759,10 +751,7 @@ mod tests {
         s.add_outage(t(30), t(60));
         let killed = s.outage_kill(t(30));
         assert_eq!(killed, vec![JobId(1)]);
-        assert_eq!(
-            s.job(JobId(1)).unwrap().state,
-            JobState::MaintenanceKilled
-        );
+        assert_eq!(s.job(JobId(1)).unwrap().state, JobState::MaintenanceKilled);
         assert_eq!(s.accounting().maintenance_killed, 1);
         assert_eq!(s.free_nodes(), 4);
     }

@@ -6,9 +6,7 @@
 //! node conservation, walltime enforcement, per-job extension caps, and
 //! reservation protection (the §III.iv trust control).
 
-use moda_scheduler::{
-    ExtensionPolicy, JobId, JobRequest, JobState, Scheduler, SchedulerConfig,
-};
+use moda_scheduler::{ExtensionPolicy, JobId, JobRequest, JobState, Scheduler, SchedulerConfig};
 use moda_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -24,20 +22,31 @@ struct SpecJob {
 }
 
 fn spec_job() -> impl Strategy<Value = SpecJob> {
-    (1u32..16, 60u64..4000, 60u64..5000, 0u64..2000, any::<bool>()).prop_map(
-        |(nodes, walltime_s, actual_s, submit_s, asks_extension)| SpecJob {
-            nodes,
-            walltime_s,
-            actual_s,
-            submit_s,
-            asks_extension,
-        },
+    (
+        1u32..16,
+        60u64..4000,
+        60u64..5000,
+        0u64..2000,
+        any::<bool>(),
     )
+        .prop_map(
+            |(nodes, walltime_s, actual_s, submit_s, asks_extension)| SpecJob {
+                nodes,
+                walltime_s,
+                actual_s,
+                submit_s,
+                asks_extension,
+            },
+        )
 }
 
 /// Drive a random campaign to completion, checking stepwise invariants.
 /// Returns the scheduler for post-hoc assertions.
-fn drive(jobs: &[SpecJob], policy: ExtensionPolicy, total_nodes: u32) -> Result<Scheduler, TestCaseError> {
+fn drive(
+    jobs: &[SpecJob],
+    policy: ExtensionPolicy,
+    total_nodes: u32,
+) -> Result<Scheduler, TestCaseError> {
     let mut s = Scheduler::new(SchedulerConfig {
         total_nodes,
         policy,

@@ -53,12 +53,16 @@ impl Dist {
             Dist::LogNormal { mu, sigma } => LogNormal::new(mu, sigma.max(0.0))
                 .expect("valid lognormal")
                 .sample(rng),
-            Dist::Weibull { scale, shape } => Weibull::new(scale.max(f64::MIN_POSITIVE), shape.max(f64::MIN_POSITIVE))
-                .expect("valid weibull")
-                .sample(rng),
-            Dist::Pareto { scale, alpha } => Pareto::new(scale.max(f64::MIN_POSITIVE), alpha.max(f64::MIN_POSITIVE))
-                .expect("valid pareto")
-                .sample(rng),
+            Dist::Weibull { scale, shape } => {
+                Weibull::new(scale.max(f64::MIN_POSITIVE), shape.max(f64::MIN_POSITIVE))
+                    .expect("valid weibull")
+                    .sample(rng)
+            }
+            Dist::Pareto { scale, alpha } => {
+                Pareto::new(scale.max(f64::MIN_POSITIVE), alpha.max(f64::MIN_POSITIVE))
+                    .expect("valid pareto")
+                    .sample(rng)
+            }
         };
         if v.is_finite() && v > 0.0 {
             v
@@ -168,9 +172,18 @@ mod tests {
     fn empirical_means_match_theory() {
         let cases = [
             Dist::Exponential { mean: 4.0 },
-            Dist::LogNormal { mu: 1.0, sigma: 0.5 },
-            Dist::Weibull { scale: 3.0, shape: 1.5 },
-            Dist::Pareto { scale: 1.0, alpha: 3.0 },
+            Dist::LogNormal {
+                mu: 1.0,
+                sigma: 0.5,
+            },
+            Dist::Weibull {
+                scale: 3.0,
+                shape: 1.5,
+            },
+            Dist::Pareto {
+                scale: 1.0,
+                alpha: 3.0,
+            },
             Dist::Uniform { lo: 0.0, hi: 10.0 },
         ];
         for d in cases {
@@ -183,7 +196,14 @@ mod tests {
 
     #[test]
     fn heavy_pareto_has_no_mean() {
-        assert_eq!(Dist::Pareto { scale: 1.0, alpha: 0.9 }.mean(), None);
+        assert_eq!(
+            Dist::Pareto {
+                scale: 1.0,
+                alpha: 0.9
+            }
+            .mean(),
+            None
+        );
     }
 
     #[test]
@@ -191,8 +211,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let cases = [
             Dist::Exponential { mean: 0.0 }, // degenerate
-            Dist::LogNormal { mu: -2.0, sigma: 3.0 },
-            Dist::Pareto { scale: 0.5, alpha: 0.5 },
+            Dist::LogNormal {
+                mu: -2.0,
+                sigma: 3.0,
+            },
+            Dist::Pareto {
+                scale: 0.5,
+                alpha: 0.5,
+            },
         ];
         for d in cases {
             for _ in 0..1000 {

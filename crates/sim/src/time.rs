@@ -214,7 +214,10 @@ mod tests {
 
     #[test]
     fn mul_f64_scales_and_saturates() {
-        assert_eq!(SimDuration::from_secs(10).mul_f64(1.5), SimDuration::from_secs(15));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(1.5),
+            SimDuration::from_secs(15)
+        );
         assert_eq!(SimDuration::from_secs(10).mul_f64(-2.0), SimDuration::ZERO);
         assert_eq!(SimDuration(u64::MAX).mul_f64(2.0), SimDuration(u64::MAX));
     }

@@ -266,6 +266,10 @@ mod tests {
     fn zero_period_rejected() {
         let mut c = Collector::new();
         let (_, id) = setup();
-        c.add_sensor(Box::new(Ramp { id, v: 0.0 }), SimDuration::ZERO, SimTime::ZERO);
+        c.add_sensor(
+            Box::new(Ramp { id, v: 0.0 }),
+            SimDuration::ZERO,
+            SimTime::ZERO,
+        );
     }
 }

@@ -94,7 +94,11 @@ mod tests {
 
     fn db_with_data() -> (Tsdb, MetricId) {
         let mut db = Tsdb::new();
-        let id = db.register(MetricMeta::gauge("node.0.power", "W", SourceDomain::Hardware));
+        let id = db.register(MetricMeta::gauge(
+            "node.0.power",
+            "W",
+            SourceDomain::Hardware,
+        ));
         db.insert(id, SimTime::from_secs(1), 100.0);
         db.insert(id, SimTime::from_secs(2), 110.0);
         (db, id)

@@ -10,13 +10,32 @@
 //! samples → query windows), which this crate implements natively:
 //!
 //! * [`metric`] — metric identities, kinds, units, and source domains,
-//! * [`series`] — bounded ring-buffer time series with monotonic append,
+//! * [`series`] — bounded **struct-of-arrays** ring-buffer time series:
+//!   timestamps and values in separate parallel rings, queries answered
+//!   by `partition_point` binary search as zero-allocation
+//!   [`SampleView`]s (pairs of slices) in O(log n + k),
 //! * [`tsdb`] — the in-memory store: registry + series + retention +
-//!   queries + insert-rate accounting (the §IV design consideration),
+//!   allocation-free aggregate queries (`window_agg`, `latest_n_agg`,
+//!   streaming `resample_into`) + insert-rate accounting (the §IV design
+//!   consideration), plus the sharded, lock-striped [`ShardedTsdb`] for
+//!   threaded runtimes (registry under one lock, series striped across N
+//!   shard locks keyed by `MetricId`),
 //! * [`collect`] — sensor traits and the periodic collector,
 //! * [`window`] — windowed aggregation used by Analyze components,
+//!   including the O(n) selection-based percentile and the streaming
+//!   [`AggAccum`] bucket folder,
 //! * [`export`] — CSV export of series and campaign datasets (the paper
 //!   commits to releasing *open datasets*; this is the hook for it).
+//!
+//! # Hot-path discipline
+//!
+//! Monitor/Analyze components run once per loop tick per managed system;
+//! at production cardinality the read path dominates online-ODA cost.
+//! The crate therefore keeps one rule: **scalar questions get scalar
+//! answers** — anything that folds a window to a number goes through
+//! views and [`WindowAgg`] folds, never through an owned `Vec<Sample>`.
+//! The `Vec`-returning methods remain only as compatibility wrappers for
+//! cold paths (export, debugging).
 
 pub mod collect;
 pub mod export;
@@ -27,6 +46,6 @@ pub mod window;
 
 pub use collect::{Collector, Sensor};
 pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
-pub use series::{Sample, TimeSeries};
-pub use tsdb::{SharedTsdb, Tsdb};
-pub use window::WindowAgg;
+pub use series::{Sample, SampleView, TimeSeries};
+pub use tsdb::{ShardedTsdb, SharedTsdb, Tsdb};
+pub use window::{AggAccum, WindowAgg};

@@ -4,8 +4,8 @@
 //! whatever a sensor feeds in, the store must hand Analyze components a
 //! time-ordered, bounded, lossless-within-retention view.
 
-use moda_telemetry::{MetricMeta, Sample, SourceDomain, TimeSeries, Tsdb, WindowAgg};
 use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::{MetricMeta, Sample, SourceDomain, TimeSeries, Tsdb, WindowAgg};
 use proptest::prelude::*;
 
 // ------------------------------------------------------------- series
@@ -80,6 +80,214 @@ proptest! {
             .copied()
             .collect();
         prop_assert_eq!(win, expect);
+    }
+}
+
+// ---------------------------------------------- views vs naive scans
+//
+// The zero-allocation query engine (binary-searched `SampleView`s over
+// the SoA ring) must be sample-for-sample equivalent to a naive
+// filter-scan reference on arbitrary streams — including ring
+// wraparound (capacity < stream length) and duplicate timestamps.
+
+/// Build a small-capacity series (forcing wraparound) plus the naive
+/// in-retention reference: the newest `capacity` kept samples.
+fn ring_and_reference(capacity: usize, stream: &[(u64, f64)]) -> (TimeSeries, Vec<Sample>) {
+    let mut s = TimeSeries::new(capacity);
+    let mut kept: Vec<Sample> = Vec::new();
+    for &(t, v) in stream {
+        if s.push(SimTime(t), v) {
+            kept.push(Sample {
+                t: SimTime(t),
+                value: v,
+            });
+        }
+    }
+    let start = kept.len().saturating_sub(capacity.max(1));
+    (s, kept[start..].to_vec())
+}
+
+/// Timestamp streams with plenty of duplicates (range 0..50 over up to
+/// 300 draws guarantees collisions).
+fn dup_heavy_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..50, -100.0f64..100.0), 1..300)
+}
+
+proptest! {
+    /// Whole-series view equals the reference, through wraparound.
+    #[test]
+    fn view_equals_reference(capacity in 1usize..48, stream in dup_heavy_stream()) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let viewed: Vec<Sample> = s.view().into_iter().collect();
+        prop_assert_eq!(&viewed, &reference);
+        prop_assert_eq!(s.view().len(), reference.len());
+        // Segment slices concatenate to the same values.
+        let seg_vals: Vec<f64> = s.view().values().collect();
+        let ref_vals: Vec<f64> = reference.iter().map(|x| x.value).collect();
+        prop_assert_eq!(seg_vals, ref_vals);
+    }
+
+    /// `range_view` (binary search) equals a naive filter over the
+    /// retained reference, for arbitrary half-open intervals.
+    #[test]
+    fn range_view_equals_filter_scan(
+        capacity in 1usize..48,
+        stream in dup_heavy_stream(),
+        a in 0u64..60,
+        b in 0u64..60,
+    ) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let (t0, t1) = (a.min(b), a.max(b));
+        let got: Vec<Sample> = s.range_view(SimTime(t0), SimTime(t1)).into_iter().collect();
+        let want: Vec<Sample> = reference
+            .iter()
+            .filter(|x| x.t.0 >= t0 && x.t.0 < t1)
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `window_view` (trailing, half-open at the old end) equals a naive
+    /// filter over the reference.
+    #[test]
+    fn window_view_equals_filter_scan(
+        capacity in 1usize..48,
+        stream in dup_heavy_stream(),
+        now in 0u64..60,
+        w in 1u64..80,
+    ) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let got: Vec<Sample> = s
+            .window_view(SimTime(now), SimDuration(w))
+            .into_iter()
+            .collect();
+        let t0 = now.saturating_sub(w);
+        let want: Vec<Sample> = reference
+            .iter()
+            .filter(|x| x.t.0 > t0 && x.t.0 <= now)
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `last_n_view` equals reference tail slicing.
+    #[test]
+    fn last_n_view_equals_tail(
+        capacity in 1usize..48,
+        stream in dup_heavy_stream(),
+        n in 0usize..64,
+    ) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let got: Vec<Sample> = s.last_n_view(n).into_iter().collect();
+        let want = &reference[reference.len() - n.min(reference.len())..];
+        prop_assert_eq!(&got[..], want);
+    }
+
+    /// View aggregation (allocation-free fold, selection-based
+    /// percentile) matches `WindowAgg::apply` over the naively collected
+    /// window values.
+    #[test]
+    fn view_aggregates_equal_apply_on_scan(
+        capacity in 1usize..48,
+        stream in dup_heavy_stream(),
+        now in 0u64..60,
+        w in 1u64..80,
+        q in 0.0f64..1.0,
+    ) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let t0 = now.saturating_sub(w);
+        let vals: Vec<f64> = reference
+            .iter()
+            .filter(|x| x.t.0 > t0 && x.t.0 <= now)
+            .map(|x| x.value)
+            .collect();
+        let view = s.window_view(SimTime(now), SimDuration(w));
+        for agg in [
+            WindowAgg::Mean,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Sum,
+            WindowAgg::Last,
+            WindowAgg::Count,
+            WindowAgg::Percentile(q),
+        ] {
+            let fast = view.aggregate(agg);
+            let naive = agg.apply(&vals);
+            prop_assert!(
+                (fast - naive).abs() < 1e-9 || (fast.is_nan() && naive.is_nan()),
+                "{:?}: fast {} vs naive {}", agg, fast, naive
+            );
+        }
+    }
+
+    /// `value_at` binary search matches a naive linear reference on
+    /// duplicate-heavy streams: exact hits return the newest duplicate,
+    /// interpolation brackets correctly, and out-of-span queries are None.
+    #[test]
+    fn value_at_equals_linear_reference(
+        capacity in 1usize..48,
+        stream in dup_heavy_stream(),
+        t in 0u64..60,
+    ) {
+        let (s, reference) = ring_and_reference(capacity, &stream);
+        let got = s.value_at(SimTime(t));
+        // Naive reference: last sample with ts <= t, interpolated toward
+        // the next strictly-later sample.
+        let want = (|| {
+            let first = reference.first()?;
+            let last = reference.last()?;
+            if t < first.t.0 || t > last.t.0 {
+                return None;
+            }
+            let below = reference.iter().rposition(|x| x.t.0 <= t)?;
+            let b = reference[below];
+            if b.t.0 == t {
+                return Some(b.value);
+            }
+            let n = reference[below + 1];
+            let frac = (t - b.t.0) as f64 / (n.t.0 - b.t.0) as f64;
+            Some(b.value + frac * (n.value - b.value))
+        })();
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9, "{} vs {}", g, w),
+            other => prop_assert!(false, "mismatch: {:?}", other),
+        }
+    }
+
+    /// The sharded store answers aggregate queries identically to the
+    /// single-owner store it was built from.
+    #[test]
+    fn sharded_equals_unsharded(
+        stream in prop::collection::vec((0usize..6, 0u64..50, -10.0f64..10.0), 1..200),
+        now in 0u64..60,
+        w in 1u64..80,
+    ) {
+        let (mut db, ids) = db_with(6, 32);
+        for &(m, t, v) in &stream {
+            db.insert(ids[m], SimTime(t), v);
+        }
+        let mut want = Vec::new();
+        for id in &ids {
+            want.push((
+                db.latest_value(*id),
+                db.window_agg(*id, SimTime(now), SimDuration(w), WindowAgg::Mean),
+                db.latest_n_agg(*id, 5, WindowAgg::Max),
+                db.value_at(*id, SimTime(now)),
+            ));
+        }
+        let total = db.total_inserts();
+        let shared = db.into_shared();
+        prop_assert_eq!(shared.total_inserts(), total);
+        for (id, want) in ids.iter().zip(want) {
+            let got = (
+                shared.latest_value(*id),
+                shared.window_agg(*id, SimTime(now), SimDuration(w), WindowAgg::Mean),
+                shared.latest_n_agg(*id, 5, WindowAgg::Max),
+                shared.value_at(*id, SimTime(now)),
+            );
+            prop_assert_eq!(got, want);
+        }
     }
 }
 

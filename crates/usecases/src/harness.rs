@@ -149,7 +149,7 @@ impl CampaignStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moda_hpc::{WorldConfig, World};
+    use moda_hpc::{World, WorldConfig};
     use moda_scheduler::JobId;
 
     #[test]

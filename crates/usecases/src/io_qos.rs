@@ -149,11 +149,9 @@ impl Monitor<QosDomain> for QosMonitor {
                     } else {
                         // Window p99 over the new samples only.
                         let samples = summary.samples();
-                        let mut window: Vec<f64> =
-                            samples[samples.len() - new..].to_vec();
-                        window.sort_by(|a, b| {
-                            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        let mut window: Vec<f64> = samples[samples.len() - new..].to_vec();
+                        window
+                            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
                         let idx = ((window.len() as f64 - 1.0) * 0.99).round() as usize;
                         (Some(window[idx]), new)
                     }
@@ -241,8 +239,7 @@ impl Planner<QosDomain> for AimdPlanner {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                 {
-                    let donor_rate =
-                        (donor.rate * self.cfg.decrease_factor).max(self.cfg.min_rate);
+                    let donor_rate = (donor.rate * self.cfg.decrease_factor).max(self.cfg.min_rate);
                     actions.push(
                         PlannedAction::new(
                             SetRate {
@@ -370,9 +367,14 @@ mod tests {
     fn loop_raises_starved_tenant_rate() {
         let w = qos_world(1, 10.0);
         let mut l = build_loop(w.clone(), QosLoopConfig::default());
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(6), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(6),
+            |t| {
+                l.tick(t);
+            },
+        );
         let rate = w.borrow().qos.rate("lat").unwrap();
         assert!(rate > 10.0, "starved tenant rate not raised: {rate}");
     }
@@ -382,11 +384,16 @@ mod tests {
         let run = |adaptive: bool| {
             let w = qos_world(2, 10.0);
             let mut l = build_loop(w.clone(), QosLoopConfig::default());
-            drive(&w, SimDuration::from_secs(30), SimTime::from_hours(6), |t| {
-                if adaptive {
-                    l.tick(t);
-                }
-            });
+            drive(
+                &w,
+                SimDuration::from_secs(30),
+                SimTime::from_hours(6),
+                |t| {
+                    if adaptive {
+                        l.tick(t);
+                    }
+                },
+            );
             let wb = w.borrow();
             let mut p99 = 0.0;
             if let Some(s) = wb.io_latency("lat") {
@@ -423,9 +430,14 @@ mod tests {
                 ..QosLoopConfig::default()
             },
         );
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(6), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(6),
+            |t| {
+                l.tick(t);
+            },
+        );
         let bulk = w.borrow().qos.rate("bulk").unwrap();
         assert!(bulk < 400.0, "donor rate not decreased: {bulk}");
     }
@@ -436,9 +448,14 @@ mod tests {
         let w = qos_world(4, 500.0);
         let mut l = build_loop(w.clone(), QosLoopConfig::default());
         let mut executed = 0;
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(6), |t| {
-            executed += l.tick(t).executed;
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(6),
+            |t| {
+                executed += l.tick(t).executed;
+            },
+        );
         assert_eq!(executed, 0);
         assert!((w.borrow().qos.rate("lat").unwrap() - 500.0).abs() < 1e-9);
     }

@@ -174,12 +174,7 @@ impl Planner<MaintenanceDomain> for CheckpointPlanner {
     fn name(&self) -> &str {
         "pre-outage-checkpoint"
     }
-    fn plan(
-        &mut self,
-        _now: SimTime,
-        assessment: &Vec<OutageRisk>,
-        k: &Knowledge,
-    ) -> Plan<JobId> {
+    fn plan(&mut self, _now: SimTime, assessment: &Vec<OutageRisk>, k: &Knowledge) -> Plan<JobId> {
         let mut actions = Vec::new();
         for risk in assessment {
             if risk.survives {
@@ -193,7 +188,10 @@ impl Planner<MaintenanceDomain> for CheckpointPlanner {
                 continue; // too late; the checkpoint cannot finish
             }
             // One checkpoint per job per outage.
-            if k.fact(&format!("job.{}.maint_ckpt", risk.id.0)).unwrap_or(0.0) > 0.0 {
+            if k.fact(&format!("job.{}.maint_ckpt", risk.id.0))
+                .unwrap_or(0.0)
+                > 0.0
+            {
                 continue;
             }
             actions.push(
@@ -240,10 +238,7 @@ impl moda_core::Assessor<MaintenanceDomain> for MaintAssessor {
 }
 
 /// Assemble the Maintenance loop.
-pub fn build_loop(
-    world: SharedWorld,
-    cfg: MaintenanceLoopConfig,
-) -> MapeLoop<MaintenanceDomain> {
+pub fn build_loop(world: SharedWorld, cfg: MaintenanceLoopConfig) -> MapeLoop<MaintenanceDomain> {
     MapeLoop::new(
         "maintenance-loop",
         Box::new(OutageMonitor {
@@ -315,16 +310,26 @@ mod tests {
     fn loop_checkpoints_before_outage_and_work_survives() {
         let w = world_with_outage();
         let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert!(stats.checkpoints >= 1, "{stats:?}");
         assert_eq!(stats.maintenance_killed, 1);
         assert_eq!(stats.roots_completed, 1);
         // Compare wasted work against the no-loop baseline.
         let w2 = world_with_outage();
-        drive(&w2, SimDuration::from_secs(20), SimTime::from_hours(4), |_| {});
+        drive(
+            &w2,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |_| {},
+        );
         let no_loop = CampaignStats::collect(&w2.borrow());
         assert_eq!(no_loop.checkpoints, 0);
         assert!(
@@ -345,9 +350,14 @@ mod tests {
         world.submit_campaign(vec![long_job(0)]);
         let w = shared(world);
         let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert_eq!(stats.checkpoints, 0);
         assert_eq!(stats.roots_completed, 1);
@@ -365,9 +375,14 @@ mod tests {
         world.submit_campaign(vec![long_job(0)]); // ~3000 s of work
         let w = shared(world);
         let mut l = build_loop(w.clone(), MaintenanceLoopConfig::default());
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert_eq!(stats.checkpoints, 0, "{stats:?}");
         assert_eq!(stats.maintenance_killed, 0);

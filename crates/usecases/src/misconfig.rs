@@ -19,8 +19,8 @@
 use crate::harness::SharedWorld;
 use moda_analytics::misconfig::{detect, ConfigPolicy, Finding, JobConfigSnapshot};
 use moda_core::{
-    Analyzer, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop, Monitor, Plan,
-    PlannedAction, Planner,
+    Analyzer, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop, Monitor, Plan, PlannedAction,
+    Planner,
 };
 use moda_scheduler::JobId;
 use moda_sim::SimTime;
@@ -154,15 +154,11 @@ impl Planner<MisconfigDomain> for RoutePlanner {
                 continue;
             }
             // Pick the most severe finding to respond to.
-            let Some(worst) = jf
-                .findings
-                .iter()
-                .max_by(|a, b| {
-                    a.severity
-                        .partial_cmp(&b.severity)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-            else {
+            let Some(worst) = jf.findings.iter().max_by(|a, b| {
+                a.severity
+                    .partial_cmp(&b.severity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) else {
                 continue;
             };
             let correct = self.cfg.auto_correct
@@ -322,14 +318,24 @@ mod tests {
     fn auto_corrects_oversubscription_and_speeds_job() {
         let w = world(vec![job(0, Some(oversub()))]);
         let mut l = build_loop(w.clone(), MisconfigLoopConfig::default());
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         assert_eq!(w.borrow().metrics.corrections, 1);
         let t_fixed = w.borrow().now().as_secs_f64();
         // Baseline without the loop.
         let w2 = world(vec![job(0, Some(oversub()))]);
-        drive(&w2, SimDuration::from_secs(20), SimTime::from_hours(4), |_| {});
+        drive(
+            &w2,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |_| {},
+        );
         let t_plain = w2.borrow().now().as_secs_f64();
         assert!(
             t_fixed < t_plain * 0.8,
@@ -342,9 +348,14 @@ mod tests {
         let w = world(vec![job(0, Some(bad_lib()))]);
         let mut l = build_loop(w.clone(), MisconfigLoopConfig::default())
             .with_mode(AutonomyMode::HumanOnTheLoop);
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         // No correction possible for a wrong library path mid-run…
         assert_eq!(w.borrow().metrics.corrections, 0);
         // …but the user was informed exactly once, with the suggestion.
@@ -360,9 +371,14 @@ mod tests {
         let w = world(vec![job(0, None), job(1, None)]);
         let mut l = build_loop(w.clone(), MisconfigLoopConfig::default());
         let mut executed = 0;
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            executed += l.tick(t).executed;
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                executed += l.tick(t).executed;
+            },
+        );
         assert_eq!(executed, 0);
         assert_eq!(w.borrow().metrics.corrections, 0);
     }
@@ -377,9 +393,14 @@ mod tests {
                 ..MisconfigLoopConfig::default()
             },
         );
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         assert_eq!(w.borrow().metrics.corrections, 0);
         // The finding was still handled (informed) exactly once.
         assert_eq!(l.knowledge().effectiveness("inform"), Some(1.0));
@@ -390,9 +411,14 @@ mod tests {
         let w = world(vec![job(0, Some(oversub())), job(1, Some(oversub()))]);
         let mut l = build_loop(w.clone(), MisconfigLoopConfig::default());
         let mut executed = 0;
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(4), |t| {
-            executed += l.tick(t).executed;
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(4),
+            |t| {
+                executed += l.tick(t).executed;
+            },
+        );
         assert_eq!(executed, 2);
         assert_eq!(w.borrow().metrics.corrections, 2);
     }

@@ -314,17 +314,22 @@ mod tests {
         let mut l = build_loop(w.clone(), OstLoopConfig::default());
         let mut degraded = false;
         let mut reopened_at: Option<u64> = None;
-        drive(&w, SimDuration::from_secs(10), SimTime::from_hours(2), |t| {
-            // Degrade the job's OST (ost0: least-loaded pick) mid-run.
-            if t == SimTime::from_secs(600) {
-                w.borrow_mut().pfs.set_ost_health(OstId(0), 0.05);
-                degraded = true;
-            }
-            let r = l.tick(t);
-            if degraded && r.executed > 0 && reopened_at.is_none() {
-                reopened_at = Some(t.as_millis() / 1000);
-            }
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(10),
+            SimTime::from_hours(2),
+            |t| {
+                // Degrade the job's OST (ost0: least-loaded pick) mid-run.
+                if t == SimTime::from_secs(600) {
+                    w.borrow_mut().pfs.set_ost_health(OstId(0), 0.05);
+                    degraded = true;
+                }
+                let r = l.tick(t);
+                if degraded && r.executed > 0 && reopened_at.is_none() {
+                    reopened_at = Some(t.as_millis() / 1000);
+                }
+            },
+        );
         let reopen_t = reopened_at.expect("loop never reopened the file");
         // Detection within a handful of I/O bursts after degradation.
         assert!(
@@ -340,9 +345,14 @@ mod tests {
         let w = io_world(2);
         let mut l = build_loop(w.clone(), OstLoopConfig::default());
         let mut total_exec = 0;
-        drive(&w, SimDuration::from_secs(10), SimTime::from_hours(3), |t| {
-            total_exec += l.tick(t).executed;
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(10),
+            SimTime::from_hours(3),
+            |t| {
+                total_exec += l.tick(t).executed;
+            },
+        );
         assert_eq!(total_exec, 0);
         assert_eq!(w.borrow().metrics.roots_completed, 1);
     }
@@ -352,14 +362,19 @@ mod tests {
         let run = |with_loop: bool| {
             let w = io_world(3);
             let mut l = build_loop(w.clone(), OstLoopConfig::default());
-            drive(&w, SimDuration::from_secs(10), SimTime::from_hours(6), |t| {
-                if t == SimTime::from_secs(600) {
-                    w.borrow_mut().pfs.set_ost_health(OstId(0), 0.02);
-                }
-                if with_loop {
-                    l.tick(t);
-                }
-            });
+            drive(
+                &w,
+                SimDuration::from_secs(10),
+                SimTime::from_hours(6),
+                |t| {
+                    if t == SimTime::from_secs(600) {
+                        w.borrow_mut().pfs.set_ost_health(OstId(0), 0.02);
+                    }
+                    if with_loop {
+                        l.tick(t);
+                    }
+                },
+            );
             let end = w.borrow().now().as_secs_f64();
             let done = w.borrow().metrics.roots_completed;
             (end, done)

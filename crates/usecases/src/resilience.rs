@@ -21,8 +21,8 @@
 
 use crate::harness::SharedWorld;
 use moda_core::{
-    Analyzer, Assessor, Confidence, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop,
-    Monitor, Plan, PlannedAction, Planner,
+    Analyzer, Assessor, Confidence, ConfidenceGate, Domain, Executor, Knowledge, MapeLoop, Monitor,
+    Plan, PlannedAction, Planner,
 };
 use moda_hpc::young_interval_s;
 use moda_scheduler::JobId;
@@ -139,12 +139,7 @@ impl Analyzer<ResilienceDomain> for DuenessAnalyzer {
     fn name(&self) -> &str {
         "checkpoint-dueness"
     }
-    fn analyze(
-        &mut self,
-        now: SimTime,
-        obs: &Vec<JobExposure>,
-        k: &Knowledge,
-    ) -> Vec<DueJob> {
+    fn analyze(&mut self, now: SimTime, obs: &Vec<JobExposure>, k: &Knowledge) -> Vec<DueJob> {
         let now_s = now.as_secs_f64();
         obs.iter()
             .filter_map(|e| {
@@ -289,12 +284,7 @@ mod tests {
 
     fn run(seed: u64, node_mtbf_s: f64, cadence: Option<CheckpointCadence>) -> CampaignStats {
         let w = failing_world(seed, node_mtbf_s);
-        let mut l = cadence.map(|c| {
-            build_loop(
-                w.clone(),
-                ResilienceLoopConfig { cadence: c },
-            )
-        });
+        let mut l = cadence.map(|c| build_loop(w.clone(), ResilienceLoopConfig { cadence: c }));
         drive(
             &w,
             SimDuration::from_secs(30),

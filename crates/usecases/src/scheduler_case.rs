@@ -260,10 +260,7 @@ impl Analyzer<SchedulerDomain> for EtaAnalyzer {
         obs.iter()
             .map(|jp| {
                 let (eta, conf, cold) = if jp.markers.len() >= self.min_markers {
-                    match self
-                        .forecaster
-                        .forecast(&jp.markers, jp.total_steps, now_s)
-                    {
+                    match self.forecaster.forecast(&jp.markers, jp.total_steps, now_s) {
                         Some(f) => (Some(f.eta_s), f.confidence, false),
                         None => (None, Confidence::NONE, false),
                     }
@@ -325,10 +322,7 @@ impl Planner<SchedulerDomain> for ExtensionPlanner {
             let ext_count = k
                 .fact(&format!("job.{}.ext_count", risk.id.0))
                 .unwrap_or(0.0) as u32;
-            let ckpt_taken = k
-                .fact(&format!("job.{}.ckpt", risk.id.0))
-                .unwrap_or(0.0)
-                > 0.0;
+            let ckpt_taken = k.fact(&format!("job.{}.ckpt", risk.id.0)).unwrap_or(0.0) > 0.0;
             let extensions_exhausted = ext_count >= self.cfg.max_extensions_per_job;
 
             if (denied_before || extensions_exhausted) && self.cfg.enable_checkpoint {
@@ -371,7 +365,11 @@ impl Planner<SchedulerDomain> for ExtensionPlanner {
                     eta,
                     risk.remaining_s,
                     risk.deficit_s,
-                    if risk.cold_start { "history-based" } else { "marker-based" },
+                    if risk.cold_start {
+                        "history-based"
+                    } else {
+                        "marker-based"
+                    },
                     extra
                 )),
             );
@@ -526,9 +524,14 @@ mod tests {
         w.borrow_mut()
             .submit_campaign(vec![doomed_job(0, 200, 5.0, 600)]);
         let mut l = build_loop(w.clone(), SchedulerLoopConfig::default());
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert_eq!(stats.timed_out, 0, "loop failed: {stats:?}");
         assert_eq!(stats.resubmits, 0);
@@ -541,7 +544,12 @@ mod tests {
         let w = world();
         w.borrow_mut()
             .submit_campaign(vec![doomed_job(0, 200, 5.0, 600)]);
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |_| {});
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |_| {},
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert!(stats.timed_out >= 1);
         assert!(stats.resubmits >= 1);
@@ -554,9 +562,14 @@ mod tests {
         w.borrow_mut()
             .submit_campaign(vec![doomed_job(0, 100, 2.0, 1000)]);
         let mut l = build_loop(w.clone(), SchedulerLoopConfig::default());
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(2), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(2),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert_eq!(stats.ext_granted + stats.ext_partial + stats.ext_denied, 0);
         assert_eq!(stats.roots_completed, 1);
@@ -580,9 +593,14 @@ mod tests {
         w.borrow_mut()
             .submit_campaign(vec![doomed_job(0, 200, 5.0, 600)]);
         let mut l = build_loop(w.clone(), SchedulerLoopConfig::default());
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(6), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(6),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert!(stats.checkpoints >= 1, "no checkpoint taken: {stats:?}");
         assert_eq!(stats.roots_completed, 1);
@@ -592,7 +610,12 @@ mod tests {
         let w2 = world();
         w2.borrow_mut()
             .submit_campaign(vec![doomed_job(0, 200, 5.0, 600)]);
-        drive(&w2, SimDuration::from_secs(30), SimTime::from_hours(6), |_| {});
+        drive(
+            &w2,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(6),
+            |_| {},
+        );
         let no_loop = CampaignStats::collect(&w2.borrow());
         // Checkpointed retry redoes less work.
         assert!(stats.steps_completed < no_loop.steps_completed);
@@ -615,9 +638,14 @@ mod tests {
                 ..SchedulerLoopConfig::default()
             },
         );
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         assert!(stats.timed_out >= 1, "{stats:?}");
     }
@@ -631,9 +659,14 @@ mod tests {
             doomed_job(1, 150, 2.0, 1000),
         ]);
         let mut l = build_loop(w.clone(), SchedulerLoopConfig::default());
-        drive(&w, SimDuration::from_secs(20), SimTime::from_hours(2), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(2),
+            |t| {
+                l.tick(t);
+            },
+        );
         let k = l.knowledge();
         assert_eq!(k.run_count(), 2, "both completed runs recorded");
         for r in k.runs() {
@@ -656,9 +689,14 @@ mod tests {
                 ..SchedulerLoopConfig::default()
             },
         );
-        drive(&w2, SimDuration::from_secs(20), SimTime::from_hours(1), |t| {
-            l2.tick(t);
-        });
+        drive(
+            &w2,
+            SimDuration::from_secs(20),
+            SimTime::from_hours(1),
+            |t| {
+                l2.tick(t);
+            },
+        );
         let killed_recorded = l2
             .knowledge()
             .runs()
@@ -708,9 +746,14 @@ mod tests {
             },
         )
         .with_knowledge(k);
-        drive(&w, SimDuration::from_secs(30), SimTime::from_hours(4), |t| {
-            l.tick(t);
-        });
+        drive(
+            &w,
+            SimDuration::from_secs(30),
+            SimTime::from_hours(4),
+            |t| {
+                l.tick(t);
+            },
+        );
         let stats = CampaignStats::collect(&w.borrow());
         // History-based ETA (1000 s) exceeds the 600 s allocation → the
         // loop extends and the job completes first-try.

@@ -52,18 +52,16 @@ impl Sensor for TempSensor {
 }
 
 /// Recent coefficient of variation, or `None` until enough evidence
-/// has accumulated (no reconfiguration without data).
+/// has accumulated (no reconfiguration without data). Folds over the
+/// TSDB's borrowed sample view — no `Vec<Sample>` materialization.
 fn cv_of_last(db: &Tsdb, id: MetricId, n: usize) -> Option<f64> {
-    let samples = db.series(id).last_n(n);
-    if samples.len() < 8 {
+    let view = db.series(id).last_n_view(n);
+    if view.len() < 8 {
         return None;
     }
-    let mean = samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s.value - mean) * (s.value - mean))
-        .sum::<f64>()
-        / samples.len() as f64;
+    let count = view.len() as f64;
+    let mean = view.values().sum::<f64>() / count;
+    let var = view.values().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count;
     Some(var.sqrt() / mean.abs().max(1e-9))
 }
 

@@ -43,10 +43,7 @@ fn sparkline(values: &[Option<f64>]) -> String {
 
 fn domain_sparkline(db: &Tsdb, domain: SourceDomain, now: SimTime) -> Option<(String, String)> {
     // One representative series per domain: the first registered.
-    let id = db
-        .names()
-        .find(|(_, id)| db.meta(*id).domain == domain)?
-        .1;
+    let id = db.names().find(|(_, id)| db.meta(*id).domain == domain)?.1;
     let meta = db.meta(id).clone();
     let buckets = db.resample(
         id,
@@ -55,7 +52,10 @@ fn domain_sparkline(db: &Tsdb, domain: SourceDomain, now: SimTime) -> Option<(St
         SimDuration::from_secs((now.as_secs_f64() / 60.0).max(1.0) as u64),
         WindowAgg::Mean,
     );
-    Some((format!("{} [{}]", meta.name, meta.unit), sparkline(&buckets)))
+    Some((
+        format!("{} [{}]", meta.name, meta.unit),
+        sparkline(&buckets),
+    ))
 }
 
 fn main() {
@@ -83,7 +83,10 @@ fn main() {
     let w = world.borrow();
     let now = w.now();
 
-    println!("=== Holistic MODA dashboard (Fig. 1) — t = {:.1} h ===", now.as_secs_f64() / 3600.0);
+    println!(
+        "=== Holistic MODA dashboard (Fig. 1) — t = {:.1} h ===",
+        now.as_secs_f64() / 3600.0
+    );
     println!(
         "telemetry: {} metrics, {} samples ingested\n",
         w.tsdb.cardinality(),
@@ -145,7 +148,11 @@ fn main() {
             .unwrap_or(0.0);
         match forecaster.forecast(&markers, total, now.as_secs_f64()) {
             Some(fc) => {
-                let verdict = if fc.eta_s > remaining { "AT RISK" } else { "ok" };
+                let verdict = if fc.eta_s > remaining {
+                    "AT RISK"
+                } else {
+                    "ok"
+                };
                 println!(
                     "  {id}: {:>5.0}/{:>5.0} steps, ETA {:>6.0}s ± {:>5.0}s vs {:>6.0}s left → {}",
                     markers.last().map(|m| m.1).unwrap_or(0.0),

@@ -42,7 +42,9 @@ fn run(with_loop: bool, seed: u64) -> CampaignStats {
             // ahead, while jobs are already running — the drain protects
             // the queue, the loop protects running work.
             if t == SimTime::from_hours(2) {
-                world.borrow_mut().add_outage(SimTime::from_hours(3), SimTime::from_hours(5));
+                world
+                    .borrow_mut()
+                    .add_outage(SimTime::from_hours(3), SimTime::from_hours(5));
             }
             if with_loop {
                 l.tick(t);

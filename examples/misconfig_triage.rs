@@ -56,7 +56,10 @@ fn main() {
         "\non-the-fly corrections applied: {}",
         world.borrow().metrics.corrections
     );
-    println!("user notifications sent: {}\n", l.audit().notifications().len());
+    println!(
+        "user notifications sent: {}\n",
+        l.audit().notifications().len()
+    );
     println!("sample notifications (the 'inform the user' branch):");
     for n in l.audit().notifications().iter().take(8) {
         println!("  [{}] {} — {}", n.t, n.subject, n.explanation);

@@ -54,8 +54,14 @@ fn main() {
     let fewer_kills = base.timed_out.saturating_sub(auto.timed_out);
     let fewer_resubmits = base.resubmits.saturating_sub(auto.resubmits);
     println!("\npaper §III.v incentive metrics:");
-    println!("  walltime kills avoided:   {fewer_kills} ({} → {})", base.timed_out, auto.timed_out);
-    println!("  resubmissions avoided:    {fewer_resubmits} ({} → {})", base.resubmits, auto.resubmits);
+    println!(
+        "  walltime kills avoided:   {fewer_kills} ({} → {})",
+        base.timed_out, auto.timed_out
+    );
+    println!(
+        "  resubmissions avoided:    {fewer_resubmits} ({} → {})",
+        base.resubmits, auto.resubmits
+    );
     println!(
         "  redone work avoided:      {} steps ({} → {})",
         base.steps_completed.saturating_sub(auto.steps_completed),

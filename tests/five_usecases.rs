@@ -59,7 +59,10 @@ fn scheduler_case_cuts_kills_and_resubmissions() {
     };
     let base = run(false);
     let auto = run(true);
-    assert!(base.timed_out > 0, "campaign must stress walltimes: {base:?}");
+    assert!(
+        base.timed_out > 0,
+        "campaign must stress walltimes: {base:?}"
+    );
     assert!(
         auto.timed_out < base.timed_out / 2,
         "loop should at least halve walltime kills: {} vs {}",
@@ -69,9 +72,7 @@ fn scheduler_case_cuts_kills_and_resubmissions() {
     assert!(auto.resubmits < base.resubmits);
     assert!(auto.ext_granted + auto.ext_partial > 0);
     // §III.iv trust: extensions stay within the policy budget.
-    assert!(
-        auto.ext_time_granted_s <= 2.0 * 3600.0 * (auto.ext_granted + auto.ext_partial) as f64
-    );
+    assert!(auto.ext_time_granted_s <= 2.0 * 3600.0 * (auto.ext_granted + auto.ext_partial) as f64);
 }
 
 // ---------------------------------------------------------------- case 1
@@ -209,10 +210,7 @@ fn io_qos_case_relieves_starved_tenant() {
         starved_rate > 20.0,
         "starved tenant rate must be raised: {starved_rate}"
     );
-    assert_eq!(
-        satisfied_rate, 200.0,
-        "satisfied tenant must be left alone"
-    );
+    assert_eq!(satisfied_rate, 200.0, "satisfied tenant must be left alone");
 }
 
 // ---------------------------------------------------------------- case 3

@@ -75,11 +75,7 @@ fn classical_pattern_matches_manual_ticking() {
     // (the pattern runs MAPE only when due, starting at the same phase).
     let w2 = stressed_world(3);
     let inner = build_loop(w2.clone(), SchedulerLoopConfig::default());
-    let mut classical = Classical::new(
-        inner,
-        SimDuration::from_secs(30),
-        SimTime::from_secs(30),
-    );
+    let mut classical = Classical::new(inner, SimDuration::from_secs(30), SimTime::from_secs(30));
     let s2 = drive_pattern::<moda::usecases::scheduler_case::SchedulerDomain, _>(&w2, |t| {
         classical.poll(t)
     });
@@ -127,13 +123,18 @@ fn redundant_loops_are_absorbed_by_scheduler_caps() {
             },
         );
         let stats = CampaignStats::collect(&w.borrow());
-        let bounds = w.borrow().sched.jobs().all(|j| {
-            j.extensions <= 3 && j.extended_total <= SimDuration::from_hours(2)
-        });
+        let bounds = w
+            .borrow()
+            .sched
+            .jobs()
+            .all(|j| j.extensions <= 3 && j.extended_total <= SimDuration::from_hours(2));
         (stats, bounds)
     };
 
-    assert!(per_job_bounds_hold, "scheduler caps must hold under redundancy");
+    assert!(
+        per_job_bounds_hold,
+        "scheduler caps must hold under redundancy"
+    );
     // Redundancy may waste requests but must not make outcomes much worse.
     assert!(redundant.timed_out <= one_loop.timed_out + 2);
     assert_eq!(redundant.roots_total, one_loop.roots_total);

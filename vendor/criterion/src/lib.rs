@@ -1,0 +1,299 @@
+//! Offline stub of `criterion` for this workspace.
+//!
+//! Implements the API surface the bench files use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros — with a real wall-clock measurement loop:
+//! each benchmark is warmed up, auto-calibrated to a target measurement
+//! window, then reported as mean ns/iter (plus derived throughput).
+//!
+//! Environment knobs:
+//! * `CRITERION_JSON=<path>` — append one JSON record per benchmark,
+//!   `{"name": ..., "mean_ns": ..., "iters": ..., "throughput_elems_per_s": ...}`.
+//! * `CRITERION_MEASURE_MS` — measurement window per bench (default 120).
+//! * `CRITERION_WARMUP_MS` — warmup window per bench (default 40).
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration setup cost class (ignored by the stub's timer beyond
+/// excluding setup from measurement).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    /// Total measured iterations.
+    iters: u64,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl Bencher {
+    /// Measure `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 40);
+        let measure = env_ms("CRITERION_MEASURE_MS", 120);
+
+        // Warmup + calibration: count how many iterations fit.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target_iters = ((measure.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let t0 = Instant::now();
+        for _ in 0..target_iters {
+            hint::black_box(routine());
+        }
+        let elapsed = t0.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+
+    /// Measure `routine` with per-iteration `setup` excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 40);
+        let measure = env_ms("CRITERION_MEASURE_MS", 120);
+
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut routine_time = Duration::ZERO;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            routine_time += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (routine_time.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let target_iters = ((measure.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let t = Instant::now();
+            hint::black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+}
+
+#[derive(Debug)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(name, b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn report(&mut self, name: &str, b: Bencher, throughput: Option<Throughput>) {
+        let thr = match throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                format!(" ({:.1} M/s)", n as f64 / b.mean_ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("bench: {:<48} {:>14.1} ns/iter{}", name, b.mean_ns, thr);
+        self.records.push(Record {
+            name: name.to_string(),
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+            throughput,
+        });
+    }
+
+    /// Write collected results as JSON to `CRITERION_JSON`, if set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let thr = match r.throughput {
+                Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                    format!(",\"elems_per_s\":{:.1}", n as f64 / r.mean_ns * 1e9)
+                }
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"name\":\"{}\",\"mean_ns\":{:.2},\"iters\":{}{}}}",
+                r.name, r.mean_ns, r.iters, thr
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(out.as_bytes());
+        }
+    }
+}
+
+/// Scoped group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the stub auto-calibrates iteration counts
+    /// instead of using a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity (see [`BenchmarkGroup::sample_size`]).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.report(&name, b, self.throughput);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.report(&name, b, self.throughput);
+        self
+    }
+
+    /// Close the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,213 @@
+//! Offline stub of `rand_distr` implementing the distributions this
+//! workspace samples: `Exp`, `LogNormal`, `Weibull`, `Pareto`, `Normal`.
+//!
+//! All sampling uses inverse-transform (or Box–Muller for the normal),
+//! which is exact for these families — only the stream differs from the
+//! upstream crate, not the distribution.
+
+use rand::{Rng, RngCore};
+
+/// Construction error for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError;
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in `(0, 1]` — safe as a log argument.
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rand::Standard::from_rng(rng);
+    1.0 - u // (0, 1]
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Normal distribution (Box–Muller).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// `std_dev` must be non-negative and finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open(rng);
+        let u2: f64 = rand::Standard::from_rng(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// `sigma` must be non-negative and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Weibull distribution with the given scale and shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Weibull {
+    /// Both parameters must be positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite() {
+            Ok(Weibull {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(ParamError)
+        }
+    }
+}
+
+impl Distribution<f64> for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (-unit_open(rng).ln()).powf(self.inv_shape)
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `alpha`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    scale: f64,
+    inv_alpha: f64,
+}
+
+impl Pareto {
+    /// Both parameters must be positive and finite.
+    pub fn new(scale: f64, alpha: f64) -> Result<Self, ParamError> {
+        if scale > 0.0 && scale.is_finite() && alpha > 0.0 && alpha.is_finite() {
+            Ok(Pareto {
+                scale,
+                inv_alpha: 1.0 / alpha,
+            })
+        } else {
+            Err(ParamError)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * unit_open(rng).powf(-self.inv_alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.25).unwrap();
+        assert!((mean_of(&d, 100_000) - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_mean() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        assert!((mean_of(&d, 100_000) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let theory = (1.0f64 + 0.125).exp();
+        assert!((mean_of(&d, 200_000) - theory).abs() / theory < 0.03);
+    }
+
+    #[test]
+    fn weibull_positive() {
+        let d = Weibull::new(3.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_above_scale() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Weibull::new(-1.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Hand-rolled item parser (no `syn`/`quote`) generating impls of the
+//! serde stub's `Serialize`/`Deserialize` traits. Supports the shapes
+//! this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and wider),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants,
+//!
+//! using serde's externally-tagged representation for enums. Generics,
+//! `#[serde(...)]` attributes, and exotic shapes are intentionally
+//! unsupported and fail loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent fields deserialize via `Default`.
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// Derive the serde stub's `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated code parses")
+}
+
+/// Derive the serde stub's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive supports struct/enum, got `{other}`"),
+    }
+}
+
+type TokIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip attributes and visibility, returning whether a
+/// `#[serde(default)]` attribute was among them.
+fn skip_attrs_and_vis(toks: &mut TokIter) -> bool {
+    let mut has_default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    // Attribute body, e.g. `serde(default)` or `doc = ..`.
+                    let body = g.stream().to_string().replace(' ', "");
+                    if body == "serde(default)" {
+                        has_default = true;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // pub(crate) / pub(super) path qualifier
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut TokIter) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` bodies, returning field names. Types are
+/// skipped token-by-token with angle-bracket depth tracking so commas
+/// inside generics do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return fields;
+        }
+        fields.push(Field {
+            name: expect_ident(&mut toks),
+            default,
+        });
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&mut toks);
+    }
+}
+
+fn skip_type_until_comma(toks: &mut TokIter) {
+    let mut depth = 0usize;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    toks.next();
+                    return;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth = depth.saturating_sub(1);
+                }
+                toks.next();
+            }
+            _ => {
+                toks.next();
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut arity = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return arity;
+        }
+        arity += 1;
+        skip_type_until_comma(&mut toks);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut toks);
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit discriminants unsupported in variant `{name}`");
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    let f = &f.name;
+                    format!(
+                        "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(obj)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(vec![{items}])\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("x{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    let f = &f.name;
+                                    format!(
+                                        "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                   let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                   {pushes}\
+                                   ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(inner))])\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Generated initializer for one named field read from object `src`.
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!("::serde::Deserialize::missing_field(\"{name}\")?")
+    };
+    format!(
+        "{name}: match ::serde::value_get({src}, \"{name}\") {{\n\
+           Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+           None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let field_inits: String = fields.iter().map(|f| field_init(f, "obj")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                       format!(\"expected object for {name}, got {{v:?}}\")))?;\n\
+                     Ok({name} {{\n{field_inits}}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                         Ok({name}({elems})),\n\
+                       _ => Err(::serde::DeError::custom(\
+                         format!(\"expected {arity}-array for {name}, got {{v:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                   ::serde::Value::Null => Ok({name}),\n\
+                   _ => Err(::serde::DeError::custom(\"expected null for {name}\")),\n\
+                 }}\n\
+               }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let elems: String = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{\n\
+                                   ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                     Ok({name}::{vn}({elems})),\n\
+                                   _ => Err(::serde::DeError::custom(\
+                                     \"bad payload for variant {vn}\")),\n\
+                                 }},\n"
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let field_inits: String =
+                                fields.iter().map(|f| field_init(f, "inner")).collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                   let inner = payload.as_object().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"bad payload for variant {vn}\"))?;\n\
+                                   Ok({name}::{vn} {{\n{field_inits}}})\n\
+                                 }},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::custom(\
+                           format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                           {payload_arms}\
+                           other => Err(::serde::DeError::custom(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       _ => Err(::serde::DeError::custom(\
+                         format!(\"expected variant for {name}, got {{v:?}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}

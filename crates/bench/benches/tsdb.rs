@@ -11,7 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use moda_core::runtime::{run_telemetry_fleet, TelemetryFleetConfig};
 use moda_sim::{SimDuration, SimTime};
-use moda_telemetry::{MetricMeta, Sample, ShardedTsdb, SourceDomain, Tsdb, WindowAgg};
+use moda_telemetry::{
+    MetricMeta, RollupConfig, Sample, ShardedTsdb, SourceDomain, Tsdb, WindowAgg,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -133,6 +135,71 @@ fn bench_window_query(c: &mut Criterion) {
     g.finish();
 }
 
+/// Wide-window aggregates: the raw zero-allocation fold (O(samples))
+/// versus the rollup planner (sealed 1m/1h buckets + raw tail splice,
+/// O(window/res)) over a day of 1 Hz data — the Knowledge-layer query
+/// shape the rollup tier exists for. The `BENCH_tsdb.json` ratio between
+/// `raw/86400` and `rollup/86400` is enforced by the CI bench gate.
+fn bench_window_wide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_window_wide");
+    const DAY_S: u64 = 86_400;
+    // Raw-only store and rollup-enabled store, identically fed with a
+    // full day of 1 Hz samples (all retained raw in both).
+    let (mut db_raw, ids_raw) = registered(1, 90_000);
+    let (mut db_roll, ids_roll) = registered(1, 90_000);
+    db_roll.enable_rollups(ids_roll[0], &RollupConfig::standard());
+    let mut now = SimTime::ZERO;
+    for s in 0..DAY_S {
+        now = SimTime::from_secs(s);
+        let v = ((s * 2_654_435_761) % 10_000) as f64;
+        db_raw.insert(ids_raw[0], now, v);
+        db_roll.insert(ids_roll[0], now, v);
+    }
+    for window_s in [21_600u64, 86_400] {
+        g.bench_with_input(BenchmarkId::new("raw", window_s), &window_s, |b, &w| {
+            b.iter(|| {
+                black_box(db_raw.window_agg(
+                    ids_raw[0],
+                    black_box(now),
+                    SimDuration::from_secs(w),
+                    WindowAgg::Mean,
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("rollup", window_s), &window_s, |b, &w| {
+            b.iter(|| {
+                black_box(db_roll.window_agg(
+                    ids_roll[0],
+                    black_box(now),
+                    SimDuration::from_secs(w),
+                    WindowAgg::Mean,
+                ))
+            });
+        });
+    }
+    // Downsampling a day to hourly buckets: raw streaming kernel vs
+    // sealed-bucket splicing.
+    let (t0, t1, hour) = (
+        SimTime::ZERO,
+        SimTime::from_secs(DAY_S),
+        SimDuration::from_hours(1),
+    );
+    let mut out = Vec::new();
+    g.bench_function("resample_day_to_1h/raw", |b| {
+        b.iter(|| {
+            db_raw.resample_into(ids_raw[0], t0, t1, hour, WindowAgg::Mean, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.bench_function("resample_day_to_1h/rollup", |b| {
+        b.iter(|| {
+            db_roll.resample_into(ids_roll[0], t0, t1, hour, WindowAgg::Mean, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
 /// Percentile aggregation: full-sort (seed) vs O(n) selection.
 fn bench_percentile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_percentile");
@@ -184,6 +251,7 @@ fn bench_contention(c: &mut Criterion) {
         window: SimDuration::from_secs(3600),
         agg: WindowAgg::Mean,
         history: 3600,
+        ..TelemetryFleetConfig::default()
     };
     for shards in [1usize, 16] {
         g.bench_with_input(
@@ -228,6 +296,7 @@ criterion_group!(
     bench_insert,
     bench_insert_batch,
     bench_window_query,
+    bench_window_wide,
     bench_percentile,
     bench_resample,
     bench_contention

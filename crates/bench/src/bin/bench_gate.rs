@@ -1,0 +1,286 @@
+//! CI bench-regression gate over the TSDB micro-benchmarks.
+//!
+//! Runs the `tsdb` criterion bench with short windows (or takes a
+//! pre-recorded `CRITERION_JSON` file via `--measured`), compares each
+//! benchmark's mean against the committed baseline `BENCH_tsdb.json`,
+//! and exits non-zero when anything regressed — so a PR that quietly
+//! slows the monitoring hot path fails CI instead of passing a
+//! pass/fail-blind smoke run.
+//!
+//! Two kinds of checks:
+//!
+//! * **Absolute per-bench**: `measured > baseline × threshold` fails.
+//!   The threshold is deliberately generous (default 3×, override with
+//!   `BENCH_GATE_THRESHOLD`) because CI machines differ from the machine
+//!   that recorded the baseline; it catches order-of-magnitude
+//!   regressions (an accidental O(n) scan on a planned path), not
+//!   percent-level noise. The threaded `tsdb_contention` fleet benches
+//!   are skipped: their wall-clock depends on core count, which is
+//!   exactly what differs across runners.
+//! * **Machine-independent ratio**: the wide-window rollup path must
+//!   stay at least `BENCH_GATE_MIN_ROLLUP_SPEEDUP` (default 10×) faster
+//!   than the raw fold *within the same run* — the rollup tier's reason
+//!   to exist, immune to absolute machine speed.
+//!
+//! The full comparison table is written to `bench_gate_report.txt`
+//! (uploaded as a CI artifact) and echoed to stdout.
+//!
+//! Usage:
+//! ```text
+//! bench_gate [--baseline BENCH_tsdb.json] [--measured out.json]
+//!            [--report bench_gate_report.txt] [--update-baseline]
+//! ```
+//! `--update-baseline` rewrites the baseline from the measured run
+//! (after an intentional perf change; commit the diff).
+
+use std::fmt::Write as _;
+use std::process::{Command, ExitCode};
+
+/// Benchmark groups excluded from the absolute comparison.
+const SKIP_PREFIXES: &[&str] = &["tsdb_contention"];
+
+/// The machine-independent ratio check: (numerator, denominator,
+/// env knob, default minimum speedup).
+const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[(
+    "tsdb_window_wide/raw/86400",
+    "tsdb_window_wide/rollup/86400",
+    "BENCH_GATE_MIN_ROLLUP_SPEEDUP",
+    10.0,
+)];
+
+#[derive(Debug, Clone)]
+struct BenchRec {
+    name: String,
+    mean_ns: f64,
+}
+
+fn parse_records(text: &str, origin: &str) -> Result<Vec<BenchRec>, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("{origin}: bad JSON: {e}"))?;
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{origin}: expected a JSON array"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for item in arr {
+        let name = item
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{origin}: record without string `name`"))?;
+        let mean_ns = item
+            .get("mean_ns")
+            .and_then(|n| n.as_f64())
+            .ok_or_else(|| format!("{origin}: `{name}` without numeric `mean_ns`"))?;
+        out.push(BenchRec {
+            name: name.to_string(),
+            mean_ns,
+        });
+    }
+    Ok(out)
+}
+
+fn find(recs: &[BenchRec], name: &str) -> Option<f64> {
+    recs.iter().find(|r| r.name == name).map(|r| r.mean_ns)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run the tsdb bench with short criterion windows, writing its JSON to
+/// `json_path`.
+fn run_benches(json_path: &str) -> Result<(), String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let warmup = env_f64("BENCH_GATE_WARMUP_MS", 25.0) as u64;
+    let measure = env_f64("BENCH_GATE_MEASURE_MS", 100.0) as u64;
+    eprintln!("bench_gate: running `cargo bench -p moda-bench --bench tsdb` ...");
+    let status = Command::new(cargo)
+        .args(["bench", "-p", "moda-bench", "--bench", "tsdb"])
+        .env("CRITERION_JSON", json_path)
+        .env("CRITERION_WARMUP_MS", warmup.to_string())
+        .env("CRITERION_MEASURE_MS", measure.to_string())
+        .status()
+        .map_err(|e| format!("failed to spawn cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed: {status}"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_tsdb.json".to_string();
+    let mut measured_path: Option<String> = None;
+    let mut report_path = "bench_gate_report.txt".to_string();
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = take("--baseline"),
+            "--measured" => measured_path = Some(take("--measured")),
+            "--report" => report_path = take("--report"),
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("bench_gate: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let measured_file = match &measured_path {
+        Some(p) => p.clone(),
+        None => {
+            // Absolute path: `cargo bench` runs the harness with the
+            // *package* directory as cwd, not ours.
+            let p = std::env::current_dir()
+                .expect("cwd")
+                .join("target/bench_gate_measured.json")
+                .to_string_lossy()
+                .into_owned();
+            if let Err(e) = run_benches(&p) {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+            p
+        }
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (baseline_text, measured_text) = match (read(&baseline_path), read(&measured_file)) {
+        (Ok(b), Ok(m)) => (b, m),
+        (b, m) => {
+            for err in [b.err(), m.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, measured) = match (
+        parse_records(&baseline_text, &baseline_path),
+        parse_records(&measured_text, &measured_file),
+    ) {
+        (Ok(b), Ok(m)) => (b, m),
+        (b, m) => {
+            for err in [b.err(), m.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let threshold = env_f64("BENCH_GATE_THRESHOLD", 3.0);
+    let mut report = String::new();
+    let mut failures = 0usize;
+    let _ = writeln!(
+        report,
+        "bench_gate: {} vs baseline {} (threshold {threshold:.1}x)\n",
+        measured_file, baseline_path
+    );
+    let _ = writeln!(
+        report,
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline ns", "measured ns", "ratio"
+    );
+    for b in &baseline {
+        if SKIP_PREFIXES.iter().any(|p| b.name.starts_with(p)) {
+            let _ = writeln!(
+                report,
+                "{:<44} {:>12.1} {:>12} {:>8}  skipped (machine-dependent)",
+                b.name, b.mean_ns, "-", "-"
+            );
+            continue;
+        }
+        match find(&measured, &b.name) {
+            None => {
+                failures += 1;
+                let _ = writeln!(
+                    report,
+                    "{:<44} {:>12.1} {:>12} {:>8}  FAIL (missing from run)",
+                    b.name, b.mean_ns, "-", "-"
+                );
+            }
+            Some(m) => {
+                let ratio = m / b.mean_ns.max(f64::MIN_POSITIVE);
+                // Sub-microsecond benches jitter hardest across runner
+                // generations; require an absolute delta too, so a 78 ns
+                // bench drifting to 250 ns on a slow runner is noise,
+                // while a real O(n)-regression (µs-scale) still fails.
+                let delta_floor = env_f64("BENCH_GATE_MIN_DELTA_NS", 500.0);
+                let verdict = if ratio > threshold && m - b.mean_ns > delta_floor {
+                    failures += 1;
+                    "FAIL (regression)"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "{:<44} {:>12.1} {:>12.1} {:>7.2}x  {verdict}",
+                    b.name, b.mean_ns, m, ratio
+                );
+            }
+        }
+    }
+    for m in &measured {
+        if find(&baseline, &m.name).is_none() {
+            let _ = writeln!(
+                report,
+                "{:<44} {:>12} {:>12.1} {:>8}  new (no baseline)",
+                m.name, "-", m.mean_ns, "-"
+            );
+        }
+    }
+
+    let _ = writeln!(report);
+    for &(num, den, knob, default_min) in RATIO_CHECKS {
+        let min_speedup = env_f64(knob, default_min);
+        match (find(&measured, num), find(&measured, den)) {
+            (Some(raw), Some(planned)) => {
+                let speedup = raw / planned.max(f64::MIN_POSITIVE);
+                let verdict = if speedup < min_speedup {
+                    failures += 1;
+                    "FAIL (rollup speedup regressed)"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "ratio {num} / {den} = {speedup:.1}x (min {min_speedup:.1}x)  {verdict}"
+                );
+            }
+            _ => {
+                failures += 1;
+                let _ = writeln!(
+                    report,
+                    "ratio {num} / {den}: FAIL (benchmarks missing from run)"
+                );
+            }
+        }
+    }
+
+    print!("{report}");
+    if let Err(e) = std::fs::write(&report_path, &report) {
+        eprintln!("bench_gate: cannot write {report_path}: {e}");
+    }
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, &measured_text) {
+            eprintln!("bench_gate: cannot update {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_gate: baseline {baseline_path} updated from {measured_file}");
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} check(s) failed");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_gate: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

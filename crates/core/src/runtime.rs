@@ -12,7 +12,7 @@
 use crossbeam::channel;
 use moda_sim::stats::Summary;
 use moda_sim::{SimDuration, SimTime};
-use moda_telemetry::{MetricId, MetricMeta, SharedTsdb, SourceDomain, WindowAgg};
+use moda_telemetry::{MetricId, MetricMeta, RollupConfig, SharedTsdb, SourceDomain, WindowAgg};
 use std::time::{Duration, Instant};
 
 /// Synthetic CPU cost of each MAPE phase, in microseconds.
@@ -288,6 +288,19 @@ pub struct TelemetryFleetConfig {
     /// the fleet starts, so Monitor reads fold realistically wide windows
     /// from the first round.
     pub history: usize,
+    /// Rollup pyramid enabled on every fleet metric (the continuous
+    /// downsampling stage: accepted inserts fold straight into per-metric
+    /// 1m/1h buckets, so the wide readers below never scan raw history).
+    pub rollups: Option<RollupConfig>,
+    /// Knowledge-layer reader threads running **concurrently** with the
+    /// fleet: each sweeps a wide trailing-window aggregate over every
+    /// fleet metric per round — the paper's "historical and aggregated
+    /// system state" consumers. Without rollups these O(samples) scans
+    /// stall the stripes the collectors write; with rollups they read
+    /// O(window/res) sealed buckets.
+    pub wide_readers: usize,
+    /// Trailing analysis window of the wide readers.
+    pub wide_window: SimDuration,
 }
 
 impl Default for TelemetryFleetConfig {
@@ -299,6 +312,9 @@ impl Default for TelemetryFleetConfig {
             window: SimDuration::from_secs(60),
             agg: WindowAgg::Mean,
             history: 0,
+            rollups: None,
+            wide_readers: 0,
+            wide_window: SimDuration::from_hours(24),
         }
     }
 }
@@ -312,6 +328,10 @@ pub struct TelemetryFleetStats {
     pub inserts: u64,
     /// Window-aggregate reads across the fleet.
     pub reads: u64,
+    /// Wide-reader round latencies, when `wide_readers > 0`.
+    pub wide: Option<RoundStats>,
+    /// Aggregate queries served from rollup buckets during the run.
+    pub rollup_hits: u64,
 }
 
 /// Run `cfg.n_loops` threads against one shared sharded store: each
@@ -344,6 +364,15 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         })
         .collect();
 
+    // The rollup stage: folding happens on the insert path itself, so
+    // enabling it before the warm history means every sample lands in
+    // both the raw ring and the 1m/1h buckets with no separate pass.
+    if let Some(rollup_cfg) = &cfg.rollups {
+        for id in fleet_ids.iter().flatten() {
+            db.enable_rollups(*id, rollup_cfg);
+        }
+    }
+
     // Untimed warm history so first-round window reads are full-width.
     for ids in &fleet_ids {
         for (k, id) in ids.iter().enumerate() {
@@ -353,9 +382,32 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         }
     }
 
+    let all_ids: Vec<MetricId> = fleet_ids.iter().flatten().copied().collect();
+    let (wide_tx, wide_rx) = channel::unbounded::<f64>();
+    let rollup_hits_before = db.rollup_hits();
     let inserts_before = db.total_inserts();
     let start = Instant::now();
     std::thread::scope(|s| {
+        // Knowledge-layer wide readers, concurrent with the fleet.
+        for _ in 0..cfg.wide_readers {
+            let wide_tx = wide_tx.clone();
+            let all_ids = &all_ids;
+            s.spawn(move || {
+                let now = SimTime::from_secs((cfg.history + cfg.rounds) as u64);
+                for _ in 0..cfg.rounds {
+                    let t0 = Instant::now();
+                    let mut acc = 0.0;
+                    for id in all_ids {
+                        if let Some(v) = db.window_agg(*id, now, cfg.wide_window, cfg.agg) {
+                            acc += v;
+                        }
+                    }
+                    std::hint::black_box(acc);
+                    let _ = wide_tx.send(t0.elapsed().as_micros() as f64);
+                }
+            });
+        }
+        drop(wide_tx);
         for (l, ids) in fleet_ids.iter().enumerate() {
             let lat_tx = lat_tx.clone();
             s.spawn(move || {
@@ -387,11 +439,23 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
     while let Ok(v) = lat_rx.try_recv() {
         lat.push(v);
     }
+    let wide = if cfg.wide_readers > 0 {
+        let mut wlat = Summary::new();
+        while let Ok(v) = wide_rx.try_recv() {
+            wlat.push(v);
+        }
+        let wn = wlat.count();
+        Some(stats_from(wlat, wall, wn))
+    } else {
+        None
+    };
     let n = lat.count();
     TelemetryFleetStats {
         rounds: stats_from(lat, wall, n),
         inserts: db.total_inserts() - inserts_before,
         reads: reads_expected,
+        wide,
+        rollup_hits: db.rollup_hits() - rollup_hits_before,
     }
 }
 
@@ -469,6 +533,29 @@ mod tests {
         // The store really holds the fleet's data.
         let id = db.lookup("loop000.metric000").unwrap();
         assert!(db.latest_value(id).is_some());
+    }
+
+    #[test]
+    fn telemetry_fleet_rollup_stage_serves_wide_readers() {
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(8192, 8));
+        let cfg = TelemetryFleetConfig {
+            n_loops: 2,
+            rounds: 20,
+            metrics_per_loop: 4,
+            history: 3600,
+            rollups: Some(moda_telemetry::RollupConfig::standard()),
+            wide_readers: 2,
+            wide_window: SimDuration::from_hours(1),
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        assert_eq!(stats.rounds.iterations, 2 * 20);
+        let wide = stats.wide.expect("wide readers ran");
+        assert_eq!(wide.iterations, 2 * 20);
+        // The hour-wide reads were answered from sealed rollup buckets.
+        assert!(stats.rollup_hits > 0, "wide reads should hit rollups");
+        let id = db.lookup("loop000.metric000").unwrap();
+        assert!(db.rollups_enabled(id));
     }
 
     #[test]

@@ -12,12 +12,15 @@
 use crate::component::Monitor;
 use crate::domain::ScalarDomain;
 use moda_sim::{SimDuration, SimTime};
-use moda_telemetry::{MetricId, SharedTsdb, WindowAgg};
+use moda_telemetry::{MetricId, RollupConfig, SharedTsdb, WindowAgg};
 
 /// A [`Monitor`] observing one metric's trailing-window aggregate from a
 /// shared sharded TSDB. Zero allocation per observation; holds only the
 /// metric's stripe read lock for the duration of one binary-searched
-/// fold.
+/// fold. When the metric maintains rollups (see
+/// [`TsdbWindowMonitor::with_rollups`]), wide windows are served from
+/// sealed pre-folded buckets instead of raw scans, so month-wide Analyze
+/// monitors cost O(window/3600) per observation.
 pub struct TsdbWindowMonitor {
     db: SharedTsdb,
     metric: MetricId,
@@ -36,6 +39,25 @@ impl TsdbWindowMonitor {
             window,
             agg,
         }
+    }
+
+    /// Like [`TsdbWindowMonitor::new`], but first ensures `metric`
+    /// maintains a rollup pyramid (backfilling from retained raw samples
+    /// when newly enabled) — the constructor for wide-window
+    /// Knowledge-layer monitors. A metric that already has rollups keeps
+    /// its existing pyramid untouched (its sealed history outlives raw
+    /// retention and must not be rebuilt from the raw tail). Note
+    /// `Percentile` aggregations are never servable from rollups and
+    /// keep reading raw samples.
+    pub fn with_rollups(
+        db: SharedTsdb,
+        metric: MetricId,
+        window: SimDuration,
+        agg: WindowAgg,
+        rollups: &RollupConfig,
+    ) -> Self {
+        db.ensure_rollups(metric, rollups);
+        Self::new(db, metric, window, agg)
     }
 }
 
@@ -142,6 +164,31 @@ mod tests {
         // A window over data-free territory observes nothing.
         let r2 = l.tick(SimTime::from_hours(2));
         assert!(!r2.observed);
+    }
+
+    #[test]
+    fn rollup_monitor_serves_wide_window_from_buckets() {
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = db.register(MetricMeta::gauge("power", "W", SourceDomain::Hardware));
+        let shared = db.into_shared();
+        for s in 0..7200u64 {
+            shared.insert(id, SimTime::from_secs(s), (s % 50) as f64);
+        }
+        let mut m = TsdbWindowMonitor::with_rollups(
+            shared.clone(),
+            id,
+            SimDuration::from_hours(1),
+            WindowAgg::Max,
+            &moda_telemetry::RollupConfig::standard(),
+        );
+        assert!(shared.rollups_enabled(id));
+        let hits = shared.rollup_hits();
+        let obs = m.observe(SimTime::from_secs(7199)).unwrap();
+        assert_eq!(obs, 49.0);
+        assert!(
+            shared.rollup_hits() > hits,
+            "wide observe should hit rollups"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use moda_scheduler::{
 };
 use moda_sim::stats::Summary;
 use moda_sim::{EventQueue, RngStreams, SimDuration, SimTime};
-use moda_telemetry::{MetricId, MetricMeta, SourceDomain, Tsdb};
+use moda_telemetry::{MetricId, MetricMeta, SourceDomain, Tsdb, WindowAgg};
 use std::collections::HashMap;
 
 /// World configuration.
@@ -401,6 +401,16 @@ impl World {
                 "steps",
                 SourceDomain::Application,
             ));
+            // Per-job progress markers carry the compact rollup pyramid:
+            // wide Analyze windows (overrun forecasting over hours of
+            // history) read sealed 1m/1h buckets instead of raw markers.
+            // `ensure` not `enable`: registration is idempotent by name,
+            // so if this attempt's metric somehow already exists (each
+            // resubmitted attempt normally gets a fresh id and metric),
+            // an existing pyramid's sealed buckets — which outlive the
+            // raw ring — must not be rebuilt from the raw tail.
+            self.tsdb
+                .ensure_rollups(metric, &moda_telemetry::RollupConfig::compact());
             self.progress_metric.insert(id, metric);
             // Marker at step `resume` (the resume point) anchors the series.
             self.tsdb.insert(metric, t, resume as f64);
@@ -602,6 +612,52 @@ impl World {
     pub fn progress_rate(&self, id: JobId, n: usize) -> Option<f64> {
         let &m = self.progress_metric.get(&id)?;
         moda_telemetry::window::counter_rate_view(&self.tsdb.series(m).last_n_view(n))
+    }
+
+    /// Progress rate of a job over the trailing `window` (steps/second),
+    /// served from the marker metric's rollup tier: computed as the
+    /// marker delta `(max − min)` from pre-folded buckets over the span
+    /// the job could actually have produced markers in — `window`,
+    /// clamped to the attempt's age so a job younger than the window is
+    /// not diluted. For a monotone step counter this equals the wide
+    /// marker delta rate up to bucket-edge resolution. Unlike
+    /// [`World::progress_rate`] (marker-count based, raw-ring bound),
+    /// this stays O(window/res) however long the job has run, and keeps
+    /// answering after the raw ring has evicted old markers. `None` when
+    /// the window holds no markers or covers none of the job's lifetime.
+    pub fn progress_rate_wide(&self, id: JobId, window: SimDuration) -> Option<f64> {
+        let &m = self.progress_metric.get(&id)?;
+        let now = self.now();
+        // The marker series is anchored at the attempt's start (the
+        // resume marker), so the attempt age bounds the data span.
+        let start = self.sched.job(id).and_then(|j| j.start)?;
+        let span = window.min(now.saturating_since(start)).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        let max = self.tsdb.window_agg(m, now, window, WindowAgg::Max)?;
+        let min = self.tsdb.window_agg(m, now, window, WindowAgg::Min)?;
+        Some((max - min).max(0.0) / span)
+    }
+
+    /// Downsampled progress-marker history of a job over `[t0, t1)` in
+    /// `bucket`-wide slots (the per-slot **last** marker; `None` marks
+    /// slots without markers), into a caller-owned buffer. Wide spans are
+    /// served from sealed rollup buckets — the Knowledge-layer shape of
+    /// [`World::progress_markers`], usable far beyond raw retention.
+    pub fn progress_history_into(
+        &self,
+        id: JobId,
+        t0: SimTime,
+        t1: SimTime,
+        bucket: SimDuration,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
+        if let Some(&m) = self.progress_metric.get(&id) {
+            self.tsdb
+                .resample_into(m, t0, t1, bucket, WindowAgg::Last, out);
+        }
     }
 
     /// Total steps the application targets (the app knows its own input
@@ -873,6 +929,61 @@ mod tests {
         // Fewer than two markers (or an unknown job) yields no rate.
         assert_eq!(w.progress_rate(JobId(0), 1), None);
         assert_eq!(w.progress_rate(JobId(999), 100), None);
+    }
+
+    #[test]
+    fn wide_progress_reads_come_from_rollups() {
+        let mut w = small_world(3);
+        // 2000 steps × 5 s = 10 000 s of markers — enough to seal many
+        // 1-minute rollup buckets.
+        w.submit_campaign(vec![quick_job(0, 2, 2000, 5.0, 20_000)]);
+        w.run_until(SimTime::from_secs(9_000));
+        let id = JobId(0);
+        let hits_before = w.tsdb.rollup_hits();
+        // Rollup-served wide rate ≈ the deterministic 0.2 steps/s.
+        let wide = w
+            .progress_rate_wide(id, SimDuration::from_secs(7_200))
+            .unwrap();
+        assert!(
+            w.tsdb.rollup_hits() > hits_before,
+            "wide rate should hit rollups"
+        );
+        let narrow = w.progress_rate(id, 100).unwrap();
+        assert!(
+            (wide - narrow).abs() / narrow < 0.05,
+            "wide {wide} vs narrow {narrow}"
+        );
+        // Downsampled marker history: last marker per 10-minute slot,
+        // monotone (steps are a counter) and rollup-served.
+        let mut hist = Vec::new();
+        w.progress_history_into(
+            id,
+            SimTime::ZERO,
+            SimTime::from_secs(9_000),
+            SimDuration::from_secs(600),
+            &mut hist,
+        );
+        assert_eq!(hist.len(), 15);
+        let vals: Vec<f64> = hist.iter().map(|v| v.expect("dense markers")).collect();
+        assert!(
+            vals.windows(2).all(|p| p[0] <= p[1]),
+            "history must be monotone"
+        );
+        assert_eq!(*vals.last().unwrap(), 1799.0); // step at t=8995s
+                                                   // Unknown jobs yield empty/None results, not panics.
+        assert_eq!(
+            w.progress_rate_wide(JobId(999), SimDuration::from_secs(60)),
+            None
+        );
+        let mut empty = vec![Some(1.0)];
+        w.progress_history_into(
+            JobId(999),
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(60),
+            &mut empty,
+        );
+        assert!(empty.is_empty());
     }
 
     #[test]

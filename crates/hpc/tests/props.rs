@@ -108,6 +108,35 @@ proptest! {
         }
     }
 
+    /// The progress metrics' rollup tier agrees with the raw marker
+    /// series: for every job metric, a wide rollup-served window
+    /// aggregate equals the same fold over the raw view (raw retention
+    /// covers these short campaigns), whatever the workload shape.
+    #[test]
+    fn progress_rollups_agree_with_raw_markers(seed in 0u64..200, n_jobs in 1usize..12) {
+        use moda_telemetry::WindowAgg;
+        let mut w = world_with(seed, n_jobs, 16, None);
+        w.run_to_completion(SimTime::from_hours(24 * 30));
+        let now = w.now();
+        let window = SimDuration::from_hours(24 * 40);
+        let ids: Vec<_> = w
+            .tsdb
+            .names()
+            .filter(|(name, _)| name.starts_with("job.") && name.ends_with(".steps"))
+            .map(|(_, id)| id)
+            .collect();
+        prop_assert!(!ids.is_empty());
+        for id in ids {
+            prop_assert!(w.tsdb.rollups(id).is_some());
+            for agg in [WindowAgg::Count, WindowAgg::Min, WindowAgg::Max, WindowAgg::Last] {
+                let got = w.tsdb.window_agg(id, now, window, agg);
+                let view = w.tsdb.window_view(id, now, window);
+                let want = if view.is_empty() { None } else { Some(view.aggregate(agg)) };
+                prop_assert_eq!(got, want, "{:?} on {:?}", agg, id);
+            }
+        }
+    }
+
     /// Failure injection respects the configured process: more failures
     /// at lower MTBF, none when disabled, and the kill count matches the
     /// terminal states.

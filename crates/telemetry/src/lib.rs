@@ -20,6 +20,12 @@
 //!   consideration), plus the sharded, lock-striped [`ShardedTsdb`] for
 //!   threaded runtimes (registry under one lock, series striped across N
 //!   shard locks keyed by `MetricId`),
+//! * [`rollup`] — the continuous downsampling tier (Knowledge-layer
+//!   retention): per-metric 1m/1h count/sum/min/max/last bucket rings
+//!   folded incrementally on insert, and the query planner that serves
+//!   wide `window_agg`/`resample_into` spans from sealed buckets,
+//!   splicing raw samples only at ragged edges and the unsealed tail
+//!   (`Percentile` always falls back to raw),
 //! * [`collect`] — sensor traits and the periodic collector,
 //! * [`window`] — windowed aggregation used by Analyze components,
 //!   including the O(n) selection-based percentile and the streaming
@@ -40,12 +46,14 @@
 pub mod collect;
 pub mod export;
 pub mod metric;
+pub mod rollup;
 pub mod series;
 pub mod tsdb;
 pub mod window;
 
 pub use collect::{Collector, Sensor};
 pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
+pub use rollup::{RollupBucket, RollupConfig, RollupRing, RollupSet, RollupTier};
 pub use series::{Sample, SampleView, TimeSeries};
 pub use tsdb::{ShardedTsdb, SharedTsdb, Tsdb};
 pub use window::{AggAccum, WindowAgg};

@@ -1,0 +1,739 @@
+//! Continuous rollup/downsampling tier — the Knowledge-layer retention
+//! path of the store.
+//!
+//! The paper's autonomy loops lean on a Knowledge layer that keeps
+//! "historical and aggregated system state" cheap to query: production
+//! ODA (DCDB Wintermute, LRZ) lives on **pre-aggregated rollups**, not
+//! raw-sample scans. This module maintains, per opted-in metric, a small
+//! pyramid of derived aggregate series — by default one-minute and
+//! one-hour buckets — folded **incrementally on insert** (O(1) per tier
+//! per sample), so a month-wide Analyze window reads O(window/3600)
+//! pre-folded buckets instead of O(samples) raw points.
+//!
+//! # Buckets, tiers, and sealing
+//!
+//! A [`RollupBucket`] stores `count`/`sum`/`min`/`max`/`last` for one
+//! aligned time slot `[k·res, (k+1)·res)`. That state is enough to
+//! reconstruct `Count`, `Sum`, `Mean`, `Min`, `Max`, and `Last` exactly;
+//! it can *bound* but not reproduce order statistics, so
+//! [`WindowAgg::Percentile`] is **not servable** from rollups and always
+//! falls back to raw samples (see [`WindowAgg::rollup_servable`]).
+//!
+//! A [`RollupRing`] keeps a bounded ring of non-empty buckets at one
+//! resolution; a [`RollupSet`] stacks rings fine→coarse per
+//! [`RollupConfig`]. The newest bucket of each ring is **unsealed**: the
+//! raw series accepts further samples with timestamps inside it (raw
+//! appends are monotone, so every *earlier* bucket can never change and
+//! is **sealed**). Queries only trust sealed buckets; the unsealed tail
+//! is always spliced from raw samples, which keeps the planner correct
+//! even if folding ever runs behind inserts (e.g. a batched background
+//! rollup stage).
+//!
+//! # The planner
+//!
+//! [`plan_window_agg`] / [`plan_resample_into`] serve a query span by
+//! cascading through the tiers, coarsest first: the largest aligned,
+//! sealed, retained sub-span comes from the coarse ring, and each ragged
+//! edge recurses into the next-finer ring, bottoming out at binary-
+//! searched raw [`SampleView`](crate::series::SampleView)s. A day-wide
+//! window over 1 Hz data therefore costs ~24 hour-bucket merges + ~60
+//! minute-bucket merges + a sub-minute raw splice, instead of 86 400 raw
+//! folds. Because every sub-span that rollups cannot serve falls through
+//! to raw, the planned result is **exactly equal** to the raw-path result
+//! for `Count`/`Min`/`Max`/`Last` (and equal up to float re-association
+//! for `Sum`/`Mean`) whenever the raw ring still retains the window —
+//! the invariant the property tests in `tests/props.rs` pin down. When
+//! raw has already evicted old samples, rollups keep answering from
+//! their longer retention: that is the Knowledge-layer feature.
+
+use crate::series::TimeSeries;
+use crate::window::WindowAgg;
+use moda_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One-minute rollup resolution.
+pub const RES_1M: SimDuration = SimDuration(60_000);
+/// One-hour rollup resolution.
+pub const RES_1H: SimDuration = SimDuration(3_600_000);
+
+impl WindowAgg {
+    /// Whether this aggregation can be reconstructed exactly from
+    /// count/sum/min/max/last rollup buckets. `Percentile` cannot (order
+    /// statistics need the raw values) and always reads raw samples.
+    pub fn rollup_servable(&self) -> bool {
+        !matches!(self, WindowAgg::Percentile(_))
+    }
+}
+
+/// Aggregate state of one sealed-or-growing time slot `[start, start+res)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollupBucket {
+    /// Aligned slot start (inclusive).
+    pub start: SimTime,
+    /// Samples folded into the slot.
+    pub count: u64,
+    /// Sum of folded values.
+    pub sum: f64,
+    /// Minimum folded value.
+    pub min: f64,
+    /// Maximum folded value.
+    pub max: f64,
+    /// Most recently folded value (raw appends are time-ordered, so this
+    /// is the value of the slot's newest sample).
+    pub last: f64,
+}
+
+impl RollupBucket {
+    fn new(start: SimTime, v: f64) -> Self {
+        RollupBucket {
+            start,
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+            last: v,
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+}
+
+/// One tier of the rollup pyramid: a resolution and how many non-empty
+/// buckets of it to retain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollupTier {
+    /// Bucket width.
+    pub res: SimDuration,
+    /// Retained bucket count (ring capacity).
+    pub capacity: usize,
+}
+
+impl RollupTier {
+    /// Tier at `res` retaining `capacity` buckets.
+    pub fn new(res: SimDuration, capacity: usize) -> Self {
+        RollupTier { res, capacity }
+    }
+}
+
+/// Retention configuration of a metric's rollup pyramid.
+///
+/// Tiers are kept sorted fine→coarse; resolutions must be positive and
+/// strictly increasing. The standard pyramid is 1-minute buckets for two
+/// days plus 1-hour buckets for ninety days (~242 KiB per metric);
+/// [`RollupConfig::compact`] trims that for high-cardinality, short-lived
+/// metrics such as per-job progress counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupConfig {
+    tiers: Vec<RollupTier>,
+}
+
+impl RollupConfig {
+    /// Pyramid from explicit tiers (sorted fine→coarse internally).
+    ///
+    /// # Panics
+    /// If no tiers are given, a resolution is zero, or two tiers share a
+    /// resolution.
+    pub fn new(mut tiers: Vec<RollupTier>) -> Self {
+        assert!(!tiers.is_empty(), "rollup config needs at least one tier");
+        tiers.sort_by_key(|t| t.res.0);
+        for pair in tiers.windows(2) {
+            assert!(
+                pair[0].res.0 < pair[1].res.0,
+                "rollup tiers must have distinct resolutions"
+            );
+        }
+        for t in &tiers {
+            assert!(t.res.0 > 0, "rollup resolution must be positive");
+            assert!(t.capacity >= 2, "rollup tier must retain >= 2 buckets");
+        }
+        RollupConfig { tiers }
+    }
+
+    /// 1 m × 2880 (48 h) + 1 h × 2160 (90 days) — the standard
+    /// Knowledge-layer pyramid (~242 KiB per metric).
+    pub fn standard() -> Self {
+        Self::new(vec![
+            RollupTier::new(RES_1M, 2880),
+            RollupTier::new(RES_1H, 2160),
+        ])
+    }
+
+    /// 1 m × 180 (3 h) + 1 h × 336 (2 weeks) — compact pyramid
+    /// (~25 KiB per metric) for high-cardinality per-job metrics.
+    pub fn compact() -> Self {
+        Self::new(vec![
+            RollupTier::new(RES_1M, 180),
+            RollupTier::new(RES_1H, 336),
+        ])
+    }
+
+    /// The tiers, fine→coarse.
+    pub fn tiers(&self) -> &[RollupTier] {
+        &self.tiers
+    }
+}
+
+impl Default for RollupConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Bounded ring of non-empty aggregate buckets at one resolution,
+/// ordered by slot start.
+///
+/// Only slots that received samples are stored (a telemetry gap costs no
+/// memory); eviction is oldest-first by bucket count, so retained
+/// coverage is always a contiguous time suffix.
+#[derive(Debug, Clone)]
+pub struct RollupRing {
+    res: u64,
+    capacity: usize,
+    buckets: VecDeque<RollupBucket>,
+}
+
+impl RollupRing {
+    fn new(tier: RollupTier) -> Self {
+        RollupRing {
+            res: tier.res.0,
+            capacity: tier.capacity.max(2),
+            buckets: VecDeque::new(),
+        }
+    }
+
+    /// Bucket width of this ring.
+    pub fn res(&self) -> SimDuration {
+        SimDuration(self.res)
+    }
+
+    /// Retained (non-empty) bucket count.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no buckets are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Retention capacity in buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate retained buckets oldest → newest.
+    pub fn buckets(&self) -> impl Iterator<Item = &RollupBucket> {
+        self.buckets.iter()
+    }
+
+    /// Span `[oldest.start, newest.start + res)` currently represented,
+    /// or `None` when empty. Every raw sample accepted since the oldest
+    /// retained bucket began is folded into some retained bucket.
+    pub fn coverage(&self) -> Option<(SimTime, SimTime)> {
+        let first = self.buckets.front()?;
+        let last = self.buckets.back()?;
+        Some((first.start, SimTime(last.start.0.saturating_add(self.res))))
+    }
+
+    /// Start of the oldest retained bucket.
+    fn oldest_start(&self) -> Option<u64> {
+        self.buckets.front().map(|b| b.start.0)
+    }
+
+    /// End of the sealed region: everything before the newest bucket's
+    /// start can no longer change (raw appends are monotone in time).
+    /// The newest bucket itself is unsealed and never served.
+    fn sealed_end(&self) -> Option<u64> {
+        self.buckets.back().map(|b| b.start.0)
+    }
+
+    /// Fold one accepted raw sample into its slot. Timestamps arrive
+    /// non-decreasing (the raw ring rejects out-of-order samples before
+    /// they reach the rollup tier), so folds only ever target the newest
+    /// slot or open a newer one.
+    fn fold(&mut self, t: SimTime, v: f64) {
+        let Some(start) =
+            t.0.checked_div(self.res)
+                .and_then(|k| k.checked_mul(self.res))
+        else {
+            return;
+        };
+        match self.buckets.back_mut() {
+            Some(b) if b.start.0 == start => b.fold(v),
+            Some(b) if b.start.0 > start => {
+                // Unreachable through the store (raw rejects out-of-order
+                // samples); dropped defensively rather than corrupting
+                // the sealed region.
+                debug_assert!(false, "rollup fold earlier than newest bucket");
+            }
+            _ => {
+                if self.buckets.len() == self.capacity {
+                    self.buckets.pop_front();
+                }
+                self.buckets.push_back(RollupBucket::new(SimTime(start), v));
+            }
+        }
+    }
+
+    /// Merge every retained bucket with `lo <= start < hi` into `acc`,
+    /// oldest first. Returns the number of buckets merged.
+    fn fold_range(&self, lo: u64, hi: u64, acc: &mut RollupAcc) -> usize {
+        let from = self.buckets.partition_point(|b| b.start.0 < lo);
+        let mut merged = 0;
+        for b in self.buckets.iter().skip(from) {
+            if b.start.0 >= hi {
+                break;
+            }
+            acc.merge_bucket(b);
+            merged += 1;
+        }
+        merged
+    }
+}
+
+/// A metric's rollup pyramid: one [`RollupRing`] per configured tier,
+/// fine→coarse.
+#[derive(Debug, Clone)]
+pub struct RollupSet {
+    rings: Vec<RollupRing>,
+}
+
+impl RollupSet {
+    /// Empty pyramid per `config`.
+    pub fn new(config: &RollupConfig) -> Self {
+        RollupSet {
+            rings: config.tiers.iter().map(|&t| RollupRing::new(t)).collect(),
+        }
+    }
+
+    /// Pyramid backfilled from a series' retained raw samples — the shape
+    /// used when rollups are enabled on a metric that already has data.
+    pub fn from_series(config: &RollupConfig, series: &TimeSeries) -> Self {
+        let mut set = Self::new(config);
+        for s in series.iter() {
+            set.fold(s.t, s.value);
+        }
+        set
+    }
+
+    /// Fold one accepted sample into every tier (O(tiers), allocation-free
+    /// except when a tier opens its very first buckets).
+    pub fn fold(&mut self, t: SimTime, v: f64) {
+        for ring in &mut self.rings {
+            ring.fold(t, v);
+        }
+    }
+
+    /// The rings, fine→coarse.
+    pub fn rings(&self) -> &[RollupRing] {
+        &self.rings
+    }
+
+    /// Finest (smallest-resolution) tier width.
+    pub fn finest_res(&self) -> SimDuration {
+        SimDuration(self.rings.first().map(|r| r.res).unwrap_or(u64::MAX))
+    }
+}
+
+/// Streaming combiner for rollup buckets and raw splices: the same
+/// count/sum/min/max/last state as a bucket, merged in time order.
+#[derive(Debug, Clone, Copy)]
+pub struct RollupAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl Default for RollupAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollupAcc {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RollupAcc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: f64::NAN,
+        }
+    }
+
+    /// Clear for reuse.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Fold one raw value.
+    #[inline]
+    pub fn push_value(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    /// Merge one pre-folded bucket (must be later in time than everything
+    /// merged so far, so `last` stays the newest value).
+    #[inline]
+    pub fn merge_bucket(&mut self, b: &RollupBucket) {
+        self.count += b.count;
+        self.sum += b.sum;
+        self.min = self.min.min(b.min);
+        self.max = self.max.max(b.max);
+        self.last = b.last;
+    }
+
+    /// Samples folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finish as `agg`, `None` when nothing was folded (the empty-window
+    /// shape). `Percentile` is not servable and must not reach here.
+    pub fn finish(&self, agg: WindowAgg) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match agg {
+            WindowAgg::Count => self.count as f64,
+            WindowAgg::Sum => self.sum,
+            WindowAgg::Mean => self.sum / self.count as f64,
+            WindowAgg::Min => self.min,
+            WindowAgg::Max => self.max,
+            WindowAgg::Last => self.last,
+            WindowAgg::Percentile(_) => {
+                unreachable!("Percentile is not rollup-servable; planner routes it to raw")
+            }
+        })
+    }
+}
+
+/// Serve the half-open span `[lo, hi)` (raw milliseconds) into `acc`:
+/// the coarsest ring contributes its aligned, sealed, retained sub-span;
+/// the ragged edges recurse into finer rings and bottom out at the raw
+/// series. Returns the number of rollup buckets merged.
+fn fold_span(
+    rings: &[RollupRing],
+    raw: &TimeSeries,
+    lo: u64,
+    hi: u64,
+    acc: &mut RollupAcc,
+) -> usize {
+    if lo >= hi {
+        return 0;
+    }
+    let Some((ring, finer)) = rings.split_last() else {
+        for v in raw.range_view(SimTime(lo), SimTime(hi)).values() {
+            acc.push_value(v);
+        }
+        return 0;
+    };
+    // Aligned candidate span inside [lo, hi), clamped to what the ring
+    // retains (oldest bucket) and has sealed (everything before the
+    // newest bucket). The unsealed tail bucket is never served; the tail
+    // edge recursion splices it from finer tiers and ultimately raw.
+    let aligned_lo = lo.div_ceil(ring.res).saturating_mul(ring.res);
+    let aligned_hi = hi / ring.res * ring.res;
+    let (c0, c1) = match (ring.oldest_start(), ring.sealed_end()) {
+        (Some(oldest), Some(sealed)) => (aligned_lo.max(oldest), aligned_hi.min(sealed)),
+        _ => (1, 0),
+    };
+    if c0 >= c1 {
+        return fold_span(finer, raw, lo, hi, acc);
+    }
+    let mut merged = fold_span(finer, raw, lo, c0, acc);
+    merged += ring.fold_range(c0, c1, acc);
+    merged += fold_span(finer, raw, c1, hi, acc);
+    merged
+}
+
+/// Planner-backed trailing-window aggregate over `(now - window, now]`.
+///
+/// Routes through the rollup pyramid when `agg` is servable and the
+/// window is at least one finest-tier bucket wide; otherwise (and for
+/// every sub-span rollups cannot serve) falls back to the raw
+/// binary-searched view. Returns the aggregate and whether any rollup
+/// bucket was used.
+pub fn plan_window_agg(
+    raw: &TimeSeries,
+    rollups: Option<&RollupSet>,
+    now: SimTime,
+    window: SimDuration,
+    agg: WindowAgg,
+) -> (Option<f64>, bool) {
+    if let Some(set) = rollups {
+        if agg.rollup_servable() && window.0 >= set.finest_res().0 {
+            // (t0, now] == [t0 + 1, now + 1) on integer-millisecond time.
+            let lo = now.0.saturating_sub(window.0).saturating_add(1);
+            let hi = now.0.saturating_add(1);
+            let mut acc = RollupAcc::new();
+            let merged = fold_span(set.rings(), raw, lo, hi, &mut acc);
+            // Even when no sealed bucket intersected the window (merged
+            // == 0, e.g. everything sits in the unsealed tail), the
+            // accumulator already holds the complete raw fold of the
+            // span — finishing it here avoids re-scanning the same
+            // samples through the fallback below.
+            return (acc.finish(agg), merged > 0);
+        }
+    }
+    let view = raw.window_view(now, window);
+    let out = if view.is_empty() {
+        None
+    } else {
+        Some(view.aggregate(agg))
+    };
+    (out, false)
+}
+
+/// Planner-backed streaming resample of `[t0, t1)` into `period` buckets
+/// (see [`crate::tsdb::Tsdb::resample_into`] for the output shape).
+///
+/// Each output bucket is served independently through the same cascade
+/// as [`plan_window_agg`]; with `t0` and `period` aligned to a tier's
+/// resolution a sealed bucket costs O(period/res) merges and no raw
+/// reads at all.
+///
+/// Returns `None` when the query is not plannable (no rollups, a
+/// non-servable `agg`, or sub-bucket `period`) and `out` is untouched —
+/// the caller must fall back to the raw resample kernel. Otherwise fills
+/// `out` and returns `Some(used)`, where `used` says whether any rollup
+/// bucket actually contributed (false means every bucket was spliced
+/// from raw, e.g. an entirely-unsealed span).
+pub fn plan_resample_into(
+    raw: &TimeSeries,
+    rollups: Option<&RollupSet>,
+    t0: SimTime,
+    t1: SimTime,
+    period: SimDuration,
+    agg: WindowAgg,
+    out: &mut Vec<Option<f64>>,
+) -> Option<bool> {
+    assert!(period.0 > 0, "resample period must be positive");
+    let set = match rollups {
+        Some(set) if agg.rollup_servable() && period.0 >= set.finest_res().0 => set,
+        _ => return None,
+    };
+    out.clear();
+    let nb = (t1.0.saturating_sub(t0.0)).div_ceil(period.0) as usize;
+    out.reserve(nb);
+    let mut used = false;
+    let mut acc = RollupAcc::new();
+    for i in 0..nb as u64 {
+        let lo = t0.0.saturating_add(i * period.0);
+        let hi = t0.0.saturating_add((i + 1) * period.0).min(t1.0);
+        acc.reset();
+        used |= fold_span(set.rings(), raw, lo, hi, &mut acc) > 0;
+        out.push(acc.finish(agg));
+    }
+    Some(used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pairs: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(1 << 16);
+        for &(t, v) in pairs {
+            assert!(s.push(SimTime(t), v));
+        }
+        s
+    }
+
+    fn minute_cfg(cap: usize) -> RollupConfig {
+        RollupConfig::new(vec![RollupTier::new(RES_1M, cap)])
+    }
+
+    #[test]
+    fn buckets_fold_incrementally() {
+        let cfg = minute_cfg(16);
+        let mut set = RollupSet::new(&cfg);
+        for s in 0..180u64 {
+            set.fold(SimTime::from_secs(s), s as f64);
+        }
+        let ring = &set.rings()[0];
+        assert_eq!(ring.len(), 3);
+        let b: Vec<&RollupBucket> = ring.buckets().collect();
+        assert_eq!(b[0].start, SimTime::ZERO);
+        assert_eq!(b[0].count, 60);
+        assert_eq!(b[0].min, 0.0);
+        assert_eq!(b[0].max, 59.0);
+        assert_eq!(b[0].last, 59.0);
+        assert_eq!(b[0].sum, (0..60).sum::<u64>() as f64);
+        assert_eq!(b[2].start, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_reports_coverage() {
+        let cfg = minute_cfg(2);
+        let mut set = RollupSet::new(&cfg);
+        for m in 0..5u64 {
+            set.fold(SimTime::from_secs(m * 60), m as f64);
+        }
+        let ring = &set.rings()[0];
+        assert_eq!(ring.len(), 2);
+        let (c0, c1) = ring.coverage().unwrap();
+        assert_eq!(c0, SimTime::from_secs(180));
+        assert_eq!(c1, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn gaps_cost_no_buckets() {
+        let cfg = minute_cfg(8);
+        let mut set = RollupSet::new(&cfg);
+        set.fold(SimTime::from_secs(0), 1.0);
+        set.fold(SimTime::from_secs(600), 2.0); // nine empty minutes skipped
+        assert_eq!(set.rings()[0].len(), 2);
+    }
+
+    #[test]
+    fn planner_matches_raw_on_sealed_span() {
+        let pairs: Vec<(u64, f64)> = (0..600u64)
+            .map(|s| (s * 1000, ((s * 7919) % 101) as f64))
+            .collect();
+        let raw = series(&pairs);
+        let set = RollupSet::from_series(&minute_cfg(32), &raw);
+        let now = SimTime::from_secs(599);
+        let window = SimDuration::from_secs(480);
+        for agg in [
+            WindowAgg::Count,
+            WindowAgg::Sum,
+            WindowAgg::Mean,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Last,
+        ] {
+            let (planned, used) = plan_window_agg(&raw, Some(&set), now, window, agg);
+            assert!(used, "{agg:?} should touch rollups");
+            let view = raw.window_view(now, window);
+            let want = view.aggregate(agg);
+            let got = planned.unwrap();
+            assert!(
+                (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                "{agg:?}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_never_served_from_rollups() {
+        let raw = series(&[(0, 1.0), (60_000, 2.0), (120_000, 3.0), (180_000, 4.0)]);
+        let set = RollupSet::from_series(&minute_cfg(8), &raw);
+        let (out, used) = plan_window_agg(
+            &raw,
+            Some(&set),
+            SimTime::from_secs(180),
+            SimDuration::from_secs(180),
+            WindowAgg::Percentile(0.5),
+        );
+        assert!(!used);
+        assert!(out.is_some());
+    }
+
+    #[test]
+    fn unsealed_tail_bucket_is_never_merged() {
+        // All data inside one minute bucket: the only bucket is unsealed,
+        // so the planner must answer entirely from raw.
+        let raw = series(&[(1_000, 5.0), (2_000, 7.0), (30_000, 9.0)]);
+        let set = RollupSet::from_series(&minute_cfg(8), &raw);
+        let (out, used) = plan_window_agg(
+            &raw,
+            Some(&set),
+            SimTime::from_secs(59),
+            SimDuration::from_secs(59),
+            WindowAgg::Max,
+        );
+        assert!(!used);
+        assert_eq!(out, Some(9.0));
+    }
+
+    #[test]
+    fn rollups_outlive_raw_retention() {
+        // Raw keeps 32 samples; rollups remember the whole span.
+        let mut raw = TimeSeries::new(32);
+        let cfg = minute_cfg(64);
+        let mut set = RollupSet::new(&cfg);
+        for s in 0..600u64 {
+            let t = SimTime::from_secs(s);
+            assert!(raw.push(t, 1.0));
+            set.fold(t, 1.0);
+        }
+        let now = SimTime::from_secs(599);
+        let window = SimDuration::from_secs(600);
+        // Raw path only sees its retained tail...
+        let raw_count = raw.window_view(now, window).len();
+        assert_eq!(raw_count, 32);
+        // ...while the planner reconstructs the sealed middle from
+        // rollups and splices the unsealed tail from raw: 8 sealed
+        // minute buckets [60 s, 540 s) = 480 samples + the 32 retained
+        // raw samples of the tail. Only the ragged head edge (the first
+        // minute, unaligned because windows are open at t0) stays lost
+        // with the evicted raw samples.
+        let (count, used) = plan_window_agg(&raw, Some(&set), now, window, WindowAgg::Count);
+        assert!(used);
+        assert_eq!(count, Some(512.0));
+    }
+
+    #[test]
+    fn resample_planned_matches_unplanned_shape() {
+        let pairs: Vec<(u64, f64)> = (0..7200u64).map(|s| (s * 1000, (s % 97) as f64)).collect();
+        let raw = series(&pairs);
+        let set = RollupSet::from_series(&RollupConfig::standard(), &raw);
+        let mut planned = Vec::new();
+        let used = plan_resample_into(
+            &raw,
+            Some(&set),
+            SimTime::ZERO,
+            SimTime::from_secs(7200),
+            SimDuration::from_secs(60),
+            WindowAgg::Mean,
+            &mut planned,
+        );
+        assert_eq!(used, Some(true));
+        assert_eq!(planned.len(), 120);
+        // Reference: fold each bucket from the raw view directly.
+        for (i, got) in planned.iter().enumerate() {
+            let view = raw.range_view(
+                SimTime::from_secs(i as u64 * 60),
+                SimTime::from_secs((i as u64 + 1) * 60),
+            );
+            let want = view.aggregate(WindowAgg::Mean);
+            let got = got.expect("dense data has no gaps");
+            assert!((got - want).abs() < 1e-9, "bucket {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn config_sorts_and_validates() {
+        let cfg = RollupConfig::new(vec![
+            RollupTier::new(RES_1H, 24),
+            RollupTier::new(RES_1M, 60),
+        ]);
+        assert_eq!(cfg.tiers()[0].res, RES_1M);
+        assert_eq!(cfg.tiers()[1].res, RES_1H);
+        assert_eq!(RollupConfig::default(), RollupConfig::standard());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct resolutions")]
+    fn duplicate_resolutions_rejected() {
+        RollupConfig::new(vec![
+            RollupTier::new(RES_1M, 10),
+            RollupTier::new(RES_1M, 20),
+        ]);
+    }
+}

@@ -27,6 +27,7 @@
 //! insert-rate consideration.
 
 use crate::metric::{MetricId, MetricMeta};
+use crate::rollup::{self, RollupConfig, RollupSet};
 use crate::series::{Sample, SampleView, TimeSeries};
 use crate::window::{AggAccum, WindowAgg};
 use moda_sim::{SimDuration, SimTime};
@@ -41,14 +42,73 @@ pub const DEFAULT_RETENTION: usize = 4096;
 /// Default stripe count for [`ShardedTsdb`].
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// One metric's storage: the raw ring plus its optional rollup pyramid.
+/// Accepted appends fold into both; rejected (out-of-order) appends touch
+/// neither, so the tiers never disagree about what was stored.
+#[derive(Debug, Clone)]
+struct Stored {
+    raw: TimeSeries,
+    rollups: Option<RollupSet>,
+}
+
+impl Stored {
+    fn new(capacity: usize, rollups: Option<&RollupConfig>) -> Self {
+        Stored {
+            raw: TimeSeries::new(capacity),
+            rollups: rollups.map(RollupSet::new),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, t: SimTime, value: f64) -> bool {
+        let ok = self.raw.push(t, value);
+        if ok {
+            if let Some(r) = &mut self.rollups {
+                r.fold(t, value);
+            }
+        }
+        ok
+    }
+
+    /// Enable (or reconfigure) rollups, backfilling from retained raw
+    /// samples so the pyramid and the ring agree from the first query.
+    fn enable_rollups(&mut self, config: &RollupConfig) {
+        self.rollups = Some(RollupSet::from_series(config, &self.raw));
+    }
+
+    fn window_agg(&self, now: SimTime, window: SimDuration, agg: WindowAgg) -> (Option<f64>, bool) {
+        rollup::plan_window_agg(&self.raw, self.rollups.as_ref(), now, window, agg)
+    }
+
+    fn resample_into(
+        &self,
+        t0: SimTime,
+        t1: SimTime,
+        period: SimDuration,
+        agg: WindowAgg,
+        out: &mut Vec<Option<f64>>,
+    ) -> bool {
+        match rollup::plan_resample_into(&self.raw, self.rollups.as_ref(), t0, t1, period, agg, out)
+        {
+            Some(used) => used,
+            None => {
+                resample_view(&self.raw.range_view(t0, t1), t0, t1, period, agg, out);
+                false
+            }
+        }
+    }
+}
+
 /// Registry + storage for all metrics of one managed system.
 #[derive(Debug, Default)]
 pub struct Tsdb {
     metas: Vec<MetricMeta>,
-    series: Vec<TimeSeries>,
+    series: Vec<Stored>,
     by_name: HashMap<String, MetricId>,
     default_capacity: usize,
+    default_rollups: Option<RollupConfig>,
     inserts: u64,
+    rollup_hits: AtomicU64,
 }
 
 /// Thread-shared handle used by the threaded loop runtime: a sharded,
@@ -64,7 +124,9 @@ impl Tsdb {
             series: Vec::new(),
             by_name: HashMap::new(),
             default_capacity: DEFAULT_RETENTION,
+            default_rollups: None,
             inserts: 0,
+            rollup_hits: AtomicU64::new(0),
         }
     }
 
@@ -92,7 +154,10 @@ impl Tsdb {
         let id = MetricId(self.metas.len() as u32);
         self.by_name.insert(meta.name.clone(), id);
         self.metas.push(meta);
-        self.series.push(TimeSeries::new(self.default_capacity));
+        self.series.push(Stored::new(
+            self.default_capacity,
+            self.default_rollups.as_ref(),
+        ));
         id
     }
 
@@ -101,9 +166,48 @@ impl Tsdb {
         let fresh = !self.by_name.contains_key(&meta.name);
         let id = self.register(meta);
         if fresh {
-            self.series[id.index()] = TimeSeries::new(capacity.max(1));
+            self.series[id.index()] = Stored::new(capacity.max(1), self.default_rollups.as_ref());
         }
         id
+    }
+
+    /// Rollup pyramid applied to metrics registered **after** this call
+    /// (`None` disables). Existing metrics are untouched — use
+    /// [`Tsdb::enable_rollups`] for those.
+    pub fn set_rollup_policy(&mut self, config: Option<RollupConfig>) {
+        self.default_rollups = config;
+    }
+
+    /// Enable (or reconfigure) the rollup tier for one metric,
+    /// backfilling from its retained raw samples. **Resets** any existing
+    /// pyramid — sealed buckets that outlived raw retention are lost;
+    /// use [`Tsdb::ensure_rollups`] when the metric may already have one.
+    pub fn enable_rollups(&mut self, id: MetricId, config: &RollupConfig) {
+        self.series[id.index()].enable_rollups(config);
+    }
+
+    /// Enable rollups only when the metric has none yet (the idempotent
+    /// shape for re-registration paths: an existing pyramid's sealed
+    /// history, which outlives raw retention, is never discarded).
+    /// Returns whether rollups were newly enabled.
+    pub fn ensure_rollups(&mut self, id: MetricId, config: &RollupConfig) -> bool {
+        let stored = &mut self.series[id.index()];
+        if stored.rollups.is_some() {
+            return false;
+        }
+        stored.enable_rollups(config);
+        true
+    }
+
+    /// The metric's rollup pyramid, if enabled.
+    pub fn rollups(&self, id: MetricId) -> Option<&RollupSet> {
+        self.series[id.index()].rollups.as_ref()
+    }
+
+    /// Lifetime count of aggregate/resample queries that read at least
+    /// one rollup bucket instead of scanning raw samples.
+    pub fn rollup_hits(&self) -> u64 {
+        self.rollup_hits.load(Ordering::Relaxed)
     }
 
     /// Look up a metric id by name.
@@ -145,14 +249,15 @@ impl Tsdb {
         }
     }
 
-    /// Immutable access to a series.
+    /// Immutable access to a series (the raw ring; rollups are reached
+    /// through [`Tsdb::rollups`] or implicitly via the aggregate queries).
     pub fn series(&self, id: MetricId) -> &TimeSeries {
-        &self.series[id.index()]
+        &self.series[id.index()].raw
     }
 
     /// Most recent sample of a metric.
     pub fn latest(&self, id: MetricId) -> Option<Sample> {
-        self.series[id.index()].latest()
+        self.series[id.index()].raw.latest()
     }
 
     /// Most recent value of a metric.
@@ -163,7 +268,7 @@ impl Tsdb {
     /// Zero-allocation view of `id`'s samples in the trailing `window`
     /// ending at `now`.
     pub fn window_view(&self, id: MetricId, now: SimTime, window: SimDuration) -> SampleView<'_> {
-        self.series[id.index()].window_view(now, window)
+        self.series[id.index()].raw.window_view(now, window)
     }
 
     /// Samples of `id` in the trailing `window` ending at `now` (owned;
@@ -174,6 +279,12 @@ impl Tsdb {
 
     /// Fold `agg` over the trailing window without materializing samples.
     /// `None` when the window holds no samples.
+    ///
+    /// When the metric has rollups enabled and `agg` is
+    /// [rollup-servable](WindowAgg::rollup_servable), sealed buckets are
+    /// read pre-folded and only the ragged window edges (and the unsealed
+    /// tail bucket) touch raw samples — O(window/res) instead of
+    /// O(samples) for wide Analyze windows.
     pub fn window_agg(
         &self,
         id: MetricId,
@@ -181,19 +292,23 @@ impl Tsdb {
         window: SimDuration,
         agg: WindowAgg,
     ) -> Option<f64> {
-        agg_of_view(&self.window_view(id, now, window), agg)
+        let (out, used_rollups) = self.series[id.index()].window_agg(now, window, agg);
+        if used_rollups {
+            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
     }
 
     /// Fold `agg` over the last `n` samples without materializing them.
-    /// `None` when the series is empty.
+    /// `None` when the series is empty. Count-based, so always raw.
     pub fn latest_n_agg(&self, id: MetricId, n: usize, agg: WindowAgg) -> Option<f64> {
-        agg_of_view(&self.series[id.index()].last_n_view(n), agg)
+        agg_of_view(&self.series[id.index()].raw.last_n_view(n), agg)
     }
 
     /// Linearly interpolated value of `id` at `t` (O(log n); `None`
     /// outside the retained span).
     pub fn value_at(&self, id: MetricId, t: SimTime) -> Option<f64> {
-        self.series[id.index()].value_at(t)
+        self.series[id.index()].raw.value_at(t)
     }
 
     /// Downsample a series to fixed `period` buckets over `[t0, t1)`,
@@ -217,7 +332,9 @@ impl Tsdb {
 
     /// Streaming [`Tsdb::resample`] into a caller-owned buffer: one pass
     /// over a binary-searched view, folding each bucket through a single
-    /// reusable [`AggAccum`] — no per-bucket allocations.
+    /// reusable [`AggAccum`] — no per-bucket allocations. Sealed rollup
+    /// buckets are spliced in when the metric has rollups enabled and the
+    /// requested `period` is at least one finest-tier bucket wide.
     pub fn resample_into(
         &self,
         id: MetricId,
@@ -227,14 +344,9 @@ impl Tsdb {
         agg: WindowAgg,
         out: &mut Vec<Option<f64>>,
     ) {
-        resample_view(
-            &self.series[id.index()].range_view(t0, t1),
-            t0,
-            t1,
-            period,
-            agg,
-            out,
-        );
+        if self.series[id.index()].resample_into(t0, t1, period, agg, out) {
+            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// All registered metric names (registry order = id order).
@@ -303,6 +415,7 @@ pub struct ShardedTsdb {
     registry: RwLock<Registry>,
     shards: Box<[RwLock<Shard>]>,
     inserts: AtomicU64,
+    rollup_hits: AtomicU64,
     default_capacity: usize,
 }
 
@@ -310,11 +423,13 @@ pub struct ShardedTsdb {
 struct Registry {
     metas: Vec<MetricMeta>,
     by_name: HashMap<String, MetricId>,
+    /// Rollup pyramid applied to newly registered metrics.
+    default_rollups: Option<RollupConfig>,
 }
 
 #[derive(Debug, Default)]
 struct Shard {
-    series: Vec<TimeSeries>,
+    series: Vec<Stored>,
 }
 
 impl ShardedTsdb {
@@ -332,18 +447,20 @@ impl ShardedTsdb {
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
             inserts: AtomicU64::new(0),
+            rollup_hits: AtomicU64::new(0),
             default_capacity: capacity.max(1),
         }
     }
 
     /// Build from a single-owner [`Tsdb`], distributing its series across
-    /// stripes and preserving ids, data, and counters.
+    /// stripes and preserving ids, data, rollups, and counters.
     pub fn from_tsdb(db: Tsdb, n_shards: usize) -> Self {
         let sharded = Self::with_config(db.default_capacity, n_shards);
         {
             let mut reg = sharded.registry.write();
             reg.metas = db.metas;
             reg.by_name = db.by_name;
+            reg.default_rollups = db.default_rollups;
         }
         for (i, series) in db.series.into_iter().enumerate() {
             let id = MetricId(i as u32);
@@ -352,6 +469,9 @@ impl ShardedTsdb {
             shard.series.push(series);
         }
         sharded.inserts.store(db.inserts, Ordering::Relaxed);
+        sharded
+            .rollup_hits
+            .store(db.rollup_hits.load(Ordering::Relaxed), Ordering::Relaxed);
         sharded
     }
 
@@ -393,10 +513,57 @@ impl ShardedTsdb {
         // registry write lock orders concurrent registrations.
         let mut shard = self.shards[self.shard_of(id)].write();
         debug_assert_eq!(shard.series.len(), self.slot_of(id));
-        shard
-            .series
-            .push(TimeSeries::new(capacity.unwrap_or(self.default_capacity)));
+        shard.series.push(Stored::new(
+            capacity.unwrap_or(self.default_capacity),
+            reg.default_rollups.as_ref(),
+        ));
         id
+    }
+
+    /// Rollup pyramid applied to metrics registered **after** this call
+    /// (`None` disables). Existing metrics are untouched — use
+    /// [`ShardedTsdb::enable_rollups`] for those.
+    pub fn set_rollup_policy(&self, config: Option<RollupConfig>) {
+        self.registry.write().default_rollups = config;
+    }
+
+    /// Enable (or reconfigure) the rollup tier for one metric,
+    /// backfilling from its retained raw samples under the stripe's
+    /// write lock. **Resets** any existing pyramid — sealed buckets that
+    /// outlived raw retention are lost; use
+    /// [`ShardedTsdb::ensure_rollups`] when the metric may already have
+    /// one.
+    pub fn enable_rollups(&self, id: MetricId, config: &RollupConfig) {
+        let slot = self.slot_of(id);
+        self.shards[self.shard_of(id)].write().series[slot].enable_rollups(config);
+    }
+
+    /// Enable rollups only when the metric has none yet (check and
+    /// backfill atomically under the stripe write lock). Returns whether
+    /// rollups were newly enabled.
+    pub fn ensure_rollups(&self, id: MetricId, config: &RollupConfig) -> bool {
+        let slot = self.slot_of(id);
+        let mut shard = self.shards[self.shard_of(id)].write();
+        let stored = &mut shard.series[slot];
+        if stored.rollups.is_some() {
+            return false;
+        }
+        stored.enable_rollups(config);
+        true
+    }
+
+    /// Whether the metric currently maintains rollups.
+    pub fn rollups_enabled(&self, id: MetricId) -> bool {
+        let slot = self.slot_of(id);
+        self.shards[self.shard_of(id)].read().series[slot]
+            .rollups
+            .is_some()
+    }
+
+    /// Lifetime count of aggregate/resample queries served (at least
+    /// partly) from rollup buckets across all stripes.
+    pub fn rollup_hits(&self) -> u64 {
+        self.rollup_hits.load(Ordering::Relaxed)
     }
 
     /// Look up a metric id by name.
@@ -474,6 +641,10 @@ impl ShardedTsdb {
     /// Run `f` over a zero-allocation view of the series (the view cannot
     /// escape the stripe's read guard).
     pub fn with_series<R>(&self, id: MetricId, f: impl FnOnce(&TimeSeries) -> R) -> R {
+        self.with_stored(id, |s| f(&s.raw))
+    }
+
+    fn with_stored<R>(&self, id: MetricId, f: impl FnOnce(&Stored) -> R) -> R {
         let slot = self.slot_of(id);
         let guard = self.shards[self.shard_of(id)].read();
         f(&guard.series[slot])
@@ -491,6 +662,9 @@ impl ShardedTsdb {
 
     /// Fold `agg` over the trailing window, allocation-free, holding only
     /// `id`'s stripe read lock. `None` when the window holds no samples.
+    /// Served from sealed rollup buckets when the metric has them and
+    /// `agg` is [rollup-servable](WindowAgg::rollup_servable) (see
+    /// [`Tsdb::window_agg`]).
     pub fn window_agg(
         &self,
         id: MetricId,
@@ -498,7 +672,11 @@ impl ShardedTsdb {
         window: SimDuration,
         agg: WindowAgg,
     ) -> Option<f64> {
-        self.with_series(id, |s| agg_of_view(&s.window_view(now, window), agg))
+        let (out, used_rollups) = self.with_stored(id, |s| s.window_agg(now, window, agg));
+        if used_rollups {
+            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
     }
 
     /// Fold `agg` over the last `n` samples, allocation-free.
@@ -518,7 +696,8 @@ impl ShardedTsdb {
     }
 
     /// Streaming resample into a caller-owned buffer (see
-    /// [`Tsdb::resample_into`]).
+    /// [`Tsdb::resample_into`]); sealed rollup buckets are spliced in
+    /// when available.
     pub fn resample_into(
         &self,
         id: MetricId,
@@ -528,9 +707,9 @@ impl ShardedTsdb {
         agg: WindowAgg,
         out: &mut Vec<Option<f64>>,
     ) {
-        self.with_series(id, |s| {
-            resample_view(&s.range_view(t0, t1), t0, t1, period, agg, out)
-        })
+        if self.with_stored(id, |s| s.resample_into(t0, t1, period, agg, out)) {
+            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -891,6 +1070,165 @@ mod tests {
         for id in &ids {
             assert_eq!(db.latest(*id).unwrap().t, SimTime(1999));
         }
+    }
+
+    // ------------------------------------------------------- rollups
+
+    #[test]
+    fn rollup_routing_serves_wide_windows_and_counts_hits() {
+        use crate::rollup::RollupConfig;
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = gauge(&mut db, "x");
+        db.enable_rollups(id, &RollupConfig::standard());
+        for s in 0..7200u64 {
+            db.insert(id, SimTime::from_secs(s), (s % 17) as f64);
+        }
+        assert!(db.rollups(id).is_some());
+        let now = SimTime::from_secs(7199);
+        let wide = SimDuration::from_secs(7000);
+        assert_eq!(db.rollup_hits(), 0);
+        for agg in [
+            WindowAgg::Count,
+            WindowAgg::Sum,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Last,
+        ] {
+            let got = db.window_agg(id, now, wide, agg).unwrap();
+            let want = db.window_view(id, now, wide).aggregate(agg);
+            assert_eq!(got, want, "{agg:?}");
+        }
+        let mean = db.window_agg(id, now, wide, WindowAgg::Mean).unwrap();
+        let want = db.window_view(id, now, wide).aggregate(WindowAgg::Mean);
+        assert!((mean - want).abs() < 1e-9);
+        assert_eq!(db.rollup_hits(), 6);
+        // Percentile must not count as a rollup hit (raw fallback).
+        db.window_agg(id, now, wide, WindowAgg::Percentile(0.9));
+        assert_eq!(db.rollup_hits(), 6);
+    }
+
+    #[test]
+    fn rollup_policy_applies_to_new_registrations_only() {
+        use crate::rollup::RollupConfig;
+        let mut db = db();
+        let before = gauge(&mut db, "before");
+        db.set_rollup_policy(Some(RollupConfig::compact()));
+        let after = gauge(&mut db, "after");
+        assert!(db.rollups(before).is_none());
+        assert!(db.rollups(after).is_some());
+        // The policy survives the move into the sharded store.
+        let shared = db.into_shared();
+        let late = shared.register(MetricMeta::gauge("late", "u", SourceDomain::Software));
+        assert!(!shared.rollups_enabled(before));
+        assert!(shared.rollups_enabled(after));
+        assert!(shared.rollups_enabled(late));
+    }
+
+    #[test]
+    fn sharded_rollup_window_agg_matches_raw() {
+        use crate::rollup::RollupConfig;
+        let db = ShardedTsdb::with_config(1 << 14, 4);
+        let id = db.register(MetricMeta::gauge("r", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &RollupConfig::standard());
+        for s in 0..5000u64 {
+            db.insert(id, SimTime::from_secs(s), ((s * 31) % 101) as f64);
+        }
+        let now = SimTime::from_secs(4999);
+        let w = SimDuration::from_secs(4000);
+        let got = db.window_agg(id, now, w, WindowAgg::Max).unwrap();
+        let want = db.with_series(id, |s| s.window_view(now, w).aggregate(WindowAgg::Max));
+        assert_eq!(got, want);
+        assert!(db.rollup_hits() > 0);
+        // Resample through rollups matches the raw kernel.
+        let mut got = Vec::new();
+        db.resample_into(
+            id,
+            SimTime::ZERO,
+            SimTime::from_secs(4800),
+            SimDuration::from_secs(600),
+            WindowAgg::Sum,
+            &mut got,
+        );
+        let mut want = Vec::new();
+        db.with_series(id, |s| {
+            resample_view(
+                &s.range_view(SimTime::ZERO, SimTime::from_secs(4800)),
+                SimTime::ZERO,
+                SimTime::from_secs(4800),
+                SimDuration::from_secs(600),
+                WindowAgg::Sum,
+                &mut want,
+            )
+        });
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            match (g, w) {
+                (Some(g), Some(w)) => assert!((g - w).abs() < 1e-6),
+                (g, w) => assert_eq!(g, w),
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_rollups_preserves_history_beyond_raw_retention() {
+        use crate::rollup::RollupConfig;
+        // Tiny raw ring: sealed rollup buckets quickly outlive it.
+        let mut db = Tsdb::with_retention(16);
+        let id = gauge(&mut db, "x");
+        let cfg = RollupConfig::compact();
+        assert!(db.ensure_rollups(id, &cfg));
+        for s in 0..600u64 {
+            db.insert(id, SimTime::from_secs(s), 1.0);
+        }
+        let count = |db: &Tsdb| {
+            db.window_agg(
+                id,
+                SimTime::from_secs(599),
+                SimDuration::from_secs(599),
+                WindowAgg::Count,
+            )
+            .unwrap()
+        };
+        let before = count(&db);
+        assert!(before > 16.0, "rollups must outlive the raw ring");
+        // A re-registration path calling ensure again must not reset the
+        // pyramid to the raw tail...
+        assert!(!db.ensure_rollups(id, &cfg));
+        assert_eq!(count(&db), before);
+        // ...while enable (the explicit reconfigure) does rebuild from
+        // the 16 retained raw samples.
+        db.enable_rollups(id, &cfg);
+        assert!(count(&db) <= 16.0);
+        // Sharded: same contract, and the hit counter migrates.
+        let hits = db.rollup_hits();
+        assert!(hits > 0);
+        let shared = db.into_shared();
+        assert_eq!(shared.rollup_hits(), hits);
+        assert!(!shared.ensure_rollups(id, &cfg));
+    }
+
+    #[test]
+    fn enabling_rollups_late_backfills_retained_history() {
+        use crate::rollup::RollupConfig;
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = gauge(&mut db, "x");
+        for s in 0..600u64 {
+            db.insert(id, SimTime::from_secs(s), s as f64);
+        }
+        db.enable_rollups(id, &RollupConfig::standard());
+        let got = db
+            .window_agg(
+                id,
+                SimTime::from_secs(599),
+                SimDuration::from_secs(590),
+                WindowAgg::Sum,
+            )
+            .unwrap();
+        let want = db
+            .window_view(id, SimTime::from_secs(599), SimDuration::from_secs(590))
+            .aggregate(WindowAgg::Sum);
+        assert!((got - want).abs() < 1e-6);
+        assert!(db.rollup_hits() > 0);
     }
 
     #[test]

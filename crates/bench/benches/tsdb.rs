@@ -200,6 +200,47 @@ fn bench_window_wide(c: &mut Criterion) {
     g.finish();
 }
 
+/// Day-wide tail percentile: the raw selection path (binary-searched
+/// view + O(n) `select_nth_unstable`) versus merging sealed-bucket
+/// quantile sketches (O(window/res), 1 % relative error) — the
+/// Knowledge-layer p99 query the sketch tier exists for. Values follow
+/// a power-style diurnal profile (a realistic per-window dynamic range;
+/// the raw path's cost is distribution-independent). The
+/// `BENCH_tsdb.json` ratio between `raw` and `sketch` is enforced by
+/// the CI bench gate.
+fn bench_percentile_wide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb_percentile_wide");
+    const DAY_S: u64 = 86_400;
+    let (mut db_raw, ids_raw) = registered(1, 90_000);
+    let (mut db_sk, ids_sk) = registered(1, 90_000);
+    db_sk.enable_rollups(ids_sk[0], &RollupConfig::standard().with_sketches());
+    let mut now = SimTime::ZERO;
+    for s in 0..DAY_S {
+        now = SimTime::from_secs(s);
+        let v =
+            200.0 + (s % DAY_S) as f64 / DAY_S as f64 * 150.0 + ((s * 2_654_435_761) % 50) as f64;
+        db_raw.insert(ids_raw[0], now, v);
+        db_sk.insert(ids_sk[0], now, v);
+    }
+    let day = SimDuration::from_secs(DAY_S);
+    g.bench_function("raw", |b| {
+        b.iter(|| {
+            black_box(db_raw.window_agg(
+                ids_raw[0],
+                black_box(now),
+                day,
+                WindowAgg::Percentile(0.99),
+            ))
+        });
+    });
+    g.bench_function("sketch", |b| {
+        b.iter(|| {
+            black_box(db_sk.window_agg(ids_sk[0], black_box(now), day, WindowAgg::Percentile(0.99)))
+        });
+    });
+    g.finish();
+}
+
 /// Percentile aggregation: full-sort (seed) vs O(n) selection.
 fn bench_percentile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_percentile");
@@ -298,6 +339,7 @@ criterion_group!(
     bench_window_query,
     bench_window_wide,
     bench_percentile,
+    bench_percentile_wide,
     bench_resample,
     bench_contention
 );

@@ -39,14 +39,25 @@ use std::process::{Command, ExitCode};
 /// Benchmark groups excluded from the absolute comparison.
 const SKIP_PREFIXES: &[&str] = &["tsdb_contention"];
 
-/// The machine-independent ratio check: (numerator, denominator,
-/// env knob, default minimum speedup).
-const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[(
-    "tsdb_window_wide/raw/86400",
-    "tsdb_window_wide/rollup/86400",
-    "BENCH_GATE_MIN_ROLLUP_SPEEDUP",
-    10.0,
-)];
+/// The machine-independent ratio checks: (numerator, denominator,
+/// env knob, default minimum speedup). Both compare two paths *within
+/// the same run*, so they hold regardless of absolute machine speed:
+/// the wide-window rollup planner vs the raw fold, and the sketch-served
+/// day-wide p99 vs the raw selection path.
+const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
+    (
+        "tsdb_window_wide/raw/86400",
+        "tsdb_window_wide/rollup/86400",
+        "BENCH_GATE_MIN_ROLLUP_SPEEDUP",
+        10.0,
+    ),
+    (
+        "tsdb_percentile_wide/raw",
+        "tsdb_percentile_wide/sketch",
+        "BENCH_GATE_MIN_SKETCH_SPEEDUP",
+        10.0,
+    ),
+];
 
 #[derive(Debug, Clone)]
 struct BenchRec {

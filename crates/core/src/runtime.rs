@@ -301,6 +301,13 @@ pub struct TelemetryFleetConfig {
     pub wide_readers: usize,
     /// Trailing analysis window of the wide readers.
     pub wide_window: SimDuration,
+    /// Tail-latency workload of the wide readers: when set, each wide
+    /// sweep additionally folds `Percentile(q)` over every fleet metric.
+    /// The fleet's rollup config is upgraded to a sketched pyramid so
+    /// these reads merge bucket quantile sketches (1 % relative error)
+    /// instead of running O(samples) selections against the stripes the
+    /// collectors are writing.
+    pub wide_percentile: Option<f64>,
 }
 
 impl Default for TelemetryFleetConfig {
@@ -315,6 +322,7 @@ impl Default for TelemetryFleetConfig {
             rollups: None,
             wide_readers: 0,
             wide_window: SimDuration::from_hours(24),
+            wide_percentile: None,
         }
     }
 }
@@ -332,6 +340,11 @@ pub struct TelemetryFleetStats {
     pub wide: Option<RoundStats>,
     /// Aggregate queries served from rollup buckets during the run.
     pub rollup_hits: u64,
+    /// Percentile queries served from bucket quantile sketches during
+    /// the run (subset of `rollup_hits`; a sketch-free fleet whose
+    /// percentile reads fall back to raw selections reports 0 here —
+    /// the distinction operators watch when sizing rollup policies).
+    pub sketch_hits: u64,
 }
 
 /// Run `cfg.n_loops` threads against one shared sharded store: each
@@ -367,9 +380,17 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
     // The rollup stage: folding happens on the insert path itself, so
     // enabling it before the warm history means every sample lands in
     // both the raw ring and the 1m/1h buckets with no separate pass.
+    // A p99 wide-reader workload needs sketched buckets; upgrade the
+    // config so its percentile reads merge sketches instead of
+    // re-scanning raw samples under the collectors' stripes.
     if let Some(rollup_cfg) = &cfg.rollups {
+        let rollup_cfg = if cfg.wide_percentile.is_some() && !rollup_cfg.sketches() {
+            rollup_cfg.clone().with_sketches()
+        } else {
+            rollup_cfg.clone()
+        };
         for id in fleet_ids.iter().flatten() {
-            db.enable_rollups(*id, rollup_cfg);
+            db.enable_rollups(*id, &rollup_cfg);
         }
     }
 
@@ -385,6 +406,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
     let all_ids: Vec<MetricId> = fleet_ids.iter().flatten().copied().collect();
     let (wide_tx, wide_rx) = channel::unbounded::<f64>();
     let rollup_hits_before = db.rollup_hits();
+    let sketch_hits_before = db.sketch_hits();
     let inserts_before = db.total_inserts();
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -400,6 +422,15 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
                     for id in all_ids {
                         if let Some(v) = db.window_agg(*id, now, cfg.wide_window, cfg.agg) {
                             acc += v;
+                        }
+                        // Tail-latency sweep: wide p99-style reads served
+                        // by merging sealed-bucket sketches.
+                        if let Some(q) = cfg.wide_percentile {
+                            if let Some(v) =
+                                db.window_agg(*id, now, cfg.wide_window, WindowAgg::Percentile(q))
+                            {
+                                acc += v;
+                            }
                         }
                     }
                     std::hint::black_box(acc);
@@ -456,6 +487,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         reads: reads_expected,
         wide,
         rollup_hits: db.rollup_hits() - rollup_hits_before,
+        sketch_hits: db.sketch_hits() - sketch_hits_before,
     }
 }
 
@@ -554,8 +586,39 @@ mod tests {
         assert_eq!(wide.iterations, 2 * 20);
         // The hour-wide reads were answered from sealed rollup buckets.
         assert!(stats.rollup_hits > 0, "wide reads should hit rollups");
+        // No percentile workload → no sketch-served queries.
+        assert_eq!(stats.sketch_hits, 0);
         let id = db.lookup("loop000.metric000").unwrap();
         assert!(db.rollups_enabled(id));
+    }
+
+    #[test]
+    fn telemetry_fleet_p99_workload_is_sketch_served() {
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(8192, 8));
+        let cfg = TelemetryFleetConfig {
+            n_loops: 2,
+            rounds: 20,
+            metrics_per_loop: 4,
+            history: 3600,
+            // Plain config: the driver upgrades it to sketched buckets
+            // because a wide-percentile workload is requested.
+            rollups: Some(moda_telemetry::RollupConfig::standard()),
+            wide_readers: 2,
+            wide_window: SimDuration::from_hours(1),
+            wide_percentile: Some(0.99),
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        let wide = stats.wide.expect("wide readers ran");
+        assert_eq!(wide.iterations, 2 * 20);
+        assert!(
+            stats.sketch_hits > 0,
+            "wide p99 reads should be sketch-served"
+        );
+        assert!(
+            stats.rollup_hits >= stats.sketch_hits,
+            "sketch hits are a subset of rollup hits"
+        );
     }
 
     #[test]

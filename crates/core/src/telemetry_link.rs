@@ -46,9 +46,15 @@ impl TsdbWindowMonitor {
     /// when newly enabled) — the constructor for wide-window
     /// Knowledge-layer monitors. A metric that already has rollups keeps
     /// its existing pyramid untouched (its sealed history outlives raw
-    /// retention and must not be rebuilt from the raw tail). Note
-    /// `Percentile` aggregations are never servable from rollups and
-    /// keep reading raw samples.
+    /// retention and must not be rebuilt from the raw tail).
+    ///
+    /// A `Percentile` monitor upgrades the config to a **sketched**
+    /// pyramid ([`RollupConfig::with_sketches`]) so its wide tail reads
+    /// are served by merging bucket quantile sketches (1 % relative
+    /// error) instead of scanning raw samples — the Knowledge-layer p99
+    /// shape. (If the metric already carries a sketch-free pyramid, the
+    /// ensure is a no-op and the monitor transparently falls back to the
+    /// exact raw path.)
     pub fn with_rollups(
         db: SharedTsdb,
         metric: MetricId,
@@ -56,7 +62,11 @@ impl TsdbWindowMonitor {
         agg: WindowAgg,
         rollups: &RollupConfig,
     ) -> Self {
-        db.ensure_rollups(metric, rollups);
+        if matches!(agg, WindowAgg::Percentile(_)) && !rollups.sketches() {
+            db.ensure_rollups(metric, &rollups.clone().with_sketches());
+        } else {
+            db.ensure_rollups(metric, rollups);
+        }
         Self::new(db, metric, window, agg)
     }
 }
@@ -188,6 +198,41 @@ mod tests {
         assert!(
             shared.rollup_hits() > hits,
             "wide observe should hit rollups"
+        );
+    }
+
+    #[test]
+    fn percentile_monitor_is_served_from_sketches() {
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = db.register(MetricMeta::gauge("lat", "ms", SourceDomain::Software));
+        let shared = db.into_shared();
+        for s in 0..7200u64 {
+            shared.insert(id, SimTime::from_secs(s), ((s * 7919) % 500) as f64);
+        }
+        // The plain (sketch-free) standard config: the constructor must
+        // upgrade it for a percentile monitor.
+        let mut m = TsdbWindowMonitor::with_rollups(
+            shared.clone(),
+            id,
+            SimDuration::from_hours(1),
+            WindowAgg::Percentile(0.99),
+            &moda_telemetry::RollupConfig::standard(),
+        );
+        let sketch_hits = shared.sketch_hits();
+        let now = SimTime::from_secs(7199);
+        let p99 = m.observe(now).unwrap();
+        assert!(
+            shared.sketch_hits() > sketch_hits,
+            "wide p99 observe should be sketch-served"
+        );
+        // Within the sketch's 1 % bound of the exact selection.
+        let exact = shared.with_series(id, |s| {
+            s.window_view(now, SimDuration::from_hours(1))
+                .aggregate(WindowAgg::Percentile(0.99))
+        });
+        assert!(
+            (p99 - exact).abs() <= 0.0101 * exact.abs() + 1e-9,
+            "sketch p99 {p99} vs exact {exact}"
         );
     }
 

@@ -52,6 +52,15 @@ pub struct WorldConfig {
     pub resubmit_delay: SimDuration,
     /// Walltime padding factor users apply on retry.
     pub resubmit_walltime_factor: f64,
+    /// Embed quantile sketches in the per-job progress-marker rollup
+    /// pyramids, making [`World::progress_percentile_wide`] sketch-served
+    /// (1 % relative error) however far the raw marker ring has rolled.
+    /// On by default; campaigns with very high job cardinality can turn
+    /// it off to keep the compact pyramids sketch-free (~8 bytes per
+    /// distinct marker magnitude per bucket), at which point wide
+    /// percentile reads fall back to the exact raw path within raw
+    /// retention.
+    pub progress_sketches: bool,
 }
 
 impl Default for WorldConfig {
@@ -67,6 +76,7 @@ impl Default for WorldConfig {
             auto_resubmit: true,
             resubmit_delay: SimDuration::from_mins(10),
             resubmit_walltime_factor: 1.5,
+            progress_sketches: true,
         }
     }
 }
@@ -403,14 +413,20 @@ impl World {
             ));
             // Per-job progress markers carry the compact rollup pyramid:
             // wide Analyze windows (overrun forecasting over hours of
-            // history) read sealed 1m/1h buckets instead of raw markers.
-            // `ensure` not `enable`: registration is idempotent by name,
-            // so if this attempt's metric somehow already exists (each
-            // resubmitted attempt normally gets a fresh id and metric),
-            // an existing pyramid's sealed buckets — which outlive the
-            // raw ring — must not be rebuilt from the raw tail.
-            self.tsdb
-                .ensure_rollups(metric, &moda_telemetry::RollupConfig::compact());
+            // history) read sealed 1m/1h buckets instead of raw markers,
+            // sketched (unless configured off) so wide marker
+            // percentiles are servable too. `ensure` not `enable`:
+            // registration is idempotent by name, so if this attempt's
+            // metric somehow already exists (each resubmitted attempt
+            // normally gets a fresh id and metric), an existing
+            // pyramid's sealed buckets — which outlive the raw ring —
+            // must not be rebuilt from the raw tail.
+            let rollup_cfg = if self.cfg.progress_sketches {
+                moda_telemetry::RollupConfig::compact().with_sketches()
+            } else {
+                moda_telemetry::RollupConfig::compact()
+            };
+            self.tsdb.ensure_rollups(metric, &rollup_cfg);
             self.progress_metric.insert(id, metric);
             // Marker at step `resume` (the resume point) anchors the series.
             self.tsdb.insert(metric, t, resume as f64);
@@ -638,6 +654,22 @@ impl World {
         let max = self.tsdb.window_agg(m, now, window, WindowAgg::Max)?;
         let min = self.tsdb.window_agg(m, now, window, WindowAgg::Min)?;
         Some((max - min).max(0.0) / span)
+    }
+
+    /// Wide percentile of a job's progress markers over the trailing
+    /// `window` — e.g. the p10 marker value as a robust floor on how far
+    /// the application had advanced through most of the window, immune
+    /// to a late burst the way `max − min` rates are not. With
+    /// [`WorldConfig::progress_sketches`] on (the default) this is
+    /// served by merging sealed-bucket quantile sketches (1 % relative
+    /// error, O(window/res)) and keeps answering beyond raw marker
+    /// retention; sketch-free worlds fall back to the exact raw
+    /// selection within retention. `None` when the window holds no
+    /// markers or the job is unknown.
+    pub fn progress_percentile_wide(&self, id: JobId, window: SimDuration, q: f64) -> Option<f64> {
+        let &m = self.progress_metric.get(&id)?;
+        self.tsdb
+            .window_agg(m, self.now(), window, WindowAgg::Percentile(q))
     }
 
     /// Downsampled progress-marker history of a job over `[t0, t1)` in
@@ -970,9 +1002,38 @@ mod tests {
             "history must be monotone"
         );
         assert_eq!(*vals.last().unwrap(), 1799.0); // step at t=8995s
-                                                   // Unknown jobs yield empty/None results, not panics.
+
+        // Wide marker percentile: sketch-served (progress_sketches is on
+        // by default) and within the sketch's 1 % bound of the exact
+        // selection over the same window. Markers are the counter values
+        // 360..=1799 over the trailing 7200 s, so the median sits near
+        // the middle of that span.
+        let sketch_hits = w.tsdb.sketch_hits();
+        let p50 = w
+            .progress_percentile_wide(id, SimDuration::from_secs(7_200), 0.5)
+            .unwrap();
+        assert!(
+            w.tsdb.sketch_hits() > sketch_hits,
+            "wide marker percentile should be sketch-served"
+        );
+        let exact = {
+            let m = w.tsdb.lookup("job.0.steps").unwrap();
+            w.tsdb
+                .window_view(m, w.now(), SimDuration::from_secs(7_200))
+                .aggregate(WindowAgg::Percentile(0.5))
+        };
+        assert!(
+            (p50 - exact).abs() <= 0.0101 * exact.abs(),
+            "sketch p50 {p50} vs exact {exact}"
+        );
+
+        // Unknown jobs yield empty/None results, not panics.
         assert_eq!(
             w.progress_rate_wide(JobId(999), SimDuration::from_secs(60)),
+            None
+        );
+        assert_eq!(
+            w.progress_percentile_wide(JobId(999), SimDuration::from_secs(60), 0.9),
             None
         );
         let mut empty = vec![Some(1.0)];

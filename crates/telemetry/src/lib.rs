@@ -19,13 +19,23 @@
 //!   streaming `resample_into`) + insert-rate accounting (the §IV design
 //!   consideration), plus the sharded, lock-striped [`ShardedTsdb`] for
 //!   threaded runtimes (registry under one lock, series striped across N
-//!   shard locks keyed by `MetricId`),
+//!   shard locks keyed by `MetricId`, stripe count sized adaptively from
+//!   core count and cardinality at `into_shared` time),
 //! * [`rollup`] — the continuous downsampling tier (Knowledge-layer
 //!   retention): per-metric 1m/1h count/sum/min/max/last bucket rings
 //!   folded incrementally on insert, and the query planner that serves
 //!   wide `window_agg`/`resample_into` spans from sealed buckets,
-//!   splicing raw samples only at ragged edges and the unsealed tail
-//!   (`Percentile` always falls back to raw),
+//!   splicing raw samples only at ragged edges and the unsealed tail.
+//!   `Percentile` is served the same way on sketched pyramids
+//!   ([`RollupConfig::with_sketches`], the opt-in policy knob): sealed
+//!   buckets embed mergeable quantile sketches, cascaded 1m→1h on seal,
+//!   so a day-wide p99 is O(window/res) sketch merges within a 1 %
+//!   relative-error bound instead of an O(window) raw selection —
+//!   sketch-free pyramids (e.g. compact per-job ones) keep the exact
+//!   raw fallback,
+//! * [`sketch`] — the mergeable DDSketch-style [`QuantileSketch`] behind
+//!   those percentile rollups (fixed 1 % relative-error log buckets,
+//!   exact counts, linear-time merge),
 //! * [`collect`] — sensor traits and the periodic collector,
 //! * [`window`] — windowed aggregation used by Analyze components,
 //!   including the O(n) selection-based percentile and the streaming
@@ -48,12 +58,16 @@ pub mod export;
 pub mod metric;
 pub mod rollup;
 pub mod series;
+pub mod sketch;
 pub mod tsdb;
 pub mod window;
 
 pub use collect::{Collector, Sensor};
 pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
-pub use rollup::{RollupBucket, RollupConfig, RollupRing, RollupSet, RollupTier};
+pub use rollup::{
+    RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet, RollupTier, SketchAcc,
+};
 pub use series::{Sample, SampleView, TimeSeries};
-pub use tsdb::{ShardedTsdb, SharedTsdb, Tsdb};
+pub use sketch::{QuantileAcc, QuantileSketch, SKETCH_RELATIVE_ERROR};
+pub use tsdb::{adaptive_shards, ShardedTsdb, SharedTsdb, Tsdb};
 pub use window::{AggAccum, WindowAgg};

@@ -15,9 +15,20 @@
 //! A [`RollupBucket`] stores `count`/`sum`/`min`/`max`/`last` for one
 //! aligned time slot `[k·res, (k+1)·res)`. That state is enough to
 //! reconstruct `Count`, `Sum`, `Mean`, `Min`, `Max`, and `Last` exactly;
-//! it can *bound* but not reproduce order statistics, so
-//! [`WindowAgg::Percentile`] is **not servable** from rollups and always
-//! falls back to raw samples (see [`WindowAgg::rollup_servable`]).
+//! it can *bound* but not reproduce order statistics (see
+//! [`WindowAgg::rollup_servable`]). For [`WindowAgg::Percentile`] a
+//! sketched pyramid ([`RollupConfig::with_sketches`]) embeds one
+//! mergeable [`QuantileSketch`] per bucket: the finest tier folds values
+//! into its active bucket's sketch on insert, and when a fine bucket
+//! seals, its sketch **cascades** (merges) into the coarser tier's
+//! active bucket — so a sealed 1h bucket's sketch holds exactly its
+//! hour of values without ever re-reading them. Sketch-served
+//! percentiles carry the sketch's documented
+//! [`SKETCH_RELATIVE_ERROR`](crate::sketch::SKETCH_RELATIVE_ERROR)
+//! (1 %) relative-error bound; sketch-free pyramids keep the raw
+//! fallback, which is the right trade for high-cardinality short-lived
+//! metrics (the compact per-job pyramids) that never ask for wide
+//! percentiles.
 //!
 //! A [`RollupRing`] keeps a bounded ring of non-empty buckets at one
 //! resolution; a [`RollupSet`] stacks rings fine→coarse per
@@ -45,8 +56,19 @@
 //! the invariant the property tests in `tests/props.rs` pin down. When
 //! raw has already evicted old samples, rollups keep answering from
 //! their longer retention: that is the Knowledge-layer feature.
+//!
+//! `Percentile` runs through the **same cascade** with a [`SketchAcc`]
+//! instead of a [`RollupAcc`]: sealed-bucket sketches merge across the
+//! aligned span and raw samples fold in only at the ragged edges and
+//! the unsealed tail, so a day-wide p99 costs O(window/res) sketch
+//! merges instead of an O(window) selection — and, like the scalar
+//! aggregates, keeps answering beyond raw retention. The whole planned
+//! answer (splices included) carries the sketch's 1 % relative-error
+//! bound; windows narrower than the finest tier stay on the exact raw
+//! selection path.
 
 use crate::series::TimeSeries;
+use crate::sketch::QuantileSketch;
 use crate::window::WindowAgg;
 use moda_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -57,16 +79,31 @@ pub const RES_1M: SimDuration = SimDuration(60_000);
 pub const RES_1H: SimDuration = SimDuration(3_600_000);
 
 impl WindowAgg {
-    /// Whether this aggregation can be reconstructed exactly from
+    /// Whether this aggregation can be reconstructed **exactly** from
     /// count/sum/min/max/last rollup buckets. `Percentile` cannot (order
-    /// statistics need the raw values) and always reads raw samples.
+    /// statistics need the raw values); it is still planner-servable —
+    /// within the sketch's 1 % error bound — when the pyramid embeds
+    /// quantile sketches ([`RollupConfig::with_sketches`]), and falls
+    /// back to raw samples otherwise.
     pub fn rollup_servable(&self) -> bool {
         !matches!(self, WindowAgg::Percentile(_))
     }
 }
 
+/// How the planner answered a query — the accounting shape behind the
+/// store's `rollup_hits`/`sketch_hits` counters, so fleet stats can
+/// distinguish sketch-served percentiles from raw fallbacks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollupServed {
+    /// At least one sealed rollup bucket was merged into the answer.
+    pub rollup: bool,
+    /// The answer was a percentile served by merging bucket sketches
+    /// (implies `rollup`).
+    pub sketch: bool,
+}
+
 /// Aggregate state of one sealed-or-growing time slot `[start, start+res)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RollupBucket {
     /// Aligned slot start (inclusive).
     pub start: SimTime,
@@ -81,10 +118,18 @@ pub struct RollupBucket {
     /// Most recently folded value (raw appends are time-ordered, so this
     /// is the value of the slot's newest sample).
     pub last: f64,
+    /// Quantile sketch of the slot's values, present iff the pyramid is
+    /// sketched ([`RollupConfig::with_sketches`]). The finest tier folds
+    /// values in directly; coarser tiers receive whole finer-bucket
+    /// sketches on seal, so a **sealed** bucket's sketch always holds
+    /// exactly `count` values. The newest (unsealed) bucket of a coarse
+    /// tier lags behind its scalar stats — which is fine, because the
+    /// planner never serves unsealed buckets.
+    pub sketch: Option<QuantileSketch>,
 }
 
 impl RollupBucket {
-    fn new(start: SimTime, v: f64) -> Self {
+    fn new(start: SimTime, v: f64, sketch: Option<QuantileSketch>) -> Self {
         RollupBucket {
             start,
             count: 1,
@@ -92,16 +137,22 @@ impl RollupBucket {
             min: v,
             max: v,
             last: v,
+            sketch,
         }
     }
 
     #[inline]
-    fn fold(&mut self, v: f64) {
+    fn fold(&mut self, v: f64, into_sketch: bool) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.last = v;
+        if into_sketch {
+            if let Some(sk) = &mut self.sketch {
+                sk.fold(v);
+            }
+        }
     }
 }
 
@@ -132,6 +183,7 @@ impl RollupTier {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RollupConfig {
     tiers: Vec<RollupTier>,
+    sketches: bool,
 }
 
 impl RollupConfig {
@@ -153,7 +205,44 @@ impl RollupConfig {
             assert!(t.res.0 > 0, "rollup resolution must be positive");
             assert!(t.capacity >= 2, "rollup tier must retain >= 2 buckets");
         }
-        RollupConfig { tiers }
+        RollupConfig {
+            tiers,
+            sketches: false,
+        }
+    }
+
+    /// Embed one mergeable [`QuantileSketch`] per bucket, making wide
+    /// [`WindowAgg::Percentile`] queries planner-servable within the
+    /// sketch's 1 % relative-error bound. Opt-in: sketches cost ~8 bytes
+    /// per distinct value magnitude per bucket, which compact
+    /// high-cardinality pyramids (per-job metrics) usually skip.
+    ///
+    /// # Panics
+    /// If any coarser tier's resolution is not an integer multiple of
+    /// the next finer one. The 1m→1h cascade merges a sealing fine
+    /// bucket's sketch **whole** into the coarse bucket covering it, so
+    /// every fine slot must nest inside exactly one coarse slot — with
+    /// non-nested resolutions (say 60 s under 90 s) a fine bucket would
+    /// straddle two coarse slots and silently corrupt their sketches.
+    /// (Scalar stats fold per tier independently and have no such
+    /// constraint.)
+    pub fn with_sketches(mut self) -> Self {
+        for pair in self.tiers.windows(2) {
+            assert!(
+                pair[1].res.0 % pair[0].res.0 == 0,
+                "sketched pyramids need each coarser resolution to be an integer multiple \
+                 of the next finer one ({} ms does not nest into {} ms)",
+                pair[0].res.0,
+                pair[1].res.0
+            );
+        }
+        self.sketches = true;
+        self
+    }
+
+    /// Whether buckets of this pyramid carry quantile sketches.
+    pub fn sketches(&self) -> bool {
+        self.sketches
     }
 
     /// 1 m × 2880 (48 h) + 1 h × 2160 (90 days) — the standard
@@ -196,14 +285,16 @@ impl Default for RollupConfig {
 pub struct RollupRing {
     res: u64,
     capacity: usize,
+    sketched: bool,
     buckets: VecDeque<RollupBucket>,
 }
 
 impl RollupRing {
-    fn new(tier: RollupTier) -> Self {
+    fn new(tier: RollupTier, sketched: bool) -> Self {
         RollupRing {
             res: tier.res.0,
             capacity: tier.capacity.max(2),
+            sketched,
             buckets: VecDeque::new(),
         }
     }
@@ -258,15 +349,18 @@ impl RollupRing {
     /// non-decreasing (the raw ring rejects out-of-order samples before
     /// they reach the rollup tier), so folds only ever target the newest
     /// slot or open a newer one.
-    fn fold(&mut self, t: SimTime, v: f64) {
-        let Some(start) =
-            t.0.checked_div(self.res)
-                .and_then(|k| k.checked_mul(self.res))
-        else {
+    ///
+    /// `value_into_sketch` says whether `v` folds into the active
+    /// bucket's sketch (true only for the finest tier of a sketched
+    /// pyramid; coarser tiers get their sketch content via cascade —
+    /// see [`RollupSet::fold`], which runs the cascade *before* any
+    /// ring folds the sample that triggers a seal).
+    fn fold(&mut self, t: SimTime, v: f64, value_into_sketch: bool) {
+        let Some(start) = self.slot_start(t) else {
             return;
         };
         match self.buckets.back_mut() {
-            Some(b) if b.start.0 == start => b.fold(v),
+            Some(b) if b.start.0 == start => b.fold(v, value_into_sketch),
             Some(b) if b.start.0 > start => {
                 // Unreachable through the store (raw rejects out-of-order
                 // samples); dropped defensively rather than corrupting
@@ -277,14 +371,57 @@ impl RollupRing {
                 if self.buckets.len() == self.capacity {
                     self.buckets.pop_front();
                 }
-                self.buckets.push_back(RollupBucket::new(SimTime(start), v));
+                let sketch = self.sketched.then(|| {
+                    let mut sk = QuantileSketch::new();
+                    if value_into_sketch {
+                        sk.fold(v);
+                    }
+                    sk
+                });
+                self.buckets
+                    .push_back(RollupBucket::new(SimTime(start), v, sketch));
+            }
+        }
+    }
+
+    /// Aligned start of the slot containing `t` (`None` on arithmetic
+    /// overflow, in which case the fold is dropped).
+    #[inline]
+    fn slot_start(&self, t: SimTime) -> Option<u64> {
+        t.0.checked_div(self.res)
+            .and_then(|k| k.checked_mul(self.res))
+    }
+
+    /// Whether folding a sample at `t` would open a new slot, sealing
+    /// the current newest bucket.
+    #[inline]
+    fn seals_at(&self, t: SimTime) -> bool {
+        match (self.buckets.back(), self.slot_start(t)) {
+            (Some(b), Some(start)) => start > b.start.0,
+            _ => false,
+        }
+    }
+
+    /// The newest bucket's sketch, if any.
+    fn back_sketch(&self) -> Option<&QuantileSketch> {
+        self.buckets.back().and_then(|b| b.sketch.as_ref())
+    }
+
+    /// Merge a finer ring's just-sealed sketch into this ring's active
+    /// (newest) bucket — the 1m→1h cascade step. Must run before this
+    /// ring folds the sample that triggered the seal, so the cascade
+    /// lands in the bucket that contains the sealed slot.
+    fn absorb_sketch(&mut self, sealed: &QuantileSketch, scratch: &mut Vec<(i32, u32)>) {
+        if let Some(b) = self.buckets.back_mut() {
+            if let Some(dst) = &mut b.sketch {
+                dst.merge_with_scratch(sealed, scratch);
             }
         }
     }
 
     /// Merge every retained bucket with `lo <= start < hi` into `acc`,
     /// oldest first. Returns the number of buckets merged.
-    fn fold_range(&self, lo: u64, hi: u64, acc: &mut RollupAcc) -> usize {
+    fn fold_range<A: SpanFold>(&self, lo: u64, hi: u64, acc: &mut A) -> usize {
         let from = self.buckets.partition_point(|b| b.start.0 < lo);
         let mut merged = 0;
         for b in self.buckets.iter().skip(from) {
@@ -303,13 +440,23 @@ impl RollupRing {
 #[derive(Debug, Clone)]
 pub struct RollupSet {
     rings: Vec<RollupRing>,
+    sketched: bool,
+    /// Reusable staging buffer for cascade merges (kept warm so sealing
+    /// a bucket stays allocation-free after the first few cascades).
+    cascade_scratch: Vec<(i32, u32)>,
 }
 
 impl RollupSet {
     /// Empty pyramid per `config`.
     pub fn new(config: &RollupConfig) -> Self {
         RollupSet {
-            rings: config.tiers.iter().map(|&t| RollupRing::new(t)).collect(),
+            rings: config
+                .tiers
+                .iter()
+                .map(|&t| RollupRing::new(t, config.sketches))
+                .collect(),
+            sketched: config.sketches,
+            cascade_scratch: Vec::new(),
         }
     }
 
@@ -323,11 +470,30 @@ impl RollupSet {
         set
     }
 
-    /// Fold one accepted sample into every tier (O(tiers), allocation-free
-    /// except when a tier opens its very first buckets).
+    /// Fold one accepted sample into every tier (O(tiers),
+    /// allocation-free once bucket/scratch capacities are warm). On a
+    /// sketched pyramid the value additionally folds into the finest
+    /// tier's active sketch, and any bucket this fold is about to seal
+    /// first cascades its sketch (merged by reference, no clone) into
+    /// the next-coarser tier's still-current bucket — so a coarse
+    /// bucket always absorbs every finer sketch of its slot before it
+    /// can itself seal. Cascades run fine→coarse before any ring folds
+    /// `t`: when a minute and its hour seal on the same sample, the
+    /// minute lands in the sealing hour, which then cascades onward
+    /// already complete.
     pub fn fold(&mut self, t: SimTime, v: f64) {
-        for ring in &mut self.rings {
-            ring.fold(t, v);
+        if self.sketched {
+            for i in 0..self.rings.len().saturating_sub(1) {
+                if self.rings[i].seals_at(t) {
+                    let (fine, coarse) = self.rings.split_at_mut(i + 1);
+                    if let Some(sealed) = fine[i].back_sketch() {
+                        coarse[0].absorb_sketch(sealed, &mut self.cascade_scratch);
+                    }
+                }
+            }
+        }
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            ring.fold(t, v, i == 0);
         }
     }
 
@@ -336,10 +502,25 @@ impl RollupSet {
         &self.rings
     }
 
+    /// Whether buckets carry quantile sketches (percentiles servable).
+    pub fn sketched(&self) -> bool {
+        self.sketched
+    }
+
     /// Finest (smallest-resolution) tier width.
     pub fn finest_res(&self) -> SimDuration {
         SimDuration(self.rings.first().map(|r| r.res).unwrap_or(u64::MAX))
     }
+}
+
+/// What the planner's cascading span fold pours into: raw values at
+/// the spliced edges, whole sealed buckets everywhere else. Implemented
+/// by [`RollupAcc`] (scalar aggregates) and [`SketchAcc`] (percentiles).
+pub trait SpanFold {
+    /// Fold one raw sample value (edge/tail splice).
+    fn push_value(&mut self, v: f64);
+    /// Merge one sealed bucket (later in time than everything so far).
+    fn merge_bucket(&mut self, b: &RollupBucket);
 }
 
 /// Streaming combiner for rollup buckets and raw splices: the same
@@ -403,7 +584,8 @@ impl RollupAcc {
     }
 
     /// Finish as `agg`, `None` when nothing was folded (the empty-window
-    /// shape). `Percentile` is not servable and must not reach here.
+    /// shape). `Percentile` goes through [`SketchAcc`] and must not
+    /// reach here.
     pub fn finish(&self, agg: WindowAgg) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -416,9 +598,75 @@ impl RollupAcc {
             WindowAgg::Max => self.max,
             WindowAgg::Last => self.last,
             WindowAgg::Percentile(_) => {
-                unreachable!("Percentile is not rollup-servable; planner routes it to raw")
+                unreachable!("Percentile folds through SketchAcc, not RollupAcc")
             }
         })
+    }
+}
+
+impl SpanFold for RollupAcc {
+    #[inline]
+    fn push_value(&mut self, v: f64) {
+        RollupAcc::push_value(self, v);
+    }
+
+    #[inline]
+    fn merge_bucket(&mut self, b: &RollupBucket) {
+        RollupAcc::merge_bucket(self, b);
+    }
+}
+
+/// Streaming quantile combiner for the planner's percentile path: a
+/// dense-counter [`QuantileAcc`](crate::sketch::QuantileAcc) that
+/// absorbs sealed-bucket sketches across the aligned span (one counter
+/// add per sketch entry — no sorted rewrites) and folds raw values at
+/// the spliced edges. Reusable across resample buckets via
+/// [`SketchAcc::reset`] with allocations kept warm.
+#[derive(Debug, Clone, Default)]
+pub struct SketchAcc {
+    acc: crate::sketch::QuantileAcc,
+}
+
+impl SketchAcc {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear for the next span, keeping allocations warm.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    /// Values folded so far.
+    pub fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Finish as the `q`-quantile, `None` when nothing was folded (the
+    /// empty-window shape, matching the raw path's `None`).
+    pub fn finish(&self, q: f64) -> Option<f64> {
+        if self.acc.is_empty() {
+            None
+        } else {
+            Some(self.acc.quantile(q))
+        }
+    }
+}
+
+impl SpanFold for SketchAcc {
+    #[inline]
+    fn push_value(&mut self, v: f64) {
+        self.acc.fold(v);
+    }
+
+    fn merge_bucket(&mut self, b: &RollupBucket) {
+        match &b.sketch {
+            Some(sk) => self.acc.merge_sketch(sk),
+            // Unreachable: the planner only routes percentiles here for
+            // sketched pyramids, whose buckets all carry sketches.
+            None => debug_assert!(false, "sketch-path merge of a sketch-free bucket"),
+        }
     }
 }
 
@@ -426,12 +674,12 @@ impl RollupAcc {
 /// the coarsest ring contributes its aligned, sealed, retained sub-span;
 /// the ragged edges recurse into finer rings and bottom out at the raw
 /// series. Returns the number of rollup buckets merged.
-fn fold_span(
+fn fold_span<A: SpanFold>(
     rings: &[RollupRing],
     raw: &TimeSeries,
     lo: u64,
     hi: u64,
-    acc: &mut RollupAcc,
+    acc: &mut A,
 ) -> usize {
     if lo >= hi {
         return 0;
@@ -461,33 +709,78 @@ fn fold_span(
     merged
 }
 
+thread_local! {
+    /// Reusable accumulator for sketch-served window percentiles — see
+    /// the comment at its use site in [`plan_window_agg`].
+    static WINDOW_SKETCH_ACC: std::cell::RefCell<SketchAcc> =
+        std::cell::RefCell::new(SketchAcc::new());
+}
+
 /// Planner-backed trailing-window aggregate over `(now - window, now]`.
 ///
-/// Routes through the rollup pyramid when `agg` is servable and the
-/// window is at least one finest-tier bucket wide; otherwise (and for
-/// every sub-span rollups cannot serve) falls back to the raw
-/// binary-searched view. Returns the aggregate and whether any rollup
-/// bucket was used.
+/// Routes through the rollup pyramid when the window is at least one
+/// finest-tier bucket wide and `agg` is either a servable scalar or a
+/// `Percentile` on a sketched pyramid; otherwise (and for every sub-span
+/// rollups cannot serve) falls back to the raw binary-searched view.
+/// Returns the aggregate and how it was served.
 pub fn plan_window_agg(
     raw: &TimeSeries,
     rollups: Option<&RollupSet>,
     now: SimTime,
     window: SimDuration,
     agg: WindowAgg,
-) -> (Option<f64>, bool) {
+) -> (Option<f64>, RollupServed) {
     if let Some(set) = rollups {
-        if agg.rollup_servable() && window.0 >= set.finest_res().0 {
+        if window.0 >= set.finest_res().0 {
             // (t0, now] == [t0 + 1, now + 1) on integer-millisecond time.
             let lo = now.0.saturating_sub(window.0).saturating_add(1);
             let hi = now.0.saturating_add(1);
-            let mut acc = RollupAcc::new();
-            let merged = fold_span(set.rings(), raw, lo, hi, &mut acc);
-            // Even when no sealed bucket intersected the window (merged
-            // == 0, e.g. everything sits in the unsealed tail), the
-            // accumulator already holds the complete raw fold of the
-            // span — finishing it here avoids re-scanning the same
-            // samples through the fallback below.
-            return (acc.finish(agg), merged > 0);
+            if let WindowAgg::Percentile(q) = agg {
+                if set.sketched() {
+                    // The store's read-locked query path cannot thread a
+                    // caller-owned scratch through here, so the warm
+                    // dense counters live per thread (capacity bounded
+                    // by the observed key range, ~8 B per distinct value
+                    // magnitude) instead of being reallocated per query.
+                    let (out, merged) = WINDOW_SKETCH_ACC.with(|cell| {
+                        let mut acc = cell.borrow_mut();
+                        acc.reset();
+                        let merged = fold_span(set.rings(), raw, lo, hi, &mut *acc);
+                        (acc.finish(q), merged)
+                    });
+                    if merged > 0 {
+                        return (
+                            out,
+                            RollupServed {
+                                rollup: true,
+                                sketch: true,
+                            },
+                        );
+                    }
+                    // No sealed bucket intersected the window (e.g. the
+                    // whole span sits in the unsealed tail): fall
+                    // through to the exact raw selection below, so a
+                    // query accounted as a raw fallback really is exact
+                    // — the sketch's error bound only ever applies to
+                    // sketch-served answers.
+                }
+            } else {
+                let mut acc = RollupAcc::new();
+                let merged = fold_span(set.rings(), raw, lo, hi, &mut acc);
+                // Even when no sealed bucket intersected the window
+                // (merged == 0, e.g. everything sits in the unsealed
+                // tail), the accumulator already holds the complete raw
+                // fold of the span — finishing it here avoids
+                // re-scanning the same samples through the fallback
+                // below.
+                return (
+                    acc.finish(agg),
+                    RollupServed {
+                        rollup: merged > 0,
+                        sketch: false,
+                    },
+                );
+            }
         }
     }
     let view = raw.window_view(now, window);
@@ -496,7 +789,7 @@ pub fn plan_window_agg(
     } else {
         Some(view.aggregate(agg))
     };
-    (out, false)
+    (out, RollupServed::default())
 }
 
 /// Planner-backed streaming resample of `[t0, t1)` into `period` buckets
@@ -508,11 +801,13 @@ pub fn plan_window_agg(
 /// reads at all.
 ///
 /// Returns `None` when the query is not plannable (no rollups, a
-/// non-servable `agg`, or sub-bucket `period`) and `out` is untouched —
-/// the caller must fall back to the raw resample kernel. Otherwise fills
-/// `out` and returns `Some(used)`, where `used` says whether any rollup
-/// bucket actually contributed (false means every bucket was spliced
-/// from raw, e.g. an entirely-unsealed span).
+/// sub-bucket `period`, or a `Percentile` on a sketch-free pyramid) and
+/// `out` is untouched — the caller must fall back to the raw resample
+/// kernel. Otherwise fills `out` and returns `Some(served)`, where
+/// `served.rollup` says whether any rollup bucket actually contributed
+/// (false means every bucket was spliced from raw, e.g. an
+/// entirely-unsealed span) and `served.sketch` marks sketch-served
+/// percentile output.
 pub fn plan_resample_into(
     raw: &TimeSeries,
     rollups: Option<&RollupSet>,
@@ -521,25 +816,54 @@ pub fn plan_resample_into(
     period: SimDuration,
     agg: WindowAgg,
     out: &mut Vec<Option<f64>>,
-) -> Option<bool> {
+) -> Option<RollupServed> {
     assert!(period.0 > 0, "resample period must be positive");
     let set = match rollups {
-        Some(set) if agg.rollup_servable() && period.0 >= set.finest_res().0 => set,
+        Some(set) if period.0 >= set.finest_res().0 => set,
         _ => return None,
+    };
+    let sketch_q = match agg {
+        WindowAgg::Percentile(q) if set.sketched() => Some(q),
+        WindowAgg::Percentile(_) => return None,
+        _ => None,
     };
     out.clear();
     let nb = (t1.0.saturating_sub(t0.0)).div_ceil(period.0) as usize;
     out.reserve(nb);
     let mut used = false;
     let mut acc = RollupAcc::new();
+    let mut sketch_acc = SketchAcc::new();
+    let mut exact_scratch = Vec::new();
     for i in 0..nb as u64 {
         let lo = t0.0.saturating_add(i * period.0);
         let hi = t0.0.saturating_add((i + 1) * period.0).min(t1.0);
-        acc.reset();
-        used |= fold_span(set.rings(), raw, lo, hi, &mut acc) > 0;
-        out.push(acc.finish(agg));
+        match sketch_q {
+            Some(q) => {
+                sketch_acc.reset();
+                if fold_span(set.rings(), raw, lo, hi, &mut sketch_acc) > 0 {
+                    used = true;
+                    out.push(sketch_acc.finish(q));
+                } else {
+                    // No sealed bucket in this slot (unsealed tail or a
+                    // pure-raw stretch): serve it exactly from the raw
+                    // view, like the window-agg fallback.
+                    let view = raw.range_view(SimTime(lo), SimTime(hi));
+                    out.push((!view.is_empty()).then(|| {
+                        view.aggregate_with_scratch(WindowAgg::Percentile(q), &mut exact_scratch)
+                    }));
+                }
+            }
+            None => {
+                acc.reset();
+                used |= fold_span(set.rings(), raw, lo, hi, &mut acc) > 0;
+                out.push(acc.finish(agg));
+            }
+        }
     }
-    Some(used)
+    Some(RollupServed {
+        rollup: used,
+        sketch: used && sketch_q.is_some(),
+    })
 }
 
 #[cfg(test)]
@@ -617,8 +941,9 @@ mod tests {
             WindowAgg::Max,
             WindowAgg::Last,
         ] {
-            let (planned, used) = plan_window_agg(&raw, Some(&set), now, window, agg);
-            assert!(used, "{agg:?} should touch rollups");
+            let (planned, served) = plan_window_agg(&raw, Some(&set), now, window, agg);
+            assert!(served.rollup, "{agg:?} should touch rollups");
+            assert!(!served.sketch, "{agg:?} is a scalar, not a sketch read");
             let view = raw.window_view(now, window);
             let want = view.aggregate(agg);
             let got = planned.unwrap();
@@ -630,18 +955,131 @@ mod tests {
     }
 
     #[test]
-    fn percentile_never_served_from_rollups() {
+    fn percentile_on_sketchfree_pyramid_falls_back_to_raw() {
         let raw = series(&[(0, 1.0), (60_000, 2.0), (120_000, 3.0), (180_000, 4.0)]);
         let set = RollupSet::from_series(&minute_cfg(8), &raw);
-        let (out, used) = plan_window_agg(
+        assert!(!set.sketched());
+        let (out, served) = plan_window_agg(
             &raw,
             Some(&set),
             SimTime::from_secs(180),
             SimDuration::from_secs(180),
             WindowAgg::Percentile(0.5),
         );
-        assert!(!used);
+        assert_eq!(served, RollupServed::default());
         assert!(out.is_some());
+    }
+
+    #[test]
+    fn percentile_on_sketched_pyramid_is_served_within_bound() {
+        let pairs: Vec<(u64, f64)> = (0..1200u64)
+            .map(|s| (s * 1000, ((s * 7919) % 997) as f64 + 1.0))
+            .collect();
+        let raw = series(&pairs);
+        let cfg = minute_cfg(64).with_sketches();
+        let set = RollupSet::from_series(&cfg, &raw);
+        assert!(set.sketched());
+        let now = SimTime::from_secs(1199);
+        let window = SimDuration::from_secs(1100);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let (got, served) =
+                plan_window_agg(&raw, Some(&set), now, window, WindowAgg::Percentile(q));
+            assert!(
+                served.rollup && served.sketch,
+                "q={q} should be sketch-served"
+            );
+            let got = got.unwrap();
+            // Exact reference via the raw selection path on the same
+            // window; sealed-minute buckets plus splices must land
+            // within the sketch's 1 % bound of it (the interpolated
+            // exact value sits between the two bracketing order
+            // statistics the sketch bound covers).
+            let want = raw
+                .window_view(now, window)
+                .aggregate(WindowAgg::Percentile(q));
+            assert!(
+                (got - want).abs() <= 0.0101 * want.abs().max(1.0) + 1.0,
+                "q={q}: sketch {got} vs exact {want}"
+            );
+        }
+        // Sub-finest windows stay on the exact raw path.
+        let (_, served) = plan_window_agg(
+            &raw,
+            Some(&set),
+            now,
+            SimDuration::from_secs(30),
+            WindowAgg::Percentile(0.9),
+        );
+        assert_eq!(served, RollupServed::default());
+    }
+
+    #[test]
+    fn percentile_with_no_sealed_buckets_is_exact_and_not_a_hit() {
+        // All samples inside one (unsealed) minute bucket: the sketch
+        // path finds nothing sealed to merge, so the answer must come
+        // from the exact raw selection and count as a plain raw
+        // fallback — not a sketch approximation reported as raw.
+        let raw = series(&[(1_000, 5.0), (2_000, 7.0), (30_000, 9.0)]);
+        let set = RollupSet::from_series(&minute_cfg(8).with_sketches(), &raw);
+        let now = SimTime::from_secs(59);
+        let window = SimDuration::from_secs(120);
+        let (out, served) =
+            plan_window_agg(&raw, Some(&set), now, window, WindowAgg::Percentile(1.0));
+        assert_eq!(served, RollupServed::default());
+        assert_eq!(out, Some(9.0)); // exact max, not a 1 %-error representative
+                                    // Same for resample: the slot holding only unsealed data is
+                                    // served exactly.
+        let mut out = Vec::new();
+        let served = plan_resample_into(
+            &raw,
+            Some(&set),
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            SimDuration::from_secs(60),
+            WindowAgg::Percentile(1.0),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(served, RollupServed::default());
+        assert_eq!(out, vec![Some(9.0)]);
+    }
+
+    #[test]
+    fn sealed_bucket_sketches_hold_exactly_their_counts() {
+        // Two tiers (1m, 1h): every *sealed* bucket's sketch must hold
+        // exactly `count` values — including hour buckets, whose sketch
+        // content arrives via the 1m→1h cascade on seal.
+        let cfg = RollupConfig::new(vec![
+            RollupTier::new(RES_1M, 200),
+            RollupTier::new(RES_1H, 8),
+        ])
+        .with_sketches();
+        let mut set = RollupSet::new(&cfg);
+        // 2.5 hours of 1 Hz data with a gap to exercise slot skips.
+        for s in 0..9000u64 {
+            if s % 1000 < 900 {
+                set.fold(SimTime::from_secs(s), (s % 61) as f64);
+            }
+        }
+        for ring in set.rings() {
+            let n = ring.len();
+            for (i, b) in ring.buckets().enumerate() {
+                let sk = b.sketch.as_ref().expect("sketched pyramid");
+                if i + 1 < n {
+                    assert_eq!(
+                        sk.count(),
+                        b.count,
+                        "sealed bucket at {:?} res {:?}",
+                        b.start,
+                        ring.res()
+                    );
+                } else {
+                    // The unsealed newest bucket may lag (coarse tiers
+                    // fill via cascade) but never over-counts.
+                    assert!(sk.count() <= b.count);
+                }
+            }
+        }
     }
 
     #[test]
@@ -650,14 +1088,14 @@ mod tests {
         // so the planner must answer entirely from raw.
         let raw = series(&[(1_000, 5.0), (2_000, 7.0), (30_000, 9.0)]);
         let set = RollupSet::from_series(&minute_cfg(8), &raw);
-        let (out, used) = plan_window_agg(
+        let (out, served) = plan_window_agg(
             &raw,
             Some(&set),
             SimTime::from_secs(59),
             SimDuration::from_secs(59),
             WindowAgg::Max,
         );
-        assert!(!used);
+        assert!(!served.rollup);
         assert_eq!(out, Some(9.0));
     }
 
@@ -683,8 +1121,8 @@ mod tests {
         // raw samples of the tail. Only the ragged head edge (the first
         // minute, unaligned because windows are open at t0) stays lost
         // with the evicted raw samples.
-        let (count, used) = plan_window_agg(&raw, Some(&set), now, window, WindowAgg::Count);
-        assert!(used);
+        let (count, served) = plan_window_agg(&raw, Some(&set), now, window, WindowAgg::Count);
+        assert!(served.rollup);
         assert_eq!(count, Some(512.0));
     }
 
@@ -703,7 +1141,13 @@ mod tests {
             WindowAgg::Mean,
             &mut planned,
         );
-        assert_eq!(used, Some(true));
+        assert_eq!(
+            used,
+            Some(RollupServed {
+                rollup: true,
+                sketch: false
+            })
+        );
         assert_eq!(planned.len(), 120);
         // Reference: fold each bucket from the raw view directly.
         for (i, got) in planned.iter().enumerate() {
@@ -726,6 +1170,18 @@ mod tests {
         assert_eq!(cfg.tiers()[0].res, RES_1M);
         assert_eq!(cfg.tiers()[1].res, RES_1H);
         assert_eq!(RollupConfig::default(), RollupConfig::standard());
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn sketched_pyramid_rejects_non_nested_resolutions() {
+        // A 60 s bucket would straddle two 90 s slots, so the cascade
+        // cannot attribute its sketch to one coarse bucket.
+        RollupConfig::new(vec![
+            RollupTier::new(SimDuration::from_secs(60), 8),
+            RollupTier::new(SimDuration::from_secs(90), 8),
+        ])
+        .with_sketches();
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! insert-rate consideration.
 
 use crate::metric::{MetricId, MetricMeta};
-use crate::rollup::{self, RollupConfig, RollupSet};
+use crate::rollup::{self, RollupConfig, RollupServed, RollupSet};
 use crate::series::{Sample, SampleView, TimeSeries};
 use crate::window::{AggAccum, WindowAgg};
 use moda_sim::{SimDuration, SimTime};
@@ -39,8 +39,36 @@ use std::sync::Arc;
 /// Default per-series retention when none is specified.
 pub const DEFAULT_RETENTION: usize = 4096;
 
-/// Default stripe count for [`ShardedTsdb`].
+/// Default stripe count for [`ShardedTsdb::new`]. [`Tsdb::into_shared`]
+/// sizes stripes adaptively instead (see [`adaptive_shards`]); pin an
+/// explicit count with [`ShardedTsdb::with_config`] /
+/// [`ShardedTsdb::from_tsdb`] when a test or bench needs a fixed
+/// topology.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Largest stripe count [`adaptive_shards`] will pick.
+pub const MAX_ADAPTIVE_SHARDS: usize = 256;
+
+/// Stripe count for a store expected to hold `cardinality` metrics on a
+/// machine with `cores` available hardware threads: a concurrency floor
+/// of ~4 stripes per core (so concurrent loops rarely collide), raised
+/// by one stripe per ~64 metrics for high-cardinality stores (shorter
+/// per-stripe series vectors), as a power of two within
+/// `[1, MAX_ADAPTIVE_SHARDS]`. Cardinality only ever **raises** the
+/// count above the core floor — it must not cap it, because registering
+/// metrics after [`Tsdb::into_shared`] is a supported pattern (the
+/// fleet drivers do exactly that) and the store cannot re-stripe later;
+/// a stripe is just one `RwLock` + `Vec`, so over-striping a store that
+/// stays small is harmless.
+pub fn adaptive_shards(cores: usize, cardinality: usize) -> usize {
+    let by_cores = cores.max(1).saturating_mul(4);
+    let by_cardinality = cardinality / 64 + 1;
+    by_cores
+        .max(by_cardinality)
+        .clamp(1, MAX_ADAPTIVE_SHARDS)
+        .next_power_of_two()
+        .min(MAX_ADAPTIVE_SHARDS)
+}
 
 /// One metric's storage: the raw ring plus its optional rollup pyramid.
 /// Accepted appends fold into both; rejected (out-of-order) appends touch
@@ -76,7 +104,12 @@ impl Stored {
         self.rollups = Some(RollupSet::from_series(config, &self.raw));
     }
 
-    fn window_agg(&self, now: SimTime, window: SimDuration, agg: WindowAgg) -> (Option<f64>, bool) {
+    fn window_agg(
+        &self,
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+    ) -> (Option<f64>, RollupServed) {
         rollup::plan_window_agg(&self.raw, self.rollups.as_ref(), now, window, agg)
     }
 
@@ -87,13 +120,13 @@ impl Stored {
         period: SimDuration,
         agg: WindowAgg,
         out: &mut Vec<Option<f64>>,
-    ) -> bool {
+    ) -> RollupServed {
         match rollup::plan_resample_into(&self.raw, self.rollups.as_ref(), t0, t1, period, agg, out)
         {
-            Some(used) => used,
+            Some(served) => served,
             None => {
                 resample_view(&self.raw.range_view(t0, t1), t0, t1, period, agg, out);
-                false
+                RollupServed::default()
             }
         }
     }
@@ -109,6 +142,7 @@ pub struct Tsdb {
     default_rollups: Option<RollupConfig>,
     inserts: u64,
     rollup_hits: AtomicU64,
+    sketch_hits: AtomicU64,
 }
 
 /// Thread-shared handle used by the threaded loop runtime: a sharded,
@@ -127,6 +161,7 @@ impl Tsdb {
             default_rollups: None,
             inserts: 0,
             rollup_hits: AtomicU64::new(0),
+            sketch_hits: AtomicU64::new(0),
         }
     }
 
@@ -138,10 +173,18 @@ impl Tsdb {
         }
     }
 
-    /// Move into a thread-shared sharded handle (registry under one lock,
-    /// series striped across [`DEFAULT_SHARDS`] locks).
+    /// Move into a thread-shared sharded handle (registry under one
+    /// lock, series lock-striped). The stripe count is sized by
+    /// [`adaptive_shards`] from `std::thread::available_parallelism()`
+    /// and the store's cardinality at the moment of the move; use
+    /// [`ShardedTsdb::from_tsdb`] to pin an explicit count instead
+    /// (tests/benches comparing topologies).
     pub fn into_shared(self) -> SharedTsdb {
-        Arc::new(ShardedTsdb::from_tsdb(self, DEFAULT_SHARDS))
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shards = adaptive_shards(cores, self.cardinality());
+        Arc::new(ShardedTsdb::from_tsdb(self, shards))
     }
 
     /// Register a metric, returning its dense id. Re-registering the same
@@ -208,6 +251,14 @@ impl Tsdb {
     /// one rollup bucket instead of scanning raw samples.
     pub fn rollup_hits(&self) -> u64 {
         self.rollup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of percentile queries served by merging bucket
+    /// quantile sketches (a subset of [`Tsdb::rollup_hits`]); percentile
+    /// queries that fell back to the raw selection path count in
+    /// neither.
+    pub fn sketch_hits(&self) -> u64 {
+        self.sketch_hits.load(Ordering::Relaxed)
     }
 
     /// Look up a metric id by name.
@@ -284,7 +335,9 @@ impl Tsdb {
     /// [rollup-servable](WindowAgg::rollup_servable), sealed buckets are
     /// read pre-folded and only the ragged window edges (and the unsealed
     /// tail bucket) touch raw samples — O(window/res) instead of
-    /// O(samples) for wide Analyze windows.
+    /// O(samples) for wide Analyze windows. On a sketched pyramid
+    /// ([`RollupConfig::with_sketches`]) the same applies to
+    /// `Percentile`, within the sketch's 1 % relative-error bound.
     pub fn window_agg(
         &self,
         id: MetricId,
@@ -292,11 +345,19 @@ impl Tsdb {
         window: SimDuration,
         agg: WindowAgg,
     ) -> Option<f64> {
-        let (out, used_rollups) = self.series[id.index()].window_agg(now, window, agg);
-        if used_rollups {
+        let (out, served) = self.series[id.index()].window_agg(now, window, agg);
+        self.note_served(served);
+        out
+    }
+
+    #[inline]
+    fn note_served(&self, served: RollupServed) {
+        if served.rollup {
             self.rollup_hits.fetch_add(1, Ordering::Relaxed);
         }
-        out
+        if served.sketch {
+            self.sketch_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Fold `agg` over the last `n` samples without materializing them.
@@ -344,9 +405,8 @@ impl Tsdb {
         agg: WindowAgg,
         out: &mut Vec<Option<f64>>,
     ) {
-        if self.series[id.index()].resample_into(t0, t1, period, agg, out) {
-            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
-        }
+        let served = self.series[id.index()].resample_into(t0, t1, period, agg, out);
+        self.note_served(served);
     }
 
     /// All registered metric names (registry order = id order).
@@ -416,6 +476,7 @@ pub struct ShardedTsdb {
     shards: Box<[RwLock<Shard>]>,
     inserts: AtomicU64,
     rollup_hits: AtomicU64,
+    sketch_hits: AtomicU64,
     default_capacity: usize,
 }
 
@@ -448,6 +509,7 @@ impl ShardedTsdb {
                 .collect(),
             inserts: AtomicU64::new(0),
             rollup_hits: AtomicU64::new(0),
+            sketch_hits: AtomicU64::new(0),
             default_capacity: capacity.max(1),
         }
     }
@@ -472,6 +534,9 @@ impl ShardedTsdb {
         sharded
             .rollup_hits
             .store(db.rollup_hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        sharded
+            .sketch_hits
+            .store(db.sketch_hits.load(Ordering::Relaxed), Ordering::Relaxed);
         sharded
     }
 
@@ -564,6 +629,24 @@ impl ShardedTsdb {
     /// partly) from rollup buckets across all stripes.
     pub fn rollup_hits(&self) -> u64 {
         self.rollup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of percentile queries served from bucket quantile
+    /// sketches across all stripes (a subset of
+    /// [`ShardedTsdb::rollup_hits`]); raw-fallback percentiles count in
+    /// neither.
+    pub fn sketch_hits(&self) -> u64 {
+        self.sketch_hits.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn note_served(&self, served: RollupServed) {
+        if served.rollup {
+            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if served.sketch {
+            self.sketch_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Look up a metric id by name.
@@ -663,8 +746,8 @@ impl ShardedTsdb {
     /// Fold `agg` over the trailing window, allocation-free, holding only
     /// `id`'s stripe read lock. `None` when the window holds no samples.
     /// Served from sealed rollup buckets when the metric has them and
-    /// `agg` is [rollup-servable](WindowAgg::rollup_servable) (see
-    /// [`Tsdb::window_agg`]).
+    /// `agg` is [rollup-servable](WindowAgg::rollup_servable) — or a
+    /// `Percentile` on a sketched pyramid (see [`Tsdb::window_agg`]).
     pub fn window_agg(
         &self,
         id: MetricId,
@@ -672,10 +755,8 @@ impl ShardedTsdb {
         window: SimDuration,
         agg: WindowAgg,
     ) -> Option<f64> {
-        let (out, used_rollups) = self.with_stored(id, |s| s.window_agg(now, window, agg));
-        if used_rollups {
-            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
-        }
+        let (out, served) = self.with_stored(id, |s| s.window_agg(now, window, agg));
+        self.note_served(served);
         out
     }
 
@@ -707,9 +788,8 @@ impl ShardedTsdb {
         agg: WindowAgg,
         out: &mut Vec<Option<f64>>,
     ) {
-        if self.with_stored(id, |s| s.resample_into(t0, t1, period, agg, out)) {
-            self.rollup_hits.fetch_add(1, Ordering::Relaxed);
-        }
+        let served = self.with_stored(id, |s| s.resample_into(t0, t1, period, agg, out));
+        self.note_served(served);
     }
 }
 
@@ -1079,7 +1159,7 @@ mod tests {
         use crate::rollup::RollupConfig;
         let mut db = Tsdb::with_retention(1 << 14);
         let id = gauge(&mut db, "x");
-        db.enable_rollups(id, &RollupConfig::standard());
+        db.enable_rollups(id, &RollupConfig::standard().with_sketches());
         for s in 0..7200u64 {
             db.insert(id, SimTime::from_secs(s), (s % 17) as f64);
         }
@@ -1102,9 +1182,57 @@ mod tests {
         let want = db.window_view(id, now, wide).aggregate(WindowAgg::Mean);
         assert!((mean - want).abs() < 1e-9);
         assert_eq!(db.rollup_hits(), 6);
-        // Percentile must not count as a rollup hit (raw fallback).
+        assert_eq!(db.sketch_hits(), 0);
+        // Percentile on a sketched pyramid is a rollup hit too, and is
+        // separately accounted as a sketch hit — within the sketch's
+        // 1 % relative-error bound of the exact selection.
+        let p90 = db
+            .window_agg(id, now, wide, WindowAgg::Percentile(0.9))
+            .unwrap();
+        let exact = db
+            .window_view(id, now, wide)
+            .aggregate(WindowAgg::Percentile(0.9));
+        assert!((p90 - exact).abs() <= 0.0101 * exact.abs() + 1e-9);
+        assert_eq!(db.rollup_hits(), 7);
+        assert_eq!(db.sketch_hits(), 1);
+    }
+
+    #[test]
+    fn sketchfree_percentile_is_neither_rollup_nor_sketch_hit() {
+        use crate::rollup::RollupConfig;
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = gauge(&mut db, "x");
+        db.enable_rollups(id, &RollupConfig::standard());
+        for s in 0..7200u64 {
+            db.insert(id, SimTime::from_secs(s), (s % 17) as f64);
+        }
+        let now = SimTime::from_secs(7199);
+        let wide = SimDuration::from_secs(7000);
         db.window_agg(id, now, wide, WindowAgg::Percentile(0.9));
-        assert_eq!(db.rollup_hits(), 6);
+        assert_eq!(db.rollup_hits(), 0);
+        assert_eq!(db.sketch_hits(), 0);
+    }
+
+    #[test]
+    fn adaptive_shard_count_scales_with_cores_and_cardinality() {
+        // Core floor: ~4 stripes per core, as a power of two — even for
+        // an empty store, because metrics may register after the move
+        // into the shared handle (the fleet drivers do) and the store
+        // cannot re-stripe later.
+        assert_eq!(adaptive_shards(1, 0), 4);
+        assert_eq!(adaptive_shards(8, 8), 32);
+        assert_eq!(adaptive_shards(8, 640), 32);
+        // High cardinality raises the count past the core floor
+        // (~64 metrics per stripe), never lowers it.
+        assert_eq!(adaptive_shards(1, 640), 16);
+        assert_eq!(adaptive_shards(1, 10_000), 256);
+        // Bounded above.
+        assert_eq!(adaptive_shards(512, 1 << 20), MAX_ADAPTIVE_SHARDS);
+        // Degenerate inputs stay sane.
+        assert_eq!(adaptive_shards(0, 0), 4);
+        // Register-after-share keeps a multi-stripe topology.
+        let shared = Tsdb::new().into_shared();
+        assert!(shared.n_shards() >= 4);
     }
 
     #[test]

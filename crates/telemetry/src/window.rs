@@ -24,9 +24,14 @@ pub enum WindowAgg {
     Last,
     /// Count of samples (cardinality of the window).
     Count,
-    /// Exact percentile `q` in `[0, 1]` via O(n) selection
-    /// (`select_nth_unstable_by`) with linear interpolation between the
-    /// two bracketing order statistics.
+    /// Percentile `q` in `[0, 1]`. On raw samples: exact, via O(n)
+    /// selection (`select_nth_unstable_by`) with linear interpolation
+    /// between the two bracketing order statistics. Wide windows over a
+    /// metric with a sketched rollup pyramid
+    /// ([`RollupConfig::with_sketches`](crate::rollup::RollupConfig::with_sketches))
+    /// are instead served by merging per-bucket quantile sketches —
+    /// O(window/res), within a 1 % relative-error bound
+    /// ([`SKETCH_RELATIVE_ERROR`](crate::sketch::SKETCH_RELATIVE_ERROR)).
     Percentile(f64),
 }
 

@@ -515,6 +515,212 @@ proptest! {
     }
 }
 
+// ----------------------------------------------- percentile sketches
+//
+// Sketch-served percentiles must stay within the documented relative
+// error bound of the exact selection — `|v̂ − v| ≤ α·|v|` with
+// α = SKETCH_RELATIVE_ERROR against the order statistics bracketing the
+// queried rank — across workload shapes (uniform, lognormal-style heavy
+// tails, adversarial duplicates), through rollup-ring wraparound and the
+// fine→coarse cascade, with raw splices at the window edges.
+
+use moda_telemetry::SKETCH_RELATIVE_ERROR;
+
+/// Like `rollup_pair`, but the rolled store's pyramid embeds quantile
+/// sketches.
+fn sketched_pair(
+    cap_fine: usize,
+    cap_coarse: usize,
+    stream: &[(u64, f64)],
+) -> (Tsdb, Tsdb, moda_telemetry::MetricId) {
+    let cfg = RollupConfig::new(vec![
+        RollupTier::new(SimDuration::from_secs(1), cap_fine),
+        RollupTier::new(SimDuration::from_secs(10), cap_coarse),
+    ])
+    .with_sketches();
+    let mut raw = Tsdb::with_retention(1 << 16);
+    let mut rolled = Tsdb::with_retention(1 << 16);
+    let a = raw.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+    let b = rolled.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+    rolled.enable_rollups(b, &cfg);
+    assert_eq!(a, b);
+    for &(t, v) in stream {
+        assert_eq!(
+            raw.insert(a, SimTime(t), v),
+            rolled.insert(b, SimTime(t), v)
+        );
+    }
+    (raw, rolled, a)
+}
+
+/// Assert one sketch-served window percentile against the exact order
+/// statistics of the same raw window.
+fn assert_sketch_window_within_bound(
+    raw: &Tsdb,
+    rolled: &Tsdb,
+    id: moda_telemetry::MetricId,
+    now: SimTime,
+    window: SimDuration,
+    q: f64,
+) -> Result<(), proptest::TestCaseError> {
+    let got = rolled.window_agg(id, now, window, WindowAgg::Percentile(q));
+    let mut vals: Vec<f64> = raw.window_view(id, now, window).values().collect();
+    if vals.is_empty() {
+        // Empty window: the aggregate path reports None on both stores
+        // (the sketch itself reports NaN, matching `WindowAgg::apply`).
+        prop_assert_eq!(got, None);
+        return Ok(());
+    }
+    let got = got.expect("non-empty window yields a percentile");
+    vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let pos = q.clamp(0.0, 1.0) * (vals.len() - 1) as f64;
+    let lo = vals[pos.floor() as usize];
+    let hi = vals[pos.ceil() as usize];
+    // The sketch targets the order statistic at round(pos), which lies
+    // in [lo, hi]; its estimate must land within α (plus fp slack and
+    // the zero-bucket epsilon) of that interval.
+    let a = SKETCH_RELATIVE_ERROR + 1e-9;
+    let lo_b = lo - a * lo.abs() - 1e-9;
+    let hi_b = hi + a * hi.abs() + 1e-9;
+    prop_assert!(
+        got >= lo_b && got <= hi_b,
+        "q={} now={:?} w={:?}: sketch {} outside [{}, {}] (exact [{}, {}])",
+        q,
+        now,
+        window,
+        got,
+        lo_b,
+        hi_b,
+        lo,
+        hi
+    );
+    Ok(())
+}
+
+/// Value streams with a lognormal-style heavy tail (exp of a uniform
+/// exponent): magnitudes span ~9 decades, the shape that stresses the
+/// log-bucket layout.
+fn heavy_tail_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..80_000, -4.0f64..16.0, 0u64..2), 1..400).prop_map(|v| {
+        v.into_iter()
+            .map(|(t, e, neg)| (t, if neg == 1 { -e.exp() } else { e.exp() }))
+            .collect()
+    })
+}
+
+/// Adversarially duplicate-heavy values drawn from a tiny palette
+/// (including zero and sign flips).
+fn duplicate_palette_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..80_000, 0usize..5), 1..400).prop_map(|v| {
+        v.into_iter()
+            .map(|(t, i)| (t, [0.0, 3.5, 3.5, -120.0, 7.25][i]))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Uniform-ish workloads (the same stream shape as the scalar rollup
+    /// props): sketch-served `window_agg` percentiles stay within the
+    /// bound for arbitrary windows, ranks, and ring wraparound, and
+    /// `rollup_hits`/`sketch_hits` agree with how queries were served.
+    #[test]
+    fn sketch_window_percentile_within_bound_uniform(
+        cap_fine in 2usize..20,
+        cap_coarse in 2usize..6,
+        stream in rollup_stream(),
+        now in 0u64..90_000,
+        window in 1u64..90_000,
+        q in 0.0f64..1.0,
+    ) {
+        let (raw, rolled, id) = sketched_pair(cap_fine, cap_coarse, &stream);
+        assert_sketch_window_within_bound(&raw, &rolled, id, SimTime(now), SimDuration(window), q)?;
+        prop_assert!(rolled.rollup_hits() >= rolled.sketch_hits());
+    }
+
+    /// Heavy-tailed (lognormal-style) workloads.
+    #[test]
+    fn sketch_window_percentile_within_bound_heavy_tail(
+        stream in heavy_tail_stream(),
+        now in 0u64..90_000,
+        window in 1u64..90_000,
+        q in 0.0f64..1.0,
+    ) {
+        let (raw, rolled, id) = sketched_pair(8, 4, &stream);
+        assert_sketch_window_within_bound(&raw, &rolled, id, SimTime(now), SimDuration(window), q)?;
+    }
+
+    /// Adversarial duplicates (tiny value palette with zeros and sign
+    /// flips): bucket counts pile up in few keys and every rank walk
+    /// crosses the zero/negative boundaries.
+    #[test]
+    fn sketch_window_percentile_within_bound_duplicates(
+        stream in duplicate_palette_stream(),
+        now in 0u64..90_000,
+        window in 1u64..90_000,
+        q in 0.0f64..1.0,
+    ) {
+        let (raw, rolled, id) = sketched_pair(6, 3, &stream);
+        assert_sketch_window_within_bound(&raw, &rolled, id, SimTime(now), SimDuration(window), q)?;
+    }
+
+    /// Sketch-served percentile `resample_into` buckets each stay within
+    /// the bound of the exact per-bucket selection — including buckets
+    /// served from the coarse tier (the merged 1s→10s cascade).
+    #[test]
+    fn sketch_resample_percentiles_within_bound(
+        stream in rollup_stream(),
+        a in 0u64..90_000,
+        b in 0u64..90_000,
+        period in 1_000u64..30_000,
+        q in 0.0f64..1.0,
+    ) {
+        let (raw, rolled, id) = sketched_pair(16, 5, &stream);
+        let (t0, t1) = (SimTime(a.min(b)), SimTime(a.max(b)));
+        let mut got = Vec::new();
+        rolled.resample_into(id, t0, t1, SimDuration(period), WindowAgg::Percentile(q), &mut got);
+        let nb = (t1.0 - t0.0).div_ceil(period) as usize;
+        prop_assert_eq!(got.len(), nb);
+        let alpha = SKETCH_RELATIVE_ERROR + 1e-9;
+        for (i, g) in got.iter().enumerate() {
+            let b0 = SimTime(t0.0 + i as u64 * period);
+            let b1 = SimTime((t0.0 + (i as u64 + 1) * period).min(t1.0));
+            let mut vals: Vec<f64> = raw.series(id).range_view(b0, b1).values().collect();
+            match g {
+                None => prop_assert!(vals.is_empty(), "bucket {} should be a gap", i),
+                Some(g) => {
+                    prop_assert!(!vals.is_empty());
+                    vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                    let pos = q.clamp(0.0, 1.0) * (vals.len() - 1) as f64;
+                    let lo = vals[pos.floor() as usize];
+                    let hi = vals[pos.ceil() as usize];
+                    prop_assert!(
+                        *g >= lo - alpha * lo.abs() - 1e-9 && *g <= hi + alpha * hi.abs() + 1e-9,
+                        "bucket {}: sketch {} vs exact [{}, {}]", i, g, lo, hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// A sketch-free pyramid keeps percentile behaviour byte-identical
+    /// to the raw store (fallback path) and never counts sketch hits.
+    #[test]
+    fn sketchfree_percentiles_identical_to_raw(
+        stream in rollup_stream(),
+        now in 0u64..90_000,
+        window in 1u64..90_000,
+        q in 0.0f64..1.0,
+    ) {
+        let (raw, rolled, id) = rollup_pair(8, 4, &stream);
+        let p = WindowAgg::Percentile(q);
+        prop_assert_eq!(
+            rolled.window_agg(id, SimTime(now), SimDuration(window), p),
+            raw.window_agg(id, SimTime(now), SimDuration(window), p)
+        );
+        prop_assert_eq!(rolled.sketch_hits(), 0);
+    }
+}
+
 /// Regression: the unsealed tail bucket must be spliced from raw
 /// samples. A sample landing in the newest (unsealed) bucket *after* a
 /// first query must show up in the next query's answer — if the planner

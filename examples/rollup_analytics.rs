@@ -1,13 +1,16 @@
 //! Knowledge-layer rollups: month-wide analysis without raw-sample scans.
 //!
 //! Feeds one node-power metric at 1 Hz for a simulated week into two
-//! stores — raw-only versus rollup-enabled (1m/1h pyramid) — then asks
-//! both the questions a wide Analyze phase asks: day- and week-wide
-//! aggregates, and an hourly downsample of the whole span. The rollup
-//! store answers from sealed pre-folded buckets (splicing raw samples
-//! only at the window edges and the unsealed tail), which is why its
-//! answers arrive orders of magnitude faster and keep working after the
-//! raw ring has evicted the old samples.
+//! stores — raw-only versus rollup-enabled (1m/1h pyramid with quantile
+//! sketches) — then asks both the questions a wide Analyze phase asks:
+//! day- and week-wide aggregates, tail percentiles, and an hourly
+//! downsample of the whole span. The rollup store answers from sealed
+//! pre-folded buckets (splicing raw samples only at the window edges
+//! and the unsealed tail), which is why its answers arrive orders of
+//! magnitude faster and keep working after the raw ring has evicted the
+//! old samples — including a **week-wide p99** (1 % relative error via
+//! merged bucket sketches) that the rollup store's raw ring, holding
+//! only one day, could not answer at all.
 //!
 //! Run with: `cargo run --release --example rollup_analytics`
 
@@ -33,7 +36,7 @@ fn main() {
         SourceDomain::Hardware,
     ));
     rolled.set_rollup_policy(None); // explicit per-metric opt-in below
-    rolled.enable_rollups(b, &RollupConfig::standard());
+    rolled.enable_rollups(b, &RollupConfig::standard().with_sketches());
 
     println!("inserting one week of 1 Hz power samples into both stores ...");
     let t0 = Instant::now();
@@ -73,6 +76,27 @@ fn main() {
         );
     }
 
+    // Tail power over the whole week: the raw store still holds every
+    // sample and runs an O(n) selection; the rollup store merges one
+    // quantile sketch per sealed bucket (1 % relative error) — and its
+    // own raw ring only retains a day, so without sketches a week-wide
+    // p99 would be unanswerable there.
+    println!();
+    let q = WindowAgg::Percentile(0.99);
+    let week = SimDuration::from_secs(WEEK_S);
+    let (rv, rt) = time(&mut || raw.window_agg(a, now, week, q));
+    let (pv, pt) = time(&mut || rolled.window_agg(b, now, week, q));
+    println!(
+        "p99 power over  1 week: raw select {rv:>8.2?} W in {rt:>9.2?} | sketches {pv:>8.2?} W in {pt:>9.2?}",
+        rv = rv.unwrap_or(f64::NAN),
+        pv = pv.unwrap_or(f64::NAN),
+    );
+    println!(
+        "  (rollup store's raw ring holds {} of {} samples — the sketch path is the only week-wide percentile it can serve)",
+        rolled.series(b).len(),
+        WEEK_S
+    );
+
     // Hourly profile of the full week (the Knowledge-layer downsample).
     let mut buf = Vec::new();
     let span = (SimTime::ZERO, SimTime::from_secs(WEEK_S));
@@ -109,5 +133,9 @@ fn main() {
          (rollup raw ring retains only {} samples)",
         rolled.series(b).len()
     );
-    println!("  rollup-served queries this run: {}", rolled.rollup_hits());
+    println!(
+        "  rollup-served queries this run: {} ({} of them via percentile sketches)",
+        rolled.rollup_hits(),
+        rolled.sketch_hits()
+    );
 }

@@ -6,7 +6,9 @@
 //!
 //! * insert throughput as metric cardinality grows,
 //! * window-query cost as the analysis window widens,
-//! * resampling (the Knowledge-layer downsampling shape).
+//! * resampling (the Knowledge-layer downsampling shape),
+//! * export drain throughput — snapshot and incremental — for the
+//!   batched collection→transport stage (`tsdb_export`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use moda_core::runtime::{run_telemetry_fleet, TelemetryFleetConfig};
@@ -241,6 +243,68 @@ fn bench_percentile_wide(c: &mut Criterion) {
     g.finish();
 }
 
+/// Export drain throughput and lock-hold cost: a full-day snapshot
+/// drain of raw samples alone vs a sketched rollup store (raw + sealed
+/// buckets + sketch columns), plus the steady-state incremental shape
+/// (60 new 1 Hz samples per drain). All single-threaded and
+/// machine-comparable; the drain's per-metric lock-hold time under
+/// *concurrent* collector load is machine-dependent (core count) like
+/// the `tsdb_contention` fleet — see ARCHITECTURE.md's multi-core note.
+fn bench_export(c: &mut Criterion) {
+    use moda_telemetry::export::{CsvSink, Exporter};
+    let mut g = c.benchmark_group("tsdb_export");
+    const DAY_S: u64 = 86_400;
+    let feed = |rollups: bool| {
+        let (mut db, ids) = registered(1, 90_000);
+        if rollups {
+            db.enable_rollups(ids[0], &RollupConfig::standard().with_sketches());
+        }
+        for s in 0..DAY_S {
+            let v = 200.0 + ((s * 2_654_435_761) % 50) as f64;
+            db.insert(ids[0], SimTime::from_secs(s), v);
+        }
+        (db, ids)
+    };
+    // Fresh-cursor snapshot of one day of raw 1 Hz samples.
+    let (db_raw, _) = feed(false);
+    g.throughput(Throughput::Elements(DAY_S));
+    g.bench_function("drain_day_raw", |b| {
+        b.iter(|| {
+            let mut sink = CsvSink::new(std::io::sink());
+            let stats = Exporter::new().drain(&db_raw, &mut sink).unwrap();
+            black_box(stats.records)
+        });
+    });
+    // Same day with the sketched pyramid: sealed 1m/1h buckets and
+    // their sketch columns ride along (the long-horizon wire units).
+    let (db_sk, _) = feed(true);
+    g.bench_function("drain_day_sketch", |b| {
+        b.iter(|| {
+            let mut sink = CsvSink::new(std::io::sink());
+            let stats = Exporter::new().drain(&db_sk, &mut sink).unwrap();
+            black_box(stats.records)
+        });
+    });
+    // Steady state: one minute of new samples per drain, cursors warm.
+    g.throughput(Throughput::Elements(60));
+    g.bench_function("drain_incremental_60s", |b| {
+        let (mut db, ids) = feed(true);
+        let mut exporter = Exporter::new();
+        let mut sink = CsvSink::new(std::io::sink());
+        exporter.drain(&db, &mut sink).unwrap();
+        let mut t = DAY_S;
+        b.iter(|| {
+            for _ in 0..60 {
+                db.insert(ids[0], SimTime::from_secs(t), (t % 997) as f64);
+                t += 1;
+            }
+            let stats = exporter.drain(&db, &mut sink).unwrap();
+            black_box(stats.records)
+        });
+    });
+    g.finish();
+}
+
 /// Percentile aggregation: full-sort (seed) vs O(n) selection.
 fn bench_percentile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_percentile");
@@ -341,6 +405,7 @@ criterion_group!(
     bench_percentile,
     bench_percentile_wide,
     bench_resample,
+    bench_export,
     bench_contention
 );
 criterion_main!(benches);

@@ -303,11 +303,20 @@ pub struct TelemetryFleetConfig {
     pub wide_window: SimDuration,
     /// Tail-latency workload of the wide readers: when set, each wide
     /// sweep additionally folds `Percentile(q)` over every fleet metric.
-    /// The fleet's rollup config is upgraded to a sketched pyramid so
-    /// these reads merge bucket quantile sketches (1 % relative error)
-    /// instead of running O(samples) selections against the stripes the
-    /// collectors are writing.
+    /// The fleet's rollup config is upgraded to a sketched pyramid — a
+    /// fleet configured with `rollups: None` gets the standard sketched
+    /// pyramid — so these reads merge bucket quantile sketches (1 %
+    /// relative error) instead of running O(samples) selections against
+    /// the stripes the collectors are writing.
     pub wide_percentile: Option<f64>,
+    /// Exporter stage: number of incremental drain sweeps one exporter
+    /// thread performs **concurrently** with the fleet (0 disables).
+    /// Each sweep walks every fleet metric, copying pending raw
+    /// samples, sealed rollup buckets, and sketch columns out under
+    /// per-metric stripe read locks — the Knowledge layer's
+    /// collection→transport stage running against live collectors.
+    /// Drain/batch stats land in [`TelemetryFleetStats::export`].
+    pub export_drains: usize,
 }
 
 impl Default for TelemetryFleetConfig {
@@ -323,6 +332,7 @@ impl Default for TelemetryFleetConfig {
             wide_readers: 0,
             wide_window: SimDuration::from_hours(24),
             wide_percentile: None,
+            export_drains: 0,
         }
     }
 }
@@ -345,6 +355,10 @@ pub struct TelemetryFleetStats {
     /// percentile reads fall back to raw selections reports 0 here —
     /// the distinction operators watch when sizing rollup policies).
     pub sketch_hits: u64,
+    /// Exporter-stage totals (batches, per-kind record counts, missed
+    /// samples, lock-hold times) when
+    /// [`TelemetryFleetConfig::export_drains`] > 0.
+    pub export: Option<moda_telemetry::DrainStats>,
 }
 
 /// Run `cfg.n_loops` threads against one shared sharded store: each
@@ -381,14 +395,16 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
     // enabling it before the warm history means every sample lands in
     // both the raw ring and the 1m/1h buckets with no separate pass.
     // A p99 wide-reader workload needs sketched buckets; upgrade the
-    // config so its percentile reads merge sketches instead of
+    // config — falling back to the standard pyramid when none was
+    // given — so its percentile reads merge sketches instead of
     // re-scanning raw samples under the collectors' stripes.
-    if let Some(rollup_cfg) = &cfg.rollups {
-        let rollup_cfg = if cfg.wide_percentile.is_some() && !rollup_cfg.sketches() {
-            rollup_cfg.clone().with_sketches()
-        } else {
-            rollup_cfg.clone()
-        };
+    let rollup_cfg = match (&cfg.rollups, cfg.wide_percentile) {
+        (Some(rc), Some(_)) if !rc.sketches() => Some(rc.clone().with_sketches()),
+        (Some(rc), _) => Some(rc.clone()),
+        (None, Some(_)) => Some(RollupConfig::standard().with_sketches()),
+        (None, None) => None,
+    };
+    if let Some(rollup_cfg) = rollup_cfg {
         for id in fleet_ids.iter().flatten() {
             db.enable_rollups(*id, &rollup_cfg);
         }
@@ -405,11 +421,31 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
 
     let all_ids: Vec<MetricId> = fleet_ids.iter().flatten().copied().collect();
     let (wide_tx, wide_rx) = channel::unbounded::<f64>();
+    let (export_tx, export_rx) = channel::bounded::<moda_telemetry::DrainStats>(1);
     let rollup_hits_before = db.rollup_hits();
     let sketch_hits_before = db.sketch_hits();
     let inserts_before = db.total_inserts();
     let start = Instant::now();
     std::thread::scope(|s| {
+        // Exporter stage: incremental drains of the live store, each
+        // metric copied under its own stripe read lock, all sink I/O
+        // outside the locks. The fleet's collectors and Monitors keep
+        // running against the other stripes throughout.
+        if cfg.export_drains > 0 {
+            let export_tx = export_tx.clone();
+            s.spawn(move || {
+                let mut exporter = moda_telemetry::Exporter::new();
+                let mut sink = moda_telemetry::export::CsvSink::new(std::io::sink());
+                for _ in 0..cfg.export_drains {
+                    let _ = exporter.drain(db.as_ref(), &mut sink);
+                    // Let collectors make progress between sweeps so
+                    // the later drains really are incremental deltas.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let _ = export_tx.send(exporter.totals());
+            });
+        }
+        drop(export_tx);
         // Knowledge-layer wide readers, concurrent with the fleet.
         for _ in 0..cfg.wide_readers {
             let wide_tx = wide_tx.clone();
@@ -488,6 +524,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         wide,
         rollup_hits: db.rollup_hits() - rollup_hits_before,
         sketch_hits: db.sketch_hits() - sketch_hits_before,
+        export: export_rx.try_recv().ok(),
     }
 }
 
@@ -619,6 +656,49 @@ mod tests {
             stats.rollup_hits >= stats.sketch_hits,
             "sketch hits are a subset of rollup hits"
         );
+        // A p99 workload with no rollup config at all gets the standard
+        // sketched pyramid — never silent raw selections under the
+        // collectors' stripes.
+        let db2: SharedTsdb = Arc::new(ShardedTsdb::with_config(8192, 8));
+        let cfg2 = TelemetryFleetConfig {
+            rollups: None,
+            ..cfg
+        };
+        let stats2 = run_telemetry_fleet(&cfg2, &db2);
+        assert!(
+            stats2.sketch_hits > 0,
+            "rollups: None + wide_percentile must still be sketch-served"
+        );
+    }
+
+    #[test]
+    fn telemetry_fleet_exporter_stage_drains_concurrently() {
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(8192, 8));
+        let cfg = TelemetryFleetConfig {
+            n_loops: 2,
+            rounds: 30,
+            metrics_per_loop: 4,
+            history: 200,
+            rollups: Some(moda_telemetry::RollupConfig::standard().with_sketches()),
+            export_drains: 5,
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        assert_eq!(stats.rounds.iterations, 2 * 30);
+        let export = stats.export.expect("exporter stage ran");
+        assert!(export.batches > 0, "{export:?}");
+        assert!(export.samples > 0, "{export:?}");
+        assert!(export.metas >= 8, "one meta per fleet metric: {export:?}");
+        assert!(export.max_lock_held_ns > 0);
+        // A follow-up drain from the same store ships only what the
+        // concurrent sweeps had not yet seen — never a duplicate of
+        // the whole history (retention 8192 >> inserts, so nothing was
+        // missed either).
+        assert_eq!(export.missed_samples, 0);
+        let mut late = moda_telemetry::Exporter::new();
+        let mut sink = moda_telemetry::export::CsvSink::new(std::io::sink());
+        let full = late.drain(db.as_ref(), &mut sink).unwrap();
+        assert_eq!(full.samples, stats.inserts + 200 * 8);
     }
 
     #[test]

@@ -145,6 +145,10 @@ pub struct World {
     resume_steps: HashMap<JobId, u64>,
     root_of: HashMap<JobId, JobId>,
     progress_metric: HashMap<JobId, MetricId>,
+    /// Watermark cursors of [`World::export_progress`] — persistent, so
+    /// repeated snapshots ship only each job's *new* markers and newly
+    /// sealed pyramid buckets.
+    progress_exporter: moda_telemetry::Exporter,
     io_latency: HashMap<String, Summary>,
     streams: RngStreams,
     next_job_id: u64,
@@ -191,6 +195,7 @@ impl World {
             resume_steps: HashMap::new(),
             root_of: HashMap::new(),
             progress_metric: HashMap::new(),
+            progress_exporter: moda_telemetry::Exporter::new(),
             io_latency: HashMap::new(),
             streams,
             next_job_id: 0,
@@ -692,6 +697,23 @@ impl World {
         }
     }
 
+    /// Snapshot every job's progress pyramid to an export sink — the
+    /// §III.iii "variation of progress markers" dataset leaving the
+    /// simulated center incrementally. Each job's marker metric ships
+    /// its pending raw markers, sealed compact-pyramid buckets, and
+    /// (with [`WorldConfig::progress_sketches`] on) sparse sketch
+    /// columns; watermark cursors persist inside the world, so calling
+    /// this periodically exports each marker and sealed bucket exactly
+    /// once. Returns the drain's batch/record stats.
+    pub fn export_progress<S: moda_telemetry::Sink>(
+        &mut self,
+        sink: &mut S,
+    ) -> std::io::Result<moda_telemetry::DrainStats> {
+        let mut ids: Vec<MetricId> = self.progress_metric.values().copied().collect();
+        ids.sort_unstable();
+        self.progress_exporter.drain_metrics(&self.tsdb, &ids, sink)
+    }
+
     /// Total steps the application targets (the app knows its own input
     /// deck; legitimately observable by its loop).
     pub fn total_steps(&self, id: JobId) -> Option<u64> {
@@ -961,6 +983,48 @@ mod tests {
         // Fewer than two markers (or an unknown job) yields no rate.
         assert_eq!(w.progress_rate(JobId(0), 1), None);
         assert_eq!(w.progress_rate(JobId(999), 100), None);
+    }
+
+    #[test]
+    fn progress_pyramids_export_incrementally() {
+        use moda_telemetry::export::{ExportRecord, MemorySink, ReplayStore};
+        let mut w = small_world(3);
+        // 2000 steps × 5 s: plenty of markers and sealed 1m buckets.
+        w.submit_campaign(vec![quick_job(0, 2, 2000, 5.0, 20_000)]);
+        w.run_until(SimTime::from_secs(4_000));
+        let mut sink = MemorySink::new();
+        let s1 = w.export_progress(&mut sink).unwrap();
+        assert_eq!(s1.metas, 1, "one marker metric");
+        assert!(s1.samples > 0);
+        assert!(s1.buckets > 0, "sealed compact-pyramid buckets ship");
+        assert!(
+            s1.sketch_entries > 0,
+            "progress_sketches default ⇒ sketch columns ship"
+        );
+        // The snapshot is incremental: advancing the world and draining
+        // again ships only the new markers/buckets.
+        let shipped_before = s1.samples;
+        w.run_until(SimTime::from_secs(8_000));
+        let s2 = w.export_progress(&mut sink).unwrap();
+        assert!(s2.samples > 0 && s2.metas == 0);
+        // Replay rebuilds the marker dataset downstream: same metric
+        // name, markers in time order, buckets carrying sketches.
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        let id = replay.lookup("job.0.steps").expect("marker metric");
+        assert_eq!(replay.samples(id).len() as u64, shipped_before + s2.samples);
+        assert!(replay
+            .samples(id)
+            .windows(2)
+            .all(|p| p[0].0 <= p[1].0 && p[0].1 <= p[1].1));
+        let minute = moda_telemetry::rollup::RES_1M;
+        assert!(replay.merged_sketch(id, minute).count() > 0);
+        // Only progress metrics leave the node — power telemetry stays.
+        assert!(sink
+            .records()
+            .all(|r| !matches!(r, ExportRecord::Meta { meta, .. } if meta.name.contains("power"))));
     }
 
     #[test]

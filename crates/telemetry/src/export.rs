@@ -1,95 +1,1271 @@
-//! Dataset export.
+//! Incremental batched dataset export — the Knowledge layer's way out
+//! of the node.
 //!
 //! The paper commits to releasing "exploratory datasets used to gain
-//! insight into the variation of progress markers and run-time variation"
-//! as open datasets (§III.iii). This module renders series and whole-store
-//! snapshots as CSV — the lingua franca for such releases — plus a JSON
-//! form for structured consumers.
+//! insight into the variation of progress markers and run-time
+//! variation" (§III.iii), and deployed ODA stacks (DCDB Wintermute,
+//! LDMS, Examon) are built around a **continuous**
+//! collection→transport→storage pipeline, not one-shot dumps. This
+//! module is that pipeline's node side: an [`Exporter`] holds
+//! per-metric watermark cursors, drains each metric's storage under its
+//! own short stripe read lock (never the whole store), and emits
+//! size-bounded [`ExportBatch`]es through a [`Sink`]. Re-draining after
+//! new inserts ships **exactly the delta**; replaying every batch
+//! downstream reconstructs the exported raw, rollup, and sketch state
+//! (see [`ReplayStore`] and the property tests in `tests/props.rs`).
+//!
+//! # Record kinds
+//!
+//! A batch carries four record kinds (the full field-level wire spec,
+//! for both the CSV and JSON-lines renderings, lives in
+//! `docs/EXPORT_FORMAT.md`):
+//!
+//! * [`ExportRecord::Meta`] — one per metric, emitted before any of the
+//!   metric's data the first time an exporter touches it: numeric wire
+//!   id plus name/kind/unit/domain, so the receiver can rebuild the
+//!   registry.
+//! * [`ExportRecord::Sample`] — one raw `(t, value)` observation,
+//!   copied straight from the ring's
+//!   [`SampleView`](crate::series::SampleView) slices. Short-horizon
+//!   ground truth.
+//! * [`ExportRecord::Bucket`] — one **sealed** rollup bucket
+//!   (`res`, `start`, count/sum/min/max/last): the long-horizon wire
+//!   unit. Sealed buckets are immutable, so each is shipped exactly
+//!   once and the stream stays append-only.
+//! * [`ExportRecord::Sketch`] — one sparse quantile-sketch column
+//!   `(sign, key, count)` of a sealed bucket
+//!   ([`SketchEntry`]). Counts are additive
+//!   per `(sign, key)`, so a downstream store can merge **fleet-wide
+//!   percentiles** without ever seeing raw samples — the sketch-merge
+//!   contract.
+//!
+//! # Cursors and delta semantics
+//!
+//! Per metric the exporter remembers how many lifetime raw appends it
+//! has shipped (robust against duplicate timestamps) and, per rollup
+//! tier, the slot-start watermark below which every sealed bucket has
+//! been shipped. A drain therefore emits each accepted sample and each
+//! sealed bucket **exactly once** across any number of calls. When
+//! retention outruns the drain cadence, the gap is counted rather than
+//! silently skipped — evicted raw samples in
+//! [`DrainStats::missed_samples`], evicted sealed buckets in
+//! [`DrainStats::missed_buckets`] — so operators can tell transport
+//! lag from telemetry gaps. Cursor advances commit only when their
+//! batch reaches the sink: a sink error rolls the cursors back to the
+//! last delivered batch and the next drain re-stages the rest.
+//!
+//! # Example
+//!
+//! ```
+//! use moda_sim::SimTime;
+//! use moda_telemetry::export::{Exporter, MemorySink, ReplayStore};
+//! use moda_telemetry::{MetricMeta, SourceDomain, Tsdb};
+//!
+//! let mut db = Tsdb::new();
+//! let id = db.register(MetricMeta::gauge("node.0.power", "W", SourceDomain::Hardware));
+//! for s in 0..50u64 {
+//!     db.insert(id, SimTime::from_secs(s), s as f64);
+//! }
+//!
+//! let mut exporter = Exporter::new();
+//! let mut sink = MemorySink::new();
+//! let stats = exporter.drain(&db, &mut sink).unwrap();
+//! assert_eq!(stats.samples, 50);
+//! let first = sink.record_count(); // 50 samples + 1 meta
+//!
+//! // The next drain ships exactly what arrived since the cursor.
+//! for s in 50..55u64 {
+//!     db.insert(id, SimTime::from_secs(s), s as f64);
+//! }
+//! let stats = exporter.drain(&db, &mut sink).unwrap();
+//! assert_eq!(stats.samples, 5);
+//! assert_eq!(sink.record_count(), first + 5);
+//!
+//! // Replaying every batch reconstructs the exported state downstream.
+//! let mut replay = ReplayStore::new();
+//! for batch in &sink.batches {
+//!     replay.apply(batch);
+//! }
+//! assert_eq!(replay.samples(id).len(), 55);
+//! assert_eq!(replay.meta(id).unwrap().name, "node.0.power");
+//! ```
 
-use crate::metric::MetricId;
-use crate::tsdb::Tsdb;
-use serde::Serialize;
-use std::fmt::Write as _;
+use crate::metric::{MetricId, MetricKind, MetricMeta};
+use crate::rollup::RollupSet;
+use crate::series::TimeSeries;
+use crate::sketch::{QuantileSketch, SketchEntry};
+use crate::tsdb::{ShardedTsdb, Tsdb};
+use moda_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::time::Instant;
 
-/// CSV for one series: `time_ms,value` rows with a header.
-pub fn series_csv(db: &Tsdb, id: MetricId) -> String {
-    let mut out = String::from("time_ms,value\n");
-    for s in db.series(id).iter() {
-        let _ = writeln!(out, "{},{}", s.t.as_millis(), s.value);
-    }
-    out
+/// Default record-count bound per [`ExportBatch`].
+pub const DEFAULT_BATCH_RECORDS: usize = 4096;
+
+/// Wire-format version emitted in every sink preamble.
+pub const WIRE_VERSION: u32 = 1;
+
+/// One export record — see the module docs for the four kinds and
+/// `docs/EXPORT_FORMAT.md` for the rendered wire rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExportRecord {
+    /// Metric registry entry; precedes all data of `id` in the stream.
+    Meta {
+        /// Numeric wire id (stable within one export stream).
+        id: MetricId,
+        /// Name, kind, unit, and source domain.
+        meta: MetricMeta,
+    },
+    /// One raw observation.
+    Sample {
+        /// Metric the sample belongs to.
+        id: MetricId,
+        /// Observation timestamp.
+        t: SimTime,
+        /// Observed value.
+        value: f64,
+    },
+    /// One sealed rollup bucket (scalar aggregate state).
+    Bucket {
+        /// Metric the bucket belongs to.
+        id: MetricId,
+        /// Tier resolution (bucket width).
+        res: SimDuration,
+        /// Aligned slot start.
+        start: SimTime,
+        /// Samples folded into the slot.
+        count: u64,
+        /// Sum of folded values.
+        sum: f64,
+        /// Minimum folded value.
+        min: f64,
+        /// Maximum folded value.
+        max: f64,
+        /// Newest folded value.
+        last: f64,
+    },
+    /// One sparse quantile-sketch column of a sealed bucket. Emitted
+    /// immediately after the bucket's [`ExportRecord::Bucket`] record.
+    Sketch {
+        /// Metric the bucket belongs to.
+        id: MetricId,
+        /// Tier resolution of the owning bucket.
+        res: SimDuration,
+        /// Slot start of the owning bucket.
+        start: SimTime,
+        /// The `(sign, key, count)` column.
+        entry: SketchEntry,
+    },
 }
 
-/// Long-format CSV across all metrics:
-/// `metric,domain,unit,time_ms,value` — the shape monitoring archives use.
-pub fn store_csv(db: &Tsdb) -> String {
-    let mut out = String::from("metric,domain,unit,time_ms,value\n");
-    let ids: Vec<MetricId> = db.names().map(|(_, id)| id).collect();
-    for id in ids {
-        let meta = db.meta(id);
-        for s in db.series(id).iter() {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{}",
-                csv_escape(&meta.name),
-                meta.domain,
-                csv_escape(&meta.unit),
-                s.t.as_millis(),
-                s.value
-            );
+impl ExportRecord {
+    /// The metric this record describes.
+    pub fn metric(&self) -> MetricId {
+        match self {
+            ExportRecord::Meta { id, .. }
+            | ExportRecord::Sample { id, .. }
+            | ExportRecord::Bucket { id, .. }
+            | ExportRecord::Sketch { id, .. } => *id,
         }
     }
-    out
 }
 
-/// One exported series in the JSON dataset form.
-#[derive(Debug, Serialize)]
-pub struct SeriesExport {
-    /// Metric name.
-    pub metric: String,
-    /// Unit string.
-    pub unit: String,
-    /// Source domain as text.
-    pub domain: String,
-    /// `(time_ms, value)` pairs oldest → newest.
-    pub samples: Vec<(u64, f64)>,
+/// A size-bounded unit of transport: at most the exporter's configured
+/// record count (see [`Exporter::with_batch_records`]), except that a
+/// bucket and its sketch columns are never split across batches — a
+/// batch may therefore run over by one bucket's entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportBatch {
+    /// Monotonic batch sequence number within one exporter's stream.
+    pub seq: u64,
+    /// The records, grouped by metric, metas before data.
+    pub records: Vec<ExportRecord>,
 }
 
-/// Export every series as a JSON array of [`SeriesExport`].
-pub fn store_json(db: &Tsdb) -> String {
-    let ids: Vec<MetricId> = db.names().map(|(_, id)| id).collect();
-    let exports: Vec<SeriesExport> = ids
-        .into_iter()
-        .map(|id| {
-            let meta = db.meta(id);
-            SeriesExport {
-                metric: meta.name.clone(),
-                unit: meta.unit.clone(),
-                domain: meta.domain.to_string(),
-                samples: db
-                    .series(id)
-                    .iter()
-                    .map(|s| (s.t.as_millis(), s.value))
-                    .collect(),
+/// Where batches go: a file, a socket, memory, a transport stage.
+/// Implementations must treat each call as one atomic transport unit —
+/// the exporter never re-sends a batch.
+pub trait Sink {
+    /// Consume one batch.
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()>;
+}
+
+/// Anything an [`Exporter`] can drain: the single-owner [`Tsdb`] and
+/// the lock-striped [`ShardedTsdb`] (where
+/// [`with_storage`](ExportSource::with_storage) holds exactly one
+/// stripe read lock for the duration of the closure).
+pub trait ExportSource {
+    /// Number of registered metrics (ids are dense `0..cardinality`).
+    fn cardinality(&self) -> usize;
+    /// Cloned metadata of one metric.
+    fn export_meta(&self, id: MetricId) -> MetricMeta;
+    /// Run `f` over one metric's raw ring and optional rollup pyramid
+    /// as a consistent snapshot.
+    fn with_storage<R>(
+        &self,
+        id: MetricId,
+        f: impl FnOnce(&TimeSeries, Option<&RollupSet>) -> R,
+    ) -> R;
+}
+
+impl ExportSource for Tsdb {
+    fn cardinality(&self) -> usize {
+        Tsdb::cardinality(self)
+    }
+
+    fn export_meta(&self, id: MetricId) -> MetricMeta {
+        self.meta(id).clone()
+    }
+
+    fn with_storage<R>(
+        &self,
+        id: MetricId,
+        f: impl FnOnce(&TimeSeries, Option<&RollupSet>) -> R,
+    ) -> R {
+        Tsdb::with_storage(self, id, f)
+    }
+}
+
+impl ExportSource for ShardedTsdb {
+    fn cardinality(&self) -> usize {
+        ShardedTsdb::cardinality(self)
+    }
+
+    fn export_meta(&self, id: MetricId) -> MetricMeta {
+        self.meta(id)
+    }
+
+    fn with_storage<R>(
+        &self,
+        id: MetricId,
+        f: impl FnOnce(&TimeSeries, Option<&RollupSet>) -> R,
+    ) -> R {
+        ShardedTsdb::with_storage(self, id, f)
+    }
+}
+
+/// Counters for one [`Exporter::drain`] call (and, summed, for an
+/// exporter's lifetime — [`Exporter::totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Batches flushed to the sink.
+    pub batches: u64,
+    /// Total records across those batches.
+    pub records: u64,
+    /// Raw-sample records.
+    pub samples: u64,
+    /// Sealed-bucket records.
+    pub buckets: u64,
+    /// Sketch-column records.
+    pub sketch_entries: u64,
+    /// Metric metadata records.
+    pub metas: u64,
+    /// Accepted raw samples the ring evicted before they could be
+    /// exported (the drain cadence was slower than retention).
+    pub missed_samples: u64,
+    /// Sealed rollup buckets their ring evicted before they could be
+    /// exported — the long-horizon analogue of
+    /// [`DrainStats::missed_samples`], exact via each ring's lifetime
+    /// eviction counter. A downstream store seeing a hole in the bucket
+    /// stream can tell "export fell behind retention" (non-zero here)
+    /// apart from a plain telemetry gap.
+    pub missed_buckets: u64,
+    /// Total time spent holding per-metric storage locks, ns.
+    pub lock_held_ns: u64,
+    /// Longest single lock hold, ns.
+    pub max_lock_held_ns: u64,
+}
+
+impl DrainStats {
+    /// Whether the drain shipped nothing and missed nothing — i.e. the
+    /// store held no data the cursors hadn't already covered. (Lock-hold
+    /// timings may still be non-zero: finding nothing still peeks.)
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+            && self.batches == 0
+            && self.missed_samples == 0
+            && self.missed_buckets == 0
+    }
+
+    /// Fold another stats block into this one (maxes take the max,
+    /// everything else adds).
+    pub fn merge(&mut self, other: &DrainStats) {
+        self.batches += other.batches;
+        self.records += other.records;
+        self.merge_payload(other);
+        self.lock_held_ns += other.lock_held_ns;
+        self.max_lock_held_ns = self.max_lock_held_ns.max(other.max_lock_held_ns);
+    }
+
+    /// Fold only the per-kind payload counters (the part staged during
+    /// copy-out and committed when its batch reaches the sink).
+    fn merge_payload(&mut self, other: &DrainStats) {
+        self.samples += other.samples;
+        self.buckets += other.buckets;
+        self.sketch_entries += other.sketch_entries;
+        self.metas += other.metas;
+        self.missed_samples += other.missed_samples;
+        self.missed_buckets += other.missed_buckets;
+    }
+}
+
+/// Per-tier sealed-bucket cursor: every sealed bucket with
+/// `start < from` has been exported or accounted missed; `shipped` and
+/// `missed` keep the lifetime identity
+/// `ring.evicted() + retained_sealed == shipped + missed + pending`,
+/// which is how eviction-before-export is detected exactly.
+#[derive(Debug, Clone, Copy)]
+struct TierCursor {
+    res: u64,
+    from: u64,
+    shipped: u64,
+    missed: u64,
+}
+
+/// One metric's export watermarks.
+#[derive(Debug, Clone, Default)]
+struct MetricCursor {
+    /// Lifetime raw appends already exported (or counted as missed).
+    /// Append counts — unlike timestamps — stay exact under duplicate
+    /// timestamps, which the ring explicitly allows.
+    appends: u64,
+    /// Sealed-bucket watermark per rollup tier, fine→coarse.
+    tiers: Vec<TierCursor>,
+    /// Whether the metric's Meta record has been emitted.
+    meta_sent: bool,
+}
+
+impl MetricCursor {
+    /// Re-align tier cursors with the pyramid's current tier layout,
+    /// preserving watermarks of tiers whose resolution is unchanged
+    /// (a reconfigured pyramid gets fresh cursors for its new tiers).
+    fn sync_tiers(&mut self, set: &RollupSet) {
+        let rings = set.rings();
+        let aligned = self.tiers.len() == rings.len()
+            && self
+                .tiers
+                .iter()
+                .zip(rings)
+                .all(|(t, r)| t.res == r.res().0);
+        if aligned {
+            return;
+        }
+        let old = std::mem::take(&mut self.tiers);
+        self.tiers = rings
+            .iter()
+            .map(|r| {
+                let res = r.res().0;
+                old.iter()
+                    .find(|t| t.res == res)
+                    .copied()
+                    .unwrap_or(TierCursor {
+                        res,
+                        from: 0,
+                        shipped: 0,
+                        missed: 0,
+                    })
+            })
+            .collect();
+    }
+
+    /// Whether a drain would stage nothing for this metric: no new raw
+    /// appends, tier layout unchanged, and every tier's lifetime sealed
+    /// count already fully accounted (`shipped + missed` — pending or
+    /// newly lost buckets both break the identity). O(tiers), no
+    /// allocation: the steady-state fast path of a no-op drain.
+    fn is_idle(&self, raw: &TimeSeries, rollups: Option<&RollupSet>) -> bool {
+        if raw.total_appends() != self.appends {
+            return false;
+        }
+        let Some(set) = rollups else {
+            return true;
+        };
+        let rings = set.rings();
+        self.tiers.len() == rings.len()
+            && self.tiers.iter().zip(rings).all(|(tc, ring)| {
+                tc.res == ring.res().0
+                    && ring.evicted() + (ring.len() as u64).saturating_sub(1)
+                        == tc.shipped + tc.missed
+            })
+    }
+}
+
+/// The incremental batching exporter: per-metric watermark cursors plus
+/// a record-count batch bound. One exporter produces one logical export
+/// stream; its cursors advance monotonically, so draining twice never
+/// duplicates a sample or a sealed bucket.
+///
+/// Draining copies each metric's pending data out under that metric's
+/// own storage snapshot (one stripe read lock on a [`ShardedTsdb`]) and
+/// performs all sink I/O **outside** any lock — a slow sink can delay
+/// the export stream but never stall collectors or Monitors.
+///
+/// # Example: rollup buckets and sketch columns
+///
+/// ```
+/// use moda_sim::SimTime;
+/// use moda_telemetry::export::{Exporter, MemorySink, ReplayStore};
+/// use moda_telemetry::rollup::RES_1M;
+/// use moda_telemetry::{MetricMeta, RollupConfig, SourceDomain, Tsdb};
+///
+/// // Raw ring far smaller than the span: the sealed buckets (and their
+/// // sketch columns) are what survives onto the wire long-horizon.
+/// let mut db = Tsdb::with_retention(256);
+/// let id = db.register(MetricMeta::gauge("node.0.power", "W", SourceDomain::Hardware));
+/// db.enable_rollups(id, &RollupConfig::standard().with_sketches());
+/// for s in 0..7200u64 {
+///     db.insert(id, SimTime::from_secs(s), (s % 100) as f64);
+/// }
+///
+/// let mut exporter = Exporter::new();
+/// let mut sink = MemorySink::new();
+/// let stats = exporter.drain(&db, &mut sink).unwrap();
+/// assert_eq!(stats.samples, 256); // the retained raw tail...
+/// assert_eq!(stats.missed_samples, 7200 - 256); // ...misses accounted
+///
+/// let mut replay = ReplayStore::new();
+/// for batch in &sink.batches {
+///     replay.apply(batch);
+/// }
+/// // 120 minute slots, the newest still unsealed: 119 shipped.
+/// assert_eq!(replay.buckets(id, RES_1M).count(), 119);
+/// // Merging the replayed sketch columns answers wide percentiles
+/// // downstream without raw data (within the documented 1 % bound).
+/// let merged = replay.merged_sketch(id, RES_1M);
+/// assert_eq!(merged.count(), 119 * 60);
+/// let p50 = merged.quantile(0.5);
+/// assert!((p50 - 49.5).abs() <= 2.0, "{p50}");
+/// ```
+#[derive(Debug)]
+pub struct Exporter {
+    cursors: Vec<Option<MetricCursor>>,
+    batch_records: usize,
+    seq: u64,
+    totals: DrainStats,
+}
+
+impl Default for Exporter {
+    /// Same as [`Exporter::new`] — a derived default would zero the
+    /// batch bound, and a 0-record batch can never drain anything.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Exporter {
+    /// Exporter with the [`DEFAULT_BATCH_RECORDS`] batch bound.
+    pub fn new() -> Self {
+        Exporter {
+            cursors: Vec::new(),
+            batch_records: DEFAULT_BATCH_RECORDS,
+            seq: 0,
+            totals: DrainStats::default(),
+        }
+    }
+
+    /// Override the per-batch record bound (clamped to ≥ 1).
+    pub fn with_batch_records(mut self, records: usize) -> Self {
+        self.batch_records = records.max(1);
+        self
+    }
+
+    /// Lifetime totals across every drain of this exporter.
+    pub fn totals(&self) -> DrainStats {
+        self.totals
+    }
+
+    /// Next batch sequence number (== batches emitted so far).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Drain everything pending across **all** registered metrics.
+    pub fn drain<S: ExportSource, K: Sink>(
+        &mut self,
+        src: &S,
+        sink: &mut K,
+    ) -> io::Result<DrainStats> {
+        let ids: Vec<MetricId> = (0..src.cardinality() as u32).map(MetricId).collect();
+        self.drain_metrics(src, &ids, sink)
+    }
+
+    /// Drain everything pending for the given metrics only (e.g. one
+    /// subsystem's slice of a shared store). Cursors live per metric,
+    /// so interleaving subset drains with full drains stays exact.
+    ///
+    /// # Sink failures
+    ///
+    /// Cursor advances **commit only when their batch reaches the sink**:
+    /// on a sink error every cursor is rolled back to the last
+    /// successfully flushed batch, the error is returned, and nothing is
+    /// skipped — re-draining after the sink recovers re-stages exactly
+    /// the undelivered records. The returned/accumulated stats count
+    /// delivered batches only (plus lock-hold timings, which reflect
+    /// work actually done).
+    pub fn drain_metrics<S: ExportSource, K: Sink>(
+        &mut self,
+        src: &S,
+        ids: &[MetricId],
+        sink: &mut K,
+    ) -> io::Result<DrainStats> {
+        // `stats` counts committed (delivered) work; `staged` counts
+        // payload copied out since the last successful flush, and
+        // `snapshots` holds the pre-staging state of every cursor
+        // touched since then — the rollback unit on sink failure.
+        let mut stats = DrainStats::default();
+        let mut staged = DrainStats::default();
+        let mut snapshots: Vec<(usize, MetricCursor)> = Vec::new();
+        let mut batch: Vec<ExportRecord> = Vec::new();
+        // Belt-and-braces re-clamp: a 0-record bound could never make
+        // progress (every copy would report "more pending" forever).
+        let cap = self.batch_records.max(1);
+        let mut result: io::Result<()> = Ok(());
+        'metrics: for &id in ids {
+            let idx = id.index();
+            if self.cursors.len() <= idx {
+                self.cursors.resize(idx + 1, None);
             }
-        })
-        .collect();
-    serde_json::to_string_pretty(&exports).expect("export serialization cannot fail")
+            if self.cursors[idx].is_none() {
+                self.cursors[idx] = Some(MetricCursor::default());
+            }
+            // Bound captured at this drain's first visit to the metric,
+            // so concurrent writers can't tail-chase the loop forever.
+            let mut limit: Option<DrainLimit> = None;
+            loop {
+                let cursor = self.cursors[idx].as_mut().expect("cursor created above");
+                // Fetched outside the storage lock: nesting the registry
+                // read inside a stripe lock would invert the
+                // registration path's lock order (registry → stripe).
+                let meta = (!cursor.meta_sent).then(|| src.export_meta(id));
+                let more = src.with_storage(id, |raw, rollups| {
+                    let held = Instant::now();
+                    // Idle fast path: nothing pending for this metric —
+                    // no snapshot clone, no staging. Keeps a no-op
+                    // steady-state drain over N metrics at O(N).
+                    let more = if meta.is_none() && limit.is_none() && cursor.is_idle(raw, rollups)
+                    {
+                        false
+                    } else {
+                        // Snapshot before the first mutation since the
+                        // last flush. Metrics are walked in order and
+                        // `snapshots` clears on every flush, so if this
+                        // cursor is already snapshotted it is the most
+                        // recently pushed entry.
+                        if snapshots.last().map(|(i, _)| *i) != Some(idx) {
+                            snapshots.push((idx, cursor.clone()));
+                        }
+                        if let Some(meta) = meta {
+                            cursor.meta_sent = true;
+                            batch.push(ExportRecord::Meta { id, meta });
+                            staged.metas += 1;
+                        }
+                        let limit = limit.get_or_insert_with(|| DrainLimit::capture(raw, rollups));
+                        copy_pending(
+                            id,
+                            cursor,
+                            raw,
+                            rollups,
+                            limit,
+                            cap,
+                            &mut batch,
+                            &mut staged,
+                        )
+                    };
+                    let held = held.elapsed().as_nanos() as u64;
+                    stats.lock_held_ns += held;
+                    stats.max_lock_held_ns = stats.max_lock_held_ns.max(held);
+                    more
+                });
+                if batch.len() >= cap {
+                    if let Err(e) =
+                        self.flush(&mut batch, sink, &mut stats, &mut staged, &mut snapshots)
+                    {
+                        result = Err(e);
+                        break 'metrics;
+                    }
+                }
+                if !more {
+                    break;
+                }
+            }
+        }
+        if result.is_ok() {
+            if batch.is_empty() {
+                // Nothing to deliver, but misses discovered during the
+                // walk are real regardless of the sink.
+                stats.merge_payload(&staged);
+            } else {
+                result = self.flush(&mut batch, sink, &mut stats, &mut staged, &mut snapshots);
+            }
+        }
+        if let Err(e) = result {
+            // Un-consume everything staged past the last delivered
+            // batch: the next drain re-stages it. Restored newest-first
+            // so that when an id appears more than once in `ids` (two
+            // snapshots of the same cursor), the oldest snapshot wins.
+            for (idx, snap) in snapshots.into_iter().rev() {
+                self.cursors[idx] = Some(snap);
+            }
+            self.totals.merge(&stats);
+            return Err(e);
+        }
+        self.totals.merge(&stats);
+        Ok(stats)
+    }
+
+    /// Emit the staged records as one batch (outside any storage lock).
+    /// On success the staged payload counters and cursor snapshots
+    /// commit; on error the caller rolls the cursors back.
+    fn flush<K: Sink>(
+        &mut self,
+        batch: &mut Vec<ExportRecord>,
+        sink: &mut K,
+        stats: &mut DrainStats,
+        staged: &mut DrainStats,
+        snapshots: &mut Vec<(usize, MetricCursor)>,
+    ) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let out = ExportBatch {
+            seq: self.seq,
+            records: std::mem::take(batch),
+        };
+        sink.write_batch(&out)?;
+        self.seq += 1;
+        stats.batches += 1;
+        stats.records += out.records.len() as u64;
+        stats.merge_payload(staged);
+        *staged = DrainStats::default();
+        snapshots.clear();
+        // Reclaim the allocation for the next batch.
+        *batch = out.records;
+        batch.clear();
+        Ok(())
+    }
 }
 
-/// Quote a CSV field if it contains a delimiter, quote, or newline.
+/// Per-metric bound captured at a drain's first visit to the metric:
+/// one `drain` call exports at most the state that existed then, even
+/// while writers keep appending concurrently — without it, a writer
+/// sustainably outpacing the sink would turn the per-metric loop into
+/// an unbounded tail-chase and `drain` would never return. Whatever
+/// lands after the capture belongs to the next drain.
+struct DrainLimit {
+    /// Lifetime append count at capture.
+    appends: u64,
+    /// `(res_ms, sealed-until ms)` per tier at capture.
+    tiers: Vec<(u64, u64)>,
+}
+
+impl DrainLimit {
+    fn capture(raw: &TimeSeries, rollups: Option<&RollupSet>) -> Self {
+        DrainLimit {
+            appends: raw.total_appends(),
+            tiers: rollups
+                .map(|set| {
+                    set.rings()
+                        .iter()
+                        .map(|r| (r.res().0, r.sealed_until().map(|t| t.0).unwrap_or(0)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Exclusive sealed-region bound for a tier at capture time. Tiers
+    /// that appeared after capture (pyramid enabled mid-drain) defer to
+    /// the next drain entirely.
+    fn tier_end(&self, res: u64) -> u64 {
+        self.tiers
+            .iter()
+            .find(|(r, _)| *r == res)
+            .map(|(_, end)| *end)
+            .unwrap_or(0)
+    }
+}
+
+/// Copy one metric's pending records into `batch` (called under the
+/// metric's storage snapshot). Returns whether pending data remains
+/// because the batch bound was hit — the caller flushes and re-enters.
+#[allow(clippy::too_many_arguments)]
+fn copy_pending(
+    id: MetricId,
+    cursor: &mut MetricCursor,
+    raw: &TimeSeries,
+    rollups: Option<&RollupSet>,
+    limit: &DrainLimit,
+    cap: usize,
+    batch: &mut Vec<ExportRecord>,
+    stats: &mut DrainStats,
+) -> bool {
+    // Raw samples: the delta is the lifetime-append count beyond the
+    // cursor, bounded by what existed when this drain first saw the
+    // metric; whatever the ring already evicted is recorded as missed.
+    let total = raw.total_appends();
+    let target = total.min(limit.appends);
+    let oldest = total - raw.len() as u64;
+    // Lifetime index where this drain's export resumes: past anything
+    // already shipped, past anything evicted, capped at the drain
+    // bound (evictions beyond it are the next drain's misses).
+    let start = cursor.appends.max(oldest).min(target);
+    let missed = start.saturating_sub(cursor.appends);
+    stats.missed_samples += missed;
+    cursor.appends += missed;
+    let avail = (target - start) as usize;
+    let take = avail.min(cap.saturating_sub(batch.len()));
+    if take > 0 {
+        // The retained suffix from `start` onward may include
+        // post-capture samples; ship the oldest `take` of the in-scope
+        // span so the cursor advances contiguously.
+        let view = raw.last_n_view((total - start) as usize);
+        for s in view.into_iter().take(take) {
+            batch.push(ExportRecord::Sample {
+                id,
+                t: s.t,
+                value: s.value,
+            });
+        }
+        stats.samples += take as u64;
+        cursor.appends += take as u64;
+    }
+    if take < avail {
+        return true;
+    }
+
+    // Sealed rollup buckets, fine→coarse, each exactly once. A bucket
+    // and its sketch columns stay in one batch (entries are bounded by
+    // the sketch's footprint), so the bound check runs per bucket.
+    let Some(set) = rollups else {
+        return false;
+    };
+    cursor.sync_tiers(set);
+    for (ring, tc) in set.rings().iter().zip(cursor.tiers.iter_mut()) {
+        let res = ring.res();
+        // Eviction-before-export accounting, exact via the lifetime
+        // identity: every sealed bucket this ring ever produced
+        // (`evicted + retained_sealed`) is either already shipped,
+        // already accounted missed, still pending in the ring — or was
+        // just lost to eviction between drains.
+        let lifetime_sealed = ring.evicted() + ring.len().saturating_sub(1) as u64;
+        if lifetime_sealed < tc.shipped + tc.missed {
+            // Both sides are monotone over one pyramid's lifetime, so
+            // this means the pyramid was rebuilt (`enable_rollups`
+            // reset + backfill restarts the ring's counters). Reset the
+            // tier cursor: the rebuilt sealed region re-exports —
+            // receivers overwrite by `(metric, res, start)` — rather
+            // than being silently skipped against a stale watermark.
+            *tc = TierCursor {
+                res: tc.res,
+                from: 0,
+                shipped: 0,
+                missed: 0,
+            };
+        }
+        let pending = ring.sealed_buckets_from(SimTime(tc.from)).count() as u64;
+        let lost = lifetime_sealed.saturating_sub(tc.shipped + tc.missed + pending);
+        tc.missed += lost;
+        stats.missed_buckets += lost;
+        // Buckets sealed after this drain first saw the metric belong
+        // to the next drain (see [`DrainLimit`]).
+        let tier_end = limit.tier_end(res.0);
+        for b in ring.sealed_buckets_from(SimTime(tc.from)) {
+            if b.start.0 >= tier_end {
+                break;
+            }
+            if batch.len() >= cap {
+                return true;
+            }
+            batch.push(ExportRecord::Bucket {
+                id,
+                res,
+                start: b.start,
+                count: b.count,
+                sum: b.sum,
+                min: b.min,
+                max: b.max,
+                last: b.last,
+            });
+            stats.buckets += 1;
+            tc.shipped += 1;
+            if let Some(sk) = &b.sketch {
+                for entry in sk.wire_entries() {
+                    batch.push(ExportRecord::Sketch {
+                        id,
+                        res,
+                        start: b.start,
+                        entry,
+                    });
+                    stats.sketch_entries += 1;
+                }
+            }
+            tc.from = b.start.0.saturating_add(res.0);
+        }
+    }
+    false
+}
+
+// ------------------------------------------------------------- sinks
+
+/// CSV rendering of the export stream (see `docs/EXPORT_FORMAT.md`):
+/// a `format` preamble row, a `batch` header row per batch, then one
+/// kind-prefixed row per record. Metric names and units are
+/// RFC-4180-quoted when they contain delimiters, quotes, or newlines.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    w: W,
+    preamble_done: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Sink writing CSV rows to `w`.
+    pub fn new(w: W) -> Self {
+        CsvSink {
+            w,
+            preamble_done: false,
+        }
+    }
+
+    /// Recover the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    /// Write the `format` preamble row now if it has not been written
+    /// yet (idempotent; the first batch also triggers it). Call this
+    /// when a legitimately empty export must still be identifiable as
+    /// a valid `moda-export` stream rather than a truncated file.
+    pub fn preamble(&mut self) -> io::Result<()> {
+        if !self.preamble_done {
+            writeln!(self.w, "format,moda-export,{WIRE_VERSION}")?;
+            self.w.flush()?;
+            self.preamble_done = true;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> Sink for CsvSink<W> {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        self.preamble()?;
+        writeln!(self.w, "batch,{},{}", batch.seq, batch.records.len())?;
+        for r in &batch.records {
+            match r {
+                ExportRecord::Meta { id, meta } => writeln!(
+                    self.w,
+                    "meta,{},{},{},{},{}",
+                    id.0,
+                    csv_escape(&meta.name),
+                    kind_str(meta.kind),
+                    csv_escape(&meta.unit),
+                    meta.domain
+                )?,
+                ExportRecord::Sample { id, t, value } => {
+                    writeln!(self.w, "sample,{},{},{}", id.0, t.0, value)?
+                }
+                ExportRecord::Bucket {
+                    id,
+                    res,
+                    start,
+                    count,
+                    sum,
+                    min,
+                    max,
+                    last,
+                } => writeln!(
+                    self.w,
+                    "bucket,{},{},{},{count},{sum},{min},{max},{last}",
+                    id.0, res.0, start.0
+                )?,
+                ExportRecord::Sketch {
+                    id,
+                    res,
+                    start,
+                    entry,
+                } => writeln!(
+                    self.w,
+                    "sketch,{},{},{},{},{},{}",
+                    id.0, res.0, start.0, entry.sign, entry.key, entry.count
+                )?,
+            }
+        }
+        self.w.flush()
+    }
+}
+
+/// JSON-lines rendering of the export stream: one JSON object per line
+/// with a `"kind"` discriminator, mirroring the CSV rows field-for-field
+/// (see `docs/EXPORT_FORMAT.md`). Non-finite floats render as `null`
+/// so every line stays valid JSON.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    w: W,
+    preamble_done: bool,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Sink writing JSON lines to `w`.
+    pub fn new(w: W) -> Self {
+        JsonLinesSink {
+            w,
+            preamble_done: false,
+        }
+    }
+
+    /// Recover the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    /// Write the `format` preamble line now if it has not been written
+    /// yet (idempotent; the first batch also triggers it) — see
+    /// [`CsvSink::preamble`].
+    pub fn preamble(&mut self) -> io::Result<()> {
+        if !self.preamble_done {
+            writeln!(
+                self.w,
+                "{{\"kind\":\"format\",\"name\":\"moda-export\",\"version\":{WIRE_VERSION}}}"
+            )?;
+            self.w.flush()?;
+            self.preamble_done = true;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        self.preamble()?;
+        writeln!(
+            self.w,
+            "{{\"kind\":\"batch\",\"seq\":{},\"records\":{}}}",
+            batch.seq,
+            batch.records.len()
+        )?;
+        for r in &batch.records {
+            match r {
+                ExportRecord::Meta { id, meta } => writeln!(
+                    self.w,
+                    "{{\"kind\":\"meta\",\"metric\":{},\"name\":{},\"metric_kind\":\"{}\",\
+                     \"unit\":{},\"domain\":\"{}\"}}",
+                    id.0,
+                    json_string(&meta.name),
+                    kind_str(meta.kind),
+                    json_string(&meta.unit),
+                    meta.domain
+                )?,
+                ExportRecord::Sample { id, t, value } => writeln!(
+                    self.w,
+                    "{{\"kind\":\"sample\",\"metric\":{},\"t_ms\":{},\"value\":{}}}",
+                    id.0,
+                    t.0,
+                    json_num(*value)
+                )?,
+                ExportRecord::Bucket {
+                    id,
+                    res,
+                    start,
+                    count,
+                    sum,
+                    min,
+                    max,
+                    last,
+                } => writeln!(
+                    self.w,
+                    "{{\"kind\":\"bucket\",\"metric\":{},\"res_ms\":{},\"start_ms\":{},\
+                     \"count\":{count},\"sum\":{},\"min\":{},\"max\":{},\"last\":{}}}",
+                    id.0,
+                    res.0,
+                    start.0,
+                    json_num(*sum),
+                    json_num(*min),
+                    json_num(*max),
+                    json_num(*last)
+                )?,
+                ExportRecord::Sketch {
+                    id,
+                    res,
+                    start,
+                    entry,
+                } => writeln!(
+                    self.w,
+                    "{{\"kind\":\"sketch\",\"metric\":{},\"res_ms\":{},\"start_ms\":{},\
+                     \"sign\":{},\"key\":{},\"count\":{}}}",
+                    id.0, res.0, start.0, entry.sign, entry.key, entry.count
+                )?,
+            }
+        }
+        self.w.flush()
+    }
+}
+
+/// In-memory sink retaining every batch — the test/replay staging shape
+/// (and a handy tee: write retained batches into another sink later).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every batch received, in order.
+    pub batches: Vec<ExportBatch>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterate all retained records across batches, in stream order.
+    pub fn records(&self) -> impl Iterator<Item = &ExportRecord> {
+        self.batches.iter().flat_map(|b| b.records.iter())
+    }
+
+    /// Total retained records.
+    pub fn record_count(&self) -> usize {
+        self.batches.iter().map(|b| b.records.len()).sum()
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        self.batches.push(batch.clone());
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------- replay
+
+use crate::rollup::RollupBucket;
+
+/// A downstream Knowledge-store stand-in: applies export batches and
+/// rebuilds the registry, raw samples, sealed buckets, and bucket
+/// sketches. The round trip export→replay is what the property tests
+/// pin: replayed state equals the store's exported state exactly
+/// (sketches included — entry counts are exact).
+#[derive(Debug, Default)]
+pub struct ReplayStore {
+    metas: HashMap<u32, MetricMeta>,
+    samples: HashMap<u32, Vec<(SimTime, f64)>>,
+    /// `(metric, res_ms) → start_ms → bucket` — ordered for range reads.
+    buckets: HashMap<(u32, u64), BTreeMap<u64, RollupBucket>>,
+}
+
+impl ReplayStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply every record of one batch.
+    pub fn apply(&mut self, batch: &ExportBatch) {
+        for r in &batch.records {
+            self.apply_record(r);
+        }
+    }
+
+    /// Apply one record.
+    pub fn apply_record(&mut self, r: &ExportRecord) {
+        match r {
+            ExportRecord::Meta { id, meta } => {
+                self.metas.insert(id.0, meta.clone());
+            }
+            ExportRecord::Sample { id, t, value } => {
+                self.samples.entry(id.0).or_default().push((*t, *value));
+            }
+            ExportRecord::Bucket {
+                id,
+                res,
+                start,
+                count,
+                sum,
+                min,
+                max,
+                last,
+            } => {
+                // Two cases share this key. (a) Out-of-order delivery
+                // within one export of the bucket: its Sketch columns
+                // arrived first and created a placeholder (count == 0)
+                // — keep their sketch. (b) A re-export after a pyramid
+                // reset (the spec's overwrite-by-key case): the entry
+                // already holds real scalar state — drop the old sketch
+                // so the re-exported columns that follow replace it
+                // instead of double-counting into it.
+                let b = self
+                    .buckets
+                    .entry((id.0, res.0))
+                    .or_default()
+                    .entry(start.0)
+                    .or_insert_with(|| empty_replay_bucket(*start));
+                if b.count != 0 {
+                    b.sketch = None;
+                }
+                b.count = *count;
+                b.sum = *sum;
+                b.min = *min;
+                b.max = *max;
+                b.last = *last;
+            }
+            ExportRecord::Sketch {
+                id,
+                res,
+                start,
+                entry,
+            } => {
+                let bucket = self
+                    .buckets
+                    .entry((id.0, res.0))
+                    .or_default()
+                    .entry(start.0)
+                    .or_insert_with(|| empty_replay_bucket(*start));
+                bucket
+                    .sketch
+                    .get_or_insert_with(QuantileSketch::new)
+                    .absorb_entry(*entry);
+            }
+        }
+    }
+
+    /// Replayed metadata of a metric.
+    pub fn meta(&self, id: MetricId) -> Option<&MetricMeta> {
+        self.metas.get(&id.0)
+    }
+
+    /// Look up a replayed metric id by name.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.metas
+            .iter()
+            .find(|(_, m)| m.name == name)
+            .map(|(&id, _)| MetricId(id))
+    }
+
+    /// Number of replayed metrics.
+    pub fn cardinality(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Replayed raw samples of a metric, in stream (= time) order.
+    pub fn samples(&self, id: MetricId) -> &[(SimTime, f64)] {
+        self.samples.get(&id.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Replayed sealed buckets of one `(metric, resolution)` tier,
+    /// ordered by slot start.
+    pub fn buckets(&self, id: MetricId, res: SimDuration) -> impl Iterator<Item = &RollupBucket> {
+        self.buckets
+            .get(&(id.0, res.0))
+            .into_iter()
+            .flat_map(|m| m.values())
+    }
+
+    /// Merge every replayed sketch of one `(metric, resolution)` tier —
+    /// the fleet/downstream percentile shape. Empty sketch when the
+    /// tier carried no sketch columns.
+    pub fn merged_sketch(&self, id: MetricId, res: SimDuration) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        let mut scratch = Vec::new();
+        for b in self.buckets(id, res) {
+            if let Some(sk) = &b.sketch {
+                out.merge_with_scratch(sk, &mut scratch);
+            }
+        }
+        out
+    }
+}
+
+/// Placeholder a replayed bucket starts from until its scalar
+/// [`ExportRecord::Bucket`] record arrives.
+fn empty_replay_bucket(start: SimTime) -> RollupBucket {
+    RollupBucket {
+        start,
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        last: f64::NAN,
+        sketch: None,
+    }
+}
+
+// -------------------------------------------------------- conveniences
+
+/// Full snapshot of a store as one CSV export stream (a fresh cursor
+/// drained once — the "release an open dataset" shape). Incremental
+/// pipelines should hold an [`Exporter`] instead.
+pub fn snapshot_csv<S: ExportSource>(src: &S) -> String {
+    let mut out = Vec::new();
+    let mut sink = CsvSink::new(&mut out);
+    sink.preamble().expect("writing to a Vec cannot fail");
+    Exporter::new()
+        .drain(src, &mut sink)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV sink emits UTF-8")
+}
+
+/// Full snapshot of a store as one JSON-lines export stream.
+pub fn snapshot_jsonl<S: ExportSource>(src: &S) -> String {
+    let mut out = Vec::new();
+    let mut sink = JsonLinesSink::new(&mut out);
+    sink.preamble().expect("writing to a Vec cannot fail");
+    Exporter::new()
+        .drain(src, &mut sink)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("JSON sink emits UTF-8")
+}
+
+// ------------------------------------------------------------- helpers
+
+fn kind_str(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Gauge => "gauge",
+        MetricKind::Counter => "counter",
+    }
+}
+
+/// Quote a CSV field if it contains a delimiter, quote, or newline
+/// (RFC 4180: embedded quotes double).
 fn csv_escape(field: &str) -> String {
-    if field.contains([',', '"', '\n']) {
+    if field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
     }
 }
 
+/// Render a string as a quoted JSON literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot express).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metric::{MetricMeta, SourceDomain};
+    use crate::metric::SourceDomain;
+    use crate::rollup::{RollupConfig, RollupTier, RES_1M};
     use moda_sim::SimTime;
 
     fn db_with_data() -> (Tsdb, MetricId) {
@@ -104,48 +1280,604 @@ mod tests {
         (db, id)
     }
 
-    #[test]
-    fn series_csv_shape() {
-        let (db, id) = db_with_data();
-        let csv = series_csv(&db, id);
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "time_ms,value");
-        assert_eq!(lines[1], "1000,100");
-        assert_eq!(lines[2], "2000,110");
-        assert_eq!(lines.len(), 3);
+    /// Tiny two-tier sketched pyramid so seals happen within short tests.
+    fn tiny_sketched() -> RollupConfig {
+        RollupConfig::new(vec![
+            RollupTier::new(SimDuration::from_secs(1), 64),
+            RollupTier::new(SimDuration::from_secs(10), 16),
+        ])
+        .with_sketches()
     }
 
     #[test]
-    fn store_csv_includes_metadata() {
+    fn snapshot_csv_shape() {
         let (db, _) = db_with_data();
-        let csv = store_csv(&db);
-        assert!(csv.starts_with("metric,domain,unit,time_ms,value\n"));
-        assert!(csv.contains("node.0.power,hardware,W,1000,100"));
+        let csv = snapshot_csv(&db);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "format,moda-export,1");
+        assert_eq!(lines[1], "batch,0,3");
+        assert_eq!(lines[2], "meta,0,node.0.power,gauge,W,hardware");
+        assert_eq!(lines[3], "sample,0,1000,100");
+        assert_eq!(lines[4], "sample,0,2000,110");
+        assert_eq!(lines.len(), 5);
     }
 
     #[test]
-    fn csv_escaping() {
+    fn empty_store_exports_preamble_but_no_batches() {
+        let db = Tsdb::new();
+        // A snapshot of an empty store is still an identifiable (empty)
+        // export stream, not a 0-byte file.
+        assert_eq!(snapshot_csv(&db), "format,moda-export,1\n");
+        assert_eq!(
+            snapshot_jsonl(&db),
+            "{\"kind\":\"format\",\"name\":\"moda-export\",\"version\":1}\n"
+        );
+        let mut sink = MemorySink::new();
+        let stats = Exporter::new().drain(&db, &mut sink).unwrap();
+        assert_eq!(stats, DrainStats::default());
+        assert!(sink.batches.is_empty());
+    }
+
+    #[test]
+    fn registered_but_empty_metric_exports_meta_only() {
+        let mut db = Tsdb::new();
+        db.register(MetricMeta::gauge("idle", "u", SourceDomain::Software));
+        let mut sink = MemorySink::new();
+        let stats = Exporter::new().drain(&db, &mut sink).unwrap();
+        assert_eq!(stats.metas, 1);
+        assert_eq!(stats.samples, 0);
+        assert_eq!(sink.record_count(), 1);
+    }
+
+    #[test]
+    fn drain_is_incremental_and_exact() {
+        let (mut db, id) = db_with_data();
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        let s1 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s1.samples, 2);
+        assert_eq!(s1.metas, 1);
+        // Nothing new: a drain is a no-op (no batch at all).
+        let s2 = exporter.drain(&db, &mut sink).unwrap();
+        assert!(s2.is_empty(), "{s2:?}");
+        assert_eq!(sink.batches.len(), 1);
+        // Duplicate timestamps are still exact deltas (append-counted).
+        db.insert(id, SimTime::from_secs(2), 111.0);
+        db.insert(id, SimTime::from_secs(2), 112.0);
+        let s3 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s3.samples, 2);
+        assert_eq!(s3.metas, 0, "meta is sent exactly once");
+        let all_samples = sink
+            .records()
+            .filter(|r| matches!(r, ExportRecord::Sample { .. }))
+            .count();
+        assert_eq!(all_samples, 4);
+    }
+
+    #[test]
+    fn eviction_between_drains_is_counted_as_missed() {
+        let mut db = Tsdb::with_retention(4);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        for t in 0..10u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let s = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.missed_samples, 6);
+        // The exported suffix is the retained tail, oldest→newest.
+        let times: Vec<u64> = sink
+            .records()
+            .filter_map(|r| match r {
+                ExportRecord::Sample { t, .. } => Some(t.0 / 1000),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        // Exported + missed always accounts for every accepted append.
+        assert_eq!(s.samples + s.missed_samples, db.series(id).total_appends());
+    }
+
+    #[test]
+    fn batches_are_size_bounded_and_sequenced() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        for t in 0..1000u64 {
+            db.insert(id, SimTime(t), t as f64);
+        }
+        let mut exporter = Exporter::new().with_batch_records(100);
+        let mut sink = MemorySink::new();
+        let stats = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(stats.samples, 1000);
+        assert_eq!(stats.batches, 11); // 1001 records / 100 per batch
+        for (i, b) in sink.batches.iter().enumerate() {
+            assert_eq!(b.seq, i as u64);
+            assert!(b.records.len() <= 100, "batch {} overflowed", b.seq);
+        }
+        // Sequence numbers continue across drains.
+        db.insert(id, SimTime(2000), 1.0);
+        exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(sink.batches.last().unwrap().seq, 11);
+        assert_eq!(exporter.next_seq(), 12);
+    }
+
+    #[test]
+    fn sealed_buckets_and_sketches_ship_exactly_once() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &tiny_sketched());
+        for t in 0..35u64 {
+            db.insert(id, SimTime::from_secs(t), (t % 7) as f64 + 1.0);
+        }
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        let s1 = exporter.drain(&db, &mut sink).unwrap();
+        // 1s tier: slots 0..34 sealed = 34; 10s tier: slots 0..2 sealed.
+        assert_eq!(s1.buckets, 34 + 3);
+        assert!(s1.sketch_entries > 0);
+        // Re-drain with no inserts: nothing new.
+        assert!(exporter.drain(&db, &mut sink).unwrap().is_empty());
+        // One more sample seals 1s slot 35 (and nothing in the 10s tier).
+        db.insert(id, SimTime::from_secs(36), 1.0);
+        let s3 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s3.buckets, 1);
+        assert_eq!(s3.samples, 1);
+
+        // Replay reconstructs every sealed bucket exactly, sketch included.
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        let set = db.rollups(id).unwrap();
+        for ring in set.rings() {
+            let want: Vec<_> = ring.sealed_buckets().collect();
+            let got: Vec<_> = replay.buckets(id, ring.res()).collect();
+            assert_eq!(got.len(), want.len(), "res {:?}", ring.res());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.start, w.start);
+                assert_eq!(g.count, w.count);
+                assert_eq!(g.sum, w.sum);
+                assert_eq!(g.min, w.min);
+                assert_eq!(g.max, w.max);
+                assert_eq!(g.last, w.last);
+                assert_eq!(g.sketch, w.sketch, "sketch round trip at {:?}", g.start);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_and_its_sketch_columns_share_a_batch() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &tiny_sketched());
+        for t in 0..40u64 {
+            db.insert(id, SimTime::from_secs(t), (t % 11) as f64 + 1.0);
+        }
+        // Tiny batches force many flushes around buckets.
+        let mut sink = MemorySink::new();
+        Exporter::new()
+            .with_batch_records(3)
+            .drain(&db, &mut sink)
+            .unwrap();
+        for b in &sink.batches {
+            for (i, r) in b.records.iter().enumerate() {
+                if let ExportRecord::Sketch { start, res, .. } = r {
+                    // A sketch column is always preceded (in the same
+                    // batch) by its bucket or a sibling column.
+                    let prev = &b.records[i.checked_sub(1).expect("column cannot open a batch")];
+                    match prev {
+                        ExportRecord::Bucket {
+                            start: ps, res: pr, ..
+                        }
+                        | ExportRecord::Sketch {
+                            start: ps, res: pr, ..
+                        } => {
+                            assert_eq!((ps, pr), (start, res));
+                        }
+                        other => panic!("sketch column after {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_store_drains_identically_to_single_owner() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let ids: Vec<MetricId> = (0..5)
+            .map(|i| {
+                db.register(MetricMeta::gauge(
+                    format!("m{i}"),
+                    "u",
+                    SourceDomain::Software,
+                ))
+            })
+            .collect();
+        db.enable_rollups(ids[0], &tiny_sketched());
+        for t in 0..50u64 {
+            for id in &ids {
+                db.insert(*id, SimTime::from_secs(t), (t + id.0 as u64) as f64);
+            }
+        }
+        let single = snapshot_csv(&db);
+        let sharded = ShardedTsdb::from_tsdb(db, 4);
+        assert_eq!(snapshot_csv(&sharded), single);
+    }
+
+    #[test]
+    fn drain_metrics_subset_keeps_independent_cursors() {
+        let mut db = Tsdb::new();
+        let a = db.register(MetricMeta::gauge("a", "u", SourceDomain::Hardware));
+        let b = db.register(MetricMeta::gauge("b", "u", SourceDomain::Hardware));
+        db.insert(a, SimTime::from_secs(1), 1.0);
+        db.insert(b, SimTime::from_secs(1), 2.0);
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        let s = exporter.drain_metrics(&db, &[b], &mut sink).unwrap();
+        assert_eq!((s.metas, s.samples), (1, 1));
+        // A later full drain ships `a` in full and nothing new for `b`.
+        let s = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!((s.metas, s.samples), (1, 1));
+        assert_eq!(
+            sink.records()
+                .filter(|r| matches!(r, ExportRecord::Sample { .. }))
+                .count(),
+            2
+        );
+    }
+
+    /// Delegates to an inner [`MemorySink`] but fails every write once
+    /// `fail_after` batches have been accepted.
+    struct FailingSink {
+        inner: MemorySink,
+        fail_after: usize,
+    }
+
+    impl Sink for FailingSink {
+        fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+            if self.inner.batches.len() >= self.fail_after {
+                return Err(io::Error::other("transport down"));
+            }
+            self.inner.write_batch(batch)
+        }
+    }
+
+    #[test]
+    fn sink_failure_rolls_cursors_back_and_loses_nothing() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &tiny_sketched());
+        for t in 0..300u64 {
+            db.insert(id, SimTime::from_secs(t), (t % 13) as f64 + 1.0);
+        }
+        // Small batches; the sink dies after accepting two of them.
+        let mut exporter = Exporter::new().with_batch_records(40);
+        let mut failing = FailingSink {
+            inner: MemorySink::new(),
+            fail_after: 2,
+        };
+        let err = exporter.drain(&db, &mut failing).unwrap_err();
+        assert_eq!(err.to_string(), "transport down");
+        // Stats/totals count only the delivered batches.
+        let totals = exporter.totals();
+        assert_eq!(totals.batches, 2);
+        assert_eq!(exporter.next_seq(), 2);
+        assert_eq!(
+            failing.inner.record_count() as u64,
+            totals.records,
+            "totals agree with what the sink actually received"
+        );
+        // The sink recovers: the retry ships exactly the remainder —
+        // delivered ∪ retry equals a fresh full export, no loss, no
+        // duplicates.
+        let mut retry = MemorySink::new();
+        exporter.drain(&db, &mut retry).unwrap();
+        let mut full = MemorySink::new();
+        Exporter::new().drain(&db, &mut full).unwrap();
+        let key = |r: &ExportRecord| format!("{r:?}");
+        let mut delivered: Vec<String> = failing
+            .inner
+            .records()
+            .chain(retry.records())
+            .map(key)
+            .collect();
+        let mut want: Vec<String> = full.records().map(key).collect();
+        delivered.sort();
+        want.sort();
+        assert_eq!(delivered, want);
+    }
+
+    #[test]
+    fn rollback_with_duplicate_ids_restores_the_oldest_snapshot() {
+        // Regression: draining `[a, b, a]` takes two snapshots of `a`'s
+        // cursor; on sink failure the restore must end on the oldest
+        // one, or records staged between the two visits are skipped
+        // forever.
+        let mut db = Tsdb::new();
+        let a = db.register(MetricMeta::gauge("a", "u", SourceDomain::Hardware));
+        let b = db.register(MetricMeta::gauge("b", "u", SourceDomain::Hardware));
+        for t in 0..10u64 {
+            db.insert(a, SimTime::from_secs(t), t as f64);
+            db.insert(b, SimTime::from_secs(t), t as f64);
+        }
+        let mut exporter = Exporter::new();
+        let mut dead = FailingSink {
+            inner: MemorySink::new(),
+            fail_after: 0,
+        };
+        exporter
+            .drain_metrics(&db, &[a, b, a], &mut dead)
+            .unwrap_err();
+        assert_eq!(dead.inner.record_count(), 0);
+        // Nothing was delivered, so the retry must ship everything.
+        let mut retry = MemorySink::new();
+        let s = exporter.drain(&db, &mut retry).unwrap();
+        assert_eq!(s.samples, 20);
+        assert_eq!(s.metas, 2);
+        assert_eq!(s.missed_samples, 0);
+    }
+
+    #[test]
+    fn bucket_eviction_between_drains_is_counted_as_missed() {
+        // 1 s tier retaining only 4 buckets, drained rarely.
+        let cfg =
+            RollupConfig::new(vec![RollupTier::new(SimDuration::from_secs(1), 4)]).with_sketches();
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &cfg);
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        // Slots 0..=20 → 21 buckets ever, ring retains 4 (3 sealed).
+        for t in 0..=20u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let s1 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s1.buckets, 3, "the retained sealed tail ships");
+        assert_eq!(s1.missed_buckets, 17, "evicted-before-export surfaced");
+        // Steady state afterwards: drains keep up, nothing new missed.
+        for t in 21..=23u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let s2 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s2.buckets, 3);
+        assert_eq!(s2.missed_buckets, 0);
+        // Lifetime identity: sealed ever == shipped + missed (nothing
+        // pending right after a drain).
+        let ring = &db.rollups(id).unwrap().rings()[0];
+        let sealed_ever = ring.evicted() + ring.len() as u64 - 1;
+        let t = exporter.totals();
+        assert_eq!(sealed_ever, t.buckets + t.missed_buckets);
+    }
+
+    #[test]
+    fn default_exporter_drains_like_new() {
+        // Regression: a derived Default once zeroed the batch bound,
+        // which made any non-empty drain loop forever.
+        let (db, _) = db_with_data();
+        let mut sink = MemorySink::new();
+        let stats = Exporter::default().drain(&db, &mut sink).unwrap();
+        assert_eq!(stats.samples, 2);
+    }
+
+    #[test]
+    fn drain_is_bounded_while_writers_keep_appending() {
+        // A sink that plays "writer outpacing the exporter": every
+        // flushed batch triggers more inserts than one batch holds.
+        // Without the per-drain capture bound this would tail-chase
+        // forever; with it, one drain ships exactly the state that
+        // existed at its first visit.
+        struct ChasingSink<'a> {
+            db: &'a ShardedTsdb,
+            id: MetricId,
+            next_t: u64,
+            inner: MemorySink,
+        }
+        impl Sink for ChasingSink<'_> {
+            fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+                for _ in 0..100 {
+                    self.db
+                        .insert(self.id, SimTime::from_secs(self.next_t), 1.0);
+                    self.next_t += 1;
+                }
+                self.inner.write_batch(batch)
+            }
+        }
+        let db = ShardedTsdb::with_config(1 << 14, 4);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        for t in 0..50u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let mut exporter = Exporter::new().with_batch_records(10);
+        let mut sink = ChasingSink {
+            db: &db,
+            id,
+            next_t: 50,
+            inner: MemorySink::new(),
+        };
+        let s = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s.samples, 50, "only the state at first visit ships");
+        // Everything the chaser appended belongs to the next drain.
+        let appended = sink.next_t - 50;
+        let mut sink2 = MemorySink::new();
+        let s2 = exporter.drain(&db, &mut sink2).unwrap();
+        assert_eq!(s2.samples, appended);
+        assert_eq!(s2.missed_samples, 0);
+    }
+
+    #[test]
+    fn pyramid_reset_reexports_instead_of_skipping() {
+        // Tiny raw ring + bucket eviction, then an explicit
+        // enable_rollups reset: the rebuilt (smaller) pyramid restarts
+        // its lifetime counters, which the cursor must detect — the
+        // backfilled sealed region re-exports rather than being
+        // silently skipped against the stale watermark.
+        let cfg =
+            RollupConfig::new(vec![RollupTier::new(SimDuration::from_secs(1), 4)]).with_sketches();
+        let mut db = Tsdb::with_retention(8);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &cfg);
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        for t in 0..=20u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        let s1 = exporter.drain(&db, &mut sink).unwrap();
+        assert_eq!(s1.buckets + s1.missed_buckets, 20);
+        // Reset: backfill rebuilds only from the 8 retained samples.
+        db.enable_rollups(id, &cfg);
+        let s2 = exporter.drain(&db, &mut sink).unwrap();
+        let ring = &db.rollups(id).unwrap().rings()[0];
+        let rebuilt_sealed = ring.len() as u64 - 1;
+        assert!(rebuilt_sealed > 0);
+        assert_eq!(
+            s2.buckets, rebuilt_sealed,
+            "the rebuilt sealed region ships again"
+        );
+        // The receiver overwrites by key: re-exported buckets replace
+        // their earlier sketch columns, never double-count into them.
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        for b in replay.buckets(id, SimDuration::from_secs(1)) {
+            let sk = b.sketch.as_ref().expect("sketched pyramid");
+            assert_eq!(
+                sk.count(),
+                b.count,
+                "slot {:?}: sketch must match the bucket, not double-count",
+                b.start
+            );
+        }
+    }
+
+    #[test]
+    fn replay_tolerates_out_of_order_records_within_a_bucket() {
+        let mut replay = ReplayStore::new();
+        let (id, res, start) = (MetricId(0), SimDuration::from_secs(60), SimTime::ZERO);
+        // Sketch columns arrive before their bucket's scalar record.
+        replay.apply_record(&ExportRecord::Sketch {
+            id,
+            res,
+            start,
+            entry: crate::sketch::SketchEntry {
+                sign: 1,
+                key: 100,
+                count: 3,
+            },
+        });
+        replay.apply_record(&ExportRecord::Bucket {
+            id,
+            res,
+            start,
+            count: 3,
+            sum: 21.0,
+            min: 6.0,
+            max: 8.0,
+            last: 7.0,
+        });
+        let b: Vec<_> = replay.buckets(id, res).collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].count, 3);
+        let sk = b[0].sketch.as_ref().expect("late Bucket keeps the sketch");
+        assert_eq!(sk.count(), 3);
+        assert_eq!(replay.merged_sketch(id, res).count(), 3);
+    }
+
+    #[test]
+    fn csv_escaping_of_hostile_metric_names() {
+        let mut db = Tsdb::new();
+        let id = db.register(MetricMeta::gauge(
+            "rack,3.temp \"hot\"\nzone",
+            "deg,C",
+            SourceDomain::Facility,
+        ));
+        db.insert(id, SimTime::from_secs(1), 3.5);
+        let csv = snapshot_csv(&db);
+        assert!(
+            csv.contains("meta,0,\"rack,3.temp \"\"hot\"\"\nzone\",gauge,\"deg,C\",facility"),
+            "bad escaping: {csv}"
+        );
+        // Helper-level contract (RFC 4180).
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
         assert_eq!(csv_escape("n\nn"), "\"n\nn\"");
+        assert_eq!(csv_escape("r\rr"), "\"r\rr\"");
     }
 
     #[test]
-    fn json_round_trips_through_serde() {
-        let (db, _) = db_with_data();
-        let json = store_json(&db);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let arr = parsed.as_array().unwrap();
-        assert_eq!(arr.len(), 1);
-        assert_eq!(arr[0]["metric"], "node.0.power");
-        assert_eq!(arr[0]["samples"].as_array().unwrap().len(), 2);
+    fn jsonl_lines_are_valid_json() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge(
+            "weird \"name\"\twith\nstuff",
+            "u",
+            SourceDomain::Application,
+        ));
+        db.enable_rollups(id, &tiny_sketched());
+        for t in 0..25u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        db.insert(id, SimTime::from_secs(25), f64::NAN); // null on the wire
+        let jsonl = snapshot_jsonl(&db);
+        let mut kinds = std::collections::HashSet::new();
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("invalid JSON line `{line}`: {e:?}"));
+            kinds.insert(v["kind"].as_str().unwrap().to_string());
+        }
+        for kind in ["format", "batch", "meta", "sample", "bucket", "sketch"] {
+            assert!(kinds.contains(kind), "missing kind {kind}");
+        }
+        assert!(jsonl.contains("\"value\":null"));
+        assert!(jsonl.contains("weird \\\"name\\\"\\twith\\nstuff"));
     }
 
     #[test]
-    fn empty_store_exports_cleanly() {
-        let db = Tsdb::new();
-        assert_eq!(store_csv(&db), "metric,domain,unit,time_ms,value\n");
-        assert_eq!(store_json(&db), "[]");
+    fn late_rollup_enable_is_picked_up_by_existing_cursor() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        for t in 0..30u64 {
+            db.insert(id, SimTime::from_secs(t), t as f64);
+        }
+        assert_eq!(exporter.drain(&db, &mut sink).unwrap().buckets, 0);
+        // Rollups enabled later (backfilled from raw): the next drain
+        // ships the now-sealed buckets without duplicating samples.
+        db.enable_rollups(id, &tiny_sketched());
+        let s = exporter.drain(&db, &mut sink).unwrap();
+        assert!(s.buckets > 0);
+        assert_eq!(s.samples, 0);
+    }
+
+    #[test]
+    fn merged_replay_sketch_matches_store_percentile_within_bound() {
+        let mut db = Tsdb::with_retention(1 << 14);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &RollupConfig::standard().with_sketches());
+        for s in 0..7200u64 {
+            db.insert(id, SimTime::from_secs(s), ((s * 7919) % 997) as f64 + 1.0);
+        }
+        let mut sink = MemorySink::new();
+        Exporter::new().drain(&db, &mut sink).unwrap();
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        let merged = replay.merged_sketch(id, RES_1M);
+        // Exact reference over the same sealed span (first 119 minutes).
+        let view = db
+            .series(id)
+            .range_view(SimTime::ZERO, SimTime::from_secs(119 * 60));
+        assert_eq!(merged.count(), view.len() as u64);
+        for q in [0.1, 0.5, 0.99] {
+            let got = merged.quantile(q);
+            let want = view.aggregate(crate::window::WindowAgg::Percentile(q));
+            assert!(
+                (got - want).abs() <= 0.0101 * want.abs() + 1.0,
+                "q={q}: {got} vs {want}"
+            );
+        }
     }
 }

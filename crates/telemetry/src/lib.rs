@@ -40,8 +40,15 @@
 //! * [`window`] — windowed aggregation used by Analyze components,
 //!   including the O(n) selection-based percentile and the streaming
 //!   [`AggAccum`] bucket folder,
-//! * [`export`] — CSV export of series and campaign datasets (the paper
-//!   commits to releasing *open datasets*; this is the hook for it).
+//! * [`export`] — the incremental batched export pipeline (the paper
+//!   commits to releasing *open datasets*, and production ODA transports
+//!   continuously): an [`Exporter`] with per-metric watermark cursors
+//!   drains raw samples, sealed rollup buckets, and sparse sketch
+//!   columns as size-bounded [`ExportBatch`]es through a [`Sink`]
+//!   (CSV / JSON-lines today), each metric copied under its own short
+//!   stripe read lock; [`ReplayStore`] is the downstream half that
+//!   reconstructs the exported state. The wire format is specified in
+//!   `docs/EXPORT_FORMAT.md`.
 //!
 //! # Hot-path discipline
 //!
@@ -63,11 +70,14 @@ pub mod tsdb;
 pub mod window;
 
 pub use collect::{Collector, Sensor};
+pub use export::{
+    DrainStats, ExportBatch, ExportRecord, ExportSource, Exporter, ReplayStore, Sink,
+};
 pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
 pub use rollup::{
     RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet, RollupTier, SketchAcc,
 };
 pub use series::{Sample, SampleView, TimeSeries};
-pub use sketch::{QuantileAcc, QuantileSketch, SKETCH_RELATIVE_ERROR};
+pub use sketch::{QuantileAcc, QuantileSketch, SketchEntry, SKETCH_RELATIVE_ERROR};
 pub use tsdb::{adaptive_shards, ShardedTsdb, SharedTsdb, Tsdb};
 pub use window::{AggAccum, WindowAgg};

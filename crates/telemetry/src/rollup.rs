@@ -287,6 +287,12 @@ pub struct RollupRing {
     capacity: usize,
     sketched: bool,
     buckets: VecDeque<RollupBucket>,
+    /// Lifetime count of buckets evicted by capacity. Every evicted
+    /// bucket was sealed (eviction happens when a *newer* slot opens),
+    /// so `evicted + len().saturating_sub(1)` is the lifetime sealed
+    /// bucket count — the accounting identity the exporter uses to
+    /// surface sealed buckets lost before they could ship.
+    evicted: u64,
 }
 
 impl RollupRing {
@@ -296,6 +302,7 @@ impl RollupRing {
             capacity: tier.capacity.max(2),
             sketched,
             buckets: VecDeque::new(),
+            evicted: 0,
         }
     }
 
@@ -319,9 +326,46 @@ impl RollupRing {
         self.capacity
     }
 
+    /// Lifetime count of (sealed) buckets this ring has evicted.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
     /// Iterate retained buckets oldest → newest.
     pub fn buckets(&self) -> impl Iterator<Item = &RollupBucket> {
         self.buckets.iter()
+    }
+
+    /// Iterate only the **sealed** buckets, oldest → newest: every
+    /// retained bucket except the newest, which raw appends can still
+    /// mutate. Sealed buckets are immutable forever after, which makes
+    /// them the exportable unit — the incremental exporter
+    /// ([`crate::export`]) ships each sealed bucket exactly once and
+    /// never has to revisit it.
+    pub fn sealed_buckets(&self) -> impl Iterator<Item = &RollupBucket> {
+        let sealed = self.buckets.len().saturating_sub(1);
+        self.buckets.iter().take(sealed)
+    }
+
+    /// The sealed buckets with `start >= from`, oldest → newest,
+    /// located by binary search (buckets are start-ordered). This is
+    /// the exporter's steady-state shape: a drain resuming from its
+    /// watermark touches O(log n + delta) buckets under the stripe
+    /// lock, not the whole retained history.
+    pub fn sealed_buckets_from(&self, from: SimTime) -> impl Iterator<Item = &RollupBucket> {
+        let sealed = self.buckets.len().saturating_sub(1);
+        let lo = self
+            .buckets
+            .partition_point(|b| b.start.0 < from.0)
+            .min(sealed);
+        self.buckets.range(lo..sealed)
+    }
+
+    /// Exclusive upper bound of the sealed region: the newest retained
+    /// bucket's slot start (`None` when empty). Every bucket with
+    /// `start <` this is sealed and can never change.
+    pub fn sealed_until(&self) -> Option<SimTime> {
+        self.buckets.back().map(|b| b.start)
     }
 
     /// Span `[oldest.start, newest.start + res)` currently represented,
@@ -370,6 +414,7 @@ impl RollupRing {
             _ => {
                 if self.buckets.len() == self.capacity {
                     self.buckets.pop_front();
+                    self.evicted += 1;
                 }
                 let sketch = self.sketched.then(|| {
                     let mut sk = QuantileSketch::new();

@@ -120,6 +120,28 @@ fn merge_sorted_into(dst: &mut Vec<(i32, u32)>, src: &[(i32, u32)], scratch: &mu
     std::mem::swap(dst, scratch);
 }
 
+/// One sparse sketch entry in the columnar wire shape: which signed
+/// store it belongs to, its log-bucket key, and its exact count.
+///
+/// This is the unit the export pipeline ships (see
+/// [`crate::export`]): because all sketches share one global bucket
+/// layout, a downstream Knowledge store can rebuild fleet-wide
+/// percentiles by **adding counts per `(sign, key)`** — no raw samples
+/// needed, and entry order never matters. The round trip
+/// [`QuantileSketch::wire_entries`] →
+/// [`QuantileSketch::absorb_entry`] reconstructs a sketch exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// `-1` for the negative store, `0` for the zero bucket, `+1` for
+    /// the positive store.
+    pub sign: i8,
+    /// Log-bucket key (bucket covers `(γ^(key−1), γ^key]` of `|v|`);
+    /// `0` and meaningless for the zero bucket.
+    pub key: i32,
+    /// Exact number of values in the bucket.
+    pub count: u64,
+}
+
 /// A mergeable DDSketch-style quantile sketch with fixed relative error
 /// [`SKETCH_RELATIVE_ERROR`] (see module docs for the exact bound).
 ///
@@ -204,6 +226,59 @@ impl QuantileSketch {
         merge_sorted_into(&mut self.neg, &other.neg, scratch);
         self.zero += other.zero;
         self.count += other.count;
+    }
+
+    /// Iterate the sketch's sparse buckets as wire [`SketchEntry`]s:
+    /// negative store (ascending key), then the zero bucket (only when
+    /// non-empty), then the positive store (ascending key). Feeding
+    /// every entry to [`QuantileSketch::absorb_entry`] on an empty
+    /// sketch reconstructs this one exactly (`==`), in any order.
+    pub fn wire_entries(&self) -> impl Iterator<Item = SketchEntry> + '_ {
+        let neg = self.neg.iter().map(|&(k, c)| SketchEntry {
+            sign: -1,
+            key: k,
+            count: c as u64,
+        });
+        let zero = (self.zero > 0).then_some(SketchEntry {
+            sign: 0,
+            key: 0,
+            count: self.zero,
+        });
+        let pos = self.pos.iter().map(|&(k, c)| SketchEntry {
+            sign: 1,
+            key: k,
+            count: c as u64,
+        });
+        neg.chain(zero).chain(pos)
+    }
+
+    /// Add one wire entry's count into the matching bucket — the
+    /// receiving half of the sketch-merge contract: a downstream store
+    /// replays exported entries through this to rebuild (or fleet-merge)
+    /// sketches without raw samples. Keys are clamped into the sketch's
+    /// key range and per-bucket counts saturate at `u32::MAX` (the same
+    /// documented saturation as [`QuantileSketch::fold`]); entries with
+    /// `count == 0` are ignored.
+    pub fn absorb_entry(&mut self, e: SketchEntry) {
+        if e.count == 0 {
+            return;
+        }
+        self.count += e.count;
+        if e.sign == 0 {
+            self.zero += e.count;
+            return;
+        }
+        let key = e.key.clamp(MIN_KEY, MAX_KEY);
+        let add = u32::try_from(e.count).unwrap_or(u32::MAX);
+        let store = if e.sign > 0 {
+            &mut self.pos
+        } else {
+            &mut self.neg
+        };
+        match store.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => store[i].1 = store[i].1.saturating_add(add),
+            Err(i) => store.insert(i, (key, add)),
+        }
     }
 
     /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) of the folded
@@ -578,6 +653,74 @@ mod tests {
         assert!(acc.quantile(0.5).is_nan());
         acc.fold(2.0);
         assert_eq!(acc.count(), 1);
+    }
+
+    #[test]
+    fn wire_entries_round_trip_exactly() {
+        let mut sk = QuantileSketch::new();
+        let mut state = 0xC0FFEEu64;
+        for i in 0..2000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = (state % 600_001) as f64 / 100.0 - 3000.0;
+            sk.fold(if i % 53 == 0 { 0.0 } else { v });
+        }
+        // Forward order.
+        let mut back = QuantileSketch::new();
+        for e in sk.wire_entries() {
+            back.absorb_entry(e);
+        }
+        assert_eq!(back, sk);
+        // Entry order must not matter (counts are additive).
+        let mut entries: Vec<SketchEntry> = sk.wire_entries().collect();
+        entries.reverse();
+        let mut shuffled = QuantileSketch::new();
+        for e in entries {
+            shuffled.absorb_entry(e);
+        }
+        assert_eq!(shuffled, sk);
+        // Entry count matches the advertised footprint.
+        assert_eq!(sk.wire_entries().count(), sk.entries());
+    }
+
+    #[test]
+    fn absorb_entry_is_additive_and_defensive() {
+        let mut sk = QuantileSketch::new();
+        sk.absorb_entry(SketchEntry {
+            sign: 1,
+            key: 10,
+            count: 3,
+        });
+        sk.absorb_entry(SketchEntry {
+            sign: 1,
+            key: 10,
+            count: 2,
+        });
+        sk.absorb_entry(SketchEntry {
+            sign: -1,
+            key: 4,
+            count: 1,
+        });
+        sk.absorb_entry(SketchEntry {
+            sign: 0,
+            key: 0,
+            count: 2,
+        });
+        // Zero-count entries are no-ops; out-of-range keys clamp.
+        sk.absorb_entry(SketchEntry {
+            sign: 1,
+            key: 99,
+            count: 0,
+        });
+        sk.absorb_entry(SketchEntry {
+            sign: 1,
+            key: i32::MAX,
+            count: 1,
+        });
+        assert_eq!(sk.count(), 9);
+        assert_eq!(sk.entries(), 4);
+        assert!(sk.quantile(1.0) > 1e300, "clamped to the top bucket");
     }
 
     #[test]

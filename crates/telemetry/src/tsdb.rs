@@ -409,6 +409,21 @@ impl Tsdb {
         self.note_served(served);
     }
 
+    /// Run `f` over one metric's full storage — the raw ring and its
+    /// optional rollup pyramid — as a single consistent snapshot. On
+    /// this single-owner store that is trivially true; on
+    /// [`ShardedTsdb::with_storage`] the same shape holds the metric's
+    /// stripe read lock for exactly the duration of `f`, which is what
+    /// the incremental exporter ([`crate::export`]) builds on.
+    pub fn with_storage<R>(
+        &self,
+        id: MetricId,
+        f: impl FnOnce(&TimeSeries, Option<&RollupSet>) -> R,
+    ) -> R {
+        let stored = &self.series[id.index()];
+        f(&stored.raw, stored.rollups.as_ref())
+    }
+
     /// All registered metric names (registry order = id order).
     pub fn names(&self) -> impl Iterator<Item = (&str, MetricId)> + '_ {
         self.metas
@@ -731,6 +746,20 @@ impl ShardedTsdb {
         let slot = self.slot_of(id);
         let guard = self.shards[self.shard_of(id)].read();
         f(&guard.series[slot])
+    }
+
+    /// Run `f` over one metric's raw ring **and** rollup pyramid under a
+    /// single stripe read lock — a consistent snapshot of both tiers
+    /// that blocks writers of this stripe only (never the whole store).
+    /// This is the incremental exporter's drain primitive: each metric
+    /// is copied out under its own short lock hold (see
+    /// [`crate::export::Exporter`]).
+    pub fn with_storage<R>(
+        &self,
+        id: MetricId,
+        f: impl FnOnce(&TimeSeries, Option<&RollupSet>) -> R,
+    ) -> R {
+        self.with_stored(id, |s| f(&s.raw, s.rollups.as_ref()))
     }
 
     /// Most recent sample of a metric.

@@ -373,18 +373,209 @@ proptest! {
 
 // ------------------------------------------------------------- export
 
+use moda_telemetry::export::{ExportRecord, Exporter, MemorySink, ReplayStore};
+
 proptest! {
-    /// CSV export renders one row per retained sample, in order.
+    /// CSV snapshot renders one row per retained sample plus one meta
+    /// row per metric (and the format/batch framing rows), in order.
     #[test]
-    fn export_matches_store(n in 1u64..200) {
+    fn export_snapshot_matches_store(n in 1u64..200) {
         let (mut db, ids) = db_with(2, 4096);
         for i in 0..n {
             db.insert(ids[0], SimTime(i), i as f64);
             db.insert(ids[1], SimTime(i), (i * 2) as f64);
         }
-        let csv = moda_telemetry::export::store_csv(&db);
-        let rows = csv.lines().count() - 1; // minus header
-        prop_assert_eq!(rows as u64, 2 * n);
+        let csv = moda_telemetry::export::snapshot_csv(&db);
+        let sample_rows = csv.lines().filter(|l| l.starts_with("sample,")).count();
+        prop_assert_eq!(sample_rows as u64, 2 * n);
+        let meta_rows = csv.lines().filter(|l| l.starts_with("meta,")).count();
+        prop_assert_eq!(meta_rows, 2);
+        prop_assert!(csv.starts_with("format,moda-export,1\n"));
+    }
+
+    /// Concatenated incremental drains ≡ one full export: splitting the
+    /// same accepted stream across arbitrarily many drain calls (with a
+    /// small batch bound, so records straddle many batches) yields the
+    /// exact record sequence a fresh exporter produces in one shot —
+    /// the resume-from-cursor contract.
+    #[test]
+    fn incremental_batches_equal_full_export(
+        stream in prop::collection::vec((0u64..4000, -50.0f64..50.0), 1..300),
+        cuts in prop::collection::vec(0usize..300, 0..6),
+        batch_cap in 1usize..40,
+    ) {
+        // Two identically-fed stores with a small sketched pyramid so
+        // seals (and cascades) happen inside short streams. Retention
+        // (raw and bucket rings) covers the whole stream — the
+        // precondition for exact incremental ≡ full equivalence; what
+        // eviction does to late drains is pinned by
+        // `replay_reconstructs_store_state` below. Monotonized
+        // timestamps so every sample is accepted.
+        let cfg = moda_telemetry::RollupConfig::new(vec![
+            moda_telemetry::RollupTier::new(SimDuration::from_secs(1), 512),
+            moda_telemetry::RollupTier::new(SimDuration::from_secs(10), 64),
+        ]).with_sketches();
+        let mut t_acc = 0u64;
+        let stream: Vec<(u64, f64)> = stream
+            .into_iter()
+            .map(|(dt, v)| { t_acc += dt % 1500; (t_acc, v) })
+            .collect();
+        let mk = || {
+            let mut db = Tsdb::with_retention(1 << 10);
+            let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+            db.enable_rollups(id, &cfg);
+            (db, id)
+        };
+        let (mut inc_db, id) = mk();
+        let (mut full_db, _) = mk();
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % stream.len().max(1)).collect();
+        cuts.sort_unstable();
+        let mut inc_exporter = Exporter::new().with_batch_records(batch_cap);
+        let mut inc_sink = MemorySink::new();
+        for (i, &(t, v)) in stream.iter().enumerate() {
+            // Drain mid-stream at every cut point.
+            while cuts.first() == Some(&i) {
+                cuts.remove(0);
+                inc_exporter.drain(&inc_db, &mut inc_sink).unwrap();
+            }
+            inc_db.insert(id, SimTime(t), v);
+            full_db.insert(id, SimTime(t), v);
+        }
+        inc_exporter.drain(&inc_db, &mut inc_sink).unwrap();
+        let mut full_sink = MemorySink::new();
+        Exporter::new().drain(&full_db, &mut full_sink).unwrap();
+        // Incremental drains interleave kinds (each drain ships its
+        // pending samples, then its newly sealed buckets), so the
+        // equivalence is per kind-projection, each of which is
+        // order-preserving: the sample stream, each tier's
+        // bucket+column stream, and the metas.
+        let project = |sink: &MemorySink| {
+            let mut samples: Vec<ExportRecord> = Vec::new();
+            let mut metas: Vec<ExportRecord> = Vec::new();
+            let mut tiers: std::collections::BTreeMap<u64, Vec<ExportRecord>> =
+                std::collections::BTreeMap::new();
+            for r in sink.records() {
+                match r {
+                    ExportRecord::Sample { .. } => samples.push(r.clone()),
+                    ExportRecord::Meta { .. } => metas.push(r.clone()),
+                    ExportRecord::Bucket { res, .. } | ExportRecord::Sketch { res, .. } => {
+                        tiers.entry(res.0).or_default().push(r.clone())
+                    }
+                }
+            }
+            (samples, metas, tiers)
+        };
+        prop_assert_eq!(project(&inc_sink), project(&full_sink));
+        // And the batch bound held (modulo the documented bucket+columns
+        // overflow, bounded by one sketch's entry count ≤ its bucket's
+        // sample count ≤ the whole stream).
+        for b in &inc_sink.batches {
+            prop_assert!(b.records.len() <= batch_cap + stream.len() + 1,
+                "batch {} holds {} records (cap {})", b.seq, b.records.len(), batch_cap);
+        }
+    }
+
+    /// Replaying every batch reconstructs the exported state: raw
+    /// samples (exported + missed == accepted), every sealed bucket
+    /// bit-exactly (sketches included), and sketch-merged quantiles
+    /// within the documented 1 % bound of the raw selection.
+    #[test]
+    fn replay_reconstructs_store_state(
+        n in 50u64..600,
+        retention in 16usize..2048,
+        drains in 1usize..5,
+    ) {
+        let cfg = moda_telemetry::RollupConfig::new(vec![
+            moda_telemetry::RollupTier::new(SimDuration::from_secs(1), 64),
+            moda_telemetry::RollupTier::new(SimDuration::from_secs(10), 16),
+        ]).with_sketches();
+        let mut db = Tsdb::with_retention(retention);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &cfg);
+        let mut exporter = Exporter::new().with_batch_records(57);
+        let mut sink = MemorySink::new();
+        let mut accepted = 0u64;
+        for i in 0..n {
+            // ~700 ms cadence: several samples per 1 s slot.
+            if db.insert(id, SimTime(i * 700), ((i * 7919) % 101) as f64 + 1.0) {
+                accepted += 1;
+            }
+            if i % (n / drains as u64 + 1) == 0 {
+                exporter.drain(&db, &mut sink).unwrap();
+            }
+        }
+        exporter.drain(&db, &mut sink).unwrap();
+        let totals = exporter.totals();
+        prop_assert_eq!(totals.samples + totals.missed_samples, accepted);
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        prop_assert_eq!(replay.meta(id).map(|m| m.name.as_str()), Some("m"));
+        prop_assert_eq!(replay.samples(id).len() as u64, totals.samples);
+        // Replayed samples are time-ordered and a suffix-union of the
+        // accepted stream (drains may interleave with evictions).
+        prop_assert!(replay.samples(id).windows(2).all(|w| w[0].0 <= w[1].0));
+        let set = db.rollups(id).unwrap();
+        let mut replayed_buckets = 0u64;
+        for ring in set.rings() {
+            let got: std::collections::BTreeMap<u64, _> = replay
+                .buckets(id, ring.res())
+                .map(|b| (b.start.0, b))
+                .collect();
+            replayed_buckets += got.len() as u64;
+            // The final drain shipped every still-retained sealed
+            // bucket; earlier drains may have shipped buckets the ring
+            // has since evicted, so replay is a superset. Every
+            // retained sealed bucket must round-trip bit-exactly,
+            // sketch included.
+            for w in ring.sealed_buckets() {
+                let g = got.get(&w.start.0);
+                prop_assert!(g.is_some(), "sealed bucket at {:?} not replayed", w.start);
+                let g = g.unwrap();
+                prop_assert_eq!(g.count, w.count);
+                prop_assert_eq!(g.sum, w.sum);
+                prop_assert_eq!(g.min, w.min);
+                prop_assert_eq!(g.max, w.max);
+                prop_assert_eq!(g.last, w.last);
+                prop_assert_eq!(&g.sketch, &w.sketch);
+            }
+        }
+        // The exporter never duplicates a bucket, so the replayed total
+        // is exactly what the stats claim was shipped.
+        prop_assert_eq!(replayed_buckets, totals.buckets);
+        // Lifetime identity per ring: every sealed bucket ever produced
+        // was shipped or accounted missed (nothing pending right after
+        // a drain) — eviction-before-export never vanishes silently.
+        let sealed_ever: u64 = set
+            .rings()
+            .iter()
+            .map(|r| r.evicted() + (r.len() as u64).saturating_sub(1))
+            .sum();
+        prop_assert_eq!(sealed_ever, totals.buckets + totals.missed_buckets);
+        // Downstream percentile from merged sketch columns: within the
+        // sketch bound of the exact selection over the sealed span.
+        let fine = set.rings()[0].res();
+        let merged = replay.merged_sketch(id, fine);
+        if !merged.is_empty() {
+            let sealed_end = set.rings()[0]
+                .sealed_buckets()
+                .last()
+                .map(|b| b.start.0 + fine.0)
+                .unwrap();
+            let view = db.series(id).range_view(SimTime::ZERO, SimTime(sealed_end));
+            // Only comparable while raw still retains the sealed span.
+            if view.len() as u64 == merged.count() {
+                for q in [0.05, 0.5, 0.95] {
+                    let got = merged.quantile(q);
+                    let want = view.aggregate(WindowAgg::Percentile(q));
+                    prop_assert!(
+                        (got - want).abs() <= 0.0101 * want.abs() + 1.0,
+                        "q={}: {} vs {}", q, got, want
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -84,7 +84,7 @@ fn telemetry_stream_is_reproducible() {
             |_| {},
         );
         let wb = w.borrow();
-        moda::telemetry::export::store_csv(&wb.tsdb)
+        moda::telemetry::export::snapshot_csv(&wb.tsdb)
     };
     assert_eq!(collect(3), collect(3));
     assert_ne!(collect(3), collect(4));

@@ -43,37 +43,82 @@ fn run_small_campaign(seed: u64) -> (moda::usecases::harness::SharedWorld, Knowl
 }
 
 #[test]
-fn campaign_telemetry_exports_as_csv_and_json() {
+fn campaign_telemetry_exports_as_csv_and_jsonl() {
     let (w, _) = run_small_campaign(1);
     let wb = w.borrow();
 
-    let csv = export::store_csv(&wb.tsdb);
+    let csv = export::snapshot_csv(&wb.tsdb);
     let mut lines = csv.lines();
     assert_eq!(
         lines.next(),
-        Some("metric,domain,unit,time_ms,value"),
-        "CSV header"
+        Some("format,moda-export,1"),
+        "wire-format preamble"
     );
     let body: Vec<&str> = lines.collect();
+    let samples: Vec<&&str> = body.iter().filter(|l| l.starts_with("sample,")).collect();
     assert!(
-        body.len() > 100,
-        "a campaign should export substantial telemetry ({} rows)",
-        body.len()
+        samples.len() > 100,
+        "a campaign should export substantial telemetry ({} sample rows)",
+        samples.len()
     );
-    // Every row has the five columns and a numeric tail.
-    for row in &body {
+    // Every sample row is `sample,<id>,<t_ms>,<value>` with numerics.
+    for row in &samples {
         let cols: Vec<&str> = row.split(',').collect();
-        assert_eq!(cols.len(), 5, "malformed CSV row: {row}");
-        cols[3].parse::<u64>().expect("time_ms numeric");
-        cols[4].parse::<f64>().expect("value numeric");
+        assert_eq!(cols.len(), 4, "malformed sample row: {row}");
+        cols[1].parse::<u32>().expect("metric id numeric");
+        cols[2].parse::<u64>().expect("t_ms numeric");
+        cols[3].parse::<f64>().expect("value numeric");
     }
+    // One meta row per registered metric, before any of its data.
+    let meta_rows = body.iter().filter(|l| l.starts_with("meta,")).count();
+    assert_eq!(meta_rows, wb.tsdb.cardinality());
     // Progress markers (the §III.iii "variation of progress markers"
-    // dataset) are present.
+    // dataset) are present, and their compact pyramids ship as sealed
+    // buckets with sketch columns.
     assert!(csv.contains(".steps"));
+    assert!(csv.lines().any(|l| l.starts_with("bucket,")));
+    assert!(csv.lines().any(|l| l.starts_with("sketch,")));
 
-    let json = export::store_json(&wb.tsdb);
-    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON export");
-    assert!(parsed.as_array().map(|a| !a.is_empty()).unwrap_or(false));
+    // The JSON-lines rendering carries the same stream, one valid JSON
+    // object per line.
+    let jsonl = export::snapshot_jsonl(&wb.tsdb);
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        assert!(v["kind"].as_str().is_some());
+    }
+}
+
+#[test]
+fn campaign_export_replays_into_a_downstream_store() {
+    let (w, _) = run_small_campaign(1);
+    let mut wb = w.borrow_mut();
+
+    // Drain the per-job progress pyramids through the world's own
+    // incremental snapshot hook and replay them downstream.
+    let mut sink = export::MemorySink::new();
+    let stats = wb.export_progress(&mut sink).unwrap();
+    assert!(stats.samples > 0 && stats.buckets > 0);
+    let mut replay = export::ReplayStore::new();
+    for b in &sink.batches {
+        replay.apply(b);
+    }
+    assert!(replay.cardinality() > 0);
+    // Every replayed marker series is time-ordered and monotone (step
+    // counters), i.e. the dataset is analysis-ready without the node.
+    let mut checked = 0;
+    for (name, id) in wb.tsdb.names() {
+        if !name.ends_with(".steps") {
+            continue;
+        }
+        let Some(rid) = replay.lookup(name) else {
+            continue;
+        };
+        assert_eq!(rid, id, "wire ids are the registry ids");
+        let samples = replay.samples(rid);
+        assert!(samples.windows(2).all(|p| p[0].0 <= p[1].0));
+        checked += 1;
+    }
+    assert!(checked > 0, "at least one marker series replayed");
 }
 
 #[test]
@@ -121,7 +166,7 @@ fn hand_built_knowledge_round_trips() {
 }
 
 #[test]
-fn series_csv_is_ordered_and_complete() {
+fn exported_series_are_ordered_and_complete() {
     let (w, _) = run_small_campaign(3);
     let wb = w.borrow();
     // Find a progress-marker series.
@@ -131,13 +176,21 @@ fn series_csv_is_ordered_and_complete() {
         .find(|(name, _)| name.ends_with(".steps"))
         .map(|(_, id)| id)
         .expect("at least one job emitted markers");
-    let csv = export::series_csv(&wb.tsdb, id);
-    let times: Vec<u64> = csv
-        .lines()
-        .skip(1)
-        .map(|l| l.split(',').next().unwrap().parse().unwrap())
+    // A single-metric drain (the per-series dataset shape).
+    let mut sink = export::MemorySink::new();
+    let stats = export::Exporter::new()
+        .drain_metrics(&wb.tsdb, &[id], &mut sink)
+        .unwrap();
+    let times: Vec<u64> = sink
+        .records()
+        .filter_map(|r| match r {
+            export::ExportRecord::Sample { t, .. } => Some(t.0),
+            _ => None,
+        })
         .collect();
     assert!(!times.is_empty());
+    assert_eq!(times.len() as u64, stats.samples);
+    assert_eq!(times.len(), wb.tsdb.series(id).len(), "complete series");
     assert!(
         times.windows(2).all(|w| w[0] <= w[1]),
         "exported series must be time-ordered"

@@ -305,6 +305,116 @@ fn bench_export(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fleet aggregation tier: ingest throughput over the columnar
+/// transport, and the cluster-wide p99 query — merged additively from
+/// the nodes' sealed-bucket sketches — against the per-node raw
+/// fan-out (pooling every node's raw day and selecting exactly). The
+/// `BENCH_tsdb.json` ratio between `fanout_p99_16` and `merged_p99_16`
+/// is enforced by the CI bench gate (machine-independent: both run in
+/// the same process).
+fn bench_fleet(c: &mut Criterion) {
+    use moda_fleet::FleetAggregator;
+    use moda_telemetry::export::{ColumnarSink, Exporter};
+
+    let mut g = c.benchmark_group("tsdb_fleet");
+    g.sample_size(10);
+    const DAY_S: u64 = 86_400;
+    const NODES: u32 = 16;
+    let node_value = |n: u32, s: u64| {
+        200.0 + 10.0 * n as f64 + ((s * 2_654_435_761) % 50) as f64 + (s % DAY_S) as f64 / 2_000.0
+    };
+
+    // Node-side: 16 stores with sketched rollups, one day of 1 Hz data,
+    // each drained once into its columnar transport buffer (the wire).
+    let wires: Vec<ColumnarSink> = (0..NODES)
+        .map(|n| {
+            let (mut db, ids) = registered(1, 4096);
+            db.enable_rollups(ids[0], &RollupConfig::standard().with_sketches());
+            for s in 0..DAY_S {
+                db.insert(ids[0], SimTime::from_secs(s), node_value(n, s));
+            }
+            let mut sink = ColumnarSink::new();
+            Exporter::new().drain(&db, &mut sink).unwrap();
+            sink
+        })
+        .collect();
+    let records: u64 = wires.iter().map(|w| w.record_count() as u64).sum();
+
+    // Ingest: decode every node's columns back into batches and apply
+    // them through the per-node ingest sessions (cursor validation,
+    // remapping, wire-fed tier absorption included).
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("ingest_16x1day", |b| {
+        b.iter(|| {
+            let mut agg = FleetAggregator::new();
+            for (n, wire) in wires.iter().enumerate() {
+                let node = agg.add_node(&format!("node{n:02}"));
+                for batch in wire.iter_batches() {
+                    agg.ingest(node, &batch);
+                }
+            }
+            black_box(agg.store().cardinality())
+        });
+    });
+
+    // Query side: one pre-ingested aggregator...
+    let mut agg = FleetAggregator::new();
+    for (n, wire) in wires.iter().enumerate() {
+        let node = agg.add_node(&format!("node{n:02}"));
+        for batch in wire.iter_batches() {
+            agg.ingest(node, &batch);
+        }
+    }
+    // ...queried on a window ending 1 ms short of the newest *sealed*
+    // minute and starting on an hour boundary, so the p99 is merged
+    // purely from sketches (zero raw reads — asserted, since that
+    // claim is the bench's reason to exist).
+    let now = SimTime(DAY_S * 1000 - 60_000 - 1);
+    let day = SimDuration(now.0 + 1 - 3_600_000);
+    let (_, served) = agg.store().fleet_window_agg_served(
+        "node0000.metric",
+        now,
+        day,
+        WindowAgg::Percentile(0.99),
+    );
+    assert!(served.sketch && served.raw_values == 0, "{served:?}");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("merged_p99_16", |b| {
+        b.iter(|| {
+            black_box(agg.store().fleet_window_agg(
+                "node0000.metric",
+                black_box(now),
+                day,
+                WindowAgg::Percentile(0.99),
+            ))
+        });
+    });
+
+    // Fan-out reference: 16 per-node raw stores retaining the full day;
+    // the exact pooled p99 gathers every node's window and selects.
+    let raw_nodes: Vec<(Tsdb, moda_telemetry::MetricId)> = (0..NODES)
+        .map(|n| {
+            let (mut db, ids) = registered(1, 90_000);
+            for s in 0..DAY_S {
+                db.insert(ids[0], SimTime::from_secs(s), node_value(n, s));
+            }
+            (db, ids[0])
+        })
+        .collect();
+    let mut pool: Vec<f64> = Vec::new();
+    g.bench_function("fanout_p99_16", |b| {
+        b.iter(|| {
+            pool.clear();
+            for (db, id) in &raw_nodes {
+                let view = db.series(*id).window_view(now, day);
+                pool.extend(view.values());
+            }
+            black_box(WindowAgg::Percentile(0.99).apply_mut(&mut pool))
+        });
+    });
+    g.finish();
+}
+
 /// Percentile aggregation: full-sort (seed) vs O(n) selection.
 fn bench_percentile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_percentile");
@@ -406,6 +516,7 @@ criterion_group!(
     bench_percentile_wide,
     bench_resample,
     bench_export,
+    bench_fleet,
     bench_contention
 );
 criterion_main!(benches);

@@ -57,6 +57,15 @@ const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
         "BENCH_GATE_MIN_SKETCH_SPEEDUP",
         10.0,
     ),
+    // The fleet tier's reason to exist: a 16-node day-wide p99 merged
+    // from sealed-bucket sketches vs fanning out to every node's raw
+    // day and selecting over the pool.
+    (
+        "tsdb_fleet/fanout_p99_16",
+        "tsdb_fleet/merged_p99_16",
+        "BENCH_GATE_MIN_FLEET_MERGE_SPEEDUP",
+        10.0,
+    ),
 ];
 
 #[derive(Debug, Clone)]

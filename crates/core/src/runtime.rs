@@ -48,7 +48,10 @@ pub fn spin(us: u64) {
     }
 }
 
-/// Latency/throughput result of one threaded-pattern run.
+/// Latency/throughput result of one threaded-pattern run. Latencies
+/// are captured at nanosecond resolution (reported in fractional µs):
+/// on a warm machine a telemetry round is sub-microsecond, and
+/// truncating to whole µs would zero it out.
 #[derive(Debug, Clone)]
 pub struct RoundStats {
     /// Loop iterations completed (across all managed systems).
@@ -87,7 +90,7 @@ pub fn run_classical(rounds: usize, costs: StageCosts) -> RoundStats {
         spin(costs.analyze_us);
         spin(costs.plan_us);
         spin(costs.execute_us);
-        lat.push(t0.elapsed().as_micros() as f64);
+        lat.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
     }
     stats_from(lat, start.elapsed(), rounds)
 }
@@ -142,7 +145,7 @@ pub fn run_master_worker(n_workers: usize, rounds: usize, costs: StageCosts) -> 
                         return;
                     };
                     spin(costs.execute_us);
-                    let _ = lat_tx.send(stamp.elapsed().as_micros() as f64);
+                    let _ = lat_tx.send(stamp.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
@@ -177,7 +180,7 @@ pub fn run_coordinated(n_peers: usize, rounds: usize, costs: StageCosts) -> Roun
                     spin(costs.analyze_us);
                     spin(costs.plan_us);
                     spin(costs.execute_us);
-                    let _ = lat_tx.send(t0.elapsed().as_micros() as f64);
+                    let _ = lat_tx.send(t0.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
@@ -248,7 +251,7 @@ pub fn run_hierarchical(
                             return;
                         }
                     }
-                    let _ = lat_tx.send(t0.elapsed().as_micros() as f64);
+                    let _ = lat_tx.send(t0.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
@@ -470,7 +473,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
                         }
                     }
                     std::hint::black_box(acc);
-                    let _ = wide_tx.send(t0.elapsed().as_micros() as f64);
+                    let _ = wide_tx.send(t0.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
@@ -495,7 +498,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
                         }
                     }
                     std::hint::black_box(acc);
-                    let _ = lat_tx.send(t0.elapsed().as_micros() as f64);
+                    let _ = lat_tx.send(t0.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
@@ -525,6 +528,201 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         rollup_hits: db.rollup_hits() - rollup_hits_before,
         sketch_hits: db.sketch_hits() - sketch_hits_before,
         export: export_rx.try_recv().ok(),
+    }
+}
+
+// ------------------------------------------------- multi-node fleet mode
+
+use moda_fleet::{ChannelSink, FleetAggregator, FleetMsg, NodeId};
+use moda_telemetry::{Collector, Exporter, Sensor, ShardedTsdb};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the multi-node telemetry runtime: K node worlds,
+/// each with its own lock-striped store, collector thread, and exporter
+/// thread, feeding **one** aggregator thread over the in-process wire
+/// ([`moda_fleet::ChannelSink`]) — the paper's fleet topology
+/// (node-local collection → wire → central aggregation) as real
+/// concurrency.
+#[derive(Debug, Clone)]
+pub struct MultiNodeFleetConfig {
+    /// Node count (K).
+    pub nodes: usize,
+    /// Collector rounds per node (one sensor sweep per round).
+    pub rounds: usize,
+    /// Metrics per node; the same node-local names repeat on every
+    /// node, so each becomes a fleet-wide logical axis downstream.
+    pub metrics_per_node: usize,
+    /// Simulated time per round.
+    pub tick: SimDuration,
+    /// Rollup pyramid on every node metric (sealed buckets and sketch
+    /// columns are what the wire ships long-horizon; `None` exports raw
+    /// samples only).
+    pub rollups: Option<RollupConfig>,
+    /// Raw retention per node metric.
+    pub retention: usize,
+    /// Stripe count of each node store.
+    pub shards: usize,
+    /// Exporter-thread pause between incremental drain sweeps, µs.
+    pub drain_pause_us: u64,
+}
+
+impl Default for MultiNodeFleetConfig {
+    fn default() -> Self {
+        MultiNodeFleetConfig {
+            nodes: 4,
+            rounds: 600,
+            metrics_per_node: 8,
+            tick: SimDuration::from_secs(1),
+            rollups: Some(RollupConfig::standard().with_sketches()),
+            retention: 8192,
+            shards: 8,
+            drain_pause_us: 200,
+        }
+    }
+}
+
+/// Result of a multi-node fleet run. Per-node wire/health detail lives
+/// on the returned aggregator ([`FleetAggregator::counters`],
+/// [`FleetAggregator::health`]); cluster queries on its
+/// [`store`](FleetAggregator::store).
+#[derive(Debug)]
+pub struct MultiNodeFleetStats {
+    /// The aggregation tier, fully ingested (every node's final drain
+    /// included).
+    pub aggregator: FleetAggregator,
+    /// Samples accepted across all node stores.
+    pub inserts: u64,
+    /// End-to-end wall time of the threaded run.
+    pub wall: Duration,
+}
+
+/// Deterministic per-node sensor sweep: one value per metric per tick,
+/// derived from `(node, metric, sweep)` so runs are reproducible and
+/// nodes' distributions differ.
+struct SyntheticSweep {
+    ids: Vec<MetricId>,
+    node: u64,
+    sweep: u64,
+}
+
+impl Sensor for SyntheticSweep {
+    fn name(&self) -> &str {
+        "synthetic-sweep"
+    }
+
+    fn sample(&mut self, _now: SimTime, out: &mut Vec<(MetricId, f64)>) {
+        for (m, id) in self.ids.iter().enumerate() {
+            let v = ((self.node * 31 + m as u64 * 7 + self.sweep) % 997) as f64;
+            out.push((*id, v));
+        }
+        self.sweep += 1;
+    }
+}
+
+/// The multi-node mode of the telemetry fleet runtime: spawn
+/// `cfg.nodes` node worlds — each a [`Collector`] thread driving
+/// [`Collector::poll_shared`] against the node's own striped store
+/// (the threaded collector shape) plus an [`Exporter`] thread
+/// incrementally draining it into a [`ChannelSink`] concurrently — and
+/// one aggregator thread ingesting every node's batches into a
+/// [`FleetAggregator`]. Exporters run their final drain after their
+/// collector finishes and then report drain totals out-of-band, so the
+/// returned aggregator holds the complete fleet view: cluster-wide
+/// window aggregates and merged-sketch percentiles are served from it
+/// with zero raw re-reads on sealed spans.
+pub fn run_multinode_fleet(cfg: &MultiNodeFleetConfig) -> MultiNodeFleetStats {
+    assert!(cfg.nodes > 0 && cfg.rounds > 0 && cfg.metrics_per_node > 0);
+    let (tx, rx) = channel::unbounded::<FleetMsg>();
+    let mut agg = FleetAggregator::new();
+    let node_ids: Vec<NodeId> = (0..cfg.nodes)
+        .map(|k| agg.add_node(&format!("node{k:02}")))
+        .collect();
+    let dbs: Vec<Arc<ShardedTsdb>> = (0..cfg.nodes)
+        .map(|_| Arc::new(ShardedTsdb::with_config(cfg.retention, cfg.shards)))
+        .collect();
+    let done: Vec<AtomicBool> = (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect();
+
+    let start = Instant::now();
+    let aggregator = std::thread::scope(|s| {
+        // The one aggregator thread: consumes node batches until every
+        // exporter has hung up, then returns the ingested tier.
+        let agg_handle = s.spawn(move || {
+            let mut agg = agg;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    FleetMsg::Batch(node, batch) => {
+                        agg.ingest(node, &batch);
+                    }
+                    FleetMsg::Drain(node, stats) => agg.report_drain(node, &stats),
+                }
+            }
+            agg
+        });
+        for k in 0..cfg.nodes {
+            let db = &dbs[k];
+            let done = &done[k];
+            // Collector thread: register the node's metric world, then
+            // sweep once per tick through the striped insert path.
+            s.spawn(move || {
+                let ids: Vec<MetricId> = (0..cfg.metrics_per_node)
+                    .map(|m| {
+                        db.register(MetricMeta::gauge(
+                            format!("metric{m:03}"),
+                            "u",
+                            SourceDomain::Hardware,
+                        ))
+                    })
+                    .collect();
+                if let Some(rc) = &cfg.rollups {
+                    for id in &ids {
+                        db.enable_rollups(*id, rc);
+                    }
+                }
+                let mut collector = Collector::new();
+                collector.add_sensor(
+                    Box::new(SyntheticSweep {
+                        ids,
+                        node: k as u64,
+                        sweep: 0,
+                    }),
+                    cfg.tick,
+                    // First sweep lands at one tick, not t=0: trailing
+                    // windows are open at t0, so a t=0 sample would be
+                    // unreachable by any whole-span query downstream.
+                    SimTime(cfg.tick.0),
+                );
+                for round in 0..cfg.rounds {
+                    collector.poll_shared(SimTime(cfg.tick.0 * (round as u64 + 1)), db.as_ref());
+                }
+                done.store(true, Ordering::Release);
+            });
+            // Exporter thread: incremental drains of the live node
+            // store into the aggregator channel, concurrent with the
+            // collector; one guaranteed drain after it finishes, then
+            // the drain totals as the out-of-band health feed.
+            let mut sink = ChannelSink::new(node_ids[k], tx.clone());
+            s.spawn(move || {
+                let mut exporter = Exporter::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let _ = exporter.drain(db.as_ref(), &mut sink);
+                    if finished {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(cfg.drain_pause_us));
+                }
+                let _ = sink.send_drain(exporter.totals());
+            });
+        }
+        drop(tx);
+        agg_handle.join().expect("aggregator thread panicked")
+    });
+    let wall = start.elapsed();
+    MultiNodeFleetStats {
+        aggregator,
+        inserts: dbs.iter().map(|db| db.total_inserts()).sum(),
+        wall,
     }
 }
 
@@ -715,6 +913,75 @@ mod tests {
         let stats = run_telemetry_fleet(&cfg, &db);
         assert_eq!(stats.rounds.iterations, 2 * 20);
         assert_eq!(stats.inserts, 2 * 20 * 4);
+    }
+
+    #[test]
+    fn multinode_fleet_aggregates_every_node_exactly_once() {
+        let cfg = MultiNodeFleetConfig {
+            nodes: 3,
+            rounds: 400,
+            metrics_per_node: 4,
+            ..MultiNodeFleetConfig::default()
+        };
+        let stats = run_multinode_fleet(&cfg);
+        assert_eq!(stats.inserts, 3 * 400 * 4);
+        let agg = &stats.aggregator;
+        let store = agg.store();
+        // One fleet metric per node×name; each name is a logical axis.
+        assert_eq!(store.cardinality(), 3 * 4);
+        assert_eq!(store.logical_members("metric000").len(), 3);
+        assert!(store.lookup("node02/metric003").is_some());
+        // Wire hygiene: no duplicates, no gaps, no framing violations,
+        // and every accepted node sample arrived exactly once.
+        let mut samples = 0;
+        for k in 0..3u32 {
+            let c = agg.counters(moda_fleet::NodeId(k));
+            assert_eq!(c.duplicate_batches, 0, "{c:?}");
+            assert_eq!(c.gaps, 0, "{c:?}");
+            assert_eq!(c.orphan_sketches, 0, "{c:?}");
+            assert_eq!(c.unmapped_records, 0, "{c:?}");
+            assert_eq!(c.rejected_samples, 0, "{c:?}");
+            samples += c.samples;
+            // The out-of-band drain totals arrived and agree.
+            assert_eq!(agg.drain_stats(moda_fleet::NodeId(k)).samples, c.samples);
+        }
+        assert_eq!(samples, stats.inserts, "final drains shipped everything");
+        // Cluster query over the whole span: every sample is counted
+        // exactly once across buckets and raw splices.
+        let now = SimTime::from_secs(400);
+        let span = SimDuration::from_secs(400);
+        let count = store
+            .fleet_window_agg("metric000", now, span, moda_telemetry::WindowAgg::Count)
+            .unwrap();
+        assert_eq!(count, 3.0 * 400.0);
+        // Health: all nodes live once everything is drained.
+        let h = agg.health(now, SimDuration::from_secs(60));
+        assert_eq!(h.live, 3);
+        assert_eq!(h.observed_now, now);
+    }
+
+    #[test]
+    fn multinode_fleet_p99_is_sketch_served() {
+        let cfg = MultiNodeFleetConfig {
+            nodes: 2,
+            rounds: 360, // 6 simulated minutes → several sealed 1m buckets
+            metrics_per_node: 2,
+            ..MultiNodeFleetConfig::default()
+        };
+        let stats = run_multinode_fleet(&cfg);
+        let store = stats.aggregator.store();
+        // Query only the sealed region (aligned minutes): the fleet p99
+        // must be merged purely from sketches — zero raw reads.
+        let (p99, served) = store.fleet_window_agg_served(
+            "metric001",
+            SimTime(299_999), // one ms short of the 5-minute boundary
+            SimDuration::from_secs(240),
+            moda_telemetry::WindowAgg::Percentile(0.99),
+        );
+        assert!(p99.is_some());
+        assert!(served.sketch, "{served:?}");
+        assert_eq!(served.raw_values, 0, "{served:?}");
+        assert!(store.stats().sketch_hits >= 1);
     }
 
     #[test]

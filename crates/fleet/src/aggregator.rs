@@ -1,0 +1,651 @@
+//! Per-node wire ingest sessions, fleet health, and the in-process
+//! batch transport.
+//!
+//! A [`FleetAggregator`] owns one [`FleetStore`] plus one ingest
+//! session per node exporter stream. Ingest enforces the consumption
+//! rules of `docs/EXPORT_FORMAT.md` §"Aggregator consumption":
+//!
+//! * **batch cursor** — `seq` must advance monotonically per node;
+//!   a replayed batch (`seq < next`) is rejected whole (samples are not
+//!   keyed, so re-applying would double-count them), a skipped range
+//!   (`seq > next`) is accepted and the gap counted;
+//! * **registry mapping** — `meta` records bind node-local wire ids to
+//!   fleet metrics (`node/name`); data records arriving before their
+//!   meta are dropped and counted (`unmapped_records`);
+//! * **column framing** — a `sketch` column must follow its bucket (or
+//!   a sibling column) within the batch, per the wire spec; orphans are
+//!   dropped and counted rather than absorbed into the wrong slot;
+//! * **monotonic samples** — per-metric out-of-order raw samples are
+//!   rejected by the fleet ring and counted (this is also what makes a
+//!   restarted node exporter re-shipping its retained tail safe: the
+//!   already-seen prefix bounces off the monotonic guard, buckets
+//!   overwrite by key).
+//!
+//! Health ([`FleetAggregator::health`]) classifies each node by **drain
+//! lag** — how far the node's newest ingested data sits behind a
+//! reference clock — and folds in the out-of-band
+//! [`DrainStats`] a co-located exporter reports
+//! ([`FleetAggregator::report_drain`]), so missed/evicted node-side
+//! accounting surfaces at the fleet level next to the wire-level
+//! duplicate/gap/orphan counters.
+
+use crate::store::{FleetStore, NodeId};
+use crossbeam::channel::Sender;
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::export::{ExportBatch, ExportRecord};
+use moda_telemetry::{DrainStats, MetricId, Sink};
+use std::io;
+
+/// Lifetime wire counters of one node's ingest session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Batches applied.
+    pub batches: u64,
+    /// Batches rejected as duplicates (`seq` already covered).
+    pub duplicate_batches: u64,
+    /// Times the sequence jumped forward (exporter restarted mid-stream
+    /// or transport dropped batches).
+    pub gaps: u64,
+    /// Batches known missing across those gaps (sum of jump widths).
+    pub missing_batches: u64,
+    /// Records applied (all kinds).
+    pub records: u64,
+    /// Raw samples accepted into the fleet store.
+    pub samples: u64,
+    /// Raw samples rejected by the per-metric monotonic guard.
+    pub rejected_samples: u64,
+    /// Sealed buckets applied.
+    pub buckets: u64,
+    /// Sketch columns applied.
+    pub sketch_entries: u64,
+    /// Sketch columns dropped for violating the follows-its-bucket
+    /// framing rule.
+    pub orphan_sketches: u64,
+    /// Data records dropped because no `meta` had mapped their wire id.
+    pub unmapped_records: u64,
+}
+
+/// What one [`FleetAggregator::ingest`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// The batch was applied (false: rejected as a duplicate).
+    pub applied: bool,
+    /// The batch was a duplicate (`seq` below the cursor).
+    pub duplicate: bool,
+    /// Batches skipped between the cursor and this batch's `seq`.
+    pub gap: u64,
+    /// Records applied from this batch.
+    pub records: u64,
+}
+
+/// Liveness classification of one node, by drain lag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLiveness {
+    /// Lag within the staleness bound.
+    Live,
+    /// Data is older than the staleness bound.
+    Stale,
+    /// The session has never ingested any data.
+    Silent,
+}
+
+/// Point-in-time health of one node's ingest session.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// The node.
+    pub node: NodeId,
+    /// Its registered name.
+    pub name: String,
+    /// Wire counters so far.
+    pub counters: NodeCounters,
+    /// Newest data timestamp ingested (sample time or bucket end);
+    /// `SimTime::ZERO` when silent.
+    pub high_water: SimTime,
+    /// `now − high_water`: how far the node's ingested view lags the
+    /// reference clock (full window when silent).
+    pub drain_lag: SimDuration,
+    /// Classification of that lag.
+    pub liveness: NodeLiveness,
+    /// Node-side exporter totals reported out-of-band
+    /// ([`FleetAggregator::report_drain`]); zero when never reported.
+    /// `missed_samples`/`missed_buckets` here are the node-side
+    /// eviction-before-export counters — the fleet's view of telemetry
+    /// the wire never carried.
+    pub drain: DrainStats,
+}
+
+/// Fleet-level health rollup.
+#[derive(Debug, Clone)]
+pub struct FleetHealth {
+    /// Per-node health, node order.
+    pub nodes: Vec<NodeHealth>,
+    /// Nodes classified [`NodeLiveness::Live`].
+    pub live: usize,
+    /// Nodes classified [`NodeLiveness::Stale`].
+    pub stale: usize,
+    /// Nodes classified [`NodeLiveness::Silent`].
+    pub silent: usize,
+    /// Newest data timestamp ingested across the fleet.
+    pub observed_now: SimTime,
+}
+
+/// One node's ingest session state.
+#[derive(Debug)]
+struct NodeSession {
+    name: String,
+    next_seq: u64,
+    /// Node-local wire id → fleet metric id.
+    wire_map: Vec<Option<MetricId>>,
+    counters: NodeCounters,
+    high_water: SimTime,
+    ever_ingested: bool,
+    drain: DrainStats,
+}
+
+/// The fleet aggregation tier: a [`FleetStore`] fed by per-node wire
+/// ingest sessions. See the crate docs for the end-to-end shape and
+/// `tests/props.rs` for the merge-algebra guarantees.
+#[derive(Debug, Default)]
+pub struct FleetAggregator {
+    store: FleetStore,
+    sessions: Vec<NodeSession>,
+}
+
+impl FleetAggregator {
+    /// Aggregator with default store sizing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Aggregator over a custom-sized store (e.g. bounded raw rings for
+    /// high-cardinality fleets).
+    pub fn with_store(store: FleetStore) -> Self {
+        FleetAggregator {
+            store,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Open an ingest session for one node exporter stream. One session
+    /// consumes **one** logical stream: if a node's exporter restarts
+    /// from scratch (its `seq` resets to 0), open a fresh session via
+    /// [`FleetAggregator::reset_session`] — metric mappings and store
+    /// data persist; only the batch cursor resets.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.sessions.len() as u32);
+        self.sessions.push(NodeSession {
+            name: name.to_string(),
+            next_seq: 0,
+            wire_map: Vec::new(),
+            counters: NodeCounters::default(),
+            high_water: SimTime::ZERO,
+            ever_ingested: false,
+            drain: DrainStats::default(),
+        });
+        id
+    }
+
+    /// Registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Name a node was registered under.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.sessions[node.index()].name
+    }
+
+    /// The cluster store (all queries live there).
+    pub fn store(&self) -> &FleetStore {
+        &self.store
+    }
+
+    /// Reset a node's batch cursor to 0 — the "node exporter restarted
+    /// with a fresh stream" handshake. Store data and metric mappings
+    /// persist; the restarted exporter's re-shipped retained tail
+    /// deduplicates via the monotonic sample guard and bucket
+    /// overwrite-by-key.
+    pub fn reset_session(&mut self, node: NodeId) {
+        self.sessions[node.index()].next_seq = 0;
+    }
+
+    /// Wire counters of one node.
+    pub fn counters(&self, node: NodeId) -> NodeCounters {
+        self.sessions[node.index()].counters
+    }
+
+    /// Node-side exporter totals last reported for `node`.
+    pub fn drain_stats(&self, node: NodeId) -> DrainStats {
+        self.sessions[node.index()].drain
+    }
+
+    /// Fold a co-located node exporter's [`DrainStats`] into the node's
+    /// health (out-of-band: the wire itself does not carry drain
+    /// accounting). Call with per-drain stats (accumulates) or once
+    /// with `Exporter::totals` — the fleet keeps the running sum.
+    pub fn report_drain(&mut self, node: NodeId, stats: &DrainStats) {
+        self.sessions[node.index()].drain.merge(stats);
+    }
+
+    /// Ingest one wire batch from `node`'s stream. Returns what
+    /// happened; all counters accumulate on the session.
+    pub fn ingest(&mut self, node: NodeId, batch: &ExportBatch) -> IngestReport {
+        let session = &mut self.sessions[node.index()];
+        let mut report = IngestReport::default();
+        if batch.seq < session.next_seq {
+            session.counters.duplicate_batches += 1;
+            report.duplicate = true;
+            return report;
+        }
+        if batch.seq > session.next_seq {
+            report.gap = batch.seq - session.next_seq;
+            session.counters.gaps += 1;
+            session.counters.missing_batches += report.gap;
+        }
+        session.next_seq = batch.seq + 1;
+        session.counters.batches += 1;
+        report.applied = true;
+
+        // The follows-its-bucket framing cursor: the key of the bucket
+        // whose columns may legally arrive next. Cleared by any
+        // non-tier record and at batch end (columns never split across
+        // batches).
+        let mut open_bucket: Option<(MetricId, u64, u64)> = None;
+        for r in &batch.records {
+            match r {
+                ExportRecord::Meta { id, meta } => {
+                    open_bucket = None;
+                    let widx = id.index();
+                    if session.wire_map.len() <= widx {
+                        session.wire_map.resize(widx + 1, None);
+                    }
+                    let fleet_id = self.store.register(node, &session.name, meta);
+                    session.wire_map[widx] = Some(fleet_id);
+                    session.counters.records += 1;
+                    report.records += 1;
+                }
+                ExportRecord::Sample { id, t, value } => {
+                    open_bucket = None;
+                    let Some(fleet_id) = session.wire_map.get(id.index()).copied().flatten() else {
+                        session.counters.unmapped_records += 1;
+                        continue;
+                    };
+                    if self.store.push_sample(fleet_id, *t, *value) {
+                        session.counters.samples += 1;
+                    } else {
+                        session.counters.rejected_samples += 1;
+                    }
+                    session.counters.records += 1;
+                    report.records += 1;
+                    session.high_water = session.high_water.max(*t);
+                    session.ever_ingested = true;
+                }
+                ExportRecord::Bucket {
+                    id,
+                    res,
+                    start,
+                    count,
+                    sum,
+                    min,
+                    max,
+                    last,
+                } => {
+                    let Some(fleet_id) = session.wire_map.get(id.index()).copied().flatten() else {
+                        open_bucket = None;
+                        session.counters.unmapped_records += 1;
+                        continue;
+                    };
+                    self.store
+                        .apply_bucket(fleet_id, *res, *start, *count, *sum, *min, *max, *last);
+                    open_bucket = Some((fleet_id, res.0, start.0));
+                    session.counters.buckets += 1;
+                    session.counters.records += 1;
+                    report.records += 1;
+                    session.high_water = session
+                        .high_water
+                        .max(SimTime(start.0.saturating_add(res.0)));
+                    session.ever_ingested = true;
+                }
+                ExportRecord::Sketch {
+                    id,
+                    res,
+                    start,
+                    entry,
+                } => {
+                    let Some(fleet_id) = session.wire_map.get(id.index()).copied().flatten() else {
+                        session.counters.unmapped_records += 1;
+                        continue;
+                    };
+                    if open_bucket != Some((fleet_id, res.0, start.0)) {
+                        session.counters.orphan_sketches += 1;
+                        continue;
+                    }
+                    self.store.apply_sketch(fleet_id, *res, *start, *entry);
+                    session.counters.sketch_entries += 1;
+                    session.counters.records += 1;
+                    report.records += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Newest data timestamp ingested across all nodes.
+    pub fn observed_now(&self) -> SimTime {
+        self.sessions
+            .iter()
+            .map(|s| s.high_water)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Classify every node's drain lag against `now` (pass the
+    /// harness/simulation clock, or [`FleetAggregator::observed_now`]
+    /// to measure lag behind the most-live node): lag within
+    /// `stale_after` is [`NodeLiveness::Live`], beyond it
+    /// [`NodeLiveness::Stale`]; sessions that never ingested data are
+    /// [`NodeLiveness::Silent`].
+    pub fn health(&self, now: SimTime, stale_after: SimDuration) -> FleetHealth {
+        let mut nodes = Vec::with_capacity(self.sessions.len());
+        let (mut live, mut stale, mut silent) = (0, 0, 0);
+        for (i, s) in self.sessions.iter().enumerate() {
+            let drain_lag = now.saturating_since(s.high_water);
+            let liveness = if !s.ever_ingested {
+                silent += 1;
+                NodeLiveness::Silent
+            } else if drain_lag.0 <= stale_after.0 {
+                live += 1;
+                NodeLiveness::Live
+            } else {
+                stale += 1;
+                NodeLiveness::Stale
+            };
+            nodes.push(NodeHealth {
+                node: NodeId(i as u32),
+                name: s.name.clone(),
+                counters: s.counters,
+                high_water: s.high_water,
+                drain_lag,
+                liveness,
+                drain: s.drain,
+            });
+        }
+        FleetHealth {
+            nodes,
+            live,
+            stale,
+            silent,
+            observed_now: self.observed_now(),
+        }
+    }
+}
+
+// ----------------------------------------------------------- transport
+
+/// What flows from a node exporter to the aggregator thread.
+#[derive(Debug)]
+pub enum FleetMsg {
+    /// One wire batch from one node's export stream.
+    Batch(NodeId, ExportBatch),
+    /// A node exporter's drain totals (out-of-band health feed).
+    Drain(NodeId, DrainStats),
+}
+
+/// The in-process node→aggregator transport: a [`Sink`] that forwards
+/// every batch over a crossbeam channel, tagged with the node id — the
+/// K-exporters→one-aggregator topology without serialization. A
+/// disconnected aggregator surfaces as a sink error, which the exporter
+/// turns into a cursor rollback (nothing is lost; the next drain
+/// re-stages).
+#[derive(Clone)]
+pub struct ChannelSink {
+    node: NodeId,
+    tx: Sender<FleetMsg>,
+}
+
+impl std::fmt::Debug for ChannelSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The vendored channel Sender carries no Debug; the node id is
+        // the informative part anyway.
+        f.debug_struct("ChannelSink")
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl ChannelSink {
+    /// Sink forwarding `node`'s batches over `tx`.
+    pub fn new(node: NodeId, tx: Sender<FleetMsg>) -> Self {
+        ChannelSink { node, tx }
+    }
+
+    /// Forward drain totals to the aggregator's health feed.
+    pub fn send_drain(&self, stats: DrainStats) -> io::Result<()> {
+        self.tx
+            .send(FleetMsg::Drain(self.node, stats))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "aggregator disconnected"))
+    }
+}
+
+impl Sink for ChannelSink {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        self.tx
+            .send(FleetMsg::Batch(self.node, batch.clone()))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "aggregator disconnected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moda_telemetry::export::MemorySink;
+    use moda_telemetry::{
+        Exporter, MetricMeta, QuantileSketch, RollupConfig, RollupTier, SourceDomain, Tsdb,
+        WindowAgg,
+    };
+
+    /// One node store with a tiny sketched pyramid and `n` 1 Hz samples.
+    fn node_db(n: u64, offset: f64) -> Tsdb {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(
+            id,
+            &RollupConfig::new(vec![
+                RollupTier::new(SimDuration::from_secs(10), 256),
+                RollupTier::new(SimDuration::from_secs(60), 64),
+            ])
+            .with_sketches(),
+        );
+        for s in 0..n {
+            db.insert(id, SimTime::from_secs(s), offset + (s % 20) as f64);
+        }
+        db
+    }
+
+    fn batches_of(db: &Tsdb, batch_records: usize) -> Vec<ExportBatch> {
+        let mut sink = MemorySink::new();
+        Exporter::new()
+            .with_batch_records(batch_records)
+            .drain(db, &mut sink)
+            .unwrap();
+        sink.batches
+    }
+
+    #[test]
+    fn ingest_maps_metrics_and_tracks_high_water() {
+        let mut agg = FleetAggregator::new();
+        let n0 = agg.add_node("node00");
+        let n1 = agg.add_node("node01");
+        let db0 = node_db(300, 0.0);
+        let db1 = node_db(200, 100.0);
+        for b in batches_of(&db0, 64) {
+            let r = agg.ingest(n0, &b);
+            assert!(r.applied && !r.duplicate && r.gap == 0);
+        }
+        for b in batches_of(&db1, 64) {
+            agg.ingest(n1, &b);
+        }
+        let store = agg.store();
+        assert_eq!(store.cardinality(), 2);
+        assert!(store.lookup("node00/m").is_some());
+        assert_eq!(store.logical_members("m").len(), 2);
+        let c0 = agg.counters(n0);
+        assert_eq!(c0.samples, 300);
+        assert_eq!(c0.orphan_sketches, 0);
+        assert_eq!(c0.unmapped_records, 0);
+        assert!(c0.buckets > 0 && c0.sketch_entries > 0);
+        // High water = newest sample beats the last sealed bucket end.
+        assert_eq!(agg.observed_now(), SimTime::from_secs(299));
+        // Fleet query spans both nodes.
+        let mean = store
+            .fleet_window_agg(
+                "m",
+                SimTime::from_secs(299),
+                SimDuration::from_secs(100),
+                WindowAgg::Count,
+            )
+            .unwrap();
+        assert_eq!(mean, 100.0, "only node00 has data in the last 100 s");
+    }
+
+    #[test]
+    fn duplicate_batches_are_rejected_whole_and_gaps_counted() {
+        let mut agg = FleetAggregator::new();
+        let n = agg.add_node("node00");
+        let batches = batches_of(&node_db(100, 0.0), 32);
+        assert!(batches.len() >= 3, "need several batches");
+        for b in &batches {
+            agg.ingest(n, b);
+        }
+        let samples_before = agg.counters(n).samples;
+        // Replay of an already-covered batch: rejected, nothing applied.
+        let r = agg.ingest(n, &batches[1]);
+        assert!(!r.applied && r.duplicate);
+        assert_eq!(agg.counters(n).samples, samples_before);
+        assert_eq!(agg.counters(n).duplicate_batches, 1);
+        // A forward jump is accepted and the missing range counted.
+        let jumped = ExportBatch {
+            seq: batches.len() as u64 + 5,
+            records: vec![],
+        };
+        let r = agg.ingest(n, &jumped);
+        assert!(r.applied);
+        assert_eq!(r.gap, 5);
+        assert_eq!(agg.counters(n).gaps, 1);
+        assert_eq!(agg.counters(n).missing_batches, 5);
+        // After reset_session, a fresh stream restarting at 0 is legal.
+        agg.reset_session(n);
+        let r = agg.ingest(
+            n,
+            &ExportBatch {
+                seq: 0,
+                records: vec![],
+            },
+        );
+        assert!(r.applied && !r.duplicate);
+    }
+
+    #[test]
+    fn orphan_and_unmapped_records_are_dropped_and_counted() {
+        let mut agg = FleetAggregator::new();
+        let n = agg.add_node("node00");
+        let entry = QuantileSketch::new().wire_entries().next();
+        assert!(entry.is_none());
+        let mut sk = QuantileSketch::new();
+        sk.fold(5.0);
+        let entry = sk.wire_entries().next().unwrap();
+        // Sample before its meta → unmapped; sketch with no preceding
+        // bucket → orphan (after the meta maps the id).
+        let meta = MetricMeta::gauge("m", "u", SourceDomain::Hardware);
+        let batch = ExportBatch {
+            seq: 0,
+            records: vec![
+                ExportRecord::Sample {
+                    id: MetricId(0),
+                    t: SimTime::from_secs(1),
+                    value: 1.0,
+                },
+                ExportRecord::Meta {
+                    id: MetricId(0),
+                    meta: meta.clone(),
+                },
+                ExportRecord::Sketch {
+                    id: MetricId(0),
+                    res: SimDuration::from_secs(60),
+                    start: SimTime::ZERO,
+                    entry,
+                },
+            ],
+        };
+        agg.ingest(n, &batch);
+        let c = agg.counters(n);
+        assert_eq!(c.unmapped_records, 1);
+        assert_eq!(c.orphan_sketches, 1);
+        assert_eq!(c.samples, 0);
+        assert_eq!(c.sketch_entries, 0);
+        // The orphan column did not corrupt the store.
+        let id = agg.store().lookup("node00/m").unwrap();
+        assert_eq!(
+            agg.store().buckets(id, SimDuration::from_secs(60)).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn health_classifies_liveness_and_carries_drain_stats() {
+        let mut agg = FleetAggregator::new();
+        let fresh = agg.add_node("fresh");
+        let lagging = agg.add_node("lagging");
+        let silent = agg.add_node("silent");
+        for b in batches_of(&node_db(600, 0.0), 1024) {
+            agg.ingest(fresh, &b);
+        }
+        for b in batches_of(&node_db(100, 0.0), 1024) {
+            agg.ingest(lagging, &b);
+        }
+        agg.report_drain(
+            lagging,
+            &DrainStats {
+                missed_samples: 7,
+                ..DrainStats::default()
+            },
+        );
+        let h = agg.health(SimTime::from_secs(600), SimDuration::from_secs(120));
+        assert_eq!((h.live, h.stale, h.silent), (1, 1, 1));
+        assert_eq!(h.observed_now, SimTime::from_secs(599));
+        assert_eq!(h.nodes[fresh.index()].liveness, NodeLiveness::Live);
+        let lag = &h.nodes[lagging.index()];
+        assert_eq!(lag.liveness, NodeLiveness::Stale);
+        assert_eq!(lag.drain_lag, SimDuration::from_secs(600 - 99));
+        assert_eq!(lag.drain.missed_samples, 7);
+        assert_eq!(h.nodes[silent.index()].liveness, NodeLiveness::Silent);
+    }
+
+    #[test]
+    fn channel_sink_forwards_batches_and_drain_totals() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let db = node_db(50, 0.0);
+        let mut exporter = Exporter::new();
+        let mut sink = ChannelSink::new(NodeId(0), tx);
+        let stats = exporter.drain(&db, &mut sink).unwrap();
+        sink.send_drain(exporter.totals()).unwrap();
+        drop(sink);
+        let mut agg = FleetAggregator::new();
+        let n = agg.add_node("node00");
+        let mut drains = 0;
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                FleetMsg::Batch(node, batch) => {
+                    agg.ingest(node, &batch);
+                }
+                FleetMsg::Drain(node, d) => {
+                    agg.report_drain(node, &d);
+                    drains += 1;
+                }
+            }
+        }
+        assert_eq!(drains, 1);
+        assert_eq!(agg.counters(n).samples, stats.samples);
+        assert_eq!(agg.drain_stats(n).samples, stats.samples);
+    }
+}

@@ -1,0 +1,278 @@
+//! Property tests for the fleet merge algebra.
+//!
+//! The aggregation tier's contract (`docs/EXPORT_FORMAT.md`,
+//! "Aggregator consumption"):
+//!
+//! * **ingest order independence** — per-node streams are applied in
+//!   stream order, but the interleaving *across* nodes is transport
+//!   noise: any interleaving yields the same fleet store (samples,
+//!   buckets, merged sketches, and therefore every query answer) —
+//!   sketch and bucket merges are commutative and associative;
+//! * **the fleet percentile bound** — a fleet p99 merged from the
+//!   nodes' sealed-bucket sketches stays within the documented
+//!   `SKETCH_RELATIVE_ERROR` (1 %) of the exact pooled order statistic
+//!   over all nodes' raw values, and reads zero raw samples on sealed
+//!   aligned windows.
+
+use moda_fleet::{FleetAggregator, NodeId};
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::export::{ExportBatch, MemorySink};
+use moda_telemetry::{
+    Exporter, MetricMeta, RollupConfig, RollupTier, SourceDomain, Tsdb, WindowAgg,
+};
+use proptest::prelude::*;
+
+/// Build one node's store (tiny sketched 1s/10s pyramid so seals happen
+/// within short prop streams) and export it in `batch_records`-sized
+/// batches.
+fn node_stream(values: &[u16], offset: f64, batch_records: usize) -> (Vec<ExportBatch>, Vec<f64>) {
+    let cfg = RollupConfig::new(vec![
+        RollupTier::new(SimDuration::from_secs(1), 512),
+        RollupTier::new(SimDuration::from_secs(10), 128),
+    ])
+    .with_sketches();
+    let mut db = Tsdb::with_retention(1 << 12);
+    let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+    db.enable_rollups(id, &cfg);
+    let mut raw = Vec::with_capacity(values.len());
+    for (i, &v) in values.iter().enumerate() {
+        // ~3 samples per 1 s slot, starting past t=0 so whole-span
+        // windows (open at t0) cover everything.
+        let t = SimTime(1_000 + i as u64 * 333);
+        let v = offset + v as f64;
+        if db.insert(id, t, v) {
+            raw.push(v);
+        }
+    }
+    let mut sink = MemorySink::new();
+    Exporter::new()
+        .with_batch_records(batch_records)
+        .drain(&db, &mut sink)
+        .unwrap();
+    (sink.batches, raw)
+}
+
+/// Ingest the per-node batch streams in the interleaving dictated by
+/// `schedule` (a sequence of node indices; per-node order preserved —
+/// the transport guarantee).
+fn ingest_interleaved(streams: &[Vec<ExportBatch>], schedule: &[usize]) -> FleetAggregator {
+    let mut agg = FleetAggregator::new();
+    let nodes: Vec<NodeId> = (0..streams.len())
+        .map(|k| agg.add_node(&format!("node{k:02}")))
+        .collect();
+    let mut cursors = vec![0usize; streams.len()];
+    // The schedule picks which node ships next; exhaust leftovers after.
+    for &pick in schedule {
+        let k = pick % streams.len();
+        if cursors[k] < streams[k].len() {
+            agg.ingest(nodes[k], &streams[k][cursors[k]]);
+            cursors[k] += 1;
+        }
+    }
+    for (k, cur) in cursors.iter_mut().enumerate() {
+        while *cur < streams[k].len() {
+            agg.ingest(nodes[k], &streams[k][*cur]);
+            *cur += 1;
+        }
+    }
+    agg
+}
+
+/// Everything observable about the fleet store, as comparable data.
+fn fingerprint(agg: &FleetAggregator, n_nodes: usize, span_s: u64) -> Vec<String> {
+    let store = agg.store();
+    let mut out = Vec::new();
+    for k in 0..n_nodes {
+        let id = store.lookup(&format!("node{k:02}/m")).expect("mapped");
+        let raw: Vec<String> = store
+            .raw(id)
+            .iter()
+            .map(|s| format!("{}:{}", s.t.0, s.value))
+            .collect();
+        out.push(format!("samples[{k}]={raw:?}"));
+        for res in [SimDuration::from_secs(1), SimDuration::from_secs(10)] {
+            let buckets: Vec<String> = store
+                .buckets(id, res)
+                .map(|b| {
+                    format!(
+                        "{}:{}:{}:{}:{}:{}:{:?}",
+                        b.start.0, b.count, b.sum, b.min, b.max, b.last, b.sketch
+                    )
+                })
+                .collect();
+            out.push(format!("tier[{k},{}]={buckets:?}", res.0));
+        }
+    }
+    // Query answers must agree too (they are derived, but cheap to pin).
+    let now = SimTime(span_s * 1000);
+    let w = SimDuration(span_s * 1000);
+    for agg_kind in [
+        WindowAgg::Count,
+        WindowAgg::Sum,
+        WindowAgg::Min,
+        WindowAgg::Max,
+    ] {
+        out.push(format!(
+            "{agg_kind:?}={:?}",
+            store.fleet_window_agg("m", now, w, agg_kind)
+        ));
+    }
+    out.push(format!(
+        "p99={:?}",
+        store.fleet_window_agg("m", now, w, WindowAgg::Percentile(0.99))
+    ));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ingesting node streams in any interleaving yields the same fleet
+    /// store — the additive merge algebra is commutative/associative.
+    #[test]
+    fn ingest_interleaving_is_irrelevant(
+        a in prop::collection::vec(0u16..1000, 30..400),
+        b in prop::collection::vec(0u16..1000, 30..400),
+        c in prop::collection::vec(0u16..1000, 30..400),
+        batch_records in 16usize..200,
+        schedule in prop::collection::vec(0usize..3, 0..64),
+    ) {
+        let streams = vec![
+            node_stream(&a, 0.0, batch_records).0,
+            node_stream(&b, 1000.0, batch_records).0,
+            node_stream(&c, 2000.0, batch_records).0,
+        ];
+        let span_s = 1 + (400 * 333) / 1000 + 1;
+        // Reference: node-by-node in order.
+        let reference = ingest_interleaved(&streams, &[]);
+        let shuffled = ingest_interleaved(&streams, &schedule);
+        prop_assert_eq!(
+            fingerprint(&reference, 3, span_s),
+            fingerprint(&shuffled, 3, span_s)
+        );
+        // And the wire stayed clean in both runs.
+        for k in 0..3u32 {
+            let c = shuffled.counters(NodeId(k));
+            prop_assert_eq!(c.duplicate_batches, 0);
+            prop_assert_eq!(c.orphan_sketches, 0);
+            prop_assert_eq!(c.unmapped_records, 0);
+        }
+    }
+
+    /// The fleet percentile over merged sketches stays within the
+    /// documented 1 % relative-error bound of the exact pooled order
+    /// statistic — and reads zero raw samples on a sealed aligned span.
+    #[test]
+    fn fleet_percentile_is_within_alpha_of_exact_pooled(
+        a in prop::collection::vec(1u16..2000, 60..500),
+        b in prop::collection::vec(1u16..2000, 60..500),
+        c in prop::collection::vec(1u16..2000, 60..500),
+        d in prop::collection::vec(1u16..2000, 60..500),
+        q in 0.0f64..1.0,
+    ) {
+        let mut agg = FleetAggregator::new();
+        // Equal stream lengths: every node's sealed boundary coincides,
+        // so the whole in-scope span is sealed on *every* node (a short
+        // node's still-unsealed tail would legitimately splice raw).
+        let n = a.len().min(b.len()).min(c.len()).min(d.len());
+        let inputs = [&a[..n], &b[..n], &c[..n], &d[..n]];
+        let mut max_t = 0u64;
+        for (k, vals) in inputs.iter().enumerate() {
+            let (batches, _) = node_stream(vals, (k as f64) * 500.0, 4096);
+            let node = agg.add_node(&format!("node{k:02}"));
+            for batch in &batches {
+                agg.ingest(node, batch);
+            }
+            max_t = max_t.max(1_000 + (vals.len() as u64 - 1) * 333);
+        }
+        // Pool only what landed in *sealed* 1 s buckets: everything
+        // before the newest slot any node is still filling. The window
+        // (0, sealed_end-1] is slot-aligned, so the fleet answer must
+        // come purely from merged sketches.
+        let sealed_end = (max_t / 1_000) * 1_000;
+        let store = agg.store();
+        let now = SimTime(sealed_end - 1);
+        let window = SimDuration(sealed_end - 1);
+        let (got, served) =
+            store.fleet_window_agg_served("m", now, window, WindowAgg::Percentile(q));
+        // Which raw values are in scope: t in (0, sealed_end-1] — i.e.
+        // t < sealed_end given 333 ms spacing never lands on *_999.
+        let mut in_scope: Vec<f64> = Vec::new();
+        for (k, vals) in inputs.iter().enumerate() {
+            for (i, &v) in vals.iter().enumerate() {
+                let t = 1_000 + i as u64 * 333;
+                if t < sealed_end {
+                    in_scope.push(v as f64 + (k as f64) * 500.0);
+                }
+            }
+        }
+        // ≥ 60 samples at 333 ms spacing guarantee sealed slots exist.
+        prop_assert!(!in_scope.is_empty());
+        let got = got.expect("data in window");
+        prop_assert!(served.sketch, "{:?}", served);
+        prop_assert_eq!(served.raw_values, 0, "sealed span must not read raw");
+        // Exact pooled order statistic at the documented rank.
+        let rank = (q * (in_scope.len() as f64 - 1.0)).round() as usize;
+        in_scope.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let exact = in_scope[rank];
+        prop_assert!(
+            (got - exact).abs() <= 0.0101 * exact.abs() + 1e-9,
+            "q={}: sketch {} vs exact pooled {} over {} values",
+            q, got, exact, in_scope.len()
+        );
+    }
+
+    /// Duplicate delivery of any batch is rejected whole: the store
+    /// equals the clean single-delivery store.
+    #[test]
+    fn duplicate_batches_do_not_change_the_store(
+        vals in prop::collection::vec(0u16..500, 50..300),
+        batch_records in 16usize..120,
+        dup_at in 0usize..16,
+    ) {
+        let (batches, _) = node_stream(&vals, 0.0, batch_records);
+        let span_s = 1 + (300 * 333) / 1000 + 1;
+        let clean = ingest_interleaved(std::slice::from_ref(&batches), &[]);
+        let mut noisy = FleetAggregator::new();
+        let node = noisy.add_node("node00");
+        for batch in &batches {
+            noisy.ingest(node, batch);
+            // Re-deliver an already-covered batch somewhere mid-stream.
+            let replay = &batches[dup_at % batches.len()];
+            if replay.seq <= batch.seq {
+                let r = noisy.ingest(node, replay);
+                prop_assert!(r.duplicate);
+            }
+        }
+        let clean_fp = {
+            let store = clean.store();
+            let id = store.lookup("node00/m").unwrap();
+            (
+                store.raw(id).len(),
+                store.buckets(id, SimDuration::from_secs(1)).count(),
+                store.fleet_window_agg(
+                    "m",
+                    SimTime(span_s * 1000),
+                    SimDuration(span_s * 1000),
+                    WindowAgg::Sum,
+                ),
+            )
+        };
+        let noisy_fp = {
+            let store = noisy.store();
+            let id = store.lookup("node00/m").unwrap();
+            (
+                store.raw(id).len(),
+                store.buckets(id, SimDuration::from_secs(1)).count(),
+                store.fleet_window_agg(
+                    "m",
+                    SimTime(span_s * 1000),
+                    SimDuration(span_s * 1000),
+                    WindowAgg::Sum,
+                ),
+            )
+        };
+        prop_assert_eq!(clean_fp, noisy_fp);
+        prop_assert!(noisy.counters(node).duplicate_batches > 0);
+    }
+}

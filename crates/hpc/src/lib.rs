@@ -22,12 +22,14 @@
 //!   *actuator* surfaces for the use-case loops.
 
 pub mod app;
+pub mod cluster;
 pub mod failure;
 pub mod power;
 pub mod workload;
 pub mod world;
 
 pub use app::{AppInstance, AppProfile, MisconfigSpec, PhaseChange};
+pub use cluster::{Cluster, ClusterConfig};
 pub use failure::{young_interval_s, FailureConfig};
 pub use power::PowerModel;
 pub use workload::{AppClassSpec, WalltimeErrorModel, WorkloadConfig};

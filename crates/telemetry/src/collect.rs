@@ -9,7 +9,7 @@
 //! [`Collector::poll`] at that time.
 
 use crate::metric::MetricId;
-use crate::tsdb::Tsdb;
+use crate::tsdb::{ShardedTsdb, Tsdb};
 use moda_sim::{SimDuration, SimTime};
 
 /// A source of telemetry samples.
@@ -99,6 +99,34 @@ impl Collector {
     /// each at `due + period` (fixed cadence, no drift accumulation even
     /// if polled late). Returns the number of samples inserted.
     pub fn poll(&mut self, now: SimTime, db: &mut Tsdb) -> usize {
+        self.poll_with(now, |t, batch| {
+            let mut n = 0;
+            for &(id, v) in batch {
+                if db.insert(id, t, v) {
+                    n += 1;
+                }
+            }
+            n
+        })
+    }
+
+    /// [`Collector::poll`] against the lock-striped [`ShardedTsdb`] —
+    /// the threaded-runtime collector shape: each due sweep lands as one
+    /// `insert_batch` (one timestamp, many metrics, one stripe write
+    /// lock per touched stripe), so concurrent node collectors and
+    /// Monitor/exporter readers only contend when they collide on a
+    /// stripe. Returns the number of samples accepted.
+    pub fn poll_shared(&mut self, now: SimTime, db: &ShardedTsdb) -> usize {
+        self.poll_with(now, |t, batch| db.insert_batch(t, batch))
+    }
+
+    /// Shared sweep loop: `sink` consumes one due sweep's
+    /// `(timestamp, batch)` and reports how many samples were accepted.
+    fn poll_with(
+        &mut self,
+        now: SimTime,
+        mut sink: impl FnMut(SimTime, &[(MetricId, f64)]) -> usize,
+    ) -> usize {
         let mut inserted = 0;
         for e in &mut self.entries {
             if !e.enabled {
@@ -107,11 +135,7 @@ impl Collector {
             while e.next_due <= now {
                 self.scratch.clear();
                 e.sensor.sample(e.next_due, &mut self.scratch);
-                for &(id, v) in &self.scratch {
-                    if db.insert(id, e.next_due, v) {
-                        inserted += 1;
-                    }
-                }
+                inserted += sink(e.next_due, &self.scratch);
                 self.sweeps += 1;
                 e.next_due += e.period;
             }
@@ -259,6 +283,33 @@ mod tests {
         assert_eq!(db.series(b).len(), 3);
         assert_eq!(c.sweeps(), 7);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn poll_shared_drives_the_striped_store() {
+        let db = ShardedTsdb::with_config(256, 4);
+        let a = db.register(MetricMeta::gauge("a", "u", SourceDomain::Hardware));
+        let b = db.register(MetricMeta::gauge("b", "u", SourceDomain::Software));
+        let mut c = Collector::new();
+        c.add_sensor(
+            Box::new(Ramp { id: a, v: 0.0 }),
+            SimDuration::from_secs(2),
+            SimTime::ZERO,
+        );
+        c.add_sensor(
+            Box::new(Ramp { id: b, v: 100.0 }),
+            SimDuration::from_secs(3),
+            SimTime::ZERO,
+        );
+        // Same cadence semantics as `poll`: late polls catch up at their
+        // scheduled timestamps, one batch insert per due sweep.
+        let n = c.poll_shared(SimTime::from_secs(6), &db);
+        assert_eq!(n, 4 + 3);
+        assert_eq!(c.sweeps(), 7);
+        assert_eq!(db.with_series(a, |s| s.len()), 4);
+        assert_eq!(db.with_series(b, |s| s.len()), 3);
+        assert_eq!(db.latest_value(a), Some(3.0));
+        assert_eq!(c.next_due(), Some(SimTime::from_secs(8)));
     }
 
     #[test]

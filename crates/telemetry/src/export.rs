@@ -96,7 +96,7 @@ use crate::series::TimeSeries;
 use crate::sketch::{QuantileSketch, SketchEntry};
 use crate::tsdb::{ShardedTsdb, Tsdb};
 use moda_sim::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::time::Instant;
 
@@ -1032,21 +1032,481 @@ impl Sink for MemorySink {
     }
 }
 
-// ------------------------------------------------------------- replay
+/// Columnar rendering of the export stream: **one buffer per field**,
+/// with the `meta` records as the metric-id dictionary the data columns
+/// reference — the analytics/aggregator-facing transport shape (a
+/// struct-of-arrays mirror of the CSV/JSON rows; the stream model is
+/// unchanged, per the versioning rules in `docs/EXPORT_FORMAT.md`).
+///
+/// Row order is preserved exactly by the per-record `kinds` tag stream
+/// plus per-batch frames, so [`ColumnarSink::iter_batches`] re-yields
+/// the original [`ExportBatch`]es bit-for-bit — a receiver (e.g. the
+/// fleet aggregator in `moda-fleet`) consumes the columns without any
+/// row-oriented intermediary having existed on the wire. Compared to
+/// [`MemorySink`], the same stream costs a handful of flat `Vec`s
+/// instead of one `ExportRecord` enum (with its `String`s) per record.
+#[derive(Debug, Default)]
+pub struct ColumnarSink {
+    /// One kind tag per data record, in stream order — the join that
+    /// makes the columns a stream again.
+    kinds: Vec<ColKind>,
+    /// Batch frames `(seq, record count)`, in stream order.
+    frames: Vec<(u64, u32)>,
+    // meta columns — the metric-id dictionary.
+    meta_ids: Vec<u32>,
+    meta_metas: Vec<MetricMeta>,
+    // sample columns.
+    sample_ids: Vec<u32>,
+    sample_ts: Vec<u64>,
+    sample_values: Vec<f64>,
+    // bucket columns.
+    bucket_ids: Vec<u32>,
+    bucket_res: Vec<u64>,
+    bucket_starts: Vec<u64>,
+    bucket_counts: Vec<u64>,
+    bucket_sums: Vec<f64>,
+    bucket_mins: Vec<f64>,
+    bucket_maxs: Vec<f64>,
+    bucket_lasts: Vec<f64>,
+    // sketch columns.
+    sketch_ids: Vec<u32>,
+    sketch_res: Vec<u64>,
+    sketch_starts: Vec<u64>,
+    sketch_signs: Vec<i8>,
+    sketch_keys: Vec<i32>,
+    sketch_counts: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Meta,
+    Sample,
+    Bucket,
+    Sketch,
+}
+
+impl ColumnarSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total data records across all batches.
+    pub fn record_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Batches received.
+    pub fn batch_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Raw-sample rows retained (one entry per sample column).
+    pub fn sample_count(&self) -> usize {
+        self.sample_ids.len()
+    }
+
+    /// Sealed-bucket rows retained.
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_ids.len()
+    }
+
+    /// Sketch-column rows retained.
+    pub fn sketch_entry_count(&self) -> usize {
+        self.sketch_ids.len()
+    }
+
+    /// Dictionary entries (one per `meta` record).
+    pub fn dictionary_len(&self) -> usize {
+        self.meta_ids.len()
+    }
+
+    /// Approximate retained payload size in bytes (column data only,
+    /// `Vec` headers and dictionary strings' capacity excluded) — the
+    /// number to compare against a row-oriented rendering.
+    pub fn approx_bytes(&self) -> usize {
+        self.kinds.len()
+            + self.frames.len() * 12
+            + self.meta_ids.len() * 4
+            + self
+                .meta_metas
+                .iter()
+                .map(|m| m.name.len() + m.unit.len() + 2)
+                .sum::<usize>()
+            + self.sample_ids.len() * (4 + 8 + 8)
+            + self.bucket_ids.len() * (4 + 8 + 8 + 8 + 8 * 4)
+            + self.sketch_ids.len() * (4 + 8 + 8 + 1 + 4 + 8)
+    }
+
+    /// Reconstruct the original stream, batch by batch — the receiving
+    /// iterator an aggregator drives. Panics only if the sink's columns
+    /// were corrupted externally (they are private, so they cannot be).
+    pub fn iter_batches(&self) -> impl Iterator<Item = ExportBatch> + '_ {
+        let mut cursor = ColCursor::default();
+        let mut kind_at = 0usize;
+        self.frames.iter().map(move |&(seq, n)| {
+            let records = (0..n)
+                .map(|_| {
+                    let k = self.kinds[kind_at];
+                    kind_at += 1;
+                    self.record_at(k, &mut cursor)
+                })
+                .collect();
+            ExportBatch { seq, records }
+        })
+    }
+
+    fn record_at(&self, kind: ColKind, c: &mut ColCursor) -> ExportRecord {
+        match kind {
+            ColKind::Meta => {
+                let i = c.meta;
+                c.meta += 1;
+                ExportRecord::Meta {
+                    id: MetricId(self.meta_ids[i]),
+                    meta: self.meta_metas[i].clone(),
+                }
+            }
+            ColKind::Sample => {
+                let i = c.sample;
+                c.sample += 1;
+                ExportRecord::Sample {
+                    id: MetricId(self.sample_ids[i]),
+                    t: SimTime(self.sample_ts[i]),
+                    value: self.sample_values[i],
+                }
+            }
+            ColKind::Bucket => {
+                let i = c.bucket;
+                c.bucket += 1;
+                ExportRecord::Bucket {
+                    id: MetricId(self.bucket_ids[i]),
+                    res: SimDuration(self.bucket_res[i]),
+                    start: SimTime(self.bucket_starts[i]),
+                    count: self.bucket_counts[i],
+                    sum: self.bucket_sums[i],
+                    min: self.bucket_mins[i],
+                    max: self.bucket_maxs[i],
+                    last: self.bucket_lasts[i],
+                }
+            }
+            ColKind::Sketch => {
+                let i = c.sketch;
+                c.sketch += 1;
+                ExportRecord::Sketch {
+                    id: MetricId(self.sketch_ids[i]),
+                    res: SimDuration(self.sketch_res[i]),
+                    start: SimTime(self.sketch_starts[i]),
+                    entry: SketchEntry {
+                        sign: self.sketch_signs[i],
+                        key: self.sketch_keys[i],
+                        count: self.sketch_counts[i],
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Per-kind read positions of one [`ColumnarSink::iter_batches`] pass.
+#[derive(Debug, Default, Clone, Copy)]
+struct ColCursor {
+    meta: usize,
+    sample: usize,
+    bucket: usize,
+    sketch: usize,
+}
+
+impl Sink for ColumnarSink {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        self.frames.push((batch.seq, batch.records.len() as u32));
+        for r in &batch.records {
+            match r {
+                ExportRecord::Meta { id, meta } => {
+                    self.kinds.push(ColKind::Meta);
+                    self.meta_ids.push(id.0);
+                    self.meta_metas.push(meta.clone());
+                }
+                ExportRecord::Sample { id, t, value } => {
+                    self.kinds.push(ColKind::Sample);
+                    self.sample_ids.push(id.0);
+                    self.sample_ts.push(t.0);
+                    self.sample_values.push(*value);
+                }
+                ExportRecord::Bucket {
+                    id,
+                    res,
+                    start,
+                    count,
+                    sum,
+                    min,
+                    max,
+                    last,
+                } => {
+                    self.kinds.push(ColKind::Bucket);
+                    self.bucket_ids.push(id.0);
+                    self.bucket_res.push(res.0);
+                    self.bucket_starts.push(start.0);
+                    self.bucket_counts.push(*count);
+                    self.bucket_sums.push(*sum);
+                    self.bucket_mins.push(*min);
+                    self.bucket_maxs.push(*max);
+                    self.bucket_lasts.push(*last);
+                }
+                ExportRecord::Sketch {
+                    id,
+                    res,
+                    start,
+                    entry,
+                } => {
+                    self.kinds.push(ColKind::Sketch);
+                    self.sketch_ids.push(id.0);
+                    self.sketch_res.push(res.0);
+                    self.sketch_starts.push(start.0);
+                    self.sketch_signs.push(entry.sign);
+                    self.sketch_keys.push(entry.key);
+                    self.sketch_counts.push(entry.count);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------ wire-fed bucket tiers
 
 use crate::rollup::RollupBucket;
+
+/// The shared receiving half of the wire's long-horizon record kinds:
+/// sealed `bucket` records and their `sketch` columns, keyed by
+/// `(metric, res_ms, start_ms)`, landing in per-metric **wire-fed**
+/// [`RollupSet`]s whose rings hold only sealed buckets. Because the
+/// reconstructed pyramids are real `RollupSet`s, a downstream store
+/// built on this — [`ReplayStore`] here, the fleet aggregation tier in
+/// `moda-fleet` — serves wide queries through the **same rollup
+/// planner** as a node-local store ([`crate::rollup::plan_window_agg`],
+/// [`crate::rollup::fold_span_into`]), merged sketches included.
+///
+/// Apply semantics per slot (the spec's overwrite-by-key rule):
+///
+/// * a `bucket` record landing on a slot that already holds real scalar
+///   state (a re-export after a node-side pyramid rebuild) **replaces**
+///   it and drops the stale sketch, so the re-exported columns that
+///   follow rebuild it instead of double-counting;
+/// * a `sketch` column landing before its bucket's scalar record
+///   creates a count-0 placeholder that the late `bucket` record then
+///   fills in, keeping the already-absorbed columns;
+/// * placeholder (count-0) slots are invisible to the planner.
+#[derive(Debug)]
+pub struct WireTiers {
+    sets: Vec<Option<RollupSet>>,
+    tier_capacity: usize,
+    buckets_applied: u64,
+    sketch_entries_applied: u64,
+    dropped: u64,
+}
+
+impl Default for WireTiers {
+    /// Same as [`WireTiers::new`] — a derived default would zero the
+    /// per-tier capacity, clamping every ring to 2 retained buckets.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireTiers {
+    /// Tier store with effectively unbounded per-tier retention (the
+    /// replay/archive shape).
+    pub fn new() -> Self {
+        Self::with_tier_capacity(usize::MAX / 2)
+    }
+
+    /// Tier store retaining at most `capacity` buckets per
+    /// `(metric, resolution)` ring — the bounded aggregation-tier shape.
+    /// Buckets arriving for slots older than a full ring's retained
+    /// window are dropped and counted ([`WireTiers::dropped`]).
+    pub fn with_tier_capacity(capacity: usize) -> Self {
+        WireTiers {
+            sets: Vec::new(),
+            tier_capacity: capacity.max(2),
+            buckets_applied: 0,
+            sketch_entries_applied: 0,
+            dropped: 0,
+        }
+    }
+
+    fn set_entry(&mut self, id: MetricId) -> &mut RollupSet {
+        let idx = id.index();
+        if self.sets.len() <= idx {
+            self.sets.resize_with(idx + 1, || None);
+        }
+        self.sets[idx].get_or_insert_with(RollupSet::new_wire)
+    }
+
+    /// Apply one sealed `bucket` record. Returns whether it was retained.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_bucket(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        last: f64,
+    ) -> bool {
+        let cap = self.tier_capacity;
+        let ring = self.set_entry(id).wire_ring_mut(res, cap);
+        let Some(b) = ring.wire_slot_mut(start) else {
+            self.dropped += 1;
+            return false;
+        };
+        if b.count != 0 {
+            b.sketch = None;
+        }
+        b.count = count;
+        b.sum = sum;
+        b.min = min;
+        b.max = max;
+        b.last = last;
+        self.buckets_applied += 1;
+        true
+    }
+
+    /// Apply one `sketch` column of a sealed bucket. Returns whether it
+    /// was retained.
+    pub fn apply_sketch(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        entry: SketchEntry,
+    ) -> bool {
+        let cap = self.tier_capacity;
+        let set = self.set_entry(id);
+        let applied = match set.wire_ring_mut(res, cap).wire_slot_mut(start) {
+            Some(b) => {
+                b.sketch
+                    .get_or_insert_with(QuantileSketch::new)
+                    .absorb_entry(entry);
+                true
+            }
+            None => false,
+        };
+        // Only a *retained* column makes the pyramid sketched: a late
+        // column for an already-evicted slot must not flip percentile
+        // serving onto sketches the retained buckets don't carry.
+        if applied {
+            set.set_sketched();
+            self.sketch_entries_applied += 1;
+        } else {
+            self.dropped += 1;
+        }
+        applied
+    }
+
+    /// Apply one record if it is a tier record (`bucket`/`sketch`).
+    /// Returns whether the record was consumed by this store — `meta`
+    /// and `sample` records are the caller's to route.
+    pub fn apply_record(&mut self, r: &ExportRecord) -> bool {
+        match r {
+            ExportRecord::Bucket {
+                id,
+                res,
+                start,
+                count,
+                sum,
+                min,
+                max,
+                last,
+            } => {
+                self.apply_bucket(*id, *res, *start, *count, *sum, *min, *max, *last);
+                true
+            }
+            ExportRecord::Sketch {
+                id,
+                res,
+                start,
+                entry,
+            } => {
+                self.apply_sketch(*id, *res, *start, *entry);
+                true
+            }
+            ExportRecord::Meta { .. } | ExportRecord::Sample { .. } => false,
+        }
+    }
+
+    /// The reconstructed wire-fed pyramid of one metric — planner-ready
+    /// (`plan_window_agg` / `fold_span_into` accept it directly). One
+    /// caveat for percentile planning: a pyramid is flagged sketched as
+    /// soon as *any* retained column arrived, but a damaged or
+    /// reconfigured stream can leave individual sealed buckets without
+    /// sketches; the strict node-side [`SketchAcc`](crate::SketchAcc)
+    /// treats that as a logic error, so percentile consumers of
+    /// wire-fed sets should fold through a tolerant accumulator that
+    /// detects sketch-free buckets and falls back (the fleet store's
+    /// pooled path is the reference).
+    pub fn set(&self, id: MetricId) -> Option<&RollupSet> {
+        self.sets.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Replayed sealed buckets of one `(metric, resolution)` tier,
+    /// ordered by slot start (count-0 placeholders included).
+    pub fn buckets(&self, id: MetricId, res: SimDuration) -> impl Iterator<Item = &RollupBucket> {
+        self.set(id)
+            .and_then(|s| s.rings().iter().find(|r| r.res() == res))
+            .into_iter()
+            .flat_map(|r| r.buckets())
+    }
+
+    /// Merge every retained sketch of one `(metric, resolution)` tier —
+    /// the downstream percentile shape. Empty sketch when the tier
+    /// carried no sketch columns.
+    pub fn merged_sketch(&self, id: MetricId, res: SimDuration) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        let mut scratch = Vec::new();
+        for b in self.buckets(id, res) {
+            if let Some(sk) = &b.sketch {
+                out.merge_with_scratch(sk, &mut scratch);
+            }
+        }
+        out
+    }
+
+    /// Sealed buckets retained so far (lifetime applied, minus nothing:
+    /// re-applied slots count again).
+    pub fn buckets_applied(&self) -> u64 {
+        self.buckets_applied
+    }
+
+    /// Sketch columns absorbed so far.
+    pub fn sketch_entries_applied(&self) -> u64 {
+        self.sketch_entries_applied
+    }
+
+    /// Records dropped because their slot fell before a full ring's
+    /// retained window (bounded aggregation tiers only).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+// ------------------------------------------------------------- replay
 
 /// A downstream Knowledge-store stand-in: applies export batches and
 /// rebuilds the registry, raw samples, sealed buckets, and bucket
 /// sketches. The round trip export→replay is what the property tests
 /// pin: replayed state equals the store's exported state exactly
-/// (sketches included — entry counts are exact).
+/// (sketches included — entry counts are exact). Bucket and sketch
+/// records decode through the shared [`WireTiers`] ingest path — the
+/// same one the fleet aggregation tier (`moda-fleet`) consumes the wire
+/// with — so the replayed pyramids are planner-ready wire-fed
+/// [`RollupSet`]s, not a private map.
 #[derive(Debug, Default)]
 pub struct ReplayStore {
     metas: HashMap<u32, MetricMeta>,
     samples: HashMap<u32, Vec<(SimTime, f64)>>,
-    /// `(metric, res_ms) → start_ms → bucket` — ordered for range reads.
-    buckets: HashMap<(u32, u64), BTreeMap<u64, RollupBucket>>,
+    tiers: WireTiers,
 }
 
 impl ReplayStore {
@@ -1064,6 +1524,9 @@ impl ReplayStore {
 
     /// Apply one record.
     pub fn apply_record(&mut self, r: &ExportRecord) {
+        if self.tiers.apply_record(r) {
+            return;
+        }
         match r {
             ExportRecord::Meta { id, meta } => {
                 self.metas.insert(id.0, meta.clone());
@@ -1071,56 +1534,7 @@ impl ReplayStore {
             ExportRecord::Sample { id, t, value } => {
                 self.samples.entry(id.0).or_default().push((*t, *value));
             }
-            ExportRecord::Bucket {
-                id,
-                res,
-                start,
-                count,
-                sum,
-                min,
-                max,
-                last,
-            } => {
-                // Two cases share this key. (a) Out-of-order delivery
-                // within one export of the bucket: its Sketch columns
-                // arrived first and created a placeholder (count == 0)
-                // — keep their sketch. (b) A re-export after a pyramid
-                // reset (the spec's overwrite-by-key case): the entry
-                // already holds real scalar state — drop the old sketch
-                // so the re-exported columns that follow replace it
-                // instead of double-counting into it.
-                let b = self
-                    .buckets
-                    .entry((id.0, res.0))
-                    .or_default()
-                    .entry(start.0)
-                    .or_insert_with(|| empty_replay_bucket(*start));
-                if b.count != 0 {
-                    b.sketch = None;
-                }
-                b.count = *count;
-                b.sum = *sum;
-                b.min = *min;
-                b.max = *max;
-                b.last = *last;
-            }
-            ExportRecord::Sketch {
-                id,
-                res,
-                start,
-                entry,
-            } => {
-                let bucket = self
-                    .buckets
-                    .entry((id.0, res.0))
-                    .or_default()
-                    .entry(start.0)
-                    .or_insert_with(|| empty_replay_bucket(*start));
-                bucket
-                    .sketch
-                    .get_or_insert_with(QuantileSketch::new)
-                    .absorb_entry(*entry);
-            }
+            ExportRecord::Bucket { .. } | ExportRecord::Sketch { .. } => unreachable!(),
         }
     }
 
@@ -1150,38 +1564,19 @@ impl ReplayStore {
     /// Replayed sealed buckets of one `(metric, resolution)` tier,
     /// ordered by slot start.
     pub fn buckets(&self, id: MetricId, res: SimDuration) -> impl Iterator<Item = &RollupBucket> {
-        self.buckets
-            .get(&(id.0, res.0))
-            .into_iter()
-            .flat_map(|m| m.values())
+        self.tiers.buckets(id, res)
     }
 
     /// Merge every replayed sketch of one `(metric, resolution)` tier —
     /// the fleet/downstream percentile shape. Empty sketch when the
     /// tier carried no sketch columns.
     pub fn merged_sketch(&self, id: MetricId, res: SimDuration) -> QuantileSketch {
-        let mut out = QuantileSketch::new();
-        let mut scratch = Vec::new();
-        for b in self.buckets(id, res) {
-            if let Some(sk) = &b.sketch {
-                out.merge_with_scratch(sk, &mut scratch);
-            }
-        }
-        out
+        self.tiers.merged_sketch(id, res)
     }
-}
 
-/// Placeholder a replayed bucket starts from until its scalar
-/// [`ExportRecord::Bucket`] record arrives.
-fn empty_replay_bucket(start: SimTime) -> RollupBucket {
-    RollupBucket {
-        start,
-        count: 0,
-        sum: 0.0,
-        min: f64::INFINITY,
-        max: f64::NEG_INFINITY,
-        last: f64::NAN,
-        sketch: None,
+    /// The replayed wire-fed bucket tiers (planner-ready pyramids).
+    pub fn tiers(&self) -> &WireTiers {
+        &self.tiers
     }
 }
 
@@ -1782,6 +2177,100 @@ mod tests {
         let sk = b[0].sketch.as_ref().expect("late Bucket keeps the sketch");
         assert_eq!(sk.count(), 3);
         assert_eq!(replay.merged_sketch(id, res).count(), 3);
+    }
+
+    #[test]
+    fn columnar_sink_round_trips_the_stream_exactly() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(id, &tiny_sketched());
+        for t in 0..90u64 {
+            db.insert(id, SimTime::from_secs(t), (t % 13) as f64 + 1.0);
+        }
+        // Drive two identically-cursored exporters into a row sink and
+        // the columnar sink; the reconstructed batches must be equal.
+        let mut rows = MemorySink::new();
+        let mut cols = ColumnarSink::new();
+        Exporter::new()
+            .with_batch_records(37)
+            .drain(&db, &mut rows)
+            .unwrap();
+        Exporter::new()
+            .with_batch_records(37)
+            .drain(&db, &mut cols)
+            .unwrap();
+        assert_eq!(cols.batch_count(), rows.batches.len());
+        assert_eq!(cols.record_count(), rows.record_count());
+        assert!(cols.bucket_count() > 0 && cols.sketch_entry_count() > 0);
+        assert_eq!(cols.dictionary_len(), 1);
+        let got: Vec<ExportBatch> = cols.iter_batches().collect();
+        assert_eq!(got, rows.batches);
+        // Replaying the reconstructed stream reconstructs the store.
+        let mut replay = ReplayStore::new();
+        for b in &got {
+            replay.apply(b);
+        }
+        assert_eq!(replay.samples(id).len(), 90);
+        assert!(cols.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn wire_tiers_capacity_drops_prehistoric_slots() {
+        let mut tiers = WireTiers::with_tier_capacity(4);
+        let (id, res) = (MetricId(0), SimDuration::from_secs(60));
+        for slot in 0..8u64 {
+            assert!(tiers.apply_bucket(id, res, SimTime(slot * 60_000), 1, 1.0, 1.0, 1.0, 1.0));
+        }
+        // Only the newest 4 slots are retained; an old slot's re-export
+        // is dropped (it fell before the retained window) and counted.
+        assert_eq!(tiers.buckets(id, res).count(), 4);
+        assert!(!tiers.apply_bucket(id, res, SimTime(0), 1, 1.0, 1.0, 1.0, 1.0));
+        assert_eq!(tiers.dropped(), 1);
+        // A retained slot's re-export overwrites in place.
+        assert!(tiers.apply_bucket(id, res, SimTime(5 * 60_000), 9, 9.0, 9.0, 9.0, 9.0));
+        let got: Vec<u64> = tiers.buckets(id, res).map(|b| b.count).collect();
+        assert_eq!(got, vec![1, 9, 1, 1]);
+        assert_eq!(tiers.buckets_applied(), 9);
+    }
+
+    #[test]
+    fn wire_fed_pyramid_is_served_by_the_planner_including_newest_bucket() {
+        // Absorb three sealed minute buckets; the planner must serve all
+        // of them — on a wire-fed ring even the newest bucket is sealed.
+        let mut tiers = WireTiers::new();
+        let (id, res) = (MetricId(0), SimDuration::from_secs(60));
+        for slot in 1..4u64 {
+            tiers.apply_bucket(
+                id,
+                res,
+                SimTime(slot * 60_000),
+                60,
+                60.0 * slot as f64,
+                slot as f64,
+                slot as f64,
+                slot as f64,
+            );
+        }
+        let raw = TimeSeries::new(4); // empty: nothing to splice from
+        let now = SimTime(4 * 60_000 - 1);
+        let window = SimDuration::from_secs(180);
+        let (got, served) = crate::rollup::plan_window_agg(
+            &raw,
+            tiers.set(id),
+            now,
+            window,
+            crate::window::WindowAgg::Count,
+        );
+        assert!(served.rollup);
+        assert_eq!(got, Some(180.0));
+        let (sum, _) = crate::rollup::plan_window_agg(
+            &raw,
+            tiers.set(id),
+            now,
+            window,
+            crate::window::WindowAgg::Sum,
+        );
+        assert_eq!(sum, Some(60.0 + 120.0 + 180.0));
     }
 
     #[test]

@@ -36,7 +36,9 @@
 //! * [`sketch`] — the mergeable DDSketch-style [`QuantileSketch`] behind
 //!   those percentile rollups (fixed 1 % relative-error log buckets,
 //!   exact counts, linear-time merge),
-//! * [`collect`] — sensor traits and the periodic collector,
+//! * [`collect`] — sensor traits and the periodic collector, with both
+//!   the single-owner (`poll`) and lock-striped (`poll_shared`, one
+//!   batch insert per due sweep) drive shapes,
 //! * [`window`] — windowed aggregation used by Analyze components,
 //!   including the O(n) selection-based percentile and the streaming
 //!   [`AggAccum`] bucket folder,
@@ -45,9 +47,13 @@
 //!   continuously): an [`Exporter`] with per-metric watermark cursors
 //!   drains raw samples, sealed rollup buckets, and sparse sketch
 //!   columns as size-bounded [`ExportBatch`]es through a [`Sink`]
-//!   (CSV / JSON-lines today), each metric copied under its own short
-//!   stripe read lock; [`ReplayStore`] is the downstream half that
-//!   reconstructs the exported state. The wire format is specified in
+//!   (CSV / JSON-lines / the columnar struct-of-arrays transport
+//!   [`ColumnarSink`]), each metric copied under its own short stripe
+//!   read lock. The receiving half is shared: [`WireTiers`] rebuilds
+//!   **wire-fed rollup pyramids** from sealed buckets and sketch
+//!   columns — planner-ready, every absorbed bucket sealed — behind
+//!   both [`ReplayStore`] and the fleet aggregation tier
+//!   (`moda-fleet`). The wire format is specified in
 //!   `docs/EXPORT_FORMAT.md`.
 //!
 //! # Hot-path discipline
@@ -71,11 +77,13 @@ pub mod window;
 
 pub use collect::{Collector, Sensor};
 pub use export::{
-    DrainStats, ExportBatch, ExportRecord, ExportSource, Exporter, ReplayStore, Sink,
+    ColumnarSink, DrainStats, ExportBatch, ExportRecord, ExportSource, Exporter, ReplayStore, Sink,
+    WireTiers,
 };
 pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
 pub use rollup::{
-    RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet, RollupTier, SketchAcc,
+    fold_span_into, RollupAcc, RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet,
+    RollupTier, SketchAcc, SpanFold,
 };
 pub use series::{Sample, SampleView, TimeSeries};
 pub use sketch::{QuantileAcc, QuantileSketch, SketchEntry, SKETCH_RELATIVE_ERROR};

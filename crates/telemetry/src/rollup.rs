@@ -293,6 +293,12 @@ pub struct RollupRing {
     /// bucket count — the accounting identity the exporter uses to
     /// surface sealed buckets lost before they could ship.
     evicted: u64,
+    /// Wire-fed mode: the ring is populated from **already-sealed**
+    /// buckets absorbed off the export wire (a downstream aggregation
+    /// store) instead of folded from raw inserts. Every retained bucket
+    /// — the newest included — is immutable, so the sealed region spans
+    /// the whole ring and the planner may serve the newest bucket too.
+    all_sealed: bool,
 }
 
 impl RollupRing {
@@ -303,6 +309,33 @@ impl RollupRing {
             sketched,
             buckets: VecDeque::new(),
             evicted: 0,
+            all_sealed: false,
+        }
+    }
+
+    /// Ring in wire-fed mode (see the `all_sealed` field): buckets
+    /// arrive sealed off the export wire via
+    /// [`RollupRing::wire_slot_mut`], never via [`RollupRing::fold`].
+    pub(crate) fn new_wire(res: SimDuration, capacity: usize) -> Self {
+        assert!(res.0 > 0, "wire ring resolution must be positive");
+        RollupRing {
+            res: res.0,
+            capacity: capacity.max(2),
+            sketched: false,
+            buckets: VecDeque::new(),
+            evicted: 0,
+            all_sealed: true,
+        }
+    }
+
+    /// Number of retained buckets the planner may serve: all of them in
+    /// wire-fed mode, all but the (mutable) newest otherwise.
+    #[inline]
+    fn sealed_len(&self) -> usize {
+        if self.all_sealed {
+            self.buckets.len()
+        } else {
+            self.buckets.len().saturating_sub(1)
         }
     }
 
@@ -343,8 +376,7 @@ impl RollupRing {
     /// ([`crate::export`]) ships each sealed bucket exactly once and
     /// never has to revisit it.
     pub fn sealed_buckets(&self) -> impl Iterator<Item = &RollupBucket> {
-        let sealed = self.buckets.len().saturating_sub(1);
-        self.buckets.iter().take(sealed)
+        self.buckets.iter().take(self.sealed_len())
     }
 
     /// The sealed buckets with `start >= from`, oldest → newest,
@@ -353,7 +385,7 @@ impl RollupRing {
     /// watermark touches O(log n + delta) buckets under the stripe
     /// lock, not the whole retained history.
     pub fn sealed_buckets_from(&self, from: SimTime) -> impl Iterator<Item = &RollupBucket> {
-        let sealed = self.buckets.len().saturating_sub(1);
+        let sealed = self.sealed_len();
         let lo = self
             .buckets
             .partition_point(|b| b.start.0 < from.0)
@@ -362,10 +394,16 @@ impl RollupRing {
     }
 
     /// Exclusive upper bound of the sealed region: the newest retained
-    /// bucket's slot start (`None` when empty). Every bucket with
-    /// `start <` this is sealed and can never change.
+    /// bucket's slot start (`None` when empty) — or, on a wire-fed ring
+    /// whose every bucket is sealed, the end of the newest slot. Every
+    /// bucket with `start <` this is sealed and can never change.
     pub fn sealed_until(&self) -> Option<SimTime> {
-        self.buckets.back().map(|b| b.start)
+        let back = self.buckets.back()?;
+        Some(if self.all_sealed {
+            SimTime(back.start.0.saturating_add(self.res))
+        } else {
+            back.start
+        })
     }
 
     /// Span `[oldest.start, newest.start + res)` currently represented,
@@ -384,9 +422,10 @@ impl RollupRing {
 
     /// End of the sealed region: everything before the newest bucket's
     /// start can no longer change (raw appends are monotone in time).
-    /// The newest bucket itself is unsealed and never served.
+    /// The newest bucket itself is unsealed and never served — except on
+    /// wire-fed rings, where every absorbed bucket is already sealed.
     fn sealed_end(&self) -> Option<u64> {
-        self.buckets.back().map(|b| b.start.0)
+        self.sealed_until().map(|t| t.0)
     }
 
     /// Fold one accepted raw sample into its slot. Timestamps arrive
@@ -465,7 +504,10 @@ impl RollupRing {
     }
 
     /// Merge every retained bucket with `lo <= start < hi` into `acc`,
-    /// oldest first. Returns the number of buckets merged.
+    /// oldest first. Returns the number of buckets merged. Zero-count
+    /// buckets are skipped: they only exist on wire-fed rings, as
+    /// placeholders for a bucket whose scalar record has not arrived
+    /// yet, and carry no data (merging one would poison `last`).
     fn fold_range<A: SpanFold>(&self, lo: u64, hi: u64, acc: &mut A) -> usize {
         let from = self.buckets.partition_point(|b| b.start.0 < lo);
         let mut merged = 0;
@@ -473,10 +515,53 @@ impl RollupRing {
             if b.start.0 >= hi {
                 break;
             }
+            if b.count == 0 {
+                continue;
+            }
             acc.merge_bucket(b);
             merged += 1;
         }
         merged
+    }
+
+    /// Mutable access to the sealed bucket at slot `start` of a
+    /// **wire-fed** ring, inserting an empty placeholder (count 0) if the
+    /// slot is not retained yet — the receiving half of the export wire's
+    /// `bucket`/`sketch` records. Keeps the ring start-ordered whatever
+    /// order slots arrive in (re-exports after a node-side pyramid
+    /// rebuild legitimately revisit old slots). Returns `None` when the
+    /// ring is full and `start` is older than the oldest retained slot
+    /// (absorbing it would punch a hole in the contiguous retention
+    /// suffix); inserting a fresh newer slot into a full ring evicts the
+    /// oldest, like the fold path.
+    pub(crate) fn wire_slot_mut(&mut self, start: SimTime) -> Option<&mut RollupBucket> {
+        debug_assert!(self.all_sealed, "wire_slot_mut on a fold-fed ring");
+        let idx = self.buckets.partition_point(|b| b.start.0 < start.0);
+        if self.buckets.get(idx).is_some_and(|b| b.start.0 == start.0) {
+            return self.buckets.get_mut(idx);
+        }
+        let mut idx = idx;
+        if self.buckets.len() == self.capacity {
+            if idx == 0 {
+                return None;
+            }
+            self.buckets.pop_front();
+            self.evicted += 1;
+            idx -= 1;
+        }
+        self.buckets.insert(
+            idx,
+            RollupBucket {
+                start,
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                last: f64::NAN,
+                sketch: None,
+            },
+        );
+        self.buckets.get_mut(idx)
     }
 }
 
@@ -540,6 +625,38 @@ impl RollupSet {
         for (i, ring) in self.rings.iter_mut().enumerate() {
             ring.fold(t, v, i == 0);
         }
+    }
+
+    /// Empty **wire-fed** pyramid: no tiers yet; rings appear on demand
+    /// as sealed buckets of new resolutions arrive off the export wire
+    /// (see [`RollupSet::wire_ring_mut`]). Starts sketch-free; the first
+    /// absorbed sketch column flips [`RollupSet::sketched`] on, making
+    /// percentiles planner-servable downstream.
+    pub(crate) fn new_wire() -> Self {
+        RollupSet {
+            rings: Vec::new(),
+            sketched: false,
+            cascade_scratch: Vec::new(),
+        }
+    }
+
+    /// The wire-fed ring at `res`, created (capacity `capacity`) and
+    /// inserted in fine→coarse position on first sight.
+    pub(crate) fn wire_ring_mut(&mut self, res: SimDuration, capacity: usize) -> &mut RollupRing {
+        let idx = match self.rings.binary_search_by_key(&res.0, |r| r.res) {
+            Ok(i) => i,
+            Err(i) => {
+                self.rings.insert(i, RollupRing::new_wire(res, capacity));
+                i
+            }
+        };
+        &mut self.rings[idx]
+    }
+
+    /// Mark the pyramid as carrying quantile sketches (wire-fed sets,
+    /// on the first absorbed sketch column).
+    pub(crate) fn set_sketched(&mut self) {
+        self.sketched = true;
     }
 
     /// The rings, fine→coarse.
@@ -752,6 +869,28 @@ fn fold_span<A: SpanFold>(
     merged += ring.fold_range(c0, c1, acc);
     merged += fold_span(finer, raw, c1, hi, acc);
     merged
+}
+
+/// Serve the half-open span `[t0, t1)` into a **caller-supplied**
+/// accumulator through the same coarsest-first cascade as
+/// [`plan_window_agg`] — the aggregation-tier entry point, where one
+/// accumulator pools many metrics before finishing (e.g. a cluster-wide
+/// percentile merging every node's sealed-bucket sketches, or a pooled
+/// scalar aggregate across a fleet). Sub-spans no tier can serve bottom
+/// out at the raw series, exactly like the single-metric planner; the
+/// accumulator's [`SpanFold::push_value`] sees every spliced raw value,
+/// so a caller can count raw reads (the fleet store's zero-raw-read
+/// assertion rides on this). Returns the number of sealed rollup
+/// buckets merged.
+pub fn fold_span_into<A: SpanFold>(
+    raw: &TimeSeries,
+    rollups: Option<&RollupSet>,
+    t0: SimTime,
+    t1: SimTime,
+    acc: &mut A,
+) -> usize {
+    let rings: &[RollupRing] = rollups.map(|s| s.rings()).unwrap_or(&[]);
+    fold_span(rings, raw, t0.0, t1.0, acc)
 }
 
 thread_local! {

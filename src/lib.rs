@@ -14,9 +14,14 @@
 //!   detection, similarity, continual learning),
 //! * [`scheduler`] — SLURM-like batch scheduler with feedback hooks,
 //! * [`pfs`] — Lustre-like parallel filesystem with OSTs and QoS,
-//! * [`hpc`] — the simulated HPC center (the *managed system*),
+//! * [`hpc`] — the simulated HPC center (the *managed system*), plus
+//!   the multi-`World` cluster harness,
 //! * [`usecases`] — the paper's five production use cases wired as
-//!   MAPE-K loops over the simulated center.
+//!   MAPE-K loops over the simulated center,
+//! * [`fleet`] — the fleet aggregation tier: per-node wire ingest over
+//!   the export format, a namespaced cluster store with wire-fed
+//!   rollup pyramids, additive sketch merge (cluster-wide p99 without
+//!   raw data), and per-node liveness/staleness health.
 //!
 //! `ARCHITECTURE.md` (repository root) maps every crate onto the
 //! paper's loop layers — Monitoring → Operational Data Analytics →
@@ -113,6 +118,7 @@
 
 pub use moda_analytics as analytics;
 pub use moda_core as core;
+pub use moda_fleet as fleet;
 pub use moda_hpc as hpc;
 pub use moda_pfs as pfs;
 pub use moda_scheduler as scheduler;

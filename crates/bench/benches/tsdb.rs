@@ -302,6 +302,35 @@ fn bench_export(c: &mut Criterion) {
             black_box(stats.records)
         });
     });
+    // A/B: the full collection→wire→fleet-ingest pipeline for one raw
+    // day — per-sample records vs compressed-chunk records (wire spec
+    // revision 1.1). Same store, same columnar transport, same ingest
+    // sessions; only the record shape differs. The `BENCH_tsdb.json`
+    // ratio between the two is enforced by the CI bench gate
+    // (machine-independent: both run in the same process).
+    let pipeline = |chunked: bool| {
+        let mut sink = moda_telemetry::export::ColumnarSink::new();
+        Exporter::new()
+            .with_raw_chunks(chunked)
+            .drain(&db_raw, &mut sink)
+            .unwrap();
+        let mut agg = moda_fleet::FleetAggregator::new();
+        let node = agg.add_node("node00");
+        for batch in sink.iter_batches() {
+            agg.ingest(node, &batch);
+        }
+        agg.store().stats().samples
+    };
+    assert_eq!(pipeline(false), DAY_S, "per-sample pipeline is lossless");
+    assert_eq!(pipeline(true), DAY_S, "chunked pipeline is lossless");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(DAY_S));
+    g.bench_function("day_pipeline_per_sample", |b| {
+        b.iter(|| black_box(pipeline(false)));
+    });
+    g.bench_function("day_pipeline_chunked", |b| {
+        b.iter(|| black_box(pipeline(true)));
+    });
     g.finish();
 }
 

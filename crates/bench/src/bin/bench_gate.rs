@@ -7,7 +7,7 @@
 //! slows the monitoring hot path fails CI instead of passing a
 //! pass/fail-blind smoke run.
 //!
-//! Two kinds of checks:
+//! Three kinds of checks:
 //!
 //! * **Absolute per-bench**: `measured > baseline × threshold` fails.
 //!   The threshold is deliberately generous (default 3×, override with
@@ -21,6 +21,11 @@
 //!   stay at least `BENCH_GATE_MIN_ROLLUP_SPEEDUP` (default 10×) faster
 //!   than the raw fold *within the same run* — the rollup tier's reason
 //!   to exist, immune to absolute machine speed.
+//! * **Compression floor**: a day of smooth 1 Hz power-style telemetry,
+//!   fed in-process, must seal into Gorilla chunks at no more than
+//!   `BENCH_GATE_MAX_CHUNK_BYTES_PER_SAMPLE` (default 3.0) bytes per
+//!   compressed sample — the storage win the chunk tier exists for,
+//!   measured on a deterministic workload so it is machine-independent.
 //!
 //! The full comparison table is written to `bench_gate_report.txt`
 //! (uploaded as a CI artifact) and echoed to stdout.
@@ -66,6 +71,15 @@ const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
         "BENCH_GATE_MIN_FLEET_MERGE_SPEEDUP",
         10.0,
     ),
+    // Compressed-chunk shipping's reason to exist: the day-long
+    // export→wire→fleet-ingest pipeline must beat the per-sample record
+    // path when sealed regions travel as whole Gorilla chunks.
+    (
+        "tsdb_export/day_pipeline_per_sample",
+        "tsdb_export/day_pipeline_chunked",
+        "BENCH_GATE_MIN_CHUNK_PIPELINE_SPEEDUP",
+        2.0,
+    ),
 ];
 
 #[derive(Debug, Clone)]
@@ -107,6 +121,48 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The in-process compression floor: feed one simulated day of smooth
+/// 1 Hz power telemetry (slow diurnal ramp plus ±2 W jitter) and check
+/// the sealed-chunk storage cost in bytes per compressed sample. Runs
+/// on a deterministic workload in this process, so the result does not
+/// depend on the runner.
+fn compression_check(report: &mut String, failures: &mut usize) {
+    use moda_sim::SimTime;
+    use moda_telemetry::{MetricMeta, SourceDomain, Tsdb};
+    const DAY_S: u64 = 86_400;
+    let mut db = Tsdb::with_retention(90_000);
+    let id = db.register(MetricMeta::gauge("node.power", "W", SourceDomain::Hardware));
+    for sec in 0..DAY_S {
+        let v = (200 + (sec % DAY_S) * 150 / DAY_S + (sec.wrapping_mul(2_654_435_761)) % 4) as f64;
+        db.insert(id, SimTime::from_secs(sec), v);
+    }
+    let mem = db.memory_stats();
+    let max = env_f64("BENCH_GATE_MAX_CHUNK_BYTES_PER_SAMPLE", 3.0);
+    match mem.compressed_bytes_per_sample() {
+        Some(bps) => {
+            let verdict = if bps > max {
+                *failures += 1;
+                "FAIL (compression regressed)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                report,
+                "chunk compression: {bps:.2} bytes/sample over a 1 Hz power day \
+                 ({} samples sealed, max {max:.1})  {verdict}",
+                mem.compressed_samples
+            );
+        }
+        None => {
+            *failures += 1;
+            let _ = writeln!(
+                report,
+                "chunk compression: FAIL (no sealed chunks after a 1 Hz day)"
+            );
+        }
+    }
 }
 
 /// Run the tsdb bench with short criterion windows, writing its JSON to
@@ -282,6 +338,8 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    compression_check(&mut report, &mut failures);
 
     print!("{report}");
     if let Err(e) = std::fs::write(&report_path, &report) {

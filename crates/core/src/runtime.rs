@@ -362,6 +362,10 @@ pub struct TelemetryFleetStats {
     /// samples, lock-hold times) when
     /// [`TelemetryFleetConfig::export_drains`] > 0.
     pub export: Option<moda_telemetry::DrainStats>,
+    /// End-of-run memory footprint of the shared store, split by tier
+    /// (uncompressed tails vs sealed Gorilla chunks vs rollup rings) —
+    /// the operator-facing view of the compression win.
+    pub memory: moda_telemetry::MemoryStats,
 }
 
 /// Run `cfg.n_loops` threads against one shared sharded store: each
@@ -528,6 +532,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         rollup_hits: db.rollup_hits() - rollup_hits_before,
         sketch_hits: db.sketch_hits() - sketch_hits_before,
         export: export_rx.try_recv().ok(),
+        memory: db.memory_stats(),
     }
 }
 
@@ -897,6 +902,12 @@ mod tests {
         let mut sink = moda_telemetry::export::CsvSink::new(std::io::sink());
         let full = late.drain(db.as_ref(), &mut sink).unwrap();
         assert_eq!(full.samples, stats.inserts + 200 * 8);
+        // The run surfaces the store's tiered memory footprint.
+        let mem = stats.memory;
+        assert_eq!(mem.series, 8);
+        assert_eq!(mem.samples as u64, stats.inserts + 200 * 8);
+        assert!(mem.rollup_bytes > 0, "{mem:?}");
+        assert_eq!(mem, db.memory_stats());
     }
 
     #[test]

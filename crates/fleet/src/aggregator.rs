@@ -19,7 +19,12 @@
 //!   rejected by the fleet ring and counted (this is also what makes a
 //!   restarted node exporter re-shipping its retained tail safe: the
 //!   already-seen prefix bounces off the monotonic guard, buckets
-//!   overwrite by key).
+//!   overwrite by key);
+//! * **compressed chunks** — a `chunk` record (wire spec revision 1.1)
+//!   decodes on absorb and bulk-appends into the fleet ring; an
+//!   overlapping re-ship falls back to per-sample pushes so the
+//!   monotonic guard keeps exact duplicate accounting, and an
+//!   undecodable payload is dropped whole and counted.
 //!
 //! Health ([`FleetAggregator::health`]) classifies each node by **drain
 //! lag** — how far the node's newest ingested data sits behind a
@@ -50,10 +55,16 @@ pub struct NodeCounters {
     pub missing_batches: u64,
     /// Records applied (all kinds).
     pub records: u64,
-    /// Raw samples accepted into the fleet store.
+    /// Raw samples accepted into the fleet store (per-sample records
+    /// plus the samples decoded out of compressed chunk records).
     pub samples: u64,
     /// Raw samples rejected by the per-metric monotonic guard.
     pub rejected_samples: u64,
+    /// Compressed raw-chunk records applied (their decoded samples are
+    /// counted in `samples`/`rejected_samples`).
+    pub chunks: u64,
+    /// Chunk records dropped because the payload failed to decode.
+    pub corrupt_chunks: u64,
     /// Sealed buckets applied.
     pub buckets: u64,
     /// Sketch columns applied.
@@ -278,6 +289,34 @@ impl FleetAggregator {
                     session.counters.records += 1;
                     report.records += 1;
                     session.high_water = session.high_water.max(*t);
+                    session.ever_ingested = true;
+                }
+                ExportRecord::Chunk {
+                    id,
+                    count,
+                    first_t,
+                    last_t,
+                    bytes,
+                } => {
+                    open_bucket = None;
+                    let Some(fleet_id) = session.wire_map.get(id.index()).copied().flatten() else {
+                        session.counters.unmapped_records += 1;
+                        continue;
+                    };
+                    let (accepted, rejected) =
+                        self.store.push_chunk(fleet_id, *first_t, *count, bytes);
+                    if accepted == 0 && rejected == 0 {
+                        // Undecodable payload: dropped whole, counted,
+                        // and not treated as ingested data.
+                        session.counters.corrupt_chunks += 1;
+                        continue;
+                    }
+                    session.counters.chunks += 1;
+                    session.counters.samples += accepted;
+                    session.counters.rejected_samples += rejected;
+                    session.counters.records += 1;
+                    report.records += 1;
+                    session.high_water = session.high_water.max(*last_t);
                     session.ever_ingested = true;
                 }
                 ExportRecord::Bucket {
@@ -506,6 +545,59 @@ mod tests {
             )
             .unwrap();
         assert_eq!(mean, 100.0, "only node00 has data in the last 100 s");
+    }
+
+    #[test]
+    fn compressed_chunks_ingest_natively_and_reships_deduplicate() {
+        let mut agg = FleetAggregator::new();
+        let n = agg.add_node("node00");
+        // 1500 one-Hz samples: two sealed 512-sample chunks plus a
+        // 476-sample tail on the node store.
+        let db = node_db(1500, 0.0);
+        for b in batches_of(&db, 256) {
+            agg.ingest(n, &b);
+        }
+        let c = agg.counters(n);
+        assert_eq!(c.chunks, 2, "sealed regions ship as chunk records");
+        assert_eq!(c.samples, 1500, "chunk-decoded + per-sample tail");
+        assert_eq!(c.rejected_samples, 0);
+        assert_eq!(c.corrupt_chunks, 0);
+        assert_eq!(agg.store().stats().corrupt_chunks, 0);
+        assert_eq!(agg.observed_now(), SimTime::from_secs(1499));
+        // The decoded samples are bit-identical to the node's.
+        let id = agg.store().lookup("node00/m").unwrap();
+        let got = agg.store().raw(id).last_n(1500);
+        assert_eq!(got.len(), 1500);
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s.t, SimTime::from_secs(i as u64));
+            assert_eq!(s.value.to_bits(), ((i % 20) as f64).to_bits());
+        }
+        // A restarted exporter re-ships the retained tail from scratch:
+        // the overlapping chunks fall back to per-sample pushes and the
+        // monotonic guard rejects every already-seen sample.
+        agg.reset_session(n);
+        for b in batches_of(&db, 256) {
+            agg.ingest(n, &b);
+        }
+        let c = agg.counters(n);
+        assert_eq!(c.samples, 1500 + 1, "only the newest sample re-lands");
+        assert_eq!(c.rejected_samples, 1499);
+        assert_eq!(agg.store().raw(id).len(), 1501);
+        // A corrupted chunk payload is dropped whole and counted.
+        let bad = ExportBatch {
+            seq: agg.counters(n).batches,
+            records: vec![ExportRecord::Chunk {
+                id: MetricId(0),
+                count: 100,
+                first_t: SimTime::from_secs(2000),
+                last_t: SimTime::from_secs(2099),
+                bytes: vec![0xFF, 0x00, 0x12],
+            }],
+        };
+        agg.ingest(n, &bad);
+        assert_eq!(agg.counters(n).corrupt_chunks, 1);
+        assert_eq!(agg.store().stats().corrupt_chunks, 1);
+        assert_eq!(agg.store().raw(id).len(), 1501, "store untouched");
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub struct FleetStoreStats {
     /// per-metric time order, or a restarted node exporter re-shipping
     /// its retained tail).
     pub rejected_samples: u64,
+    /// Compressed chunk records whose payload failed to decode
+    /// (truncated or corrupted in transport); dropped whole.
+    pub corrupt_chunks: u64,
 }
 
 /// Direction of a per-node ranking ([`FleetStore::top_nodes`]).
@@ -129,6 +132,11 @@ pub struct FleetStore {
     raw_values_read: Cell<u64>,
     samples: u64,
     rejected_samples: u64,
+    corrupt_chunks: u64,
+    /// Store-owned chunk-decode scratch, reused across `push_chunk`
+    /// calls so steady-state chunk ingest stays allocation-free.
+    chunk_scratch_ts: Vec<u64>,
+    chunk_scratch_vals: Vec<f64>,
 }
 
 impl Default for FleetStore {
@@ -159,6 +167,9 @@ impl FleetStore {
             raw_values_read: Cell::new(0),
             samples: 0,
             rejected_samples: 0,
+            corrupt_chunks: 0,
+            chunk_scratch_ts: Vec::new(),
+            chunk_scratch_vals: Vec::new(),
         }
     }
 
@@ -193,6 +204,55 @@ impl FleetStore {
             self.rejected_samples += 1;
         }
         ok
+    }
+
+    /// Ingest one compressed raw-chunk record (wire spec revision 1.1):
+    /// decode the Gorilla payload into store-owned scratch, then
+    /// bulk-append via [`TimeSeries::append_block`] — one ordering check
+    /// and a straight extend on the clean path. A block that overlaps
+    /// already-ingested samples (a restarted node exporter re-shipping a
+    /// sealed chunk) falls back to per-sample pushes so the monotonic
+    /// guard rejects exactly the already-seen prefix. Returns
+    /// `(accepted, rejected)` sample counts; a payload that fails to
+    /// decode is dropped whole and counted in
+    /// [`FleetStoreStats::corrupt_chunks`].
+    pub fn push_chunk(
+        &mut self,
+        id: MetricId,
+        first_t: SimTime,
+        count: u32,
+        bytes: &[u8],
+    ) -> (u64, u64) {
+        self.chunk_scratch_ts.clear();
+        self.chunk_scratch_vals.clear();
+        if moda_telemetry::chunk::decode_exact(
+            first_t.0,
+            count,
+            bytes,
+            &mut self.chunk_scratch_ts,
+            &mut self.chunk_scratch_vals,
+        )
+        .is_err()
+        {
+            self.corrupt_chunks += 1;
+            return (0, 0);
+        }
+        let series = &mut self.raw[id.index()];
+        let total = self.chunk_scratch_ts.len() as u64;
+        let accepted = if series.append_block(&self.chunk_scratch_ts, &self.chunk_scratch_vals) {
+            total
+        } else {
+            let mut acc = 0u64;
+            for (&t, &v) in self.chunk_scratch_ts.iter().zip(&self.chunk_scratch_vals) {
+                if series.push(SimTime(t), v) {
+                    acc += 1;
+                }
+            }
+            acc
+        };
+        self.samples += accepted;
+        self.rejected_samples += total - accepted;
+        (accepted, total - accepted)
     }
 
     /// Apply one sealed bucket record (see [`WireTiers::apply_bucket`]).
@@ -278,6 +338,7 @@ impl FleetStore {
             raw_values_read: self.raw_values_read.get(),
             samples: self.samples,
             rejected_samples: self.rejected_samples,
+            corrupt_chunks: self.corrupt_chunks,
         }
     }
 

@@ -1,0 +1,554 @@
+//! Gorilla-style compressed blocks for sealed raw-sample regions.
+//!
+//! The raw tier's hot tail stays uncompressed (see
+//! [`TimeSeries`](crate::series::TimeSeries)); once a region seals it is
+//! immutable, which makes it ideal for the standard Gorilla TSDB trick:
+//!
+//! * **timestamps** — delta-of-delta coding. Regular cadences (1 Hz, one
+//!   sample per tick) collapse to one bit per sample after the first
+//!   delta; irregular gaps cost a few bits; arbitrary jumps fall back to
+//!   a raw 64-bit delta.
+//! * **values** — XOR coding against the previous value's bit pattern.
+//!   Repeated values cost one bit; slowly-moving values share their
+//!   leading/trailing zero window and cost only the meaningful XOR bits.
+//!
+//! Both codings operate on raw bit patterns (`f64::to_bits`), so the
+//! round trip is **bit-exact** for every value — NaN payloads, signed
+//! zeros, subnormals, infinities — and for duplicate timestamps. The
+//! same encoded bytes travel on the wire as the v1.1 `chunk` record
+//! kind (see `docs/EXPORT_FORMAT.md`), so a sealed block compresses
+//! once and ships without re-encoding.
+//!
+//! Layout per chunk: the first timestamp lives in the [`Chunk`] header;
+//! the bitstream opens with the first value's raw 64 bits, then encodes
+//! `(timestamp, value)` pairs interleaved:
+//!
+//! ```text
+//! ts:  '0'                       delta-of-delta == 0
+//!      '10'   + 7 bits           dod in [-63, 64]
+//!      '110'  + 9 bits           dod in [-255, 256]
+//!      '1110' + 12 bits          dod in [-2047, 2048]
+//!      '1111' + 64 bits          raw delta (no dod)
+//! val: '0'                       XOR == 0
+//!      '10'   + meaningful bits  reuse previous leading/length window
+//!      '11'   + 6+6 bits + bits  new window: leading zeros, length
+//! ```
+
+/// Error decoding a wire-carried chunk payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bitstream ended before `count` samples were decoded.
+    Truncated,
+    /// A decoded timestamp delta was negative or overflowed.
+    BadTimestamp,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "chunk bitstream truncated"),
+            DecodeError::BadTimestamp => write!(f, "chunk timestamp delta invalid"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// MSB-first bit accumulator over a growable byte buffer.
+struct BitWriter {
+    bytes: Vec<u8>,
+    cur: u8,
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    /// Append the low `n` bits of `value`, MSB first.
+    fn write_bits(&mut self, value: u64, mut n: u32) {
+        debug_assert!(n <= 64);
+        while n > 0 {
+            let take = n.min(8 - self.used);
+            let shift = n - take;
+            let mask = ((1u32 << take) - 1) as u8;
+            let piece = ((value >> shift) as u8) & mask;
+            self.cur |= piece << (8 - self.used - take);
+            self.used += take;
+            n -= take;
+            if self.used == 8 {
+                self.bytes.push(self.cur);
+                self.cur = 0;
+                self.used = 0;
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.bytes.push(self.cur);
+        }
+        self.bytes
+    }
+}
+
+/// MSB-first bit cursor over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn read_bits(&mut self, mut n: u32) -> Option<u64> {
+        if self.pos + n as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        while n > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let offset = (self.pos % 8) as u32;
+            let take = n.min(8 - offset);
+            let piece = (byte >> (8 - offset - take)) & (((1u32 << take) - 1) as u8);
+            v = (v << take) | piece as u64;
+            self.pos += take as usize;
+            n -= take;
+        }
+        Some(v)
+    }
+}
+
+/// One sealed, immutable, compressed block of samples.
+///
+/// The header carries everything queries need without decoding: the
+/// encoded sample count, the logically-evicted prefix (`skip`, bumped
+/// by retention so eviction stays sample-exact), the first/last encoded
+/// timestamps, and the lifetime append index of the first encoded
+/// sample (`start_append`, which the exporter's watermark cursors key
+/// on).
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    count: u32,
+    skip: u32,
+    first_t: u64,
+    last_t: u64,
+    start_append: u64,
+    bytes: Vec<u8>,
+}
+
+impl Chunk {
+    /// Encoded samples (including any logically evicted prefix).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Logically evicted prefix length; retained samples are the
+    /// trailing `count - skip`.
+    pub fn skip(&self) -> u32 {
+        self.skip
+    }
+
+    /// Retained sample count.
+    pub fn retained_len(&self) -> usize {
+        (self.count - self.skip) as usize
+    }
+
+    /// Timestamp of the first **encoded** sample (pre-skip).
+    pub fn first_t(&self) -> u64 {
+        self.first_t
+    }
+
+    /// Timestamp of the last sample.
+    pub fn last_t(&self) -> u64 {
+        self.last_t
+    }
+
+    /// Lifetime append index of the first encoded sample.
+    pub fn start_append(&self) -> u64 {
+        self.start_append
+    }
+
+    /// Lifetime append index of the first **retained** sample.
+    pub fn retained_start_append(&self) -> u64 {
+        self.start_append + self.skip as u64
+    }
+
+    /// Lifetime append index one past the last sample.
+    pub fn end_append(&self) -> u64 {
+        self.start_append + self.count as u64
+    }
+
+    /// The encoded payload (what the wire `chunk` record carries).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Heap bytes held by this chunk (payload + header).
+    pub fn mem_bytes(&self) -> usize {
+        self.bytes.capacity() + std::mem::size_of::<Chunk>()
+    }
+
+    /// Logically evict the oldest `n` retained samples. Returns `true`
+    /// when the chunk is fully evicted and should be dropped.
+    pub(crate) fn evict(&mut self, n: u32) -> bool {
+        self.skip += n;
+        debug_assert!(self.skip <= self.count);
+        self.skip == self.count
+    }
+
+    /// Streaming decoder over the **retained** samples (skip applied).
+    pub fn decode(&self) -> Decoder<'_> {
+        let mut d = Decoder::new(self.first_t, self.count, &self.bytes);
+        for _ in 0..self.skip {
+            let s = d.next();
+            debug_assert!(s.is_some(), "sealed chunk bitstream is well-formed");
+        }
+        d
+    }
+
+    /// Decode the retained samples, appending to `out_ts` / `out_vals`.
+    pub fn decode_into(&self, out_ts: &mut Vec<u64>, out_vals: &mut Vec<f64>) {
+        out_ts.reserve(self.retained_len());
+        out_vals.reserve(self.retained_len());
+        for (t, v) in self.decode() {
+            out_ts.push(t);
+            out_vals.push(v);
+        }
+    }
+}
+
+/// Compress a sealed region into a [`Chunk`].
+///
+/// `ts` must be non-empty, non-decreasing, and parallel to `vals`;
+/// `start_append` is the lifetime append index of `ts[0]`.
+pub fn compress(ts: &[u64], vals: &[f64], start_append: u64) -> Chunk {
+    assert!(!ts.is_empty(), "cannot seal an empty region");
+    assert_eq!(ts.len(), vals.len());
+    let mut w = BitWriter::new();
+    w.write_bits(vals[0].to_bits(), 64);
+
+    let mut prev_t = ts[0];
+    let mut prev_delta: u64 = 0;
+    let mut prev_bits = vals[0].to_bits();
+    // Value window: u32::MAX leading marks "no window yet".
+    let mut win_lead: u32 = u32::MAX;
+    let mut win_len: u32 = 0;
+
+    for i in 1..ts.len() {
+        debug_assert!(ts[i] >= prev_t, "sealed region must be time-ordered");
+        let delta = ts[i] - prev_t;
+        let dod = delta as i128 - prev_delta as i128;
+        if dod == 0 {
+            w.write_bits(0b0, 1);
+        } else if (-63..=64).contains(&dod) {
+            w.write_bits(0b10, 2);
+            w.write_bits((dod + 63) as u64, 7);
+        } else if (-255..=256).contains(&dod) {
+            w.write_bits(0b110, 3);
+            w.write_bits((dod + 255) as u64, 9);
+        } else if (-2047..=2048).contains(&dod) {
+            w.write_bits(0b1110, 4);
+            w.write_bits((dod + 2047) as u64, 12);
+        } else {
+            w.write_bits(0b1111, 4);
+            w.write_bits(delta, 64);
+        }
+        prev_delta = delta;
+        prev_t = ts[i];
+
+        let bits = vals[i].to_bits();
+        let xor = bits ^ prev_bits;
+        prev_bits = bits;
+        if xor == 0 {
+            w.write_bits(0b0, 1);
+        } else {
+            let lead = xor.leading_zeros();
+            let trail = xor.trailing_zeros();
+            let in_window =
+                win_lead != u32::MAX && lead >= win_lead && trail >= 64 - win_lead - win_len;
+            if in_window {
+                // Fits the previous window: control '10' + window bits.
+                let win_trail = 64 - win_lead - win_len;
+                w.write_bits(0b10, 2);
+                w.write_bits(xor >> win_trail, win_len);
+            } else {
+                // New window: '11' + 6-bit leading + 6-bit length.
+                let len = 64 - lead - trail;
+                w.write_bits(0b11, 2);
+                w.write_bits(lead as u64, 6);
+                w.write_bits((len & 63) as u64, 6); // 64 encodes as 0
+                w.write_bits(xor >> trail, len);
+                win_lead = lead;
+                win_len = len;
+            }
+        }
+    }
+
+    Chunk {
+        count: ts.len() as u32,
+        skip: 0,
+        first_t: ts[0],
+        last_t: *ts.last().expect("non-empty"),
+        start_append,
+        bytes: w.finish(),
+    }
+}
+
+/// Streaming decoder yielding `(timestamp_ms, value)` pairs.
+///
+/// Yields at most `count` samples; a malformed (truncated) stream ends
+/// the iteration early — use [`decode_exact`] when the payload comes
+/// off the wire and must be validated.
+pub struct Decoder<'a> {
+    r: BitReader<'a>,
+    remaining: u32,
+    first: bool,
+    first_t: u64,
+    t: u64,
+    delta: u64,
+    bits: u64,
+    win_lead: u32,
+    win_len: u32,
+    failed: bool,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decoder over a raw payload: `first_t` seeds the timestamp chain
+    /// (the header field of [`Chunk`] or of a wire `chunk` record).
+    pub fn new(first_t: u64, count: u32, bytes: &'a [u8]) -> Self {
+        Decoder {
+            r: BitReader::new(bytes),
+            remaining: count,
+            first: true,
+            first_t,
+            t: 0,
+            delta: 0,
+            bits: 0,
+            win_lead: u32::MAX,
+            win_len: 0,
+            failed: false,
+        }
+    }
+
+    fn step(&mut self) -> Option<(u64, f64)> {
+        if self.first {
+            self.first = false;
+            self.bits = self.r.read_bits(64)?;
+            self.t = self.first_t;
+            return Some((self.t, f64::from_bits(self.bits)));
+        }
+        // Timestamp: unary-prefixed delta-of-delta bucket.
+        let dod: i64 = if self.r.read_bits(1)? == 0 {
+            0
+        } else if self.r.read_bits(1)? == 0 {
+            self.r.read_bits(7)? as i64 - 63
+        } else if self.r.read_bits(1)? == 0 {
+            self.r.read_bits(9)? as i64 - 255
+        } else if self.r.read_bits(1)? == 0 {
+            self.r.read_bits(12)? as i64 - 2047
+        } else {
+            self.delta = self.r.read_bits(64)?;
+            let t = self.t.checked_add(self.delta)?;
+            self.t = t;
+            return self.step_value();
+        };
+        let delta = (self.delta as i128 + dod as i128).try_into().ok()?;
+        self.delta = delta;
+        self.t = self.t.checked_add(delta)?;
+        self.step_value()
+    }
+
+    fn step_value(&mut self) -> Option<(u64, f64)> {
+        if self.r.read_bits(1)? == 1 {
+            if self.r.read_bits(1)? == 1 {
+                self.win_lead = self.r.read_bits(6)? as u32;
+                let len = self.r.read_bits(6)? as u32;
+                self.win_len = if len == 0 { 64 } else { len };
+                if self.win_lead + self.win_len > 64 {
+                    return None;
+                }
+            } else if self.win_lead == u32::MAX {
+                return None; // '10' before any window: malformed
+            }
+            let trail = 64 - self.win_lead - self.win_len;
+            let xor = self.r.read_bits(self.win_len)? << trail;
+            self.bits ^= xor;
+        }
+        Some((self.t, f64::from_bits(self.bits)))
+    }
+}
+
+impl Iterator for Decoder<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        if self.remaining == 0 || self.failed {
+            return None;
+        }
+        match self.step() {
+            Some(s) => {
+                self.remaining -= 1;
+                Some(s)
+            }
+            None => {
+                self.failed = true;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining as usize))
+    }
+}
+
+/// Decode a wire payload, validating that exactly `count` well-formed
+/// samples come out and that timestamps are non-decreasing. Appends to
+/// `out_ts` / `out_vals`; on error the outputs are left as they were.
+pub fn decode_exact(
+    first_t: u64,
+    count: u32,
+    bytes: &[u8],
+    out_ts: &mut Vec<u64>,
+    out_vals: &mut Vec<f64>,
+) -> Result<(), DecodeError> {
+    let (ts_mark, vals_mark) = (out_ts.len(), out_vals.len());
+    let mut d = Decoder::new(first_t, count, bytes);
+    let mut prev = None;
+    for _ in 0..count {
+        match d.next() {
+            Some((t, v)) => {
+                if prev.is_some_and(|p| t < p) {
+                    out_ts.truncate(ts_mark);
+                    out_vals.truncate(vals_mark);
+                    return Err(DecodeError::BadTimestamp);
+                }
+                prev = Some(t);
+                out_ts.push(t);
+                out_vals.push(v);
+            }
+            None => {
+                out_ts.truncate(ts_mark);
+                out_vals.truncate(vals_mark);
+                return Err(DecodeError::Truncated);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ts: &[u64], vals: &[f64]) {
+        let c = compress(ts, vals, 0);
+        let got: Vec<(u64, f64)> = c.decode().collect();
+        assert_eq!(got.len(), ts.len());
+        for (i, (t, v)) in got.iter().enumerate() {
+            assert_eq!(*t, ts[i], "timestamp {i}");
+            assert_eq!(v.to_bits(), vals[i].to_bits(), "value bits {i}");
+        }
+    }
+
+    #[test]
+    fn single_sample() {
+        round_trip(&[12_345], &[678.9]);
+    }
+
+    #[test]
+    fn regular_cadence_compresses_hard() {
+        let ts: Vec<u64> = (0..512u64).map(|s| s * 1000).collect();
+        let vals = vec![200.0; 512];
+        let c = compress(&ts, &vals, 0);
+        // First sample costs 8 bytes, the second pays for the initial
+        // delta; every following sample costs 2 bits (dod=0, xor=0) →
+        // well under 1 byte/sample.
+        assert!(
+            c.bytes().len() <= 8 + 512 / 4 + 2,
+            "{} bytes for 512 constant 1 Hz samples",
+            c.bytes().len()
+        );
+        round_trip(&ts, &vals);
+    }
+
+    #[test]
+    fn adversarial_bit_patterns_round_trip() {
+        let vals = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN payload
+            f64::from_bits(0xfff0_0000_0000_0001), // signalling-ish NaN
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest subnormal
+            f64::from_bits(u64::MAX),
+            f64::MAX,
+            f64::MIN,
+            1.0,
+            -1.0,
+        ];
+        let ts: Vec<u64> = (0..vals.len() as u64).collect();
+        round_trip(&ts, &vals);
+    }
+
+    #[test]
+    fn duplicate_and_jumping_timestamps() {
+        let ts = [
+            0,
+            0,
+            0,
+            5,
+            5,
+            1_000_000_000_000,
+            1_000_000_000_000,
+            u64::MAX,
+        ];
+        let vals = [1.0, 1.0, 2.0, 2.0, 3.0, 3.5, -3.5, 0.25];
+        round_trip(&ts, &vals);
+    }
+
+    #[test]
+    fn skip_applies_on_decode() {
+        let ts: Vec<u64> = (0..10).collect();
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut c = compress(&ts, &vals, 100);
+        assert!(!c.evict(3));
+        assert_eq!(c.retained_len(), 7);
+        assert_eq!(c.retained_start_append(), 103);
+        let got: Vec<(u64, f64)> = c.decode().collect();
+        assert_eq!(got.first(), Some(&(3, 3.0)));
+        assert_eq!(got.len(), 7);
+        assert!(c.evict(7));
+    }
+
+    #[test]
+    fn decode_exact_validates() {
+        let ts: Vec<u64> = (0..64u64).map(|s| s * 250).collect();
+        let vals: Vec<f64> = (0..64).map(|i| (i * i) as f64 * 0.5).collect();
+        let c = compress(&ts, &vals, 0);
+        let (mut out_t, mut out_v) = (Vec::new(), Vec::new());
+        decode_exact(c.first_t(), c.count(), c.bytes(), &mut out_t, &mut out_v).unwrap();
+        assert_eq!(out_t, ts);
+        assert_eq!(out_v, vals);
+        // Truncated payload fails cleanly and leaves outputs untouched.
+        out_t.clear();
+        out_v.clear();
+        let cut = &c.bytes()[..c.bytes().len() / 2];
+        assert_eq!(
+            decode_exact(c.first_t(), c.count(), cut, &mut out_t, &mut out_v),
+            Err(DecodeError::Truncated)
+        );
+        assert!(out_t.is_empty() && out_v.is_empty());
+    }
+}

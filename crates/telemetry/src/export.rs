@@ -157,6 +157,26 @@ pub enum ExportRecord {
         /// The `(sign, key, count)` column.
         entry: SketchEntry,
     },
+    /// One whole sealed compressed chunk of raw samples (wire spec
+    /// revision 1.1, an additive record kind): `count` observations in
+    /// the [`crate::chunk`] Gorilla bitstream, equivalent to — and
+    /// bit-exactly interchangeable with — `count` consecutive
+    /// [`ExportRecord::Sample`] records. `first_t` seeds the
+    /// delta-of-delta decoder (the first timestamp is *not* in the
+    /// bitstream); `last_t` lets receivers track high-water marks
+    /// without decoding.
+    Chunk {
+        /// Metric the samples belong to.
+        id: MetricId,
+        /// Encoded sample count.
+        count: u32,
+        /// Timestamp of the first encoded sample.
+        first_t: SimTime,
+        /// Timestamp of the last encoded sample.
+        last_t: SimTime,
+        /// The Gorilla-compressed payload.
+        bytes: Vec<u8>,
+    },
 }
 
 impl ExportRecord {
@@ -166,7 +186,8 @@ impl ExportRecord {
             ExportRecord::Meta { id, .. }
             | ExportRecord::Sample { id, .. }
             | ExportRecord::Bucket { id, .. }
-            | ExportRecord::Sketch { id, .. } => *id,
+            | ExportRecord::Sketch { id, .. }
+            | ExportRecord::Chunk { id, .. } => *id,
         }
     }
 }
@@ -253,8 +274,12 @@ pub struct DrainStats {
     pub batches: u64,
     /// Total records across those batches.
     pub records: u64,
-    /// Raw-sample records.
+    /// Raw samples shipped — per-sample records plus the samples
+    /// carried inside compressed-chunk records, so the count is
+    /// transport-shape-independent.
     pub samples: u64,
+    /// Compressed-chunk records (each carrying many samples).
+    pub chunks: u64,
     /// Sealed-bucket records.
     pub buckets: u64,
     /// Sketch-column records.
@@ -302,6 +327,7 @@ impl DrainStats {
     /// copy-out and committed when its batch reaches the sink).
     fn merge_payload(&mut self, other: &DrainStats) {
         self.samples += other.samples;
+        self.chunks += other.chunks;
         self.buckets += other.buckets;
         self.sketch_entries += other.sketch_entries;
         self.metas += other.metas;
@@ -443,6 +469,7 @@ pub struct Exporter {
     batch_records: usize,
     seq: u64,
     totals: DrainStats,
+    raw_chunks: bool,
 }
 
 impl Default for Exporter {
@@ -461,12 +488,24 @@ impl Exporter {
             batch_records: DEFAULT_BATCH_RECORDS,
             seq: 0,
             totals: DrainStats::default(),
+            raw_chunks: true,
         }
     }
 
     /// Override the per-batch record bound (clamped to ≥ 1).
     pub fn with_batch_records(mut self, records: usize) -> Self {
         self.batch_records = records.max(1);
+        self
+    }
+
+    /// Whether pending raw samples covered by whole sealed chunks ship
+    /// as compressed [`ExportRecord::Chunk`] records (the default) or
+    /// the exporter decodes everything back to per-sample records —
+    /// the strictly-v1.0 stream shape for receivers predating the
+    /// chunk kind, and the slow baseline the bench gate compares
+    /// against. Either way the decoded sample stream is identical.
+    pub fn with_raw_chunks(mut self, chunks: bool) -> Self {
+        self.raw_chunks = chunks;
         self
     }
 
@@ -520,6 +559,7 @@ impl Exporter {
         // Belt-and-braces re-clamp: a 0-record bound could never make
         // progress (every copy would report "more pending" forever).
         let cap = self.batch_records.max(1);
+        let raw_chunks = self.raw_chunks;
         let mut result: io::Result<()> = Ok(());
         'metrics: for &id in ids {
             let idx = id.index();
@@ -568,6 +608,7 @@ impl Exporter {
                             rollups,
                             limit,
                             cap,
+                            raw_chunks,
                             &mut batch,
                             &mut staged,
                         )
@@ -697,6 +738,7 @@ fn copy_pending(
     rollups: Option<&RollupSet>,
     limit: &DrainLimit,
     cap: usize,
+    raw_chunks: bool,
     batch: &mut Vec<ExportRecord>,
     stats: &mut DrainStats,
 ) -> bool {
@@ -713,13 +755,63 @@ fn copy_pending(
     let missed = start.saturating_sub(cursor.appends);
     stats.missed_samples += missed;
     cursor.appends += missed;
-    let avail = (target - start) as usize;
+    if raw_chunks {
+        // Sealed chunks fully inside the pending span ship whole —
+        // compressed bytes straight onto the wire, no decode. A chunk
+        // with an evicted prefix (front-chunk skip) or a previous
+        // drain's partial coverage decodes just its unshipped suffix to
+        // per-sample records: re-shipping the whole bitstream would
+        // duplicate samples the receiver already has.
+        for c in raw.sealed_chunks() {
+            let hi = c.end_append();
+            if hi <= cursor.appends {
+                continue;
+            }
+            if hi > target {
+                // Sealed after this drain's capture; the per-sample
+                // remainder below honors the bound exactly.
+                break;
+            }
+            if batch.len() >= cap {
+                return true;
+            }
+            if c.skip() == 0 && c.start_append() == cursor.appends {
+                batch.push(ExportRecord::Chunk {
+                    id,
+                    count: c.count(),
+                    first_t: SimTime(c.first_t()),
+                    last_t: SimTime(c.last_t()),
+                    bytes: c.bytes().to_vec(),
+                });
+                stats.chunks += 1;
+                stats.samples += u64::from(c.count());
+                cursor.appends = hi;
+            } else {
+                let already = (cursor.appends - c.retained_start_append()) as usize;
+                for (t, value) in c.decode().skip(already) {
+                    if batch.len() >= cap {
+                        return true;
+                    }
+                    batch.push(ExportRecord::Sample {
+                        id,
+                        t: SimTime(t),
+                        value,
+                    });
+                    stats.samples += 1;
+                    cursor.appends += 1;
+                }
+            }
+        }
+    }
+    let avail = (target - cursor.appends) as usize;
     let take = avail.min(cap.saturating_sub(batch.len()));
     if take > 0 {
-        // The retained suffix from `start` onward may include
+        // The retained suffix from the cursor onward may include
         // post-capture samples; ship the oldest `take` of the in-scope
-        // span so the cursor advances contiguously.
-        let view = raw.last_n_view((total - start) as usize);
+        // span so the cursor advances contiguously. (In chunked mode
+        // this remainder is the uncompressed tail, plus at most one
+        // chunk sealed mid-drain.)
+        let view = raw.last_n_view((total - cursor.appends) as usize);
         for s in view.into_iter().take(take) {
             batch.push(ExportRecord::Sample {
                 id,
@@ -888,6 +980,20 @@ impl<W: Write> Sink for CsvSink<W> {
                     "sketch,{},{},{},{},{},{}",
                     id.0, res.0, start.0, entry.sign, entry.key, entry.count
                 )?,
+                ExportRecord::Chunk {
+                    id,
+                    count,
+                    first_t,
+                    last_t,
+                    bytes,
+                } => writeln!(
+                    self.w,
+                    "chunk,{},{count},{},{},{}",
+                    id.0,
+                    first_t.0,
+                    last_t.0,
+                    base64(bytes)
+                )?,
             }
         }
         self.w.flush()
@@ -994,6 +1100,21 @@ impl<W: Write> Sink for JsonLinesSink<W> {
                      \"sign\":{},\"key\":{},\"count\":{}}}",
                     id.0, res.0, start.0, entry.sign, entry.key, entry.count
                 )?,
+                ExportRecord::Chunk {
+                    id,
+                    count,
+                    first_t,
+                    last_t,
+                    bytes,
+                } => writeln!(
+                    self.w,
+                    "{{\"kind\":\"chunk\",\"metric\":{},\"count\":{count},\"first_t_ms\":{},\
+                     \"last_t_ms\":{},\"bytes\":\"{}\"}}",
+                    id.0,
+                    first_t.0,
+                    last_t.0,
+                    base64(bytes)
+                )?,
             }
         }
         self.w.flush()
@@ -1075,6 +1196,15 @@ pub struct ColumnarSink {
     sketch_signs: Vec<i8>,
     sketch_keys: Vec<i32>,
     sketch_counts: Vec<u64>,
+    // chunk columns — per-record scalars plus one shared byte blob the
+    // length column delimits (records are appended in stream order, so
+    // offsets are cumulative).
+    chunk_ids: Vec<u32>,
+    chunk_counts: Vec<u32>,
+    chunk_first_ts: Vec<u64>,
+    chunk_last_ts: Vec<u64>,
+    chunk_byte_lens: Vec<u32>,
+    chunk_bytes: Vec<u8>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1083,6 +1213,7 @@ enum ColKind {
     Sample,
     Bucket,
     Sketch,
+    Chunk,
 }
 
 impl ColumnarSink {
@@ -1116,6 +1247,18 @@ impl ColumnarSink {
         self.sketch_ids.len()
     }
 
+    /// Compressed-chunk rows retained.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_ids.len()
+    }
+
+    /// Raw samples carried inside retained compressed chunks (the
+    /// transport-shape-independent total is this plus
+    /// [`ColumnarSink::sample_count`]).
+    pub fn chunk_sample_count(&self) -> usize {
+        self.chunk_counts.iter().map(|&c| c as usize).sum()
+    }
+
     /// Dictionary entries (one per `meta` record).
     pub fn dictionary_len(&self) -> usize {
         self.meta_ids.len()
@@ -1136,6 +1279,8 @@ impl ColumnarSink {
             + self.sample_ids.len() * (4 + 8 + 8)
             + self.bucket_ids.len() * (4 + 8 + 8 + 8 + 8 * 4)
             + self.sketch_ids.len() * (4 + 8 + 8 + 1 + 4 + 8)
+            + self.chunk_ids.len() * (4 + 4 + 8 + 8 + 4)
+            + self.chunk_bytes.len()
     }
 
     /// Reconstruct the original stream, batch by batch — the receiving
@@ -1203,6 +1348,20 @@ impl ColumnarSink {
                     },
                 }
             }
+            ColKind::Chunk => {
+                let i = c.chunk;
+                c.chunk += 1;
+                let len = self.chunk_byte_lens[i] as usize;
+                let bytes = self.chunk_bytes[c.chunk_byte..c.chunk_byte + len].to_vec();
+                c.chunk_byte += len;
+                ExportRecord::Chunk {
+                    id: MetricId(self.chunk_ids[i]),
+                    count: self.chunk_counts[i],
+                    first_t: SimTime(self.chunk_first_ts[i]),
+                    last_t: SimTime(self.chunk_last_ts[i]),
+                    bytes,
+                }
+            }
         }
     }
 }
@@ -1214,6 +1373,9 @@ struct ColCursor {
     sample: usize,
     bucket: usize,
     sketch: usize,
+    chunk: usize,
+    /// Byte offset into the shared chunk blob.
+    chunk_byte: usize,
 }
 
 impl Sink for ColumnarSink {
@@ -1265,6 +1427,21 @@ impl Sink for ColumnarSink {
                     self.sketch_signs.push(entry.sign);
                     self.sketch_keys.push(entry.key);
                     self.sketch_counts.push(entry.count);
+                }
+                ExportRecord::Chunk {
+                    id,
+                    count,
+                    first_t,
+                    last_t,
+                    bytes,
+                } => {
+                    self.kinds.push(ColKind::Chunk);
+                    self.chunk_ids.push(id.0);
+                    self.chunk_counts.push(*count);
+                    self.chunk_first_ts.push(first_t.0);
+                    self.chunk_last_ts.push(last_t.0);
+                    self.chunk_byte_lens.push(bytes.len() as u32);
+                    self.chunk_bytes.extend_from_slice(bytes);
                 }
             }
         }
@@ -1432,7 +1609,9 @@ impl WireTiers {
                 self.apply_sketch(*id, *res, *start, *entry);
                 true
             }
-            ExportRecord::Meta { .. } | ExportRecord::Sample { .. } => false,
+            ExportRecord::Meta { .. }
+            | ExportRecord::Sample { .. }
+            | ExportRecord::Chunk { .. } => false,
         }
     }
 
@@ -1507,6 +1686,11 @@ pub struct ReplayStore {
     metas: HashMap<u32, MetricMeta>,
     samples: HashMap<u32, Vec<(SimTime, f64)>>,
     tiers: WireTiers,
+    /// Reused decode scratch for compressed-chunk records.
+    scratch_ts: Vec<u64>,
+    scratch_vals: Vec<f64>,
+    /// Chunk records dropped because their payload failed to decode.
+    corrupt_chunks: u64,
 }
 
 impl ReplayStore {
@@ -1533,6 +1717,35 @@ impl ReplayStore {
             }
             ExportRecord::Sample { id, t, value } => {
                 self.samples.entry(id.0).or_default().push((*t, *value));
+            }
+            ExportRecord::Chunk {
+                id,
+                count,
+                first_t,
+                bytes,
+                ..
+            } => {
+                // Decode on absorb: a chunk is `count` sample records in
+                // one compressed payload, and replays to exactly what
+                // the per-sample stream would have produced.
+                self.scratch_ts.clear();
+                self.scratch_vals.clear();
+                match crate::chunk::decode_exact(
+                    first_t.0,
+                    *count,
+                    bytes,
+                    &mut self.scratch_ts,
+                    &mut self.scratch_vals,
+                ) {
+                    Ok(()) => {
+                        let out = self.samples.entry(id.0).or_default();
+                        out.reserve(self.scratch_ts.len());
+                        for (&t, &v) in self.scratch_ts.iter().zip(&self.scratch_vals) {
+                            out.push((SimTime(t), v));
+                        }
+                    }
+                    Err(_) => self.corrupt_chunks += 1,
+                }
             }
             ExportRecord::Bucket { .. } | ExportRecord::Sketch { .. } => unreachable!(),
         }
@@ -1577,6 +1790,12 @@ impl ReplayStore {
     /// The replayed wire-fed bucket tiers (planner-ready pyramids).
     pub fn tiers(&self) -> &WireTiers {
         &self.tiers
+    }
+
+    /// Compressed-chunk records dropped because their payload failed to
+    /// decode (truncated or time-disordered bitstream).
+    pub fn corrupt_chunks(&self) -> u64 {
+        self.corrupt_chunks
     }
 }
 
@@ -1654,6 +1873,34 @@ fn json_num(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Standard-alphabet base64 with `=` padding (RFC 4648) — how chunk
+/// payload bytes render in the CSV and JSON-lines rows. The row sinks
+/// are write-only archival forms, so only encoding lives here; binary
+/// consumers take the columnar transport, which carries the bytes raw.
+fn base64(bytes: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for group in bytes.chunks(3) {
+        let b = [
+            group[0],
+            *group.get(1).unwrap_or(&0),
+            *group.get(2).unwrap_or(&0),
+        ];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        let chars = [
+            ALPHABET[(n >> 18) as usize & 63],
+            ALPHABET[(n >> 12) as usize & 63],
+            ALPHABET[(n >> 6) as usize & 63],
+            ALPHABET[n as usize & 63],
+        ];
+        let keep = group.len() + 1;
+        for (i, &c) in chars.iter().enumerate() {
+            out.push(if i < keep { c as char } else { '=' });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1785,7 +2032,10 @@ mod tests {
         let mut sink = MemorySink::new();
         let stats = exporter.drain(&db, &mut sink).unwrap();
         assert_eq!(stats.samples, 1000);
-        assert_eq!(stats.batches, 11); // 1001 records / 100 per batch
+        // The first 512 samples sealed into one chunk record; the tail
+        // ships per-sample: 1 meta + 1 chunk + 488 samples = 490 records.
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.batches, 5);
         for (i, b) in sink.batches.iter().enumerate() {
             assert_eq!(b.seq, i as u64);
             assert!(b.records.len() <= 100, "batch {} overflowed", b.seq);
@@ -1793,8 +2043,8 @@ mod tests {
         // Sequence numbers continue across drains.
         db.insert(id, SimTime(2000), 1.0);
         exporter.drain(&db, &mut sink).unwrap();
-        assert_eq!(sink.batches.last().unwrap().seq, 11);
-        assert_eq!(exporter.next_seq(), 12);
+        assert_eq!(sink.batches.last().unwrap().seq, 5);
+        assert_eq!(exporter.next_seq(), 6);
     }
 
     #[test]

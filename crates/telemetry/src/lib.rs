@@ -10,10 +10,16 @@
 //! samples → query windows), which this crate implements natively:
 //!
 //! * [`metric`] — metric identities, kinds, units, and source domains,
-//! * [`series`] — bounded **struct-of-arrays** ring-buffer time series:
-//!   timestamps and values in separate parallel rings, queries answered
-//!   by `partition_point` binary search as zero-allocation
-//!   [`SampleView`]s (pairs of slices) in O(log n + k),
+//! * [`series`] — bounded **struct-of-arrays** time series: a
+//!   write-hot uncompressed tail plus sealed Gorilla-compressed chunks
+//!   ([`chunk`]), queries answered by `partition_point` binary search
+//!   as [`SampleView`]s (decoded-chunk scratch segment + borrowed tail
+//!   slices) in O(log n + k) — tail-only windows stay zero-allocation,
+//!   with an opt-in [`RetentionPolicy`] spending the reclaimed memory
+//!   on longer raw history,
+//! * [`chunk`] — the sealed-block codec: delta-of-delta timestamps +
+//!   XOR-compressed values (the Gorilla TSDB layout), bit-exact round
+//!   trip at ~2–3 bytes/sample on smooth 1 Hz telemetry,
 //! * [`tsdb`] — the in-memory store: registry + series + retention +
 //!   allocation-free aggregate queries (`window_agg`, `latest_n_agg`,
 //!   streaming `resample_into`) + insert-rate accounting (the §IV design
@@ -66,6 +72,7 @@
 //! The `Vec`-returning methods remain only as compatibility wrappers for
 //! cold paths (export, debugging).
 
+pub mod chunk;
 pub mod collect;
 pub mod export;
 pub mod metric;
@@ -85,7 +92,7 @@ pub use rollup::{
     fold_span_into, RollupAcc, RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet,
     RollupTier, SketchAcc, SpanFold,
 };
-pub use series::{Sample, SampleView, TimeSeries};
+pub use series::{RetentionPolicy, Sample, SampleView, TimeSeries};
 pub use sketch::{QuantileAcc, QuantileSketch, SketchEntry, SKETCH_RELATIVE_ERROR};
-pub use tsdb::{adaptive_shards, ShardedTsdb, SharedTsdb, Tsdb};
+pub use tsdb::{adaptive_shards, MemoryStats, ShardedTsdb, SharedTsdb, Tsdb};
 pub use window::{AggAccum, WindowAgg};

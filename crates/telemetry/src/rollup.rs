@@ -673,6 +673,28 @@ impl RollupSet {
     pub fn finest_res(&self) -> SimDuration {
         SimDuration(self.rings.first().map(|r| r.res).unwrap_or(u64::MAX))
     }
+
+    /// Heap bytes held by this pyramid: every ring's bucket store plus
+    /// embedded sketches and the cascade scratch (memory-budget
+    /// accounting for [`crate::tsdb::MemoryStats`]).
+    pub fn mem_bytes(&self) -> usize {
+        let buckets: usize = self
+            .rings
+            .iter()
+            .map(|ring| {
+                ring.buckets.capacity() * std::mem::size_of::<RollupBucket>()
+                    + ring
+                        .buckets
+                        .iter()
+                        .filter_map(|b| b.sketch.as_ref())
+                        .map(QuantileSketch::mem_bytes)
+                        .sum::<usize>()
+            })
+            .sum();
+        buckets
+            + self.rings.capacity() * std::mem::size_of::<RollupRing>()
+            + self.cascade_scratch.capacity() * std::mem::size_of::<(i32, u32)>()
+    }
 }
 
 /// What the planner's cascading span fold pours into: raw values at

@@ -1,28 +1,41 @@
-//! Bounded struct-of-arrays ring-buffer time series.
+//! Bounded time series: compressed sealed chunks + an uncompressed tail.
 //!
-//! Each metric stores its recent history in a fixed-capacity ring: the
+//! Each metric stores its recent history in a bounded series: the
 //! paper's loops consume *recent* windows (progress over the last N
 //! minutes, bandwidth over the last M samples), while long-term retention
 //! belongs to the Knowledge layer, not the monitoring hot path. A bounded
-//! ring keeps the insert path O(1) and the memory footprint of
+//! store keeps the insert path O(1) amortized and the memory footprint of
 //! high-cardinality deployments predictable — the §IV insert-rate and
 //! cardinality considerations.
 //!
 //! # Layout and query model
 //!
-//! Timestamps and values live in **separate parallel ring buffers**
-//! (struct-of-arrays). Queries never materialize `Vec<Sample>`; they
-//! binary-search the timestamp ring with `partition_point` and return a
-//! [`SampleView`] — a pair of `(timestamps, values)` slice pairs (two
-//! pairs because a ring wraps at most once). A window query is therefore
-//! O(log n) to locate plus O(k) to consume, with **zero allocation**, and
-//! aggregations fold directly over the slices. The old `Vec`-returning
-//! methods survive as thin wrappers over views for callers that need
-//! owned data.
+//! The write-hot **tail** is a pair of parallel uncompressed
+//! timestamp/value buffers (struct-of-arrays). When the tail reaches the
+//! seal threshold (`capacity.min(512)`), it seals into an immutable
+//! Gorilla-compressed [`chunk::Chunk`]
+//! (delta-of-delta timestamps + XOR values, bit-exact round trip, ~2–3
+//! bytes/sample on smooth 1 Hz telemetry vs 16 uncompressed) and the
+//! tail restarts empty. Eviction is **sample-exact**: the oldest chunk
+//! carries a logical skip counter, so `len()` and the exporter's
+//! `total_appends − len()` eviction identity behave exactly as the old
+//! uncompressed ring did. A [`RetentionPolicy`] can spend the reclaimed
+//! memory on longer retention (`compressed_retention_multiplier`).
+//!
+//! Queries binary-search the tail and the chunk headers, returning a
+//! [`SampleView`] of up to two segments: sealed samples decompressed
+//! into a **pooled scratch buffer** (reused across queries, returned on
+//! drop) and a borrowed slice of the tail. A query that lands entirely
+//! in the tail — the common case for loop-rate windows — allocates and
+//! decodes nothing, exactly like the previous ring. Aggregations fold
+//! directly over the segments.
 
+use crate::chunk::{self, Chunk};
 use crate::window::WindowAgg;
 use moda_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// One timestamped observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,16 +46,83 @@ pub struct Sample {
     pub value: f64,
 }
 
-/// Append-only struct-of-arrays ring buffer of samples, ordered by time.
+/// Maximum samples per sealed chunk (smaller capacities seal at
+/// capacity).
+pub const SEAL_THRESHOLD: usize = 512;
+
+/// How a series spends the memory reclaimed by chunk compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Retained-sample budget as a multiple of the configured capacity.
+    /// `1` (the default) keeps the exact pre-compression retention
+    /// semantics; `k` retains up to `k * capacity` samples — since
+    /// sealed chunks cost a fraction of the uncompressed 16
+    /// bytes/sample, a multiplier near the measured compression ratio
+    /// holds memory roughly constant while multiplying raw history.
+    pub compressed_retention_multiplier: u32,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            compressed_retention_multiplier: 1,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// Retained-sample target for a series of `capacity`.
+    pub fn target(&self, capacity: usize) -> usize {
+        capacity.saturating_mul(self.compressed_retention_multiplier.max(1) as usize)
+    }
+}
+
+/// Decoded-sample scratch, pooled per thread and reused across queries.
+#[derive(Debug, Default, Clone)]
+struct ScratchBuf {
+    ts: Vec<u64>,
+    vals: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<ScratchBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_scratch() -> ScratchBuf {
+    SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn put_scratch(mut buf: ScratchBuf) {
+    buf.ts.clear();
+    buf.vals.clear();
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Append-only bounded series of samples, ordered by time: compressed
+/// sealed chunks plus an uncompressed write-hot tail.
 #[derive(Debug, Clone)]
 pub struct TimeSeries {
-    /// Raw timestamps (`SimTime` millis), ring storage.
-    ts: Vec<u64>,
-    /// Values, parallel to `ts`.
-    vals: Vec<f64>,
-    /// Physical index of the oldest sample (0 until the ring first wraps).
-    head: usize,
+    /// Sealed compressed blocks, oldest → newest. Only the front chunk
+    /// ever carries a non-zero eviction skip.
+    chunks: VecDeque<Chunk>,
+    /// Retained samples across `chunks` (sum of `retained_len`).
+    chunk_len: usize,
+    /// Uncompressed tail timestamps (`SimTime` millis), time-ordered.
+    tail_ts: Vec<u64>,
+    /// Tail values, parallel to `tail_ts`.
+    tail_vals: Vec<f64>,
     capacity: usize,
+    seal_threshold: usize,
+    policy: RetentionPolicy,
+    /// Cached newest sample (the tail can be empty after a bulk absorb).
+    last: Option<(u64, f64)>,
     /// Total appends over the series' lifetime (survives eviction).
     total_appends: u64,
     /// Appends dropped because their timestamp preceded the newest sample.
@@ -50,64 +130,23 @@ pub struct TimeSeries {
 }
 
 impl TimeSeries {
-    /// Series retaining at most `capacity` samples (capacity ≥ 1).
+    /// Series retaining at most `capacity` samples (capacity ≥ 1) under
+    /// the default [`RetentionPolicy`].
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
+        let seal_threshold = capacity.min(SEAL_THRESHOLD);
         TimeSeries {
-            ts: Vec::with_capacity(capacity),
-            vals: Vec::with_capacity(capacity),
-            head: 0,
+            chunks: VecDeque::new(),
+            chunk_len: 0,
+            tail_ts: Vec::with_capacity(seal_threshold),
+            tail_vals: Vec::with_capacity(seal_threshold),
             capacity,
+            seal_threshold,
+            policy: RetentionPolicy::default(),
+            last: None,
             total_appends: 0,
             rejected: 0,
         }
-    }
-
-    /// Physical index of logical position `i` (0 = oldest).
-    #[inline]
-    fn phys(&self, i: usize) -> usize {
-        let idx = self.head + i;
-        if idx >= self.capacity {
-            idx - self.capacity
-        } else {
-            idx
-        }
-    }
-
-    /// Timestamp at logical position `i`.
-    #[inline]
-    fn ts_at(&self, i: usize) -> u64 {
-        self.ts[self.phys(i)]
-    }
-
-    /// Value at logical position `i`.
-    #[inline]
-    fn val_at(&self, i: usize) -> f64 {
-        self.vals[self.phys(i)]
-    }
-
-    /// First logical index whose timestamp does **not** satisfy `pred`,
-    /// assuming `pred` is monotone (true prefix, false suffix) over the
-    /// time-ordered ring. O(log n) via `slice::partition_point` on the two
-    /// contiguous ring segments.
-    fn partition_point(&self, pred: impl Fn(u64) -> bool) -> usize {
-        let (front_ts, back_ts) = self.ts_slices();
-        match front_ts.last() {
-            None => 0,
-            Some(&last_front) => {
-                if pred(last_front) {
-                    front_ts.len() + back_ts.partition_point(|&t| pred(t))
-                } else {
-                    front_ts.partition_point(|&t| pred(t))
-                }
-            }
-        }
-    }
-
-    /// The ring's timestamp storage as (oldest-part, newest-part) slices.
-    #[inline]
-    fn ts_slices(&self) -> (&[u64], &[u64]) {
-        (&self.ts[self.head..], &self.ts[..self.head])
     }
 
     /// Append an observation.
@@ -116,40 +155,119 @@ impl TimeSeries {
     /// rejected (counted in [`TimeSeries::rejected`]) rather than
     /// corrupting query invariants. Returns whether the sample was kept.
     pub fn push(&mut self, t: SimTime, value: f64) -> bool {
-        if let Some(last) = self.latest() {
-            if t < last.t {
+        if let Some((last_t, _)) = self.last {
+            if t.0 < last_t {
                 self.rejected += 1;
                 return false;
             }
         }
-        if self.ts.len() < self.capacity {
-            // Ring not yet full: plain append (head stays 0).
-            self.ts.push(t.0);
-            self.vals.push(value);
-        } else {
-            // Full: overwrite the oldest slot and advance the head.
-            self.ts[self.head] = t.0;
-            self.vals[self.head] = value;
-            self.head += 1;
-            if self.head == self.capacity {
-                self.head = 0;
+        if self.tail_ts.len() == self.seal_threshold {
+            self.seal_tail();
+        }
+        self.tail_ts.push(t.0);
+        self.tail_vals.push(value);
+        self.last = Some((t.0, value));
+        self.total_appends += 1;
+        self.evict_to_target();
+        true
+    }
+
+    /// Bulk-append a time-ordered block (the fleet chunk-ingest path:
+    /// one ordering check, then straight `extend` into the tail with the
+    /// usual seal/evict bookkeeping). The block must be internally
+    /// non-decreasing and start at or after the newest sample; an
+    /// ill-ordered block is refused whole (returns `false`, series
+    /// untouched) so the caller can fall back to per-sample pushes with
+    /// exact reject accounting.
+    pub fn append_block(&mut self, ts: &[u64], vals: &[f64]) -> bool {
+        assert_eq!(ts.len(), vals.len());
+        if ts.is_empty() {
+            return true;
+        }
+        if ts.windows(2).any(|w| w[1] < w[0]) {
+            return false;
+        }
+        if let Some((last_t, _)) = self.last {
+            if ts[0] < last_t {
+                return false;
             }
         }
-        self.total_appends += 1;
+        let mut i = 0;
+        while i < ts.len() {
+            if self.tail_ts.len() == self.seal_threshold {
+                self.seal_tail();
+            }
+            let room = self.seal_threshold - self.tail_ts.len();
+            let m = room.min(ts.len() - i);
+            self.tail_ts.extend_from_slice(&ts[i..i + m]);
+            self.tail_vals.extend_from_slice(&vals[i..i + m]);
+            self.total_appends += m as u64;
+            i += m;
+        }
+        self.last = Some((
+            *ts.last().expect("non-empty"),
+            *vals.last().expect("non-empty"),
+        ));
+        self.evict_to_target();
         true
+    }
+
+    /// Compress the tail into a sealed chunk (in place, under whatever
+    /// lock the caller already holds).
+    fn seal_tail(&mut self) {
+        if self.tail_ts.is_empty() {
+            return;
+        }
+        let start_append = self.total_appends - self.tail_ts.len() as u64;
+        let c = chunk::compress(&self.tail_ts, &self.tail_vals, start_append);
+        self.chunk_len += self.tail_ts.len();
+        self.chunks.push_back(c);
+        self.tail_ts.clear();
+        self.tail_vals.clear();
+    }
+
+    /// Evict oldest samples (sample-exact, via the front chunk's skip
+    /// counter) until within the retention target.
+    fn evict_to_target(&mut self) {
+        let target = self.policy.target(self.capacity);
+        while self.len() > target {
+            let excess = self.len() - target;
+            let front = self
+                .chunks
+                .front_mut()
+                .expect("tail alone never exceeds capacity");
+            let n = front.retained_len().min(excess);
+            self.chunk_len -= n;
+            if front.evict(n as u32) {
+                self.chunks.pop_front();
+            }
+        }
+    }
+
+    /// Replace the retention policy (evicting immediately if the new
+    /// target is smaller).
+    pub fn set_retention_policy(&mut self, policy: RetentionPolicy) {
+        self.policy = policy;
+        self.evict_to_target();
+    }
+
+    /// The active retention policy.
+    pub fn retention_policy(&self) -> RetentionPolicy {
+        self.policy
     }
 
     /// Number of retained samples.
     pub fn len(&self) -> usize {
-        self.ts.len()
+        self.chunk_len + self.tail_ts.len()
     }
 
     /// Whether no samples are retained.
     pub fn is_empty(&self) -> bool {
-        self.ts.is_empty()
+        self.len() == 0
     }
 
-    /// Retention capacity.
+    /// Retention capacity (the configured per-series budget; see
+    /// [`RetentionPolicy`] for the compressed multiplier).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -164,85 +282,155 @@ impl TimeSeries {
         self.rejected
     }
 
-    /// Most recent sample.
+    /// The sealed compressed chunks, oldest → newest (the exporter
+    /// ships these whole as wire `chunk` records).
+    pub fn sealed_chunks(&self) -> impl Iterator<Item = &Chunk> {
+        self.chunks.iter()
+    }
+
+    /// Heap bytes held by the uncompressed tail buffers.
+    pub fn raw_bytes(&self) -> usize {
+        self.tail_ts.capacity() * std::mem::size_of::<u64>()
+            + self.tail_vals.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Heap bytes held by sealed compressed chunks (payload + headers).
+    pub fn compressed_bytes(&self) -> usize {
+        self.chunks.iter().map(Chunk::mem_bytes).sum()
+    }
+
+    /// Retained samples currently living in sealed chunks.
+    pub fn compressed_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Total heap bytes held by this series' sample storage.
+    pub fn mem_bytes(&self) -> usize {
+        self.raw_bytes() + self.compressed_bytes()
+    }
+
+    /// Most recent sample. O(1) (cached).
     pub fn latest(&self) -> Option<Sample> {
-        if self.is_empty() {
-            None
-        } else {
-            let i = self.len() - 1;
-            Some(Sample {
-                t: SimTime(self.ts_at(i)),
-                value: self.val_at(i),
-            })
-        }
+        self.last.map(|(t, value)| Sample {
+            t: SimTime(t),
+            value,
+        })
     }
 
-    /// Oldest retained sample.
+    /// Oldest retained sample. O(1) when the oldest data is in the
+    /// tail; O(skip) decode of the front chunk's evicted prefix
+    /// otherwise.
     pub fn oldest(&self) -> Option<Sample> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(Sample {
-                t: SimTime(self.ts_at(0)),
-                value: self.val_at(0),
-            })
+        if let Some(front) = self.chunks.front() {
+            let (t, value) = front.decode().next().expect("sealed chunk is non-empty");
+            return Some(Sample {
+                t: SimTime(t),
+                value,
+            });
         }
+        self.tail_ts.first().map(|&t| Sample {
+            t: SimTime(t),
+            value: self.tail_vals[0],
+        })
     }
 
-    /// Iterate samples oldest → newest (no allocation).
+    /// Iterate samples oldest → newest (sealed samples decode into one
+    /// pooled scratch buffer owned by the iterator).
     pub fn iter(&self) -> SampleIter<'_> {
         self.view().into_iter()
     }
 
-    /// Zero-allocation view of every retained sample.
+    /// View of every retained sample.
     pub fn view(&self) -> SampleView<'_> {
-        self.view_between(0, self.len())
+        self.gather(|_| false, |_| false)
     }
 
-    /// Zero-allocation view of the logical index range `[lo, hi)`.
-    fn view_between(&self, lo: usize, hi: usize) -> SampleView<'_> {
-        debug_assert!(lo <= hi && hi <= self.len());
-        if lo >= hi {
-            return SampleView::empty();
-        }
-        let front_len = self.len() - self.head.min(self.len());
-        // Physical front segment covers logical [0, front_len); the back
-        // segment (wrapped part) covers [front_len, len).
-        let front_range = lo.min(front_len)..hi.min(front_len);
-        let back_range = lo.saturating_sub(front_len)..hi.saturating_sub(front_len);
-        let (front_ts, back_ts) = self.ts_slices();
-        let front_vals = &self.vals[self.head..];
-        let back_vals = &self.vals[..self.head];
-        SampleView {
-            ts: [&front_ts[front_range.clone()], &back_ts[back_range.clone()]],
-            vals: [&front_vals[front_range], &back_vals[back_range]],
-        }
-    }
-
-    /// Zero-allocation view of samples with `t0 <= t < t1`.
+    /// View of samples with `t0 <= t < t1`.
     ///
-    /// O(log n) binary search (`partition_point`) to locate the
-    /// boundaries, O(1) to build the view.
+    /// O(log n) binary search over the tail and chunk headers; sealed
+    /// samples in range decompress into the view's pooled scratch.
     pub fn range_view(&self, t0: SimTime, t1: SimTime) -> SampleView<'_> {
         if t1 <= t0 {
             return SampleView::empty();
         }
-        let lo = self.partition_point(|t| t < t0.0);
-        let hi = self.partition_point(|t| t < t1.0);
-        self.view_between(lo, hi)
+        self.gather(|t| t < t0.0, |t| t >= t1.0)
     }
 
-    /// Zero-allocation view of the trailing window `(now - window, now]`.
+    /// View of the trailing window `(now - window, now]`.
     pub fn window_view(&self, now: SimTime, window: SimDuration) -> SampleView<'_> {
         let t0 = now.0.saturating_sub(window.0);
-        let lo = self.partition_point(|t| t <= t0);
-        let hi = self.partition_point(|t| t <= now.0);
-        self.view_between(lo, hi)
+        self.gather(move |t| t <= t0, move |t| t > now.0)
     }
 
-    /// Zero-allocation view of the last `n` samples, oldest → newest.
+    /// View of the last `n` samples, oldest → newest. Zero-copy when
+    /// the last `n` samples live in the uncompressed tail.
     pub fn last_n_view(&self, n: usize) -> SampleView<'_> {
-        self.view_between(self.len() - n.min(self.len()), self.len())
+        let n = n.min(self.len());
+        if n <= self.tail_ts.len() {
+            let start = self.tail_ts.len() - n;
+            return SampleView {
+                scratch: None,
+                tail_ts: &self.tail_ts[start..],
+                tail_vals: &self.tail_vals[start..],
+            };
+        }
+        let mut need = n - self.tail_ts.len();
+        let mut from = self.chunks.len();
+        while need > 0 {
+            from -= 1;
+            need = need.saturating_sub(self.chunks[from].retained_len());
+        }
+        let mut buf = take_scratch();
+        for c in self.chunks.iter().skip(from) {
+            c.decode_into(&mut buf.ts, &mut buf.vals);
+        }
+        let extra = buf.ts.len() - (n - self.tail_ts.len());
+        if extra > 0 {
+            buf.ts.drain(..extra);
+            buf.vals.drain(..extra);
+        }
+        SampleView {
+            scratch: Some(buf),
+            tail_ts: &self.tail_ts,
+            tail_vals: &self.tail_vals,
+        }
+    }
+
+    /// Build a view of every sample for which neither `below` nor
+    /// `above` holds. Both predicates must be monotone over time
+    /// (`below` a true-prefix, `above` a true-suffix).
+    fn gather(&self, below: impl Fn(u64) -> bool, above: impl Fn(u64) -> bool) -> SampleView<'_> {
+        let lo = self.tail_ts.partition_point(|&t| below(t));
+        let hi = self.tail_ts.partition_point(|&t| !above(t)).max(lo);
+        let mut scratch: Option<ScratchBuf> = None;
+        for c in &self.chunks {
+            if above(c.first_t()) {
+                break;
+            }
+            if below(c.last_t()) {
+                continue;
+            }
+            let buf = scratch.get_or_insert_with(take_scratch);
+            if !below(c.first_t()) && !above(c.last_t()) {
+                c.decode_into(&mut buf.ts, &mut buf.vals);
+            } else {
+                for (t, v) in c.decode() {
+                    if below(t) {
+                        continue;
+                    }
+                    if above(t) {
+                        break;
+                    }
+                    buf.ts.push(t);
+                    buf.vals.push(v);
+                }
+            }
+        }
+        SampleView {
+            scratch,
+            tail_ts: &self.tail_ts[lo..hi],
+            tail_vals: &self.tail_vals[lo..hi],
+        }
     }
 
     /// Samples with `t0 <= t < t1`, oldest → newest (owned; prefer
@@ -266,79 +454,151 @@ impl TimeSeries {
     /// Value interpolated linearly at time `t`, if `t` falls within the
     /// retained span. Exact matches return the stored value (the newest
     /// among duplicate timestamps); queries outside the span return
-    /// `None` rather than extrapolating. O(log n) binary search.
+    /// `None` rather than extrapolating. O(log n) over the tail; at
+    /// most one chunk decodes when `t` falls in the sealed region.
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
         let first = self.oldest()?;
         let last = self.latest()?;
         if t < first.t || t > last.t {
             return None;
         }
-        // Index of the last sample with timestamp <= t. The guard above
-        // ensures at least one such sample exists.
-        let below = self.partition_point(|ts| ts <= t.0) - 1;
-        let (bt, bv) = (self.ts_at(below), self.val_at(below));
-        if bt == t.0 {
-            return Some(bv);
+        // If the newest sample with ts <= t lives in the tail, its
+        // successor does too (or `t` hit it exactly).
+        if let Some(&tail_first) = self.tail_ts.first() {
+            if t.0 >= tail_first {
+                let below = self.tail_ts.partition_point(|&x| x <= t.0) - 1;
+                let (bt, bv) = (self.tail_ts[below], self.tail_vals[below]);
+                if bt == t.0 {
+                    return Some(bv);
+                }
+                return Some(Self::interp(
+                    t.0,
+                    bt,
+                    bv,
+                    self.tail_ts[below + 1],
+                    self.tail_vals[below + 1],
+                ));
+            }
         }
-        // Strictly bracketed: below < len - 1 because t <= last.t and
-        // ts_at(below) < t, so a strictly later sample exists.
-        let (nt, nv) = (self.ts_at(below + 1), self.val_at(below + 1));
+        // Sealed region: the bracketing `below` sample is in the last
+        // chunk whose first encoded timestamp is <= t (the span guard
+        // above makes at least one such chunk exist).
+        let ci = self.chunks.partition_point(|c| c.first_t() <= t.0) - 1;
+        let mut buf = take_scratch();
+        self.chunks[ci].decode_into(&mut buf.ts, &mut buf.vals);
+        let below = buf.ts.partition_point(|&x| x <= t.0) - 1;
+        let (bt, bv) = (buf.ts[below], buf.vals[below]);
+        let result = if bt == t.0 {
+            Some(bv)
+        } else {
+            // Successor: in-chunk, or the first sample of the next
+            // segment (next chunk, else the tail) — `t <= last.t`
+            // guarantees one exists.
+            let (nt, nv) = if below + 1 < buf.ts.len() {
+                (buf.ts[below + 1], buf.vals[below + 1])
+            } else if let Some(next) = self.chunks.get(ci + 1) {
+                next.decode().next().expect("sealed chunk is non-empty")
+            } else {
+                (self.tail_ts[0], self.tail_vals[0])
+            };
+            Some(Self::interp(t.0, bt, bv, nt, nv))
+        };
+        put_scratch(buf);
+        result
+    }
+
+    fn interp(t: u64, bt: u64, bv: f64, nt: u64, nv: f64) -> f64 {
         let span = (nt - bt) as f64;
-        let frac = (t.0 - bt) as f64 / span;
-        Some(bv + frac * (nv - bv))
+        let frac = (t - bt) as f64 / span;
+        bv + frac * (nv - bv)
     }
 }
 
-/// Borrowed, allocation-free result of a window/range query: parallel
-/// `(timestamps, values)` slices in up to two contiguous segments (a ring
-/// wraps at most once). Aggregations fold directly over the segments.
-#[derive(Debug, Clone, Copy)]
+/// Allocation-light result of a window/range query: parallel
+/// `(timestamps, values)` data in up to two contiguous segments —
+/// sealed samples decompressed into a pooled scratch buffer (returned
+/// to the pool when the view drops) followed by a borrowed slice of the
+/// uncompressed tail. Tail-only queries borrow and never allocate.
+/// Aggregations fold directly over the segments.
+#[derive(Debug)]
 pub struct SampleView<'a> {
-    /// Timestamp segments, oldest → newest.
-    ts: [&'a [u64]; 2],
-    /// Value segments, parallel to `ts`.
-    vals: [&'a [f64]; 2],
+    /// Decoded sealed samples (None when the query never left the tail).
+    scratch: Option<ScratchBuf>,
+    /// Borrowed tail timestamp slice.
+    tail_ts: &'a [u64],
+    /// Borrowed tail value slice, parallel to `tail_ts`.
+    tail_vals: &'a [f64],
+}
+
+impl Drop for SampleView<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.scratch.take() {
+            put_scratch(buf);
+        }
+    }
+}
+
+impl Clone for SampleView<'_> {
+    fn clone(&self) -> Self {
+        SampleView {
+            scratch: self.scratch.clone(),
+            tail_ts: self.tail_ts,
+            tail_vals: self.tail_vals,
+        }
+    }
 }
 
 impl<'a> SampleView<'a> {
     /// A view over nothing.
     pub fn empty() -> Self {
         SampleView {
-            ts: [&[], &[]],
-            vals: [&[], &[]],
+            scratch: None,
+            tail_ts: &[],
+            tail_vals: &[],
         }
     }
 
     /// Number of samples in the view.
     pub fn len(&self) -> usize {
-        self.ts[0].len() + self.ts[1].len()
+        self.scratch.as_ref().map_or(0, |b| b.ts.len()) + self.tail_ts.len()
     }
 
     /// Whether the view contains no samples.
     pub fn is_empty(&self) -> bool {
-        self.ts[0].is_empty() && self.ts[1].is_empty()
+        self.len() == 0
     }
 
-    /// The value segments (zero, one, or two non-empty slices).
-    pub fn value_slices(&self) -> [&'a [f64]; 2] {
-        self.vals
+    /// The value segments (zero, one, or two non-empty slices),
+    /// oldest → newest.
+    pub fn value_slices(&self) -> [&[f64]; 2] {
+        [
+            self.scratch.as_ref().map_or(&[][..], |b| &b.vals),
+            self.tail_vals,
+        ]
     }
 
     /// The timestamp segments, as raw `SimTime` millis.
-    pub fn ts_slices(&self) -> [&'a [u64]; 2] {
-        self.ts
+    pub fn ts_slices(&self) -> [&[u64]; 2] {
+        [
+            self.scratch.as_ref().map_or(&[][..], |b| &b.ts),
+            self.tail_ts,
+        ]
     }
 
     /// Sample at position `i` (0 = oldest). Panics when out of range.
     pub fn get(&self, i: usize) -> Sample {
-        let (seg, j) = if i < self.ts[0].len() {
-            (0, i)
+        let [ts0, ts1] = self.ts_slices();
+        let [vals0, vals1] = self.value_slices();
+        if i < ts0.len() {
+            Sample {
+                t: SimTime(ts0[i]),
+                value: vals0[i],
+            }
         } else {
-            (1, i - self.ts[0].len())
-        };
-        Sample {
-            t: SimTime(self.ts[seg][j]),
-            value: self.vals[seg][j],
+            Sample {
+                t: SimTime(ts1[i - ts0.len()]),
+                value: vals1[i - ts0.len()],
+            }
         }
     }
 
@@ -361,20 +621,25 @@ impl<'a> SampleView<'a> {
     }
 
     /// Iterate values oldest → newest.
-    pub fn values(&self) -> impl Iterator<Item = f64> + 'a {
-        let [a, b] = self.vals;
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        let [a, b] = self.value_slices();
         a.iter().copied().chain(b.iter().copied())
     }
 
     /// Iterate timestamps oldest → newest.
-    pub fn timestamps(&self) -> impl Iterator<Item = SimTime> + 'a {
-        let [a, b] = self.ts;
+    pub fn timestamps(&self) -> impl Iterator<Item = SimTime> + '_ {
+        let [a, b] = self.ts_slices();
         a.iter().copied().chain(b.iter().copied()).map(SimTime)
+    }
+
+    /// Iterate samples oldest → newest without consuming the view.
+    pub fn iter(&self) -> SampleRefIter<'_> {
+        self.into_iter()
     }
 
     /// Materialize into an owned vector (the legacy query shape).
     pub fn to_vec(&self) -> Vec<Sample> {
-        self.into_iter().collect()
+        self.iter().collect()
     }
 
     /// Fold the view's values through an aggregation without allocating
@@ -412,17 +677,18 @@ impl<'a> SampleView<'a> {
     #[inline]
     fn fold(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
         let mut acc = init;
-        for &v in self.vals[0] {
+        for &v in self.value_slices()[0] {
             acc = f(acc, v);
         }
-        for &v in self.vals[1] {
+        for &v in self.value_slices()[1] {
             acc = f(acc, v);
         }
         acc
     }
 }
 
-/// Iterator over a [`SampleView`].
+/// Owning iterator over a [`SampleView`] (holds the view's pooled
+/// scratch until dropped).
 pub struct SampleIter<'a> {
     view: SampleView<'a>,
     pos: usize,
@@ -458,20 +724,55 @@ impl<'a> IntoIterator for SampleView<'a> {
     }
 }
 
-impl<'a> IntoIterator for &SampleView<'a> {
-    type Item = Sample;
-    type IntoIter = SampleIter<'a>;
+/// Borrowing iterator over a [`SampleView`].
+pub struct SampleRefIter<'v> {
+    ts: [&'v [u64]; 2],
+    vals: [&'v [f64]; 2],
+    pos: usize,
+}
 
-    fn into_iter(self) -> SampleIter<'a> {
-        SampleIter {
-            view: *self,
+impl Iterator for SampleRefIter<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        let (seg, j) = if self.pos < self.ts[0].len() {
+            (0, self.pos)
+        } else {
+            (1, self.pos - self.ts[0].len())
+        };
+        if j >= self.ts[seg].len() {
+            return None;
+        }
+        self.pos += 1;
+        Some(Sample {
+            t: SimTime(self.ts[seg][j]),
+            value: self.vals[seg][j],
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ts[0].len() + self.ts[1].len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for SampleRefIter<'_> {}
+
+impl<'v, 'a> IntoIterator for &'v SampleView<'a> {
+    type Item = Sample;
+    type IntoIter = SampleRefIter<'v>;
+
+    fn into_iter(self) -> SampleRefIter<'v> {
+        SampleRefIter {
+            ts: self.ts_slices(),
+            vals: self.value_slices(),
             pos: 0,
         }
     }
 }
 
 // Serialization renders the logical sample sequence (not the physical
-// ring layout), so serialized form is layout-independent.
+// chunk layout), so serialized form is layout-independent.
 impl Serialize for TimeSeries {
     fn to_value(&self) -> serde::Value {
         let samples: Vec<(u64, f64)> = self.iter().map(|s| (s.t.0, s.value)).collect();
@@ -603,7 +904,7 @@ mod tests {
     }
 
     #[test]
-    fn value_at_after_wraparound() {
+    fn value_at_after_eviction() {
         let mut s = TimeSeries::new(4);
         for i in 0..10u64 {
             s.push(SimTime::from_secs(i), (i * 10) as f64);
@@ -617,6 +918,28 @@ mod tests {
     }
 
     #[test]
+    fn value_at_inside_sealed_chunks() {
+        // Capacity 8 seals every 8 samples: force the bracketing pair
+        // across a chunk boundary and inside a sealed chunk.
+        let mut s = TimeSeries::new(8);
+        s.set_retention_policy(RetentionPolicy {
+            compressed_retention_multiplier: 4,
+        });
+        for i in 0..30u64 {
+            s.push(SimTime::from_secs(i), (i * 10) as f64);
+        }
+        assert!(s.compressed_len() > 0);
+        for i in 0..30u64 {
+            let t = SimTime(i * 1000 + 500);
+            let want = (i * 10) as f64 + 5.0;
+            if i + 1 < 30 {
+                let got = s.value_at(t).unwrap();
+                assert!((got - want).abs() < 1e-9, "t={t:?}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
     fn zero_capacity_clamped_to_one() {
         let mut s = TimeSeries::new(0);
         assert_eq!(s.capacity(), 1);
@@ -627,21 +950,36 @@ mod tests {
     }
 
     #[test]
-    fn views_span_the_wrap_point() {
+    fn views_span_the_seal_point() {
         let mut s = TimeSeries::new(4);
         for i in 0..6u64 {
             s.push(SimTime::from_secs(i), i as f64);
         }
-        // Ring holds [2, 3, 4, 5] with head mid-buffer.
+        // Series holds [2, 3, 4, 5]: [2, 3] in a sealed chunk (with an
+        // evicted prefix), [4, 5] in the tail.
         let v = s.view();
         assert_eq!(v.len(), 4);
         let times: Vec<u64> = v.timestamps().map(|t| t.0 / 1000).collect();
         assert_eq!(times, vec![2, 3, 4, 5]);
-        // Both segments non-empty: the view really does wrap.
+        // Both segments non-empty: the view really does splice decoded
+        // chunk samples with the borrowed tail.
         assert!(!v.ts_slices()[0].is_empty() && !v.ts_slices()[1].is_empty());
         let w = s.window_view(SimTime::from_secs(5), SimDuration::from_secs(2));
         let vals: Vec<f64> = w.values().collect();
         assert_eq!(vals, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn tail_only_windows_borrow() {
+        let mut s = TimeSeries::new(16);
+        for i in 0..20u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        // The newest samples are in the tail: a narrow trailing window
+        // must not decode any chunk.
+        let w = s.window_view(SimTime::from_secs(19), SimDuration::from_secs(1));
+        assert!(w.scratch.is_none(), "tail-only window must not decode");
+        assert_eq!(w.len(), 1);
     }
 
     #[test]
@@ -658,6 +996,63 @@ mod tests {
         let empty = s.range_view(SimTime::ZERO, SimTime::ZERO);
         assert_eq!(empty.aggregate(WindowAgg::Count), 0.0);
         assert!(empty.aggregate(WindowAgg::Mean).is_nan());
+    }
+
+    #[test]
+    fn append_block_matches_pushes() {
+        let ts_ms: Vec<u64> = (0..1200u64).map(|i| i * 500).collect();
+        let vals: Vec<f64> = (0..1200).map(|i| (i % 97) as f64).collect();
+        let mut a = TimeSeries::new(1000);
+        assert!(a.append_block(&ts_ms, &vals));
+        let mut b = TimeSeries::new(1000);
+        for (&t, &v) in ts_ms.iter().zip(&vals) {
+            b.push(SimTime(t), v);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_appends(), b.total_appends());
+        let av: Vec<Sample> = a.iter().collect();
+        let bv: Vec<Sample> = b.iter().collect();
+        assert_eq!(av, bv);
+        // Ill-ordered blocks are refused whole.
+        let before = a.len();
+        assert!(!a.append_block(&[1, 0], &[0.0, 0.0]));
+        assert!(!a.append_block(&[0], &[0.0]));
+        assert_eq!(a.len(), before);
+    }
+
+    #[test]
+    fn retention_multiplier_extends_history() {
+        let mut s = TimeSeries::new(64);
+        s.set_retention_policy(RetentionPolicy {
+            compressed_retention_multiplier: 4,
+        });
+        for i in 0..1000u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 256);
+        assert_eq!(s.oldest().unwrap().t, SimTime::from_secs(1000 - 256));
+        // total_appends − len stays the exact eviction count.
+        assert_eq!(s.total_appends() - s.len() as u64, 1000 - 256);
+        // Dropping back to the default evicts immediately.
+        s.set_retention_policy(RetentionPolicy::default());
+        assert_eq!(s.len(), 64);
+        assert_eq!(s.oldest().unwrap().t, SimTime::from_secs(1000 - 64));
+    }
+
+    #[test]
+    fn memory_accounting_reports_compression() {
+        let mut s = TimeSeries::new(4096);
+        for i in 0..4096u64 {
+            s.push(SimTime::from_secs(i), 200.0 + (i % 7) as f64);
+        }
+        assert!(s.compressed_len() > 0);
+        let per_sample = s.compressed_bytes() as f64 / s.compressed_len() as f64;
+        assert!(
+            per_sample < 3.0,
+            "smooth 1 Hz telemetry must compress below 3 B/sample, got {per_sample:.2}"
+        );
+        // The uncompressed equivalent would be 16 B/sample.
+        assert!(s.mem_bytes() < s.len() * 16);
     }
 
     #[test]

@@ -167,6 +167,12 @@ impl QuantileSketch {
         Self::default()
     }
 
+    /// Heap bytes held by this sketch's bucket stores (memory-budget
+    /// accounting; excludes the struct itself).
+    pub fn mem_bytes(&self) -> usize {
+        (self.pos.capacity() + self.neg.capacity()) * std::mem::size_of::<(i32, u32)>()
+    }
+
     /// Values folded so far.
     pub fn count(&self) -> u64 {
         self.count

@@ -28,7 +28,7 @@
 
 use crate::metric::{MetricId, MetricMeta};
 use crate::rollup::{self, RollupConfig, RollupServed, RollupSet};
-use crate::series::{Sample, SampleView, TimeSeries};
+use crate::series::{RetentionPolicy, Sample, SampleView, TimeSeries};
 use crate::window::{AggAccum, WindowAgg};
 use moda_sim::{SimDuration, SimTime};
 use parking_lot::RwLock;
@@ -128,6 +128,53 @@ impl Stored {
                 resample_view(&self.raw.range_view(t0, t1), t0, t1, period, agg, out);
                 RollupServed::default()
             }
+        }
+    }
+
+    fn fold_memory(&self, stats: &mut MemoryStats) {
+        stats.series += 1;
+        stats.samples += self.raw.len();
+        stats.compressed_samples += self.raw.compressed_len();
+        stats.raw_bytes += self.raw.raw_bytes();
+        stats.compressed_bytes += self.raw.compressed_bytes();
+        if let Some(r) = &self.rollups {
+            stats.rollup_bytes += r.mem_bytes();
+        }
+    }
+}
+
+/// Memory footprint of a store's sample storage, split by tier — the
+/// runtime-observable form of the compression win (sealed Gorilla
+/// chunks vs the 16 bytes/sample an uncompressed pair costs).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Registered series.
+    pub series: usize,
+    /// Retained raw samples across all series (tail + sealed chunks).
+    pub samples: usize,
+    /// Of those, samples living in sealed compressed chunks.
+    pub compressed_samples: usize,
+    /// Heap bytes of uncompressed tail buffers.
+    pub raw_bytes: usize,
+    /// Heap bytes of sealed compressed chunks (payload + headers).
+    pub compressed_bytes: usize,
+    /// Heap bytes of rollup pyramids (buckets + embedded sketches).
+    pub rollup_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total heap bytes across all tiers.
+    pub fn total_bytes(&self) -> usize {
+        self.raw_bytes + self.compressed_bytes + self.rollup_bytes
+    }
+
+    /// Bytes per sample in the sealed compressed region (`None` while
+    /// nothing has sealed yet).
+    pub fn compressed_bytes_per_sample(&self) -> Option<f64> {
+        if self.compressed_samples == 0 {
+            None
+        } else {
+            Some(self.compressed_bytes as f64 / self.compressed_samples as f64)
         }
     }
 }
@@ -430,6 +477,30 @@ impl Tsdb {
             .iter()
             .enumerate()
             .map(|(i, m)| (m.name.as_str(), MetricId(i as u32)))
+    }
+
+    /// Memory footprint of all series, split by storage tier.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut stats = MemoryStats::default();
+        for s in &self.series {
+            s.fold_memory(&mut stats);
+        }
+        stats
+    }
+
+    /// Apply a raw-retention policy to every registered series
+    /// (evicting immediately where the new target is smaller). Series
+    /// registered later keep the default policy; re-apply after bulk
+    /// registration.
+    pub fn set_retention_policy(&mut self, policy: RetentionPolicy) {
+        for s in &mut self.series {
+            s.raw.set_retention_policy(policy);
+        }
+    }
+
+    /// Apply a raw-retention policy to one series.
+    pub fn set_metric_retention_policy(&mut self, id: MetricId, policy: RetentionPolicy) {
+        self.series[id.index()].raw.set_retention_policy(policy);
     }
 }
 
@@ -819,6 +890,38 @@ impl ShardedTsdb {
     ) {
         let served = self.with_stored(id, |s| s.resample_into(t0, t1, period, agg, out));
         self.note_served(served);
+    }
+
+    /// Memory footprint of all series, split by storage tier (takes
+    /// each stripe's read lock briefly, one stripe at a time).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut stats = MemoryStats::default();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for s in &shard.series {
+                s.fold_memory(&mut stats);
+            }
+        }
+        stats
+    }
+
+    /// Apply a raw-retention policy to every registered series (one
+    /// stripe write lock at a time; series registered later keep the
+    /// default policy).
+    pub fn set_retention_policy(&self, policy: RetentionPolicy) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            for s in &mut shard.series {
+                s.raw.set_retention_policy(policy);
+            }
+        }
+    }
+
+    /// Apply a raw-retention policy to one series.
+    pub fn set_metric_retention_policy(&self, id: MetricId, policy: RetentionPolicy) {
+        let mut shard = self.shards[self.shard_of(id)].write();
+        let slot = self.slot_of(id);
+        shard.series[slot].raw.set_retention_policy(policy);
     }
 }
 
@@ -1413,5 +1516,50 @@ mod tests {
             &mut got,
         );
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn memory_stats_split_by_tier() {
+        let mut db = Tsdb::with_retention(2048);
+        let a = gauge(&mut db, "a");
+        db.enable_rollups(a, &RollupConfig::standard());
+        for t in 0..2048u64 {
+            db.insert(a, SimTime::from_secs(t), 200.0 + (t % 5) as f64);
+        }
+        let m = db.memory_stats();
+        assert_eq!(m.series, 1);
+        assert_eq!(m.samples, 2048);
+        assert!(m.compressed_samples > 0);
+        assert!(m.raw_bytes > 0 && m.compressed_bytes > 0 && m.rollup_bytes > 0);
+        assert_eq!(
+            m.total_bytes(),
+            m.raw_bytes + m.compressed_bytes + m.rollup_bytes
+        );
+        // Smooth telemetry seals well under the 16 B/sample raw cost.
+        assert!(m.compressed_bytes_per_sample().unwrap() < 3.0);
+        // The sharded store reports the same footprint.
+        let shared = db.into_shared();
+        assert_eq!(shared.memory_stats(), m);
+    }
+
+    #[test]
+    fn retention_policy_plumbs_through_both_stores() {
+        let policy = crate::series::RetentionPolicy {
+            compressed_retention_multiplier: 4,
+        };
+        let mut db = Tsdb::with_retention(64);
+        let a = gauge(&mut db, "a");
+        db.set_retention_policy(policy);
+        for t in 0..1000u64 {
+            db.insert(a, SimTime::from_secs(t), t as f64);
+        }
+        assert_eq!(db.series(a).len(), 256);
+        let shared = ShardedTsdb::with_config(64, 4);
+        let b = shared.register(MetricMeta::gauge("b", "u", SourceDomain::Hardware));
+        shared.set_metric_retention_policy(b, policy);
+        for t in 0..1000u64 {
+            shared.insert(b, SimTime::from_secs(t), t as f64);
+        }
+        assert_eq!(shared.with_series(b, |s| s.len()), 256);
     }
 }

@@ -448,15 +448,29 @@ proptest! {
         // pending samples, then its newly sealed buckets), so the
         // equivalence is per kind-projection, each of which is
         // order-preserving: the sample stream, each tier's
-        // bucket+column stream, and the metas.
+        // bucket+column stream, and the metas. Chunk records expand to
+        // their decoded samples — a region a full export ships as one
+        // compressed chunk, incremental drains may have shipped
+        // per-sample before it sealed; the decoded stream is the
+        // invariant the wire spec pins.
         let project = |sink: &MemorySink| {
-            let mut samples: Vec<ExportRecord> = Vec::new();
+            let mut samples: Vec<(u64, u64, u64)> = Vec::new();
             let mut metas: Vec<ExportRecord> = Vec::new();
             let mut tiers: std::collections::BTreeMap<u64, Vec<ExportRecord>> =
                 std::collections::BTreeMap::new();
             for r in sink.records() {
                 match r {
-                    ExportRecord::Sample { .. } => samples.push(r.clone()),
+                    ExportRecord::Sample { id, t, value } =>
+                        samples.push((id.0 as u64, t.0, value.to_bits())),
+                    ExportRecord::Chunk { id, count, first_t, bytes, .. } => {
+                        let (mut ts, mut vals) = (Vec::new(), Vec::new());
+                        moda_telemetry::chunk::decode_exact(
+                            first_t.0, *count, bytes, &mut ts, &mut vals,
+                        ).expect("exported chunk payloads decode");
+                        for (t, v) in ts.into_iter().zip(vals) {
+                            samples.push((id.0 as u64, t, v.to_bits()));
+                        }
+                    }
                     ExportRecord::Meta { .. } => metas.push(r.clone()),
                     ExportRecord::Bucket { res, .. } | ExportRecord::Sketch { res, .. } => {
                         tiers.entry(res.0).or_default().push(r.clone())
@@ -963,4 +977,264 @@ fn unsealed_tail_bucket_splices_fresh_raw_samples() {
         db.window_agg(id, SimTime::from_secs(200), w, WindowAgg::Count),
         Some(199.0)
     );
+}
+
+// ------------------------------------------------- compressed chunks
+//
+// The Gorilla codec behind sealed-chunk storage (delta-of-delta
+// timestamps + XOR values) must round-trip **bit-exactly** — NaN
+// payloads included — and must be invisible to every consumer: the
+// chunked exporter, the per-sample exporter, and a replayed downstream
+// store all see the same decoded stream.
+
+use moda_telemetry::chunk;
+use moda_telemetry::RetentionPolicy;
+
+/// Adversarial sample streams: duplicate, dense, and wildly spaced
+/// timestamps carrying NaN payloads, signed zeros, subnormals,
+/// infinities, extreme magnitudes, and fully arbitrary bit patterns.
+fn adversarial_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..9, any::<u64>(), 0u64..4, 1u64..2_000), 1..1200).prop_map(
+        |draws| {
+            let mut t = 0u64;
+            draws
+                .into_iter()
+                .map(|(sel, raw, dsel, dt)| {
+                    let v = match sel {
+                        0 => f64::from_bits(0x7FF8_0000_0000_0001 | (raw & 0x0007_FFFF_FFFF_FFFF)),
+                        1 => -0.0,
+                        2 => 0.0,
+                        3 => f64::from_bits(raw & 0x000F_FFFF_FFFF_FFFF),
+                        4 => f64::INFINITY,
+                        5 => f64::NEG_INFINITY,
+                        6 => f64::MAX,
+                        7 => f64::from_bits(raw),
+                        _ => (raw as i64) as f64 * 1e-3,
+                    };
+                    t += match dsel {
+                        0 => 0,
+                        1 => 1,
+                        2 => dt,
+                        _ => dt * 1_000_000,
+                    };
+                    (t, v)
+                })
+                .collect()
+        },
+    )
+}
+
+/// Flatten a sink's record stream to decoded `(metric, t, value_bits)`
+/// samples, expanding compressed chunk records through the codec.
+fn decoded_samples(sink: &MemorySink) -> Vec<(u32, u64, u64)> {
+    let mut out = Vec::new();
+    for r in sink.records() {
+        match r {
+            ExportRecord::Sample { id, t, value } => out.push((id.0, t.0, value.to_bits())),
+            ExportRecord::Chunk {
+                id,
+                count,
+                first_t,
+                bytes,
+                ..
+            } => {
+                let (mut ts, mut vals) = (Vec::new(), Vec::new());
+                chunk::decode_exact(first_t.0, *count, bytes, &mut ts, &mut vals)
+                    .expect("exported chunk payloads decode");
+                out.extend(
+                    ts.into_iter()
+                        .zip(vals)
+                        .map(|(t, v)| (id.0, t, v.to_bits())),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Compress → decode is the identity, bit for bit, on adversarial
+    /// values — and the streaming decoder agrees with the batch one.
+    #[test]
+    fn chunk_codec_round_trips_bit_exactly(
+        stream in adversarial_stream(),
+        start in 0u64..1_000,
+    ) {
+        let ts: Vec<u64> = stream.iter().map(|&(t, _)| t).collect();
+        let vals: Vec<f64> = stream.iter().map(|&(_, v)| v).collect();
+        let c = chunk::compress(&ts, &vals, start);
+        prop_assert_eq!(c.count() as usize, ts.len());
+        prop_assert_eq!(c.first_t(), ts[0]);
+        prop_assert_eq!(c.last_t(), *ts.last().unwrap());
+        let (mut out_ts, mut out_vals) = (Vec::new(), Vec::new());
+        chunk::decode_exact(c.first_t(), c.count(), c.bytes(), &mut out_ts, &mut out_vals)
+            .expect("round trip decodes");
+        prop_assert_eq!(&out_ts, &ts);
+        let got: Vec<u64> = out_vals.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want);
+        let streamed: Vec<(u64, u64)> = c.decode().map(|(t, v)| (t, v.to_bits())).collect();
+        let zipped: Vec<(u64, u64)> =
+            ts.iter().zip(&vals).map(|(&t, v)| (t, v.to_bits())).collect();
+        prop_assert_eq!(streamed, zipped);
+        // A truncated payload errors instead of fabricating samples.
+        if !c.bytes().is_empty() {
+            let cut = &c.bytes()[..c.bytes().len() - 1];
+            let (mut e_ts, mut e_vals) = (Vec::new(), Vec::new());
+            prop_assert!(
+                chunk::decode_exact(c.first_t(), c.count(), cut, &mut e_ts, &mut e_vals).is_err()
+            );
+        }
+    }
+
+    /// Sealed-chunk storage is invisible to queries: a store whose
+    /// history spans several sealed chunks answers every query path —
+    /// trailing-window scalar aggregates, percentiles, and resample
+    /// grids — exactly as a naive scan over the same samples.
+    #[test]
+    fn chunked_queries_equal_flat_reference(
+        n in 520usize..1500,
+        w in 1u64..2_000,
+        period in 1u64..50,
+        q in 0.01f64..0.99,
+    ) {
+        let (mut db, ids) = db_with(1, 1 << 11);
+        let id = ids[0];
+        let model: Vec<(u64, f64)> = (0..n)
+            .map(|i| (i as u64, ((i * 37) % 101) as f64 - 50.0))
+            .collect();
+        for &(t, v) in &model {
+            db.insert(id, SimTime(t), v);
+        }
+        prop_assert!(db.memory_stats().compressed_samples > 0, "chunks sealed");
+        let now = SimTime((n - 1) as u64);
+        let t0 = now.0.saturating_sub(w);
+        let window: Vec<f64> = model
+            .iter()
+            .filter(|&&(t, _)| t > t0 && t <= now.0)
+            .map(|&(_, v)| v)
+            .collect();
+        for agg in [
+            WindowAgg::Count,
+            WindowAgg::Sum,
+            WindowAgg::Mean,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Last,
+            WindowAgg::Percentile(q),
+        ] {
+            let got = db.window_agg(id, now, SimDuration(w), agg);
+            let want = (!window.is_empty()).then(|| agg.apply(&window));
+            prop_assert_eq!(got, want, "agg {:?}", agg);
+        }
+        // Resample grid over the whole (chunk-spanning) history.
+        let t1 = SimTime(n as u64);
+        let grid = db.resample(id, SimTime::ZERO, t1, SimDuration(period), WindowAgg::Sum);
+        for (b, got) in grid.iter().enumerate() {
+            let lo = b as u64 * period;
+            let hi = lo + period;
+            let bucket: Vec<f64> = model
+                .iter()
+                .filter(|&&(t, _)| t >= lo && t < hi)
+                .map(|&(_, v)| v)
+                .collect();
+            let want = (!bucket.is_empty()).then(|| WindowAgg::Sum.apply(&bucket));
+            prop_assert_eq!(*got, want, "bucket {}", b);
+        }
+    }
+
+    /// The chunked and legacy per-sample transports carry the same
+    /// stream: identical decoded samples, identical accounting, and
+    /// identical replayed stores — on NaN-laden adversarial values.
+    #[test]
+    fn chunked_and_per_sample_exports_decode_identically(
+        stream in adversarial_stream(),
+        batch in 8usize..200,
+    ) {
+        let (mut db, ids) = db_with(1, 1 << 11);
+        let id = ids[0];
+        for &(t, v) in &stream {
+            prop_assert!(db.insert(id, SimTime(t), v), "monotone stream accepted");
+        }
+        let mut chunked = MemorySink::new();
+        let cs = Exporter::new()
+            .with_batch_records(batch)
+            .drain(&db, &mut chunked)
+            .unwrap();
+        let mut flat = MemorySink::new();
+        let fs = Exporter::new()
+            .with_raw_chunks(false)
+            .with_batch_records(batch)
+            .drain(&db, &mut flat)
+            .unwrap();
+        prop_assert_eq!(cs.samples, fs.samples);
+        prop_assert_eq!(cs.missed_samples, fs.missed_samples);
+        prop_assert_eq!(fs.chunks, 0);
+        prop_assert_eq!(decoded_samples(&chunked), decoded_samples(&flat));
+        // Both transports replay into the same downstream store.
+        let mut via_chunks = ReplayStore::new();
+        for b in &chunked.batches {
+            via_chunks.apply(b);
+        }
+        let mut via_samples = ReplayStore::new();
+        for b in &flat.batches {
+            via_samples.apply(b);
+        }
+        prop_assert_eq!(via_chunks.corrupt_chunks(), 0);
+        let a: Vec<(u64, u64)> = via_chunks
+            .samples(id)
+            .iter()
+            .map(|&(t, v)| (t.0, v.to_bits()))
+            .collect();
+        let b: Vec<(u64, u64)> = via_samples
+            .samples(id)
+            .iter()
+            .map(|&(t, v)| (t.0, v.to_bits()))
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The compressed-retention multiplier keeps exactly `cap × mult`
+    /// samples once the series overflows, and eviction stays
+    /// sample-exact: exported + missed always balances the accepted
+    /// append count, however the drains interleave with inserts.
+    #[test]
+    fn retention_multiplier_balances_export_accounting(
+        cap in 16usize..128,
+        mult in 1u32..5,
+        n in 1u64..3_000,
+        cuts in prop::collection::vec(0u64..3_000, 0..5),
+    ) {
+        let (mut db, ids) = db_with(1, cap);
+        let id = ids[0];
+        db.set_retention_policy(RetentionPolicy {
+            compressed_retention_multiplier: mult,
+        });
+        let mut cuts: Vec<u64> = cuts.into_iter().map(|c| c % n.max(1)).collect();
+        cuts.sort_unstable();
+        let mut exporter = Exporter::new();
+        let mut sink = MemorySink::new();
+        for i in 0..n {
+            while cuts.first() == Some(&i) {
+                cuts.remove(0);
+                exporter.drain(&db, &mut sink).unwrap();
+            }
+            db.insert(id, SimTime(i), i as f64);
+        }
+        exporter.drain(&db, &mut sink).unwrap();
+        let target = cap * mult as usize;
+        prop_assert_eq!(db.series(id).len(), (n as usize).min(target));
+        let t = exporter.totals();
+        prop_assert_eq!(t.samples + t.missed_samples, n, "accounting balances");
+        // The replayed downstream store holds exactly the shipped
+        // samples, in order.
+        let mut replay = ReplayStore::new();
+        for b in &sink.batches {
+            replay.apply(b);
+        }
+        let got = replay.samples(id);
+        prop_assert_eq!(got.len() as u64, t.samples);
+        prop_assert!(got.windows(2).all(|p| p[0].0 <= p[1].0));
+    }
 }

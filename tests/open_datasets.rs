@@ -181,13 +181,28 @@ fn exported_series_are_ordered_and_complete() {
     let stats = export::Exporter::new()
         .drain_metrics(&wb.tsdb, &[id], &mut sink)
         .unwrap();
-    let times: Vec<u64> = sink
-        .records()
-        .filter_map(|r| match r {
-            export::ExportRecord::Sample { t, .. } => Some(t.0),
-            _ => None,
-        })
-        .collect();
+    // Sealed regions ship as compressed chunk records (wire spec
+    // revision 1.1); expand them so the check covers the decoded
+    // stream the dataset consumer sees.
+    let mut times: Vec<u64> = Vec::new();
+    for r in sink.records() {
+        match r {
+            export::ExportRecord::Sample { t, .. } => times.push(t.0),
+            export::ExportRecord::Chunk {
+                count,
+                first_t,
+                bytes,
+                ..
+            } => {
+                let mut vals = Vec::new();
+                moda::telemetry::chunk::decode_exact(
+                    first_t.0, *count, bytes, &mut times, &mut vals,
+                )
+                .expect("exported chunk payloads decode");
+            }
+            _ => {}
+        }
+    }
     assert!(!times.is_empty());
     assert_eq!(times.len() as u64, stats.samples);
     assert_eq!(times.len(), wb.tsdb.series(id).len(), "complete series");

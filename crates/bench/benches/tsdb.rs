@@ -441,6 +441,110 @@ fn bench_fleet(c: &mut Criterion) {
             black_box(WindowAgg::Percentile(0.99).apply_mut(&mut pool))
         });
     });
+
+    // Durable-tier restart cost: recovering from a snapshot (bounded by
+    // *current* state) vs replaying the append-log from seq 0
+    // (proportional to shipped *history*). Both dirs hold the same
+    // two-node two-day history shipped the way a live exporter would —
+    // an incremental drain every simulated minute, so pending raw
+    // samples travel per-sample (a minute never seals a whole chunk)
+    // and the wal re-delivers each of them on replay, while the
+    // snapshot carries the retained raw ring exactly once. The bench
+    // gate pins the machine-independent ratio (>= 10x).
+    use criterion::BatchSize;
+    use moda_fleet::{DurabilityConfig, DurableFleet, FleetListener, FleetStore, SocketSink};
+    use moda_telemetry::export::{ExportBatch, MemorySink, Sink};
+    use std::sync::Mutex;
+    const RNODES: u32 = 2;
+    const HISTORY_S: u64 = 2 * DAY_S;
+    let tmp = std::env::temp_dir().join(format!("moda_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let streams: Vec<Vec<ExportBatch>> = (0..RNODES)
+        .map(|n| {
+            let (mut db, ids) = registered(1, 4096);
+            db.enable_rollups(ids[0], &RollupConfig::standard().with_sketches());
+            let mut exporter = Exporter::new();
+            let mut sink = MemorySink::new();
+            for s in 0..HISTORY_S {
+                db.insert(ids[0], SimTime::from_secs(s), node_value(n, s));
+                if s % 60 == 59 {
+                    exporter.drain(&db, &mut sink).unwrap();
+                }
+            }
+            exporter.drain(&db, &mut sink).unwrap();
+            sink.batches
+        })
+        .collect();
+    let no_cadence = DurabilityConfig {
+        snapshot_every_batches: u64::MAX,
+    };
+    let snap_dir = tmp.join("snapshot");
+    let replay_dir = tmp.join("replay");
+    for (dir, seal) in [(&replay_dir, false), (&snap_dir, true)] {
+        let mut fleet = DurableFleet::open(dir, no_cadence).unwrap();
+        for (n, stream) in streams.iter().enumerate() {
+            let node = fleet.add_node(&format!("node{n:02}")).unwrap();
+            for batch in stream {
+                fleet.ingest(node, batch).unwrap();
+            }
+        }
+        if seal {
+            fleet.snapshot().unwrap();
+        }
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("recover_from_snapshot", |b| {
+        b.iter(|| {
+            black_box(
+                FleetStore::recover(&snap_dir)
+                    .unwrap()
+                    .store()
+                    .cardinality(),
+            )
+        });
+    });
+    g.bench_function("replay_from_seq0", |b| {
+        b.iter(|| {
+            black_box(
+                FleetStore::recover(&replay_dir)
+                    .unwrap()
+                    .store()
+                    .cardinality(),
+            )
+        });
+    });
+
+    // Socket ingest throughput: one node-day of framed batches over
+    // loopback TCP into a fresh durable server per iteration, acked
+    // end-to-end (ack ⇐ logged). Loopback + disk bound, so the
+    // absolute gate skips it; the number is for eyeballing trends.
+    let socket_stream = &streams[0][..streams[0].len() / 4];
+    let sock_records: u64 = socket_stream.iter().map(|b| b.records.len() as u64).sum();
+    let sock_case = std::cell::Cell::new(0u64);
+    g.throughput(Throughput::Elements(sock_records));
+    g.bench_function("socket_ingest_1day", |b| {
+        b.iter_batched(
+            || {
+                let dir = tmp.join(format!("socket-{}", sock_case.replace(sock_case.get() + 1)));
+                let fleet = DurableFleet::open(&dir, no_cadence).unwrap();
+                let listener =
+                    FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(fleet)), "bench")
+                        .unwrap();
+                let addr = listener.local_addr().to_string();
+                let sink = SocketSink::connect(&addr, "node00", "bench").unwrap();
+                (listener, sink)
+            },
+            |(listener, mut sink)| {
+                for batch in socket_stream {
+                    sink.write_batch(batch).unwrap();
+                }
+                sink.wait_idle().unwrap();
+                drop(listener.shutdown());
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    let _ = std::fs::remove_dir_all(&tmp);
     g.finish();
 }
 

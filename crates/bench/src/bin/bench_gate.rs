@@ -41,8 +41,16 @@
 use std::fmt::Write as _;
 use std::process::{Command, ExitCode};
 
-/// Benchmark groups excluded from the absolute comparison.
-const SKIP_PREFIXES: &[&str] = &["tsdb_contention"];
+/// Benchmark groups excluded from the absolute comparison: contention
+/// numbers depend on core count, and the durable-tier benches are
+/// disk/loopback bound (their machine-independent guarantee is the
+/// recovery ratio check below).
+const SKIP_PREFIXES: &[&str] = &[
+    "tsdb_contention",
+    "tsdb_fleet/recover_from_snapshot",
+    "tsdb_fleet/replay_from_seq0",
+    "tsdb_fleet/socket_ingest_1day",
+];
 
 /// The machine-independent ratio checks: (numerator, denominator,
 /// env knob, default minimum speedup). Both compare two paths *within
@@ -79,6 +87,15 @@ const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
         "tsdb_export/day_pipeline_chunked",
         "BENCH_GATE_MIN_CHUNK_PIPELINE_SPEEDUP",
         2.0,
+    ),
+    // The snapshot's reason to exist: restarting the durable fleet
+    // tier from a snapshot (bounded by retained state) must beat
+    // replaying the whole append-log history from seq 0.
+    (
+        "tsdb_fleet/replay_from_seq0",
+        "tsdb_fleet/recover_from_snapshot",
+        "BENCH_GATE_MIN_RECOVERY_SPEEDUP",
+        10.0,
     ),
 ];
 

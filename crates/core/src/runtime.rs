@@ -538,10 +538,14 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
 
 // ------------------------------------------------- multi-node fleet mode
 
-use moda_fleet::{ChannelSink, FleetAggregator, FleetMsg, NodeId};
+use moda_fleet::{
+    ChannelSink, DurabilityConfig, DurableFleet, FleetAggregator, FleetListener, FleetMsg, NodeId,
+    SocketSink,
+};
 use moda_telemetry::{Collector, Exporter, Sensor, ShardedTsdb};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the multi-node telemetry runtime: K node worlds,
 /// each with its own lock-striped store, collector thread, and exporter
@@ -729,6 +733,118 @@ pub fn run_multinode_fleet(cfg: &MultiNodeFleetConfig) -> MultiNodeFleetStats {
         inserts: dbs.iter().map(|db| db.total_inserts()).sum(),
         wall,
     }
+}
+
+/// The durable, socket-framed variant of [`run_multinode_fleet`]: the
+/// same K node worlds (collector + exporter threads per node), but the
+/// wire is a real length-prefixed TCP stream into a
+/// [`moda_fleet::FleetListener`] and the aggregation tier behind it is
+/// a [`moda_fleet::DurableFleet`] persisting to `dir` — every ingested
+/// batch is appended to the write-ahead log (and periodically
+/// compacted into a snapshot) **before** its ack goes back to the
+/// exporter, so a `kill -9` of the aggregation process at any point
+/// loses nothing that was acknowledged. Exporters authenticate with
+/// `token` in the session hello and run under the sink's bounded
+/// in-flight window.
+///
+/// The run finishes with every exporter fully acked
+/// ([`SocketSink::wait_idle`]), a final snapshot, and the recovered
+/// in-memory tier returned — queries on it match the in-process
+/// [`run_multinode_fleet`] answer for the same config (batch *pacing*
+/// differs across transports; the store's merge algebra makes the
+/// content identical).
+pub fn run_multinode_fleet_tcp(
+    cfg: &MultiNodeFleetConfig,
+    dir: impl AsRef<Path>,
+    token: &str,
+) -> std::io::Result<MultiNodeFleetStats> {
+    assert!(cfg.nodes > 0 && cfg.rounds > 0 && cfg.metrics_per_node > 0);
+    let fleet = DurableFleet::open(dir, DurabilityConfig::default())?;
+    let listener = FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(fleet)), token)?;
+    let addr = listener.local_addr().to_string();
+    let dbs: Vec<Arc<ShardedTsdb>> = (0..cfg.nodes)
+        .map(|_| Arc::new(ShardedTsdb::with_config(cfg.retention, cfg.shards)))
+        .collect();
+    let done: Vec<AtomicBool> = (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|s| -> std::io::Result<()> {
+        let mut exporters = Vec::with_capacity(cfg.nodes);
+        for k in 0..cfg.nodes {
+            let db = &dbs[k];
+            let done = &done[k];
+            // Collector thread: identical to the in-process topology —
+            // the node world does not know what transport drains it.
+            s.spawn(move || {
+                let ids: Vec<MetricId> = (0..cfg.metrics_per_node)
+                    .map(|m| {
+                        db.register(MetricMeta::gauge(
+                            format!("metric{m:03}"),
+                            "u",
+                            SourceDomain::Hardware,
+                        ))
+                    })
+                    .collect();
+                if let Some(rc) = &cfg.rollups {
+                    for id in &ids {
+                        db.enable_rollups(*id, rc);
+                    }
+                }
+                let mut collector = Collector::new();
+                collector.add_sensor(
+                    Box::new(SyntheticSweep {
+                        ids,
+                        node: k as u64,
+                        sweep: 0,
+                    }),
+                    cfg.tick,
+                    SimTime(cfg.tick.0),
+                );
+                for round in 0..cfg.rounds {
+                    collector.poll_shared(SimTime(cfg.tick.0 * (round as u64 + 1)), db.as_ref());
+                }
+                done.store(true, Ordering::Release);
+            });
+            // Exporter thread: incremental drains shipped over the
+            // socket; sink errors (auth, exhausted reconnects) abort
+            // the run instead of silently dropping data.
+            let addr = addr.clone();
+            exporters.push(s.spawn(move || -> std::io::Result<()> {
+                let mut sink = SocketSink::connect(&addr, &format!("node{k:02}"), token)?;
+                let mut exporter = Exporter::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    exporter.drain(db.as_ref(), &mut sink)?;
+                    if finished {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(cfg.drain_pause_us));
+                }
+                sink.send_drain(&exporter.totals())?;
+                // Every batch acked — and therefore logged — before
+                // the node world hangs up.
+                sink.wait_idle()
+            }));
+        }
+        for h in exporters {
+            h.join().expect("exporter thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let wall = start.elapsed();
+    let fleet = listener.shutdown();
+    let mut fleet = Arc::try_unwrap(fleet)
+        .expect("all connections joined")
+        .into_inner()
+        .expect("fleet lock poisoned");
+    // Seal the run: compact the log into a final snapshot so the next
+    // recovery from `dir` is a pure snapshot load.
+    fleet.snapshot()?;
+    Ok(MultiNodeFleetStats {
+        aggregator: fleet.into_aggregator(),
+        inserts: dbs.iter().map(|db| db.total_inserts()).sum(),
+        wall,
+    })
 }
 
 #[cfg(test)]
@@ -993,6 +1109,73 @@ mod tests {
         assert!(served.sketch, "{served:?}");
         assert_eq!(served.raw_values, 0, "{served:?}");
         assert!(store.stats().sketch_hits >= 1);
+    }
+
+    #[test]
+    fn multinode_fleet_tcp_matches_channel_run_and_persists() {
+        let cfg = MultiNodeFleetConfig {
+            nodes: 3,
+            rounds: 300,
+            metrics_per_node: 4,
+            ..MultiNodeFleetConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "moda-runtime-tcp-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = run_multinode_fleet(&cfg);
+        let stats = run_multinode_fleet_tcp(&cfg, &dir, "runtime-token").unwrap();
+        assert_eq!(stats.inserts, reference.inserts);
+        let (store, ref_store) = (stats.aggregator.store(), reference.aggregator.store());
+        assert_eq!(store.cardinality(), ref_store.cardinality());
+        // Batch boundaries differ across transports (drain pacing), but
+        // the merge algebra makes every fleet query answer identical.
+        let now = SimTime::from_secs(300);
+        let span = SimDuration::from_secs(300);
+        for agg in [
+            moda_telemetry::WindowAgg::Count,
+            moda_telemetry::WindowAgg::Sum,
+            moda_telemetry::WindowAgg::Max,
+            moda_telemetry::WindowAgg::Percentile(0.99),
+        ] {
+            for m in 0..cfg.metrics_per_node {
+                let name = format!("metric{m:03}");
+                let got = store.fleet_window_agg(&name, now, span, agg);
+                let want = ref_store.fleet_window_agg(&name, now, span, agg);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{name} {agg:?}"
+                );
+            }
+        }
+        // Every node sample arrived exactly once over the socket and
+        // the final drain totals agree with the ingest counters.
+        let mut samples = 0;
+        for k in 0..cfg.nodes as u32 {
+            let c = stats.aggregator.counters(moda_fleet::NodeId(k));
+            assert_eq!(c.duplicate_batches, 0, "{c:?}");
+            assert_eq!(c.gaps, 0, "{c:?}");
+            samples += c.samples;
+            assert_eq!(
+                stats.aggregator.drain_stats(moda_fleet::NodeId(k)).samples,
+                c.samples
+            );
+        }
+        assert_eq!(samples, stats.inserts);
+        // The run sealed a snapshot: recovery from `dir` replays no wal
+        // tail and answers the same count query bit-identically.
+        let recovered = moda_fleet::FleetStore::recover(&dir).unwrap();
+        assert_eq!(recovered.recovery().replayed_batches, 0, "sealed snapshot");
+        let count = recovered
+            .store()
+            .fleet_window_agg("metric000", now, span, moda_telemetry::WindowAgg::Count)
+            .unwrap();
+        assert_eq!(count, (cfg.nodes * cfg.rounds) as f64);
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -140,17 +140,18 @@ pub struct FleetHealth {
     pub observed_now: SimTime,
 }
 
-/// One node's ingest session state.
+/// One node's ingest session state. Crate-visible so `persist` can
+/// snapshot and restore sessions field-for-field.
 #[derive(Debug)]
-struct NodeSession {
-    name: String,
-    next_seq: u64,
+pub(crate) struct NodeSession {
+    pub(crate) name: String,
+    pub(crate) next_seq: u64,
     /// Node-local wire id → fleet metric id.
-    wire_map: Vec<Option<MetricId>>,
-    counters: NodeCounters,
-    high_water: SimTime,
-    ever_ingested: bool,
-    drain: DrainStats,
+    pub(crate) wire_map: Vec<Option<MetricId>>,
+    pub(crate) counters: NodeCounters,
+    pub(crate) high_water: SimTime,
+    pub(crate) ever_ingested: bool,
+    pub(crate) drain: DrainStats,
 }
 
 /// The fleet aggregation tier: a [`FleetStore`] fed by per-node wire
@@ -209,6 +210,31 @@ impl FleetAggregator {
     /// The cluster store (all queries live there).
     pub fn store(&self) -> &FleetStore {
         &self.store
+    }
+
+    /// Session list, for snapshot/restore.
+    pub(crate) fn sessions(&self) -> &[NodeSession] {
+        &self.sessions
+    }
+
+    /// Mutable session list, for snapshot restore.
+    pub(crate) fn sessions_mut(&mut self) -> &mut Vec<NodeSession> {
+        &mut self.sessions
+    }
+
+    /// Next batch `seq` this node's session expects — the cursor a
+    /// reconnecting exporter resumes from (see `transport`).
+    pub fn next_seq(&self, node: NodeId) -> u64 {
+        self.sessions[node.index()].next_seq
+    }
+
+    /// Look up a node session by its registered name (the transport
+    /// hello carries the name, not the id).
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.sessions
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Reset a node's batch cursor to 0 — the "node exporter restarted

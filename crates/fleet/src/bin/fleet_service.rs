@@ -1,0 +1,75 @@
+//! Standalone durable fleet service: the aggregation tier as a
+//! process.
+//!
+//! ```text
+//! fleet_service serve <dir> <addr> <token> [--snapshot-every N]
+//! ```
+//!
+//! Opens (or recovers) the [`moda_fleet::DurableFleet`] under `<dir>`,
+//! binds the framed TCP listener on `<addr>` (use port `0` for an
+//! ephemeral port), prints one `READY <addr>` line on stdout, and
+//! serves until killed. Because every ingested batch is appended to
+//! the write-ahead log before its ack, `kill -9` at any point loses
+//! nothing that was acknowledged: restart the service on the same
+//! `<dir>` and exporters resume from their persisted cursors.
+//!
+//! This is the process the crash-recovery integration test
+//! (`tests/recovery.rs`) and the `fleet-recovery` CI job drive.
+
+use moda_fleet::{DurabilityConfig, DurableFleet, FleetListener};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn usage() -> ! {
+    eprintln!("usage: fleet_service serve <dir> <addr> <token> [--snapshot-every N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 5 || args[1] != "serve" {
+        usage();
+    }
+    let (dir, addr, token) = (&args[2], &args[3], &args[4]);
+    let mut cfg = DurabilityConfig::default();
+    let mut rest = args[5..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--snapshot-every" => {
+                let n = rest.next().unwrap_or_else(|| usage());
+                cfg.snapshot_every_batches = n.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let fleet = match DurableFleet::open(dir, cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fleet_service: cannot open {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rec = *fleet.recovery();
+    let listener = match FleetListener::bind(addr.as_str(), Arc::new(Mutex::new(fleet)), token) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fleet_service: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "fleet_service: epoch recovery {rec:?}; serving {} from {dir}",
+        listener.local_addr()
+    );
+    // The parent (test harness, CI job) parses this exact line to learn
+    // the ephemeral port. Stdout is block-buffered under a pipe, so
+    // flush explicitly.
+    println!("READY {}", listener.local_addr());
+    std::io::stdout().flush().ok();
+    // Serve until killed; durability is per-batch, so there is no
+    // shutdown path to get right — SIGKILL is the supported exit.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -81,10 +81,14 @@
 //! ```
 
 pub mod aggregator;
+pub mod persist;
 pub mod store;
+pub mod transport;
 
 pub use aggregator::{
     ChannelSink, FleetAggregator, FleetHealth, FleetMsg, IngestReport, NodeCounters, NodeHealth,
     NodeLiveness,
 };
+pub use persist::{DurabilityConfig, DurableFleet, RecoveryStats};
 pub use store::{FleetMetricInfo, FleetServed, FleetStore, FleetStoreStats, NodeId, Rank};
+pub use transport::{FleetListener, SocketSink, TransportConfig};

@@ -283,6 +283,41 @@ impl FleetStore {
         self.tiers.apply_sketch(id, res, start, entry)
     }
 
+    /// Apply a whole sketch column against one slot lookup (see
+    /// [`WireTiers::apply_sketch_column`]) — the snapshot-restore fast
+    /// path.
+    pub fn apply_sketch_column<I>(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        entries: I,
+    ) -> u64
+    where
+        I: IntoIterator<Item = SketchEntry>,
+    {
+        self.tiers.apply_sketch_column(id, res, start, entries)
+    }
+
+    /// Restore one sealed bucket — scalars plus its sketch column —
+    /// against a single slot lookup (see [`WireTiers::restore_bucket`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_bucket(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        last: f64,
+        entries: &[SketchEntry],
+    ) -> bool {
+        self.tiers
+            .restore_bucket(id, res, start, count, sum, min, max, last, entries)
+    }
+
     // ----- registry / axes ----------------------------------------------
 
     /// Number of fleet metrics (node×name pairs).
@@ -340,6 +375,25 @@ impl FleetStore {
             rejected_samples: self.rejected_samples,
             corrupt_chunks: self.corrupt_chunks,
         }
+    }
+
+    /// Raw-ring retention this store was built with (snapshot metadata).
+    pub fn raw_retention(&self) -> usize {
+        self.raw_retention
+    }
+
+    /// Overwrite every counter with snapshotted values — the last step
+    /// of a snapshot restore, after re-applying content (which bumps
+    /// `samples` etc. as a side effect) so recovered stats read exactly
+    /// as they did at snapshot time.
+    pub(crate) fn restore_stats(&mut self, s: &FleetStoreStats) {
+        self.rollup_hits.set(s.rollup_hits);
+        self.sketch_hits.set(s.sketch_hits);
+        self.raw_fallbacks.set(s.raw_fallbacks);
+        self.raw_values_read.set(s.raw_values_read);
+        self.samples = s.samples;
+        self.rejected_samples = s.rejected_samples;
+        self.corrupt_chunks = s.corrupt_chunks;
     }
 
     // ----- queries -------------------------------------------------------

@@ -97,7 +97,7 @@ use crate::sketch::{QuantileSketch, SketchEntry};
 use crate::tsdb::{ShardedTsdb, Tsdb};
 use moda_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::time::Instant;
 
 /// Default record-count bound per [`ExportBatch`].
@@ -1582,6 +1582,104 @@ impl WireTiers {
         applied
     }
 
+    /// Apply a whole sketch column at once: every entry of one sealed
+    /// bucket's sketch, against a single slot lookup. Semantically
+    /// identical to calling [`WireTiers::apply_sketch`] per entry, but
+    /// O(entries) instead of O(entries × lookup) — the restore path for
+    /// snapshot formats that store columns contiguously. Returns how
+    /// many entries were retained (0 when the slot is gone, in which
+    /// case the remaining entries count as dropped).
+    pub fn apply_sketch_column<I>(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        entries: I,
+    ) -> u64
+    where
+        I: IntoIterator<Item = SketchEntry>,
+    {
+        let cap = self.tier_capacity;
+        let set = self.set_entry(id);
+        let mut applied = 0u64;
+        let mut dropped = 0u64;
+        match set.wire_ring_mut(res, cap).wire_slot_mut(start) {
+            Some(b) => {
+                let sketch = b.sketch.get_or_insert_with(QuantileSketch::new);
+                for entry in entries {
+                    sketch.absorb_entry(entry);
+                    applied += 1;
+                }
+            }
+            None => {
+                for _ in entries {
+                    dropped += 1;
+                }
+            }
+        }
+        if applied > 0 {
+            set.set_sketched();
+        }
+        self.sketch_entries_applied += applied;
+        self.dropped += dropped;
+        applied
+    }
+
+    /// Restore one sealed bucket — scalars and its whole sketch column —
+    /// against a single slot lookup. Semantically identical to
+    /// [`WireTiers::apply_bucket`] (when `count > 0`) followed by
+    /// [`WireTiers::apply_sketch_column`], but the snapshot-restore path
+    /// pays one ring/slot search per bucket instead of two. Returns
+    /// whether the slot was retained.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_bucket(
+        &mut self,
+        id: MetricId,
+        res: SimDuration,
+        start: SimTime,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        last: f64,
+        entries: &[SketchEntry],
+    ) -> bool {
+        let cap = self.tier_capacity;
+        let set = self.set_entry(id);
+        let retained = match set.wire_ring_mut(res, cap).wire_slot_mut(start) {
+            Some(b) => {
+                if count > 0 {
+                    if b.count != 0 {
+                        b.sketch = None;
+                    }
+                    b.count = count;
+                    b.sum = sum;
+                    b.min = min;
+                    b.max = max;
+                    b.last = last;
+                }
+                if !entries.is_empty() {
+                    let sketch = b.sketch.get_or_insert_with(QuantileSketch::new);
+                    for &e in entries {
+                        sketch.absorb_entry(e);
+                    }
+                }
+                true
+            }
+            None => false,
+        };
+        if retained {
+            if !entries.is_empty() {
+                set.set_sketched();
+            }
+            self.buckets_applied += u64::from(count > 0);
+            self.sketch_entries_applied += entries.len() as u64;
+        } else {
+            self.dropped += u64::from(count > 0) + entries.len() as u64;
+        }
+        retained
+    }
+
     /// Apply one record if it is a tier record (`bucket`/`sketch`).
     /// Returns whether the record was consumed by this store — `meta`
     /// and `sample` records are the caller's to route.
@@ -1901,6 +1999,496 @@ fn base64(bytes: &[u8]) -> String {
         }
     }
     out
+}
+
+// ------------------------------------------------- binary wire framing
+//
+// The canonical byte-level rendering of `export-wire-v1.1` — what goes
+// over a socket or into a fleet append-log. Three layers:
+//
+// * **records** — each `ExportRecord` as `[kind u8][len u32 LE][payload]`.
+//   The per-record length prefix is what makes the additive-kinds rule
+//   (docs/EXPORT_FORMAT.md, "Versioning") mechanical: a reader that
+//   meets a kind tag it does not know skips `len` bytes and counts it,
+//   instead of desynchronizing.
+// * **batches** — `[seq u64 LE][record count u32 LE][records…]`.
+// * **frames** — `[len u32 LE][tag u8][payload][crc32 u32 LE]`, the
+//   self-delimiting transport/log envelope. The CRC covers tag+payload,
+//   so a torn append (power cut mid-write) or a flipped bit is detected
+//   before any record is applied; a clean EOF between frames reads as
+//   end-of-stream.
+//
+// All integers little-endian; floats as IEEE-754 bit patterns
+// (`f64::to_bits`), so encode→decode is bit-exact including NaN.
+
+/// Binary record kind tags (`export-wire-v1.1`). New kinds append —
+/// never renumber — per the additive versioning rule.
+const REC_META: u8 = 0;
+const REC_SAMPLE: u8 = 1;
+const REC_BUCKET: u8 = 2;
+const REC_SKETCH: u8 = 3;
+const REC_CHUNK: u8 = 4;
+
+/// Largest frame any conforming reader must accept. Batches are bounded
+/// by `DEFAULT_BATCH_RECORDS` and chunk payloads by the 512-sample seal,
+/// so real frames sit far below this; the cap exists so a corrupt or
+/// hostile length prefix cannot force an unbounded allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "wire strings are short");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor-style reader over a decode buffer; every getter is
+/// bounds-checked and surfaces truncation as `InvalidData`.
+struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn wire_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire decode: {what}"))
+}
+
+impl<'a> WireReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| wire_err("truncated field"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| wire_err("non-UTF-8 string"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn kind_tag(kind: MetricKind) -> u8 {
+    match kind {
+        MetricKind::Gauge => 0,
+        MetricKind::Counter => 1,
+    }
+}
+
+fn domain_tag(domain: crate::metric::SourceDomain) -> u8 {
+    use crate::metric::SourceDomain::*;
+    match domain {
+        Facility => 0,
+        Hardware => 1,
+        Software => 2,
+        Application => 3,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> io::Result<MetricKind> {
+    match tag {
+        0 => Ok(MetricKind::Gauge),
+        1 => Ok(MetricKind::Counter),
+        _ => Err(wire_err("unknown metric kind tag")),
+    }
+}
+
+fn domain_from_tag(tag: u8) -> io::Result<crate::metric::SourceDomain> {
+    use crate::metric::SourceDomain::*;
+    match tag {
+        0 => Ok(Facility),
+        1 => Ok(Hardware),
+        2 => Ok(Software),
+        3 => Ok(Application),
+        _ => Err(wire_err("unknown source domain tag")),
+    }
+}
+
+/// Append one record in the binary rendering:
+/// `[kind u8][payload len u32 LE][payload]`.
+pub fn encode_record(record: &ExportRecord, out: &mut Vec<u8>) {
+    let tag = match record {
+        ExportRecord::Meta { .. } => REC_META,
+        ExportRecord::Sample { .. } => REC_SAMPLE,
+        ExportRecord::Bucket { .. } => REC_BUCKET,
+        ExportRecord::Sketch { .. } => REC_SKETCH,
+        ExportRecord::Chunk { .. } => REC_CHUNK,
+    };
+    out.push(tag);
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    match record {
+        ExportRecord::Meta { id, meta } => {
+            put_u32(out, id.0);
+            put_str(out, &meta.name);
+            out.push(kind_tag(meta.kind));
+            put_str(out, &meta.unit);
+            out.push(domain_tag(meta.domain));
+        }
+        ExportRecord::Sample { id, t, value } => {
+            put_u32(out, id.0);
+            put_u64(out, t.0);
+            put_f64(out, *value);
+        }
+        ExportRecord::Bucket {
+            id,
+            res,
+            start,
+            count,
+            sum,
+            min,
+            max,
+            last,
+        } => {
+            put_u32(out, id.0);
+            put_u64(out, res.0);
+            put_u64(out, start.0);
+            put_u64(out, *count);
+            put_f64(out, *sum);
+            put_f64(out, *min);
+            put_f64(out, *max);
+            put_f64(out, *last);
+        }
+        ExportRecord::Sketch {
+            id,
+            res,
+            start,
+            entry,
+        } => {
+            put_u32(out, id.0);
+            put_u64(out, res.0);
+            put_u64(out, start.0);
+            out.push(entry.sign as u8);
+            put_u32(out, entry.key as u32);
+            put_u64(out, entry.count);
+        }
+        ExportRecord::Chunk {
+            id,
+            count,
+            first_t,
+            last_t,
+            bytes,
+        } => {
+            put_u32(out, id.0);
+            put_u32(out, *count);
+            put_u64(out, first_t.0);
+            put_u64(out, last_t.0);
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+    }
+    let len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn decode_record_payload(tag: u8, payload: &[u8]) -> io::Result<ExportRecord> {
+    let mut r = WireReader::new(payload);
+    let record = match tag {
+        REC_META => {
+            let id = MetricId(r.u32()?);
+            let name = r.str()?;
+            let kind = kind_from_tag(r.u8()?)?;
+            let unit = r.str()?;
+            let domain = domain_from_tag(r.u8()?)?;
+            ExportRecord::Meta {
+                id,
+                meta: MetricMeta {
+                    name,
+                    kind,
+                    unit,
+                    domain,
+                },
+            }
+        }
+        REC_SAMPLE => ExportRecord::Sample {
+            id: MetricId(r.u32()?),
+            t: SimTime(r.u64()?),
+            value: r.f64()?,
+        },
+        REC_BUCKET => ExportRecord::Bucket {
+            id: MetricId(r.u32()?),
+            res: SimDuration(r.u64()?),
+            start: SimTime(r.u64()?),
+            count: r.u64()?,
+            sum: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+            last: r.f64()?,
+        },
+        REC_SKETCH => ExportRecord::Sketch {
+            id: MetricId(r.u32()?),
+            res: SimDuration(r.u64()?),
+            start: SimTime(r.u64()?),
+            entry: SketchEntry {
+                sign: r.u8()? as i8,
+                key: r.u32()? as i32,
+                count: r.u64()?,
+            },
+        },
+        REC_CHUNK => {
+            let id = MetricId(r.u32()?);
+            let count = r.u32()?;
+            let first_t = SimTime(r.u64()?);
+            let last_t = SimTime(r.u64()?);
+            let n = r.u32()? as usize;
+            let bytes = r.take(n)?.to_vec();
+            ExportRecord::Chunk {
+                id,
+                count,
+                first_t,
+                last_t,
+                bytes,
+            }
+        }
+        _ => unreachable!("caller filters unknown tags"),
+    };
+    if !r.done() {
+        return Err(wire_err("trailing bytes in record payload"));
+    }
+    Ok(record)
+}
+
+/// Encode a whole batch:
+/// `[seq u64 LE][record count u32 LE][records…]`.
+pub fn encode_batch(batch: &ExportBatch, out: &mut Vec<u8>) {
+    put_u64(out, batch.seq);
+    put_u32(out, batch.records.len() as u32);
+    for record in &batch.records {
+        encode_record(record, out);
+    }
+}
+
+/// Decode a batch encoded by [`encode_batch`]. Returns the batch plus
+/// the number of records skipped because their kind tag is unknown to
+/// this reader — the additive-kinds contract: a newer writer's extra
+/// kinds are length-skipped and counted, never an error.
+pub fn decode_batch(buf: &[u8]) -> io::Result<(ExportBatch, u64)> {
+    let mut r = WireReader::new(buf);
+    let seq = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut records = Vec::with_capacity(n.min(DEFAULT_BATCH_RECORDS));
+    let mut unknown = 0u64;
+    for _ in 0..n {
+        let tag = r.u8()?;
+        let len = r.u32()? as usize;
+        let payload = r.take(len)?;
+        if tag > REC_CHUNK {
+            unknown += 1;
+            continue;
+        }
+        records.push(decode_record_payload(tag, payload)?);
+    }
+    if !r.done() {
+        return Err(wire_err("trailing bytes after batch records"));
+    }
+    Ok((ExportBatch { seq, records }, unknown))
+}
+
+/// Encode [`DrainStats`] (the exporter-side counters a node reports at
+/// end of stream so the aggregator can judge drain lag).
+pub fn encode_drain_stats(stats: &DrainStats, out: &mut Vec<u8>) {
+    for v in [
+        stats.batches,
+        stats.records,
+        stats.samples,
+        stats.chunks,
+        stats.buckets,
+        stats.sketch_entries,
+        stats.metas,
+        stats.missed_samples,
+        stats.missed_buckets,
+        stats.lock_held_ns,
+        stats.max_lock_held_ns,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+/// Decode [`DrainStats`] encoded by [`encode_drain_stats`].
+pub fn decode_drain_stats(buf: &[u8]) -> io::Result<DrainStats> {
+    let mut r = WireReader::new(buf);
+    let stats = DrainStats {
+        batches: r.u64()?,
+        records: r.u64()?,
+        samples: r.u64()?,
+        chunks: r.u64()?,
+        buckets: r.u64()?,
+        sketch_entries: r.u64()?,
+        metas: r.u64()?,
+        missed_samples: r.u64()?,
+        missed_buckets: r.u64()?,
+        lock_held_ns: r.u64()?,
+        max_lock_held_ns: r.u64()?,
+    };
+    if !r.done() {
+        return Err(wire_err("trailing bytes in drain stats"));
+    }
+    Ok(stats)
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bytewise table-driven.
+/// Protects every frame against torn writes and bit rot.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Write one self-delimiting frame:
+/// `[len u32 LE][tag u8][payload][crc32 u32 LE]` where `len` counts
+/// tag + payload and the CRC covers the same span.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = (payload.len() + 1) as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    let mut joint = Vec::with_capacity(payload.len() + 1);
+    joint.push(tag);
+    joint.extend_from_slice(payload);
+    w.write_all(&crc32(&joint).to_le_bytes())?;
+    Ok(())
+}
+
+/// Why a frame read stopped without producing a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEnd {
+    /// Clean end of stream: EOF exactly on a frame boundary.
+    Clean,
+    /// EOF inside a frame — a torn tail (interrupted append or cut
+    /// connection). Everything before it is intact.
+    Torn,
+    /// The frame was fully present but its CRC did not match, or its
+    /// length prefix was absurd — corruption, not truncation.
+    Corrupt,
+}
+
+/// Read one frame written by [`write_frame`]. `Ok(Ok((tag, payload)))`
+/// on success; `Ok(Err(end))` when the stream ends (cleanly or not)
+/// instead of yielding a frame; `Err` only for genuine I/O errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Result<(u8, Vec<u8>), FrameEnd>> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadExact::Eof => return Ok(Err(FrameEnd::Clean)),
+        ReadExact::Partial => return Ok(Err(FrameEnd::Torn)),
+        ReadExact::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Ok(Err(FrameEnd::Corrupt));
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_or_eof(r, &mut body)? {
+        ReadExact::Full => {}
+        ReadExact::Eof | ReadExact::Partial => return Ok(Err(FrameEnd::Torn)),
+    }
+    let mut crc_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut crc_buf)? {
+        ReadExact::Full => {}
+        ReadExact::Eof | ReadExact::Partial => return Ok(Err(FrameEnd::Torn)),
+    }
+    if crc32(&body) != u32::from_le_bytes(crc_buf) {
+        return Ok(Err(FrameEnd::Corrupt));
+    }
+    let tag = body[0];
+    body.remove(0);
+    Ok(Ok((tag, body)))
+}
+
+enum ReadExact {
+    Full,
+    Eof,
+    Partial,
+}
+
+/// `read_exact` that distinguishes "EOF before any byte" from "EOF
+/// mid-buffer" — the difference between a clean stream end and a torn
+/// frame.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadExact> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadExact::Eof
+                } else {
+                    ReadExact::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadExact::Full)
 }
 
 #[cfg(test)]
@@ -2618,5 +3206,217 @@ mod tests {
                 "q={q}: {got} vs {want}"
             );
         }
+    }
+
+    // ---- binary wire framing
+
+    /// A batch stream exercising every record kind, drained off a real
+    /// store so chunk payloads and sketch columns are authentic.
+    fn wire_batches() -> Vec<ExportBatch> {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("wire.m", "u", SourceDomain::Hardware));
+        db.enable_rollups(
+            id,
+            &RollupConfig::new(vec![RollupTier::new(SimDuration::from_secs(10), 64)])
+                .with_sketches(),
+        );
+        for s in 0..700u64 {
+            db.insert(id, SimTime::from_secs(s), ((s * 31) % 97) as f64);
+        }
+        let mut sink = MemorySink::new();
+        Exporter::new()
+            .with_batch_records(64)
+            .drain(&db, &mut sink)
+            .unwrap();
+        sink.batches
+    }
+
+    #[test]
+    fn binary_codec_roundtrips_every_record_kind() {
+        let batches = wire_batches();
+        let mut kinds_seen = std::collections::HashSet::new();
+        for batch in &batches {
+            for r in &batch.records {
+                kinds_seen.insert(std::mem::discriminant(r));
+            }
+            let mut buf = Vec::new();
+            encode_batch(batch, &mut buf);
+            let (back, unknown) = decode_batch(&buf).unwrap();
+            assert_eq!(unknown, 0);
+            assert_eq!(&back, batch, "bit-exact round trip");
+            // And re-encoding the decoded batch is byte-identical.
+            let mut buf2 = Vec::new();
+            encode_batch(&back, &mut buf2);
+            assert_eq!(buf, buf2);
+        }
+        assert!(kinds_seen.len() >= 4, "meta/sample/bucket/sketch at least");
+    }
+
+    #[test]
+    fn binary_codec_roundtrips_chunks_and_nan() {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("c", "u", SourceDomain::Software));
+        for s in 0..600u64 {
+            db.insert(id, SimTime::from_secs(s), s as f64);
+        }
+        let mut sink = MemorySink::new();
+        Exporter::new().drain(&db, &mut sink).unwrap();
+        let has_chunk = sink
+            .batches
+            .iter()
+            .flat_map(|b| &b.records)
+            .any(|r| matches!(r, ExportRecord::Chunk { .. }));
+        assert!(has_chunk, "512-sample seal must have produced a chunk");
+        for batch in &sink.batches {
+            let mut buf = Vec::new();
+            encode_batch(batch, &mut buf);
+            assert_eq!(&decode_batch(&buf).unwrap().0, batch);
+        }
+        // NaN samples survive bit-exactly (to_bits round trip).
+        let batch = ExportBatch {
+            seq: 9,
+            records: vec![ExportRecord::Sample {
+                id: MetricId(0),
+                t: SimTime(1),
+                value: f64::NAN,
+            }],
+        };
+        let mut buf = Vec::new();
+        encode_batch(&batch, &mut buf);
+        let (back, _) = decode_batch(&buf).unwrap();
+        match back.records[0] {
+            ExportRecord::Sample { value, .. } => {
+                assert_eq!(value.to_bits(), f64::NAN.to_bits());
+            }
+            _ => panic!("sample expected"),
+        }
+    }
+
+    #[test]
+    fn decoder_skips_unknown_record_kinds() {
+        // A future writer appends a record kind this reader has never
+        // heard of; the length prefix lets the reader hop over it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes()); // seq
+        buf.extend_from_slice(&2u32.to_le_bytes()); // record count
+        buf.push(200); // unknown kind tag
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        encode_record(
+            &ExportRecord::Sample {
+                id: MetricId(4),
+                t: SimTime(5),
+                value: 6.0,
+            },
+            &mut buf,
+        );
+        let (batch, unknown) = decode_batch(&buf).unwrap();
+        assert_eq!(unknown, 1);
+        assert_eq!(batch.seq, 7);
+        assert_eq!(batch.records.len(), 1);
+    }
+
+    #[test]
+    fn truncated_batch_is_an_error_not_a_panic() {
+        let batches = wire_batches();
+        let mut buf = Vec::new();
+        encode_batch(&batches[0], &mut buf);
+        for cut in 0..buf.len() {
+            // Any strict prefix either errors or (never) succeeds —
+            // no panic, no wrap-around allocation.
+            let _ = decode_batch(&buf[..cut]).is_err();
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_detect_torn_and_corrupt_tails() {
+        let batches = wire_batches();
+        let mut stream = Vec::new();
+        for batch in &batches {
+            let mut payload = Vec::new();
+            encode_batch(batch, &mut payload);
+            write_frame(&mut stream, 17, &payload).unwrap();
+        }
+        // Clean read-back.
+        let mut r = &stream[..];
+        let mut n = 0;
+        loop {
+            match read_frame(&mut r).unwrap() {
+                Ok((tag, payload)) => {
+                    assert_eq!(tag, 17);
+                    assert_eq!(&decode_batch(&payload).unwrap().0, &batches[n]);
+                    n += 1;
+                }
+                Err(end) => {
+                    assert_eq!(end, FrameEnd::Clean);
+                    break;
+                }
+            }
+        }
+        assert_eq!(n, batches.len());
+        // Torn tail: every truncation point mid-final-frame reads the
+        // full prefix then reports Torn (or Clean exactly on the
+        // boundary).
+        let second_start = {
+            let mut r = &stream[..];
+            read_frame(&mut r).unwrap().unwrap();
+            stream.len() - r.len()
+        };
+        for cut in second_start..stream.len() {
+            let mut r = &stream[..cut];
+            let first = read_frame(&mut r).unwrap();
+            assert!(first.is_ok(), "first frame intact at cut {cut}");
+            let ends = loop {
+                match read_frame(&mut r).unwrap() {
+                    Ok(_) => {}
+                    Err(e) => break e,
+                }
+            };
+            if cut == second_start {
+                assert_eq!(ends, FrameEnd::Clean);
+            } else {
+                // Mid-frame cuts must never read Clean unless the cut
+                // landed exactly on a later frame boundary.
+                let on_boundary = {
+                    let mut rr = &stream[..cut];
+                    let mut clean = false;
+                    while read_frame(&mut rr).unwrap().is_ok() {
+                        if rr.is_empty() {
+                            clean = true;
+                            break;
+                        }
+                    }
+                    clean
+                };
+                assert_eq!(ends == FrameEnd::Clean, on_boundary, "cut {cut}");
+            }
+        }
+        // Corruption: flip one byte inside the first frame's payload.
+        let mut bad = stream.clone();
+        bad[8] ^= 0xFF;
+        let mut r = &bad[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Err(FrameEnd::Corrupt));
+    }
+
+    #[test]
+    fn drain_stats_codec_roundtrips() {
+        let stats = DrainStats {
+            batches: 3,
+            records: 99,
+            samples: 80,
+            missed_samples: 2,
+            max_lock_held_ns: 12345,
+            ..DrainStats::default()
+        };
+        let mut buf = Vec::new();
+        encode_drain_stats(&stats, &mut buf);
+        assert_eq!(decode_drain_stats(&buf).unwrap(), stats);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

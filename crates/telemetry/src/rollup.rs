@@ -536,6 +536,29 @@ impl RollupRing {
     /// oldest, like the fold path.
     pub(crate) fn wire_slot_mut(&mut self, start: SimTime) -> Option<&mut RollupBucket> {
         debug_assert!(self.all_sealed, "wire_slot_mut on a fold-fed ring");
+        // Wire traffic (and snapshot restore) overwhelmingly arrives
+        // start-ordered: hit the newest slot / plain append without the
+        // binary search.
+        match self.buckets.back().map(|b| b.start.0) {
+            Some(back) if back == start.0 => return self.buckets.back_mut(),
+            Some(back) if back < start.0 => {
+                if self.buckets.len() == self.capacity {
+                    self.buckets.pop_front();
+                    self.evicted += 1;
+                }
+                self.buckets.push_back(RollupBucket {
+                    start,
+                    count: 0,
+                    sum: 0.0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                    last: f64::NAN,
+                    sketch: None,
+                });
+                return self.buckets.back_mut();
+            }
+            _ => {}
+        }
         let idx = self.buckets.partition_point(|b| b.start.0 < start.0);
         if self.buckets.get(idx).is_some_and(|b| b.start.0 == start.0) {
             return self.buckets.get_mut(idx);

@@ -1,0 +1,184 @@
+//! Wire-format compatibility gate: a committed golden
+//! `export-wire-v1.1` byte stream (`tests/golden/export_wire_v1_1.bin`)
+//! that the *current* reader must decode, record for record. This is
+//! the test behind the `wire-compat` CI job.
+//!
+//! What it pins (see `docs/EXPORT_FORMAT.md`, binary framing):
+//!
+//! * the frame envelope — `[len u32 LE][tag u8][payload][crc32 u32 LE]`;
+//! * the batch and record encodings of every v1.1 kind
+//!   (meta / sample / bucket / sketch / chunk);
+//! * the **additive-kinds rule**: the golden stream deliberately
+//!   carries one record of an unknown future kind, and the reader must
+//!   skip it via its length prefix (counting it, losing nothing else);
+//! * writer stability — re-encoding the decoded batches reproduces the
+//!   committed bytes bit-for-bit.
+//!
+//! Any intentional format change must both update
+//! `docs/EXPORT_FORMAT.md` *and* regenerate the dataset:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test wire_golden
+//! ```
+
+use moda::sim::{SimDuration, SimTime};
+use moda::telemetry::export::{
+    decode_batch, encode_batch, encode_record, read_frame, write_frame, ExportRecord, FrameEnd,
+    MemorySink,
+};
+use moda::telemetry::{
+    Exporter, MetricId, MetricMeta, RollupConfig, RollupTier, SourceDomain, Tsdb,
+};
+
+const GOLDEN_PATH: &str = "tests/golden/export_wire_v1_1.bin";
+/// Frame tag carrying one encoded batch (the transport's `BATCH`).
+const TAG_BATCH: u8 = 3;
+/// A record kind v1.1 does not define — receivers must skip it.
+const UNKNOWN_KIND: u8 = 9;
+
+/// The deterministic dataset behind the golden stream: one sketched
+/// gauge and one plain counter, enough samples to seal rollup buckets,
+/// sketch columns, and whole raw chunks — every v1.1 record kind.
+fn golden_batches() -> Vec<moda::telemetry::export::ExportBatch> {
+    let mut db = Tsdb::with_retention(1 << 12);
+    let g = db.register(MetricMeta::gauge(
+        "golden.power_w",
+        "W",
+        SourceDomain::Hardware,
+    ));
+    let c = db.register(MetricMeta::counter(
+        "golden.jobs",
+        "jobs",
+        SourceDomain::Software,
+    ));
+    db.enable_rollups(
+        g,
+        &RollupConfig::new(vec![RollupTier::new(SimDuration::from_secs(10), 64)]).with_sketches(),
+    );
+    for s in 0..700u64 {
+        db.insert(g, SimTime::from_secs(s), 80.0 + ((s * 31) % 97) as f64);
+        db.insert(c, SimTime::from_secs(s), (s * 3) as f64);
+    }
+    let mut sink = MemorySink::new();
+    Exporter::new()
+        .with_batch_records(64)
+        .drain(&db, &mut sink)
+        .unwrap();
+    sink.batches
+}
+
+/// The full golden byte stream: every dataset batch as a `BATCH`
+/// frame, then one hand-built frame whose batch carries a known sample
+/// followed by an unknown-kind record.
+fn golden_bytes() -> Vec<u8> {
+    let batches = golden_batches();
+    let mut out = Vec::new();
+    for batch in &batches {
+        let mut payload = Vec::new();
+        encode_batch(batch, &mut payload);
+        write_frame(&mut out, TAG_BATCH, &payload).unwrap();
+    }
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(batches.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    encode_record(
+        &ExportRecord::Sample {
+            id: MetricId(0),
+            t: SimTime(123_456),
+            value: 42.5,
+        },
+        &mut payload,
+    );
+    payload.push(UNKNOWN_KIND);
+    payload.extend_from_slice(&7u32.to_le_bytes());
+    payload.extend_from_slice(b"future!");
+    write_frame(&mut out, TAG_BATCH, &payload).unwrap();
+    out
+}
+
+#[test]
+fn golden_wire_stream_decodes_and_matches_the_spec() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, golden_bytes()).unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("{GOLDEN_PATH} unreadable ({e}); generate it with GOLDEN_REGEN=1")
+    });
+
+    // Writer stability: regenerating the stream from the deterministic
+    // dataset reproduces the committed bytes bit-for-bit.
+    assert_eq!(
+        bytes,
+        golden_bytes(),
+        "current writer drifted from the committed golden stream; if the \
+         change is an intentional spec revision, update docs/EXPORT_FORMAT.md \
+         and regenerate with GOLDEN_REGEN=1"
+    );
+
+    // Reader compatibility: walk the committed frames with the current
+    // decoder and account for every record.
+    let reference = golden_batches();
+    let mut r = &bytes[..];
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut r).expect("golden read never io-errors") {
+            Ok((tag, payload)) => {
+                assert_eq!(tag, TAG_BATCH);
+                frames.push(payload);
+            }
+            Err(end) => {
+                assert_eq!(
+                    end,
+                    FrameEnd::Clean,
+                    "golden stream ends on a frame boundary"
+                );
+                break;
+            }
+        }
+    }
+    assert_eq!(frames.len(), reference.len() + 1);
+
+    let (mut metas, mut samples, mut buckets, mut sketches, mut chunks) = (0, 0, 0, 0, 0);
+    for (i, payload) in frames[..reference.len()].iter().enumerate() {
+        let (batch, skipped) = decode_batch(payload).expect("v1.1 frame decodes");
+        assert_eq!(skipped, 0, "no unknown kinds in the dataset frames");
+        assert_eq!(batch.seq, i as u64);
+        for rec in &batch.records {
+            match rec {
+                ExportRecord::Meta { .. } => metas += 1,
+                ExportRecord::Sample { .. } => samples += 1,
+                ExportRecord::Bucket { .. } => buckets += 1,
+                ExportRecord::Sketch { .. } => sketches += 1,
+                ExportRecord::Chunk { .. } => chunks += 1,
+            }
+        }
+        // Round-trip identity per frame.
+        let mut again = Vec::new();
+        encode_batch(&batch, &mut again);
+        assert_eq!(&again, payload);
+    }
+    assert_eq!(metas, 2, "both registry entries ship");
+    assert!(
+        samples > 0 && buckets > 0 && sketches > 0 && chunks > 0,
+        "every v1.1 record kind present: {samples} samples, {buckets} buckets, \
+         {sketches} sketch columns, {chunks} chunks"
+    );
+
+    // The additive-kinds rule: the final frame's unknown record is
+    // skipped and counted; the known record around it survives intact.
+    let (tail, skipped) =
+        decode_batch(frames.last().unwrap()).expect("unknown kinds are skippable");
+    assert_eq!(skipped, 1);
+    assert_eq!(tail.seq, reference.len() as u64);
+    assert_eq!(tail.records.len(), 1);
+    match &tail.records[0] {
+        ExportRecord::Sample { id, t, value } => {
+            assert_eq!(*id, MetricId(0));
+            assert_eq!(*t, SimTime(123_456));
+            assert_eq!(*value, 42.5);
+        }
+        other => panic!("expected the known sample, got {other:?}"),
+    }
+}

@@ -144,6 +144,49 @@ impl MadDetector {
     }
 }
 
+/// Cross-sectional robust outlier scan: indices of `values` whose
+/// robust z-score against the *set's own* median/MAD is ≥ `threshold`.
+///
+/// Where [`MadDetector`] asks "is this sample odd against this metric's
+/// history?", this asks "which members of a fleet are odd against their
+/// peers *right now*?" — the cross-node straggler question. Robustness
+/// matters for the same reason: the stragglers being hunted are in the
+/// population and must not widen the yardstick that flags them. With
+/// fewer than 4 values, or a degenerate (zero-MAD) population where
+/// everything is equal, nothing is flagged.
+pub fn mad_outliers(values: &[f64], threshold: f64) -> Vec<usize> {
+    if values.len() < 4 {
+        return Vec::new();
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    };
+    let med = median(values.to_vec());
+    let mad = median(values.iter().map(|v| (v - med).abs()).collect());
+    let sigma = 1.4826 * mad;
+    if sigma <= f64::EPSILON {
+        // All-equal population (MAD 0): flag only genuine deviants.
+        return values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| (**v - med).abs() > f64::EPSILON)
+            .map(|(i, _)| i)
+            .collect();
+    }
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| ((**v - med) / sigma).abs() >= threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// CUSUM verdict for one sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CusumVerdict {
@@ -310,6 +353,20 @@ mod tests {
         }
         assert_eq!(d.score(5.0), Some(0.0));
         assert!(d.is_anomalous(5.1));
+    }
+
+    #[test]
+    fn mad_outliers_finds_cross_sectional_stragglers() {
+        // Fleet of near-identical nodes with two deviants.
+        let values = [10.0, 10.2, 9.9, 10.1, 35.0, 10.0, 2.0, 10.3];
+        let out = mad_outliers(&values, 3.5);
+        assert_eq!(out, vec![4, 6]);
+        // Uniform fleet: nothing to flag, even at MAD 0.
+        assert!(mad_outliers(&[5.0; 8], 3.5).is_empty());
+        // Degenerate (zero-MAD) population with one deviant still flags it.
+        assert_eq!(mad_outliers(&[5.0, 5.0, 5.0, 5.0, 6.0], 3.5), vec![4]);
+        // Too small a population proves nothing.
+        assert!(mad_outliers(&[1.0, 100.0, 1.0], 3.5).is_empty());
     }
 
     #[test]

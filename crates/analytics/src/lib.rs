@@ -34,7 +34,7 @@ pub mod misconfig;
 pub mod online;
 pub mod similarity;
 
-pub use anomaly::{Cusum, CusumVerdict, MadDetector, ZScoreDetector};
+pub use anomaly::{mad_outliers, Cusum, CusumVerdict, MadDetector, ZScoreDetector};
 pub use assess::ExtensionAssessment;
 pub use forecast::{Forecast, LinearFit, ProgressForecaster};
 pub use misconfig::{ConfigPolicy, Finding, JobConfigSnapshot, MisconfigKind};

@@ -125,6 +125,58 @@ pub struct NodeHealth {
     pub drain: DrainStats,
 }
 
+/// Liveness-classification policy for [`FleetAggregator::health_with`]
+/// and [`FleetAggregator::track_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Drain lag beyond which an ingesting node is [`NodeLiveness::Stale`].
+    pub stale_after: SimDuration,
+    /// Drain lag beyond which even a previously-ingesting node is
+    /// demoted to [`NodeLiveness::Silent`] — the "gone dark" bound that
+    /// lets a node walk the full live→stale→silent ladder (and climb
+    /// back when its stream resumes). `None` keeps the original
+    /// semantics: silent means *never* ingested.
+    pub silent_after: Option<SimDuration>,
+}
+
+impl HealthPolicy {
+    /// Staleness-only policy (the [`FleetAggregator::health`] behaviour).
+    pub fn stale_only(stale_after: SimDuration) -> Self {
+        HealthPolicy {
+            stale_after,
+            silent_after: None,
+        }
+    }
+}
+
+/// One observed liveness change of one node
+/// ([`FleetAggregator::track_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Reference clock at which the change was observed.
+    pub t: SimTime,
+    /// The node.
+    pub node: NodeId,
+    /// Classification before.
+    pub from: NodeLiveness,
+    /// Classification after.
+    pub to: NodeLiveness,
+}
+
+/// Lifetime counters over observed liveness transitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthTransitionStats {
+    /// All transitions observed (sum of the buckets below).
+    pub transitions: u64,
+    /// Degradations into [`NodeLiveness::Stale`].
+    pub to_stale: u64,
+    /// Degradations into [`NodeLiveness::Silent`] (a node going dark
+    /// under a [`HealthPolicy::silent_after`] bound).
+    pub to_silent: u64,
+    /// Recoveries back to [`NodeLiveness::Live`].
+    pub recovered: u64,
+}
+
 /// Fleet-level health rollup.
 #[derive(Debug, Clone)]
 pub struct FleetHealth {
@@ -161,7 +213,19 @@ pub(crate) struct NodeSession {
 pub struct FleetAggregator {
     store: FleetStore,
     sessions: Vec<NodeSession>,
+    /// Last classification seen by [`FleetAggregator::track_health`],
+    /// per node. Monitoring state, not persisted: a recovered
+    /// aggregator re-baselines on its first tracked health pass.
+    last_liveness: Vec<Option<NodeLiveness>>,
+    /// Bounded ring of observed transitions, oldest first.
+    health_events: std::collections::VecDeque<HealthTransition>,
+    transition_stats: HealthTransitionStats,
 }
+
+/// Retained [`HealthTransition`] events per aggregator — enough for any
+/// scenario-length audit mirror; long-running services drain them via
+/// [`FleetAggregator::take_health_events`].
+const HEALTH_EVENT_CAPACITY: usize = 1024;
 
 impl FleetAggregator {
     /// Aggregator with default store sizing.
@@ -174,7 +238,7 @@ impl FleetAggregator {
     pub fn with_store(store: FleetStore) -> Self {
         FleetAggregator {
             store,
-            sessions: Vec::new(),
+            ..FleetAggregator::default()
         }
     }
 
@@ -411,20 +475,24 @@ impl FleetAggregator {
     /// [`NodeLiveness::Stale`]; sessions that never ingested data are
     /// [`NodeLiveness::Silent`].
     pub fn health(&self, now: SimTime, stale_after: SimDuration) -> FleetHealth {
+        self.health_with(now, HealthPolicy::stale_only(stale_after))
+    }
+
+    /// [`FleetAggregator::health`] under an explicit [`HealthPolicy`]:
+    /// with a `silent_after` bound, a node whose lag crosses it is
+    /// demoted all the way to [`NodeLiveness::Silent`] even though it
+    /// ingested in the past — the full live→stale→silent ladder.
+    pub fn health_with(&self, now: SimTime, policy: HealthPolicy) -> FleetHealth {
         let mut nodes = Vec::with_capacity(self.sessions.len());
         let (mut live, mut stale, mut silent) = (0, 0, 0);
         for (i, s) in self.sessions.iter().enumerate() {
             let drain_lag = now.saturating_since(s.high_water);
-            let liveness = if !s.ever_ingested {
-                silent += 1;
-                NodeLiveness::Silent
-            } else if drain_lag.0 <= stale_after.0 {
-                live += 1;
-                NodeLiveness::Live
-            } else {
-                stale += 1;
-                NodeLiveness::Stale
-            };
+            let liveness = classify(s, drain_lag, policy);
+            match liveness {
+                NodeLiveness::Live => live += 1,
+                NodeLiveness::Stale => stale += 1,
+                NodeLiveness::Silent => silent += 1,
+            }
             nodes.push(NodeHealth {
                 node: NodeId(i as u32),
                 name: s.name.clone(),
@@ -442,6 +510,78 @@ impl FleetAggregator {
             silent,
             observed_now: self.observed_now(),
         }
+    }
+
+    /// [`FleetAggregator::health_with`] plus **transition tracking**:
+    /// every node whose classification changed since the previous
+    /// tracked pass emits a [`HealthTransition`] event and bumps the
+    /// lifetime [`HealthTransitionStats`] — so live→stale→silent walks
+    /// (and recoveries) surface as counters and an event feed instead
+    /// of being observable only by diffing polls. The first tracked
+    /// pass baselines without emitting.
+    pub fn track_health(&mut self, now: SimTime, policy: HealthPolicy) -> FleetHealth {
+        let h = self.health_with(now, policy);
+        if self.last_liveness.len() < h.nodes.len() {
+            self.last_liveness.resize(h.nodes.len(), None);
+        }
+        for n in &h.nodes {
+            let slot = &mut self.last_liveness[n.node.index()];
+            match *slot {
+                Some(prev) if prev != n.liveness => {
+                    self.transition_stats.transitions += 1;
+                    match n.liveness {
+                        NodeLiveness::Live => self.transition_stats.recovered += 1,
+                        NodeLiveness::Stale => self.transition_stats.to_stale += 1,
+                        NodeLiveness::Silent => self.transition_stats.to_silent += 1,
+                    }
+                    if self.health_events.len() == HEALTH_EVENT_CAPACITY {
+                        self.health_events.pop_front();
+                    }
+                    self.health_events.push_back(HealthTransition {
+                        t: now,
+                        node: n.node,
+                        from: prev,
+                        to: n.liveness,
+                    });
+                }
+                _ => {}
+            }
+            *slot = Some(n.liveness);
+        }
+        h
+    }
+
+    /// Retained transition events, oldest first.
+    pub fn health_events(&self) -> impl Iterator<Item = &HealthTransition> {
+        self.health_events.iter()
+    }
+
+    /// Drain the retained transition events (for mirroring into an
+    /// audit log without re-reporting on the next pass).
+    pub fn take_health_events(&mut self) -> Vec<HealthTransition> {
+        self.health_events.drain(..).collect()
+    }
+
+    /// Lifetime transition counters.
+    pub fn health_transition_stats(&self) -> HealthTransitionStats {
+        self.transition_stats
+    }
+}
+
+/// Apply a [`HealthPolicy`] to one session's drain lag.
+fn classify(s: &NodeSession, drain_lag: SimDuration, policy: HealthPolicy) -> NodeLiveness {
+    if !s.ever_ingested {
+        return NodeLiveness::Silent;
+    }
+    if let Some(silent_after) = policy.silent_after {
+        if drain_lag.0 > silent_after.0 {
+            return NodeLiveness::Silent;
+        }
+    }
+    if drain_lag.0 <= policy.stale_after.0 {
+        NodeLiveness::Live
+    } else {
+        NodeLiveness::Stale
     }
 }
 
@@ -737,6 +877,56 @@ mod tests {
         assert_eq!(lag.drain_lag, SimDuration::from_secs(600 - 99));
         assert_eq!(lag.drain.missed_samples, 7);
         assert_eq!(h.nodes[silent.index()].liveness, NodeLiveness::Silent);
+    }
+
+    #[test]
+    fn track_health_emits_transitions_and_counters() {
+        let mut agg = FleetAggregator::new();
+        let n = agg.add_node("node00");
+        let policy = HealthPolicy {
+            stale_after: SimDuration::from_secs(120),
+            silent_after: Some(SimDuration::from_secs(600)),
+        };
+        // Baseline pass: silent (never ingested), no event emitted.
+        let h = agg.track_health(SimTime::from_secs(0), policy);
+        assert_eq!(h.silent, 1);
+        assert_eq!(agg.health_events().count(), 0);
+        assert_eq!(agg.health_transition_stats().transitions, 0);
+        // Data arrives → silent→live recovery.
+        for b in batches_of(&node_db(100, 0.0), 1024) {
+            agg.ingest(n, &b);
+        }
+        agg.track_health(SimTime::from_secs(100), policy);
+        let stats = agg.health_transition_stats();
+        assert_eq!((stats.transitions, stats.recovered), (1, 1));
+        // The clock runs ahead → live→stale, then past the silent
+        // bound → stale→silent: the full ladder down.
+        agg.track_health(SimTime::from_secs(300), policy);
+        agg.track_health(SimTime::from_secs(800), policy);
+        let stats = agg.health_transition_stats();
+        assert_eq!(stats.transitions, 3);
+        assert_eq!(stats.to_stale, 1);
+        assert_eq!(stats.to_silent, 1);
+        let walk: Vec<(NodeLiveness, NodeLiveness)> =
+            agg.health_events().map(|e| (e.from, e.to)).collect();
+        assert_eq!(
+            walk,
+            vec![
+                (NodeLiveness::Silent, NodeLiveness::Live),
+                (NodeLiveness::Live, NodeLiveness::Stale),
+                (NodeLiveness::Stale, NodeLiveness::Silent),
+            ]
+        );
+        // Unchanged classification emits nothing.
+        agg.track_health(SimTime::from_secs(900), policy);
+        assert_eq!(agg.health_transition_stats().transitions, 3);
+        // Draining hands the events over exactly once.
+        assert_eq!(agg.take_health_events().len(), 3);
+        assert_eq!(agg.health_events().count(), 0);
+        // Plain health() keeps the original semantics: silent only when
+        // never ingested.
+        let h = agg.health(SimTime::from_secs(900), SimDuration::from_secs(120));
+        assert_eq!(h.nodes[n.index()].liveness, NodeLiveness::Stale);
     }
 
     #[test]

@@ -81,14 +81,23 @@
 //! ```
 
 pub mod aggregator;
+pub mod control;
 pub mod persist;
 pub mod store;
 pub mod transport;
 
 pub use aggregator::{
-    ChannelSink, FleetAggregator, FleetHealth, FleetMsg, IngestReport, NodeCounters, NodeHealth,
-    NodeLiveness,
+    ChannelSink, FleetAggregator, FleetHealth, FleetMsg, HealthPolicy, HealthTransition,
+    HealthTransitionStats, IngestReport, NodeCounters, NodeHealth, NodeLiveness,
+};
+pub use control::{
+    ActionTarget, AuditSummary, BlockCause, Bound, ControlConfig, ControlEvent, ControlEventKind,
+    ControlLog, Coverage, CoveredValue, FleetActuator, FleetAlert, FleetMonitor, FleetResponder,
+    HoldReason, Observation, RateLimit, ResponseRule, StragglerMonitor, ThresholdMonitor,
+    TickReport,
 };
 pub use persist::{DurabilityConfig, DurableFleet, RecoveryStats};
 pub use store::{FleetMetricInfo, FleetServed, FleetStore, FleetStoreStats, NodeId, Rank};
-pub use transport::{FleetListener, SocketSink, TransportConfig};
+pub use transport::{
+    ChaosConfig, ChaosSink, ChaosStats, FleetListener, SocketSink, TransportConfig,
+};

@@ -69,7 +69,7 @@ pub(crate) const FRAME_LOG_DRAIN: u8 = 34;
 pub(crate) const FRAME_SNAPSHOT: u8 = 40;
 
 /// Leading magic of `snapshot.bin` (version-suffixed).
-const SNAPSHOT_MAGIC: &[u8; 8] = b"MODAFS01";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"MODAFS02";
 
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
@@ -759,7 +759,12 @@ fn encode_snapshot(agg: &FleetAggregator, epoch: u64, out: &mut Vec<u8>) {
         put_node_counters(out, &s.counters);
         put_u64(out, s.high_water.0);
         out.push(s.ever_ingested as u8);
-        encode_drain_stats(&s.drain, out);
+        // Length-prefixed (format `MODAFS02`) so the drain block can
+        // grow fields without another snapshot format bump.
+        let mut drain_bytes = Vec::new();
+        encode_drain_stats(&s.drain, &mut drain_bytes);
+        put_u32(out, drain_bytes.len() as u32);
+        out.extend_from_slice(&drain_bytes);
     }
     put_u32(out, store.cardinality() as u32);
     for idx in 0..store.cardinality() {
@@ -863,7 +868,7 @@ fn decode_snapshot(bytes: &[u8]) -> io::Result<(FleetAggregator, u64, usize, usi
         let counters = read_node_counters(&mut r)?;
         let high_water = SimTime(r.u64()?);
         let ever_ingested = r.u8()? != 0;
-        let drain_len = 11 * 8;
+        let drain_len = r.u32()? as usize;
         let drain = decode_drain_stats(r.take(drain_len)?)?;
         sessions.push(NodeSession {
             name,

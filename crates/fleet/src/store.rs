@@ -470,12 +470,27 @@ impl FleetStore {
         window: SimDuration,
         agg: WindowAgg,
     ) -> (Option<f64>, FleetServed) {
+        self.fleet_subset_window_agg_served(self.logical_members(local_name), now, window, agg)
+    }
+
+    /// Pool a trailing-window aggregate over an **explicit member
+    /// subset** instead of a whole logical axis — the entry the
+    /// coverage-aware control-plane queries ([`crate::control`]) use to
+    /// exclude stale/silent nodes. Members outside the slice contribute
+    /// nothing: the answer is exactly what the full fleet query would
+    /// return on a fleet containing only those members.
+    pub fn fleet_subset_window_agg_served(
+        &self,
+        members: &[MetricId],
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+    ) -> (Option<f64>, FleetServed) {
         assert!(
             !matches!(agg, WindowAgg::Last),
             "Last is per-node (arrival order across nodes is meaningless); \
              use top_nodes or window_agg per member"
         );
-        let members = self.logical_members(local_name);
         // (t0, now] == [t0 + 1, now + 1) on integer-millisecond time —
         // the same span convention as the node-local planner.
         let lo = SimTime(now.0.saturating_sub(window.0).saturating_add(1));
@@ -588,8 +603,22 @@ impl FleetStore {
         k: usize,
         rank: Rank,
     ) -> Vec<(NodeId, f64)> {
-        let mut out: Vec<(NodeId, f64)> = self
-            .logical_members(local_name)
+        self.top_nodes_of(self.logical_members(local_name), now, window, agg, k, rank)
+    }
+
+    /// [`FleetStore::top_nodes`] over an explicit member subset — the
+    /// coverage-aware ranking entry (see
+    /// [`FleetStore::fleet_subset_window_agg_served`]).
+    pub fn top_nodes_of(
+        &self,
+        members: &[MetricId],
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+        k: usize,
+        rank: Rank,
+    ) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = members
             .iter()
             .filter_map(|&id| {
                 self.window_agg(id, now, window, agg)

@@ -41,7 +41,7 @@ use crate::persist::{bad_data, put_str, put_u64, DurableFleet, Rd};
 use crate::store::NodeId;
 use moda_telemetry::export::{
     crc32, decode_batch, decode_drain_stats, encode_batch, encode_drain_stats, read_frame,
-    write_frame, ExportBatch, Sink, MAX_FRAME_LEN,
+    write_frame, ExportBatch, ExportRecord, Sink, MAX_FRAME_LEN,
 };
 use moda_telemetry::DrainStats;
 use std::collections::VecDeque;
@@ -72,8 +72,19 @@ pub struct TransportConfig {
     /// Reconnect attempts before a send reports failure to the
     /// exporter (which rolls its cursors back and retries later).
     pub reconnect_attempts: u32,
-    /// Pause between reconnect attempts.
+    /// Base pause before the *second* reconnect attempt; later attempts
+    /// back off exponentially (doubling, jittered) up to
+    /// [`TransportConfig::backoff_cap`].
     pub reconnect_pause: Duration,
+    /// Ceiling on the backoff pause, so a long outage settles into a
+    /// bounded polling cadence instead of runaway waits.
+    pub backoff_cap: Duration,
+    /// Socket connect/read/write timeout. Without one, a peer that
+    /// accepts the dial and then goes silent (half-open connection,
+    /// frozen server) blocks the sender forever; with it, the stalled
+    /// call errors and the normal reconnect-with-resume path takes
+    /// over. `None` restores unbounded blocking I/O.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for TransportConfig {
@@ -82,7 +93,31 @@ impl Default for TransportConfig {
             window: 64,
             reconnect_attempts: 25,
             reconnect_pause: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(5)),
         }
+    }
+}
+
+impl TransportConfig {
+    /// Backoff pause before reconnect attempt `attempt` (1-based):
+    /// `reconnect_pause * 2^(attempt-1)`, capped at
+    /// [`TransportConfig::backoff_cap`], plus up to 25 % deterministic
+    /// jitter derived from `salt` — so a fleet of senders knocked out
+    /// by one server restart doesn't re-dial in lockstep.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.reconnect_pause.as_nanos() as u64;
+        let capped = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.backoff_cap.as_nanos() as u64)
+            .max(1);
+        // Cheap splitmix64 on the salt: good enough spread for jitter.
+        let mut h = salt.wrapping_add(0x9e3779b97f4a7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        let jitter = (capped / 4).min(u64::MAX / 2) * (h % 1024) / 1024;
+        Duration::from_nanos(capped + jitter)
     }
 }
 
@@ -106,6 +141,11 @@ pub struct SocketSink {
     last_resume_seq: u64,
     /// Batches re-sent from the replay buffer across all reconnects.
     resent_batches: u64,
+    /// Retry work (`reconnects + resent_batches`) already folded into a
+    /// delivered drain report — `send_drain` ships only the delta, so
+    /// the server (which merges drain payloads additively) never
+    /// double-counts.
+    retries_reported: u64,
 }
 
 impl SocketSink {
@@ -133,6 +173,7 @@ impl SocketSink {
             reconnects: 0,
             last_resume_seq: 0,
             resent_batches: 0,
+            retries_reported: 0,
         };
         sink.handshake()?;
         Ok(sink)
@@ -151,8 +192,32 @@ impl SocketSink {
     /// Dial, authenticate, learn the server's persisted cursor, and
     /// re-send any buffered batches it has not applied.
     fn handshake(&mut self) -> io::Result<()> {
-        let mut stream = TcpStream::connect(&self.addr)?;
+        let mut stream = match self.cfg.io_timeout {
+            Some(timeout) => {
+                // `connect_timeout` needs a resolved address; try each
+                // candidate like `TcpStream::connect` would.
+                let mut last = None;
+                let mut stream = None;
+                for addr in self.addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&addr, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| bad_data("address resolved to nothing"))
+                })?
+            }
+            None => TcpStream::connect(&self.addr)?,
+        };
         stream.set_nodelay(true).ok();
+        // Bound every read/write on the session: a half-open peer must
+        // surface as an error (and a reconnect), not a hang.
+        stream.set_read_timeout(self.cfg.io_timeout).ok();
+        stream.set_write_timeout(self.cfg.io_timeout).ok();
         let mut hello = Vec::new();
         put_str(&mut hello, &self.token);
         put_str(&mut hello, &self.node_name);
@@ -189,13 +254,21 @@ impl SocketSink {
         Ok(())
     }
 
-    /// Re-dial with bounded retries (server restarts take a moment).
+    /// Re-dial with bounded retries (server restarts take a moment),
+    /// pausing with capped exponential backoff + jitter between
+    /// attempts (see [`TransportConfig::backoff`]).
     fn reconnect(&mut self) -> io::Result<()> {
         self.conn = None;
         let mut last = None;
+        // Jitter salt: stable per sink identity, different per dial
+        // attempt and per reconnect episode.
+        let mut salt = self.node_name.bytes().fold(self.reconnects, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
         for attempt in 0..self.cfg.reconnect_attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(self.cfg.reconnect_pause);
+                salt = salt.wrapping_add(attempt as u64);
+                std::thread::sleep(self.cfg.backoff(attempt, salt));
             }
             match self.handshake() {
                 Ok(()) => {
@@ -283,8 +356,6 @@ impl SocketSink {
     /// cannot lose the totals. Totals overwrite idempotently, which is
     /// what makes redelivery after a mid-call reconnect safe.
     pub fn send_drain(&mut self, stats: &DrainStats) -> io::Result<()> {
-        let mut payload = Vec::new();
-        encode_drain_stats(stats, &mut payload);
         let mut last = None;
         for _ in 0..3 {
             if self.conn.is_none() {
@@ -297,6 +368,17 @@ impl SocketSink {
                     }
                 }
             }
+            // Piggyback this sink's *unreported* retry work onto the
+            // drain report. The server merges drain payloads
+            // additively, so only the delta since the last delivered
+            // report goes out — committed below once the server acks.
+            // Re-derived per attempt: a reconnect inside this loop
+            // grows the delta.
+            let retries_total = self.reconnects + self.resent_batches;
+            let mut out = *stats;
+            out.send_retries += retries_total - self.retries_reported;
+            let mut payload = Vec::new();
+            encode_drain_stats(&out, &mut payload);
             // The server acks in frame order: one ack per in-flight
             // batch ahead of the drain, then the drain's own ack.
             let pending = self.unacked.len();
@@ -306,7 +388,10 @@ impl SocketSink {
             }
             .and_then(|()| self.read_acks_counted(pending + 1));
             match res {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    self.retries_reported = retries_total;
+                    return Ok(());
+                }
                 Err(e) => {
                     self.conn = None;
                     last = Some(e);
@@ -367,6 +452,200 @@ impl Sink for SocketSink {
         // Bounded in-flight window: block on acks past it.
         let window = self.cfg.window.max(1);
         self.pump_acks(window.saturating_sub(1))
+    }
+}
+
+// ----------------------------------------------------- fault injection
+
+/// Fault-injection probabilities for a [`ChaosSink`]. All default to
+/// zero; the seed makes every fault schedule reproducible.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Deterministic RNG seed (runs with equal seeds inject the same
+    /// fault sequence).
+    pub seed: u64,
+    /// Probability a batch is silently discarded after `Ok` — permanent
+    /// frame loss the exporter will *not* re-stage, surfacing as a
+    /// cursor gap at the aggregator.
+    pub drop_prob: f64,
+    /// Probability a batch is delivered twice — exercises the
+    /// duplicate-batch guard.
+    pub dup_prob: f64,
+    /// Probability a batch is held back and delivered *after* the next
+    /// one — frame delay/reordering; the late frame bounces off the
+    /// session cursor (gap, then duplicate).
+    pub delay_prob: f64,
+    /// Probability one byte of a chunk payload is flipped in flight —
+    /// payload corruption below the frame CRC's reach (the CRC covers
+    /// the socket hop, not a buggy middlebox re-framing batches).
+    pub corrupt_prob: f64,
+    /// Probability the write fails with `BrokenPipe` — a mid-frame
+    /// disconnect; the exporter rolls back and re-stages the same
+    /// records under the same seq, so this is *recoverable* loss.
+    pub fail_prob: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            corrupt_prob: 0.0,
+            fail_prob: 0.0,
+        }
+    }
+}
+
+/// Faults a [`ChaosSink`] has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Batches delivered unharmed.
+    pub passed: u64,
+    /// Batches discarded after `Ok` (permanent loss).
+    pub dropped: u64,
+    /// Batches delivered twice.
+    pub duplicated: u64,
+    /// Batches delivered out of order.
+    pub delayed: u64,
+    /// Batches with a flipped payload byte.
+    pub corrupted: u64,
+    /// Writes failed with `BrokenPipe` (recoverable: exporter rolls
+    /// back), including every write while partitioned.
+    pub failed: u64,
+}
+
+/// A [`Sink`] adapter that injects transport faults between an exporter
+/// and the real sink: frame drop, duplication, delay/reorder, payload
+/// corruption, write failure, and an explicit partition switch
+/// ([`ChaosSink::set_partitioned`]) for link-level node isolation. The
+/// chaos scenarios in `moda-hpc`/`moda-usecases` wrap each node's
+/// transport in one of these to prove the fleet tier degrades
+/// gracefully instead of serving corrupt or stale answers.
+#[derive(Debug)]
+pub struct ChaosSink<S> {
+    inner: S,
+    cfg: ChaosConfig,
+    rng: u64,
+    held: Option<ExportBatch>,
+    partitioned: bool,
+    stats: ChaosStats,
+}
+
+impl<S: Sink> ChaosSink<S> {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: S, cfg: ChaosConfig) -> Self {
+        ChaosSink {
+            inner,
+            rng: cfg.seed.max(1),
+            cfg,
+            held: None,
+            partitioned: false,
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Sever (or heal) the link. While partitioned every write fails —
+    /// the exporter rolls back its cursors each drain and the node's
+    /// data catches up after the heal, exactly like a real network
+    /// partition.
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// Whether the link is currently severed.
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped sink, mutably (e.g. to take a `MemorySink`'s
+    /// delivered batches).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64 — deterministic, dependency-free.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<S: Sink> Sink for ChaosSink<S> {
+    fn write_batch(&mut self, batch: &ExportBatch) -> io::Result<()> {
+        if self.partitioned || self.roll(self.cfg.fail_prob) {
+            self.stats.failed += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: link down",
+            ));
+        }
+        if self.held.is_none() && self.roll(self.cfg.delay_prob) {
+            // Hold this frame; it goes out (late) behind the next one.
+            self.held = Some(batch.clone());
+            self.stats.delayed += 1;
+            return Ok(());
+        }
+        if self.roll(self.cfg.drop_prob) {
+            self.stats.dropped += 1;
+        } else {
+            let out = if self.roll(self.cfg.corrupt_prob) {
+                let mut out = batch.clone();
+                let mut flipped = false;
+                for rec in &mut out.records {
+                    if let ExportRecord::Chunk { bytes, .. } = rec {
+                        if !bytes.is_empty() {
+                            let at = bytes.len() / 2;
+                            bytes[at] ^= 0x40;
+                            flipped = true;
+                            break;
+                        }
+                    }
+                }
+                if flipped {
+                    self.stats.corrupted += 1;
+                }
+                std::borrow::Cow::Owned(out)
+            } else {
+                std::borrow::Cow::Borrowed(batch)
+            };
+            self.inner.write_batch(&out)?;
+            self.stats.passed += 1;
+            if self.roll(self.cfg.dup_prob) {
+                self.stats.duplicated += 1;
+                self.inner.write_batch(&out)?;
+            }
+        }
+        if let Some(late) = self.held.take() {
+            // The delayed frame lands after a newer seq: the aggregator
+            // sees a gap, then rejects it as a duplicate.
+            self.inner.write_batch(&late)?;
+        }
+        Ok(())
     }
 }
 
@@ -702,6 +981,99 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let cfg = TransportConfig {
+            reconnect_pause: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+            ..TransportConfig::default()
+        };
+        for salt in 0..64u64 {
+            let d1 = cfg.backoff(1, salt);
+            let d2 = cfg.backoff(2, salt);
+            let d4 = cfg.backoff(4, salt);
+            assert!(d1 >= Duration::from_millis(100) && d1 < Duration::from_millis(126));
+            assert!(d2 >= Duration::from_millis(200) && d2 < Duration::from_millis(251));
+            // 100ms * 2^3 = 800ms, capped at 400ms (+25% jitter).
+            assert!(d4 >= Duration::from_millis(400) && d4 < Duration::from_millis(501));
+        }
+        // Determinism: same salt, same pause.
+        assert_eq!(cfg.backoff(3, 7), cfg.backoff(3, 7));
+        // Jitter spreads: not every salt lands on the same pause.
+        assert!((0..64).any(|s| cfg.backoff(1, s) != cfg.backoff(1, s + 64)));
+    }
+
+    #[test]
+    fn io_timeout_fails_fast_on_a_silent_peer() {
+        // A listener that accepts (kernel backlog) but never speaks the
+        // protocol: without timeouts the handshake read would hang
+        // forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t0 = std::time::Instant::now();
+        let res = SocketSink::connect_with(
+            &addr,
+            "node00",
+            "tok",
+            TransportConfig {
+                io_timeout: Some(Duration::from_millis(100)),
+                ..TransportConfig::default()
+            },
+        );
+        assert!(res.is_err(), "silent peer must not look connected");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timeout must bound the stall"
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn chaos_sink_faults_are_deterministic_and_ingest_safe() {
+        use crate::aggregator::FleetAggregator;
+
+        let batches = node_batches(2000, 0.0);
+        assert!(batches.len() >= 20, "need a real stream to fault");
+        let cfg = ChaosConfig {
+            seed: 42,
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            delay_prob: 0.1,
+            ..ChaosConfig::default()
+        };
+        let mut chaos = ChaosSink::new(MemorySink::new(), cfg.clone());
+        for b in &batches {
+            chaos.write_batch(b).unwrap();
+        }
+        let stats = chaos.stats();
+        assert!(stats.dropped > 0 && stats.duplicated > 0 && stats.delayed > 0);
+
+        // Same seed, same fault schedule.
+        let mut chaos2 = ChaosSink::new(MemorySink::new(), cfg);
+        for b in &batches {
+            chaos2.write_batch(b).unwrap();
+        }
+        assert_eq!(stats, chaos2.stats());
+
+        // The faulted stream ingests without panic: duplicates and
+        // late frames bounce off the cursor, drops surface as gaps.
+        let mut agg = FleetAggregator::new();
+        let node = agg.add_node("node00");
+        for b in &chaos.inner().batches {
+            agg.ingest(node, b);
+        }
+        let c = agg.counters(node);
+        assert!(c.duplicate_batches >= stats.duplicated);
+        assert!(c.gaps >= 1, "permanent frame loss must be visible");
+
+        // Partition: every write fails until healed (exporter-side
+        // rollback path), then traffic flows again.
+        chaos.set_partitioned(true);
+        assert!(chaos.write_batch(&batches[0]).is_err());
+        chaos.set_partitioned(false);
+        chaos.write_batch(&batches[0]).unwrap();
+    }
+
+    #[test]
     fn reconnect_resumes_from_server_cursor_without_seq0_replay() {
         let dir = test_dir("reconnect");
         let batches = node_batches(1200, 10.0);
@@ -724,7 +1096,8 @@ mod tests {
             TransportConfig {
                 window: 8,
                 reconnect_attempts: 50,
-                reconnect_pause: Duration::from_millis(100),
+                reconnect_pause: Duration::from_millis(50),
+                ..TransportConfig::default()
             },
         )
         .unwrap();
@@ -759,6 +1132,13 @@ mod tests {
             "server resumed at its persisted cursor, not 0"
         );
 
+        // The retry work surfaces in the server's drain accounting:
+        // the first report carries the full redelivery delta, a second
+        // immediately after carries none (no double-count).
+        sink.send_drain(&DrainStats::default()).unwrap();
+        sink.send_drain(&DrainStats::default()).unwrap();
+        let expected_retries = sink.reconnects() + sink.resent_batches();
+
         let shared = listener2.shutdown();
         let fleet = shared.lock().unwrap();
         let node = fleet.find_node("node00").unwrap();
@@ -766,6 +1146,15 @@ mod tests {
         // Zero duplicate ingests: the resume cursor excluded everything
         // durably applied, so nothing was re-sent that was already in.
         assert_eq!(fleet.aggregator().counters(node).duplicate_batches, 0);
+        let health = fleet
+            .aggregator()
+            .health(SimTime::from_secs(1), SimDuration::from_secs(1 << 20));
+        assert!(expected_retries >= 1);
+        assert_eq!(
+            health.nodes[node.index()].drain.send_retries,
+            expected_retries,
+            "retry delta folded exactly once into the drain accounting"
+        );
         drop(fleet);
         let _ = fs::remove_dir_all(&dir);
     }

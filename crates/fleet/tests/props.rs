@@ -14,7 +14,9 @@
 //!   over all nodes' raw values, and reads zero raw samples on sealed
 //!   aligned windows.
 
-use moda_fleet::{DurabilityConfig, DurableFleet, FleetAggregator, FleetStore, NodeId};
+use moda_fleet::{
+    DurabilityConfig, DurableFleet, FleetAggregator, FleetStore, NodeId, NodeLiveness, Rank,
+};
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{ExportBatch, MemorySink};
 use moda_telemetry::{
@@ -275,6 +277,130 @@ proptest! {
         };
         prop_assert_eq!(clean_fp, noisy_fp);
         prop_assert!(noisy.counters(node).duplicate_batches > 0);
+    }
+
+    /// Graceful degradation is *exact*: for an arbitrary mix of live,
+    /// stale (truncated stream), and silent (registered, never
+    /// ingested) nodes, every covered fleet query — window aggregates,
+    /// p99, top-k — returns precisely the answer a fleet containing
+    /// only the contributing nodes would return, annotates coverage
+    /// correctly, never counts a stale or silent node, and never
+    /// panics (including the zero-contributors fleet).
+    #[test]
+    fn covered_queries_answer_exactly_over_the_contributing_subset(
+        a in prop::collection::vec(0u16..1000, 64..200),
+        b in prop::collection::vec(0u16..1000, 64..200),
+        c in prop::collection::vec(0u16..1000, 64..200),
+        d in prop::collection::vec(0u16..1000, 64..200),
+        e in prop::collection::vec(0u16..1000, 64..200),
+        states in prop::collection::vec(0usize..3, 5..6),
+        batch_records in 16usize..200,
+    ) {
+        const LIVE: usize = 0;
+        const STALE: usize = 1;
+        const SILENT: usize = 2;
+        // Equal stream lengths so every live node shares one high-water
+        // mark; stale nodes ship only the first half of their stream.
+        let n = [a.len(), b.len(), c.len(), d.len(), e.len()]
+            .into_iter().min().unwrap();
+        let inputs = [&a[..n], &b[..n], &c[..n], &d[..n], &e[..n]];
+        let now = SimTime(1_000 + (n as u64 - 1) * 333 + 1);
+        let stale_after = SimDuration((n as u64 / 4) * 333);
+
+        // The full fleet, nodes in their chaos states.
+        let mut full = FleetAggregator::new();
+        let mut full_ids = Vec::new();
+        for (k, vals) in inputs.iter().enumerate() {
+            let node = full.add_node(&format!("node{k:02}"));
+            full_ids.push(node);
+            match states[k] {
+                LIVE => {
+                    let (batches, _) = node_stream(vals, (k as f64) * 100.0, batch_records);
+                    for batch in &batches { full.ingest(node, batch); }
+                }
+                STALE => {
+                    let (batches, _) =
+                        node_stream(&vals[..n / 2], (k as f64) * 100.0, batch_records);
+                    for batch in &batches { full.ingest(node, batch); }
+                }
+                _ => {} // silent: registered, never ingested
+            }
+        }
+        // The reference fleet: only the contributing (live) nodes.
+        let mut reference = FleetAggregator::new();
+        let mut live_of = Vec::new(); // reference index -> full NodeId
+        for (k, vals) in inputs.iter().enumerate() {
+            if states[k] == LIVE {
+                let node = reference.add_node(&format!("node{k:02}"));
+                let (batches, _) = node_stream(vals, (k as f64) * 100.0, batch_records);
+                for batch in &batches { reference.ingest(node, batch); }
+                live_of.push((node, full_ids[k]));
+            }
+        }
+        let n_live = live_of.len();
+        let n_stale = states.iter().filter(|&&s| s == STALE).count();
+        let n_silent = states.iter().filter(|&&s| s == SILENT).count();
+        let window = SimDuration(now.0);
+
+        for agg in [
+            WindowAgg::Count,
+            WindowAgg::Sum,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            WindowAgg::Mean,
+            WindowAgg::Percentile(0.99),
+        ] {
+            let got = full.covered_window_agg("m", now, window, agg, stale_after);
+            // Coverage metadata is exact.
+            prop_assert_eq!(got.coverage.total, 5);
+            prop_assert_eq!(got.coverage.contributing, n_live);
+            prop_assert_eq!(got.coverage.stale, n_stale);
+            prop_assert_eq!(got.coverage.silent, n_silent);
+            prop_assert_eq!(got.coverage.excluded.len(), n_stale + n_silent);
+            for &(node, why) in &got.coverage.excluded {
+                let k = full_ids.iter().position(|&id| id == node).unwrap();
+                prop_assert_ne!(states[k], LIVE, "live node excluded");
+                let expect = if states[k] == STALE {
+                    NodeLiveness::Stale
+                } else {
+                    NodeLiveness::Silent
+                };
+                prop_assert_eq!(why, expect);
+            }
+            // The answer equals the contributing-only fleet's, exactly.
+            let want = reference.covered_window_agg("m", now, window, agg, stale_after);
+            if n_live > 0 {
+                prop_assert!(want.coverage.complete());
+            }
+            match (got.value, want.value) {
+                (Some(g), Some(w)) => prop_assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "{agg:?}: {g} vs contributing-only {w}"
+                ),
+                (g, w) => prop_assert_eq!(g, w, "{:?}", agg),
+            }
+        }
+
+        // Top-k ranking: same nodes (translated), same order, same values.
+        for k in [2usize, usize::MAX] {
+            let (got, _) = full.covered_top_nodes(
+                "m", now, window, WindowAgg::Mean, k, Rank::Highest, stale_after,
+            );
+            let (want, _) = reference.covered_top_nodes(
+                "m", now, window, WindowAgg::Mean, k, Rank::Highest, stale_after,
+            );
+            prop_assert_eq!(got.len(), want.len());
+            for (&(gn, gv), &(wn, wv)) in got.iter().zip(want.iter()) {
+                let translated = live_of.iter()
+                    .find(|&&(r, _)| r == wn)
+                    .map(|&(_, f)| f)
+                    .unwrap();
+                prop_assert_eq!(gn, translated, "ranking order diverged");
+                prop_assert!((gv - wv).abs() <= 1e-9 * wv.abs().max(1.0));
+                let state = states[full_ids.iter().position(|&id| id == gn).unwrap()];
+                prop_assert_eq!(state, LIVE, "non-live node served as fresh");
+            }
+        }
     }
 
     /// Torn-write safety of the durable tier's append-log: truncating

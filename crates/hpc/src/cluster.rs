@@ -16,9 +16,32 @@
 //! Worlds share one [`WorldConfig`] template but receive distinct RNG
 //! seeds (`seed + node index`), so their workloads decorrelate the way
 //! real nodes' do.
+//!
+//! ## Chaos and control
+//!
+//! The cluster doubles as the chaos harness and actuation surface of
+//! the center-level Feedback/Response loop:
+//!
+//! * **fault schedules** ([`Cluster::schedule_fault`]) — deterministic
+//!   [`FaultKind::Kill`] (the world freezes and stops reporting — a
+//!   crashed node) and [`FaultKind::Partition`] (the world keeps
+//!   running but its drain path fails — a network partition) windows.
+//!   Each world drains through a persistent
+//!   [`ChaosSink`], so probabilistic frame
+//!   faults ([`Cluster::set_chaos`]) compose with the scheduled windows
+//!   and every fault is ingest-safe: the exporter rolls back on error
+//!   and re-ships after heal.
+//! * **actuation** ([`Cluster::control_parts`]) — splits the cluster
+//!   into its aggregation tier (what a
+//!   [`moda_fleet::FleetResponder`]'s monitors read) and a
+//!   [`WorldsActuator`] (what its guarded responses act on:
+//!   [`ClusterAction`] power caps, checkpoints, repair-and-drain).
 
 use crate::world::{World, WorldConfig};
-use moda_fleet::{FleetAggregator, FleetHealth, FleetStore, NodeId};
+use moda_fleet::{
+    ActionTarget, ChaosConfig, ChaosSink, ChaosStats, FleetActuator, FleetAggregator, FleetHealth,
+    FleetStore, NodeId,
+};
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::MemorySink;
 use moda_telemetry::{Exporter, WindowAgg};
@@ -46,10 +69,45 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Kind of an injected cluster fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The world freezes: no simulation progress, no drains — a crashed
+    /// node. From the fleet's view it goes stale, then silent. When the
+    /// window closes the world resumes (state intact) and catches up.
+    Kill,
+    /// The world keeps simulating but its drain path fails — a network
+    /// partition. The exporter rolls back on every failed drain and
+    /// re-ships the backlog after heal, so no telemetry is lost.
+    Partition,
+}
+
+/// A scheduled fault window `[from, until)` on one world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// World index.
+    pub node: usize,
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl NodeFault {
+    fn active_at(&self, t: SimTime) -> bool {
+        self.from.0 <= t.0 && t.0 < self.until.0
+    }
+}
+
 /// One world and its export-side state.
 struct ClusterNode {
     world: World,
     exporter: Exporter,
+    /// Persistent chaos-wrapped drain target: held delayed frames and
+    /// the fault RNG stream survive across drains.
+    sink: ChaosSink<MemorySink>,
     id: NodeId,
 }
 
@@ -60,6 +118,10 @@ pub struct Cluster {
     agg: FleetAggregator,
     drain_period: SimDuration,
     drained_until: SimTime,
+    faults: Vec<NodeFault>,
+    /// Drains that failed because the node was partitioned (or the
+    /// chaos config rolled a connection fault).
+    failed_drains: u64,
 }
 
 impl Cluster {
@@ -77,6 +139,13 @@ impl Cluster {
                 ClusterNode {
                     world: World::new(wc),
                     exporter: Exporter::new(),
+                    sink: ChaosSink::new(
+                        MemorySink::new(),
+                        ChaosConfig {
+                            seed: cfg.world.seed.wrapping_add(k as u64),
+                            ..ChaosConfig::default()
+                        },
+                    ),
                     id: agg.add_node(&format!("world{k:02}")),
                 }
             })
@@ -86,6 +155,8 @@ impl Cluster {
             agg,
             drain_period: cfg.drain_period,
             drained_until: SimTime::ZERO,
+            faults: Vec::new(),
+            failed_drains: 0,
         }
     }
 
@@ -112,6 +183,51 @@ impl Cluster {
     /// The fleet aggregation tier.
     pub fn aggregator(&self) -> &FleetAggregator {
         &self.agg
+    }
+
+    /// Mutable aggregation tier (health-transition tracking lives
+    /// there: [`FleetAggregator::track_health`]).
+    pub fn aggregator_mut(&mut self) -> &mut FleetAggregator {
+        &mut self.agg
+    }
+
+    /// Split the cluster into the two halves a control loop needs at
+    /// the same time: the aggregation tier its monitors read and an
+    /// actuator over the worlds its responses act on. Field-disjoint,
+    /// so a [`moda_fleet::FleetResponder::tick`] can hold both.
+    pub fn control_parts(&mut self) -> (&FleetAggregator, WorldsActuator<'_>) {
+        let Cluster { agg, nodes, .. } = self;
+        (&*agg, WorldsActuator { nodes })
+    }
+
+    /// Schedule a deterministic fault window. Faults may overlap and
+    /// may be scheduled mid-run (the schedule is consulted at every
+    /// step/drain boundary).
+    pub fn schedule_fault(&mut self, fault: NodeFault) {
+        assert!(fault.node < self.nodes.len(), "fault on unknown world");
+        assert!(fault.from.0 < fault.until.0, "empty fault window");
+        self.faults.push(fault);
+    }
+
+    /// Replace world `k`'s probabilistic frame-fault configuration.
+    /// Rebuilds the chaos stream; call between drains (a held delayed
+    /// frame is discarded, which the ingest side treats as a gap).
+    pub fn set_chaos(&mut self, k: usize, cfg: ChaosConfig) {
+        let n = &mut self.nodes[k];
+        let inner = std::mem::take(&mut n.sink.inner_mut().batches);
+        let mut sink = ChaosSink::new(MemorySink::new(), cfg);
+        sink.inner_mut().batches = inner;
+        n.sink = sink;
+    }
+
+    /// Frame-fault counters of world `k`'s drain path.
+    pub fn chaos_stats(&self, k: usize) -> ChaosStats {
+        self.nodes[k].sink.stats()
+    }
+
+    /// Drains that failed (partition window or chaos connection fault).
+    pub fn failed_drains(&self) -> u64 {
+        self.failed_drains
     }
 
     /// The cluster store (fleet queries live here).
@@ -168,26 +284,55 @@ impl Cluster {
             .unwrap_or(SimTime::ZERO)
     }
 
+    fn fault_active(faults: &[NodeFault], node: usize, kind: FaultKind, t: SimTime) -> bool {
+        faults
+            .iter()
+            .any(|f| f.node == node && f.kind == kind && f.active_at(t))
+    }
+
     fn step_worlds(&mut self, t: SimTime) {
-        for n in &mut self.nodes {
+        let faults = &self.faults;
+        for (k, n) in self.nodes.iter_mut().enumerate() {
+            // A killed world is frozen: its event loop does not advance
+            // until the window closes, at which point the next boundary
+            // catches it up.
+            if Self::fault_active(faults, k, FaultKind::Kill, t) {
+                continue;
+            }
             n.world.run_until(t);
         }
     }
 
     /// Drain every world's **whole** telemetry store (not just progress
     /// metrics) into the aggregation tier, and feed the per-world drain
-    /// totals into fleet health.
+    /// totals into fleet health. Worlds under an active fault window do
+    /// not deliver: a killed world drains nothing (it is frozen); a
+    /// partitioned world's drain fails and the exporter rolls back, so
+    /// the backlog re-ships intact after heal.
     fn drain(&mut self, at: SimTime) {
-        for n in &mut self.nodes {
-            let mut sink = MemorySink::new();
-            let stats = n
-                .exporter
-                .drain(&n.world.tsdb, &mut sink)
-                .expect("memory sink cannot fail");
-            for batch in &sink.batches {
-                self.agg.ingest(n.id, batch);
+        let faults = &self.faults;
+        for (k, n) in self.nodes.iter_mut().enumerate() {
+            if Self::fault_active(faults, k, FaultKind::Kill, at) {
+                continue;
             }
-            self.agg.report_drain(n.id, &stats);
+            n.sink
+                .set_partitioned(Self::fault_active(faults, k, FaultKind::Partition, at));
+            match n.exporter.drain(&n.world.tsdb, &mut n.sink) {
+                Ok(stats) => {
+                    for batch in std::mem::take(&mut n.sink.inner_mut().batches) {
+                        self.agg.ingest(n.id, &batch);
+                    }
+                    self.agg.report_drain(n.id, &stats);
+                }
+                Err(_) => {
+                    // Exporter rolled back; whatever frames already
+                    // landed in the sink are still deliverable.
+                    self.failed_drains += 1;
+                    for batch in std::mem::take(&mut n.sink.inner_mut().batches) {
+                        self.agg.ingest(n.id, &batch);
+                    }
+                }
+            }
         }
         self.drained_until = self.drained_until.max(at);
     }
@@ -214,12 +359,105 @@ impl Cluster {
     }
 }
 
+/// A center-level response a [`moda_fleet::FleetResponder`] may apply
+/// to cluster worlds through the [`WorldsActuator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterAction {
+    /// Cap the targeted worlds' facility draw at `kw` (power case).
+    PowerCap {
+        /// Facility cap, kW.
+        kw: f64,
+    },
+    /// Remove the facility power cap.
+    Uncap,
+    /// Checkpoint every running job on the targeted worlds (coordinated
+    /// drain preparation, resilience response).
+    Checkpoint,
+    /// Repair a failing world: disable its failure process, checkpoint
+    /// running jobs, then drain it behind a maintenance outage so
+    /// resubmissions restart on "repaired hardware" after the window.
+    RepairAndDrain {
+        /// Length of the repair outage.
+        outage: SimDuration,
+    },
+}
+
+/// The actuator half of [`Cluster::control_parts`]: applies
+/// [`ClusterAction`]s to the targeted worlds. Aggregator [`NodeId`]s
+/// index worlds directly (`NodeId(k)` is `world k` by construction).
+pub struct WorldsActuator<'a> {
+    nodes: &'a mut [ClusterNode],
+}
+
+impl FleetActuator for WorldsActuator<'_> {
+    type Action = ClusterAction;
+
+    fn apply(
+        &mut self,
+        now: SimTime,
+        target: &ActionTarget,
+        action: &Self::Action,
+    ) -> Result<String, String> {
+        let ids: Vec<NodeId> = match target {
+            ActionTarget::Canary(id) => vec![*id],
+            ActionTarget::Fleet(ids) => ids.clone(),
+        };
+        let mut notes = Vec::with_capacity(ids.len());
+        for id in ids {
+            let n = self
+                .nodes
+                .get_mut(id.index())
+                .ok_or_else(|| format!("no world for {id:?}"))?;
+            let w = &mut n.world;
+            match action {
+                ClusterAction::PowerCap { kw } => {
+                    w.set_power_cap_kw(Some(*kw));
+                    notes.push(format!("world{:02} capped at {kw:.1} kW", id.0));
+                }
+                ClusterAction::Uncap => {
+                    w.set_power_cap_kw(None);
+                    notes.push(format!("world{:02} uncapped", id.0));
+                }
+                ClusterAction::Checkpoint => {
+                    let mut taken = 0;
+                    for j in w.running_jobs() {
+                        if w.signal_checkpoint(j) {
+                            taken += 1;
+                        }
+                    }
+                    notes.push(format!("world{:02}: {taken} checkpoint(s)", id.0));
+                }
+                ClusterAction::RepairAndDrain { outage } => {
+                    w.set_failure(None);
+                    let mut taken = 0;
+                    for j in w.running_jobs() {
+                        if w.signal_checkpoint(j) {
+                            taken += 1;
+                        }
+                    }
+                    // The outage starts at the world's local now if the
+                    // controller clock lags it (drain boundaries align
+                    // them, but a frozen world may sit behind).
+                    let start = if now.0 > w.now().0 { now } else { w.now() };
+                    w.add_outage(start, start + *outage);
+                    notes.push(format!(
+                        "world{:02}: repaired, {taken} checkpoint(s), {}s outage",
+                        id.0,
+                        outage.as_secs_f64()
+                    ));
+                }
+            }
+        }
+        Ok(notes.join("; "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::AppProfile;
     use crate::workload::WorkloadConfig;
-    use moda_fleet::Rank;
+    use moda_fleet::{NodeLiveness, Rank};
     use moda_scheduler::JobRequest;
 
     fn small_cluster(nodes: usize) -> Cluster {
@@ -278,6 +516,110 @@ mod tests {
         let h = c.health(SimDuration::from_hours(1));
         assert_eq!(h.live, 3);
         assert_eq!(h.stale + h.silent, 0);
+    }
+
+    #[test]
+    fn killed_world_goes_dark_then_catches_up() {
+        let mut c = small_cluster(3);
+        for k in 0..3 {
+            c.world_mut(k).submit_campaign(campaign(70 + k as u64));
+        }
+        c.schedule_fault(NodeFault {
+            node: 1,
+            kind: FaultKind::Kill,
+            from: SimTime::from_mins(20),
+            until: SimTime::from_mins(90),
+        });
+        c.run_until(SimTime::from_mins(80));
+        // Deep in the window: world 1 froze at the last pre-fault
+        // boundary, so its telemetry lags the cluster clock.
+        let h = c.health(SimDuration::from_mins(15));
+        assert!(h.live < 3, "killed world still counted live: {h:?}");
+        assert!(c.world(1).now() < c.world(0).now());
+        // After the window the world resumes, the backlog ships, and
+        // the node is live again (other worlds may by now be honestly
+        // stale — their campaigns simply ended).
+        c.run_until(SimTime::from_hours(3));
+        let h = c.health(SimDuration::from_mins(15));
+        let healed = &h.nodes[c.node_id(1).index()];
+        assert_eq!(
+            healed.liveness,
+            NodeLiveness::Live,
+            "no recovery: {healed:?}"
+        );
+        assert!(
+            healed.high_water.0 > SimTime::from_mins(90).0,
+            "no catch-up"
+        );
+        assert_eq!(healed.counters.gaps, 0, "freeze must not lose batches");
+        assert_eq!(healed.counters.duplicate_batches, 0);
+    }
+
+    #[test]
+    fn partitioned_world_rolls_back_and_reships_everything() {
+        let run = |partition: bool| {
+            let mut c = small_cluster(2);
+            for k in 0..2 {
+                c.world_mut(k).submit_campaign(campaign(80 + k as u64));
+            }
+            if partition {
+                c.schedule_fault(NodeFault {
+                    node: 0,
+                    kind: FaultKind::Partition,
+                    from: SimTime::from_mins(20),
+                    until: SimTime::from_mins(100),
+                });
+            }
+            c.run_until(SimTime::from_hours(4));
+            (
+                c.failed_drains(),
+                c.aggregator().counters(c.node_id(0)).samples,
+                c.aggregator().counters(c.node_id(0)).gaps,
+            )
+        };
+        let (clean_failures, clean_samples, _) = run(false);
+        assert_eq!(clean_failures, 0);
+        let (failures, samples, gaps) = run(true);
+        // Drains inside the window failed and the exporter rolled back…
+        assert!(failures > 0, "partition never bit");
+        assert_eq!(gaps, 0, "rollback must leave the stream contiguous");
+        // …and after heal the backlog re-shipped bit-identically: the
+        // aggregation tier ends with exactly the clean run's samples.
+        assert_eq!(samples, clean_samples);
+    }
+
+    #[test]
+    fn actuator_targets_canary_then_fleet() {
+        let mut c = small_cluster(3);
+        for k in 0..3 {
+            c.world_mut(k).submit_campaign(campaign(90 + k as u64));
+        }
+        c.run_until(SimTime::from_mins(30));
+        let now = c.now();
+        let (_agg, mut act) = c.control_parts();
+        let detail = act
+            .apply(
+                now,
+                &ActionTarget::Canary(NodeId(1)),
+                &ClusterAction::PowerCap { kw: 1.5 },
+            )
+            .unwrap();
+        assert!(detail.contains("world01"), "detail: {detail}");
+        assert_eq!(c.world(1).power_cap_kw(), Some(1.5));
+        assert_eq!(c.world(0).power_cap_kw(), None, "canary stays scoped");
+        let (_agg, mut act) = c.control_parts();
+        act.apply(
+            now,
+            &ActionTarget::Fleet(vec![NodeId(0), NodeId(1), NodeId(2)]),
+            &ClusterAction::PowerCap { kw: 1.5 },
+        )
+        .unwrap();
+        assert!((0..3).all(|k| c.world(k).power_cap_kw() == Some(1.5)));
+        // Unknown targets are an actuation error, not a panic.
+        let (_agg, mut act) = c.control_parts();
+        assert!(act
+            .apply(now, &ActionTarget::Canary(NodeId(9)), &ClusterAction::Uncap)
+            .is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   multiplexing scheduler, filesystem, applications, telemetry
 //!   collection, outages, and resubmission behaviour, with *sensor* and
 //!   *actuator* surfaces for the use-case loops.
+//! * [`cluster`] — K worlds feeding one fleet aggregation tier, plus
+//!   the chaos harness (deterministic kill/partition windows,
+//!   probabilistic frame faults) and the [`cluster::WorldsActuator`]
+//!   surface the center-level control loop acts through.
 
 pub mod app;
 pub mod cluster;
@@ -29,7 +33,7 @@ pub mod workload;
 pub mod world;
 
 pub use app::{AppInstance, AppProfile, MisconfigSpec, PhaseChange};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterAction, ClusterConfig, FaultKind, NodeFault, WorldsActuator};
 pub use failure::{young_interval_s, FailureConfig};
 pub use power::PowerModel;
 pub use workload::{AppClassSpec, WalltimeErrorModel, WorkloadConfig};

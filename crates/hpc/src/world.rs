@@ -154,6 +154,18 @@ pub struct World {
     next_job_id: u64,
     power_sensor_rng: rand::rngs::StdRng,
     failure_rng: rand::rngs::StdRng,
+    /// Facility power cap (kW). When the uncapped facility draw would
+    /// exceed it, node sensors and the facility meter report the capped
+    /// (proportionally scaled) draw — the actuation surface of a
+    /// center-level power-management loop.
+    power_cap_kw: Option<f64>,
+    /// Is a NodeFailure event outstanding in the queue? Prevents
+    /// [`World::set_failure`] from stacking duplicate failure processes:
+    /// one armed event per world is the invariant (each firing re-arms).
+    failure_armed: bool,
+    /// Failures already exported through the `sched.failures` rate
+    /// gauge (the gauge reports deltas between samples).
+    failures_sampled: u64,
     /// Earliest armed DeadlineCheck, if any. Prevents duplicate checks
     /// from flooding the queue: every schedule pass wants to "make sure"
     /// a check exists, but one outstanding check per deadline epoch is
@@ -201,6 +213,9 @@ impl World {
             next_job_id: 0,
             power_sensor_rng,
             failure_rng,
+            power_cap_kw: None,
+            failure_armed: false,
+            failures_sampled: 0,
             armed_deadline: None,
             last_progress: SimTime::ZERO,
             cfg,
@@ -211,6 +226,7 @@ impl World {
         if let Some(f) = w.cfg.failure {
             let gap = f.next_gap(w.cfg.nodes, &mut w.failure_rng);
             w.queue.schedule(SimTime::ZERO + gap, Event::NodeFailure);
+            w.failure_armed = true;
         }
         w
     }
@@ -364,6 +380,7 @@ impl World {
                 self.try_schedule(t);
             }
             Event::NodeFailure => {
+                self.failure_armed = false;
                 let Some(fcfg) = self.cfg.failure else { return };
                 // A node crashes; the job running on it dies with it.
                 // Failures on idle nodes are harmless at this fidelity.
@@ -381,6 +398,7 @@ impl World {
                 if self.work_remaining() {
                     let gap = fcfg.next_gap(self.cfg.nodes, &mut self.failure_rng);
                     self.queue.schedule(t + gap, Event::NodeFailure);
+                    self.failure_armed = true;
                 }
             }
             Event::PowerSample => {
@@ -561,8 +579,24 @@ impl World {
         use rand::Rng as _;
         let total = self.cfg.nodes;
         let busy = total - self.sched.free_nodes();
+        // Draw every node sensor before inserting: a facility power cap
+        // applies proportionally across nodes, so the scale factor needs
+        // the uncapped facility draw first. Draw order (and thus the RNG
+        // stream) is identical to the uncapped path.
+        let samples: Vec<f64> = (0..total)
+            .map(|i| {
+                self.cfg
+                    .power
+                    .node_sample(i < busy, &mut self.power_sensor_rng)
+            })
+            .collect();
+        let kw = self.cfg.power.facility_kw(busy, total);
+        let (kw, scale) = match self.power_cap_kw {
+            Some(cap) if kw > cap => (cap, cap / kw),
+            _ => (kw, 1.0),
+        };
         // Per-node hardware sensors (registered lazily, ids stable).
-        for i in 0..total {
+        for (i, v) in samples.iter().enumerate() {
             let name = format!("node.{i}.power_w");
             let id = match self.tsdb.lookup(&name) {
                 Some(id) => id,
@@ -570,12 +604,7 @@ impl World {
                     .tsdb
                     .register(MetricMeta::gauge(name, "W", SourceDomain::Hardware)),
             };
-            let is_busy = i < busy;
-            let v = self
-                .cfg
-                .power
-                .node_sample(is_busy, &mut self.power_sensor_rng);
-            self.tsdb.insert(id, t, v);
+            self.tsdb.insert(id, t, v * scale);
         }
         // Facility meter.
         let fid = match self.tsdb.lookup("facility.power_kw") {
@@ -586,7 +615,6 @@ impl World {
                 SourceDomain::Facility,
             )),
         };
-        let kw = self.cfg.power.facility_kw(busy, total);
         self.tsdb.insert(fid, t, kw);
         // Software-domain queue gauge.
         let qid = match self.tsdb.lookup("sched.queue_len") {
@@ -598,6 +626,21 @@ impl World {
             )),
         };
         self.tsdb.insert(qid, t, self.sched.queue_len() as f64);
+        // Reliability gauge: job-killing node failures since the last
+        // sample. A rate (not the cumulative count) so windowed fleet
+        // queries see the failure process stop as soon as it is
+        // repaired, instead of integrating history forever.
+        let fail_id = match self.tsdb.lookup("sched.failures") {
+            Some(id) => id,
+            None => self.tsdb.register(MetricMeta::gauge(
+                "sched.failures",
+                "jobs",
+                SourceDomain::Software,
+            )),
+        };
+        let delta = self.metrics.failures - self.failures_sampled;
+        self.failures_sampled = self.metrics.failures;
+        self.tsdb.insert(fail_id, t, delta as f64);
         let _ = self.power_sensor_rng.gen::<u8>(); // decorrelate successive sweeps
     }
 
@@ -813,6 +856,38 @@ impl World {
         self.files.insert(id, file);
         self.avoid_lists.insert(id, avoid);
         true
+    }
+
+    /// Cap (or uncap, with `None`) the facility power draw. While the
+    /// uncapped draw would exceed the cap, power telemetry reports the
+    /// capped draw with node sensors scaled proportionally — the
+    /// center-level power-management response (§III power case at
+    /// cluster scale).
+    pub fn set_power_cap_kw(&mut self, cap: Option<f64>) {
+        self.power_cap_kw = cap;
+    }
+
+    /// The facility power cap currently in force, if any.
+    pub fn power_cap_kw(&self) -> Option<f64> {
+        self.power_cap_kw
+    }
+
+    /// Replace (or disable, with `None`) the fail-stop node-failure
+    /// process at runtime — the repair/mitigation actuator: a response
+    /// loop that has diagnosed a failing node can stop the bleeding with
+    /// `set_failure(None)`, and a chaos harness can switch aggressive
+    /// failure injection on mid-campaign. Arms the failure process if it
+    /// was idle; never stacks a second one.
+    pub fn set_failure(&mut self, failure: Option<FailureConfig>) {
+        self.cfg.failure = failure;
+        if let Some(f) = self.cfg.failure {
+            if !self.failure_armed {
+                let gap = f.next_gap(self.cfg.nodes, &mut self.failure_rng);
+                let at = self.now() + gap;
+                self.queue.schedule(at, Event::NodeFailure);
+                self.failure_armed = true;
+            }
+        }
     }
 
     /// Retune a user's QoS allocation (I/O-QoS case's response).
@@ -1274,6 +1349,72 @@ mod tests {
         assert!(w.tsdb.series(fac).len() > 3);
         assert!(w.tsdb.series(q).len() > 3);
         assert_eq!(w.tsdb.meta(fac).domain, SourceDomain::Facility);
+    }
+
+    #[test]
+    fn power_cap_scales_reported_draw() {
+        let run = |cap: Option<f64>| {
+            let mut w = World::new(WorldConfig {
+                nodes: 4,
+                power_period: Some(SimDuration::from_secs(10)),
+                ..WorldConfig::default()
+            });
+            w.submit_campaign(vec![quick_job(0, 4, 60, 5.0, 600)]);
+            w.set_power_cap_kw(cap);
+            w.run_to_completion(SimTime::from_hours(1));
+            let span = SimDuration::from_hours(1);
+            let fac = w.tsdb.lookup("facility.power_kw").unwrap();
+            let node = w.tsdb.lookup("node.0.power_w").unwrap();
+            (
+                w.tsdb
+                    .window_agg(fac, w.now(), span, WindowAgg::Max)
+                    .unwrap(),
+                w.tsdb
+                    .window_agg(node, w.now(), span, WindowAgg::Max)
+                    .unwrap(),
+            )
+        };
+        let (uncapped, uncapped_node) = run(None);
+        assert!(uncapped > 0.0);
+        let cap = uncapped * 0.6;
+        let (capped, capped_node) = run(Some(cap));
+        // The facility meter never reports above the cap, and node
+        // sensors scale down with it (same seed, same RNG draws).
+        assert!(capped <= cap + 1e-9, "capped {capped} vs cap {cap}");
+        assert!(
+            capped_node < uncapped_node * 0.8,
+            "node sensor {capped_node} vs uncapped {uncapped_node}"
+        );
+        // Uncapping restores the raw draw.
+        let mut w = World::new(WorldConfig {
+            nodes: 4,
+            power_period: Some(SimDuration::from_secs(10)),
+            ..WorldConfig::default()
+        });
+        w.set_power_cap_kw(Some(cap));
+        assert_eq!(w.power_cap_kw(), Some(cap));
+        w.set_power_cap_kw(None);
+        assert_eq!(w.power_cap_kw(), None);
+    }
+
+    #[test]
+    fn runtime_failure_injection_arms_and_disarms() {
+        let mut w = small_world(12);
+        // 200 × 5 s = 1000 s of work with checkpoints available.
+        w.submit_campaign(vec![quick_job(0, 2, 200, 5.0, 4000)]);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.metrics.failures, 0);
+        // Aggressive failures switched on mid-campaign (system MTBF
+        // 100 s/8 nodes = 12.5 s): kills arrive almost immediately.
+        w.set_failure(Some(FailureConfig { node_mtbf_s: 100.0 }));
+        w.run_until(SimTime::from_secs(400));
+        assert!(w.metrics.failures > 0, "no failures injected");
+        let seen = w.metrics.failures;
+        // Repair: disabling the process stops the bleeding for good.
+        w.set_failure(None);
+        w.run_to_completion(SimTime::from_hours(12));
+        assert_eq!(w.metrics.failures, seen);
+        assert_eq!(w.metrics.roots_completed, 1);
     }
 
     #[test]

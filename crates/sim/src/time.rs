@@ -29,17 +29,17 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Construct from whole seconds.
-    pub fn from_secs(s: u64) -> Self {
+    pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1000)
     }
 
     /// Construct from whole minutes.
-    pub fn from_mins(m: u64) -> Self {
+    pub const fn from_mins(m: u64) -> Self {
         SimTime(m * 60_000)
     }
 
     /// Construct from whole hours.
-    pub fn from_hours(h: u64) -> Self {
+    pub const fn from_hours(h: u64) -> Self {
         SimTime(h * 3_600_000)
     }
 
@@ -69,7 +69,7 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Construct from whole seconds.
-    pub fn from_secs(s: u64) -> Self {
+    pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1000)
     }
 
@@ -85,12 +85,12 @@ impl SimDuration {
     }
 
     /// Construct from whole minutes.
-    pub fn from_mins(m: u64) -> Self {
+    pub const fn from_mins(m: u64) -> Self {
         SimDuration(m * 60_000)
     }
 
     /// Construct from whole hours.
-    pub fn from_hours(h: u64) -> Self {
+    pub const fn from_hours(h: u64) -> Self {
         SimDuration(h * 3_600_000)
     }
 

@@ -300,6 +300,13 @@ pub struct DrainStats {
     pub lock_held_ns: u64,
     /// Longest single lock hold, ns.
     pub max_lock_held_ns: u64,
+    /// Transport-level redelivery work behind these drains: reconnect
+    /// dials plus batches re-sent from a retrying sink's replay buffer.
+    /// Zero for in-process sinks; a socket sink folds its own counters
+    /// in when it ships the stats (`moda-fleet`'s `SocketSink`), so the
+    /// fleet health view shows how hard the wire worked, not just what
+    /// arrived.
+    pub send_retries: u64,
 }
 
 impl DrainStats {
@@ -333,6 +340,7 @@ impl DrainStats {
         self.metas += other.metas;
         self.missed_samples += other.missed_samples;
         self.missed_buckets += other.missed_buckets;
+        self.send_retries += other.send_retries;
     }
 }
 
@@ -2346,6 +2354,7 @@ pub fn encode_drain_stats(stats: &DrainStats, out: &mut Vec<u8>) {
         stats.missed_buckets,
         stats.lock_held_ns,
         stats.max_lock_held_ns,
+        stats.send_retries,
     ] {
         put_u64(out, v);
     }
@@ -2366,6 +2375,10 @@ pub fn decode_drain_stats(buf: &[u8]) -> io::Result<DrainStats> {
         missed_buckets: r.u64()?,
         lock_held_ns: r.u64()?,
         max_lock_held_ns: r.u64()?,
+        // Added after the first wire revision: a stream recorded before
+        // retrying sinks surfaced their redelivery counters simply ends
+        // here, so the field is optional-trailing rather than required.
+        send_retries: if r.done() { 0 } else { r.u64()? },
     };
     if !r.done() {
         return Err(wire_err("trailing bytes in drain stats"));
@@ -3411,6 +3424,21 @@ mod tests {
         let mut buf = Vec::new();
         encode_drain_stats(&stats, &mut buf);
         assert_eq!(decode_drain_stats(&buf).unwrap(), stats);
+        // Retry counters ride along and survive the round trip.
+        let retried = DrainStats {
+            send_retries: 7,
+            ..stats
+        };
+        buf.clear();
+        encode_drain_stats(&retried, &mut buf);
+        assert_eq!(decode_drain_stats(&buf).unwrap(), retried);
+        // A pre-retry-counter stream (11 fixed u64s) still decodes, with
+        // the trailing field defaulting to zero.
+        buf.truncate(11 * 8);
+        assert_eq!(decode_drain_stats(&buf).unwrap(), stats);
+        // Garbage past the known fields is still rejected.
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(decode_drain_stats(&buf).is_err());
     }
 
     #[test]

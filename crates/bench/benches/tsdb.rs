@@ -544,6 +544,50 @@ fn bench_fleet(c: &mut Criterion) {
             BatchSize::PerIteration,
         );
     });
+    // Remote serving cost: the same merged fleet p99, but over the
+    // wire — one framed request/response round-trip on loopback TCP
+    // through `FleetClient` against a populated durable server. The
+    // gate pins fanout_p99_16 / remote_query_p99: even with the socket
+    // hop, the sketch merge must beat pooling raw values in-process.
+    use moda_fleet::FleetClient;
+    let serve_dir = tmp.join("serve");
+    let mut served = DurableFleet::open(&serve_dir, no_cadence).unwrap();
+    for (n, wire) in wires.iter().enumerate() {
+        let node = served.add_node(&format!("node{n:02}")).unwrap();
+        for batch in wire.iter_batches() {
+            served.ingest(node, &batch).unwrap();
+        }
+    }
+    let listener =
+        FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(served)), "bench").unwrap();
+    let mut client = FleetClient::connect(&listener.local_addr().to_string(), "bench").unwrap();
+    // Correctness anchor: the remote answer is bit-identical to the
+    // in-process merge and still sketch-served with zero raw reads.
+    let want =
+        agg.store()
+            .fleet_window_agg("node0000.metric", now, day, WindowAgg::Percentile(0.99));
+    let got = client
+        .window_agg("node0000.metric", now, day, WindowAgg::Percentile(0.99))
+        .unwrap();
+    assert_eq!(got.value.map(f64::to_bits), want.map(f64::to_bits));
+    assert!(got.served.sketch && got.served.raw_values == 0, "{got:?}");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("remote_query_p99", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .window_agg(
+                        "node0000.metric",
+                        black_box(now),
+                        day,
+                        WindowAgg::Percentile(0.99),
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+    drop(client);
+    drop(listener.shutdown());
     let _ = std::fs::remove_dir_all(&tmp);
     g.finish();
 }

@@ -50,6 +50,7 @@ const SKIP_PREFIXES: &[&str] = &[
     "tsdb_fleet/recover_from_snapshot",
     "tsdb_fleet/replay_from_seq0",
     "tsdb_fleet/socket_ingest_1day",
+    "tsdb_fleet/remote_query_p99",
 ];
 
 /// The machine-independent ratio checks: (numerator, denominator,
@@ -96,6 +97,17 @@ const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
         "tsdb_fleet/recover_from_snapshot",
         "BENCH_GATE_MIN_RECOVERY_SPEEDUP",
         10.0,
+    ),
+    // The serving tier's reason to exist: the full remote round-trip
+    // for the merged fleet p99 (framed request/response over loopback
+    // through `FleetClient`) must still beat fanning out to every
+    // node's raw day in-process — the sketch merge buys enough that
+    // even a socket hop wins.
+    (
+        "tsdb_fleet/fanout_p99_16",
+        "tsdb_fleet/remote_query_p99",
+        "BENCH_GATE_MIN_REMOTE_QUERY_SPEEDUP",
+        2.0,
     ),
 ];
 

@@ -539,8 +539,8 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
 // ------------------------------------------------- multi-node fleet mode
 
 use moda_fleet::{
-    ChannelSink, DurabilityConfig, DurableFleet, FleetAggregator, FleetListener, FleetMsg, NodeId,
-    SocketSink,
+    ChannelSink, DurabilityConfig, DurableFleet, FleetAggregator, FleetClient, FleetListener,
+    FleetMsg, HealthAnswer, NodeId, Rank, SocketSink,
 };
 use moda_telemetry::{Collector, Exporter, Sensor, ShardedTsdb};
 use std::path::Path;
@@ -604,6 +604,11 @@ pub struct MultiNodeFleetStats {
     pub inserts: u64,
     /// End-to-end wall time of the threaded run.
     pub wall: Duration,
+    /// Remote queries issued through a [`FleetClient`] and verified
+    /// bit-identical to the in-process planner's answers before the
+    /// listener shut down. Zero for the in-process transport (no
+    /// socket to query).
+    pub remote_queries_verified: u64,
 }
 
 /// Deterministic per-node sensor sweep: one value per metric per tick,
@@ -732,6 +737,7 @@ pub fn run_multinode_fleet(cfg: &MultiNodeFleetConfig) -> MultiNodeFleetStats {
         aggregator,
         inserts: dbs.iter().map(|db| db.total_inserts()).sum(),
         wall,
+        remote_queries_verified: 0,
     }
 }
 
@@ -753,6 +759,15 @@ pub fn run_multinode_fleet(cfg: &MultiNodeFleetConfig) -> MultiNodeFleetStats {
 /// [`run_multinode_fleet`] answer for the same config (batch *pacing*
 /// differs across transports; the store's merge algebra makes the
 /// content identical).
+///
+/// Before the listener shuts down, the run also exercises the serving
+/// tier end-to-end: a [`FleetClient`] dials the same listener and the
+/// harness asserts that every remote answer — window aggregates of
+/// each kind, the run-wide merged p99, top-k rankings both directions,
+/// the health rollup, coverage-annotated aggregates, and the axes
+/// listing — is **bit-identical** to the in-process planner's answer
+/// computed under the fleet lock
+/// ([`MultiNodeFleetStats::remote_queries_verified`] counts them).
 pub fn run_multinode_fleet_tcp(
     cfg: &MultiNodeFleetConfig,
     dir: impl AsRef<Path>,
@@ -832,6 +847,9 @@ pub fn run_multinode_fleet_tcp(
         Ok(())
     })?;
     let wall = start.elapsed();
+    // Every exporter is fully acked, so the tier is quiescent: the
+    // serving-protocol equivalence check runs against a stable view.
+    let remote_queries_verified = verify_remote_queries(&listener, &addr, token, cfg)?;
     let fleet = listener.shutdown();
     let mut fleet = Arc::try_unwrap(fleet)
         .expect("all connections joined")
@@ -844,7 +862,146 @@ pub fn run_multinode_fleet_tcp(
         aggregator: fleet.into_aggregator(),
         inserts: dbs.iter().map(|db| db.total_inserts()).sum(),
         wall,
+        remote_queries_verified,
     })
+}
+
+/// Drive the read-only query protocol against the live listener and
+/// assert every remote answer is bit-identical (`f64::to_bits`,
+/// structural equality on served/coverage/health metadata) to the
+/// in-process planner answer computed directly on the shared fleet.
+/// Returns the number of remote queries verified.
+///
+/// The in-process expectations are computed on [`moda_fleet::FleetStore`]
+/// / [`moda_fleet::FleetAggregator`] directly — *not* through the
+/// server's own `execute` path — so the check spans the whole serving
+/// stack: planner → response encode → socket → client decode.
+fn verify_remote_queries(
+    listener: &FleetListener,
+    addr: &str,
+    token: &str,
+    cfg: &MultiNodeFleetConfig,
+) -> std::io::Result<u64> {
+    let now = SimTime(cfg.tick.0 * cfg.rounds as u64);
+    let span = SimDuration(now.0); // the whole run, first tick included
+    let stale_after = SimDuration(cfg.tick.0.max(1) * 4);
+    let shared = listener.fleet();
+    let mut client = FleetClient::connect(addr, token)?;
+    let mut verified = 0u64;
+    let scalar_bits = |v: Option<f64>| v.map(f64::to_bits);
+
+    for m in 0..cfg.metrics_per_node {
+        let metric = format!("metric{m:03}");
+        for agg in [
+            WindowAgg::Count,
+            WindowAgg::Sum,
+            WindowAgg::Mean,
+            WindowAgg::Min,
+            WindowAgg::Max,
+            // The run-wide fleet percentile, merged from every node's
+            // sealed-bucket sketches.
+            WindowAgg::Percentile(0.99),
+        ] {
+            let want = {
+                let fleet = shared.lock().unwrap();
+                fleet
+                    .store()
+                    .fleet_window_agg_served(&metric, now, span, agg)
+            };
+            let got = client.window_agg(&metric, now, span, agg)?;
+            assert_eq!(
+                scalar_bits(got.value),
+                scalar_bits(want.0),
+                "remote {metric} {agg:?} diverged from the in-process planner"
+            );
+            assert_eq!(got.served, want.1, "served metadata for {metric} {agg:?}");
+            verified += 1;
+        }
+    }
+
+    // Top-k both directions, over a per-node p99 — name resolution and
+    // tie order must match the in-process ranking exactly.
+    let metric = "metric000";
+    for rank in [Rank::Highest, Rank::Lowest] {
+        let want: Vec<(NodeId, String, u64)> = {
+            let fleet = shared.lock().unwrap();
+            fleet
+                .store()
+                .top_nodes(
+                    metric,
+                    now,
+                    span,
+                    WindowAgg::Percentile(0.99),
+                    cfg.nodes,
+                    rank,
+                )
+                .into_iter()
+                .map(|(node, v)| {
+                    (
+                        node,
+                        fleet.aggregator().node_name(node).to_string(),
+                        v.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        let got: Vec<(NodeId, String, u64)> = client
+            .top_nodes(
+                metric,
+                now,
+                span,
+                WindowAgg::Percentile(0.99),
+                cfg.nodes as u32,
+                rank,
+            )?
+            .into_iter()
+            .map(|e| (e.node, e.name, e.value.to_bits()))
+            .collect();
+        assert_eq!(got, want, "remote top-k ({rank:?}) diverged");
+        verified += 1;
+    }
+
+    // Health rollup: liveness, high-water marks, full wire counters,
+    // drain totals — field for field.
+    let want = {
+        let fleet = shared.lock().unwrap();
+        HealthAnswer::from_fleet(&fleet.aggregator().health(now, stale_after))
+    };
+    let got = client.health(now, stale_after)?;
+    assert_eq!(got, want, "remote health rollup diverged");
+    verified += 1;
+
+    // Coverage-annotated aggregate: the control-plane view.
+    let want = {
+        let fleet = shared.lock().unwrap();
+        fleet
+            .aggregator()
+            .covered_window_agg(metric, now, span, WindowAgg::Sum, stale_after)
+    };
+    let got = client.covered_window_agg(metric, now, span, WindowAgg::Sum, stale_after)?;
+    assert_eq!(
+        scalar_bits(got.value),
+        scalar_bits(want.value),
+        "remote covered aggregate diverged"
+    );
+    assert_eq!(got.served, want.served, "covered served metadata");
+    assert_eq!(got.coverage, want.coverage, "coverage metadata");
+    verified += 1;
+
+    // Axes discovery listing.
+    let want: Vec<(String, u32)> = {
+        let fleet = shared.lock().unwrap();
+        fleet
+            .store()
+            .logical_axes()
+            .into_iter()
+            .map(|(name, members)| (name, members as u32))
+            .collect()
+    };
+    assert_eq!(client.metrics()?.axes, want, "remote axes listing diverged");
+    verified += 1;
+
+    Ok(verified)
 }
 
 #[cfg(test)]
@@ -1128,6 +1285,15 @@ mod tests {
         let reference = run_multinode_fleet(&cfg);
         let stats = run_multinode_fleet_tcp(&cfg, &dir, "runtime-token").unwrap();
         assert_eq!(stats.inserts, reference.inserts);
+        assert_eq!(reference.remote_queries_verified, 0, "no socket to query");
+        // The TCP run drove the serving protocol end-to-end before
+        // shutdown: scalar aggregates + run-wide p99 per metric, top-k
+        // both directions, health, coverage, and the axes listing —
+        // each asserted bit-identical inside verify_remote_queries.
+        assert_eq!(
+            stats.remote_queries_verified,
+            (cfg.metrics_per_node * 6 + 2 + 3) as u64
+        );
         let (store, ref_store) = (stats.aggregator.store(), reference.aggregator.store());
         assert_eq!(store.cardinality(), ref_store.cardinality());
         // Batch boundaries differ across transports (drain pacing), but

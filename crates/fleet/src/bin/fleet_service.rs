@@ -3,31 +3,61 @@
 //!
 //! ```text
 //! fleet_service serve <dir> <addr> <token> [--snapshot-every N]
+//! fleet_service query <addr> <token> metrics
+//! fleet_service query <addr> <token> agg <metric> <now_s> <window_s> <agg>
+//! fleet_service query <addr> <token> top <metric> <now_s> <window_s> <agg> <k> <highest|lowest>
+//! fleet_service query <addr> <token> health <now_s> <stale_after_s>
+//! fleet_service query <addr> <token> covered <metric> <now_s> <window_s> <agg> <stale_after_s>
 //! ```
 //!
-//! Opens (or recovers) the [`moda_fleet::DurableFleet`] under `<dir>`,
-//! binds the framed TCP listener on `<addr>` (use port `0` for an
-//! ephemeral port), prints one `READY <addr>` line on stdout, and
-//! serves until killed. Because every ingested batch is appended to
-//! the write-ahead log before its ack, `kill -9` at any point loses
+//! `serve` opens (or recovers) the [`moda_fleet::DurableFleet`] under
+//! `<dir>`, binds the framed TCP listener on `<addr>` (use port `0`
+//! for an ephemeral port), prints one `READY <addr>` line on stdout,
+//! and serves until killed. Because every ingested batch is appended
+//! to the write-ahead log before its ack, `kill -9` at any point loses
 //! nothing that was acknowledged: restart the service on the same
 //! `<dir>` and exporters resume from their persisted cursors.
 //!
-//! This is the process the crash-recovery integration test
-//! (`tests/recovery.rs`) and the `fleet-recovery` CI job drive.
+//! `query` is the read-only CLI over the serving protocol
+//! ([`moda_fleet::query`]): it dials a running service with a
+//! [`moda_fleet::FleetClient`], issues one request, prints the answer,
+//! and exits non-zero on refusal. `<agg>` is one of `mean`, `min`,
+//! `max`, `sum`, `count`, or `pQ` with a rank in [0, 1] (`p0.99`).
+//! Times are in seconds.
+//!
+//! This is the process the crash-recovery and query integration tests
+//! (`tests/recovery.rs`, `tests/query.rs`) and the `fleet-recovery` /
+//! `fleet-query` CI jobs drive.
 
-use moda_fleet::{DurabilityConfig, DurableFleet, FleetListener};
+use moda_fleet::{DurabilityConfig, DurableFleet, FleetClient, FleetListener, Rank};
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::WindowAgg;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
-    eprintln!("usage: fleet_service serve <dir> <addr> <token> [--snapshot-every N]");
+    eprintln!(
+        "usage: fleet_service serve <dir> <addr> <token> [--snapshot-every N]\n\
+         \x20      fleet_service query <addr> <token> metrics\n\
+         \x20      fleet_service query <addr> <token> agg <metric> <now_s> <window_s> <agg>\n\
+         \x20      fleet_service query <addr> <token> top <metric> <now_s> <window_s> <agg> <k> <highest|lowest>\n\
+         \x20      fleet_service query <addr> <token> health <now_s> <stale_after_s>\n\
+         \x20      fleet_service query <addr> <token> covered <metric> <now_s> <window_s> <agg> <stale_after_s>"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() < 5 || args[1] != "serve" {
+    match args.get(1).map(String::as_str) {
+        Some("serve") => serve(&args),
+        Some("query") => query(&args),
+        _ => usage(),
+    }
+}
+
+fn serve(args: &[String]) -> ! {
+    if args.len() < 5 {
         usage();
     }
     let (dir, addr, token) = (&args[2], &args[3], &args[4]);
@@ -71,5 +101,130 @@ fn main() {
     // shutdown path to get right — SIGKILL is the supported exit.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn parse_agg(s: &str) -> WindowAgg {
+    match s {
+        "mean" => WindowAgg::Mean,
+        "min" => WindowAgg::Min,
+        "max" => WindowAgg::Max,
+        "sum" => WindowAgg::Sum,
+        "count" => WindowAgg::Count,
+        _ => match s.strip_prefix('p').and_then(|q| q.parse::<f64>().ok()) {
+            Some(q) => WindowAgg::Percentile(q),
+            None => usage(),
+        },
+    }
+}
+
+fn parse_secs(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| usage())
+}
+
+fn query(args: &[String]) -> ! {
+    if args.len() < 4 {
+        usage();
+    }
+    let (addr, token) = (&args[2], &args[3]);
+    let mut client = match FleetClient::connect(addr, token) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fleet_service: cannot connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rest = &args[4..];
+    let result = match rest.first().map(String::as_str) {
+        Some("metrics") if rest.len() == 1 => client.metrics().map(|m| {
+            for (name, members) in &m.axes {
+                println!("{name} members={members}");
+            }
+        }),
+        Some("agg") if rest.len() == 5 => client
+            .window_agg(
+                &rest[1],
+                SimTime::from_secs(parse_secs(&rest[2])),
+                SimDuration::from_secs(parse_secs(&rest[3])),
+                parse_agg(&rest[4]),
+            )
+            .map(|a| {
+                println!(
+                    "value={:?} members={} buckets={} raw_values={} sketch={}",
+                    a.value,
+                    a.served.members,
+                    a.served.buckets,
+                    a.served.raw_values,
+                    a.served.sketch
+                );
+            }),
+        Some("top") if rest.len() == 7 => {
+            let rank = match rest[6].as_str() {
+                "highest" => Rank::Highest,
+                "lowest" => Rank::Lowest,
+                _ => usage(),
+            };
+            client
+                .top_nodes(
+                    &rest[1],
+                    SimTime::from_secs(parse_secs(&rest[2])),
+                    SimDuration::from_secs(parse_secs(&rest[3])),
+                    parse_agg(&rest[4]),
+                    rest[5].parse().unwrap_or_else(|_| usage()),
+                    rank,
+                )
+                .map(|entries| {
+                    for (i, e) in entries.iter().enumerate() {
+                        println!("#{i} {} ({}) value={}", e.name, e.node, e.value);
+                    }
+                })
+        }
+        Some("health") if rest.len() == 3 => client
+            .health(
+                SimTime::from_secs(parse_secs(&rest[1])),
+                SimDuration::from_secs(parse_secs(&rest[2])),
+            )
+            .map(|h| {
+                println!(
+                    "live={} stale={} silent={} observed_now={:?}",
+                    h.live, h.stale, h.silent, h.observed_now
+                );
+                for n in &h.nodes {
+                    println!(
+                        "{} ({}) {:?} high_water={:?} lag={:?} batches={} samples={} gaps={}",
+                        n.name,
+                        n.node,
+                        n.liveness,
+                        n.high_water,
+                        n.drain_lag,
+                        n.counters.batches,
+                        n.counters.samples,
+                        n.counters.gaps
+                    );
+                }
+            }),
+        Some("covered") if rest.len() == 6 => client
+            .covered_window_agg(
+                &rest[1],
+                SimTime::from_secs(parse_secs(&rest[2])),
+                SimDuration::from_secs(parse_secs(&rest[3])),
+                parse_agg(&rest[4]),
+                SimDuration::from_secs(parse_secs(&rest[5])),
+            )
+            .map(|a| {
+                let c = &a.coverage;
+                println!(
+                    "value={:?} coverage={}/{} stale={} silent={} missing={}",
+                    a.value, c.contributing, c.total, c.stale, c.silent, c.missing
+                );
+            }),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("fleet_service: query failed: {e}");
+            std::process::exit(1);
+        }
     }
 }

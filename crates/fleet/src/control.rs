@@ -84,7 +84,7 @@ impl Coverage {
 }
 
 /// A coverage-annotated fleet query answer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoveredValue {
     /// The pooled answer over the contributing subset (`None` when no
     /// contributing node had data in the window).

@@ -33,6 +33,12 @@
 //!   [`moda_telemetry::Sink`] that forwards batches over a crossbeam
 //!   channel to an aggregator thread (the K-exporters→one-aggregator
 //!   topology `moda_core::runtime::run_multinode_fleet` wires up).
+//! * [`query`] + [`FleetClient`] — the serving front end: versioned
+//!   request/response query frames over the same socket envelope the
+//!   ingest sessions use, answering window aggregates, merged fleet
+//!   percentiles, top-k rankings, health, and coverage-annotated
+//!   variants **bit-identically** to the in-process planner (pinned by
+//!   `tests/query.rs` and the golden exchange in `tests/golden/`).
 //!
 //! The wire contract this crate consumes — cursor validation,
 //! staleness, duplicate-batch rejection — is specified in the
@@ -83,6 +89,7 @@
 pub mod aggregator;
 pub mod control;
 pub mod persist;
+pub mod query;
 pub mod store;
 pub mod transport;
 
@@ -97,7 +104,12 @@ pub use control::{
     TickReport,
 };
 pub use persist::{DurabilityConfig, DurableFleet, RecoveryStats};
+pub use query::{
+    CoveredAnswer, CoveredTopNodesAnswer, HealthAnswer, MetricsAnswer, NodeHealthAnswer,
+    QueryError, QueryErrorCode, QueryRequest, QueryResponse, ScalarAnswer, TopNodeEntry,
+    QUERY_PROTOCOL_VERSION,
+};
 pub use store::{FleetMetricInfo, FleetServed, FleetStore, FleetStoreStats, NodeId, Rank};
 pub use transport::{
-    ChaosConfig, ChaosSink, ChaosStats, FleetListener, SocketSink, TransportConfig,
+    ChaosConfig, ChaosSink, ChaosStats, FleetClient, FleetListener, SocketSink, TransportConfig,
 };

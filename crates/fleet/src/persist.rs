@@ -206,6 +206,12 @@ impl<'a> Rd<'a> {
     pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Bytes left to read — the sanity bound element-count prefixes are
+    /// checked against before pre-allocating.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 // -------------------------------------------------------------- config

@@ -349,6 +349,20 @@ impl FleetStore {
         self.logical.keys().map(String::as_str)
     }
 
+    /// Snapshot of the logical axes as `(name, member count)` pairs,
+    /// sorted by name — the deterministic listing the query protocol's
+    /// discovery request serves, so remote and in-process callers see
+    /// the same order regardless of hash-map iteration.
+    pub fn logical_axes(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .logical
+            .iter()
+            .map(|(name, members)| (name.clone(), members.len()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// One fleet metric's raw ring.
     pub fn raw(&self, id: MetricId) -> &TimeSeries {
         &self.raw[id.index()]

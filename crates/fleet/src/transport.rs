@@ -4,8 +4,9 @@
 //! Replaces the in-process [`crate::ChannelSink`] for deployments where
 //! node exporters and the fleet tier live in different processes.
 //! Framing is the CRC-protected envelope from
-//! `moda_telemetry::export::write_frame`; on top of it a five-message
-//! protocol:
+//! `moda_telemetry::export::write_frame`; on top of it the ingest
+//! protocol (tags 1–5) and, sharing the same listener, the read-only
+//! query protocol (tags 6–9, codec in [`crate::query`]):
 //!
 //! | tag | dir | payload |
 //! |-----|-----|---------|
@@ -14,6 +15,20 @@
 //! | `BATCH` (3) | node → fleet | one encoded [`ExportBatch`] |
 //! | `ACK` (4) | fleet → node | cumulative `next_seq u64` after applying |
 //! | `DRAIN` (5) | node → fleet | encoded exporter [`DrainStats`] |
+//! | `QUERY_HELLO` (6) | client → fleet | auth token |
+//! | `QUERY_HELLO_ACK` (7) | fleet → client | status `u8` · protocol version `u16` |
+//! | `QUERY` (8) | client → fleet | request id `u64` · encoded [`crate::query::QueryRequest`] |
+//! | `QUERY_RESP` (9) | fleet → client | request id `u64` · encoded [`crate::query::QueryResponse`] |
+//!
+//! A connection picks its role with its first frame: `HELLO` opens an
+//! ingest session (registers the node), `QUERY_HELLO` opens a
+//! **read-only** query session — it never registers a node, so a
+//! dashboard can never surface as a silent node in health or coverage
+//! answers, and ingest frames on it close the connection. Malformed
+//! *query payloads* inside a valid envelope are answered with a typed
+//! `Error` response and the session survives; a corrupt envelope
+//! (CRC mismatch, absurd length) closes the connection — there is no
+//! way to resynchronize a byte stream after a broken length prefix.
 //!
 //! `BATCH` and `DRAIN` are both acknowledged with `ACK`, and only
 //! after the server has made the payload durable (logged + flushed) —
@@ -37,13 +52,20 @@
 //! moment `write_batch` returns `Ok`, so the sink must be able to
 //! re-deliver anything the server might not have persisted yet.
 
-use crate::persist::{bad_data, put_str, put_u64, DurableFleet, Rd};
-use crate::store::NodeId;
+use crate::persist::{bad_data, put_str, put_u16, put_u64, DurableFleet, Rd};
+use crate::query::{
+    decode_request, decode_response, encode_request, encode_response, execute, CoveredAnswer,
+    CoveredTopNodesAnswer, HealthAnswer, MetricsAnswer, QueryError, QueryErrorCode, QueryRequest,
+    QueryResponse, ScalarAnswer, TopNodeEntry, QUERY_PROTOCOL_VERSION,
+};
+use crate::store::{NodeId, Rank};
+use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{
-    crc32, decode_batch, decode_drain_stats, encode_batch, encode_drain_stats, read_frame,
-    write_frame, ExportBatch, ExportRecord, Sink, MAX_FRAME_LEN,
+    crc32, decode_batch, decode_drain_stats, encode_batch, encode_drain_stats, frame_tag,
+    read_frame, write_frame, ExportBatch, ExportRecord, Sink, MAX_FRAME_LEN,
 };
 use moda_telemetry::DrainStats;
+use moda_telemetry::WindowAgg;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -53,15 +75,23 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Session hello: auth token + node name.
-pub(crate) const FRAME_HELLO: u8 = 1;
+pub(crate) const FRAME_HELLO: u8 = frame_tag::HELLO;
 /// Hello response: status + persisted session cursor.
-pub(crate) const FRAME_HELLO_ACK: u8 = 2;
+pub(crate) const FRAME_HELLO_ACK: u8 = frame_tag::HELLO_ACK;
 /// One wire batch.
-pub(crate) const FRAME_BATCH: u8 = 3;
+pub(crate) const FRAME_BATCH: u8 = frame_tag::BATCH;
 /// Cumulative apply acknowledgement.
-pub(crate) const FRAME_ACK: u8 = 4;
+pub(crate) const FRAME_ACK: u8 = frame_tag::ACK;
 /// Out-of-band exporter drain report.
-pub(crate) const FRAME_DRAIN: u8 = 5;
+pub(crate) const FRAME_DRAIN: u8 = frame_tag::DRAIN;
+/// Query session hello: auth token only (read-only, no registration).
+pub(crate) const FRAME_QUERY_HELLO: u8 = frame_tag::QUERY_HELLO;
+/// Query hello response: status + protocol version.
+pub(crate) const FRAME_QUERY_HELLO_ACK: u8 = frame_tag::QUERY_HELLO_ACK;
+/// One query request (request id + encoded request).
+pub(crate) const FRAME_QUERY: u8 = frame_tag::QUERY;
+/// One query response (request id + encoded response).
+pub(crate) const FRAME_QUERY_RESP: u8 = frame_tag::QUERY_RESP;
 
 /// Exporter-side transport tuning.
 #[derive(Debug, Clone)]
@@ -660,6 +690,7 @@ pub struct FleetListener {
     fleet: Arc<Mutex<DurableFleet>>,
     stop: Arc<AtomicBool>,
     auth_failures: Arc<AtomicU64>,
+    queries_served: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -676,11 +707,13 @@ impl FleetListener {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let auth_failures = Arc::new(AtomicU64::new(0));
+        let queries_served = Arc::new(AtomicU64::new(0));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
             let fleet = Arc::clone(&fleet);
             let stop = Arc::clone(&stop);
             let auth_failures = Arc::clone(&auth_failures);
+            let queries_served = Arc::clone(&queries_served);
             let conn_threads = Arc::clone(&conn_threads);
             let token = token.to_string();
             std::thread::spawn(move || {
@@ -692,9 +725,17 @@ impl FleetListener {
                     let fleet = Arc::clone(&fleet);
                     let stop = Arc::clone(&stop);
                     let auth_failures = Arc::clone(&auth_failures);
+                    let queries_served = Arc::clone(&queries_served);
                     let token = token.clone();
                     let handle = std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &fleet, &token, &stop, &auth_failures);
+                        let _ = serve_connection(
+                            stream,
+                            &fleet,
+                            &token,
+                            &stop,
+                            &auth_failures,
+                            &queries_served,
+                        );
                     });
                     conn_threads.lock().unwrap().push(handle);
                 }
@@ -705,6 +746,7 @@ impl FleetListener {
             fleet,
             stop,
             auth_failures,
+            queries_served,
             accept_thread: Some(accept_thread),
             conn_threads,
         })
@@ -723,6 +765,12 @@ impl FleetListener {
     /// Sessions rejected for a bad auth token.
     pub fn auth_failures(&self) -> u64 {
         self.auth_failures.load(Ordering::SeqCst)
+    }
+
+    /// Query frames answered (including typed refusals) across every
+    /// query session this listener has served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, drain connection threads, and hand back the
@@ -788,15 +836,31 @@ impl FrameBuffer {
     }
 }
 
-/// One authenticated ingest session: hello → resume cursor → batch/ack
-/// loop. Returns when the peer disconnects, sends garbage, or the
-/// listener shuts down.
+/// What a connection's first frame committed it to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionRole {
+    /// No hello yet.
+    Pending,
+    /// Ingest session for one registered node.
+    Ingest(NodeId),
+    /// Authenticated read-only query session.
+    Query,
+}
+
+/// One authenticated session: the first frame picks the role (`HELLO`
+/// → ingest, `QUERY_HELLO` → read-only query), then the matching
+/// request loop runs. Returns when the peer disconnects, corrupts the
+/// envelope, crosses roles (ingest frames on a query session and vice
+/// versa), or the listener shuts down. Malformed query *payloads*
+/// inside a valid envelope do **not** end the session — they are
+/// answered with a typed `Error` response.
 fn serve_connection(
     mut stream: TcpStream,
     fleet: &Arc<Mutex<DurableFleet>>,
     token: &str,
     stop: &Arc<AtomicBool>,
     auth_failures: &Arc<AtomicU64>,
+    queries_served: &Arc<AtomicU64>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream
@@ -804,14 +868,14 @@ fn serve_connection(
         .ok();
     let mut frames = FrameBuffer::new();
     let mut tmp = [0u8; 64 * 1024];
-    let mut node: Option<NodeId> = None;
+    let mut role = SessionRole::Pending;
     loop {
         loop {
             match frames.next_frame() {
                 Parsed::NeedMore => break,
                 Parsed::Corrupt => return Err(bad_data("corrupt frame on ingest connection")),
-                Parsed::Frame(tag, payload) => match (tag, node) {
-                    (FRAME_HELLO, _) => {
+                Parsed::Frame(tag, payload) => match (tag, role) {
+                    (FRAME_HELLO, SessionRole::Pending) => {
                         let mut r = Rd::new(&payload);
                         let peer_token = r.str()?;
                         let name = r.str()?;
@@ -830,7 +894,7 @@ fn serve_connection(
                         let next_seq = {
                             let mut fleet = fleet.lock().unwrap();
                             let id = fleet.add_node(&name)?;
-                            node = Some(id);
+                            role = SessionRole::Ingest(id);
                             fleet.next_seq(id)
                         };
                         ack.push(0u8);
@@ -838,7 +902,53 @@ fn serve_connection(
                         write_frame(&mut stream, FRAME_HELLO_ACK, &ack)?;
                         stream.flush()?;
                     }
-                    (FRAME_BATCH, Some(id)) => {
+                    (FRAME_QUERY_HELLO, SessionRole::Pending) => {
+                        let mut r = Rd::new(&payload);
+                        let peer_token = r.str()?;
+                        let mut ack = Vec::new();
+                        if peer_token != token {
+                            auth_failures.fetch_add(1, Ordering::SeqCst);
+                            ack.push(1u8);
+                            put_u16(&mut ack, QUERY_PROTOCOL_VERSION);
+                            write_frame(&mut stream, FRAME_QUERY_HELLO_ACK, &ack)?;
+                            stream.flush()?;
+                            return Err(io::Error::new(
+                                io::ErrorKind::PermissionDenied,
+                                "bad auth token",
+                            ));
+                        }
+                        // Read-only role: no node registration, so a
+                        // query client never shows up in health or
+                        // coverage answers.
+                        role = SessionRole::Query;
+                        ack.push(0u8);
+                        put_u16(&mut ack, QUERY_PROTOCOL_VERSION);
+                        write_frame(&mut stream, FRAME_QUERY_HELLO_ACK, &ack)?;
+                        stream.flush()?;
+                    }
+                    (FRAME_QUERY, SessionRole::Query) => {
+                        // Count before the answer is written: a client
+                        // that has read response N must observe the
+                        // counter at >= N.
+                        queries_served.fetch_add(1, Ordering::SeqCst);
+                        answer_query(&mut stream, fleet, &payload)?;
+                    }
+                    (FRAME_QUERY, _) => {
+                        // A query without the handshake gets the typed
+                        // refusal — and then the connection closes:
+                        // nothing else is legal on it.
+                        let refusal = QueryResponse::Error(QueryError::new(
+                            QueryErrorCode::Unauthorized,
+                            "query before query hello",
+                        ));
+                        let mut out = Vec::new();
+                        put_u64(&mut out, request_id_of(&payload));
+                        encode_response(&refusal, &mut out);
+                        write_frame(&mut stream, FRAME_QUERY_RESP, &out)?;
+                        stream.flush()?;
+                        return Err(bad_data("query frame on an unauthenticated session"));
+                    }
+                    (FRAME_BATCH, SessionRole::Ingest(id)) => {
                         let (batch, _unknown) = decode_batch(&payload)?;
                         let next_seq = {
                             let mut fleet = fleet.lock().unwrap();
@@ -852,7 +962,7 @@ fn serve_connection(
                         write_frame(&mut stream, FRAME_ACK, &ack)?;
                         stream.flush()?;
                     }
-                    (FRAME_DRAIN, Some(id)) => {
+                    (FRAME_DRAIN, SessionRole::Ingest(id)) => {
                         let stats = decode_drain_stats(&payload)?;
                         let next_seq = {
                             let mut fleet = fleet.lock().unwrap();
@@ -884,6 +994,394 @@ fn serve_connection(
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The request id leading a `QUERY`/`QUERY_RESP` payload, or
+/// `u64::MAX` when the payload is too short to carry one — the
+/// sentinel a client can at least log against.
+fn request_id_of(payload: &[u8]) -> u64 {
+    match payload.get(..8) {
+        Some(bytes) => u64::from_le_bytes(bytes.try_into().unwrap()),
+        None => u64::MAX,
+    }
+}
+
+/// Answer one `QUERY` frame on an authenticated query session. Every
+/// outcome — including a payload that fails to decode — is a
+/// `QUERY_RESP` frame; the session survives anything the envelope's
+/// CRC let through. The planner runs under the fleet lock, so each
+/// answer is a consistent snapshot even while ingest sessions stream.
+fn answer_query(
+    stream: &mut TcpStream,
+    fleet: &Arc<Mutex<DurableFleet>>,
+    payload: &[u8],
+) -> io::Result<()> {
+    let id = request_id_of(payload);
+    let resp = if payload.len() < 8 {
+        QueryResponse::Error(QueryError::new(
+            QueryErrorCode::Malformed,
+            "query frame shorter than its request id",
+        ))
+    } else {
+        match decode_request(&payload[8..]) {
+            Ok(req) => {
+                let fleet = fleet.lock().unwrap();
+                execute(fleet.aggregator(), &req)
+            }
+            Err(e) => QueryResponse::Error(e),
+        }
+    };
+    let mut out = Vec::new();
+    put_u64(&mut out, id);
+    encode_response(&resp, &mut out);
+    write_frame(stream, FRAME_QUERY_RESP, &out)?;
+    stream.flush()
+}
+
+// -------------------------------------------------------------- client
+
+/// Typed client for the read-only query protocol: dial + authenticate
+/// ([`frame_tag::QUERY_HELLO`]), then pipelined request/response over
+/// the same CRC frame envelope the ingest sessions use. Requests are
+/// idempotent reads, so the convenience entry ([`FleetClient::request`]
+/// and the typed helpers on top of it) transparently reconnects with
+/// the [`TransportConfig`] backoff schedule and retries once — the
+/// same policy [`SocketSink`] applies to writes, minus the replay
+/// buffer it doesn't need.
+///
+/// Responses arrive in request order; [`FleetClient::recv`] verifies
+/// each echoed request id against the pipeline head and fails closed
+/// on any mismatch (a server that reorders or invents responses is
+/// indistinguishable from a corrupt one).
+#[derive(Debug)]
+pub struct FleetClient {
+    addr: String,
+    token: String,
+    cfg: TransportConfig,
+    conn: Option<TcpStream>,
+    next_id: u64,
+    /// Request ids sent but not yet answered, oldest first.
+    in_flight: VecDeque<u64>,
+    reconnects: u64,
+    server_version: u16,
+}
+
+impl FleetClient {
+    /// Connect and authenticate with default transport tuning.
+    pub fn connect(addr: &str, token: &str) -> io::Result<Self> {
+        Self::connect_with(addr, token, TransportConfig::default())
+    }
+
+    /// [`FleetClient::connect`] with explicit tuning (timeouts,
+    /// reconnect budget, backoff).
+    pub fn connect_with(addr: &str, token: &str, cfg: TransportConfig) -> io::Result<Self> {
+        let mut client = FleetClient {
+            addr: addr.to_string(),
+            token: token.to_string(),
+            cfg,
+            conn: None,
+            next_id: 0,
+            in_flight: VecDeque::new(),
+            reconnects: 0,
+            server_version: 0,
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Re-point the client at a moved server; the next request
+    /// reconnects and re-authenticates (see [`SocketSink::redirect`]).
+    pub fn redirect(&mut self, addr: &str) {
+        self.addr = addr.to_string();
+        self.conn = None;
+    }
+
+    /// Times the client re-dialed after losing its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The protocol version the server reported at the last handshake.
+    pub fn server_version(&self) -> u16 {
+        self.server_version
+    }
+
+    fn handshake(&mut self) -> io::Result<()> {
+        // Any response still owed on the old connection is gone; the
+        // retrying caller re-sends its request on the new one.
+        self.in_flight.clear();
+        let mut stream = match self.cfg.io_timeout {
+            Some(timeout) => {
+                let mut last = None;
+                let mut stream = None;
+                for addr in self.addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&addr, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| bad_data("address resolved to nothing"))
+                })?
+            }
+            None => TcpStream::connect(&self.addr)?,
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.cfg.io_timeout).ok();
+        stream.set_write_timeout(self.cfg.io_timeout).ok();
+        let mut hello = Vec::new();
+        put_str(&mut hello, &self.token);
+        write_frame(&mut stream, FRAME_QUERY_HELLO, &hello)?;
+        stream.flush()?;
+        let (tag, payload) = match read_frame(&mut stream)? {
+            Ok(frame) => frame,
+            Err(_) => return Err(bad_data("connection closed during query handshake")),
+        };
+        if tag != FRAME_QUERY_HELLO_ACK {
+            return Err(bad_data("unexpected query handshake response tag"));
+        }
+        let mut r = Rd::new(&payload);
+        let status = r.u8()?;
+        let version = r.u16()?;
+        if status != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "fleet listener rejected the auth token",
+            ));
+        }
+        self.server_version = version;
+        self.conn = Some(stream);
+        Ok(())
+    }
+
+    /// Re-dial with the [`TransportConfig`] backoff schedule; a bad
+    /// token fails immediately (retrying never heals it).
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.conn = None;
+        let mut last = None;
+        let mut salt = self.addr.bytes().fold(self.reconnects, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
+        for attempt in 0..self.cfg.reconnect_attempts.max(1) {
+            if attempt > 0 {
+                salt = salt.wrapping_add(attempt as u64);
+                std::thread::sleep(self.cfg.backoff(attempt, salt));
+            }
+            match self.handshake() {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| bad_data("reconnect failed")))
+    }
+
+    /// Send one request without waiting for its answer (pipelining).
+    /// Returns the request id to match against [`FleetClient::recv`].
+    pub fn send(&mut self, req: &QueryRequest) -> io::Result<u64> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let id = self.next_id;
+        let mut out = Vec::new();
+        put_u64(&mut out, id);
+        encode_request(req, &mut out);
+        let res = {
+            let stream = self.conn.as_mut().expect("connected");
+            write_frame(stream, FRAME_QUERY, &out).and_then(|()| stream.flush())
+        };
+        if let Err(e) = res {
+            self.conn = None;
+            return Err(e);
+        }
+        self.next_id += 1;
+        self.in_flight.push_back(id);
+        Ok(id)
+    }
+
+    /// Receive the next pipelined answer. The echoed request id must
+    /// match the oldest in-flight request — responses are strictly
+    /// ordered — or the connection is dropped as corrupt.
+    pub fn recv(&mut self) -> io::Result<(u64, QueryResponse)> {
+        let expect = *self
+            .in_flight
+            .front()
+            .ok_or_else(|| bad_data("recv with no request in flight"))?;
+        let res = (|| {
+            let stream = self
+                .conn
+                .as_mut()
+                .ok_or_else(|| bad_data("not connected"))?;
+            let (tag, payload) = match read_frame(stream)? {
+                Ok(frame) => frame,
+                Err(_) => return Err(bad_data("connection closed awaiting query response")),
+            };
+            if tag != FRAME_QUERY_RESP {
+                return Err(bad_data("unexpected frame tag awaiting query response"));
+            }
+            if payload.len() < 8 {
+                return Err(bad_data("query response shorter than its request id"));
+            }
+            let id = request_id_of(&payload);
+            if id != expect {
+                return Err(bad_data("query response id out of order"));
+            }
+            Ok((id, decode_response(&payload[8..])?))
+        })();
+        match res {
+            Ok(ok) => {
+                self.in_flight.pop_front();
+                Ok(ok)
+            }
+            Err(e) => {
+                // Fail closed: a response we couldn't trust poisons the
+                // whole pipeline on this connection.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Send one request and wait for its answer. With an empty
+    /// pipeline this retries once across a reconnect (queries are
+    /// idempotent reads); with requests already in flight it cannot —
+    /// their answers would be lost — so the first error surfaces.
+    pub fn request(&mut self, req: &QueryRequest) -> io::Result<QueryResponse> {
+        let retries = if self.in_flight.is_empty() { 2 } else { 1 };
+        let mut last = None;
+        for _ in 0..retries {
+            match self.send(req).and_then(|_| self.recv()) {
+                Ok((_, resp)) => return Ok(resp),
+                Err(e) if e.kind() == io::ErrorKind::PermissionDenied => return Err(e),
+                Err(e) => {
+                    self.conn = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| bad_data("query failed")))
+    }
+
+    /// Typed [`QueryRequest::WindowAgg`]: cluster-wide window aggregate
+    /// over a logical axis. Server-side refusals surface as `Err`.
+    pub fn window_agg(
+        &mut self,
+        metric: &str,
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+    ) -> io::Result<ScalarAnswer> {
+        match self.request(&QueryRequest::WindowAgg {
+            metric: metric.to_string(),
+            now,
+            window,
+            agg,
+        })? {
+            QueryResponse::Scalar(a) => Ok(a),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::TopNodes`]: per-node ranking.
+    pub fn top_nodes(
+        &mut self,
+        metric: &str,
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+        k: u32,
+        rank: Rank,
+    ) -> io::Result<Vec<TopNodeEntry>> {
+        match self.request(&QueryRequest::TopNodes {
+            metric: metric.to_string(),
+            now,
+            window,
+            agg,
+            k,
+            rank,
+        })? {
+            QueryResponse::TopNodes(entries) => Ok(entries),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::Health`]: the fleet health rollup.
+    pub fn health(&mut self, now: SimTime, stale_after: SimDuration) -> io::Result<HealthAnswer> {
+        match self.request(&QueryRequest::Health { now, stale_after })? {
+            QueryResponse::Health(h) => Ok(h),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::CoveredWindowAgg`]: coverage-annotated
+    /// window aggregate.
+    pub fn covered_window_agg(
+        &mut self,
+        metric: &str,
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+        stale_after: SimDuration,
+    ) -> io::Result<CoveredAnswer> {
+        match self.request(&QueryRequest::CoveredWindowAgg {
+            metric: metric.to_string(),
+            now,
+            window,
+            agg,
+            stale_after,
+        })? {
+            QueryResponse::Covered(a) => Ok(a),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::CoveredTopNodes`]: coverage-annotated
+    /// ranking.
+    #[allow(clippy::too_many_arguments)]
+    pub fn covered_top_nodes(
+        &mut self,
+        metric: &str,
+        now: SimTime,
+        window: SimDuration,
+        agg: WindowAgg,
+        k: u32,
+        rank: Rank,
+        stale_after: SimDuration,
+    ) -> io::Result<CoveredTopNodesAnswer> {
+        match self.request(&QueryRequest::CoveredTopNodes {
+            metric: metric.to_string(),
+            now,
+            window,
+            agg,
+            k,
+            rank,
+            stale_after,
+        })? {
+            QueryResponse::CoveredTopNodes(a) => Ok(a),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::Metrics`]: the sorted logical-axes
+    /// listing.
+    pub fn metrics(&mut self) -> io::Result<MetricsAnswer> {
+        match self.request(&QueryRequest::Metrics)? {
+            QueryResponse::Metrics(m) => Ok(m),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
         }
     }
 }

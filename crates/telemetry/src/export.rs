@@ -2416,6 +2416,41 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// The frame tags spoken inside the [`write_frame`] envelope by the
+/// `moda` socket protocols (`export-wire-v1.1`). The envelope itself is
+/// tag-agnostic; this registry exists so the protocols layered on it —
+/// fleet ingest sessions and the query/serving sessions next to them —
+/// can never collide on a tag value. Tags are **additive**: a value,
+/// once shipped, is never reused for a different meaning, and decoders
+/// treat unknown tags as an error on their session (fail closed), not
+/// as something to skip.
+///
+/// The fleet write-ahead log reuses the same envelope with its own tag
+/// space starting at 32 (`moda-fleet`'s `persist` module) — disk frames
+/// and socket frames never flow through the same parser, but keeping
+/// the ranges disjoint makes a misfiled frame diagnosable.
+pub mod frame_tag {
+    /// Ingest session hello: auth token + node name.
+    pub const HELLO: u8 = 1;
+    /// Ingest hello response: status + persisted session cursor.
+    pub const HELLO_ACK: u8 = 2;
+    /// One encoded export batch.
+    pub const BATCH: u8 = 3;
+    /// Cumulative apply acknowledgement.
+    pub const ACK: u8 = 4;
+    /// Out-of-band exporter drain report.
+    pub const DRAIN: u8 = 5;
+    /// Query session hello: auth token (read-only sessions — no node
+    /// registration, so a dashboard can never look like a silent node).
+    pub const QUERY_HELLO: u8 = 6;
+    /// Query hello response: status + query protocol version.
+    pub const QUERY_HELLO_ACK: u8 = 7;
+    /// One query request: request id (`u64` LE) + encoded request.
+    pub const QUERY: u8 = 8;
+    /// One query response: request id (`u64` LE) + encoded response.
+    pub const QUERY_RESP: u8 = 9;
+}
+
 /// Write one self-delimiting frame:
 /// `[len u32 LE][tag u8][payload][crc32 u32 LE]` where `len` counts
 /// tag + payload and the CRC covers the same span.

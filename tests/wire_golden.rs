@@ -1,36 +1,49 @@
-//! Wire-format compatibility gate: a committed golden
-//! `export-wire-v1.1` byte stream (`tests/golden/export_wire_v1_1.bin`)
-//! that the *current* reader must decode, record for record. This is
-//! the test behind the `wire-compat` CI job.
+//! Wire-format compatibility gate: committed golden byte streams that
+//! the *current* readers must decode, record for record. This is the
+//! test behind the `wire-compat` CI job.
 //!
-//! What it pins (see `docs/EXPORT_FORMAT.md`, binary framing):
+//! Two datasets:
 //!
-//! * the frame envelope — `[len u32 LE][tag u8][payload][crc32 u32 LE]`;
-//! * the batch and record encodings of every v1.1 kind
-//!   (meta / sample / bucket / sketch / chunk);
-//! * the **additive-kinds rule**: the golden stream deliberately
-//!   carries one record of an unknown future kind, and the reader must
-//!   skip it via its length prefix (counting it, losing nothing else);
-//! * writer stability — re-encoding the decoded batches reproduces the
-//!   committed bytes bit-for-bit.
+//! * `tests/golden/export_wire_v1_1.bin` — the `export-wire-v1.1`
+//!   ingest stream (see `docs/EXPORT_FORMAT.md`, binary framing):
+//!   the frame envelope `[len u32 LE][tag u8][payload][crc32 u32 LE]`,
+//!   the batch and record encodings of every v1.1 kind
+//!   (meta / sample / bucket / sketch / chunk), and the
+//!   **additive-kinds rule** — the stream deliberately carries one
+//!   record of an unknown future kind, and the reader must skip it via
+//!   its length prefix (counting it, losing nothing else);
+//! * `tests/golden/query_wire_v1.bin` — a recorded query-protocol v1
+//!   exchange (see `docs/FLEET_SERVICE.md`, query protocol): one
+//!   `QUERY`/`QUERY_RESP` frame pair per request kind over a
+//!   deterministic two-node fleet, plus one typed refusal — pinning
+//!   the request and response encodings, the request-id convention,
+//!   and the planner answers themselves.
 //!
-//! Any intentional format change must both update
-//! `docs/EXPORT_FORMAT.md` *and* regenerate the dataset:
+//! Both tests also pin writer stability — re-encoding the decoded
+//! values reproduces the committed bytes bit-for-bit.
+//!
+//! Any intentional format change must both update the docs *and*
+//! regenerate the dataset:
 //!
 //! ```text
 //! GOLDEN_REGEN=1 cargo test --test wire_golden
 //! ```
 
+use moda::fleet::query::{
+    decode_request, decode_response, encode_request, encode_response, execute,
+};
+use moda::fleet::{FleetAggregator, QueryRequest, QueryResponse, Rank};
 use moda::sim::{SimDuration, SimTime};
 use moda::telemetry::export::{
-    decode_batch, encode_batch, encode_record, read_frame, write_frame, ExportRecord, FrameEnd,
-    MemorySink,
+    decode_batch, encode_batch, encode_record, frame_tag, read_frame, write_frame, ExportRecord,
+    FrameEnd, MemorySink,
 };
 use moda::telemetry::{
-    Exporter, MetricId, MetricMeta, RollupConfig, RollupTier, SourceDomain, Tsdb,
+    Exporter, MetricId, MetricMeta, RollupConfig, RollupTier, SourceDomain, Tsdb, WindowAgg,
 };
 
 const GOLDEN_PATH: &str = "tests/golden/export_wire_v1_1.bin";
+const QUERY_GOLDEN_PATH: &str = "tests/golden/query_wire_v1.bin";
 /// Frame tag carrying one encoded batch (the transport's `BATCH`).
 const TAG_BATCH: u8 = 3;
 /// A record kind v1.1 does not define — receivers must skip it.
@@ -180,5 +193,194 @@ fn golden_wire_stream_decodes_and_matches_the_spec() {
             assert_eq!(*value, 42.5);
         }
         other => panic!("expected the known sample, got {other:?}"),
+    }
+}
+
+// ------------------------------------------------------ query protocol
+
+/// The deterministic fleet behind the query-exchange golden stream:
+/// two nodes exporting a sketched gauge `m` with different offsets and
+/// stream lengths (so health classifies one node stale under the
+/// recorded bound), ingested through the real wire batches.
+fn golden_fleet() -> FleetAggregator {
+    let mut agg = FleetAggregator::new();
+    for (k, samples) in [(0u64, 700usize), (1, 500)] {
+        let mut db = Tsdb::with_retention(1 << 12);
+        let id = db.register(MetricMeta::gauge("m", "u", SourceDomain::Hardware));
+        db.enable_rollups(
+            id,
+            &RollupConfig::new(vec![RollupTier::new(SimDuration::from_secs(10), 64)])
+                .with_sketches(),
+        );
+        for s in 0..samples as u64 {
+            db.insert(
+                id,
+                SimTime::from_secs(1 + s),
+                1000.0 * k as f64 + ((s * 31) % 97) as f64,
+            );
+        }
+        let mut sink = MemorySink::new();
+        Exporter::new()
+            .with_batch_records(64)
+            .drain(&db, &mut sink)
+            .unwrap();
+        let node = agg.add_node(&format!("node{k:02}"));
+        for batch in &sink.batches {
+            agg.ingest(node, batch);
+        }
+    }
+    agg
+}
+
+/// One request of every kind, plus one the server must refuse (a
+/// fleet-wide `Last`) — the refusal's reason code and detail are part
+/// of the recorded contract.
+fn golden_requests() -> Vec<QueryRequest> {
+    let now = SimTime::from_secs(701);
+    let window = SimDuration::from_secs(701);
+    let stale_after = SimDuration::from_secs(120);
+    let metric = "m".to_string();
+    vec![
+        QueryRequest::WindowAgg {
+            metric: metric.clone(),
+            now,
+            window,
+            agg: WindowAgg::Percentile(0.99),
+        },
+        QueryRequest::TopNodes {
+            metric: metric.clone(),
+            now,
+            window,
+            agg: WindowAgg::Mean,
+            k: 2,
+            rank: Rank::Highest,
+        },
+        QueryRequest::Health { now, stale_after },
+        QueryRequest::CoveredWindowAgg {
+            metric: metric.clone(),
+            now,
+            window,
+            agg: WindowAgg::Sum,
+            stale_after,
+        },
+        QueryRequest::CoveredTopNodes {
+            metric: metric.clone(),
+            now,
+            window,
+            agg: WindowAgg::Percentile(0.5),
+            k: 2,
+            rank: Rank::Lowest,
+            stale_after,
+        },
+        QueryRequest::Metrics,
+        QueryRequest::WindowAgg {
+            metric,
+            now,
+            window,
+            agg: WindowAgg::Last,
+        },
+    ]
+}
+
+/// The recorded exchange: alternating `QUERY` / `QUERY_RESP` frames,
+/// request ids counting up from 1, each response computed by the
+/// current planner on the deterministic fleet.
+fn golden_query_bytes() -> Vec<u8> {
+    let fleet = golden_fleet();
+    let mut out = Vec::new();
+    for (i, req) in golden_requests().iter().enumerate() {
+        let id = (i + 1) as u64;
+        let mut payload = id.to_le_bytes().to_vec();
+        encode_request(req, &mut payload);
+        write_frame(&mut out, frame_tag::QUERY, &payload).unwrap();
+
+        let mut payload = id.to_le_bytes().to_vec();
+        encode_response(&execute(&fleet, req), &mut payload);
+        write_frame(&mut out, frame_tag::QUERY_RESP, &payload).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_query_exchange_decodes_and_matches_the_planner() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(QUERY_GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, golden_query_bytes()).unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("{QUERY_GOLDEN_PATH} unreadable ({e}); generate it with GOLDEN_REGEN=1")
+    });
+
+    // Writer stability: the current codec + planner reproduce the
+    // committed exchange bit-for-bit.
+    assert_eq!(
+        bytes,
+        golden_query_bytes(),
+        "current query codec or planner drifted from the committed golden \
+         exchange; if the change is an intentional protocol revision, update \
+         docs/FLEET_SERVICE.md and regenerate with GOLDEN_REGEN=1"
+    );
+
+    // Reader compatibility: walk the committed frames with the current
+    // decoders and re-derive every answer.
+    let fleet = golden_fleet();
+    let requests = golden_requests();
+    let mut r = &bytes[..];
+    let mut pairs = Vec::new();
+    loop {
+        let (tag, q) = match read_frame(&mut r).expect("golden read never io-errors") {
+            Ok(frame) => frame,
+            Err(end) => {
+                assert_eq!(end, FrameEnd::Clean, "stream ends on a frame boundary");
+                break;
+            }
+        };
+        assert_eq!(tag, frame_tag::QUERY);
+        let (tag, resp) = read_frame(&mut r)
+            .expect("golden read never io-errors")
+            .expect("every request frame is followed by its response");
+        assert_eq!(tag, frame_tag::QUERY_RESP);
+        pairs.push((q, resp));
+    }
+    assert_eq!(pairs.len(), requests.len());
+
+    for (i, ((q, resp), want_req)) in pairs.iter().zip(&requests).enumerate() {
+        let id = (i + 1) as u64;
+        assert_eq!(u64::from_le_bytes(q[..8].try_into().unwrap()), id);
+        assert_eq!(u64::from_le_bytes(resp[..8].try_into().unwrap()), id);
+
+        // The original request re-encodes identically (encoding is
+        // total — even the refused request has stable bytes).
+        let mut again = id.to_le_bytes().to_vec();
+        encode_request(want_req, &mut again);
+        assert_eq!(&again, q, "request {i} re-encode identity");
+
+        let answer = decode_response(&resp[8..]).expect("committed response decodes");
+        match decode_request(&q[8..]) {
+            // Request decodes to the original; the recorded response
+            // matches the current planner's answer on the same fleet.
+            Ok(req) => {
+                assert_eq!(&req, want_req);
+                assert_eq!(answer, execute(&fleet, &req), "response {i} planner match");
+            }
+            // The server-side refusal path: a request `decode_request`
+            // rejects draws exactly the recorded typed error.
+            Err(e) => {
+                assert_eq!(answer, QueryResponse::Error(e), "refusal {i} match");
+            }
+        }
+        let mut again = id.to_le_bytes().to_vec();
+        encode_response(&answer, &mut again);
+        assert_eq!(&again, resp, "response {i} re-encode identity");
+    }
+
+    // The recorded refusal really is a refusal (fleet-wide `Last`).
+    let last = decode_response(&pairs.last().unwrap().1[8..]).unwrap();
+    match last {
+        QueryResponse::Error(e) => {
+            assert_eq!(e.code, moda::fleet::QueryErrorCode::UnsupportedAggregate);
+        }
+        other => panic!("expected the recorded refusal, got {other:?}"),
     }
 }

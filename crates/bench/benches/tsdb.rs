@@ -592,6 +592,88 @@ fn bench_fleet(c: &mut Criterion) {
     g.finish();
 }
 
+/// Self-telemetry costs: what instrumenting the pipeline with its own
+/// TSDB charges the hot path. Four numbers:
+///
+/// * `span_record` — one RAII span open→drop on an enabled recorder
+///   (two clock reads, three relaxed atomics, a short mutex hold, the
+///   floor-gated slow-log offer);
+/// * `span_disabled` — the same call sites on a disabled [`Obs`]
+///   handle: the near-zero branch the zero-overhead claim rests on;
+/// * `scrape_1k` — scraping a registry of 1 000 internal series into a
+///   private store (the self-scrape cadence cost);
+/// * `insert_uninstrumented/4096` vs `insert_instrumented/4096` — the
+///   collector's batch-insert hot path bare, and wrapped exactly the
+///   way `run_telemetry_fleet` wraps it (one span + one counter per
+///   batch). The `BENCH_tsdb.json` ratio between the two is pinned
+///   ≤ `BENCH_GATE_MAX_SELFOBS_OVERHEAD` (default 1.10) by the CI
+///   bench gate — instrumentation over 10 % would fail the build.
+fn bench_selfobs(c: &mut Criterion) {
+    use moda_obs::Obs;
+    let mut g = c.benchmark_group("tsdb_selfobs");
+
+    let obs = Obs::enabled();
+    let lat = obs.latency("bench.op_ns");
+    g.bench_function("span_record", |b| {
+        b.iter(|| {
+            let span = lat.start();
+            black_box(&span);
+        });
+    });
+    let off = Obs::disabled();
+    let lat_off = off.latency("bench.op_ns");
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let span = lat_off.start();
+            black_box(&span);
+        });
+    });
+
+    // Scrape cost at 1k internal series (counters re-emit a cumulative
+    // sample each tick; the target ring keeps the store bounded).
+    let obs1k = Obs::enabled();
+    for i in 0..1_000u64 {
+        obs1k.counter(&format!("bench.c{i:04}")).add(i);
+    }
+    let mut db = Tsdb::with_retention(512);
+    let mut t = 0u64;
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("scrape_1k", |b| {
+        b.iter(|| {
+            t += 1_000;
+            black_box(obs1k.scrape_into(&mut db, SimTime(t)))
+        });
+    });
+
+    // The overhead pair: identical batch-insert workloads, one bare,
+    // one instrumented at the runtime's granularity.
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("insert_uninstrumented/4096", |b| {
+        let (mut db, ids) = registered(4096, 512);
+        let batch: Vec<_> = ids.iter().map(|id| (*id, 1.0f64)).collect();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            db.insert_batch(SimTime(t), black_box(&batch));
+        });
+    });
+    g.bench_function("insert_instrumented/4096", |b| {
+        let (mut db, ids) = registered(4096, 512);
+        let batch: Vec<_> = ids.iter().map(|id| (*id, 1.0f64)).collect();
+        let obs = Obs::enabled();
+        let insert_ns = obs.latency("tsdb.insert_ns");
+        let inserts = obs.counter("bench.inserts");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            let _span = insert_ns.start();
+            db.insert_batch(SimTime(t), black_box(&batch));
+            inserts.add(4096);
+        });
+    });
+    g.finish();
+}
+
 /// Percentile aggregation: full-sort (seed) vs O(n) selection.
 fn bench_percentile(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb_percentile");
@@ -692,6 +774,7 @@ criterion_group!(
     bench_percentile,
     bench_percentile_wide,
     bench_resample,
+    bench_selfobs,
     bench_export,
     bench_fleet,
     bench_contention

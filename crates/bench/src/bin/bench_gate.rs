@@ -111,6 +111,19 @@ const RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[
     ),
 ];
 
+/// Machine-independent *ceiling* checks: (numerator, denominator, env
+/// knob, default maximum ratio). Both sides run in the same process, so
+/// the ratio holds regardless of absolute machine speed. Today this
+/// pins the self-telemetry overhead: the collector's batch-insert hot
+/// path with a span + counter per batch must stay within 10 % of the
+/// bare path — instrumentation that costs more than that fails CI.
+const MAX_RATIO_CHECKS: &[(&str, &str, &str, f64)] = &[(
+    "tsdb_selfobs/insert_instrumented/4096",
+    "tsdb_selfobs/insert_uninstrumented/4096",
+    "BENCH_GATE_MAX_SELFOBS_OVERHEAD",
+    1.10,
+)];
+
 #[derive(Debug, Clone)]
 struct BenchRec {
     name: String,
@@ -356,6 +369,32 @@ fn main() -> ExitCode {
                 let _ = writeln!(
                     report,
                     "ratio {num} / {den} = {speedup:.1}x (min {min_speedup:.1}x)  {verdict}"
+                );
+            }
+            _ => {
+                failures += 1;
+                let _ = writeln!(
+                    report,
+                    "ratio {num} / {den}: FAIL (benchmarks missing from run)"
+                );
+            }
+        }
+    }
+
+    for &(num, den, knob, default_max) in MAX_RATIO_CHECKS {
+        let max_ratio = env_f64(knob, default_max);
+        match (find(&measured, num), find(&measured, den)) {
+            (Some(instrumented), Some(bare)) => {
+                let ratio = instrumented / bare.max(f64::MIN_POSITIVE);
+                let verdict = if ratio > max_ratio {
+                    failures += 1;
+                    "FAIL (overhead ceiling exceeded)"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    report,
+                    "ratio {num} / {den} = {ratio:.3}x (max {max_ratio:.2}x)  {verdict}"
                 );
             }
             _ => {

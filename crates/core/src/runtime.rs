@@ -10,6 +10,7 @@
 //! managed system. Experiment E1 sweeps fleet size over these drivers.
 
 use crossbeam::channel;
+use moda_obs::{mirror, Obs};
 use moda_sim::stats::Summary;
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::{MetricId, MetricMeta, RollupConfig, SharedTsdb, SourceDomain, WindowAgg};
@@ -320,6 +321,19 @@ pub struct TelemetryFleetConfig {
     /// collection→transport stage running against live collectors.
     /// Drain/batch stats land in [`TelemetryFleetStats::export`].
     pub export_drains: usize,
+    /// Self-telemetry handle. Disabled by default — the hot paths then
+    /// carry only inert pre-resolved instruments. When enabled, the
+    /// run spans every collector insert/read and exporter drain,
+    /// registers pull probes for the store/chunk/sketch counters, and
+    /// its exporter-stage totals in [`TelemetryFleetStats::export`]
+    /// are *views of the registry* (`moda_obs::mirror`), not a second
+    /// ad-hoc accumulator.
+    pub obs: Obs,
+    /// When > 0 (and `obs` is enabled), loop 0 scrapes the registry
+    /// into the shared store's reserved `__self/` namespace every N
+    /// rounds — plus once after the run — so the fleet's own spans are
+    /// queryable through the same rollup planner it measures.
+    pub selfscrape_every_rounds: usize,
 }
 
 impl Default for TelemetryFleetConfig {
@@ -336,6 +350,8 @@ impl Default for TelemetryFleetConfig {
             wide_window: SimDuration::from_hours(24),
             wide_percentile: None,
             export_drains: 0,
+            obs: Obs::disabled(),
+            selfscrape_every_rounds: 0,
         }
     }
 }
@@ -429,6 +445,50 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
     let all_ids: Vec<MetricId> = fleet_ids.iter().flatten().copied().collect();
     let (wide_tx, wide_rx) = channel::unbounded::<f64>();
     let (export_tx, export_rx) = channel::bounded::<moda_telemetry::DrainStats>(1);
+
+    // Self-telemetry: pre-resolve the hot-path instruments once (all
+    // inert on a disabled handle) and register pull probes for the
+    // counters the store/codec layers already keep — the scrape reads
+    // them instead of duplicating the accounting.
+    let insert_ns = cfg.obs.latency("tsdb.insert_ns");
+    let read_ns = cfg.obs.latency("tsdb.read_ns");
+    let drain_ns = cfg.obs.latency("export.drain_ns");
+    if cfg.obs.is_enabled() {
+        let p = |name: &str, f: Box<dyn Fn() -> f64 + Send + Sync>| cfg.obs.probe(name, f);
+        let d = db.clone();
+        p(
+            "store.total_inserts",
+            Box::new(move || d.total_inserts() as f64),
+        );
+        let d = db.clone();
+        p(
+            "store.rollup_hits",
+            Box::new(move || d.rollup_hits() as f64),
+        );
+        let d = db.clone();
+        p(
+            "store.sketch_hits",
+            Box::new(move || d.sketch_hits() as f64),
+        );
+        let d = db.clone();
+        p(
+            "store.cardinality",
+            Box::new(move || d.cardinality() as f64),
+        );
+        p(
+            "chunk.encoded",
+            Box::new(|| moda_telemetry::chunk::encoded_chunks() as f64),
+        );
+        p(
+            "chunk.decoded",
+            Box::new(|| moda_telemetry::chunk::decoded_chunks() as f64),
+        );
+        p(
+            "sketch.merges",
+            Box::new(|| moda_telemetry::sketch::sketch_merges() as f64),
+        );
+    }
+
     let rollup_hits_before = db.rollup_hits();
     let sketch_hits_before = db.sketch_hits();
     let inserts_before = db.total_inserts();
@@ -440,11 +500,20 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         // running against the other stripes throughout.
         if cfg.export_drains > 0 {
             let export_tx = export_tx.clone();
+            let drain_ns = drain_ns.clone();
+            let obs = &cfg.obs;
             s.spawn(move || {
                 let mut exporter = moda_telemetry::Exporter::new();
                 let mut sink = moda_telemetry::export::CsvSink::new(std::io::sink());
                 for _ in 0..cfg.export_drains {
-                    let _ = exporter.drain(db.as_ref(), &mut sink);
+                    let _span = drain_ns.start();
+                    if let Ok(delta) = exporter.drain(db.as_ref(), &mut sink) {
+                        // Per-drain deltas fold into the registry's
+                        // `export.*` cells — the single source the
+                        // run's reported totals are views of.
+                        mirror::record_drain(obs, &delta);
+                    }
+                    drop(_span);
                     // Let collectors make progress between sweeps so
                     // the later drains really are incremental deltas.
                     std::thread::sleep(Duration::from_micros(200));
@@ -484,6 +553,9 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         drop(wide_tx);
         for (l, ids) in fleet_ids.iter().enumerate() {
             let lat_tx = lat_tx.clone();
+            let insert_ns = insert_ns.clone();
+            let read_ns = read_ns.clone();
+            let obs = &cfg.obs;
             s.spawn(move || {
                 let mut batch: Vec<(MetricId, f64)> = ids.iter().map(|id| (*id, 0.0)).collect();
                 for round in 0..cfg.rounds {
@@ -493,21 +565,41 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
                     for (k, slot) in batch.iter_mut().enumerate() {
                         slot.1 = (round * 31 + k + l) as f64;
                     }
-                    db.insert_batch(now, &batch);
+                    {
+                        let _span = insert_ns.start();
+                        db.insert_batch(now, &batch);
+                    }
                     // Monitor: allocation-free window reads.
+                    let _span = read_ns.start();
                     let mut acc = 0.0;
                     for id in ids {
                         if let Some(v) = db.window_agg(*id, now, cfg.window, cfg.agg) {
                             acc += v;
                         }
                     }
+                    drop(_span);
                     std::hint::black_box(acc);
+                    // Loop 0 doubles as the scrape cadence owner: the
+                    // registry lands in the shared store's `__self/`
+                    // namespace on the same timeline the fleet writes.
+                    if l == 0
+                        && cfg.selfscrape_every_rounds > 0
+                        && (round + 1) % cfg.selfscrape_every_rounds == 0
+                    {
+                        obs.scrape_into_shared(db, now);
+                    }
                     let _ = lat_tx.send(t0.elapsed().as_nanos() as f64 / 1_000.0);
                 }
             });
         }
         drop(lat_tx);
     });
+    // Closing scrape: every span recorded in the run's final rounds is
+    // queryable before the stats return.
+    if cfg.selfscrape_every_rounds > 0 {
+        cfg.obs
+            .scrape_into_shared(db, SimTime::from_secs((cfg.history + cfg.rounds) as u64));
+    }
     let wall = start.elapsed();
     let mut lat = Summary::new();
     while let Ok(v) = lat_rx.try_recv() {
@@ -524,6 +616,13 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         None
     };
     let n = lat.count();
+    // With an enabled handle the registry is the single source of
+    // drain truth: report the mirror's view of the `export.*` cells
+    // (bit-equal to the exporter's own totals — pinned by tests).
+    let export = export_rx
+        .try_recv()
+        .ok()
+        .map(|totals| mirror::drain_view(&cfg.obs).unwrap_or(totals));
     TelemetryFleetStats {
         rounds: stats_from(lat, wall, n),
         inserts: db.total_inserts() - inserts_before,
@@ -531,7 +630,7 @@ pub fn run_telemetry_fleet(cfg: &TelemetryFleetConfig, db: &SharedTsdb) -> Telem
         wide,
         rollup_hits: db.rollup_hits() - rollup_hits_before,
         sketch_hits: db.sketch_hits() - sketch_hits_before,
-        export: export_rx.try_recv().ok(),
+        export,
         memory: db.memory_stats(),
     }
 }
@@ -574,6 +673,17 @@ pub struct MultiNodeFleetConfig {
     pub shards: usize,
     /// Exporter-thread pause between incremental drain sweeps, µs.
     pub drain_pause_us: u64,
+    /// Self-telemetry cadence for the TCP variant, in exporter drains
+    /// (0 disables). When > 0, every node exporter gets its own
+    /// enabled [`Obs`] handle, spans each drain, and scrapes its
+    /// registry into the node store every N drains — so
+    /// `__self/export.drain_ns` becomes a fleet logical axis merged
+    /// across all K nodes — and the aggregation side runs a
+    /// [`moda_fleet::SelfScraper`] service session, adding the
+    /// `wal.fsync_ns` / `query.serve_ns` axes. The remote-equivalence
+    /// pass then also verifies the fleet-merged `__self/` p99s
+    /// bit-identical to the in-process planner.
+    pub selfscrape_every_drains: usize,
 }
 
 impl Default for MultiNodeFleetConfig {
@@ -587,6 +697,7 @@ impl Default for MultiNodeFleetConfig {
             retention: 8192,
             shards: 8,
             drain_pause_us: 200,
+            selfscrape_every_drains: 0,
         }
     }
 }
@@ -774,7 +885,15 @@ pub fn run_multinode_fleet_tcp(
     token: &str,
 ) -> std::io::Result<MultiNodeFleetStats> {
     assert!(cfg.nodes > 0 && cfg.rounds > 0 && cfg.metrics_per_node > 0);
-    let fleet = DurableFleet::open(dir, DurabilityConfig::default())?;
+    let mut fleet = DurableFleet::open(dir, DurabilityConfig::default())?;
+    // Service-side self-telemetry: the aggregation tier instruments
+    // its own WAL appends and query serving, shipped into the fleet
+    // through the stock export pipeline under a service session.
+    let mut scraper = if cfg.selfscrape_every_drains > 0 {
+        Some(moda_fleet::SelfScraper::attach(&mut fleet, Obs::enabled())?)
+    } else {
+        None
+    };
     let listener = FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(fleet)), token)?;
     let addr = listener.local_addr().to_string();
     let dbs: Vec<Arc<ShardedTsdb>> = (0..cfg.nodes)
@@ -827,11 +946,34 @@ pub fn run_multinode_fleet_tcp(
             exporters.push(s.spawn(move || -> std::io::Result<()> {
                 let mut sink = SocketSink::connect(&addr, &format!("node{k:02}"), token)?;
                 let mut exporter = Exporter::new();
+                // Node-side self-telemetry: each node world spans its
+                // own drains and scrapes them into its own store, so
+                // `__self/export.drain_ns` rides the same wire as the
+                // node's sensor metrics and fleet-merges across nodes.
+                let obs = if cfg.selfscrape_every_drains > 0 {
+                    Obs::enabled()
+                } else {
+                    Obs::disabled()
+                };
+                let drain_ns = obs.latency("export.drain_ns");
+                let scrape_t = SimTime(cfg.tick.0 * cfg.rounds as u64);
+                let mut drains = 0usize;
                 loop {
                     let finished = done.load(Ordering::Acquire);
-                    exporter.drain(db.as_ref(), &mut sink)?;
+                    if finished && obs.is_enabled() {
+                        // Last scrape rides the final guaranteed drain.
+                        obs.scrape_into_shared(db, scrape_t);
+                    }
+                    {
+                        let _span = drain_ns.start();
+                        exporter.drain(db.as_ref(), &mut sink)?;
+                    }
+                    drains += 1;
                     if finished {
                         break;
+                    }
+                    if obs.is_enabled() && drains.is_multiple_of(cfg.selfscrape_every_drains) {
+                        obs.scrape_into_shared(db, scrape_t);
                     }
                     std::thread::sleep(Duration::from_micros(cfg.drain_pause_us));
                 }
@@ -847,9 +989,28 @@ pub fn run_multinode_fleet_tcp(
         Ok(())
     })?;
     let wall = start.elapsed();
-    // Every exporter is fully acked, so the tier is quiescent: the
-    // serving-protocol equivalence check runs against a stable view.
-    let remote_queries_verified = verify_remote_queries(&listener, &addr, token, cfg)?;
+    // Every exporter is fully acked, so the tier is quiescent. First
+    // scrape the service registry (the run's WAL appends and ingest
+    // spans) into the fleet, so the in-process/remote equivalence
+    // below sees stable `__self/` axes.
+    if let Some(s) = scraper.as_mut() {
+        let shared = listener.fleet();
+        let mut f = shared.lock().unwrap();
+        s.tick(&mut f, SimTime(cfg.tick.0 * cfg.rounds as u64))?;
+    }
+    // The serving-protocol equivalence check runs against a stable view.
+    let mut remote_queries_verified = verify_remote_queries(&listener, &addr, token, cfg)?;
+    // Self-telemetry round trip: the queries just served recorded
+    // `query.serve_ns` spans — scrape them in, then hold the fleet
+    // quiescent and check the fleet-merged `__self/` p99s remotely.
+    if let Some(s) = scraper.as_mut() {
+        {
+            let shared = listener.fleet();
+            let mut f = shared.lock().unwrap();
+            s.tick(&mut f, SimTime(cfg.tick.0 * cfg.rounds as u64))?;
+        }
+        remote_queries_verified += verify_remote_self_queries(&listener, &addr, token, cfg)?;
+    }
     let fleet = listener.shutdown();
     let mut fleet = Arc::try_unwrap(fleet)
         .expect("all connections joined")
@@ -1001,6 +1162,52 @@ fn verify_remote_queries(
     assert_eq!(client.metrics()?.axes, want, "remote axes listing diverged");
     verified += 1;
 
+    Ok(verified)
+}
+
+/// The self-telemetry leg of the equivalence pass: for each reserved
+/// `__self/` axis the run produced, assert the **fleet-merged**
+/// count and p99 served remotely are bit-identical to the in-process
+/// planner — the pipeline's own spans travel the same
+/// scrape → export → ingest → rollup → query path as sensor data, so
+/// they get the same serving guarantee. Queries served here record
+/// further `query.serve_ns` spans, but those only touch the registry,
+/// never the store the answers read from.
+fn verify_remote_self_queries(
+    listener: &FleetListener,
+    addr: &str,
+    token: &str,
+    cfg: &MultiNodeFleetConfig,
+) -> std::io::Result<u64> {
+    let now = SimTime(cfg.tick.0 * cfg.rounds as u64);
+    let span = SimDuration(now.0);
+    let shared = listener.fleet();
+    let mut client = FleetClient::connect(addr, token)?;
+    let mut verified = 0u64;
+    for axis in [
+        "__self/wal.fsync_ns",
+        "__self/export.drain_ns",
+        "__self/query.serve_ns",
+    ] {
+        for agg in [WindowAgg::Count, WindowAgg::Percentile(0.99)] {
+            let want = {
+                let fleet = shared.lock().unwrap();
+                fleet.store().fleet_window_agg_served(axis, now, span, agg)
+            };
+            let got = client.window_agg(axis, now, span, agg)?;
+            assert_eq!(
+                got.value.map(f64::to_bits),
+                want.0.map(f64::to_bits),
+                "remote {axis} {agg:?} diverged from the in-process planner"
+            );
+            assert_eq!(got.served, want.1, "served metadata for {axis} {agg:?}");
+            assert!(
+                got.value.is_some(),
+                "self axis {axis} carried no data through the pipeline"
+            );
+            verified += 1;
+        }
+    }
     Ok(verified)
 }
 
@@ -1341,6 +1548,87 @@ mod tests {
             .unwrap();
         assert_eq!(count, (cfg.nodes * cfg.rounds) as f64);
         drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_fleet_self_observes_through_its_own_store() {
+        let db: SharedTsdb = Arc::new(ShardedTsdb::with_config(8192, 8));
+        let obs = Obs::enabled();
+        let cfg = TelemetryFleetConfig {
+            n_loops: 2,
+            rounds: 40,
+            metrics_per_loop: 4,
+            rollups: Some(moda_telemetry::RollupConfig::standard().with_sketches()),
+            export_drains: 3,
+            obs: obs.clone(),
+            selfscrape_every_rounds: 10,
+            ..TelemetryFleetConfig::default()
+        };
+        let stats = run_telemetry_fleet(&cfg, &db);
+        // User accounting is untouched by the scrape: the reserved
+        // namespace writes land in `self_inserts`, never the insert
+        // counters the pinned tests check.
+        assert_eq!(stats.inserts, 2 * 40 * 4);
+        assert!(db.self_inserts() > 0, "the scrape wrote self samples");
+        // The fleet's own insert spans are a queryable series with a
+        // sketched pyramid, living next to the data they measure.
+        let id = db.lookup("__self/tsdb.insert_ns").unwrap();
+        assert!(db.rollups_enabled(id));
+        let now = SimTime::from_secs(cfg.rounds as u64);
+        let n = db
+            .window_agg(
+                id,
+                now,
+                SimDuration::from_secs(cfg.rounds as u64),
+                WindowAgg::Count,
+            )
+            .unwrap();
+        assert_eq!(n as u64, 2 * 40, "one insert span per loop round");
+        // Pull probes mirror the store's own counters.
+        assert!(db.lookup("__self/store.total_inserts").is_some());
+        assert!(db.lookup("__self/sketch.merges").is_some());
+        // Satellite: the reported drain totals are a registry view,
+        // identical to what the exporter itself accumulated.
+        let export = stats.export.expect("exporter stage ran");
+        assert_eq!(Some(export), mirror::drain_view(&obs));
+        assert!(export.batches > 0 && export.samples > 0);
+    }
+
+    #[test]
+    fn multinode_fleet_tcp_selfscrape_serves_self_axes() {
+        let cfg = MultiNodeFleetConfig {
+            nodes: 2,
+            rounds: 120,
+            metrics_per_node: 3,
+            selfscrape_every_drains: 2,
+            ..MultiNodeFleetConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "moda-runtime-selfobs-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stats = run_multinode_fleet_tcp(&cfg, &dir, "runtime-token").unwrap();
+        // The baseline equivalence pass plus the six self-axis checks
+        // (count + p99 for wal.fsync_ns / export.drain_ns /
+        // query.serve_ns) — each asserted bit-identical remotely.
+        assert_eq!(
+            stats.remote_queries_verified,
+            (cfg.metrics_per_node * 6 + 2 + 3 + 6) as u64
+        );
+        // Node worlds and the service session all feed the same
+        // logical axis: fleet-merged self-observability across K nodes.
+        let axes = stats.aggregator.store().logical_axes();
+        let drain_axis = axes
+            .iter()
+            .find(|(name, _)| name == "__self/export.drain_ns")
+            .expect("drain axis registered");
+        assert!(
+            drain_axis.1 >= cfg.nodes,
+            "every node contributes: {drain_axis:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,6 +36,7 @@
 
 use crate::store::{FleetStore, NodeId};
 use crossbeam::channel::Sender;
+use moda_obs::{Counter, LatencyRecorder, Obs};
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{ExportBatch, ExportRecord};
 use moda_telemetry::{DrainStats, MetricId, Sink};
@@ -220,6 +221,32 @@ pub struct FleetAggregator {
     /// Bounded ring of observed transitions, oldest first.
     health_events: std::collections::VecDeque<HealthTransition>,
     transition_stats: HealthTransitionStats,
+    /// Self-telemetry handle (disabled by default) and the ingest
+    /// instruments pre-resolved against it by
+    /// [`FleetAggregator::set_obs`].
+    obs: Obs,
+    obs_ingest: IngestObs,
+}
+
+/// Pre-resolved `fleet.ingest.*` instruments — resolved once in
+/// [`FleetAggregator::set_obs`] so the hot ingest path never touches
+/// the registry's name map. All inert on a disabled handle.
+#[derive(Debug, Default, Clone)]
+struct IngestObs {
+    /// `fleet.ingest.batches` — applied batches.
+    batches: Counter,
+    /// `fleet.ingest.duplicate_batches` — replays rejected whole.
+    duplicates: Counter,
+    /// `fleet.ingest.records` — records applied from accepted batches.
+    records: Counter,
+    /// `fleet.ingest.samples` — raw samples absorbed into the store.
+    samples: Counter,
+    /// `fleet.ingest.rejected_samples` — bounced off the monotonic guard.
+    rejected: Counter,
+    /// `fleet.ingest.sessions` — node sessions ever opened.
+    sessions: Counter,
+    /// `fleet.ingest_ns` — wall time of one [`FleetAggregator::ingest`].
+    ingest_ns: LatencyRecorder,
 }
 
 /// Retained [`HealthTransition`] events per aggregator — enough for any
@@ -258,6 +285,7 @@ impl FleetAggregator {
             ever_ingested: false,
             drain: DrainStats::default(),
         });
+        self.obs_ingest.sessions.add(1);
         id
     }
 
@@ -274,6 +302,28 @@ impl FleetAggregator {
     /// The cluster store (all queries live there).
     pub fn store(&self) -> &FleetStore {
         &self.store
+    }
+
+    /// Attach a self-telemetry handle. Resolves every `fleet.ingest.*`
+    /// instrument once, up front — the ingest hot path then works on
+    /// pre-resolved atomics (or inert no-ops when `obs` is disabled).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs_ingest = IngestObs {
+            batches: obs.counter("fleet.ingest.batches"),
+            duplicates: obs.counter("fleet.ingest.duplicate_batches"),
+            records: obs.counter("fleet.ingest.records"),
+            samples: obs.counter("fleet.ingest.samples"),
+            rejected: obs.counter("fleet.ingest.rejected_samples"),
+            sessions: obs.counter("fleet.ingest.sessions"),
+            ingest_ns: obs.latency("fleet.ingest_ns"),
+        };
+        self.obs = obs;
+    }
+
+    /// The attached self-telemetry handle (disabled unless
+    /// [`FleetAggregator::set_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Session list, for snapshot/restore.
@@ -331,11 +381,14 @@ impl FleetAggregator {
     /// Ingest one wire batch from `node`'s stream. Returns what
     /// happened; all counters accumulate on the session.
     pub fn ingest(&mut self, node: NodeId, batch: &ExportBatch) -> IngestReport {
+        let _span = self.obs_ingest.ingest_ns.start();
         let session = &mut self.sessions[node.index()];
+        let (samples0, rejected0) = (session.counters.samples, session.counters.rejected_samples);
         let mut report = IngestReport::default();
         if batch.seq < session.next_seq {
             session.counters.duplicate_batches += 1;
             report.duplicate = true;
+            self.obs_ingest.duplicates.add(1);
             return report;
         }
         if batch.seq > session.next_seq {
@@ -456,6 +509,14 @@ impl FleetAggregator {
                 }
             }
         }
+        self.obs_ingest.batches.add(1);
+        self.obs_ingest.records.add(report.records);
+        self.obs_ingest
+            .samples
+            .add(session.counters.samples - samples0);
+        self.obs_ingest
+            .rejected
+            .add(session.counters.rejected_samples - rejected0);
         report
     }
 

@@ -2,12 +2,13 @@
 //! process.
 //!
 //! ```text
-//! fleet_service serve <dir> <addr> <token> [--snapshot-every N]
+//! fleet_service serve <dir> <addr> <token> [--snapshot-every N] [--selfscrape-every S]
 //! fleet_service query <addr> <token> metrics
 //! fleet_service query <addr> <token> agg <metric> <now_s> <window_s> <agg>
 //! fleet_service query <addr> <token> top <metric> <now_s> <window_s> <agg> <k> <highest|lowest>
 //! fleet_service query <addr> <token> health <now_s> <stale_after_s>
 //! fleet_service query <addr> <token> covered <metric> <now_s> <window_s> <agg> <stale_after_s>
+//! fleet_service query <addr> <token> selfstat [k] [--drain]
 //! ```
 //!
 //! `serve` opens (or recovers) the [`moda_fleet::DurableFleet`] under
@@ -18,18 +19,30 @@
 //! nothing that was acknowledged: restart the service on the same
 //! `<dir>` and exporters resume from their persisted cursors.
 //!
+//! With `--selfscrape-every S` the service instruments itself: an
+//! enabled [`moda_obs::Obs`] handle is attached to the fleet (WAL,
+//! ingest, and query-serve spans start recording) and a
+//! [`moda_fleet::SelfScraper`] ships the registry into the fleet's
+//! `__self/` axes every `S` wall seconds through the stock export
+//! pipeline. The scrape timeline starts at the store's observed
+//! high-water mark and advances `S` logical seconds per tick, so
+//! restarts keep it monotonic. `query ... agg __self/wal.fsync_ns ...`
+//! then answers from the same planner as any fleet metric.
+//!
 //! `query` is the read-only CLI over the serving protocol
 //! ([`moda_fleet::query`]): it dials a running service with a
 //! [`moda_fleet::FleetClient`], issues one request, prints the answer,
 //! and exits non-zero on refusal. `<agg>` is one of `mean`, `min`,
 //! `max`, `sum`, `count`, or `pQ` with a rank in [0, 1] (`p0.99`).
-//! Times are in seconds.
+//! Times are in seconds. `selfstat` prints the service's slowest
+//! internal spans (default `k` 16; `--drain` clears the server log).
 //!
 //! This is the process the crash-recovery and query integration tests
 //! (`tests/recovery.rs`, `tests/query.rs`) and the `fleet-recovery` /
 //! `fleet-query` CI jobs drive.
 
-use moda_fleet::{DurabilityConfig, DurableFleet, FleetClient, FleetListener, Rank};
+use moda_fleet::{DurabilityConfig, DurableFleet, FleetClient, FleetListener, Rank, SelfScraper};
+use moda_obs::Obs;
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::WindowAgg;
 use std::io::Write;
@@ -37,12 +50,13 @@ use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fleet_service serve <dir> <addr> <token> [--snapshot-every N]\n\
+        "usage: fleet_service serve <dir> <addr> <token> [--snapshot-every N] [--selfscrape-every S]\n\
          \x20      fleet_service query <addr> <token> metrics\n\
          \x20      fleet_service query <addr> <token> agg <metric> <now_s> <window_s> <agg>\n\
          \x20      fleet_service query <addr> <token> top <metric> <now_s> <window_s> <agg> <k> <highest|lowest>\n\
          \x20      fleet_service query <addr> <token> health <now_s> <stale_after_s>\n\
-         \x20      fleet_service query <addr> <token> covered <metric> <now_s> <window_s> <agg> <stale_after_s>"
+         \x20      fleet_service query <addr> <token> covered <metric> <now_s> <window_s> <agg> <stale_after_s>\n\
+         \x20      fleet_service query <addr> <token> selfstat [k] [--drain]"
     );
     std::process::exit(2);
 }
@@ -62,6 +76,7 @@ fn serve(args: &[String]) -> ! {
     }
     let (dir, addr, token) = (&args[2], &args[3], &args[4]);
     let mut cfg = DurabilityConfig::default();
+    let mut selfscrape_every: u64 = 0;
     let mut rest = args[5..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -69,11 +84,15 @@ fn serve(args: &[String]) -> ! {
                 let n = rest.next().unwrap_or_else(|| usage());
                 cfg.snapshot_every_batches = n.parse().unwrap_or_else(|_| usage());
             }
+            "--selfscrape-every" => {
+                let n = rest.next().unwrap_or_else(|| usage());
+                selfscrape_every = n.parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
     }
 
-    let fleet = match DurableFleet::open(dir, cfg) {
+    let mut fleet = match DurableFleet::open(dir, cfg) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("fleet_service: cannot open {dir}: {e}");
@@ -81,7 +100,24 @@ fn serve(args: &[String]) -> ! {
         }
     };
     let rec = *fleet.recovery();
-    let listener = match FleetListener::bind(addr.as_str(), Arc::new(Mutex::new(fleet)), token) {
+    // Self-telemetry: attach an enabled registry + scraper before the
+    // listener takes the fleet, so the first served query is spanned.
+    let mut scraper = if selfscrape_every > 0 {
+        match SelfScraper::attach(&mut fleet, Obs::enabled()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("fleet_service: cannot attach self-scraper: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    // Scrape timeline: resume past anything already ingested so raw
+    // self samples stay monotonic across restarts.
+    let mut scrape_t = fleet.aggregator().observed_now();
+    let fleet = Arc::new(Mutex::new(fleet));
+    let listener = match FleetListener::bind(addr.as_str(), Arc::clone(&fleet), token) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("fleet_service: cannot bind {addr}: {e}");
@@ -100,7 +136,17 @@ fn serve(args: &[String]) -> ! {
     // Serve until killed; durability is per-batch, so there is no
     // shutdown path to get right — SIGKILL is the supported exit.
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        match scraper.as_mut() {
+            None => std::thread::sleep(std::time::Duration::from_secs(3600)),
+            Some(s) => {
+                std::thread::sleep(std::time::Duration::from_secs(selfscrape_every));
+                scrape_t += SimDuration::from_secs(selfscrape_every);
+                let mut f = fleet.lock().unwrap();
+                if let Err(e) = s.tick(&mut f, scrape_t) {
+                    eprintln!("fleet_service: self-scrape failed: {e}");
+                }
+            }
+        }
     }
 }
 
@@ -203,6 +249,27 @@ fn query(args: &[String]) -> ! {
                     );
                 }
             }),
+        Some("selfstat") => {
+            let mut k: u32 = 16;
+            let mut drain = false;
+            for arg in &rest[1..] {
+                match arg.as_str() {
+                    "--drain" => drain = true,
+                    s => k = s.parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            client.selfstat(k, drain).map(|a| {
+                if a.ops.is_empty() {
+                    println!("no spans recorded");
+                }
+                for (i, op) in a.ops.iter().enumerate() {
+                    println!(
+                        "#{i} {} {}ns depth={} seq={}",
+                        op.name, op.duration_ns, op.depth, op.seq
+                    );
+                }
+            })
+        }
         Some("covered") if rest.len() == 6 => client
             .covered_window_agg(
                 &rest[1],

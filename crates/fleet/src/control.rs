@@ -39,6 +39,7 @@
 
 use crate::aggregator::{FleetAggregator, NodeLiveness};
 use crate::store::{FleetServed, NodeId, Rank};
+use moda_obs::{Counter, LatencyRecorder, Obs};
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::{MetricId, WindowAgg};
 use std::collections::{HashMap, VecDeque};
@@ -838,6 +839,10 @@ pub struct FleetResponder<Act: Clone + Debug> {
     log: ControlLog,
     complete_observations: u64,
     degraded_observations: u64,
+    /// Pre-resolved `control.*` self-telemetry instruments (inert until
+    /// [`FleetResponder::set_obs`]).
+    tick_ns: LatencyRecorder,
+    actuations: Counter,
 }
 
 impl<Act: Clone + Debug> FleetResponder<Act> {
@@ -855,7 +860,17 @@ impl<Act: Clone + Debug> FleetResponder<Act> {
             log,
             complete_observations: 0,
             degraded_observations: 0,
+            tick_ns: LatencyRecorder::default(),
+            actuations: Counter::default(),
         }
+    }
+
+    /// Attach a self-telemetry handle: `control.tick_ns` spans every
+    /// [`FleetResponder::tick`], `control.actuations` counts applied
+    /// actions.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.tick_ns = obs.latency("control.tick_ns");
+        self.actuations = obs.counter("control.actuations");
     }
 
     /// Register a monitor.
@@ -904,6 +919,7 @@ impl<Act: Clone + Debug> FleetResponder<Act> {
         now: SimTime,
         actuator: &mut A,
     ) -> TickReport {
+        let _span = self.tick_ns.start();
         let mut report = TickReport::default();
         // Monitor: run every probe once; keep the worst alert per
         // monitor (rules bind per monitor).
@@ -1199,6 +1215,7 @@ impl<Act: Clone + Debug> FleetResponder<Act> {
                         format!("{:?} on {target:?}: {receipt}", rule.action),
                     );
                     report.applied += 1;
+                    self.actuations.add(1);
                     self.subsystem_last.insert(rule.subsystem.clone(), now);
                     self.subsystem_hist
                         .get_mut(&rule.subsystem)

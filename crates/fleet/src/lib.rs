@@ -90,6 +90,7 @@ pub mod aggregator;
 pub mod control;
 pub mod persist;
 pub mod query;
+pub mod selfobs;
 pub mod store;
 pub mod transport;
 
@@ -106,9 +107,10 @@ pub use control::{
 pub use persist::{DurabilityConfig, DurableFleet, RecoveryStats};
 pub use query::{
     CoveredAnswer, CoveredTopNodesAnswer, HealthAnswer, MetricsAnswer, NodeHealthAnswer,
-    QueryError, QueryErrorCode, QueryRequest, QueryResponse, ScalarAnswer, TopNodeEntry,
-    QUERY_PROTOCOL_VERSION,
+    QueryError, QueryErrorCode, QueryRequest, QueryResponse, ScalarAnswer, SelfStatAnswer,
+    TopNodeEntry, QUERY_PROTOCOL_VERSION,
 };
+pub use selfobs::{SelfScrapeTick, SelfScraper, SELF_NODE};
 pub use store::{FleetMetricInfo, FleetServed, FleetStore, FleetStoreStats, NodeId, Rank};
 pub use transport::{
     ChaosConfig, ChaosSink, ChaosStats, FleetClient, FleetListener, SocketSink, TransportConfig,

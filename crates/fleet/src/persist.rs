@@ -44,6 +44,7 @@
 
 use crate::aggregator::{FleetAggregator, IngestReport, NodeSession};
 use crate::store::{FleetStore, FleetStoreStats, NodeId};
+use moda_obs::{Counter, LatencyRecorder, Obs};
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{
     decode_batch, decode_drain_stats, encode_batch, encode_drain_stats, read_frame, write_frame,
@@ -275,6 +276,22 @@ pub struct DurableFleet {
     batches_since_snapshot: u64,
     recovery: RecoveryStats,
     frame_buf: Vec<u8>,
+    wal_obs: WalObs,
+}
+
+/// Pre-resolved durability instruments — resolved once in
+/// [`DurableFleet::set_obs`]; all inert on a disabled handle.
+#[derive(Debug, Default, Clone)]
+struct WalObs {
+    /// `wal.appends` — log frames appended.
+    appends: Counter,
+    /// `wal.bytes` — payload bytes appended to the log.
+    bytes: Counter,
+    /// `wal.fsync_ns` — wall time of the post-append OS flush (the
+    /// durability cost every mutation pays).
+    fsync_ns: LatencyRecorder,
+    /// `snapshot.write_ns` — wall time of one snapshot write + rotate.
+    snapshot_ns: LatencyRecorder,
 }
 
 impl DurableFleet {
@@ -304,6 +321,7 @@ impl DurableFleet {
             batches_since_snapshot: 0,
             recovery: RecoveryStats::default(),
             frame_buf: Vec::new(),
+            wal_obs: WalObs::default(),
         };
         // An empty snapshot makes the directory self-describing from
         // the first byte: recovery never needs a "no snapshot" case.
@@ -335,6 +353,7 @@ impl DurableFleet {
             batches_since_snapshot: 0,
             recovery: RecoveryStats::default(),
             frame_buf: Vec::new(),
+            wal_obs: WalObs::default(),
         };
         fleet.replay_log(&mut recovery)?;
         fleet.recovery = recovery;
@@ -494,7 +513,10 @@ impl DurableFleet {
 
     fn append_log(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
         write_frame(&mut self.log, tag, payload)?;
+        self.wal_obs.appends.add(1);
+        self.wal_obs.bytes.add(payload.len() as u64);
         // Flush to the OS: `kill -9` cannot lose it once this returns.
+        let _span = self.wal_obs.fsync_ns.start();
         self.log.flush()
     }
 
@@ -517,6 +539,7 @@ impl DurableFleet {
     /// Write `snapshot.bin` naming log `epoch`, and leave `self.log`
     /// pointing at that (fresh, empty) log.
     fn write_snapshot(&mut self, epoch: u64) -> io::Result<()> {
+        let _span = self.wal_obs.snapshot_ns.start();
         let mut payload = Vec::new();
         encode_snapshot(&self.agg, epoch, &mut payload);
         let tmp = self.dir.join(SNAPSHOT_TMP);
@@ -536,6 +559,26 @@ impl DurableFleet {
     }
 
     // ----- access -------------------------------------------------------
+
+    /// Attach a self-telemetry handle: resolves the durability
+    /// instruments (`wal.*`, `snapshot.write_ns`) and hands the handle
+    /// down to the aggregator's ingest instruments. Observation state
+    /// is process-local — it is *not* persisted or recovered.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.wal_obs = WalObs {
+            appends: obs.counter("wal.appends"),
+            bytes: obs.counter("wal.bytes"),
+            fsync_ns: obs.latency("wal.fsync_ns"),
+            snapshot_ns: obs.latency("snapshot.write_ns"),
+        };
+        self.agg.set_obs(obs);
+    }
+
+    /// The attached self-telemetry handle (disabled unless
+    /// [`DurableFleet::set_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        self.agg.obs()
+    }
 
     /// The wrapped aggregator (sessions, health, counters).
     pub fn aggregator(&self) -> &FleetAggregator {

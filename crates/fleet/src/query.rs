@@ -43,6 +43,7 @@ use crate::aggregator::{FleetAggregator, FleetHealth, NodeCounters, NodeHealth, 
 use crate::control::Coverage;
 use crate::persist::{put_str, put_u16, put_u32, put_u64, Rd};
 use crate::store::{FleetServed, NodeId, Rank};
+use moda_obs::SlowOp;
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{decode_drain_stats, encode_drain_stats};
 use moda_telemetry::{DrainStats, WindowAgg};
@@ -60,6 +61,7 @@ const REQ_HEALTH: u8 = 3;
 const REQ_COVERED_WINDOW_AGG: u8 = 4;
 const REQ_COVERED_TOP_NODES: u8 = 5;
 const REQ_METRICS: u8 = 6;
+const REQ_SELF_STAT: u8 = 7;
 
 // Response kinds.
 const RESP_SCALAR: u8 = 1;
@@ -69,6 +71,7 @@ const RESP_COVERED: u8 = 4;
 const RESP_COVERED_TOP_NODES: u8 = 5;
 const RESP_METRICS: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_SELF_STAT: u8 = 8;
 
 // ------------------------------------------------------------ requests
 
@@ -149,6 +152,16 @@ pub enum QueryRequest {
     /// List the logical axes the store serves (sorted names + member
     /// counts) — the discovery query a dashboard starts with.
     Metrics,
+    /// The service's slow-op log ([`crate::FleetAggregator::obs`] →
+    /// top-k slowest spans) — the postmortem query behind
+    /// `fleet_service selfstat`. With `drain` the server empties the
+    /// log after answering, so repeated polls see fresh entries only.
+    SelfStat {
+        /// Keep the `k` slowest entries.
+        k: u32,
+        /// Consume the log instead of peeking.
+        drain: bool,
+    },
 }
 
 impl QueryRequest {
@@ -169,7 +182,9 @@ impl QueryRequest {
             QueryRequest::TopNodes { agg, .. } | QueryRequest::CoveredTopNodes { agg, .. } => {
                 check_percentile(agg)
             }
-            QueryRequest::Health { .. } | QueryRequest::Metrics => Ok(()),
+            QueryRequest::Health { .. } | QueryRequest::Metrics | QueryRequest::SelfStat { .. } => {
+                Ok(())
+            }
         }
     }
 }
@@ -303,6 +318,15 @@ pub struct MetricsAnswer {
     pub axes: Vec<(String, u32)>,
 }
 
+/// The slow-op dump answering [`QueryRequest::SelfStat`] — the wire
+/// form carries [`moda_obs::SlowOp`] verbatim (name, duration, nesting
+/// depth, completion sequence), slowest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfStatAnswer {
+    /// Slowest completed spans, slowest first.
+    pub ops: Vec<SlowOp>,
+}
+
 /// Why a request was refused. Codes are part of the wire contract
 /// (`docs/FLEET_SERVICE.md`); the detail string is advisory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -396,6 +420,8 @@ pub enum QueryResponse {
     CoveredTopNodes(CoveredTopNodesAnswer),
     /// Answer to [`QueryRequest::Metrics`].
     Metrics(MetricsAnswer),
+    /// Answer to [`QueryRequest::SelfStat`].
+    SelfStat(SelfStatAnswer),
     /// The request was refused; the session stays up.
     Error(QueryError),
 }
@@ -567,6 +593,11 @@ pub fn encode_request(req: &QueryRequest, out: &mut Vec<u8>) {
             put_u64(out, stale_after.0);
         }
         QueryRequest::Metrics => out.push(REQ_METRICS),
+        QueryRequest::SelfStat { k, drain } => {
+            out.push(REQ_SELF_STAT);
+            put_u32(out, *k);
+            out.push(*drain as u8);
+        }
     }
 }
 
@@ -621,6 +652,19 @@ pub fn decode_request(buf: &[u8]) -> Result<QueryRequest, QueryError> {
             stale_after: SimDuration(r.u64().map_err(mal)?),
         },
         REQ_METRICS => QueryRequest::Metrics,
+        REQ_SELF_STAT => QueryRequest::SelfStat {
+            k: r.u32().map_err(mal)?,
+            drain: match r.u8().map_err(mal)? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(QueryError::new(
+                        QueryErrorCode::BadField,
+                        "selfstat drain flag out of range",
+                    ))
+                }
+            },
+        },
         other => {
             return Err(QueryError::new(
                 QueryErrorCode::UnknownKind,
@@ -848,6 +892,16 @@ pub fn encode_response(resp: &QueryResponse, out: &mut Vec<u8>) {
                 put_u32(out, *members);
             }
         }
+        QueryResponse::SelfStat(a) => {
+            out.push(RESP_SELF_STAT);
+            put_u32(out, a.ops.len() as u32);
+            for op in &a.ops {
+                put_str(out, &op.name);
+                put_u64(out, op.duration_ns);
+                put_u32(out, op.depth);
+                put_u64(out, op.seq);
+            }
+        }
         QueryResponse::Error(e) => {
             out.push(RESP_ERROR);
             out.push(e.code as u8);
@@ -920,6 +974,22 @@ pub fn decode_response(buf: &[u8]) -> io::Result<QueryResponse> {
                 axes.push((name, r.u32()?));
             }
             QueryResponse::Metrics(MetricsAnswer { axes })
+        }
+        RESP_SELF_STAT => {
+            let n = r.u32()? as usize;
+            if n > r.remaining() {
+                return Err(bad_resp("slow-op count exceeds payload"));
+            }
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(SlowOp {
+                    name: r.str()?,
+                    duration_ns: r.u64()?,
+                    depth: r.u32()?,
+                    seq: r.u64()?,
+                });
+            }
+            QueryResponse::SelfStat(SelfStatAnswer { ops })
         }
         RESP_ERROR => {
             let code =
@@ -1017,6 +1087,17 @@ pub fn execute(fleet: &FleetAggregator, req: &QueryRequest) -> QueryResponse {
                 .map(|(name, members)| (name, members as u32))
                 .collect(),
         }),
+        QueryRequest::SelfStat { k, drain } => {
+            let obs = fleet.obs();
+            let ops = if *drain {
+                let mut ops = obs.drain_slow_ops();
+                ops.truncate(*k as usize);
+                ops
+            } else {
+                obs.slow_ops(*k as usize)
+            };
+            QueryResponse::SelfStat(SelfStatAnswer { ops })
+        }
     }
 }
 
@@ -1072,6 +1153,7 @@ mod tests {
                 stale_after: SimDuration::from_secs(120),
             },
             QueryRequest::Metrics,
+            QueryRequest::SelfStat { k: 16, drain: true },
         ]
     }
 
@@ -1149,6 +1231,22 @@ mod tests {
             }),
             QueryResponse::Metrics(MetricsAnswer {
                 axes: vec![("power_w".into(), 16), ("temp_c".into(), 3)],
+            }),
+            QueryResponse::SelfStat(SelfStatAnswer {
+                ops: vec![
+                    SlowOp {
+                        name: "export.drain_ns".into(),
+                        duration_ns: 123_456,
+                        depth: 0,
+                        seq: 42,
+                    },
+                    SlowOp {
+                        name: "chunk.encode_ns".into(),
+                        duration_ns: 99,
+                        depth: 1,
+                        seq: 43,
+                    },
+                ],
             }),
             QueryResponse::Error(QueryError::new(QueryErrorCode::BadField, "nope")),
         ];

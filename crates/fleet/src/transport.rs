@@ -56,9 +56,10 @@ use crate::persist::{bad_data, put_str, put_u16, put_u64, DurableFleet, Rd};
 use crate::query::{
     decode_request, decode_response, encode_request, encode_response, execute, CoveredAnswer,
     CoveredTopNodesAnswer, HealthAnswer, MetricsAnswer, QueryError, QueryErrorCode, QueryRequest,
-    QueryResponse, ScalarAnswer, TopNodeEntry, QUERY_PROTOCOL_VERSION,
+    QueryResponse, ScalarAnswer, SelfStatAnswer, TopNodeEntry, QUERY_PROTOCOL_VERSION,
 };
 use crate::store::{NodeId, Rank};
+use moda_obs::Obs;
 use moda_sim::{SimDuration, SimTime};
 use moda_telemetry::export::{
     crc32, decode_batch, decode_drain_stats, encode_batch, encode_drain_stats, frame_tag,
@@ -1018,7 +1019,10 @@ fn answer_query(
     fleet: &Arc<Mutex<DurableFleet>>,
     payload: &[u8],
 ) -> io::Result<()> {
+    let started = std::time::Instant::now();
     let id = request_id_of(payload);
+    let mut obs = Obs::disabled();
+    let mut kind = "malformed";
     let resp = if payload.len() < 8 {
         QueryResponse::Error(QueryError::new(
             QueryErrorCode::Malformed,
@@ -1027,7 +1031,9 @@ fn answer_query(
     } else {
         match decode_request(&payload[8..]) {
             Ok(req) => {
+                kind = request_kind(&req);
                 let fleet = fleet.lock().unwrap();
+                obs = fleet.obs().clone();
                 execute(fleet.aggregator(), &req)
             }
             Err(e) => QueryResponse::Error(e),
@@ -1037,7 +1043,30 @@ fn answer_query(
     put_u64(&mut out, id);
     encode_response(&resp, &mut out);
     write_frame(stream, FRAME_QUERY_RESP, &out)?;
-    stream.flush()
+    stream.flush()?;
+    // Serve latency: decode + planner-under-lock + respond. Recorded
+    // overall (the fleet-mergeable `__self/query.serve_ns` axis) and
+    // per request kind; no-ops unless the service attached an enabled
+    // handle via `DurableFleet::set_obs`.
+    if obs.is_enabled() {
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        obs.latency("query.serve_ns").record_ns(ns);
+        obs.latency(&format!("query.serve.{kind}_ns")).record_ns(ns);
+    }
+    Ok(())
+}
+
+/// Stable per-kind label for the `query.serve.<kind>_ns` instruments.
+fn request_kind(req: &QueryRequest) -> &'static str {
+    match req {
+        QueryRequest::WindowAgg { .. } => "window_agg",
+        QueryRequest::TopNodes { .. } => "top_nodes",
+        QueryRequest::Health { .. } => "health",
+        QueryRequest::CoveredWindowAgg { .. } => "covered_window_agg",
+        QueryRequest::CoveredTopNodes { .. } => "covered_top_nodes",
+        QueryRequest::Metrics => "metrics",
+        QueryRequest::SelfStat { .. } => "selfstat",
+    }
 }
 
 // -------------------------------------------------------------- client
@@ -1380,6 +1409,16 @@ impl FleetClient {
     pub fn metrics(&mut self) -> io::Result<MetricsAnswer> {
         match self.request(&QueryRequest::Metrics)? {
             QueryResponse::Metrics(m) => Ok(m),
+            QueryResponse::Error(e) => Err(e.into()),
+            _ => Err(bad_data("mismatched response kind")),
+        }
+    }
+
+    /// Typed [`QueryRequest::SelfStat`]: the service's slowest internal
+    /// spans, slowest first. `drain` also clears the server-side log.
+    pub fn selfstat(&mut self, k: u32, drain: bool) -> io::Result<SelfStatAnswer> {
+        match self.request(&QueryRequest::SelfStat { k, drain })? {
+            QueryResponse::SelfStat(a) => Ok(a),
             QueryResponse::Error(e) => Err(e.into()),
             _ => Err(bad_data("mismatched response kind")),
         }

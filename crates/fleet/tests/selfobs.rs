@@ -1,0 +1,263 @@
+//! Self-telemetry integration suite: the pipeline's own metrics ride
+//! the pipeline.
+//!
+//! Three contracts:
+//!
+//! * **bit-exact round trip** (proptest) — arbitrary instrument
+//!   states scraped into a node store, drained through the stock
+//!   exporter, and ingested into the fleet answer every mergeable
+//!   window aggregate bit-identically to the node-local store the
+//!   scrape wrote (durations are integer ns ≤ 2^48, so ns → f64 →
+//!   wire → fleet never rounds);
+//! * **disabled means untouched** — a disabled [`Obs`] handle records
+//!   nothing, scrapes nothing, and leaves a store byte-for-byte
+//!   identical to an uninstrumented run;
+//! * **selfstat over the wire** — the bounded slow-op log is drainable
+//!   through the versioned query protocol (`REQ_SELF_STAT`), empty on
+//!   an uninstrumented fleet, populated and then drained on an
+//!   instrumented one.
+
+use moda_fleet::{
+    DurabilityConfig, DurableFleet, FleetAggregator, FleetClient, FleetListener, SelfScraper,
+};
+use moda_obs::Obs;
+use moda_sim::{SimDuration, SimTime};
+use moda_telemetry::export::MemorySink;
+use moda_telemetry::{Exporter, Tsdb, WindowAgg};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const TOKEN: &str = "selfobs-test-token";
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn work_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("moda_selfobs_it_{tag}_{}_{n}", std::process::id()))
+}
+
+// ------------------------------------------------- bit-exact round trip
+
+/// Arbitrary instrument workload: counters, gauges, and latency
+/// recorders with pending durations.
+#[derive(Debug, Clone)]
+struct Workload {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    latencies: Vec<(String, Vec<u64>)>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    let name = "[a-z]{1,6}";
+    let counters = prop::collection::vec((name, any::<u64>()), 0..4);
+    let gauges = prop::collection::vec((name, -1e12f64..1e12), 0..4);
+    // Durations bounded to 2^48 ns (~3 days): comfortably inside f64's
+    // integer-exact range, far above anything a span can record.
+    let lats = prop::collection::vec((name, prop::collection::vec(0u64..(1 << 48), 1..24)), 0..3);
+    (counters, gauges, lats).prop_map(|(counters, gauges, latencies)| Workload {
+        counters,
+        gauges,
+        latencies,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// scrape → export → fleet ingest answers every mergeable window
+    /// aggregate bit-identically to the node-local store the scrape
+    /// wrote — for arbitrary instrument states.
+    #[test]
+    fn self_metrics_round_trip_bit_exactly(w in workload()) {
+        let obs = Obs::enabled();
+        for (name, v) in &w.counters {
+            obs.counter(&format!("c.{name}")).add(*v);
+        }
+        for (name, v) in &w.gauges {
+            obs.gauge(&format!("g.{name}")).set(*v);
+        }
+        for (name, samples) in &w.latencies {
+            let lat = obs.latency(&format!("l.{name}"));
+            for ns in samples {
+                lat.record_ns(*ns);
+            }
+        }
+
+        let t = SimTime::from_secs(30);
+        let mut db = Tsdb::new();
+        let stats = obs.scrape_into(&mut db, t);
+        prop_assert_eq!(stats.instruments, db.cardinality());
+
+        let mut sink = MemorySink::new();
+        Exporter::new().drain(&db, &mut sink).unwrap();
+        let mut fleet = FleetAggregator::new();
+        let node = fleet.add_node("svc");
+        for batch in &sink.batches {
+            let report = fleet.ingest(node, batch);
+            prop_assert!(report.applied);
+        }
+
+        let span = SimDuration::from_secs(60);
+        for id in 0..db.cardinality() as u32 {
+            let id = moda_telemetry::MetricId(id);
+            let name = db.meta(id).name.clone();
+            prop_assert!(name.starts_with("__self/"));
+            for agg in [WindowAgg::Count, WindowAgg::Sum, WindowAgg::Min, WindowAgg::Max] {
+                let want = db.window_agg(id, t, span, agg);
+                let got = fleet.store().fleet_window_agg(&name, t, span, agg);
+                prop_assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "{} {:?}", &name, agg
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- disabled means untouched
+
+#[test]
+fn disabled_obs_leaves_the_store_untouched() {
+    // Identical workloads, one with a disabled handle spanning every
+    // insert, one bare: the stores must be indistinguishable and the
+    // handle must have recorded nothing.
+    let run = |obs: Option<&Obs>| {
+        let mut db = Tsdb::new();
+        let id = db.register(moda_telemetry::MetricMeta::gauge(
+            "m",
+            "u",
+            moda_telemetry::SourceDomain::Software,
+        ));
+        let lat = obs.map(|o| o.latency("tsdb.insert_ns"));
+        for s in 0..500u64 {
+            let _span = lat.as_ref().map(|l| l.start());
+            db.insert(id, SimTime::from_secs(s), s as f64);
+            if let Some(o) = obs {
+                o.counter("inserts").add(1);
+            }
+        }
+        if let Some(o) = obs {
+            o.scrape_into(&mut db, SimTime::from_secs(500));
+        }
+        db
+    };
+    let obs = Obs::disabled();
+    let instrumented = run(Some(&obs));
+    let bare = run(None);
+
+    assert!(obs.registry().is_none(), "disabled handle has no registry");
+    assert!(obs.slow_ops(16).is_empty());
+    assert_eq!(obs.counter_value("inserts"), None);
+    assert_eq!(instrumented.cardinality(), bare.cardinality());
+    assert_eq!(instrumented.total_inserts(), bare.total_inserts());
+    assert_eq!(instrumented.self_inserts(), 0, "no scrape happened");
+    let id = moda_telemetry::MetricId(0);
+    assert_eq!(
+        instrumented.latest_value(id).map(f64::to_bits),
+        bare.latest_value(id).map(f64::to_bits)
+    );
+    let agg = instrumented.window_agg(
+        id,
+        SimTime::from_secs(499),
+        SimDuration::from_secs(500),
+        WindowAgg::Sum,
+    );
+    let want = bare.window_agg(
+        id,
+        SimTime::from_secs(499),
+        SimDuration::from_secs(500),
+        WindowAgg::Sum,
+    );
+    assert_eq!(agg.map(f64::to_bits), want.map(f64::to_bits));
+}
+
+// ------------------------------------------------- selfstat over the wire
+
+#[test]
+fn selfstat_is_empty_on_an_uninstrumented_fleet() {
+    let dir = work_dir("plain");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fleet = DurableFleet::open(&dir, DurabilityConfig::default()).unwrap();
+    let listener = FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(fleet)), TOKEN).unwrap();
+    let addr = listener.local_addr().to_string();
+    let mut client = FleetClient::connect(&addr, TOKEN).unwrap();
+    let answer = client.selfstat(16, false).unwrap();
+    assert!(answer.ops.is_empty(), "no obs attached, no spans");
+    drop(client);
+    let _ = listener.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn selfstat_drains_the_slow_op_log_over_the_wire() {
+    let dir = work_dir("spans");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut fleet = DurableFleet::open(&dir, DurabilityConfig::default()).unwrap();
+    let obs = Obs::enabled();
+    let mut scraper = SelfScraper::attach(&mut fleet, obs.clone()).unwrap();
+    // A recognizable span, long enough to stay near the top of the log.
+    {
+        let _span = obs.latency("test.slow_ns").start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    scraper.tick(&mut fleet, SimTime::from_secs(1)).unwrap();
+
+    let listener = FleetListener::bind("127.0.0.1:0", Arc::new(Mutex::new(fleet)), TOKEN).unwrap();
+    let addr = listener.local_addr().to_string();
+    let mut client = FleetClient::connect(&addr, TOKEN).unwrap();
+
+    let peek = client.selfstat(64, false).unwrap();
+    assert!(
+        peek.ops.iter().any(|op| op.name == "test.slow_ns"),
+        "the slow span is listed: {:?}",
+        peek.ops
+    );
+    // Slowest first.
+    for pair in peek.ops.windows(2) {
+        assert!(pair[0].duration_ns >= pair[1].duration_ns);
+    }
+
+    let drained = client.selfstat(64, true).unwrap();
+    assert!(drained.ops.iter().any(|op| op.name == "test.slow_ns"));
+    // The drain cleared the log; only spans recorded *after* it (the
+    // serves of the drain + this request) can appear now.
+    let after = client.selfstat(64, false).unwrap();
+    assert!(
+        after.ops.iter().all(|op| op.name != "test.slow_ns"),
+        "drained spans do not reappear: {:?}",
+        after.ops
+    );
+
+    drop(client);
+    let _ = listener.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- namespace end to end
+
+#[test]
+fn user_writes_into_the_reserved_namespace_bounce_everywhere() {
+    // The typed-error registration paths are unit-tested in
+    // moda-telemetry; this pins the end-to-end shape: nothing a user
+    // inserts can masquerade as self-telemetry in the fleet.
+    let mut db = Tsdb::new();
+    assert!(db
+        .try_register(moda_telemetry::MetricMeta::gauge(
+            "__self/forged",
+            "ns",
+            moda_telemetry::SourceDomain::Software,
+        ))
+        .is_err());
+    let obs = Obs::enabled();
+    obs.counter("real").add(1);
+    let stats = obs.scrape_into(&mut db, SimTime::from_secs(1));
+    assert_eq!(stats.samples, 1);
+    let id = db.lookup("__self/real").unwrap();
+    // Even with the id in hand, the user insert path refuses.
+    assert!(!db.insert(id, SimTime::from_secs(2), 999.0));
+    assert!(db.try_insert(id, SimTime::from_secs(2), 999.0).is_err());
+    assert_eq!(db.latest_value(id), Some(1.0), "scrape value undisturbed");
+}

@@ -1,0 +1,105 @@
+//! Thin-view bridge between the registry and the legacy stat structs.
+//!
+//! The exporter's [`DrainStats`] predates the registry; runtimes used to
+//! accumulate it in an ad-hoc struct *next to* whatever the registry
+//! would say — two copies of the truth that can silently diverge. This
+//! module makes the registry the single source: [`record_drain`] folds a
+//! drain's stats into `export.*` instruments, and [`drain_view`]
+//! rebuilds the legacy struct *from* those instruments for callers that
+//! still want the old shape. The numbers a runtime reports and the
+//! numbers a `__self/export.*` query serves are now the same cells.
+
+use crate::registry::Obs;
+use moda_telemetry::DrainStats;
+
+/// Fold one drain's [`DrainStats`] (the per-call delta returned by
+/// `Exporter::drain`, not lifetime totals) into the registry's
+/// `export.*` instruments. No-op on a disabled handle.
+pub fn record_drain(obs: &Obs, stats: &DrainStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.counter("export.batches").add(stats.batches);
+    obs.counter("export.records").add(stats.records);
+    obs.counter("export.samples").add(stats.samples);
+    obs.counter("export.chunks").add(stats.chunks);
+    obs.counter("export.buckets").add(stats.buckets);
+    obs.counter("export.sketch_entries")
+        .add(stats.sketch_entries);
+    obs.counter("export.metas").add(stats.metas);
+    obs.counter("export.missed_samples")
+        .add(stats.missed_samples);
+    obs.counter("export.missed_buckets")
+        .add(stats.missed_buckets);
+    obs.counter("export.lock_held_ns").add(stats.lock_held_ns);
+    obs.counter("export.send_retries").add(stats.send_retries);
+    obs.gauge("export.max_lock_held_ns")
+        .set_max(stats.max_lock_held_ns as f64);
+}
+
+/// Rebuild the legacy [`DrainStats`] shape from the registry's
+/// `export.*` instruments — lifetime totals across every
+/// [`record_drain`] fold. `None` on a disabled handle (the caller keeps
+/// whatever legacy accounting it had).
+pub fn drain_view(obs: &Obs) -> Option<DrainStats> {
+    if !obs.is_enabled() {
+        return None;
+    }
+    let counter = |name: &str| obs.counter_value(name).unwrap_or(0);
+    Some(DrainStats {
+        batches: counter("export.batches"),
+        records: counter("export.records"),
+        samples: counter("export.samples"),
+        chunks: counter("export.chunks"),
+        buckets: counter("export.buckets"),
+        sketch_entries: counter("export.sketch_entries"),
+        metas: counter("export.metas"),
+        missed_samples: counter("export.missed_samples"),
+        missed_buckets: counter("export.missed_buckets"),
+        lock_held_ns: counter("export.lock_held_ns"),
+        max_lock_held_ns: obs.gauge("export.max_lock_held_ns").get() as u64,
+        send_retries: counter("export.send_retries"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_stats(scale: u64) -> DrainStats {
+        DrainStats {
+            batches: scale,
+            records: 10 * scale,
+            samples: 8 * scale,
+            chunks: scale / 2,
+            buckets: 3 * scale,
+            sketch_entries: 5 * scale,
+            metas: 2,
+            missed_samples: 0,
+            missed_buckets: 1,
+            lock_held_ns: 1_000 * scale,
+            max_lock_held_ns: 400 * scale,
+            send_retries: scale % 2,
+        }
+    }
+
+    #[test]
+    fn view_round_trips_accumulated_drains() {
+        let obs = Obs::enabled();
+        let a = sample_stats(2);
+        let b = sample_stats(5);
+        record_drain(&obs, &a);
+        record_drain(&obs, &b);
+        let mut want = a;
+        want.merge(&b);
+        assert_eq!(drain_view(&obs), Some(want));
+    }
+
+    #[test]
+    fn disabled_handle_yields_no_view_and_no_instruments() {
+        let obs = Obs::disabled();
+        record_drain(&obs, &sample_stats(3));
+        assert_eq!(drain_view(&obs), None);
+    }
+}

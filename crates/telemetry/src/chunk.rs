@@ -34,6 +34,26 @@
 //!      '11'   + 6+6 bits + bits  new window: leading zeros, length
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-lifetime count of chunks sealed through [`compress`]. Fed to
+/// the self-telemetry scrape as a pull-probe (`__self/chunk.encoded`).
+static ENCODED_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime count of chunk decodes (streaming [`Chunk::decode`]
+/// plus validated [`decode_exact`]); probe `__self/chunk.decoded`.
+static DECODED_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+/// Chunks sealed through [`compress`] since process start.
+pub fn encoded_chunks() -> u64 {
+    ENCODED_CHUNKS.load(Ordering::Relaxed)
+}
+
+/// Chunk decode passes since process start.
+pub fn decoded_chunks() -> u64 {
+    DECODED_CHUNKS.load(Ordering::Relaxed)
+}
+
 /// Error decoding a wire-carried chunk payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
@@ -206,6 +226,7 @@ impl Chunk {
 
     /// Streaming decoder over the **retained** samples (skip applied).
     pub fn decode(&self) -> Decoder<'_> {
+        DECODED_CHUNKS.fetch_add(1, Ordering::Relaxed);
         let mut d = Decoder::new(self.first_t, self.count, &self.bytes);
         for _ in 0..self.skip {
             let s = d.next();
@@ -230,6 +251,7 @@ impl Chunk {
 /// `ts` must be non-empty, non-decreasing, and parallel to `vals`;
 /// `start_append` is the lifetime append index of `ts[0]`.
 pub fn compress(ts: &[u64], vals: &[f64], start_append: u64) -> Chunk {
+    ENCODED_CHUNKS.fetch_add(1, Ordering::Relaxed);
     assert!(!ts.is_empty(), "cannot seal an empty region");
     assert_eq!(ts.len(), vals.len());
     let mut w = BitWriter::new();
@@ -420,6 +442,7 @@ pub fn decode_exact(
     out_ts: &mut Vec<u64>,
     out_vals: &mut Vec<f64>,
 ) -> Result<(), DecodeError> {
+    DECODED_CHUNKS.fetch_add(1, Ordering::Relaxed);
     let (ts_mark, vals_mark) = (out_ts.len(), out_vals.len());
     let mut d = Decoder::new(first_t, count, bytes);
     let mut prev = None;

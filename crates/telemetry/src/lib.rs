@@ -87,7 +87,10 @@ pub use export::{
     ColumnarSink, DrainStats, ExportBatch, ExportRecord, ExportSource, Exporter, ReplayStore, Sink,
     WireTiers,
 };
-pub use metric::{MetricId, MetricKind, MetricMeta, SourceDomain};
+pub use metric::{
+    is_self_metric, InsertError, MetricId, MetricKind, MetricMeta, RegisterError, SourceDomain,
+    SELF_NAMESPACE,
+};
 pub use rollup::{
     fold_span_into, RollupAcc, RollupBucket, RollupConfig, RollupRing, RollupServed, RollupSet,
     RollupTier, SketchAcc, SpanFold,

@@ -9,6 +9,73 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Reserved metric-name prefix for the pipeline's self-telemetry
+/// (`moda-obs`). Names under this namespace can only be created and
+/// written through the scrape-only store entry points
+/// ([`crate::Tsdb::register_self`] / [`crate::Tsdb::insert_self`]);
+/// ordinary registration and inserts are refused so user data can never
+/// masquerade as — or corrupt — the pipeline's own health metrics.
+pub const SELF_NAMESPACE: &str = "__self/";
+
+/// Whether `name` lives in the reserved [`SELF_NAMESPACE`].
+pub fn is_self_metric(name: &str) -> bool {
+    name.starts_with(SELF_NAMESPACE)
+}
+
+/// Typed refusal from [`crate::Tsdb::try_register`] (and the sharded
+/// equivalent): the name is reserved for self-telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The name starts with [`SELF_NAMESPACE`]; only the obs scrape may
+    /// create series there.
+    ReservedNamespace {
+        /// The refused metric name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::ReservedNamespace { name } => write!(
+                f,
+                "metric name {name:?} is in the reserved {SELF_NAMESPACE} self-telemetry \
+                 namespace; only the obs scrape may register it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Typed refusal from [`crate::Tsdb::try_insert`] (and the sharded
+/// equivalent): the target series is reserved for self-telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertError {
+    /// The series was registered by the obs scrape; only
+    /// [`crate::Tsdb::insert_self`] may append to it.
+    ReservedMetric {
+        /// The refused metric id.
+        id: MetricId,
+        /// Its registered name (always under [`SELF_NAMESPACE`]).
+        name: String,
+    },
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::ReservedMetric { id, name } => write!(
+                f,
+                "metric {id} ({name:?}) is a reserved self-telemetry series; \
+                 only the obs scrape may write it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
 /// Dense handle for a registered metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MetricId(pub u32);

@@ -26,7 +26,7 @@
 //! reading any other stripe — the lock-contention half of the §IV
 //! insert-rate consideration.
 
-use crate::metric::{MetricId, MetricMeta};
+use crate::metric::{is_self_metric, InsertError, MetricId, MetricMeta, RegisterError};
 use crate::rollup::{self, RollupConfig, RollupServed, RollupSet};
 use crate::series::{RetentionPolicy, Sample, SampleView, TimeSeries};
 use crate::window::{AggAccum, WindowAgg};
@@ -77,13 +77,17 @@ pub fn adaptive_shards(cores: usize, cardinality: usize) -> usize {
 struct Stored {
     raw: TimeSeries,
     rollups: Option<RollupSet>,
+    /// Series lives in the reserved `__self/` namespace: created by the
+    /// obs scrape, writable only through the `insert_self` entry points.
+    reserved: bool,
 }
 
 impl Stored {
-    fn new(capacity: usize, rollups: Option<&RollupConfig>) -> Self {
+    fn new(capacity: usize, rollups: Option<&RollupConfig>, reserved: bool) -> Self {
         Stored {
             raw: TimeSeries::new(capacity),
             rollups: rollups.map(RollupSet::new),
+            reserved,
         }
     }
 
@@ -188,6 +192,7 @@ pub struct Tsdb {
     default_capacity: usize,
     default_rollups: Option<RollupConfig>,
     inserts: u64,
+    self_inserts: u64,
     rollup_hits: AtomicU64,
     sketch_hits: AtomicU64,
 }
@@ -207,6 +212,7 @@ impl Tsdb {
             default_capacity: DEFAULT_RETENTION,
             default_rollups: None,
             inserts: 0,
+            self_inserts: 0,
             rollup_hits: AtomicU64::new(0),
             sketch_hits: AtomicU64::new(0),
         }
@@ -236,8 +242,42 @@ impl Tsdb {
 
     /// Register a metric, returning its dense id. Re-registering the same
     /// name returns the existing id (idempotent), so sensors can register
-    /// defensively.
+    /// defensively. Panics on names in the reserved
+    /// [`crate::metric::SELF_NAMESPACE`] — use [`Tsdb::try_register`]
+    /// when the name is not statically known to be user-owned.
     pub fn register(&mut self, meta: MetricMeta) -> MetricId {
+        assert!(
+            !is_self_metric(&meta.name),
+            "metric name {:?} is in the reserved self-telemetry namespace",
+            meta.name
+        );
+        self.register_unchecked(meta, false)
+    }
+
+    /// [`Tsdb::register`] with the reserved `__self/` namespace refused
+    /// as a typed error instead of a panic — the entry point for names
+    /// originating outside the program text (wire ingest, config).
+    pub fn try_register(&mut self, meta: MetricMeta) -> Result<MetricId, RegisterError> {
+        if is_self_metric(&meta.name) {
+            return Err(RegisterError::ReservedNamespace { name: meta.name });
+        }
+        Ok(self.register_unchecked(meta, false))
+    }
+
+    /// Scrape-only registration into the reserved `__self/` namespace
+    /// (idempotent on name). Panics if the name is **not** reserved —
+    /// self-telemetry must be namespaced so it cannot shadow user data.
+    pub fn register_self(&mut self, meta: MetricMeta) -> MetricId {
+        assert!(
+            is_self_metric(&meta.name),
+            "self-telemetry metric {:?} must start with {:?}",
+            meta.name,
+            crate::metric::SELF_NAMESPACE
+        );
+        self.register_unchecked(meta, true)
+    }
+
+    fn register_unchecked(&mut self, meta: MetricMeta, reserved: bool) -> MetricId {
         if let Some(&id) = self.by_name.get(&meta.name) {
             return id;
         }
@@ -247,16 +287,19 @@ impl Tsdb {
         self.series.push(Stored::new(
             self.default_capacity,
             self.default_rollups.as_ref(),
+            reserved,
         ));
         id
     }
 
     /// Register with explicit retention capacity for this series.
+    /// Reserved-namespace names panic as in [`Tsdb::register`].
     pub fn register_with_capacity(&mut self, meta: MetricMeta, capacity: usize) -> MetricId {
         let fresh = !self.by_name.contains_key(&meta.name);
         let id = self.register(meta);
         if fresh {
-            self.series[id.index()] = Stored::new(capacity.max(1), self.default_rollups.as_ref());
+            self.series[id.index()] =
+                Stored::new(capacity.max(1), self.default_rollups.as_ref(), false);
         }
         id
     }
@@ -323,18 +366,66 @@ impl Tsdb {
         self.metas.len()
     }
 
-    /// Lifetime sample-insert count (accepted samples only).
+    /// Lifetime accepted-insert count of **user** samples. Self-telemetry
+    /// scrape writes are accounted separately ([`Tsdb::self_inserts`]) so
+    /// enabling observability never perturbs workload accounting.
     pub fn total_inserts(&self) -> u64 {
         self.inserts
     }
 
+    /// Lifetime accepted-insert count of self-telemetry scrape samples
+    /// (the `__self/` namespace).
+    pub fn self_inserts(&self) -> u64 {
+        self.self_inserts
+    }
+
     /// Append one sample. Returns false when rejected (unknown id is a
     /// panic — that is a programming error — but out-of-order samples are
-    /// a data property and are counted and dropped).
+    /// a data property and are counted and dropped). Writes to reserved
+    /// `__self/` series are refused (false); use [`Tsdb::try_insert`] for
+    /// the typed form of that refusal.
     pub fn insert(&mut self, id: MetricId, t: SimTime, value: f64) -> bool {
-        let ok = self.series[id.index()].push(t, value);
+        let stored = &mut self.series[id.index()];
+        if stored.reserved {
+            return false;
+        }
+        let ok = stored.push(t, value);
         if ok {
             self.inserts += 1;
+        }
+        ok
+    }
+
+    /// [`Tsdb::insert`] with reserved-namespace refusal as a typed error:
+    /// `Err` when `id` is a `__self/` series, otherwise `Ok(accepted)`.
+    pub fn try_insert(
+        &mut self,
+        id: MetricId,
+        t: SimTime,
+        value: f64,
+    ) -> Result<bool, InsertError> {
+        if self.series[id.index()].reserved {
+            return Err(InsertError::ReservedMetric {
+                id,
+                name: self.metas[id.index()].name.clone(),
+            });
+        }
+        Ok(self.insert(id, t, value))
+    }
+
+    /// Scrape-only append to a reserved `__self/` series (panics if `id`
+    /// is not reserved). Accounted under [`Tsdb::self_inserts`], not
+    /// [`Tsdb::total_inserts`].
+    pub fn insert_self(&mut self, id: MetricId, t: SimTime, value: f64) -> bool {
+        let stored = &mut self.series[id.index()];
+        assert!(
+            stored.reserved,
+            "insert_self on non-reserved metric {id} ({:?})",
+            self.metas[id.index()].name
+        );
+        let ok = stored.push(t, value);
+        if ok {
+            self.self_inserts += 1;
         }
         ok
     }
@@ -561,6 +652,7 @@ pub struct ShardedTsdb {
     registry: RwLock<Registry>,
     shards: Box<[RwLock<Shard>]>,
     inserts: AtomicU64,
+    self_inserts: AtomicU64,
     rollup_hits: AtomicU64,
     sketch_hits: AtomicU64,
     default_capacity: usize,
@@ -594,6 +686,7 @@ impl ShardedTsdb {
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
             inserts: AtomicU64::new(0),
+            self_inserts: AtomicU64::new(0),
             rollup_hits: AtomicU64::new(0),
             sketch_hits: AtomicU64::new(0),
             default_capacity: capacity.max(1),
@@ -617,6 +710,9 @@ impl ShardedTsdb {
             shard.series.push(series);
         }
         sharded.inserts.store(db.inserts, Ordering::Relaxed);
+        sharded
+            .self_inserts
+            .store(db.self_inserts, Ordering::Relaxed);
         sharded
             .rollup_hits
             .store(db.rollup_hits.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -642,16 +738,59 @@ impl ShardedTsdb {
     }
 
     /// Register a metric (idempotent on name), returning its dense id.
+    /// Panics on names in the reserved `__self/` namespace — use
+    /// [`ShardedTsdb::try_register`] for externally sourced names.
     pub fn register(&self, meta: MetricMeta) -> MetricId {
-        self.register_with_capacity_opt(meta, None)
+        assert!(
+            !is_self_metric(&meta.name),
+            "metric name {:?} is in the reserved self-telemetry namespace",
+            meta.name
+        );
+        self.register_with_capacity_opt(meta, None, false)
     }
 
-    /// Register with explicit retention for this series.
+    /// [`ShardedTsdb::register`] with the reserved namespace refused as
+    /// a typed error instead of a panic.
+    pub fn try_register(&self, meta: MetricMeta) -> Result<MetricId, RegisterError> {
+        if is_self_metric(&meta.name) {
+            return Err(RegisterError::ReservedNamespace { name: meta.name });
+        }
+        Ok(self.register_with_capacity_opt(meta, None, false))
+    }
+
+    /// Scrape-only registration into the reserved `__self/` namespace
+    /// (idempotent on name; panics if the name is not reserved). A
+    /// read-lock fast path makes per-scrape re-registration cheap.
+    pub fn register_self(&self, meta: MetricMeta) -> MetricId {
+        assert!(
+            is_self_metric(&meta.name),
+            "self-telemetry metric {:?} must start with {:?}",
+            meta.name,
+            crate::metric::SELF_NAMESPACE
+        );
+        if let Some(id) = self.lookup(&meta.name) {
+            return id;
+        }
+        self.register_with_capacity_opt(meta, None, true)
+    }
+
+    /// Register with explicit retention for this series. Reserved names
+    /// panic as in [`ShardedTsdb::register`].
     pub fn register_with_capacity(&self, meta: MetricMeta, capacity: usize) -> MetricId {
-        self.register_with_capacity_opt(meta, Some(capacity.max(1)))
+        assert!(
+            !is_self_metric(&meta.name),
+            "metric name {:?} is in the reserved self-telemetry namespace",
+            meta.name
+        );
+        self.register_with_capacity_opt(meta, Some(capacity.max(1)), false)
     }
 
-    fn register_with_capacity_opt(&self, meta: MetricMeta, capacity: Option<usize>) -> MetricId {
+    fn register_with_capacity_opt(
+        &self,
+        meta: MetricMeta,
+        capacity: Option<usize>,
+        reserved: bool,
+    ) -> MetricId {
         let mut reg = self.registry.write();
         if let Some(&id) = reg.by_name.get(&meta.name) {
             return id;
@@ -667,6 +806,7 @@ impl ShardedTsdb {
         shard.series.push(Stored::new(
             capacity.unwrap_or(self.default_capacity),
             reg.default_rollups.as_ref(),
+            reserved,
         ));
         id
     }
@@ -750,9 +890,17 @@ impl ShardedTsdb {
         self.registry.read().metas.len()
     }
 
-    /// Lifetime accepted-insert count across all stripes.
+    /// Lifetime accepted-insert count of **user** samples across all
+    /// stripes. Scrape writes are accounted separately
+    /// ([`ShardedTsdb::self_inserts`]).
     pub fn total_inserts(&self) -> u64 {
         self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime accepted-insert count of self-telemetry scrape samples
+    /// (the `__self/` namespace) across all stripes.
+    pub fn self_inserts(&self) -> u64 {
+        self.self_inserts.load(Ordering::Relaxed)
     }
 
     /// All registered metric names in id order (cloned snapshot).
@@ -765,12 +913,57 @@ impl ShardedTsdb {
             .collect()
     }
 
-    /// Append one sample, locking only `id`'s stripe.
+    /// Append one sample, locking only `id`'s stripe. Writes to reserved
+    /// `__self/` series are refused (false); see
+    /// [`ShardedTsdb::try_insert`] for the typed form.
     pub fn insert(&self, id: MetricId, t: SimTime, value: f64) -> bool {
         let slot = self.slot_of(id);
-        let ok = self.shards[self.shard_of(id)].write().series[slot].push(t, value);
+        let ok = {
+            let mut shard = self.shards[self.shard_of(id)].write();
+            let stored = &mut shard.series[slot];
+            if stored.reserved {
+                return false;
+            }
+            stored.push(t, value)
+        };
         if ok {
             self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// [`ShardedTsdb::insert`] with reserved-namespace refusal as a
+    /// typed error: `Err` when `id` is a `__self/` series.
+    pub fn try_insert(&self, id: MetricId, t: SimTime, value: f64) -> Result<bool, InsertError> {
+        let slot = self.slot_of(id);
+        let reserved = {
+            // Separate probe: taking the registry lock for the error's
+            // name while holding the stripe lock would invert the
+            // registry → stripe order used by registration.
+            let shard = self.shards[self.shard_of(id)].read();
+            shard.series[slot].reserved
+        };
+        if reserved {
+            return Err(InsertError::ReservedMetric {
+                id,
+                name: self.meta(id).name,
+            });
+        }
+        Ok(self.insert(id, t, value))
+    }
+
+    /// Scrape-only append to a reserved `__self/` series (panics if `id`
+    /// is not reserved). Accounted under [`ShardedTsdb::self_inserts`].
+    pub fn insert_self(&self, id: MetricId, t: SimTime, value: f64) -> bool {
+        let slot = self.slot_of(id);
+        let ok = {
+            let mut shard = self.shards[self.shard_of(id)].write();
+            let stored = &mut shard.series[slot];
+            assert!(stored.reserved, "insert_self on non-reserved metric {id}");
+            stored.push(t, value)
+        };
+        if ok {
+            self.self_inserts.fetch_add(1, Ordering::Relaxed);
         }
         ok
     }
@@ -798,7 +991,8 @@ impl ShardedTsdb {
                     &mut held.as_mut().expect("just set").1
                 }
             };
-            if guard.series[self.slot_of(id)].push(t, v) {
+            let stored = &mut guard.series[self.slot_of(id)];
+            if !stored.reserved && stored.push(t, v) {
                 accepted += 1;
             }
         }
@@ -1118,6 +1312,106 @@ mod tests {
         let names: Vec<(&str, MetricId)> = db.names().collect();
         assert_eq!(names[0], ("a", MetricId(0)));
         assert_eq!(names[1], ("b", MetricId(1)));
+    }
+
+    // ----------------------------------------- reserved __self/ names
+
+    #[test]
+    fn reserved_namespace_refuses_user_registration() {
+        let mut db = db();
+        let meta = MetricMeta::gauge("__self/wal.fsync_ns", "ns", SourceDomain::Software);
+        match db.try_register(meta.clone()) {
+            Err(RegisterError::ReservedNamespace { name }) => {
+                assert_eq!(name, "__self/wal.fsync_ns");
+            }
+            other => panic!("expected reserved-namespace refusal, got {other:?}"),
+        }
+        assert_eq!(db.cardinality(), 0);
+        // Non-reserved names pass through try_register unchanged.
+        let id = db
+            .try_register(MetricMeta::gauge("user.x", "u", SourceDomain::Hardware))
+            .unwrap();
+        assert_eq!(db.lookup("user.x"), Some(id));
+
+        let shared = ShardedTsdb::new();
+        assert!(shared.try_register(meta).is_err());
+        assert_eq!(shared.cardinality(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved self-telemetry namespace")]
+    fn reserved_namespace_panics_on_plain_register() {
+        let mut db = db();
+        db.register(MetricMeta::gauge("__self/x", "u", SourceDomain::Software));
+    }
+
+    #[test]
+    fn scrape_is_the_only_writer_of_self_series() {
+        let mut db = db();
+        let id = db.register_self(MetricMeta::gauge(
+            "__self/export.drain_ns",
+            "ns",
+            SourceDomain::Software,
+        ));
+        // User write paths refuse the reserved series...
+        assert!(!db.insert(id, SimTime::from_secs(1), 1.0));
+        db.insert_batch(SimTime::from_secs(1), &[(id, 2.0)]);
+        match db.try_insert(id, SimTime::from_secs(1), 3.0) {
+            Err(InsertError::ReservedMetric { id: got, name }) => {
+                assert_eq!(got, id);
+                assert_eq!(name, "__self/export.drain_ns");
+            }
+            other => panic!("expected reserved-metric refusal, got {other:?}"),
+        }
+        assert_eq!(db.total_inserts(), 0);
+        assert_eq!(db.latest(id), None);
+        // ...while the scrape path writes it, accounted separately.
+        assert!(db.insert_self(id, SimTime::from_secs(1), 4.0));
+        assert_eq!(db.latest_value(id), Some(4.0));
+        assert_eq!(db.total_inserts(), 0);
+        assert_eq!(db.self_inserts(), 1);
+    }
+
+    #[test]
+    fn sharded_scrape_is_the_only_writer_of_self_series() {
+        let shared = ShardedTsdb::with_config(64, 4);
+        let id = shared.register_self(MetricMeta::counter(
+            "__self/export.batches",
+            "count",
+            SourceDomain::Software,
+        ));
+        // register_self is idempotent (read-lock fast path).
+        assert_eq!(
+            shared.register_self(MetricMeta::counter(
+                "__self/export.batches",
+                "count",
+                SourceDomain::Software,
+            )),
+            id
+        );
+        assert!(!shared.insert(id, SimTime::from_secs(1), 1.0));
+        assert_eq!(shared.insert_batch(SimTime::from_secs(1), &[(id, 2.0)]), 0);
+        assert!(shared.try_insert(id, SimTime::from_secs(1), 3.0).is_err());
+        assert_eq!(shared.total_inserts(), 0);
+        assert!(shared.insert_self(id, SimTime::from_secs(1), 4.0));
+        assert_eq!(shared.latest_value(id), Some(4.0));
+        assert_eq!(shared.total_inserts(), 0);
+        assert_eq!(shared.self_inserts(), 1);
+    }
+
+    #[test]
+    fn self_accounting_survives_the_sharded_move() {
+        let mut db = db();
+        let user = gauge(&mut db, "u");
+        db.insert(user, SimTime::from_secs(1), 1.0);
+        let id = db.register_self(MetricMeta::gauge("__self/g", "u", SourceDomain::Software));
+        db.insert_self(id, SimTime::from_secs(1), 2.0);
+        let shared = ShardedTsdb::from_tsdb(db, 4);
+        assert_eq!(shared.total_inserts(), 1);
+        assert_eq!(shared.self_inserts(), 1);
+        // Reservation carried over: user writes still refused.
+        assert!(!shared.insert(id, SimTime::from_secs(2), 3.0));
+        assert!(shared.insert_self(id, SimTime::from_secs(2), 3.0));
     }
 
     // ------------------------------------------------------- sharded

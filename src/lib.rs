@@ -9,6 +9,10 @@
 //! * [`sim`] — deterministic discrete-event simulation engine,
 //! * [`telemetry`] — holistic monitoring substrate (metrics, TSDB,
 //!   rollup/sketch tiers, and the incremental export pipeline),
+//! * [`obs`] — self-telemetry: the pipeline instrumented with its own
+//!   TSDB (counters, RAII latency spans, a bounded slow-op log, and the
+//!   reserved `__self/` scrape that flows through export, fleet
+//!   aggregation, and the remote query wire like any other series),
 //! * [`core`] — the MAPE-K autonomy-loop formalism (the paper's contribution),
 //! * [`analytics`] — operational data analytics (forecasting, anomaly
 //!   detection, similarity, continual learning),
@@ -120,6 +124,7 @@ pub use moda_analytics as analytics;
 pub use moda_core as core;
 pub use moda_fleet as fleet;
 pub use moda_hpc as hpc;
+pub use moda_obs as obs;
 pub use moda_pfs as pfs;
 pub use moda_scheduler as scheduler;
 pub use moda_sim as sim;
